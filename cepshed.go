@@ -1,0 +1,322 @@
+// Package cepshed is a complex event processing (CEP) engine with hybrid
+// load shedding, implementing Zhao, Nguyen & Weidlich, "Load Shedding for
+// Complex Event Processing: Input-based and State-based Techniques"
+// (ICDE 2020).
+//
+// The package evaluates SASE-style pattern queries (sequences, Kleene
+// closure, negation, correlation predicates, aggregates, time or count
+// windows) over event streams under the exhaustive skip-till-any-match
+// policy, and — when input rates exceed what a latency bound allows —
+// sheds load with strategies ranging from random input dropping to the
+// paper's hybrid approach, which combines input-based shedding (discard
+// raw events, ρI) with state-based shedding (discard partial matches, ρS)
+// driven by one learned cost model.
+//
+// Quick start:
+//
+//	q := cepshed.MustParseQuery(`
+//	    PATTERN SEQ(A a, B b, C c)
+//	    WHERE a.ID = b.ID AND a.ID = c.ID AND a.V + b.V = c.V
+//	    WITHIN 8ms`)
+//	sys := cepshed.MustCompile(q)
+//	model := sys.MustTrain(trainingStream, cepshed.TrainConfig{})
+//	strategy := sys.NewHybrid(model, cepshed.HybridConfig{Bound: bound})
+//	result := sys.Run(stream, cepshed.RunOptions{Strategy: strategy})
+//
+// Processing is deterministic: time is virtual (one Time unit is one
+// virtual nanosecond) and latency comes from a single-server queueing
+// model over the engine's per-event work. See DESIGN.md for the mapping
+// between this repository and the paper.
+package cepshed
+
+import (
+	"cepshed/internal/baseline"
+	"cepshed/internal/citibike"
+	"cepshed/internal/core"
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gcluster"
+	"cepshed/internal/gen"
+	"cepshed/internal/knapsack"
+	"cepshed/internal/metrics"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/shed"
+)
+
+// Core re-exported types.
+type (
+	// Event is a single stream element.
+	Event = event.Event
+	// Value is a typed attribute value.
+	Value = event.Value
+	// Time is virtual time in virtual nanoseconds.
+	Time = event.Time
+	// Stream is an ordered event sequence.
+	Stream = event.Stream
+	// StreamBuilder accumulates events into a Stream.
+	StreamBuilder = event.Builder
+	// Query is a parsed CEP query.
+	Query = query.Query
+	// Match is a detected complete match.
+	Match = engine.Match
+	// PartialMatch is a live run of the automaton.
+	PartialMatch = engine.PartialMatch
+	// EngineStats are the engine's counters.
+	EngineStats = engine.Stats
+	// Strategy is a load-shedding policy.
+	Strategy = shed.Strategy
+	// RunResult aggregates the measurements of one processing run.
+	RunResult = metrics.RunResult
+	// MatchSet is a set of match identities.
+	MatchSet = metrics.MatchSet
+	// LatencySummary aggregates latencies over a run.
+	LatencySummary = metrics.LatencySummary
+	// CostModel is the trained partial-match cost model.
+	CostModel = core.Model
+	// TrainConfig configures offline cost-model estimation.
+	TrainConfig = core.TrainConfig
+	// Selectivity holds the offline statistics for SI/SS baselines.
+	Selectivity = baseline.Selectivity
+	// PositionUtility holds the per-type position histograms for the PI
+	// baseline (eSPICE-style position-based input shedding).
+	PositionUtility = baseline.PositionUtility
+)
+
+// Virtual time units.
+const (
+	Nanosecond  = event.Nanosecond
+	Microsecond = event.Microsecond
+	Millisecond = event.Millisecond
+	Second      = event.Second
+)
+
+// Value constructors.
+var (
+	// Int builds an integer attribute value.
+	Int = event.Int
+	// Float builds a floating point attribute value.
+	Float = event.Float
+	// Str builds a string attribute value.
+	Str = event.Str
+	// NewEvent allocates an event.
+	NewEvent = event.New
+)
+
+// Latency statistics a bound can apply to.
+const (
+	BoundMean = metrics.BoundMean
+	BoundP95  = metrics.BoundP95
+	BoundP99  = metrics.BoundP99
+)
+
+// BoundStat selects which latency statistic a bound applies to.
+type BoundStat = metrics.BoundStat
+
+// ParseQuery parses a SASE-style query text.
+func ParseQuery(src string) (*Query, error) { return query.Parse(src) }
+
+// MustParseQuery parses and panics on error.
+func MustParseQuery(src string) *Query { return query.MustParse(src) }
+
+// Recall returns the fraction of truth matches present in got.
+func Recall(truth, got MatchSet) float64 { return metrics.Recall(truth, got) }
+
+// Precision returns the fraction of got matches present in truth.
+func Precision(truth, got MatchSet) float64 { return metrics.Precision(truth, got) }
+
+// System is a compiled query ready to process streams.
+type System struct {
+	machine *nfa.Machine
+}
+
+// Compile compiles a query into a System.
+func Compile(q *Query) (*System, error) {
+	m, err := nfa.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return &System{machine: m}, nil
+}
+
+// MustCompile compiles and panics on error.
+func MustCompile(q *Query) *System {
+	s, err := Compile(q)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Query returns the compiled query.
+func (s *System) Query() *Query { return s.machine.Query }
+
+// RunOptions configures one processing run.
+type RunOptions struct {
+	// Strategy is the shedding strategy (nil: no shedding).
+	Strategy Strategy
+	// BoundStat selects the smoothed latency statistic driving the
+	// strategy (default: sliding mean over SmoothWindow samples).
+	BoundStat BoundStat
+	// SmoothWindow is the smoothing window size (default 1000).
+	SmoothWindow int
+	// SamplePMsEvery samples the live partial-match count every that
+	// many events when > 0.
+	SamplePMsEvery int
+	// DeferredNegation switches negation to witness semantics, under
+	// which shedding can fabricate matches (see DESIGN.md).
+	DeferredNegation bool
+}
+
+// Run processes a stream and returns the measured result.
+func (s *System) Run(stream Stream, opts RunOptions) *RunResult {
+	return metrics.Run(s.machine, stream, metrics.RunConfig{
+		Strategy:         opts.Strategy,
+		BoundStat:        opts.BoundStat,
+		SmoothWindow:     opts.SmoothWindow,
+		SamplePMsEvery:   opts.SamplePMsEvery,
+		DeferredNegation: opts.DeferredNegation,
+	})
+}
+
+// Train estimates the hybrid cost model from historic data (§V-B).
+func (s *System) Train(training Stream, cfg TrainConfig) (*CostModel, error) {
+	return core.Train(s.machine, training, cfg)
+}
+
+// MustTrain trains and panics on error.
+func (s *System) MustTrain(training Stream, cfg TrainConfig) *CostModel {
+	return core.MustTrain(s.machine, training, cfg)
+}
+
+// EstimateSelectivity derives the per-event and per-state selectivity
+// statistics the SI and SS baselines use.
+func (s *System) EstimateSelectivity(training Stream) *Selectivity {
+	return baseline.EstimateSelectivity(s.machine, training)
+}
+
+// HybridConfig configures the hybrid strategy.
+type HybridConfig struct {
+	// Bound is the latency bound θ in virtual time.
+	Bound Time
+	// InputOnly/StateOnly restrict the strategy to one shedding function
+	// (HyI / HyS). Both false: full hybrid.
+	InputOnly bool
+	StateOnly bool
+	// DelayEvents is the minimum number of events between state-shedding
+	// triggers (default 200).
+	DelayEvents int
+	// Greedy selects the approximate knapsack solver (§V-C) instead of
+	// the exact dynamic program.
+	Greedy bool
+	// Adapt enables online adaptation of the cost model (default
+	// recommended: true).
+	Adapt bool
+}
+
+// NewHybrid builds the paper's hybrid shedding strategy over a trained
+// cost model.
+func (s *System) NewHybrid(model *CostModel, cfg HybridConfig) Strategy {
+	mode := core.ModeHybrid
+	if cfg.InputOnly {
+		mode = core.ModeInputOnly
+	} else if cfg.StateOnly {
+		mode = core.ModeStateOnly
+	}
+	solver := knapsack.Exact
+	if cfg.Greedy {
+		solver = knapsack.Greedy
+	}
+	return core.NewHybrid(model, core.Config{
+		Bound:       cfg.Bound,
+		Mode:        mode,
+		DelayEvents: cfg.DelayEvents,
+		Solver:      solver,
+		Adapt:       cfg.Adapt,
+	})
+}
+
+// NewFixedRatioHybrid builds the fixed-shedding-ratio variant: input=true
+// sheds the lowest-utility events (HyI), otherwise the lowest-utility
+// partial matches (HyS), at the given ratio.
+func (s *System) NewFixedRatioHybrid(model *CostModel, ratio float64, input bool, seed int64) Strategy {
+	return core.NewFixedRatioHybrid(model, ratio, input, seed)
+}
+
+// Baseline strategies (latency-bound driven).
+func NewRandomInput(bound Time, seed int64) Strategy { return baseline.NewRandomInput(bound, seed) }
+
+// NewSelectivityInput builds the SI baseline.
+func NewSelectivityInput(sel *Selectivity, bound Time, seed int64) Strategy {
+	return baseline.NewSelectivityInput(sel, bound, seed)
+}
+
+// NewRandomState builds the RS baseline.
+func NewRandomState(bound Time, seed int64) Strategy { return baseline.NewRandomState(bound, seed) }
+
+// NewSelectivityState builds the SS baseline.
+func NewSelectivityState(sel *Selectivity, bound Time, seed int64) Strategy {
+	return baseline.NewSelectivityState(sel, bound, seed)
+}
+
+// EstimatePositionUtility learns the per-type position histograms the PI
+// baseline ranks events by.
+func (s *System) EstimatePositionUtility(training Stream) *PositionUtility {
+	return baseline.EstimatePositionUtility(s.machine, training)
+}
+
+// NewPositionInput builds the eSPICE-style position-based input shedder.
+func NewPositionInput(util *PositionUtility, bound Time, seed int64) Strategy {
+	return baseline.NewPositionInput(util, bound, seed)
+}
+
+// NoShedding returns the pass-through strategy.
+func NoShedding() Strategy { return shed.None{} }
+
+// Dataset generators.
+
+// DS1Config parameterizes the DS1 generator (Table II).
+type DS1Config = gen.DS1Config
+
+// DS2Config parameterizes the DS2 generator (Table II).
+type DS2Config = gen.DS2Config
+
+// CitiBikeConfig parameterizes the bike-trip simulator.
+type CitiBikeConfig = citibike.Config
+
+// ClusterTraceConfig parameterizes the cluster-trace simulator.
+type ClusterTraceConfig = gcluster.Config
+
+// DS1 generates the paper's DS1 synthetic stream.
+func DS1(cfg DS1Config) Stream { return gen.DS1(cfg) }
+
+// DS2 generates the paper's DS2 synthetic stream.
+func DS2(cfg DS2Config) Stream { return gen.DS2(cfg) }
+
+// CitiBike generates a bike-trip stream with hot-path bursts.
+func CitiBike(cfg CitiBikeConfig) Stream { return citibike.Generate(cfg) }
+
+// ClusterTrace generates a cluster task-lifecycle stream.
+func ClusterTrace(cfg ClusterTraceConfig) Stream { return gcluster.Generate(cfg) }
+
+// Paper queries.
+
+// Q1 returns Listing 2's Q1 (three-step correlation over DS1).
+func Q1(window string) *Query { return query.Q1(window) }
+
+// Q2 returns Listing 2's Q2 (Kleene query over DS1).
+func Q2(window string, minReps, maxReps int) *Query { return query.Q2(window, minReps, maxReps) }
+
+// Q3 returns Listing 2's Q3 (aggregate query over DS2).
+func Q3(window string) *Query { return query.Q3(window) }
+
+// Q4 returns the non-monotonic negation query of §VI-H.
+func Q4(window string) *Query { return query.Q4(window) }
+
+// HotPaths returns Listing 1's hot-path query.
+func HotPaths(window string, minTrips, maxTrips int) *Query {
+	return query.HotPaths(window, minTrips, maxTrips)
+}
+
+// ClusterTasks returns Listing 3's task-lifecycle query.
+func ClusterTasks(window string) *Query { return query.ClusterTasks(window) }

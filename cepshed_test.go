@@ -1,0 +1,118 @@
+package cepshed_test
+
+import (
+	"testing"
+
+	"cepshed"
+)
+
+// The facade test exercises the public API end to end the way a
+// downstream user would: parse, compile, generate, train, shed, measure.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	q := cepshed.Q1("8ms")
+	sys := cepshed.MustCompile(q)
+
+	training := cepshed.DS1(cepshed.DS1Config{
+		Events: 3000, Seed: 1, InterArrival: 30 * cepshed.Microsecond,
+	})
+	work := cepshed.DS1(cepshed.DS1Config{
+		Events: 5000, Seed: 2, InterArrival: 15 * cepshed.Microsecond,
+	})
+
+	truth := sys.Run(work, cepshed.RunOptions{})
+	if len(truth.Matches) == 0 {
+		t.Fatal("no ground-truth matches")
+	}
+
+	model := sys.MustTrain(training, cepshed.TrainConfig{})
+	bound := truth.Latency.Mean() / 2
+	hybrid := sys.NewHybrid(model, cepshed.HybridConfig{Bound: bound, Adapt: true})
+	res := sys.Run(work, cepshed.RunOptions{Strategy: hybrid})
+
+	recall := cepshed.Recall(truth.MatchSet(), res.MatchSet())
+	if recall <= 0.5 {
+		t.Errorf("hybrid recall = %.3f, suspiciously low", recall)
+	}
+	if res.Latency.Mean() >= truth.Latency.Mean() {
+		t.Errorf("shedding did not reduce latency: %v >= %v",
+			res.Latency.Mean(), truth.Latency.Mean())
+	}
+	if res.Throughput <= truth.Throughput {
+		t.Error("shedding did not raise throughput")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	sys := cepshed.MustCompile(cepshed.Q1("8ms"))
+	training := cepshed.DS1(cepshed.DS1Config{
+		Events: 2000, Seed: 3, InterArrival: 30 * cepshed.Microsecond,
+	})
+	work := cepshed.DS1(cepshed.DS1Config{
+		Events: 2000, Seed: 4, InterArrival: 30 * cepshed.Microsecond,
+	})
+	sel := sys.EstimateSelectivity(training)
+	pos := sys.EstimatePositionUtility(training)
+	model := sys.MustTrain(training, cepshed.TrainConfig{})
+	bound := 10 * cepshed.Microsecond
+	strategies := []cepshed.Strategy{
+		cepshed.NoShedding(),
+		cepshed.NewPositionInput(pos, bound, 1),
+		cepshed.NewRandomInput(bound, 1),
+		cepshed.NewSelectivityInput(sel, bound, 1),
+		cepshed.NewRandomState(bound, 1),
+		cepshed.NewSelectivityState(sel, bound, 1),
+		sys.NewHybrid(model, cepshed.HybridConfig{Bound: bound}),
+		sys.NewHybrid(model, cepshed.HybridConfig{Bound: bound, InputOnly: true}),
+		sys.NewHybrid(model, cepshed.HybridConfig{Bound: bound, StateOnly: true, Greedy: true}),
+		sys.NewFixedRatioHybrid(model, 0.2, true, 1),
+	}
+	for _, s := range strategies {
+		res := sys.Run(work, cepshed.RunOptions{Strategy: s})
+		if res.Events != len(work) {
+			t.Errorf("%s: events = %d", s.Name(), res.Events)
+		}
+	}
+}
+
+func TestPublicAPIQueriesAndGenerators(t *testing.T) {
+	for _, q := range []*cepshed.Query{
+		cepshed.Q1("8ms"), cepshed.Q2("1ms", 1, 2), cepshed.Q3("8ms"),
+		cepshed.Q4("8ms"), cepshed.HotPaths("5 min", 2, 5), cepshed.ClusterTasks("1 min"),
+	} {
+		if _, err := cepshed.Compile(q); err != nil {
+			t.Errorf("compile %s: %v", q, err)
+		}
+	}
+	if len(cepshed.DS2(cepshed.DS2Config{Events: 100, Seed: 1})) != 100 {
+		t.Error("DS2 length")
+	}
+	if len(cepshed.CitiBike(cepshed.CitiBikeConfig{Trips: 100, Seed: 1})) != 100 {
+		t.Error("CitiBike length")
+	}
+	if len(cepshed.ClusterTrace(cepshed.ClusterTraceConfig{Tasks: 50, Seed: 1})) == 0 {
+		t.Error("ClusterTrace empty")
+	}
+	if _, err := cepshed.ParseQuery("garbage"); err == nil {
+		t.Error("ParseQuery must reject garbage")
+	}
+}
+
+func TestPublicAPINegationPrecision(t *testing.T) {
+	sys := cepshed.MustCompile(cepshed.Q4("8ms"))
+	work := cepshed.DS1(cepshed.DS1Config{
+		Events: 3000, Seed: 5, InterArrival: 30 * cepshed.Microsecond, BProb: 0.3,
+	})
+	training := cepshed.DS1(cepshed.DS1Config{
+		Events: 3000, Seed: 6, InterArrival: 30 * cepshed.Microsecond, BProb: 0.3,
+	})
+	truth := sys.Run(work, cepshed.RunOptions{DeferredNegation: true})
+	model := sys.MustTrain(training, cepshed.TrainConfig{DeferredNegation: true})
+	strat := sys.NewFixedRatioHybrid(model, 0.3, false, 1)
+	res := sys.Run(work, cepshed.RunOptions{Strategy: strat, DeferredNegation: true})
+	prec := cepshed.Precision(truth.MatchSet(), res.MatchSet())
+	rec := cepshed.Recall(truth.MatchSet(), res.MatchSet())
+	t.Logf("negation under shedding: precision=%.3f recall=%.3f", prec, rec)
+	if rec < 0.5 {
+		t.Errorf("recall = %.3f collapsed", rec)
+	}
+}

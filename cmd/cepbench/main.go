@@ -1,0 +1,76 @@
+// Command cepbench reproduces the paper's evaluation figures.
+//
+// Usage:
+//
+//	cepbench -list              list available experiments
+//	cepbench -fig fig4          run one experiment
+//	cepbench -all               run every experiment
+//	cepbench -quick ...         quarter-scale streams (fast smoke runs)
+//	cepbench -seed 7 ...        offset all generator seeds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cepshed/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		fig   = flag.String("fig", "", "experiment id to run (e.g. fig4)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "quarter-scale streams")
+		seed  = flag.Int64("seed", 0, "generator seed offset")
+		csv   = flag.Bool("csv", false, "emit panels as CSV instead of tables")
+	)
+	flag.Parse()
+	emitCSV = *csv
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			runOne(e, opts)
+		}
+	case *fig != "":
+		e, ok := experiments.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cepbench: unknown experiment %q (try -list)\n", *fig)
+			os.Exit(2)
+		}
+		runOne(e, opts)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+var emitCSV bool
+
+func runOne(e experiments.Experiment, opts experiments.Options) {
+	if !emitCSV {
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+	}
+	start := time.Now()
+	tables := e.Run(opts)
+	for _, t := range tables {
+		if emitCSV {
+			t.PrintCSV(os.Stdout)
+		} else {
+			t.Print(os.Stdout)
+		}
+	}
+	if !emitCSV {
+		fmt.Printf("(%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,196 @@
+// Command ceprun evaluates an ad-hoc CEP query over a generated dataset
+// under a chosen shedding strategy and reports recall, throughput,
+// latency, and shed ratios.
+//
+// Examples:
+//
+//	ceprun -dataset ds1 -events 20000 \
+//	  -query 'PATTERN SEQ(A a, B b, C c) WHERE a.ID=b.ID AND a.ID=c.ID AND a.V+b.V=c.V WITHIN 8ms' \
+//	  -strategy Hybrid -bound 0.5
+//
+//	ceprun -dataset citibike -strategy SS -bound 0.2 -stat p99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cepshed/internal/baseline"
+	"cepshed/internal/citibike"
+	"cepshed/internal/core"
+	"cepshed/internal/event"
+	"cepshed/internal/gcluster"
+	"cepshed/internal/gen"
+	"cepshed/internal/metrics"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/shed"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "ds1", "dataset: ds1, ds2, citibike, gcluster")
+		events   = flag.Int("events", 20000, "stream length (trips/tasks for the case studies)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		querySrc = flag.String("query", "", "query text (default: the paper query for the dataset)")
+		strategy = flag.String("strategy", "Hybrid", "None, RI, SI, PI, RS, SS, Hybrid, HyI, HyS")
+		explain  = flag.Bool("explain", false, "print the compiled automaton plan and exit")
+		bound    = flag.Float64("bound", 0.5, "latency bound as a fraction of the unshedded latency")
+		stat     = flag.String("stat", "avg", "latency statistic the bound applies to: avg, p95, p99")
+	)
+	flag.Parse()
+
+	train, work, defQuery := streams(*dataset, *events, *seed)
+	src := *querySrc
+	if src == "" {
+		src = defQuery
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceprun:", err)
+		os.Exit(2)
+	}
+	m, err := nfa.Compile(q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceprun:", err)
+		os.Exit(2)
+	}
+	if *explain {
+		fmt.Print(m.Explain())
+		return
+	}
+
+	var boundStat metrics.BoundStat
+	switch *stat {
+	case "p95":
+		boundStat = metrics.BoundP95
+	case "p99":
+		boundStat = metrics.BoundP99
+	default:
+		boundStat = metrics.BoundMean
+	}
+
+	runner := newRunner(m, train, work, boundStat)
+	truth := runner.truth()
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("stream: %d events over %s\n", len(work), work.Duration())
+	fmt.Printf("unshedded: %d matches, %s latency %s, throughput %.0f events/s\n",
+		len(truth.Matches), boundStat, boundStat.Of(truth.Latency), truth.Throughput)
+
+	if *strategy == "None" {
+		return
+	}
+	res := runner.run(*strategy, *bound, *seed)
+	fmt.Printf("\nstrategy %s at %.0f%% %s-latency bound:\n", res.Strategy, *bound*100, boundStat)
+	fmt.Printf("  recall      %.1f%%\n", 100*metrics.Recall(truth.MatchSet(), res.MatchSet()))
+	if q.HasNegation() {
+		fmt.Printf("  precision   %.1f%%\n", 100*metrics.Precision(truth.MatchSet(), res.MatchSet()))
+	}
+	fmt.Printf("  throughput  %.0f events/s\n", res.Throughput)
+	fmt.Printf("  latency     %s (bound %s)\n", boundStat.Of(res.Latency), runner.boundAt(*bound))
+	fmt.Printf("  shed events %.1f%% (%d)\n", 100*res.ShedEventRatio(), res.ShedEvents)
+	fmt.Printf("  shed PMs    %.1f%% (%d of %d)\n",
+		100*res.ShedPMRatio(), res.Stats.DroppedPMs, res.Stats.CreatedPMs)
+}
+
+// runner lazily builds strategies over one configuration, mirroring the
+// experiment harness.
+type runner struct {
+	m          *nfa.Machine
+	train      event.Stream
+	work       event.Stream
+	stat       metrics.BoundStat
+	truthCache *metrics.RunResult
+	sel        *baseline.Selectivity
+	model      *core.Model
+}
+
+func newRunner(m *nfa.Machine, train, work event.Stream, stat metrics.BoundStat) *runner {
+	return &runner{m: m, train: train, work: work, stat: stat}
+}
+
+func (r *runner) truth() *metrics.RunResult {
+	if r.truthCache == nil {
+		r.truthCache = metrics.Run(r.m, r.work, metrics.RunConfig{
+			BoundStat: r.stat, DeferredNegation: r.m.Query.HasNegation(),
+		})
+	}
+	return r.truthCache
+}
+
+func (r *runner) boundAt(frac float64) event.Time {
+	return event.Time(frac * float64(r.stat.Of(r.truth().Latency)))
+}
+
+func (r *runner) run(name string, frac float64, seed int64) *metrics.RunResult {
+	bound := r.boundAt(frac)
+	var strat shed.Strategy
+	switch name {
+	case "RI":
+		strat = baseline.NewRandomInput(bound, seed)
+	case "SI":
+		if r.sel == nil {
+			r.sel = baseline.EstimateSelectivity(r.m, r.train)
+		}
+		strat = baseline.NewSelectivityInput(r.sel, bound, seed)
+	case "PI":
+		strat = baseline.NewPositionInput(
+			baseline.EstimatePositionUtility(r.m, r.train), bound, seed)
+	case "RS":
+		strat = baseline.NewRandomState(bound, seed)
+	case "SS":
+		if r.sel == nil {
+			r.sel = baseline.EstimateSelectivity(r.m, r.train)
+		}
+		strat = baseline.NewSelectivityState(r.sel, bound, seed)
+	case "Hybrid", "HyI", "HyS":
+		if r.model == nil {
+			r.model = core.MustTrain(r.m, r.train, core.TrainConfig{
+				Slices: 4, Seed: 1, DeferredNegation: r.m.Query.HasNegation(),
+			})
+		}
+		mode := core.ModeHybrid
+		if name == "HyI" {
+			mode = core.ModeInputOnly
+		} else if name == "HyS" {
+			mode = core.ModeStateOnly
+		}
+		strat = core.NewHybrid(r.model, core.Config{Bound: bound, Mode: mode, Adapt: true})
+	default:
+		fmt.Fprintf(os.Stderr, "ceprun: unknown strategy %q\n", name)
+		os.Exit(2)
+	}
+	return metrics.Run(r.m, r.work, metrics.RunConfig{
+		Strategy: strat, BoundStat: r.stat, DeferredNegation: r.m.Query.HasNegation(),
+	})
+}
+
+// streams returns training and workload streams plus the default query.
+func streams(dataset string, events int, seed int64) (train, work event.Stream, defQuery string) {
+	switch dataset {
+	case "ds1":
+		train = gen.DS1(gen.DS1Config{Events: events / 2, Seed: seed + 1000, InterArrival: 15 * event.Microsecond})
+		work = gen.DS1(gen.DS1Config{Events: events, Seed: seed, InterArrival: 15 * event.Microsecond})
+		defQuery = query.Q1("8ms").Raw
+	case "ds2":
+		train = gen.DS2(gen.DS2Config{Events: events / 2, Seed: seed + 1000, InterArrival: 15 * event.Microsecond})
+		work = gen.DS2(gen.DS2Config{Events: events, Seed: seed, InterArrival: 15 * event.Microsecond})
+		defQuery = query.Q3("8ms").Raw
+	case "citibike":
+		train = citibike.Generate(citibike.Config{Trips: events / 2, Seed: seed + 1000})
+		work = citibike.Generate(citibike.Config{Trips: events, Seed: seed})
+		defQuery = query.HotPaths("5 min", 2, 5).Raw
+	case "gcluster":
+		cfg := gcluster.Config{Tasks: events / 4, MeanGap: 120 * event.Millisecond, StepGap: 400 * event.Millisecond}
+		cfg.Seed = seed + 1000
+		train = gcluster.Generate(cfg)
+		cfg.Seed = seed
+		work = gcluster.Generate(cfg)
+		defQuery = query.ClusterTasks("1 min").Raw
+	default:
+		fmt.Fprintf(os.Stderr, "ceprun: unknown dataset %q\n", dataset)
+		os.Exit(2)
+	}
+	return train, work, defQuery
+}

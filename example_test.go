@@ -1,0 +1,56 @@
+package cepshed_test
+
+import (
+	"fmt"
+
+	"cepshed"
+)
+
+// ExampleParseQuery shows parsing and inspecting a pattern query.
+func ExampleParseQuery() {
+	q, err := cepshed.ParseQuery(`
+		PATTERN SEQ(A a, B b)
+		WHERE a.ID = b.ID
+		WITHIN 4ms`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(q.Pattern), "components, window", q.Window.Duration)
+	// Output: 2 components, window 4ms
+}
+
+// ExampleSystem_Run processes a hand-built stream and prints the matches.
+func ExampleSystem_Run() {
+	sys := cepshed.MustCompile(cepshed.MustParseQuery(`
+		PATTERN SEQ(Order o, Ship s)
+		WHERE o.id = s.id
+		WITHIN 10ms`))
+
+	var b cepshed.StreamBuilder
+	b.Add(cepshed.NewEvent("Order", 1*cepshed.Millisecond,
+		map[string]cepshed.Value{"id": cepshed.Int(7)}))
+	b.Add(cepshed.NewEvent("Ship", 3*cepshed.Millisecond,
+		map[string]cepshed.Value{"id": cepshed.Int(7)}))
+	res := sys.Run(b.Finish(), cepshed.RunOptions{})
+
+	fmt.Println("matches:", len(res.Matches))
+	// Output: matches: 1
+}
+
+// ExampleSystem_NewHybrid trains the cost model and sheds under a bound.
+func ExampleSystem_NewHybrid() {
+	sys := cepshed.MustCompile(cepshed.Q1("8ms"))
+	training := cepshed.DS1(cepshed.DS1Config{
+		Events: 2000, Seed: 1, InterArrival: 30 * cepshed.Microsecond})
+	work := cepshed.DS1(cepshed.DS1Config{
+		Events: 3000, Seed: 2, InterArrival: 15 * cepshed.Microsecond})
+
+	truth := sys.Run(work, cepshed.RunOptions{})
+	model := sys.MustTrain(training, cepshed.TrainConfig{})
+	hybrid := sys.NewHybrid(model, cepshed.HybridConfig{
+		Bound: truth.Latency.Mean() / 2, Adapt: true})
+	res := sys.Run(work, cepshed.RunOptions{Strategy: hybrid})
+
+	fmt.Println("latency reduced:", res.Latency.Mean() < truth.Latency.Mean())
+	// Output: latency reduced: true
+}

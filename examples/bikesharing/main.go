@@ -1,0 +1,51 @@
+// Bike sharing: detect "hot paths" — chains of trips of the same bike
+// ending at popular stations (Listing 1 of the paper) — on a bursty trip
+// stream, keeping the 99th-percentile detection latency bounded by
+// shedding load during the burst.
+package main
+
+import (
+	"fmt"
+
+	"cepshed"
+)
+
+func main() {
+	// Chains of 2-4 connected trips of one bike, followed by a trip of
+	// that bike ending at stations 7-9.
+	q := cepshed.HotPaths("3 min", 2, 4)
+	sys := cepshed.MustCompile(q)
+
+	// The simulator produces a mid-stream burst: 6x the trip rate with
+	// destinations skewed toward the hot stations — the partial-match
+	// spike of the paper's Fig 1.
+	training := cepshed.CitiBike(cepshed.CitiBikeConfig{Trips: 6000, Seed: 51})
+	work := cepshed.CitiBike(cepshed.CitiBikeConfig{Trips: 10000, Seed: 52})
+
+	truth := sys.Run(work, cepshed.RunOptions{
+		BoundStat:      cepshed.BoundP99,
+		SamplePMsEvery: len(work) / 10,
+	})
+	fmt.Printf("hot paths without shedding: %d matches, p99 latency %v\n",
+		len(truth.Matches), truth.Latency.Percentile(99))
+	fmt.Println("live partial matches over time (note the burst):")
+	for _, s := range truth.PMSamples {
+		fmt.Printf("  t=%-8v %6d PMs\n", s.Time, s.Count)
+	}
+
+	// Bound the mean latency to half the unshedded value: the mean is
+	// dominated by the burst, so this forces shedding exactly when the
+	// partial-match spike hits. (The paper's Fig 15 bounds the p99; run
+	// `cepbench -fig fig15` for that comparison across all strategies.)
+	model := sys.MustTrain(training, cepshed.TrainConfig{})
+	bound := truth.Latency.Mean() / 2
+	hybrid := sys.NewHybrid(model, cepshed.HybridConfig{Bound: bound, Adapt: true})
+	res := sys.Run(work, cepshed.RunOptions{Strategy: hybrid})
+
+	fmt.Printf("\nhybrid @ mean bound %v: recall %.1f%%, mean latency %v (p99 %v)\n",
+		bound,
+		100*cepshed.Recall(truth.MatchSet(), res.MatchSet()),
+		res.Latency.Mean(), res.Latency.Percentile(99))
+	fmt.Printf("  shed %.1f%% of trips and %.1f%% of partial matches\n",
+		100*res.ShedEventRatio(), 100*res.ShedPMRatio())
+}

@@ -1,0 +1,54 @@
+// Cluster monitoring: detect tasks that are scheduled and evicted on two
+// machines and then fail on a third (Listing 3 of the paper) over a
+// simulated scheduler trace with an eviction storm, comparing all
+// shedding strategies at one latency bound.
+package main
+
+import (
+	"fmt"
+
+	"cepshed"
+)
+
+func main() {
+	q := cepshed.ClusterTasks("1 min")
+	sys := cepshed.MustCompile(q)
+
+	cfg := cepshed.ClusterTraceConfig{
+		Tasks:   5000,
+		MeanGap: 120 * cepshed.Millisecond,
+		StepGap: 400 * cepshed.Millisecond,
+	}
+	cfg.Seed = 61
+	training := cepshed.ClusterTrace(cfg)
+	cfg.Seed = 62
+	work := cepshed.ClusterTrace(cfg)
+
+	truth := sys.Run(work, cepshed.RunOptions{})
+	fmt.Printf("task-failure chains without shedding: %d matches, mean latency %v\n",
+		len(truth.Matches), truth.Latency.Mean())
+
+	bound := cepshed.Time(0.3 * float64(truth.Latency.Mean()))
+	model := sys.MustTrain(training, cepshed.TrainConfig{})
+	sel := sys.EstimateSelectivity(training)
+
+	strategies := []cepshed.Strategy{
+		cepshed.NewRandomInput(bound, 7),
+		cepshed.NewSelectivityInput(sel, bound, 7),
+		cepshed.NewRandomState(bound, 7),
+		cepshed.NewSelectivityState(sel, bound, 7),
+		sys.NewHybrid(model, cepshed.HybridConfig{Bound: bound, Adapt: true}),
+	}
+	fmt.Printf("\nat a %v mean-latency bound:\n", bound)
+	for _, s := range strategies {
+		res := sys.Run(work, cepshed.RunOptions{Strategy: s})
+		status := "meets bound"
+		if res.Latency.Mean() > bound {
+			status = "VIOLATES bound"
+		}
+		fmt.Printf("  %-7s recall %5.1f%%  throughput %8.0f ev/s  latency %-8v %s\n",
+			res.Strategy,
+			100*cepshed.Recall(truth.MatchSet(), res.MatchSet()),
+			res.Throughput, res.Latency.Mean(), status)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: parse a pattern query, generate a synthetic stream, run it
+// without shedding to get the ground truth, then run it again overloaded
+// under the hybrid load shedder and compare result quality.
+package main
+
+import (
+	"fmt"
+
+	"cepshed"
+)
+
+func main() {
+	// A three-step correlation query: an A, then a B with the same ID,
+	// then a C whose V is the sum of the first two, all within 8ms.
+	q := cepshed.MustParseQuery(`
+		PATTERN SEQ(A a, B b, C c)
+		WHERE a.ID = b.ID AND a.ID = c.ID AND a.V + b.V = c.V
+		WITHIN 8ms`)
+	sys := cepshed.MustCompile(q)
+
+	// A dense DS1 stream: at a 15us mean inter-arrival the engine cannot
+	// keep up with the partial-match load, so latency grows without
+	// shedding.
+	training := cepshed.DS1(cepshed.DS1Config{Events: 10000, Seed: 41, InterArrival: 15 * cepshed.Microsecond})
+	work := cepshed.DS1(cepshed.DS1Config{Events: 20000, Seed: 42, InterArrival: 15 * cepshed.Microsecond})
+
+	// Ground truth: no shedding, unbounded latency.
+	truth := sys.Run(work, cepshed.RunOptions{})
+	fmt.Printf("without shedding: %d matches, mean latency %v, throughput %.0f events/s\n",
+		len(truth.Matches), truth.Latency.Mean(), truth.Throughput)
+
+	// Train the cost model on historic data, then bound the average
+	// latency to half of the unshedded value.
+	model := sys.MustTrain(training, cepshed.TrainConfig{})
+	bound := truth.Latency.Mean() / 2
+	hybrid := sys.NewHybrid(model, cepshed.HybridConfig{Bound: bound, Adapt: true})
+
+	res := sys.Run(work, cepshed.RunOptions{Strategy: hybrid})
+	fmt.Printf("hybrid @ %v bound: recall %.1f%%, mean latency %v, throughput %.0f events/s\n",
+		bound,
+		100*cepshed.Recall(truth.MatchSet(), res.MatchSet()),
+		res.Latency.Mean(), res.Throughput)
+	fmt.Printf("  shed %.1f%% of events and %.1f%% of partial matches\n",
+		100*res.ShedEventRatio(), 100*res.ShedPMRatio())
+
+	// Compare against random input shedding at the same bound.
+	ri := cepshed.NewRandomInput(bound, 1)
+	res2 := sys.Run(work, cepshed.RunOptions{Strategy: ri})
+	fmt.Printf("random input shedding: recall %.1f%%, mean latency %v\n",
+		100*cepshed.Recall(truth.MatchSet(), res2.MatchSet()), res2.Latency.Mean())
+}

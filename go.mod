@@ -1,0 +1,3 @@
+module cepshed
+
+go 1.22

@@ -1,0 +1,229 @@
+package baseline
+
+import (
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/shed"
+)
+
+const testIA = 40 * event.Microsecond
+
+func ds1Machine(t *testing.T) (*nfa.Machine, event.Stream) {
+	t.Helper()
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 3000, Seed: 31, InterArrival: testIA})
+	return m, s
+}
+
+func drive(t *testing.T, m *nfa.Machine, s event.Stream, strat shed.Strategy, lat event.Time) (shedEvents int, stats engine.Stats) {
+	t.Helper()
+	en := engine.New(m, engine.DefaultCosts())
+	strat.Attach(en)
+	for _, e := range s {
+		if !strat.AdmitEvent(e, e.Time) {
+			shedEvents++
+			continue
+		}
+		res := en.Process(e)
+		strat.Observe(&res, e.Time)
+		strat.Control(e.Time, lat)
+	}
+	return shedEvents, en.Stats()
+}
+
+func TestEstimateSelectivity(t *testing.T) {
+	m, s := ds1Machine(t)
+	sel := EstimateSelectivity(m, s)
+	// An A event with a common payload must have utility in (0,1].
+	a := event.New("A", 0, map[string]event.Value{"ID": event.Int(1), "V": event.Int(2)})
+	if u := sel.EventUtility(a); u < 0 || u > 1 {
+		t.Errorf("A utility = %v", u)
+	}
+	// A D event never participates in Q1 matches.
+	d := event.New("D", 0, map[string]event.Value{"ID": event.Int(1), "V": event.Int(2)})
+	if u := sel.EventUtility(d); u != 0 {
+		t.Errorf("D utility = %v, want 0", u)
+	}
+	// Unseen payloads fall back to the type-level estimate.
+	weird := event.New("A", 0, map[string]event.Value{"ID": event.Int(999), "V": event.Int(999)})
+	if u := sel.EventUtility(weird); u < 0 || u > 1 {
+		t.Errorf("fallback utility = %v", u)
+	}
+	if sel.Query() != m.Query {
+		t.Error("Query accessor wrong")
+	}
+}
+
+func TestSelectivityPMUtility(t *testing.T) {
+	m, s := ds1Machine(t)
+	sel := EstimateSelectivity(m, s)
+	en := engine.New(m, engine.DefaultCosts())
+	en.Process(event.New("A", 0, map[string]event.Value{"ID": event.Int(1), "V": event.Int(2)}))
+	pm := en.PartialMatches()[0]
+	if u := sel.PMUtility(pm); u < 0 || u > 1 {
+		t.Errorf("PM utility = %v", u)
+	}
+}
+
+func TestRandomInputBoundMode(t *testing.T) {
+	m, s := ds1Machine(t)
+	// Sustained violation: RI must shed a substantial share.
+	ri := NewRandomInput(10*event.Microsecond, 1)
+	shedEvents, _ := drive(t, m, s, ri, 100*event.Microsecond)
+	if ratio := float64(shedEvents) / float64(len(s)); ratio < 0.3 {
+		t.Errorf("RI shed ratio under violation = %.3f", ratio)
+	}
+	// No violation: nothing shed.
+	ri2 := NewRandomInput(10*event.Microsecond, 1)
+	shedEvents, _ = drive(t, m, s, ri2, 5*event.Microsecond)
+	if shedEvents != 0 {
+		t.Errorf("RI shed %d events without violation", shedEvents)
+	}
+}
+
+func TestRandomInputRatioMode(t *testing.T) {
+	m, s := ds1Machine(t)
+	ri := NewRandomInputRatio(0.5, 2)
+	shedEvents, _ := drive(t, m, s, ri, 0)
+	ratio := float64(shedEvents) / float64(len(s))
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("RI fixed ratio = %.3f, want ~0.5", ratio)
+	}
+	if ri.Name() != "RI" {
+		t.Error("name")
+	}
+}
+
+func TestSelectivityInputRatioPrefersUseless(t *testing.T) {
+	m, s := ds1Machine(t)
+	sel := EstimateSelectivity(m, s)
+	si := NewSelectivityInputRatio(sel, 0.25, 3)
+	if si.Name() != "SI" {
+		t.Error("name")
+	}
+	en := engine.New(m, engine.DefaultCosts())
+	si.Attach(en)
+	var shedD, totalD, shedAll int
+	for _, e := range s {
+		if e.Type == "D" {
+			totalD++
+		}
+		if !si.AdmitEvent(e, e.Time) {
+			shedAll++
+			if e.Type == "D" {
+				shedD++
+			}
+			continue
+		}
+		en.Process(e)
+	}
+	all := float64(shedAll) / float64(len(s))
+	if all < 0.18 || all > 0.32 {
+		t.Errorf("SI overall shed ratio = %.3f, want ~0.25", all)
+	}
+	// D events are useless for Q1 (they are ~25% of the stream): the 25%
+	// shedding budget should hit them overwhelmingly.
+	dRate := float64(shedD) / float64(totalD)
+	if dRate < 0.6 {
+		t.Errorf("SI sheds only %.3f of useless D events", dRate)
+	}
+}
+
+func TestSelectivityInputBoundMode(t *testing.T) {
+	m, s := ds1Machine(t)
+	sel := EstimateSelectivity(m, s)
+	si := NewSelectivityInput(sel, 10*event.Microsecond, 4)
+	shedEvents, _ := drive(t, m, s, si, 50*event.Microsecond)
+	if shedEvents == 0 {
+		t.Error("SI shed nothing under sustained violation")
+	}
+	si2 := NewSelectivityInput(sel, 10*event.Microsecond, 4)
+	shedEvents, _ = drive(t, m, s, si2, 1*event.Microsecond)
+	if shedEvents != 0 {
+		t.Errorf("SI shed %d events without violation", shedEvents)
+	}
+}
+
+func TestRandomStateBoundMode(t *testing.T) {
+	m, s := ds1Machine(t)
+	rs := NewRandomState(10*event.Microsecond, 5)
+	if rs.Name() != "RS" {
+		t.Error("name")
+	}
+	shedEvents, stats := drive(t, m, s, rs, 100*event.Microsecond)
+	if shedEvents != 0 {
+		t.Error("RS must not shed input events")
+	}
+	if stats.DroppedPMs == 0 {
+		t.Error("RS dropped no PMs under sustained violation")
+	}
+	rs2 := NewRandomState(10*event.Microsecond, 5)
+	_, stats = drive(t, m, s, rs2, 1*event.Microsecond)
+	if stats.DroppedPMs != 0 {
+		t.Error("RS dropped PMs without violation")
+	}
+}
+
+func TestRandomStateRatioMode(t *testing.T) {
+	m, s := ds1Machine(t)
+	rs := NewRandomStateRatio(0.4, 6)
+	_, stats := drive(t, m, s, rs, 0)
+	got := float64(stats.DroppedPMs) / float64(stats.CreatedPMs)
+	if got < 0.28 || got > 0.5 {
+		t.Errorf("RS dropped/created = %.3f, want ~0.4", got)
+	}
+}
+
+func TestSelectivityStateModes(t *testing.T) {
+	m, s := ds1Machine(t)
+	sel := EstimateSelectivity(m, s)
+	ss := NewSelectivityState(sel, 10*event.Microsecond, 7)
+	if ss.Name() != "SS" {
+		t.Error("name")
+	}
+	_, stats := drive(t, m, s, ss, 100*event.Microsecond)
+	if stats.DroppedPMs == 0 {
+		t.Error("SS dropped no PMs under sustained violation")
+	}
+	ssr := NewSelectivityStateRatio(sel, 0.3, 8)
+	_, stats = drive(t, m, s, ssr, 0)
+	got := float64(stats.DroppedPMs) / float64(stats.CreatedPMs)
+	if got < 0.2 || got > 0.4 {
+		t.Errorf("SS dropped/created = %.3f, want ~0.3", got)
+	}
+}
+
+// Selection quality: at the same shed ratio, SS (utility-ranked at the
+// paper's type/state granularity) should retain roughly as many matches
+// as RS or more. The granularity is deliberately coarse (§VI-A), so a
+// small deficit from randomness is tolerated.
+func TestSelectivityBeatsRandomState(t *testing.T) {
+	m, s := ds1Machine(t)
+	sel := EstimateSelectivity(m, s)
+	work := gen.DS1(gen.DS1Config{Events: 3000, Seed: 77, InterArrival: testIA})
+
+	count := func(strat shed.Strategy) int {
+		en := engine.New(m, engine.DefaultCosts())
+		strat.Attach(en)
+		matches := 0
+		for _, e := range work {
+			if !strat.AdmitEvent(e, e.Time) {
+				continue
+			}
+			res := en.Process(e)
+			matches += len(res.Matches)
+			strat.Control(e.Time, 0)
+		}
+		return matches
+	}
+	rsMatches := count(NewRandomStateRatio(0.5, 9))
+	ssMatches := count(NewSelectivityStateRatio(sel, 0.5, 9))
+	if float64(ssMatches) < 0.85*float64(rsMatches) {
+		t.Errorf("SS matches %d << RS matches %d at equal ratio", ssMatches, rsMatches)
+	}
+}

@@ -1,0 +1,178 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/shed"
+	"cepshed/internal/vclock"
+)
+
+// PositionInput (PI) is an extension baseline inspired by eSPICE (Slo,
+// Bhowmik & Rothermel, Middleware 2019), which the paper's related work
+// discusses: the utility of an input event is estimated from its event
+// type's typical RELATIVE POSITION inside the query window. An event
+// whose type usually contributes early in a window is valuable while the
+// window is young, and nearly worthless late — and vice versa.
+//
+// Offline, the estimator replays training data and records, for every
+// event that participated in a complete match, the relative position
+// (event time minus match start, over the window length) at which it was
+// consumed, bucketed per type. Online, an arriving event's utility is
+// the probability mass its type has at positions *no earlier than* the
+// event's offset within the oldest live window — late events of
+// early-position types shed first.
+type PositionInput struct {
+	util *PositionUtility
+	rng  *rand.Rand
+	ctrl *shed.DropController
+	thr  *shed.UtilityThreshold
+	rt   *shed.UtilityThreshold // fixed-ratio mode
+	seed int64
+	en   *engine.Engine
+}
+
+// PositionUtility holds the per-type position histograms.
+type PositionUtility struct {
+	window  event.Time
+	buckets int
+	// tail[type][b] = probability an event of the type participates at a
+	// relative position >= b/buckets.
+	tail map[string][]float64
+}
+
+const positionBuckets = 8
+
+// EstimatePositionUtility learns per-type position histograms from a
+// training stream.
+func EstimatePositionUtility(m *nfa.Machine, training event.Stream) *PositionUtility {
+	pu := &PositionUtility{
+		window:  m.Query.Window.Duration,
+		buckets: positionBuckets,
+		tail:    map[string][]float64{},
+	}
+	if pu.window <= 0 {
+		// Count-based windows: approximate with the training mean gap.
+		if len(training) > 1 {
+			mean := training.Duration() / event.Time(len(training)-1)
+			pu.window = mean * event.Time(m.Query.Window.Count)
+		} else {
+			pu.window = event.Second
+		}
+	}
+	counts := map[string][]float64{}
+	en := engine.New(m, engine.DefaultCosts())
+	for _, e := range training {
+		res := en.Process(e)
+		for _, match := range res.Matches {
+			start := match.Events[0].Time
+			for _, me := range match.Events {
+				b := pu.bucket(me.Time - start)
+				if counts[me.Type] == nil {
+					counts[me.Type] = make([]float64, pu.buckets)
+				}
+				counts[me.Type][b]++
+			}
+		}
+	}
+	for typ, hist := range counts {
+		var total float64
+		for _, c := range hist {
+			total += c
+		}
+		tail := make([]float64, pu.buckets)
+		acc := 0.0
+		for b := pu.buckets - 1; b >= 0; b-- {
+			acc += hist[b] / total
+			tail[b] = acc
+		}
+		pu.tail[typ] = tail
+	}
+	return pu
+}
+
+func (pu *PositionUtility) bucket(off event.Time) int {
+	if pu.window <= 0 {
+		return 0
+	}
+	b := int(int64(off) * int64(pu.buckets) / int64(pu.window))
+	if b < 0 {
+		b = 0
+	}
+	if b >= pu.buckets {
+		b = pu.buckets - 1
+	}
+	return b
+}
+
+// utility estimates how much match-participation mass the type still has
+// from the event's position (relative to the oldest live window) onward.
+func (pu *PositionUtility) utility(e *event.Event, oldest event.Time) float64 {
+	tail, ok := pu.tail[e.Type]
+	if !ok {
+		return 0
+	}
+	return tail[pu.bucket(e.Time-oldest)]
+}
+
+// NewPositionInput builds the latency-bound-driven PI.
+func NewPositionInput(util *PositionUtility, bound event.Time, seed int64) *PositionInput {
+	return &PositionInput{util: util, rng: rand.New(rand.NewSource(seed)),
+		ctrl: shed.NewDropController(bound), seed: seed}
+}
+
+// NewPositionInputRatio builds the fixed-ratio PI.
+func NewPositionInputRatio(util *PositionUtility, ratio float64, seed int64) *PositionInput {
+	return &PositionInput{util: util, rng: rand.New(rand.NewSource(seed)),
+		rt: shed.NewUtilityThreshold(ratio, 512, seed)}
+}
+
+// Name returns "PI".
+func (p *PositionInput) Name() string { return "PI" }
+
+// Attach keeps the engine to find the oldest live window.
+func (p *PositionInput) Attach(en *engine.Engine) { p.en = en }
+
+// oldestStart returns the start time of the oldest live partial match
+// (the event's own time when none are live).
+func (p *PositionInput) oldestStart(e *event.Event) event.Time {
+	oldest := e.Time
+	if p.en != nil {
+		for _, pm := range p.en.PartialMatches() {
+			if pm.StartTime() < oldest {
+				oldest = pm.StartTime()
+			}
+		}
+	}
+	return oldest
+}
+
+// AdmitEvent sheds the events with the least remaining position utility.
+func (p *PositionInput) AdmitEvent(e *event.Event, now event.Time) bool {
+	if p.rt != nil {
+		return !p.rt.ShouldShed(p.util.utility(e, p.oldestStart(e)))
+	}
+	rate := p.ctrl.Rate()
+	if rate <= 0 {
+		return true
+	}
+	if p.thr == nil || p.thr.Target != rate {
+		p.thr = shed.NewUtilityThreshold(rate, 256, p.seed+int64(rate*1e6))
+	}
+	return !p.thr.ShouldShed(p.util.utility(e, p.oldestStart(e)))
+}
+
+// Observe is a no-op.
+func (p *PositionInput) Observe(*engine.Result, event.Time) {}
+
+// Control updates the drop controller.
+func (p *PositionInput) Control(now event.Time, lat event.Time) vclock.Cost {
+	if p.ctrl != nil {
+		p.ctrl.Update(lat)
+	}
+	return 0
+}
+
+var _ shed.Strategy = (*PositionInput)(nil)

@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+func TestEstimatePositionUtility(t *testing.T) {
+	m, s := ds1Machine(t)
+	pu := EstimatePositionUtility(m, s)
+	// For Q1 (SEQ A B C), A events participate early: their tail mass at
+	// bucket 0 must be 1 and must decrease toward later buckets.
+	tail, ok := pu.tail["A"]
+	if !ok {
+		t.Fatal("no histogram for A")
+	}
+	if tail[0] < 0.999 {
+		t.Errorf("tail[0] = %v, want 1", tail[0])
+	}
+	for b := 1; b < len(tail); b++ {
+		if tail[b] > tail[b-1]+1e-9 {
+			t.Fatalf("tail not non-increasing at %d: %v", b, tail)
+		}
+	}
+	// C events close matches: they skew later than A events.
+	cTail := pu.tail["C"]
+	if cTail == nil {
+		t.Fatal("no histogram for C")
+	}
+	if cTail[2] <= tail[2] {
+		t.Errorf("C tail at mid-window (%v) should exceed A's (%v)", cTail[2], tail[2])
+	}
+	// Types never in matches have no mass.
+	d := event.New("D", 0, map[string]event.Value{"ID": event.Int(1)})
+	if pu.utility(d, 0) != 0 {
+		t.Error("D utility should be 0")
+	}
+}
+
+func TestPositionInputRatioMode(t *testing.T) {
+	m, s := ds1Machine(t)
+	pu := EstimatePositionUtility(m, s)
+	pi := NewPositionInputRatio(pu, 0.4, 5)
+	if pi.Name() != "PI" {
+		t.Error("name")
+	}
+	shedEvents, _ := drive(t, m, s, pi, 0)
+	ratio := float64(shedEvents) / float64(len(s))
+	if ratio < 0.3 || ratio > 0.5 {
+		t.Errorf("PI fixed ratio = %.3f, want ~0.4", ratio)
+	}
+}
+
+func TestPositionInputBoundMode(t *testing.T) {
+	m, s := ds1Machine(t)
+	pu := EstimatePositionUtility(m, s)
+	pi := NewPositionInput(pu, 10*event.Microsecond, 6)
+	shedEvents, stats := drive(t, m, s, pi, 100*event.Microsecond)
+	if shedEvents == 0 {
+		t.Error("PI shed nothing under sustained violation")
+	}
+	if stats.DroppedPMs != 0 {
+		t.Error("PI must not drop state")
+	}
+	pi2 := NewPositionInput(pu, 10*event.Microsecond, 6)
+	shedEvents, _ = drive(t, m, s, pi2, 1*event.Microsecond)
+	if shedEvents != 0 {
+		t.Error("PI shed without violation")
+	}
+}
+
+// PI should beat RI at equal ratios on a workload where position
+// structure matters: it preferentially sheds never-matching types (zero
+// tail mass) and late events of early types.
+func TestPositionBeatsRandomInput(t *testing.T) {
+	m, s := ds1Machine(t)
+	pu := EstimatePositionUtility(m, s)
+	work := gen.DS1(gen.DS1Config{Events: 3000, Seed: 88, InterArrival: testIA})
+	count := func(strat interface {
+		Attach(*engine.Engine)
+		AdmitEvent(*event.Event, event.Time) bool
+	}) int {
+		en := engine.New(m, engine.DefaultCosts())
+		strat.Attach(en)
+		matches := 0
+		for _, e := range work {
+			if !strat.AdmitEvent(e, e.Time) {
+				continue
+			}
+			matches += len(en.Process(e).Matches)
+		}
+		return matches
+	}
+	ri := count(NewRandomInputRatio(0.4, 9))
+	pi := count(NewPositionInputRatio(pu, 0.4, 9))
+	if pi <= ri {
+		t.Errorf("PI matches %d <= RI matches %d at equal ratio", pi, ri)
+	}
+}
+
+func TestPositionCountWindowApproximation(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 200 EVENTS`)
+	m := nfa.MustCompile(q)
+	s := gen.DS1(gen.DS1Config{Events: 2000, Seed: 90, InterArrival: testIA})
+	pu := EstimatePositionUtility(m, s)
+	if pu.window <= 0 {
+		t.Fatal("count-window approximation failed")
+	}
+}

@@ -1,0 +1,319 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/shed"
+	"cepshed/internal/vclock"
+)
+
+// RandomInput (RI) discards input events uniformly at random, the policy
+// implemented by stock streaming systems (Kafka, Heron). In bound mode a
+// drop controller ties the rate to the latency violation; in ratio mode
+// the rate is fixed.
+type RandomInput struct {
+	rng  *rand.Rand
+	ctrl *shed.DropController
+	rate float64 // fixed ratio when ctrl == nil
+}
+
+// NewRandomInput builds the latency-bound-driven RI.
+func NewRandomInput(bound event.Time, seed int64) *RandomInput {
+	return &RandomInput{rng: rand.New(rand.NewSource(seed)), ctrl: shed.NewDropController(bound)}
+}
+
+// NewRandomInputRatio builds the fixed-ratio RI (Fig 6).
+func NewRandomInputRatio(ratio float64, seed int64) *RandomInput {
+	return &RandomInput{rng: rand.New(rand.NewSource(seed)), rate: ratio}
+}
+
+// Name returns "RI".
+func (r *RandomInput) Name() string { return "RI" }
+
+// Attach is a no-op.
+func (r *RandomInput) Attach(*engine.Engine) {}
+
+// AdmitEvent drops events at the current rate.
+func (r *RandomInput) AdmitEvent(e *event.Event, now event.Time) bool {
+	rate := r.rate
+	if r.ctrl != nil {
+		rate = r.ctrl.Rate()
+	}
+	return r.rng.Float64() >= rate
+}
+
+// Observe is a no-op.
+func (r *RandomInput) Observe(*engine.Result, event.Time) {}
+
+// Control updates the drop controller.
+func (r *RandomInput) Control(now event.Time, lat event.Time) vclock.Cost {
+	if r.ctrl != nil {
+		r.ctrl.Update(lat)
+	}
+	return 0
+}
+
+// SelectivityInput (SI) discards the events with the lowest estimated
+// query selectivity — semantic load shedding in the tradition of
+// Tatbul et al. and Gedik et al.
+type SelectivityInput struct {
+	sel  *Selectivity
+	rng  *rand.Rand
+	ctrl *shed.DropController
+	util *shed.UtilityThreshold // fixed-ratio mode
+	thr  *shed.UtilityThreshold // bound mode, rebuilt when the rate moves
+	seed int64
+}
+
+// NewSelectivityInput builds the latency-bound-driven SI.
+func NewSelectivityInput(sel *Selectivity, bound event.Time, seed int64) *SelectivityInput {
+	return &SelectivityInput{
+		sel:  sel,
+		rng:  rand.New(rand.NewSource(seed)),
+		ctrl: shed.NewDropController(bound),
+		seed: seed,
+	}
+}
+
+// NewSelectivityInputRatio builds the fixed-ratio SI (Fig 6).
+func NewSelectivityInputRatio(sel *Selectivity, ratio float64, seed int64) *SelectivityInput {
+	return &SelectivityInput{
+		sel:  sel,
+		rng:  rand.New(rand.NewSource(seed)),
+		util: shed.NewUtilityThreshold(ratio, 512, seed),
+	}
+}
+
+// Name returns "SI".
+func (s *SelectivityInput) Name() string { return "SI" }
+
+// Attach is a no-op.
+func (s *SelectivityInput) Attach(*engine.Engine) {}
+
+// AdmitEvent sheds the lowest-utility fraction of events matching the
+// current drop rate (bound mode) or the fixed ratio.
+func (s *SelectivityInput) AdmitEvent(e *event.Event, now event.Time) bool {
+	if s.util != nil {
+		return !s.util.ShouldShed(s.sel.EventUtility(e))
+	}
+	rate := s.ctrl.Rate()
+	if rate <= 0 {
+		return true
+	}
+	if s.thr == nil || s.thr.Target != rate {
+		s.thr = shed.NewUtilityThreshold(rate, 256, s.seed+int64(rate*1e6))
+	}
+	return !s.thr.ShouldShed(s.sel.EventUtility(e))
+}
+
+// Observe is a no-op.
+func (s *SelectivityInput) Observe(*engine.Result, event.Time) {}
+
+// Control updates the drop controller.
+func (s *SelectivityInput) Control(now event.Time, lat event.Time) vclock.Cost {
+	if s.ctrl != nil {
+		s.ctrl.Update(lat)
+	}
+	return 0
+}
+
+// RandomState (RS) discards a random fraction of the live partial
+// matches whenever the latency bound is violated (with a re-trigger
+// delay), or keeps a fixed dropped/created ratio in ratio mode.
+type RandomState struct {
+	rng   *rand.Rand
+	bound event.Time
+	en    *engine.Engine
+
+	delay     int
+	sinceShed int
+
+	ratio   float64 // > 0 in ratio mode
+	tracker shed.RatioTracker
+	period  int
+	sinceGC int
+}
+
+// NewRandomState builds the latency-bound-driven RS.
+func NewRandomState(bound event.Time, seed int64) *RandomState {
+	return &RandomState{rng: rand.New(rand.NewSource(seed)), bound: bound, delay: 200, sinceShed: 200}
+}
+
+// NewRandomStateRatio builds the fixed-ratio RS (Fig 6).
+func NewRandomStateRatio(ratio float64, seed int64) *RandomState {
+	return &RandomState{
+		rng:     rand.New(rand.NewSource(seed)),
+		ratio:   ratio,
+		tracker: shed.RatioTracker{Target: ratio},
+		period:  32,
+	}
+}
+
+// Name returns "RS".
+func (r *RandomState) Name() string { return "RS" }
+
+// Attach keeps the engine and tracks creations in ratio mode.
+func (r *RandomState) Attach(en *engine.Engine) {
+	r.en = en
+	if r.ratio > 0 {
+		prev := en.OnCreate
+		en.OnCreate = func(pm *engine.PartialMatch) {
+			r.tracker.Seen(1)
+			if prev != nil {
+				prev(pm)
+			}
+		}
+	}
+}
+
+// AdmitEvent admits everything (state-based strategy).
+func (r *RandomState) AdmitEvent(*event.Event, event.Time) bool { return true }
+
+// Observe is a no-op.
+func (r *RandomState) Observe(*engine.Result, event.Time) {}
+
+// Control sheds random partial matches.
+func (r *RandomState) Control(now event.Time, lat event.Time) vclock.Cost {
+	if r.ratio > 0 {
+		r.sinceGC++
+		if r.sinceGC < r.period {
+			return 0
+		}
+		r.sinceGC = 0
+		deficit := r.tracker.Deficit()
+		if deficit <= 0 {
+			return 0
+		}
+		live := r.en.LiveCount()
+		if live == 0 {
+			return 0
+		}
+		p := float64(deficit) / float64(live)
+		n, work := r.en.DropIf(func(pm *engine.PartialMatch) bool { return r.rng.Float64() < p })
+		r.tracker.Shed(n)
+		return work
+	}
+	r.sinceShed++
+	if lat <= r.bound || r.sinceShed < r.delay {
+		return 0
+	}
+	r.sinceShed = 0
+	v := float64(lat-r.bound) / float64(lat)
+	_, work := r.en.DropIf(func(pm *engine.PartialMatch) bool { return r.rng.Float64() < v })
+	return work
+}
+
+// SelectivityState (SS) discards the partial matches with the lowest
+// estimated completion probability — the state-based analogue of semantic
+// shedding, following the idea of prioritizing by historic selectivity.
+type SelectivityState struct {
+	sel   *Selectivity
+	rng   *rand.Rand
+	bound event.Time
+	en    *engine.Engine
+
+	delay     int
+	sinceShed int
+
+	ratio   float64
+	tracker shed.RatioTracker
+	period  int
+	sinceGC int
+}
+
+// NewSelectivityState builds the latency-bound-driven SS.
+func NewSelectivityState(sel *Selectivity, bound event.Time, seed int64) *SelectivityState {
+	return &SelectivityState{
+		sel: sel, rng: rand.New(rand.NewSource(seed)),
+		bound: bound, delay: 200, sinceShed: 200,
+	}
+}
+
+// NewSelectivityStateRatio builds the fixed-ratio SS (Fig 6).
+func NewSelectivityStateRatio(sel *Selectivity, ratio float64, seed int64) *SelectivityState {
+	return &SelectivityState{
+		sel: sel, rng: rand.New(rand.NewSource(seed)),
+		ratio:   ratio,
+		tracker: shed.RatioTracker{Target: ratio},
+		period:  32,
+	}
+}
+
+// Name returns "SS".
+func (s *SelectivityState) Name() string { return "SS" }
+
+// Attach keeps the engine and tracks creations in ratio mode.
+func (s *SelectivityState) Attach(en *engine.Engine) {
+	s.en = en
+	if s.ratio > 0 {
+		prev := en.OnCreate
+		en.OnCreate = func(pm *engine.PartialMatch) {
+			s.tracker.Seen(1)
+			if prev != nil {
+				prev(pm)
+			}
+		}
+	}
+}
+
+// AdmitEvent admits everything (state-based strategy).
+func (s *SelectivityState) AdmitEvent(*event.Event, event.Time) bool { return true }
+
+// Observe is a no-op.
+func (s *SelectivityState) Observe(*engine.Result, event.Time) {}
+
+// Control sheds the lowest-selectivity partial matches.
+func (s *SelectivityState) Control(now event.Time, lat event.Time) vclock.Cost {
+	var deficit int
+	if s.ratio > 0 {
+		s.sinceGC++
+		if s.sinceGC < s.period {
+			return 0
+		}
+		s.sinceGC = 0
+		deficit = s.tracker.Deficit()
+	} else {
+		s.sinceShed++
+		if lat <= s.bound || s.sinceShed < s.delay {
+			return 0
+		}
+		s.sinceShed = 0
+		v := float64(lat-s.bound) / float64(lat)
+		deficit = int(v * float64(s.en.LiveCount()))
+	}
+	if deficit <= 0 {
+		return 0
+	}
+	pms := s.en.PartialMatches()
+	type scored struct {
+		id   uint64
+		util float64
+	}
+	cands := make([]scored, 0, len(pms))
+	for _, pm := range pms {
+		cands = append(cands, scored{pm.ID(), s.sel.PMUtility(pm)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].util < cands[j].util })
+	if deficit > len(cands) {
+		deficit = len(cands)
+	}
+	shedSet := make(map[uint64]bool, deficit)
+	for i := 0; i < deficit; i++ {
+		shedSet[cands[i].id] = true
+	}
+	n, work := s.en.DropIf(func(pm *engine.PartialMatch) bool { return shedSet[pm.ID()] })
+	if s.ratio > 0 {
+		s.tracker.Shed(n)
+	}
+	return work
+}
+
+var (
+	_ shed.Strategy = (*RandomInput)(nil)
+	_ shed.Strategy = (*SelectivityInput)(nil)
+	_ shed.Strategy = (*RandomState)(nil)
+	_ shed.Strategy = (*SelectivityState)(nil)
+)

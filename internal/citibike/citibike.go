@@ -1,0 +1,150 @@
+// Package citibike simulates a bike-sharing trip stream with the
+// structural properties the paper's case study depends on (§II-A
+// Example 1, §VI-I): trips of the same bike chain end-to-start because
+// bikes physically move between stations, chains toward a small set of
+// "hot" destination stations appear in bursts, and burst periods multiply
+// the trip rate — producing the drastic partial-match spikes of Fig 1.
+//
+// The real citibike dataset (October 2018) is not redistributable and the
+// environment is offline; DESIGN.md §4 documents why this synthetic
+// equivalent preserves the evaluated behaviour.
+package citibike
+
+import (
+	"math/rand"
+
+	"cepshed/internal/event"
+)
+
+// Spike is one burst period within the stream.
+type Spike struct {
+	// StartFrac/EndFrac delimit the burst as fractions of the trip count.
+	StartFrac, EndFrac float64
+	// RateMul multiplies the trip rate during the burst (gaps shrink).
+	RateMul float64
+	// HotBias is the probability that a burst trip ends at a hot station.
+	HotBias float64
+}
+
+// Config parameterizes the simulator.
+type Config struct {
+	// Trips is the number of trip events.
+	Trips int
+	// Stations is the number of stations; stations 7-9 are the "hot"
+	// destinations of Listing 1. Default 20 (minimum 10).
+	Stations int
+	// Bikes is the fleet size. Default 150.
+	Bikes int
+	// MeanGap is the mean inter-trip gap outside bursts. Default 2s.
+	MeanGap event.Time
+	// ChainBias is the probability that the next trip reuses a recently
+	// moved bike, which lengthens same-bike chains. Default 0.5.
+	ChainBias float64
+	// Spikes are the burst periods. Default: one burst over the middle
+	// fifth of the stream, 6x rate, 0.7 hot bias.
+	Spikes []Spike
+	// MemberFrac is the fraction of trips by members (attribute "user").
+	// Default 0.8.
+	MemberFrac float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trips <= 0 {
+		c.Trips = 20000
+	}
+	if c.Stations < 10 {
+		c.Stations = 20
+	}
+	if c.Bikes <= 0 {
+		c.Bikes = 150
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = 2 * event.Second
+	}
+	if c.ChainBias <= 0 {
+		c.ChainBias = 0.5
+	}
+	if c.Spikes == nil {
+		c.Spikes = []Spike{{StartFrac: 0.4, EndFrac: 0.6, RateMul: 6, HotBias: 0.7}}
+	}
+	if c.MemberFrac <= 0 {
+		c.MemberFrac = 0.8
+	}
+	return c
+}
+
+// hot stations per Listing 1 (b.end IN (7,8,9)).
+var hotStations = []int64{7, 8, 9}
+
+// Generate produces the trip stream. Every event has type "BikeTrip" with
+// attributes bike, start, end (ints) and user (string: member/casual).
+func Generate(cfg Config) event.Stream {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Bike positions; recently moved bikes are chain candidates.
+	pos := make([]int64, cfg.Bikes)
+	for i := range pos {
+		pos[i] = int64(1 + rng.Intn(cfg.Stations))
+	}
+	recent := make([]int, 0, 64)
+
+	var b event.Builder
+	t := event.Time(0)
+	for i := 0; i < cfg.Trips; i++ {
+		frac := float64(i) / float64(cfg.Trips)
+		gap := cfg.MeanGap
+		hotBias := 0.15
+		inSpike := false
+		for _, sp := range cfg.Spikes {
+			if frac >= sp.StartFrac && frac < sp.EndFrac {
+				gap = event.Time(float64(cfg.MeanGap) / sp.RateMul)
+				hotBias = sp.HotBias
+				inSpike = true
+			}
+		}
+		t += event.Time(float64(gap) * (0.5 + rng.Float64()))
+
+		// Pick a bike: bias toward recently moved ones (chains), more so
+		// during bursts.
+		var bike int
+		chainP := cfg.ChainBias
+		if inSpike {
+			chainP = 0.8
+		}
+		if len(recent) > 0 && rng.Float64() < chainP {
+			bike = recent[rng.Intn(len(recent))]
+		} else {
+			bike = rng.Intn(cfg.Bikes)
+		}
+		start := pos[bike]
+		var end int64
+		if rng.Float64() < hotBias {
+			end = hotStations[rng.Intn(len(hotStations))]
+		} else {
+			end = int64(1 + rng.Intn(cfg.Stations))
+		}
+		if end == start {
+			end = 1 + (start % int64(cfg.Stations))
+		}
+		pos[bike] = end
+		if len(recent) >= 64 {
+			recent = recent[1:]
+		}
+		recent = append(recent, bike)
+
+		user := "casual"
+		if rng.Float64() < cfg.MemberFrac {
+			user = "member"
+		}
+		b.Append(event.New("BikeTrip", t, map[string]event.Value{
+			"bike":  event.Int(int64(bike)),
+			"start": event.Int(start),
+			"end":   event.Int(end),
+			"user":  event.Str(user),
+		}))
+	}
+	return b.Finish()
+}

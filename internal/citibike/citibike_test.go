@@ -1,0 +1,108 @@
+package citibike
+
+import (
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	s := Generate(Config{Trips: 5000, Seed: 1})
+	if len(s) != 5000 {
+		t.Fatalf("trips = %d", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s[:100] {
+		if e.Type != "BikeTrip" {
+			t.Fatalf("type = %s", e.Type)
+		}
+		if e.Int("start") == e.Int("end") {
+			t.Fatal("trip with identical start and end")
+		}
+		if u := e.Str("user"); u != "member" && u != "casual" {
+			t.Fatalf("user = %q", u)
+		}
+	}
+}
+
+func TestTripsChainPerBike(t *testing.T) {
+	// Physical consistency: consecutive trips of the same bike must chain
+	// end-to-start — the property HotPaths' incremental predicates need.
+	s := Generate(Config{Trips: 3000, Seed: 2})
+	lastEnd := map[int64]int64{}
+	for _, e := range s {
+		bike := e.Int("bike")
+		if prev, ok := lastEnd[bike]; ok {
+			if e.Int("start") != prev {
+				t.Fatalf("bike %d starts at %d after ending at %d",
+					bike, e.Int("start"), prev)
+			}
+		}
+		lastEnd[bike] = e.Int("end")
+	}
+}
+
+func TestSpikeRaisesRateAndPMs(t *testing.T) {
+	s := Generate(Config{Trips: 3000, Seed: 3})
+	// Gap inside the default burst (40-60%) must be much smaller.
+	mid := s[int(0.45*float64(len(s))):int(0.55*float64(len(s)))]
+	head := s[:len(s)/5]
+	midGap := float64(mid[len(mid)-1].Time-mid[0].Time) / float64(len(mid))
+	headGap := float64(head[len(head)-1].Time-head[0].Time) / float64(len(head))
+	if midGap > headGap/3 {
+		t.Errorf("burst gap %.0f not << base gap %.0f", midGap, headGap)
+	}
+
+	// Fig 1's shape: the live partial-match count spikes during the burst.
+	m := nfa.MustCompile(query.HotPaths("2 min", 1, 4))
+	en := engine.New(m, engine.DefaultCosts())
+	maxBefore, maxDuring := 0, 0
+	for i, e := range s {
+		en.Process(e)
+		frac := float64(i) / float64(len(s))
+		if frac < 0.35 {
+			if en.LiveCount() > maxBefore {
+				maxBefore = en.LiveCount()
+			}
+		} else if frac >= 0.42 && frac < 0.6 {
+			if en.LiveCount() > maxDuring {
+				maxDuring = en.LiveCount()
+			}
+		}
+	}
+	if maxDuring < 3*maxBefore {
+		t.Errorf("PM spike %d not >> pre-burst max %d", maxDuring, maxBefore)
+	}
+	t.Logf("PM peak before burst: %d, during: %d", maxBefore, maxDuring)
+}
+
+func TestHotPathsQueryFindsMatches(t *testing.T) {
+	s := Generate(Config{Trips: 2500, Seed: 4})
+	m := nfa.MustCompile(query.HotPaths("3 min", 2, 5))
+	en := engine.New(m, engine.DefaultCosts())
+	matches := 0
+	for _, e := range s {
+		matches += len(en.Process(e).Matches)
+	}
+	if matches == 0 {
+		t.Fatal("hot-path query found no matches on the simulated data")
+	}
+	t.Logf("hot-path matches: %d", matches)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Trips: 500, Seed: 9})
+	b := Generate(Config{Trips: 500, Seed: 9})
+	for i := range a {
+		if a[i].Int("bike") != b[i].Int("bike") || a[i].Time != b[i].Time {
+			t.Fatal("streams diverge")
+		}
+	}
+}
+
+var _ = event.Second

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/sketch"
+)
+
+// Adapter performs online adaptation of the cost model (§V-B): it tracks
+// per-class creation counts and per-(class, slice) contribution and
+// consumption credits through count-min sketches and, at the end of each
+// time-slice epoch, folds them into the estimates with
+//
+//	Γnew = (1−w)·Γold + w·Γincremented,   w = 0.5
+//
+// where the increment is the per-member credit rate of the class during
+// the epoch. Credits walk the full ancestor chain of the originating
+// partial match, mirroring the offline attribution of Eqs. 3 and 4, and
+// land in the ancestor's CURRENT slice so the estimates keep describing
+// remaining value. Classes that create members but earn no credits decay
+// — that is how the model notices a distribution change (Fig 12).
+type Adapter struct {
+	model *Model
+	// W is the update weight (paper: 0.5).
+	W float64
+
+	contribCnt *sketch.CountMin // per (state, class, slice)
+	consumeCnt *sketch.CountMin // per (state, class, slice)
+	createdCnt *sketch.CountMin // per (state, class)
+
+	epochLen  event.Time
+	nextFold  event.Time
+	epochSeqs uint64
+	nextSeq   uint64
+	folds     uint64
+}
+
+type cellKey struct{ state, class, slice int }
+
+func (k cellKey) String() string {
+	return fmt.Sprintf("%d:%d:%d", k.state, k.class, k.slice)
+}
+
+func classKey(state, class int) string { return fmt.Sprintf("%d:%d", state, class) }
+
+// NewAdapter builds an adapter over a trained model.
+func NewAdapter(model *Model) *Adapter {
+	a := &Adapter{
+		model:      model,
+		W:          0.5,
+		contribCnt: sketch.NewCountMinSized(4, 512),
+		consumeCnt: sketch.NewCountMinSized(4, 512),
+		createdCnt: sketch.NewCountMinSized(4, 256),
+	}
+	if model.sliceLen > 0 {
+		a.epochLen = model.sliceLen
+	} else {
+		a.epochSeqs = uint64(model.sliceEvents)
+	}
+	return a
+}
+
+// scale quantizes float increments into sketch counts.
+const countScale = 16
+
+// OnCreate records a new partial match: its class's creation count rises,
+// and its resource cost is credited to every ancestor's cell at the
+// ancestor's current slice ("the counts for the class and time slice of
+// the originating partial matches are incremented", §V-B).
+func (a *Adapter) OnCreate(pm *engine.PartialMatch, now event.Time, nowSeq uint64) {
+	if pm.Class >= 0 {
+		a.createdCnt.Add(classKey(pm.State(), pm.Class), 1)
+	}
+	omega := uint64(a.model.omega(pm) * countScale)
+	for anc := pm.Parent(); anc != nil; anc = anc.Parent() {
+		if anc.Class < 0 {
+			continue
+		}
+		cell := cellKey{anc.State(), anc.Class, a.model.SliceOf(anc, now, nowSeq)}
+		a.consumeCnt.Add(cell.String(), omega)
+	}
+}
+
+// OnMatch records a complete match: every ancestor of the source run
+// gains contribution in its current slice.
+func (a *Adapter) OnMatch(m engine.Match, now event.Time, nowSeq uint64) {
+	for anc := m.Source; anc != nil; anc = anc.Parent() {
+		if anc.Class < 0 {
+			continue
+		}
+		cell := cellKey{anc.State(), anc.Class, a.model.SliceOf(anc, now, nowSeq)}
+		a.contribCnt.Add(cell.String(), countScale)
+	}
+}
+
+// MaybeFold folds accumulated counts into the model at slice-epoch
+// boundaries and resets the sketches.
+func (a *Adapter) MaybeFold(now event.Time, nowSeq uint64) {
+	if a.epochLen > 0 {
+		if a.nextFold == 0 {
+			a.nextFold = now + a.epochLen
+			return
+		}
+		if now < a.nextFold {
+			return
+		}
+		a.nextFold = now + a.epochLen
+	} else {
+		if a.nextSeq == 0 {
+			a.nextSeq = nowSeq + a.epochSeqs
+			return
+		}
+		if nowSeq < a.nextSeq {
+			return
+		}
+		a.nextSeq = nowSeq + a.epochSeqs
+	}
+	a.fold()
+}
+
+func (a *Adapter) fold() {
+	a.folds++
+	for state := range a.model.states {
+		for class := 0; class < a.model.NumClasses(state); class++ {
+			created := a.createdCnt.Count(classKey(state, class))
+			if created == 0 {
+				continue // no evidence this epoch
+			}
+			for slice := 0; slice < a.model.cfg.Slices; slice++ {
+				key := cellKey{state, class, slice}.String()
+				incContrib := float64(a.contribCnt.Count(key)) / countScale / float64(created)
+				incConsume := float64(a.consumeCnt.Count(key)) / countScale / float64(created)
+				oldC, oldW := a.model.Estimate(state, class, slice)
+				newC := (1-a.W)*oldC + a.W*incContrib
+				newW := (1-a.W)*oldW + a.W*incConsume
+				if !a.model.cfg.ResourceCosts {
+					// Without explicit resource costs every match weighs
+					// 1; adaptation only moves contribution.
+					newW = oldW
+				}
+				a.model.setEstimate(state, class, slice, newC, newW)
+			}
+		}
+	}
+	a.contribCnt.Reset()
+	a.consumeCnt.Reset()
+	a.createdCnt.Reset()
+}
+
+// Folds returns how many epochs have been folded (observability).
+func (a *Adapter) Folds() uint64 { return a.folds }

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"sort"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/knapsack"
+	"cepshed/internal/shed"
+	"cepshed/internal/vclock"
+)
+
+// Mode selects which shedding functions the strategy applies.
+type Mode uint8
+
+const (
+	// ModeHybrid applies both ρS and ρI from one shedding set (§IV-C).
+	ModeHybrid Mode = iota
+	// ModeStateOnly applies only state-based shedding (HyS).
+	ModeStateOnly
+	// ModeInputOnly applies only input-based shedding (HyI).
+	ModeInputOnly
+)
+
+// Config configures the hybrid shedding strategy.
+type Config struct {
+	// Bound is the latency bound θ.
+	Bound event.Time
+	// Mode selects hybrid, state-only, or input-only operation.
+	Mode Mode
+	// DelayEvents is j: the minimum number of processed events between
+	// consecutive state-shedding triggers, so the effect of a shed can
+	// materialize in the smoothed latency before re-triggering (§IV-C).
+	// Default 1000, matching the latency smoothing window; shorter delays
+	// re-shed against a stale signal and cumulatively over-shed.
+	DelayEvents int
+	// Solver selects the knapsack algorithm (§V-C). Exact DP by default.
+	Solver knapsack.Solver
+	// Adapt enables online adaptation of the cost model (§V-B).
+	Adapt bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DelayEvents <= 0 {
+		c.DelayEvents = 1000
+	}
+	return c
+}
+
+// Hybrid is the paper's shedding strategy: one cost model drives both
+// state-based shedding (discarding partial matches from the shedding set)
+// and input-based shedding (a class-predicate filter over raw events that
+// stays active until the latency bound is met again).
+type Hybrid struct {
+	model   *Model
+	cfg     Config
+	adapter *Adapter
+	en      *engine.Engine
+
+	current     *SheddingSet
+	inputActive bool
+	sinceShed   int
+
+	now    event.Time
+	nowSeq uint64
+
+	// Stats
+	ShedTriggers  uint64
+	ShedEventsCnt uint64
+}
+
+// NewHybrid builds the strategy over a trained model.
+func NewHybrid(model *Model, cfg Config) *Hybrid {
+	cfg = cfg.withDefaults()
+	h := &Hybrid{model: model, cfg: cfg, sinceShed: cfg.DelayEvents}
+	if cfg.Adapt {
+		h.adapter = NewAdapter(model)
+	}
+	return h
+}
+
+// Name identifies the strategy variant.
+func (h *Hybrid) Name() string {
+	switch h.cfg.Mode {
+	case ModeStateOnly:
+		return "HyS"
+	case ModeInputOnly:
+		return "HyI"
+	default:
+		return "Hybrid"
+	}
+}
+
+// Attach installs the classification hook: every new partial match is
+// classified by its state's decision tree immediately on creation (§V-B).
+func (h *Hybrid) Attach(en *engine.Engine) {
+	h.en = en
+	prev := en.OnCreate
+	en.OnCreate = func(pm *engine.PartialMatch) {
+		pm.Class = h.model.Classify(pm)
+		if h.adapter != nil {
+			h.adapter.OnCreate(pm, h.now, h.nowSeq)
+		}
+		if prev != nil {
+			prev(pm)
+		}
+	}
+}
+
+// AdmitEvent implements ρI: while input shedding is active, an event is
+// discarded when, for every state it could extend into, EVERY class
+// compatible with the event's own attribute values lies in the shedding
+// set — i.e. the class predicates prove the event worthless. Events of
+// types the pattern does not use are never filtered here (the engine
+// discards them for the base ingest cost anyway).
+func (h *Hybrid) AdmitEvent(e *event.Event, now event.Time) bool {
+	h.now = e.Time
+	h.nowSeq = e.Seq
+	if !h.inputActive || h.current == nil {
+		return true
+	}
+	matched := false
+	for s := range h.model.machine.States {
+		if h.model.machine.States[s].Comp.Type != e.Type {
+			continue
+		}
+		matched = true
+		for _, class := range h.model.EventCandidateClasses(s, e) {
+			if !h.current.ContainsClass(s, class) {
+				return true // some use of the event survives
+			}
+		}
+	}
+	if !matched {
+		return true
+	}
+	h.ShedEventsCnt++
+	return false
+}
+
+// Observe feeds complete matches into online adaptation.
+func (h *Hybrid) Observe(res *engine.Result, now event.Time) {
+	if h.adapter == nil {
+		return
+	}
+	for _, m := range res.Matches {
+		h.adapter.OnMatch(m, h.now, h.nowSeq)
+	}
+}
+
+// Control triggers shedding when the smoothed latency violates the bound:
+// it selects a shedding set sized by the relative violation (Eq. 6),
+// drops the partial matches it covers (ρS), and activates the derived
+// input filter until the bound is satisfied again.
+func (h *Hybrid) Control(now event.Time, lat event.Time) vclock.Cost {
+	h.sinceShed++
+	var work vclock.Cost
+	if h.adapter != nil {
+		h.adapter.MaybeFold(h.now, h.nowSeq)
+	}
+	if lat <= h.cfg.Bound {
+		h.inputActive = false
+		return work
+	}
+	if h.sinceShed < h.cfg.DelayEvents {
+		return work
+	}
+	violation := float64(lat-h.cfg.Bound) / float64(lat)
+	// Cap the per-trigger severity: the smoothed latency lags the queue
+	// state, so a very large apparent violation would select nearly every
+	// cell and blank the system; shedding in capped steps converges to
+	// the bound without the overshoot.
+	if violation > 0.6 {
+		violation = 0.6
+	}
+	ss := h.model.SelectSheddingSet(h.en.PartialMatches(), h.now, h.nowSeq, violation, h.cfg.Solver)
+	if ss == nil {
+		return work
+	}
+	h.current = ss
+	h.sinceShed = 0
+	h.ShedTriggers++
+	work += EstimationWork(ss.Items)
+
+	if h.cfg.Mode != ModeInputOnly {
+		_, dropWork := h.en.DropIf(func(pm *engine.PartialMatch) bool {
+			class := pm.Class
+			if class < 0 {
+				class = 0
+			}
+			return ss.Contains(pm.State(), class, h.model.SliceOf(pm, h.now, h.nowSeq))
+		})
+		work += dropWork
+	}
+	if h.cfg.Mode != ModeStateOnly {
+		h.inputActive = true
+	}
+	return work
+}
+
+// InputActive reports whether the input filter is currently applied.
+func (h *Hybrid) InputActive() bool { return h.inputActive }
+
+// CurrentSet returns the most recent shedding set (may be nil).
+func (h *Hybrid) CurrentSet() *SheddingSet { return h.current }
+
+var _ shed.Strategy = (*Hybrid)(nil)
+
+// FixedRatioHybrid is the fixed-shedding-ratio variant used by the
+// selection-quality experiment (Fig 6): instead of reacting to a latency
+// bound, it sheds a fixed fraction of data chosen by cost-model utility.
+// In input mode (HyI) it sheds the target fraction of input events with
+// the lowest class utility; in state mode (HyS) it continuously sheds the
+// lowest-utility partial matches to keep the dropped/created ratio at the
+// target.
+type FixedRatioHybrid struct {
+	model *Model
+	input bool
+	en    *engine.Engine
+
+	util    *shed.UtilityThreshold
+	tracker shed.RatioTracker
+	period  int
+	sinceGC int
+
+	now    event.Time
+	nowSeq uint64
+}
+
+// NewFixedRatioHybrid builds the fixed-ratio variant. input selects HyI
+// (events) versus HyS (partial matches).
+func NewFixedRatioHybrid(model *Model, ratio float64, input bool, seed int64) *FixedRatioHybrid {
+	return &FixedRatioHybrid{
+		model:   model,
+		input:   input,
+		util:    shed.NewUtilityThreshold(ratio, 512, seed),
+		tracker: shed.RatioTracker{Target: ratio},
+		period:  32,
+	}
+}
+
+// Name returns HyI or HyS.
+func (f *FixedRatioHybrid) Name() string {
+	if f.input {
+		return "HyI"
+	}
+	return "HyS"
+}
+
+// Attach installs classification and creation tracking.
+func (f *FixedRatioHybrid) Attach(en *engine.Engine) {
+	f.en = en
+	prev := en.OnCreate
+	en.OnCreate = func(pm *engine.PartialMatch) {
+		pm.Class = f.model.Classify(pm)
+		f.tracker.Seen(1)
+		if prev != nil {
+			prev(pm)
+		}
+	}
+}
+
+// AdmitEvent sheds the lowest-utility events at the target rate (HyI).
+func (f *FixedRatioHybrid) AdmitEvent(e *event.Event, now event.Time) bool {
+	f.now = e.Time
+	f.nowSeq = e.Seq
+	if !f.input {
+		return true
+	}
+	return !f.util.ShouldShed(f.eventUtility(e))
+}
+
+// eventUtility is the best class contribution the event could have
+// across the states it could extend (optimistic over its candidate
+// classes); events of irrelevant types have utility 0. An event that can
+// bind the FINAL state completes matches directly; no partial matches
+// ever rest there, so the trained classes carry no signal — such events
+// are priced as maximally valuable rather than worthless.
+func (f *FixedRatioHybrid) eventUtility(e *event.Event) float64 {
+	best := 0.0
+	m := f.model.machine
+	for s := range m.States {
+		if m.States[s].Comp.Type != e.Type {
+			continue
+		}
+		if m.Final(s) && !m.States[s].Comp.Kleene {
+			return 1e18
+		}
+		for _, class := range f.model.EventCandidateClasses(s, e) {
+			if u := f.model.ClassContribution(s, class); u > best {
+				best = u
+			}
+		}
+	}
+	return best
+}
+
+// Observe is a no-op for the fixed-ratio variant.
+func (f *FixedRatioHybrid) Observe(*engine.Result, event.Time) {}
+
+// Control keeps the dropped/created partial-match ratio at the target by
+// periodically shedding the lowest-utility cost-model CELLS — shedding is
+// realized per class, as §V-A prescribes, with only the marginal cell
+// shed partially to land on the target ratio.
+func (f *FixedRatioHybrid) Control(now event.Time, lat event.Time) vclock.Cost {
+	if f.input {
+		return 0
+	}
+	f.sinceGC++
+	if f.sinceGC < f.period {
+		return 0
+	}
+	f.sinceGC = 0
+	deficit := f.tracker.Deficit()
+	if deficit <= 0 {
+		return 0
+	}
+	pms := f.en.PartialMatches()
+	if len(pms) == 0 {
+		return 0
+	}
+	// Aggregate live matches into cells and rank cells by utility.
+	members := map[cellKey][]*engine.PartialMatch{}
+	for _, pm := range pms {
+		class := pm.Class
+		if class < 0 {
+			class = 0
+		}
+		cell := cellKey{pm.State(), class, f.model.SliceOf(pm, f.now, f.nowSeq)}
+		members[cell] = append(members[cell], pm)
+	}
+	cells := make([]scoredCell, 0, len(members))
+	for cell, ms := range members {
+		// The fixed-ratio budget is a COUNT of partial matches, so cells
+		// are ranked by the remaining contribution per member — the cost
+		// side is irrelevant when the quota is items, not resources.
+		c, _ := f.model.Estimate(cell.state, cell.class, cell.slice)
+		cells = append(cells, scoredCell{cell, c, ms})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].util != cells[j].util {
+			return cells[i].util < cells[j].util
+		}
+		return cells[i].cell.String() < cells[j].cell.String()
+	})
+	shedSet := make(map[uint64]bool, deficit)
+	for _, sc := range cells {
+		if deficit <= 0 {
+			break
+		}
+		take := sc.members
+		if len(take) > deficit {
+			take = take[:deficit] // partial marginal cell
+		}
+		for _, pm := range take {
+			shedSet[pm.ID()] = true
+		}
+		deficit -= len(take)
+	}
+	n, work := f.en.DropIf(func(pm *engine.PartialMatch) bool { return shedSet[pm.ID()] })
+	f.tracker.Shed(n)
+	return work + EstimationWork(len(cells))
+}
+
+// scoredCell pairs a cost-model cell with its utility and live members.
+type scoredCell struct {
+	cell    cellKey
+	util    float64
+	members []*engine.PartialMatch
+}
+
+var _ shed.Strategy = (*FixedRatioHybrid)(nil)

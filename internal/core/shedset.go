@@ -1,0 +1,106 @@
+package core
+
+import (
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/knapsack"
+)
+
+// SheddingSet is the outcome of shedding-set selection (§IV-B): the
+// (state, class, slice) cells whose live partial matches are to be shed,
+// plus the (state, class) pairs driving the input-based filter ρI.
+type SheddingSet struct {
+	// Cells are the selected cells.
+	Cells map[cellKey]bool
+	// Classes are the (state, class) pairs covered by the set, used to
+	// derive the input filter (§IV-C).
+	Classes map[[2]int]bool
+	// PredictedSavings is the consumption share the set covers.
+	PredictedSavings float64
+	// PredictedLoss is the contribution share the set gives up.
+	PredictedLoss float64
+	// Items is the number of knapsack items the selection ran over.
+	Items int
+}
+
+// Contains reports whether a live partial match falls into the set.
+func (ss *SheddingSet) Contains(state, class, slice int) bool {
+	if ss == nil {
+		return false
+	}
+	return ss.Cells[cellKey{state, class, slice}]
+}
+
+// ContainsClass reports whether a (state, class) pair is in the set.
+func (ss *SheddingSet) ContainsClass(state, class int) bool {
+	if ss == nil {
+		return false
+	}
+	return ss.Classes[[2]int{state, class}]
+}
+
+// SelectSheddingSet aggregates the live partial matches into cost-model
+// cells, computes per-cell relative contribution Δ+ and consumption Δ−
+// (Eqs. 5 and 7), and solves the covering knapsack of Eq. 8: minimize the
+// shed contribution subject to the shed consumption covering at least the
+// relative latency violation.
+func (model *Model) SelectSheddingSet(
+	pms []*engine.PartialMatch,
+	now event.Time, nowSeq uint64,
+	violation float64,
+	solver knapsack.Solver,
+) *SheddingSet {
+	if violation <= 0 || len(pms) == 0 {
+		return nil
+	}
+	if violation > 1 {
+		violation = 1
+	}
+	// Aggregate live matches into cells.
+	counts := map[cellKey]int{}
+	for _, pm := range pms {
+		class := pm.Class
+		if class < 0 {
+			class = 0
+		}
+		cell := cellKey{pm.State(), class, model.SliceOf(pm, now, nowSeq)}
+		counts[cell]++
+	}
+	cells := make([]cellKey, 0, len(counts))
+	items := make([]knapsack.Item, 0, len(counts))
+	var totalC, totalW float64
+	for cell, n := range counts {
+		c, w := model.Estimate(cell.state, cell.class, cell.slice)
+		c *= float64(n)
+		w *= float64(n)
+		id := len(cells)
+		cells = append(cells, cell)
+		items = append(items, knapsack.Item{ID: id, Value: c, Weight: w})
+		totalC += c
+		totalW += w
+	}
+	if totalW <= 0 {
+		return nil
+	}
+	// Normalize to shares so the violation is directly the cover bound.
+	for i := range items {
+		if totalC > 0 {
+			items[i].Value /= totalC
+		}
+		items[i].Weight /= totalW
+	}
+	shedIDs := knapsack.MinCover(items, violation, solver)
+	ss := &SheddingSet{
+		Cells:   make(map[cellKey]bool, len(shedIDs)),
+		Classes: map[[2]int]bool{},
+		Items:   len(items),
+	}
+	for _, id := range shedIDs {
+		cell := cells[id]
+		ss.Cells[cell] = true
+		ss.Classes[[2]int{cell.state, cell.class}] = true
+		ss.PredictedSavings += items[id].Weight
+		ss.PredictedLoss += items[id].Value
+	}
+	return ss
+}

@@ -1,0 +1,122 @@
+// Package csvio reads and writes event streams as CSV, in the format
+// cmd/cepgen emits: a header `seq,time_ns,type,<attr>...` followed by one
+// row per event. It is the interchange point for feeding externally
+// recorded data (e.g. real trip logs) into the engine.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"cepshed/internal/event"
+)
+
+// Read parses a CSV stream. Attribute cells are typed by content: integer
+// first, then float, otherwise string; empty cells mean "attribute
+// absent". Rows may be unordered in time; the returned stream is sorted
+// and renumbered.
+func Read(r io.Reader) (event.Stream, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	if len(header) < 3 || header[0] != "seq" || header[1] != "time_ns" || header[2] != "type" {
+		return nil, fmt.Errorf("csvio: header must start with seq,time_ns,type; got %v", header)
+	}
+	attrs := header[3:]
+	var b event.Builder
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: %w", line+1, err)
+		}
+		line++
+		if len(row) < 3 {
+			return nil, fmt.Errorf("csvio: line %d: too few columns", line)
+		}
+		ts, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("csvio: line %d: bad time_ns %q", line, row[1])
+		}
+		e := event.New(row[2], event.Time(ts), nil)
+		for i, a := range attrs {
+			col := 3 + i
+			if col >= len(row) || row[col] == "" {
+				continue
+			}
+			e.Attrs[a] = parseValue(row[col])
+		}
+		b.Add(e)
+	}
+	s := b.Finish()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	return s, nil
+}
+
+// parseValue types a cell: int, then float, else string.
+func parseValue(cell string) event.Value {
+	if i, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return event.Int(i)
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil {
+		return event.Float(f)
+	}
+	return event.Str(cell)
+}
+
+// Write emits a stream in the cepgen CSV format. The attribute schema is
+// the union of attributes across the stream, sorted by name.
+func Write(w io.Writer, s event.Stream) error {
+	attrSet := map[string]bool{}
+	for _, e := range s {
+		for a := range e.Attrs {
+			attrSet[a] = true
+		}
+	}
+	attrs := make([]string, 0, len(attrSet))
+	for a := range attrSet {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write(append([]string{"seq", "time_ns", "type"}, attrs...)); err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	row := make([]string, 3+len(attrs))
+	for _, e := range s {
+		row[0] = strconv.FormatUint(e.Seq, 10)
+		row[1] = strconv.FormatInt(int64(e.Time), 10)
+		row[2] = e.Type
+		for i, a := range attrs {
+			v, ok := e.Get(a)
+			switch {
+			case !ok:
+				row[3+i] = ""
+			case v.Kind == event.KindString:
+				row[3+i] = v.S
+			case v.Kind == event.KindFloat:
+				row[3+i] = strconv.FormatFloat(v.F, 'g', -1, 64)
+			default:
+				row[3+i] = strconv.FormatInt(v.I, 10)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("csvio: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

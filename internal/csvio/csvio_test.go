@@ -1,0 +1,106 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := gen.DS2(gen.DS2Config{Events: 500, Seed: 9})
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("len = %d, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], got[i]
+		if a.Type != b.Type || a.Time != b.Time || a.Seq != b.Seq {
+			t.Fatalf("event %d header mismatch: %v vs %v", i, a, b)
+		}
+		if len(a.Attrs) != len(b.Attrs) {
+			t.Fatalf("event %d attr count: %d vs %d", i, len(a.Attrs), len(b.Attrs))
+		}
+		for k, v := range a.Attrs {
+			if !b.Attrs[k].Equal(v) {
+				t.Fatalf("event %d attr %s: %v vs %v", i, k, v, b.Attrs[k])
+			}
+		}
+	}
+}
+
+func TestReadTypesCells(t *testing.T) {
+	src := `seq,time_ns,type,n,f,s
+0,100,A,7,2.5,hello
+1,200,B,,,world`
+	s, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Attrs["n"].Kind != event.KindInt || s[0].Int("n") != 7 {
+		t.Error("int cell mistyped")
+	}
+	if s[0].Attrs["f"].Kind != event.KindFloat || s[0].Float("f") != 2.5 {
+		t.Error("float cell mistyped")
+	}
+	if s[0].Str("s") != "hello" {
+		t.Error("string cell wrong")
+	}
+	// Empty cells mean absent attributes.
+	if _, ok := s[1].Get("n"); ok {
+		t.Error("empty cell became an attribute")
+	}
+	if s[1].Str("s") != "world" {
+		t.Error("second row string wrong")
+	}
+}
+
+func TestReadSortsUnorderedRows(t *testing.T) {
+	src := `seq,time_ns,type
+0,300,A
+1,100,B
+2,200,C`
+	s, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Type != "B" || s[1].Type != "C" || s[2].Type != "A" {
+		t.Errorf("rows not sorted by time: %v %v %v", s[0].Type, s[1].Type, s[2].Type)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		``,                          // no header
+		`foo,bar,baz`,               // wrong header
+		"seq,time_ns,type\n0,x,A",   // bad time
+		"seq,time_ns,type\n\"0,1,A", // malformed csv
+	}
+	for _, src := range bad {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) should fail", src)
+		}
+	}
+}
+
+func TestWriteEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "seq,time_ns,type") {
+		t.Errorf("header missing: %q", buf.String())
+	}
+}

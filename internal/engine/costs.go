@@ -1,0 +1,47 @@
+package engine
+
+import "cepshed/internal/vclock"
+
+// Costs calibrates the virtual work charged for engine operations, in
+// virtual nanoseconds. The absolute values stand in for the paper's
+// wall-clock measurements; what matters for reproduction is that work
+// scales with the number of partial matches touched and predicates
+// evaluated, so that partial-match spikes translate into latency spikes.
+type Costs struct {
+	// PerEvent is the base cost of ingesting one event.
+	PerEvent vclock.Cost
+	// PerPredicate is the cost of one predicate evaluation.
+	PerPredicate vclock.Cost
+	// PerExtension is the cost of branching/creating a partial match.
+	PerExtension vclock.Cost
+	// PerMatchEvent is the per-bound-event cost of materializing a
+	// complete match.
+	PerMatchEvent vclock.Cost
+	// PerExpiry is the cost of expiring one partial match.
+	PerExpiry vclock.Cost
+	// PerScan is the per-partial-match cost of the per-event scan (type
+	// checks, window checks); it makes idle state expensive to carry,
+	// which is what state-based shedding saves.
+	PerScan vclock.Cost
+	// PerShedEvent is the residual cost of an event discarded by
+	// input-based shedding (the shedding filter itself): input shedding
+	// is cheap but not free.
+	PerShedEvent vclock.Cost
+	// PerDrop is the cost of removing one partial match when state-based
+	// shedding discards it.
+	PerDrop vclock.Cost
+}
+
+// DefaultCosts returns the calibration used by all experiments.
+func DefaultCosts() Costs {
+	return Costs{
+		PerEvent:      100,
+		PerPredicate:  20,
+		PerExtension:  60,
+		PerMatchEvent: 10,
+		PerExpiry:     10,
+		PerScan:       8,
+		PerShedEvent:  15,
+		PerDrop:       12,
+	}
+}

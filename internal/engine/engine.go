@@ -1,0 +1,430 @@
+// Package engine is the CEP runtime: it evaluates a compiled query over a
+// stream under the exhaustive skip-till-any-match selection policy,
+// maintaining the set of partial matches, enforcing the window, and
+// accounting the virtual work of every operation. It exposes the partial
+// matches for inspection and removal, which is the attachment point for
+// state-based load shedding.
+package engine
+
+import (
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/vclock"
+)
+
+// Engine evaluates one query.
+type Engine struct {
+	m     *nfa.Machine
+	costs Costs
+
+	pms       []*PartialMatch
+	witnesses []*PartialMatch
+	nextID    uint64
+
+	// OnCreate, if set, is called for every newly created partial match
+	// (the cost model classifies matches here, §V-B).
+	OnCreate func(*PartialMatch)
+
+	// DeferredNegation switches negation handling from eager guard kills
+	// to witness state: events of a negated type are stored as
+	// zero-contribution witness entries among the partial matches and
+	// checked only when a match completes. Witnesses are shed-eligible,
+	// so state-based shedding can fabricate matches — the false-positive
+	// mechanism the paper's non-monotonicity experiment measures (§VI-H).
+	DeferredNegation bool
+
+	stats Stats
+}
+
+// Stats aggregates engine counters.
+type Stats struct {
+	Events        uint64 // events processed (not shed)
+	CreatedPMs    uint64
+	ExpiredPMs    uint64
+	KilledByGuard uint64
+	DroppedPMs    uint64 // removed by state-based shedding
+	Matches       uint64
+	PredEvals     uint64
+}
+
+// New builds an engine for a compiled machine.
+func New(m *nfa.Machine, costs Costs) *Engine {
+	return &Engine{m: m, costs: costs}
+}
+
+// Machine returns the compiled automaton.
+func (en *Engine) Machine() *nfa.Machine { return en.m }
+
+// Stats returns a copy of the engine counters.
+func (en *Engine) Stats() Stats { return en.stats }
+
+// LiveCount returns the number of live partial matches.
+func (en *Engine) LiveCount() int { return len(en.pms) }
+
+// PartialMatches returns the live partial matches. The slice is owned by
+// the engine; callers must not retain it across Process calls.
+func (en *Engine) PartialMatches() []*PartialMatch { return en.pms }
+
+// Result reports the outcome of processing one event.
+type Result struct {
+	// Work is the virtual cost incurred.
+	Work vclock.Cost
+	// Matches are the complete matches detected by this event.
+	Matches []Match
+}
+
+// Process evaluates the next stream event. Events must be fed in
+// non-decreasing time order.
+func (en *Engine) Process(e *event.Event) Result {
+	en.stats.Events++
+	res := Result{Work: en.costs.PerEvent}
+	w := &res.Work
+
+	n := len(en.m.States)
+	window := en.m.Query.Window
+
+	// Scan the pre-existing partial matches: expiry, negation guards,
+	// Kleene takes, and proceeds. Branches created here are appended and
+	// not re-scanned for this event.
+	existing := len(en.pms)
+	for i := 0; i < existing; i++ {
+		pm := en.pms[i]
+		if pm.dead {
+			continue
+		}
+		*w += en.costs.PerScan
+		if expired(window, pm, e) {
+			pm.dead = true
+			en.stats.ExpiredPMs++
+			*w += en.costs.PerExpiry
+			continue
+		}
+		if pm.witnessOf != nil {
+			continue // witnesses never extend
+		}
+		next := pm.cur + 1
+
+		// Negation guards active while waiting to bind state next
+		// (eager mode kills immediately; deferred mode records
+		// witnesses below instead).
+		if next < n && !en.DeferredNegation {
+			if en.checkGuards(pm, next, e, w) {
+				pm.dead = true
+				en.stats.KilledByGuard++
+				continue
+			}
+		}
+
+		// Kleene take at the current state.
+		st := &en.m.States[pm.cur]
+		if st.Comp.Kleene && e.Type == st.Comp.Type {
+			reps := pm.kleene[pm.cur]
+			if st.Comp.MaxReps == 0 || len(reps) < st.Comp.MaxReps {
+				if en.evalSet(st.Incremental, binding{pm: pm, current: e}, w) {
+					branch := pm.clone(en.allocID())
+					branch.kleene[pm.cur] = append(branch.kleene[pm.cur], e)
+					*w += en.costs.PerExtension
+					en.register(branch)
+					if en.m.Final(pm.cur) && len(branch.kleene[pm.cur]) >= st.Comp.MinReps {
+						en.tryEmit(branch, branch, e, &res)
+					}
+				}
+			}
+		}
+
+		// Proceed: bind the next state.
+		if next < n && e.Type == en.m.States[next].Comp.Type {
+			if st.Comp.Kleene && len(pm.kleene[pm.cur]) < st.Comp.MinReps {
+				continue // Kleene minimum not reached yet
+			}
+			en.tryBind(pm, next, e, &res)
+		}
+	}
+	en.compact()
+
+	// Deferred negation: store the event as a witness for every guard of
+	// its type. Witness entries join the partial-match set.
+	if en.DeferredNegation {
+		for s := range en.m.States {
+			for gi := range en.m.States[s].Guards {
+				g := &en.m.States[s].Guards[gi]
+				if g.Comp.Type != e.Type {
+					continue
+				}
+				wpm := &PartialMatch{
+					id:        en.allocID(),
+					m:         en.m,
+					cur:       s,
+					singles:   make([]*event.Event, n),
+					kleene:    make([][]*event.Event, n),
+					startTime: e.Time,
+					startSeq:  e.Seq,
+					Class:     -1,
+					Slice:     -1,
+					witnessOf: g,
+				}
+				wpm.singles[s] = e
+				*w += en.costs.PerExtension
+				en.witnesses = append(en.witnesses, wpm)
+				en.register(wpm)
+			}
+		}
+	}
+
+	// Start a new run if the event can bind state 0.
+	first := &en.m.States[0]
+	if e.Type == first.Comp.Type {
+		pm := &PartialMatch{
+			id:        en.allocID(),
+			m:         en.m,
+			singles:   make([]*event.Event, n),
+			kleene:    make([][]*event.Event, n),
+			startTime: e.Time,
+			startSeq:  e.Seq,
+			Class:     -1,
+			Slice:     -1,
+		}
+		ok := false
+		if first.Comp.Kleene {
+			// First repetition: paired incremental predicates are vacuous,
+			// and bind predicates cannot anchor at a Kleene state.
+			ok = en.evalSet(first.Incremental, binding{pm: pm, current: e}, w)
+			if ok {
+				pm.kleene[0] = []*event.Event{e}
+			}
+		} else {
+			pm.singles[0] = e
+			ok = en.evalSet(first.Bind, binding{pm: pm, current: e}, w)
+		}
+		if ok {
+			*w += en.costs.PerExtension
+			if n == 1 && !first.Comp.Kleene {
+				// Single-component pattern completes immediately.
+				en.stats.CreatedPMs++
+				en.tryEmit(pm, nil, e, &res)
+			} else {
+				en.register(pm)
+				if n == 1 && first.Comp.Kleene && 1 >= first.Comp.MinReps {
+					en.tryEmit(pm, pm, e, &res)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// checkGuards reports whether e violates a negation guard of state next.
+func (en *Engine) checkGuards(pm *PartialMatch, next int, e *event.Event, w *vclock.Cost) bool {
+	for _, g := range en.m.States[next].Guards {
+		if g.Comp.Type != e.Type {
+			continue
+		}
+		if en.evalSet(g.Preds, binding{pm: pm, current: e}, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryBind attempts to bind e at state next of pm, branching on success.
+func (en *Engine) tryBind(pm *PartialMatch, next int, e *event.Event, res *Result) {
+	st := &en.m.States[next]
+	w := &res.Work
+	if st.Comp.Kleene {
+		// First Kleene repetition of state next: incremental predicates
+		// pairing [i+1] with [i] are vacuous, lone [i] ones see e.
+		if !en.evalSet(st.Incremental, binding{pm: pm, current: e}, w) {
+			return
+		}
+		branch := pm.clone(en.allocID())
+		branch.cur = next
+		branch.kleene[next] = []*event.Event{e}
+		*w += en.costs.PerExtension
+		en.register(branch)
+		if en.m.Final(next) && 1 >= st.Comp.MinReps {
+			en.tryEmit(branch, branch, e, res)
+		}
+		return
+	}
+	if !en.evalSet(st.Bind, provisionalBinding{binding: binding{pm: pm, current: e}, state: next, cand: e}, w) {
+		return
+	}
+	if en.m.Final(next) {
+		// Completing a non-Kleene final state emits without keeping a run;
+		// the match derives from the extended run pm.
+		branch := pm.clone(en.allocID())
+		branch.cur = next
+		branch.singles[next] = e
+		en.stats.CreatedPMs++
+		en.tryEmit(branch, pm, e, res)
+		return
+	}
+	branch := pm.clone(en.allocID())
+	branch.cur = next
+	branch.singles[next] = e
+	*w += en.costs.PerExtension
+	en.register(branch)
+}
+
+// tryEmit evaluates completion predicates and emits a match. source is
+// the registered partial match the completion derives from (nil for
+// single-event matches).
+func (en *Engine) tryEmit(pm *PartialMatch, source *PartialMatch, e *event.Event, res *Result) {
+	if !en.evalSet(en.m.Completion, binding{pm: pm}, &res.Work) {
+		return
+	}
+	if en.DeferredNegation && en.violatedByWitness(pm, &res.Work) {
+		en.stats.KilledByGuard++
+		return
+	}
+	events := pm.Events()
+	res.Work += vclock.Cost(len(events)) * en.costs.PerMatchEvent
+	res.Matches = append(res.Matches, Match{Events: events, Detected: e.Time, Source: source})
+	en.stats.Matches++
+}
+
+// violatedByWitness checks a completing match against the live negation
+// witnesses: a witness of guard g falling strictly between the binding of
+// g's neighbouring positive states, and satisfying g's predicates,
+// invalidates the match. Shed witnesses are gone and cannot invalidate —
+// that is the false-positive path.
+func (en *Engine) violatedByWitness(pm *PartialMatch, w *vclock.Cost) bool {
+	for _, wit := range en.witnesses {
+		if wit.dead {
+			continue
+		}
+		*w += en.costs.PerScan
+		s := wit.cur // guard attaches to state s: gap is (state s-1, state s)
+		tNext := bindTimeAt(pm, s)
+		var tPrev event.Time
+		if s > 0 {
+			tPrev = lastTimeAt(pm, s-1)
+		}
+		wt := wit.startTime
+		if wt <= tPrev || wt >= tNext {
+			continue
+		}
+		if en.evalSet(wit.witnessOf.Preds, binding{pm: pm, current: wit.singles[s]}, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// bindTimeAt returns the time the match bound state s (first Kleene
+// repetition for Kleene states).
+func bindTimeAt(pm *PartialMatch, s int) event.Time {
+	if reps := pm.kleene[s]; len(reps) > 0 {
+		return reps[0].Time
+	}
+	if ev := pm.singles[s]; ev != nil {
+		return ev.Time
+	}
+	return 0
+}
+
+// lastTimeAt returns the time of the latest event bound at state s.
+func lastTimeAt(pm *PartialMatch, s int) event.Time {
+	if reps := pm.kleene[s]; len(reps) > 0 {
+		return reps[len(reps)-1].Time
+	}
+	if ev := pm.singles[s]; ev != nil {
+		return ev.Time
+	}
+	return 0
+}
+
+// evalSet evaluates a predicate conjunction; vacuous first-repetition
+// checks pass, any other error fails the conjunction.
+func (en *Engine) evalSet(preds []*query.Predicate, b query.Binding, w *vclock.Cost) bool {
+	for _, p := range preds {
+		*w += en.costs.PerPredicate
+		en.stats.PredEvals++
+		ok, err := query.EvalPredicate(p, b)
+		if err != nil {
+			if query.IsVacuous(err) {
+				continue
+			}
+			return false
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func expired(window query.Window, pm *PartialMatch, e *event.Event) bool {
+	if window.Duration > 0 && e.Time-pm.startTime > window.Duration {
+		return true
+	}
+	if window.Count > 0 && e.Seq-pm.startSeq >= uint64(window.Count) {
+		return true
+	}
+	return false
+}
+
+func (en *Engine) allocID() uint64 {
+	en.nextID++
+	return en.nextID
+}
+
+func (en *Engine) register(pm *PartialMatch) {
+	en.stats.CreatedPMs++
+	en.pms = append(en.pms, pm)
+	if en.OnCreate != nil {
+		en.OnCreate(pm)
+	}
+}
+
+// compact removes dead partial matches (and witnesses) in place.
+func (en *Engine) compact() {
+	live := en.pms[:0]
+	for _, pm := range en.pms {
+		if !pm.dead {
+			live = append(live, pm)
+		}
+	}
+	for i := len(live); i < len(en.pms); i++ {
+		en.pms[i] = nil
+	}
+	en.pms = live
+	if len(en.witnesses) > 0 {
+		liveW := en.witnesses[:0]
+		for _, wpm := range en.witnesses {
+			if !wpm.dead {
+				liveW = append(liveW, wpm)
+			}
+		}
+		for i := len(liveW); i < len(en.witnesses); i++ {
+			en.witnesses[i] = nil
+		}
+		en.witnesses = liveW
+	}
+}
+
+// DropIf removes every live partial match for which shed returns true
+// (state-based shedding, ρS) and returns the number removed along with
+// the virtual cost of the removal.
+func (en *Engine) DropIf(shed func(*PartialMatch) bool) (int, vclock.Cost) {
+	n := 0
+	for _, pm := range en.pms {
+		if !pm.dead && shed(pm) {
+			pm.dead = true
+			n++
+		}
+	}
+	if n > 0 {
+		en.compact()
+		en.stats.DroppedPMs += uint64(n)
+	}
+	return n, vclock.Cost(n) * en.costs.PerDrop
+}
+
+// Flush expires all remaining partial matches (end of stream).
+func (en *Engine) Flush() {
+	en.stats.ExpiredPMs += uint64(len(en.pms))
+	en.pms = nil
+	en.witnesses = nil
+}

@@ -1,0 +1,487 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+func run(t *testing.T, q *query.Query, s event.Stream) []Match {
+	t.Helper()
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	var out []Match
+	for _, e := range s {
+		out = append(out, en.Process(e).Matches...)
+	}
+	return out
+}
+
+func keys(ms []Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mkStream(evs ...*event.Event) event.Stream {
+	var b event.Builder
+	for _, e := range evs {
+		b.Add(e)
+	}
+	return b.Finish()
+}
+
+func attrsIV(id, v int64) map[string]event.Value {
+	return map[string]event.Value{"ID": event.Int(id), "V": event.Int(v)}
+}
+
+func TestSimpleSequenceMatch(t *testing.T) {
+	q := query.Q1("8ms")
+	s := mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 2)),
+		event.New("B", 2*event.Millisecond, attrsIV(1, 3)),
+		event.New("C", 3*event.Millisecond, attrsIV(1, 5)),
+	)
+	ms := run(t, q, s)
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1", len(ms))
+	}
+	if ms[0].Key() != "0,1,2" {
+		t.Errorf("key = %s", ms[0].Key())
+	}
+}
+
+func TestSkipTillAnyMatchCombinatorics(t *testing.T) {
+	// Two As and two Bs, all compatible with one C: 2x2 = 4 matches.
+	q := query.Q1("8ms")
+	s := mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 2)),
+		event.New("A", 2*event.Millisecond, attrsIV(1, 2)),
+		event.New("B", 3*event.Millisecond, attrsIV(1, 3)),
+		event.New("B", 4*event.Millisecond, attrsIV(1, 3)),
+		event.New("C", 5*event.Millisecond, attrsIV(1, 5)),
+	)
+	ms := run(t, q, s)
+	if len(ms) != 4 {
+		t.Fatalf("matches = %d, want 4: %v", len(ms), keys(ms))
+	}
+}
+
+func TestPredicateFiltering(t *testing.T) {
+	q := query.Q1("8ms")
+	s := mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 2)),
+		event.New("B", 2*event.Millisecond, attrsIV(2, 3)), // wrong ID
+		event.New("B", 3*event.Millisecond, attrsIV(1, 4)),
+		event.New("C", 4*event.Millisecond, attrsIV(1, 6)), // 2+4=6 ok
+		event.New("C", 5*event.Millisecond, attrsIV(1, 9)), // 2+4 != 9
+	)
+	ms := run(t, q, s)
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1: %v", len(ms), keys(ms))
+	}
+	if ms[0].Key() != "0,2,3" {
+		t.Errorf("key = %s", ms[0].Key())
+	}
+}
+
+func TestSequenceOrderRespected(t *testing.T) {
+	// C before B: no match.
+	q := query.Q1("8ms")
+	s := mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 2)),
+		event.New("C", 2*event.Millisecond, attrsIV(1, 5)),
+		event.New("B", 3*event.Millisecond, attrsIV(1, 3)),
+	)
+	if ms := run(t, q, s); len(ms) != 0 {
+		t.Fatalf("matches = %d, want 0", len(ms))
+	}
+}
+
+func TestTimeWindowExpiry(t *testing.T) {
+	q := query.Q1("8ms")
+	s := mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 2)),
+		event.New("B", 2*event.Millisecond, attrsIV(1, 3)),
+		event.New("C", 20*event.Millisecond, attrsIV(1, 5)), // outside window
+	)
+	if ms := run(t, q, s); len(ms) != 0 {
+		t.Fatalf("matches = %d, want 0", len(ms))
+	}
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	for _, e := range s {
+		en.Process(e)
+	}
+	if en.Stats().ExpiredPMs == 0 {
+		t.Error("expired PM count should be positive")
+	}
+	if en.LiveCount() != 0 {
+		t.Errorf("live = %d after expiry (only the C run could linger)", en.LiveCount())
+	}
+}
+
+func TestCountWindow(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 3 EVENTS`)
+	s := mkStream(
+		event.New("A", 1, attrsIV(1, 0)),
+		event.New("X", 2, nil),
+		event.New("X", 3, nil),
+		event.New("B", 4, attrsIV(1, 0)), // distance 3 >= 3: expired
+		event.New("A", 5, attrsIV(2, 0)),
+		event.New("B", 6, attrsIV(2, 0)), // distance 1 < 3: match
+	)
+	ms := run(t, q, s)
+	if len(ms) != 1 || ms[0].Key() != "4,5" {
+		t.Fatalf("matches = %v", keys(ms))
+	}
+}
+
+func TestKleeneTakeAndProceed(t *testing.T) {
+	// SEQ(A a, A+ b[], B c): with A1 A2 A3 B, runs a=A1 can use any
+	// non-empty subsequence of {A2,A3} as b[]: {A2},{A3},{A2,A3} = 3;
+	// a=A2 gives {A3} = 1. Total 4 matches.
+	q := query.MustParse(`PATTERN SEQ(A a, A+ b[], B c) WHERE a.ID = b[i].ID AND a.ID = c.ID WITHIN 1ms`)
+	s := mkStream(
+		event.New("A", 100*event.Microsecond, attrsIV(1, 0)),
+		event.New("A", 200*event.Microsecond, attrsIV(1, 0)),
+		event.New("A", 300*event.Microsecond, attrsIV(1, 0)),
+		event.New("B", 400*event.Microsecond, attrsIV(1, 0)),
+	)
+	ms := run(t, q, s)
+	if len(ms) != 4 {
+		t.Fatalf("matches = %d, want 4: %v", len(ms), keys(ms))
+	}
+}
+
+func TestKleeneMinReps(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, A+ b[]{2,}, B c) WHERE a.ID = b[i].ID AND a.ID = c.ID WITHIN 1ms`)
+	s := mkStream(
+		event.New("A", 100*event.Microsecond, attrsIV(1, 0)),
+		event.New("A", 200*event.Microsecond, attrsIV(1, 0)),
+		event.New("A", 300*event.Microsecond, attrsIV(1, 0)),
+		event.New("B", 400*event.Microsecond, attrsIV(1, 0)),
+	)
+	// Only a=A1 with b=[A2,A3] has >= 2 repetitions.
+	ms := run(t, q, s)
+	if len(ms) != 1 || ms[0].Key() != "0,1,2,3" {
+		t.Fatalf("matches = %v, want [0,1,2,3]", keys(ms))
+	}
+}
+
+func TestKleeneMaxReps(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, A+ b[]{1,1}, B c) WHERE a.ID = b[i].ID AND a.ID = c.ID WITHIN 1ms`)
+	s := mkStream(
+		event.New("A", 100*event.Microsecond, attrsIV(1, 0)),
+		event.New("A", 200*event.Microsecond, attrsIV(1, 0)),
+		event.New("A", 300*event.Microsecond, attrsIV(1, 0)),
+		event.New("B", 400*event.Microsecond, attrsIV(1, 0)),
+	)
+	// b[] limited to exactly one repetition: (a,b) in {(A1,A2),(A1,A3),(A2,A3)}.
+	ms := run(t, q, s)
+	if len(ms) != 3 {
+		t.Fatalf("matches = %d, want 3: %v", len(ms), keys(ms))
+	}
+}
+
+func TestKleeneIncrementalChaining(t *testing.T) {
+	q := query.HotPaths("1h", 1, 0)
+	trip := func(t event.Time, bike, start, end int64) *event.Event {
+		return event.New("BikeTrip", t, map[string]event.Value{
+			"bike": event.Int(bike), "start": event.Int(start), "end": event.Int(end)})
+	}
+	s := mkStream(
+		trip(1*event.Second, 1, 1, 2),
+		trip(2*event.Second, 1, 2, 3),
+		trip(3*event.Second, 1, 3, 7), // ends at hot station
+	)
+	ms := run(t, q, s)
+	// b must be a trip of the same bike ending at 7-9: candidates for b are
+	// trips #2 (end 3, not hot) and #3 (end 7, hot). Chains ending at #3:
+	// a=[#1], a=[#2], a=[#1,#2]. All have a[last].bike = b.bike.
+	if len(ms) != 3 {
+		t.Fatalf("matches = %d, want 3: %v", len(ms), keys(ms))
+	}
+	// Broken chain: trip with mismatched start.
+	s = mkStream(
+		trip(1*event.Second, 1, 1, 2),
+		trip(2*event.Second, 1, 5, 6), // start 5 != end 2: breaks chain
+		trip(3*event.Second, 1, 6, 8),
+	)
+	ms = run(t, q, s)
+	// Chains: a=[#1] b=#3? a[last]=#1 bike ok but the proceed needs no
+	// start/end continuity (only a-internal chaining), so a=[#1],b=#3 and
+	// a=[#2],b=#3 are matches; a=[#1,#2] is not chained.
+	if len(ms) != 2 {
+		t.Fatalf("broken chain matches = %d, want 2: %v", len(ms), keys(ms))
+	}
+}
+
+func TestTrailingKleeneEmitsPerTake(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, B+ b[]) WHERE a.ID = b[i].ID WITHIN 1ms`)
+	s := mkStream(
+		event.New("A", 100*event.Microsecond, attrsIV(1, 0)),
+		event.New("B", 200*event.Microsecond, attrsIV(1, 0)),
+		event.New("B", 300*event.Microsecond, attrsIV(1, 0)),
+	)
+	// Matches: (A,B1), (A,B2), (A,B1,B2).
+	ms := run(t, q, s)
+	if len(ms) != 3 {
+		t.Fatalf("matches = %d, want 3: %v", len(ms), keys(ms))
+	}
+}
+
+func TestNegationGuardKills(t *testing.T) {
+	q := query.Q4("8ms")
+	s := mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 0)),
+		event.New("B", 2*event.Millisecond, attrsIV(1, 0)), // violates
+		event.New("C", 3*event.Millisecond, attrsIV(1, 0)),
+		event.New("D", 4*event.Millisecond, attrsIV(1, 0)),
+	)
+	if ms := run(t, q, s); len(ms) != 0 {
+		t.Fatalf("negated match emitted: %v", keys(ms))
+	}
+	// A B with a different ID does not violate.
+	s = mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 0)),
+		event.New("B", 2*event.Millisecond, attrsIV(9, 0)),
+		event.New("C", 3*event.Millisecond, attrsIV(1, 0)),
+		event.New("D", 4*event.Millisecond, attrsIV(1, 0)),
+	)
+	if ms := run(t, q, s); len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1", len(ms))
+	}
+	// B after C does not violate (guard only active before C binds).
+	s = mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 0)),
+		event.New("C", 2*event.Millisecond, attrsIV(1, 0)),
+		event.New("B", 3*event.Millisecond, attrsIV(1, 0)),
+		event.New("D", 4*event.Millisecond, attrsIV(1, 0)),
+	)
+	if ms := run(t, q, s); len(ms) != 1 {
+		t.Fatalf("B-after-C matches = %d, want 1", len(ms))
+	}
+}
+
+func TestCompletionPredicate(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, A+ b[], B c) WHERE a.ID = b[i].ID AND AVG(b[].V) > a.V WITHIN 1ms`)
+	s := mkStream(
+		event.New("A", 100*event.Microsecond, attrsIV(1, 5)),
+		event.New("A", 200*event.Microsecond, attrsIV(1, 4)),
+		event.New("A", 300*event.Microsecond, attrsIV(1, 8)),
+		event.New("B", 400*event.Microsecond, attrsIV(1, 0)),
+	)
+	// a=A1(V5): b candidates from {A2(V4), A3(V8)} with avg > 5:
+	// [A2]: 4 no; [A3]: 8 yes; [A2,A3]: 6 yes. a=A2(V4): [A3]: 8 yes.
+	ms := run(t, q, s)
+	if len(ms) != 3 {
+		t.Fatalf("matches = %d, want 3: %v", len(ms), keys(ms))
+	}
+}
+
+func TestDropIfRemovesState(t *testing.T) {
+	q := query.Q1("8ms")
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	en.Process(event.New("A", 1*event.Millisecond, attrsIV(1, 2)))
+	en.Process(event.New("A", 2*event.Millisecond, attrsIV(1, 2)))
+	if en.LiveCount() != 2 {
+		t.Fatalf("live = %d", en.LiveCount())
+	}
+	n, cost := en.DropIf(func(pm *PartialMatch) bool { return pm.StartTime() < 2*event.Millisecond })
+	if n != 1 || cost <= 0 {
+		t.Fatalf("dropped = %d cost = %d", n, cost)
+	}
+	if en.LiveCount() != 1 {
+		t.Fatalf("live = %d after drop", en.LiveCount())
+	}
+	// The dropped run cannot complete anymore.
+	r := en.Process(event.New("B", 3*event.Millisecond, attrsIV(1, 3)))
+	_ = r
+	res := en.Process(event.New("C", 4*event.Millisecond, attrsIV(1, 5)))
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %d, want 1", len(res.Matches))
+	}
+	if en.Stats().DroppedPMs != 1 {
+		t.Error("DroppedPMs stat wrong")
+	}
+}
+
+func TestOnCreateHook(t *testing.T) {
+	q := query.Q1("8ms")
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	var created []*PartialMatch
+	en.OnCreate = func(pm *PartialMatch) { created = append(created, pm) }
+	en.Process(event.New("A", 1*event.Millisecond, attrsIV(1, 2)))
+	en.Process(event.New("B", 2*event.Millisecond, attrsIV(1, 3)))
+	if len(created) != 2 {
+		t.Fatalf("created = %d, want 2", len(created))
+	}
+	if created[0].State() != 0 || created[1].State() != 1 {
+		t.Errorf("states = %d, %d", created[0].State(), created[1].State())
+	}
+	if created[1].Len() != 2 {
+		t.Errorf("second PM len = %d", created[1].Len())
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	q := query.Q1("8ms")
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	r1 := en.Process(event.New("X", 1*event.Millisecond, nil))
+	// An irrelevant event costs only the base ingest.
+	if r1.Work != DefaultCosts().PerEvent {
+		t.Errorf("irrelevant event work = %d", r1.Work)
+	}
+	r2 := en.Process(event.New("A", 2*event.Millisecond, attrsIV(1, 2)))
+	if r2.Work <= DefaultCosts().PerEvent {
+		t.Errorf("run-starting event work = %d should exceed base", r2.Work)
+	}
+	// More partial matches means more work per event.
+	for i := 0; i < 10; i++ {
+		en.Process(event.New("A", event.Time(3+i)*event.Millisecond/2, attrsIV(1, 2)))
+	}
+	rBig := en.Process(event.New("B", 8*event.Millisecond, attrsIV(1, 3)))
+	if rBig.Work <= r2.Work {
+		t.Errorf("work with many PMs (%d) should exceed %d", rBig.Work, r2.Work)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	q := query.Q1("8ms")
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	en.Process(event.New("A", 1*event.Millisecond, attrsIV(1, 2)))
+	en.Flush()
+	if en.LiveCount() != 0 {
+		t.Error("flush left live PMs")
+	}
+}
+
+// randomStream builds a DS1-like random stream for property tests.
+func randomStream(rng *rand.Rand, n int) event.Stream {
+	types := []string{"A", "B", "C", "D"}
+	var b event.Builder
+	t := event.Time(0)
+	for i := 0; i < n; i++ {
+		t += event.Time(rng.Intn(200)+50) * event.Microsecond
+		b.Add(event.New(types[rng.Intn(len(types))], t, attrsIV(int64(rng.Intn(3)+1), int64(rng.Intn(5)+1))))
+	}
+	return b.Finish()
+}
+
+// Property (§III-A): for a monotonic query, removing input events can only
+// remove complete matches, never add them.
+func TestMonotonicInStream(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, B b, C c) WHERE a.ID = b.ID AND b.ID = c.ID WITHIN 5ms`)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomStream(rng, 120)
+		full := map[string]bool{}
+		for _, k := range keys(run(t, q, s)) {
+			full[k] = true
+		}
+		// Remove ~30% of events.
+		var reduced event.Stream
+		for _, e := range s {
+			if rng.Float64() > 0.3 {
+				reduced = append(reduced, e) // keep original Seq for keys
+			}
+		}
+		for _, k := range keys(run(t, q, reduced)) {
+			if !full[k] {
+				t.Fatalf("seed %d: shedding inputs created new match %s", seed, k)
+			}
+		}
+	}
+}
+
+// Property (§III-A): removing partial matches can only remove complete
+// matches for a monotonic query.
+func TestMonotonicInState(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, B b, C c) WHERE a.ID = b.ID AND b.ID = c.ID WITHIN 5ms`)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomStream(rng, 120)
+		full := map[string]bool{}
+		for _, k := range keys(run(t, q, s)) {
+			full[k] = true
+		}
+		en := New(nfa.MustCompile(q), DefaultCosts())
+		var got []Match
+		for i, e := range s {
+			got = append(got, en.Process(e).Matches...)
+			if i%10 == 5 {
+				en.DropIf(func(pm *PartialMatch) bool { return rng.Float64() < 0.3 })
+			}
+		}
+		for _, m := range got {
+			if !full[m.Key()] {
+				t.Fatalf("seed %d: shedding state created new match %s", seed, m.Key())
+			}
+		}
+	}
+}
+
+// Property: a non-monotonic query CAN produce false positives under input
+// shedding of the negated type — this is exactly §VI-H's premise.
+func TestNegationSheddingCreatesFalsePositives(t *testing.T) {
+	q := query.Q4("8ms")
+	s := mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 0)),
+		event.New("B", 2*event.Millisecond, attrsIV(1, 0)),
+		event.New("C", 3*event.Millisecond, attrsIV(1, 0)),
+		event.New("D", 4*event.Millisecond, attrsIV(1, 0)),
+	)
+	if got := run(t, q, s); len(got) != 0 {
+		t.Fatal("ground truth should have no match")
+	}
+	// Shed the B event: a false positive appears.
+	var shed event.Stream
+	for _, e := range s {
+		if e.Type != "B" {
+			shed = append(shed, e)
+		}
+	}
+	if got := run(t, q, shed); len(got) != 1 {
+		t.Fatalf("false positives = %d, want 1", len(got))
+	}
+}
+
+func TestPartialMatchAccessors(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, A+ b[], B c) WHERE a.ID = b[i].ID WITHIN 1ms`)
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	en.Process(event.New("A", 100*event.Microsecond, attrsIV(1, 7)))
+	en.Process(event.New("A", 200*event.Microsecond, attrsIV(1, 8)))
+	var kleenePM *PartialMatch
+	for _, pm := range en.PartialMatches() {
+		if pm.State() == 1 {
+			kleenePM = pm
+		}
+	}
+	if kleenePM == nil {
+		t.Fatal("no state-1 PM")
+	}
+	if kleenePM.Len() != 2 {
+		t.Errorf("len = %d", kleenePM.Len())
+	}
+	if got := kleenePM.EventAt(0); got == nil || got.Int("V") != 7 {
+		t.Error("EventAt(0) wrong")
+	}
+	if reps := kleenePM.Reps(1); len(reps) != 1 || reps[0].Int("V") != 8 {
+		t.Error("Reps(1) wrong")
+	}
+	if kleenePM.LastEvent().Int("V") != 8 {
+		t.Error("LastEvent wrong")
+	}
+	if kleenePM.String() == "" || !kleenePM.Alive() {
+		t.Error("String/Alive wrong")
+	}
+	if kleenePM.StartSeq() != 0 {
+		t.Errorf("StartSeq = %d", kleenePM.StartSeq())
+	}
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// Accounting invariants of the engine counters over random streams with
+// interleaved shedding:
+//   - live partial matches never exceed created minus removed ones;
+//   - every match's events respect pattern order and the window;
+//   - no dead partial match remains in the live set.
+func TestEngineAccountingInvariants(t *testing.T) {
+	queries := []*query.Query{
+		query.Q1("4ms"),
+		query.MustParse(`PATTERN SEQ(A a, A+ b[]{1,3}, B c) WHERE a.ID = b[i].ID AND a.ID = c.ID WITHIN 3ms`),
+		query.Q4("4ms"),
+	}
+	for qi, q := range queries {
+		m := nfa.MustCompile(q)
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed*31 + int64(qi)))
+			en := New(m, DefaultCosts())
+			var tm event.Time
+			var b event.Builder
+			for i := 0; i < 400; i++ {
+				tm += event.Time(rng.Intn(120)+20) * event.Microsecond
+				types := []string{"A", "B", "C", "D"}
+				b.Add(event.New(types[rng.Intn(4)], tm, map[string]event.Value{
+					"ID": event.Int(int64(rng.Intn(3) + 1)),
+					"V":  event.Int(int64(rng.Intn(5) + 1)),
+				}))
+			}
+			s := b.Finish()
+			window := q.Window.Duration
+			for i, e := range s {
+				res := en.Process(e)
+				for _, match := range res.Matches {
+					evs := match.Events
+					for j := 1; j < len(evs); j++ {
+						if evs[j].Time < evs[j-1].Time {
+							t.Fatalf("q%d seed %d: match out of order", qi, seed)
+						}
+					}
+					if span := evs[len(evs)-1].Time - evs[0].Time; span > window {
+						t.Fatalf("q%d seed %d: match span %v > window %v", qi, seed, span, window)
+					}
+				}
+				if i%37 == 17 {
+					en.DropIf(func(pm *PartialMatch) bool { return rng.Float64() < 0.2 })
+				}
+				st := en.Stats()
+				removed := st.ExpiredPMs + st.KilledByGuard + st.DroppedPMs
+				if uint64(en.LiveCount()) > st.CreatedPMs-removed {
+					t.Fatalf("q%d seed %d: live %d > created %d - removed %d",
+						qi, seed, en.LiveCount(), st.CreatedPMs, removed)
+				}
+				for _, pm := range en.PartialMatches() {
+					if !pm.Alive() {
+						t.Fatalf("q%d seed %d: dead PM in live set", qi, seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Feeding the same stream twice yields identical stats and matches —
+// the engine holds no hidden nondeterminism.
+func TestEngineDeterminism(t *testing.T) {
+	q := query.Q1("4ms")
+	m := nfa.MustCompile(q)
+	rng := rand.New(rand.NewSource(5))
+	var b event.Builder
+	var tm event.Time
+	for i := 0; i < 500; i++ {
+		tm += event.Time(rng.Intn(100)+10) * event.Microsecond
+		types := []string{"A", "B", "C"}
+		b.Add(event.New(types[rng.Intn(3)], tm, attrsIV(int64(rng.Intn(4)), int64(rng.Intn(6)))))
+	}
+	s := b.Finish()
+	runOnce := func() (Stats, []string) {
+		en := New(m, DefaultCosts())
+		var ks []string
+		for _, e := range s {
+			for _, match := range en.Process(e).Matches {
+				ks = append(ks, match.Key())
+			}
+		}
+		return en.Stats(), ks
+	}
+	st1, k1 := runOnce()
+	st2, k2 := runOnce()
+	if st1 != st2 {
+		t.Fatalf("stats diverge: %+v vs %+v", st1, st2)
+	}
+	if len(k1) != len(k2) {
+		t.Fatalf("match counts diverge")
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("match order diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"testing"
+
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// Queries with several negated components attach independent guards to
+// their respective gaps.
+func TestTwoNegatedComponents(t *testing.T) {
+	q := query.MustParse(`
+		PATTERN SEQ(A a, NOT X x, B b, NOT Y y, C c)
+		WHERE a.ID = b.ID AND b.ID = c.ID
+		AND x.ID = a.ID AND y.ID = b.ID
+		WITHIN 8ms`)
+	base := []*event.Event{
+		event.New("A", 1*event.Millisecond, attrsIV(1, 0)),
+		event.New("B", 3*event.Millisecond, attrsIV(1, 0)),
+		event.New("C", 5*event.Millisecond, attrsIV(1, 0)),
+	}
+	// Clean sequence matches.
+	if ms := run(t, q, mkStream(base...)); len(ms) != 1 {
+		t.Fatalf("clean matches = %d", len(ms))
+	}
+	// X in the A-B gap kills it.
+	withX := mkStream(base[0],
+		event.New("X", 2*event.Millisecond, attrsIV(1, 0)), base[1], base[2])
+	if ms := run(t, q, withX); len(ms) != 0 {
+		t.Fatalf("X-in-gap matches = %d", len(ms))
+	}
+	// Y in the B-C gap kills it.
+	withY := mkStream(base[0], base[1],
+		event.New("Y", 4*event.Millisecond, attrsIV(1, 0)), base[2])
+	if ms := run(t, q, withY); len(ms) != 0 {
+		t.Fatalf("Y-in-gap matches = %d", len(ms))
+	}
+	// X in the B-C gap is harmless (wrong gap), as is Y in the A-B gap.
+	wrongGaps := mkStream(base[0],
+		event.New("Y", 2*event.Millisecond, attrsIV(1, 0)), base[1],
+		event.New("X", 4*event.Millisecond, attrsIV(1, 0)), base[2])
+	if ms := run(t, q, wrongGaps); len(ms) != 1 {
+		t.Fatalf("wrong-gap matches = %d, want 1", len(ms))
+	}
+}
+
+// The same stream under deferred negation yields identical results
+// without shedding, guard placement included.
+func TestTwoNegatedComponentsDeferred(t *testing.T) {
+	q := query.MustParse(`
+		PATTERN SEQ(A a, NOT X x, B b, NOT Y y, C c)
+		WHERE a.ID = b.ID AND b.ID = c.ID
+		AND x.ID = a.ID AND y.ID = b.ID
+		WITHIN 8ms`)
+	streams := []event.Stream{
+		mkStream(
+			event.New("A", 1*event.Millisecond, attrsIV(1, 0)),
+			event.New("X", 2*event.Millisecond, attrsIV(1, 0)),
+			event.New("B", 3*event.Millisecond, attrsIV(1, 0)),
+			event.New("C", 5*event.Millisecond, attrsIV(1, 0)),
+		),
+		mkStream(
+			event.New("A", 1*event.Millisecond, attrsIV(1, 0)),
+			event.New("Y", 2*event.Millisecond, attrsIV(1, 0)),
+			event.New("B", 3*event.Millisecond, attrsIV(1, 0)),
+			event.New("X", 4*event.Millisecond, attrsIV(1, 0)),
+			event.New("C", 5*event.Millisecond, attrsIV(1, 0)),
+		),
+	}
+	for i, s := range streams {
+		eager := run(t, q, s)
+		en := New(nfa.MustCompile(q), DefaultCosts())
+		en.DeferredNegation = true
+		var deferred []Match
+		for _, e := range s {
+			deferred = append(deferred, en.Process(e).Matches...)
+		}
+		if len(eager) != len(deferred) {
+			t.Errorf("stream %d: eager %d vs deferred %d", i, len(eager), len(deferred))
+		}
+	}
+}
+
+// A negation guard with correlation predicates only fires when they hold.
+func TestGuardPredicateSelectivity(t *testing.T) {
+	q := query.Q4("8ms")
+	// B with a DIFFERENT ID does not kill; with the same ID it does.
+	for _, tc := range []struct {
+		bID  int64
+		want int
+	}{{2, 1}, {1, 0}} {
+		s := mkStream(
+			event.New("A", 1*event.Millisecond, attrsIV(1, 0)),
+			event.New("B", 2*event.Millisecond, attrsIV(tc.bID, 0)),
+			event.New("C", 3*event.Millisecond, attrsIV(1, 0)),
+			event.New("D", 4*event.Millisecond, attrsIV(1, 0)),
+		)
+		if ms := run(t, q, s); len(ms) != tc.want {
+			t.Errorf("B.ID=%d: matches = %d, want %d", tc.bID, len(ms), tc.want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+func runDeferred(t *testing.T, q *query.Query, s event.Stream, deferred bool) []Match {
+	t.Helper()
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	en.DeferredNegation = deferred
+	var out []Match
+	for _, e := range s {
+		out = append(out, en.Process(e).Matches...)
+	}
+	return out
+}
+
+// Without shedding, witness-based (deferred) negation must be exactly
+// equivalent to eager guard kills: same match sets on random streams.
+func TestDeferredNegationEquivalence(t *testing.T) {
+	q := query.Q4("5ms")
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var b event.Builder
+		tm := event.Time(0)
+		for i := 0; i < 150; i++ {
+			tm += event.Time(rng.Intn(300)+50) * event.Microsecond
+			types := []string{"A", "B", "C", "D"}
+			b.Add(event.New(types[rng.Intn(4)], tm, map[string]event.Value{
+				"ID": event.Int(int64(rng.Intn(3) + 1)),
+				"V":  event.Int(int64(rng.Intn(5) + 1)),
+			}))
+		}
+		s := b.Finish()
+		eager := map[string]bool{}
+		for _, k := range keys(runDeferred(t, q, s, false)) {
+			eager[k] = true
+		}
+		deferred := runDeferred(t, q, s, true)
+		if len(deferred) != len(eager) {
+			t.Fatalf("seed %d: eager %d matches, deferred %d", seed, len(eager), len(deferred))
+		}
+		for _, m := range deferred {
+			if !eager[m.Key()] {
+				t.Fatalf("seed %d: deferred-only match %s", seed, m.Key())
+			}
+		}
+	}
+}
+
+// Shedding a witness in deferred mode fabricates exactly the match the
+// witness would have invalidated.
+func TestWitnessSheddingFabricatesMatch(t *testing.T) {
+	q := query.Q4("8ms")
+	s := mkStream(
+		event.New("A", 1*event.Millisecond, attrsIV(1, 0)),
+		event.New("B", 2*event.Millisecond, attrsIV(1, 0)), // violates
+		event.New("C", 3*event.Millisecond, attrsIV(1, 0)),
+		event.New("D", 4*event.Millisecond, attrsIV(1, 0)),
+	)
+	// Without shedding: no match.
+	if got := runDeferred(t, q, s, true); len(got) != 0 {
+		t.Fatalf("unshed deferred matches = %d", len(got))
+	}
+	// Shed the witness between B's arrival and the completion.
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	en.DeferredNegation = true
+	var got []Match
+	for i, e := range s {
+		got = append(got, en.Process(e).Matches...)
+		if i == 1 {
+			n, _ := en.DropIf(func(pm *PartialMatch) bool { return pm.IsWitness() })
+			if n != 1 {
+				t.Fatalf("witnesses dropped = %d", n)
+			}
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("fabricated matches = %d, want 1", len(got))
+	}
+}
+
+// Witnesses are visible among the partial matches, carry their event,
+// and expire with the window.
+func TestWitnessLifecycle(t *testing.T) {
+	q := query.Q4("8ms")
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	en.DeferredNegation = true
+	en.Process(event.New("B", 1*event.Millisecond, attrsIV(1, 0)))
+	var w *PartialMatch
+	for _, pm := range en.PartialMatches() {
+		if pm.IsWitness() {
+			w = pm
+		}
+	}
+	if w == nil {
+		t.Fatal("no witness created")
+	}
+	if w.LastEvent().Type != "B" {
+		t.Errorf("witness event type = %s", w.LastEvent().Type)
+	}
+	// Witnesses never extend.
+	en.Process(event.New("C", 2*event.Millisecond, attrsIV(1, 0)))
+	for _, pm := range en.PartialMatches() {
+		if pm.IsWitness() && pm.Len() != 1 {
+			t.Error("witness grew")
+		}
+	}
+	// Window expiry removes it.
+	en.Process(event.New("X", 20*event.Millisecond, nil))
+	for _, pm := range en.PartialMatches() {
+		if pm.IsWitness() {
+			t.Error("witness survived the window")
+		}
+	}
+}
+
+// Eager mode must not create witnesses.
+func TestEagerModeHasNoWitnesses(t *testing.T) {
+	q := query.Q4("8ms")
+	en := New(nfa.MustCompile(q), DefaultCosts())
+	en.Process(event.New("B", 1*event.Millisecond, attrsIV(1, 0)))
+	for _, pm := range en.PartialMatches() {
+		if pm.IsWitness() {
+			t.Fatal("witness in eager mode")
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, measured in virtual nanoseconds.
+// All latencies, windows, and arrival times in the system use this unit.
+type Time int64
+
+// Convenient virtual duration constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time with an adaptive unit suffix.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3gs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Event is a single stream element: a typed tuple with a timestamp and a
+// stable sequence number assigned at generation time. Events are immutable
+// once published to a stream; the engine and shedders never modify them.
+type Event struct {
+	// Type is the event type name (the "A" in SEQ(A a, ...)).
+	Type string
+	// Time is both the occurrence and the arrival timestamp of the event
+	// in the virtual clock domain.
+	Time Time
+	// Seq is the global position of the event in its stream, starting at 0.
+	Seq uint64
+	// Attrs holds the payload attributes.
+	Attrs map[string]Value
+}
+
+// New allocates an event. The sequence number is assigned when the event
+// is appended to a Builder or Stream.
+func New(typ string, t Time, attrs map[string]Value) *Event {
+	if attrs == nil {
+		attrs = map[string]Value{}
+	}
+	return &Event{Type: typ, Time: t, Attrs: attrs}
+}
+
+// Get returns the named attribute and whether it exists.
+func (e *Event) Get(name string) (Value, bool) {
+	v, ok := e.Attrs[name]
+	return v, ok
+}
+
+// Int returns the named attribute coerced to int64 (0 if absent).
+func (e *Event) Int(name string) int64 { return e.Attrs[name].AsInt() }
+
+// Float returns the named attribute coerced to float64 (0 if absent).
+func (e *Event) Float(name string) float64 { return e.Attrs[name].AsFloat() }
+
+// Str returns the named attribute as a string ("" if absent or non-string).
+func (e *Event) Str(name string) string { return e.Attrs[name].S }
+
+// String renders the event compactly for logs and test failures.
+func (e *Event) String() string {
+	names := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s#%d{", e.Type, e.Time, e.Seq)
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, e.Attrs[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

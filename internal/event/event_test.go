@@ -1,0 +1,69 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{2 * Microsecond, "2us"},
+		{3 * Millisecond, "3ms"},
+		{4 * Second, "4s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	e := New("A", 10*Microsecond, map[string]Value{
+		"ID": Int(3),
+		"V":  Float(7.5),
+		"U":  Str("member"),
+	})
+	if e.Int("ID") != 3 {
+		t.Errorf("Int(ID) = %d", e.Int("ID"))
+	}
+	if e.Float("V") != 7.5 {
+		t.Errorf("Float(V) = %v", e.Float("V"))
+	}
+	if e.Str("U") != "member" {
+		t.Errorf("Str(U) = %q", e.Str("U"))
+	}
+	if _, ok := e.Get("missing"); ok {
+		t.Error("Get(missing) reported present")
+	}
+	if v, ok := e.Get("ID"); !ok || v.AsInt() != 3 {
+		t.Error("Get(ID) wrong")
+	}
+}
+
+func TestEventNewNilAttrs(t *testing.T) {
+	e := New("A", 0, nil)
+	if e.Attrs == nil {
+		t.Fatal("New must allocate an attrs map")
+	}
+	if e.Int("anything") != 0 {
+		t.Error("absent attribute should coerce to 0")
+	}
+}
+
+func TestEventStringDeterministic(t *testing.T) {
+	e := New("B", Microsecond, map[string]Value{"b": Int(2), "a": Int(1)})
+	e.Seq = 5
+	s := e.String()
+	if !strings.Contains(s, "B@1us#5") {
+		t.Errorf("event header missing: %q", s)
+	}
+	// Attributes are sorted by name for deterministic output.
+	if strings.Index(s, "a=1") > strings.Index(s, "b=2") {
+		t.Errorf("attributes not sorted: %q", s)
+	}
+}

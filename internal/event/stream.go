@@ -1,0 +1,90 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stream is an ordered sequence of events. Events must be ordered by
+// non-decreasing Time; Seq numbers are their positions.
+type Stream []*Event
+
+// Builder accumulates events and assigns sequence numbers. It keeps the
+// stream ordered by time: Append rejects out-of-order events, while Add
+// inserts sorting lazily via Finish.
+type Builder struct {
+	events   []*Event
+	needSort bool
+	lastTime Time
+}
+
+// Append adds an event whose time must be >= the previous event's time.
+func (b *Builder) Append(e *Event) error {
+	if len(b.events) > 0 && e.Time < b.lastTime {
+		return fmt.Errorf("event: out-of-order append: %s < %s", e.Time, b.lastTime)
+	}
+	b.lastTime = e.Time
+	b.events = append(b.events, e)
+	return nil
+}
+
+// Add inserts an event regardless of order; Finish will sort.
+func (b *Builder) Add(e *Event) {
+	if len(b.events) > 0 && e.Time < b.lastTime {
+		b.needSort = true
+	}
+	if e.Time > b.lastTime {
+		b.lastTime = e.Time
+	}
+	b.events = append(b.events, e)
+}
+
+// Len returns the number of events added so far.
+func (b *Builder) Len() int { return len(b.events) }
+
+// Finish sorts (if needed), assigns sequence numbers, and returns the stream.
+// The builder is reset.
+func (b *Builder) Finish() Stream {
+	if b.needSort {
+		sort.SliceStable(b.events, func(i, j int) bool { return b.events[i].Time < b.events[j].Time })
+	}
+	for i, e := range b.events {
+		e.Seq = uint64(i)
+	}
+	s := Stream(b.events)
+	*b = Builder{}
+	return s
+}
+
+// Validate checks stream invariants: non-decreasing time and sequential Seq.
+func (s Stream) Validate() error {
+	for i, e := range s {
+		if e.Seq != uint64(i) {
+			return fmt.Errorf("event: stream[%d] has Seq %d", i, e.Seq)
+		}
+		if i > 0 && e.Time < s[i-1].Time {
+			return fmt.Errorf("event: stream[%d] time %s before stream[%d] time %s",
+				i, e.Time, i-1, s[i-1].Time)
+		}
+	}
+	return nil
+}
+
+// Duration returns the time span covered by the stream.
+func (s Stream) Duration() Time {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1].Time - s[0].Time
+}
+
+// CountType returns the number of events of the given type.
+func (s Stream) CountType(typ string) int {
+	n := 0
+	for _, e := range s {
+		if e.Type == typ {
+			n++
+		}
+	}
+	return n
+}

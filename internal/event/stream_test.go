@@ -1,0 +1,100 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderAppendOrdered(t *testing.T) {
+	var b Builder
+	if err := b.Append(New("A", 1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(New("B", 1, nil)); err != nil {
+		t.Fatal(err) // equal times are fine
+	}
+	if err := b.Append(New("C", 0, nil)); err == nil {
+		t.Fatal("out-of-order append must fail")
+	}
+	s := b.Finish()
+	if len(s) != 2 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderAddSortsOnFinish(t *testing.T) {
+	var b Builder
+	b.Add(New("A", 5, nil))
+	b.Add(New("B", 2, nil))
+	b.Add(New("C", 9, nil))
+	s := b.Finish()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Type != "B" || s[1].Type != "A" || s[2].Type != "C" {
+		t.Errorf("wrong order: %v %v %v", s[0].Type, s[1].Type, s[2].Type)
+	}
+	for i, e := range s {
+		if e.Seq != uint64(i) {
+			t.Errorf("seq[%d] = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestBuilderFinishResets(t *testing.T) {
+	var b Builder
+	b.Add(New("A", 1, nil))
+	_ = b.Finish()
+	if b.Len() != 0 {
+		t.Error("builder not reset after Finish")
+	}
+	b.Add(New("B", 0, nil)) // must not be considered out of order vs old state
+	s := b.Finish()
+	if len(s) != 1 || s[0].Type != "B" {
+		t.Error("builder reuse broken")
+	}
+}
+
+func TestStreamValidateDetectsBadSeq(t *testing.T) {
+	s := Stream{New("A", 1, nil), New("B", 2, nil)}
+	s[0].Seq, s[1].Seq = 0, 7
+	if err := s.Validate(); err == nil {
+		t.Error("bad Seq not detected")
+	}
+}
+
+func TestStreamDurationAndCount(t *testing.T) {
+	var b Builder
+	b.Add(New("A", 10, nil))
+	b.Add(New("B", 30, nil))
+	b.Add(New("A", 50, nil))
+	s := b.Finish()
+	if s.Duration() != 40 {
+		t.Errorf("Duration = %d", s.Duration())
+	}
+	if s.CountType("A") != 2 || s.CountType("B") != 1 || s.CountType("Z") != 0 {
+		t.Error("CountType wrong")
+	}
+	if Stream(nil).Duration() != 0 {
+		t.Error("empty stream duration must be 0")
+	}
+}
+
+// Property: Finish always yields a valid stream no matter the insertion order.
+func TestBuilderFinishAlwaysValid(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b Builder
+		for i := 0; i < int(n)%64; i++ {
+			b.Add(New("A", Time(rng.Int63n(1000)), nil))
+		}
+		return b.Finish().Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package event defines the event model shared by every component of the
+// system: typed attribute values, schemas, timestamped events, and event
+// streams. Time is virtual (see internal/vclock); one Time unit is one
+// virtual nanosecond.
+package event
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the attribute value kinds supported by the event model.
+type Kind uint8
+
+const (
+	// KindNone marks the zero Value, which carries no data.
+	KindNone Kind = iota
+	// KindInt is a 64-bit signed integer attribute.
+	KindInt
+	// KindFloat is a 64-bit floating point attribute.
+	KindFloat
+	// KindString is a string attribute.
+	KindString
+)
+
+// String returns the name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed attribute value. The zero Value has
+// KindNone and represents an absent attribute.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// Float returns a floating point Value.
+func Float(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// IsNumeric reports whether the value holds an int or float.
+func (v Value) IsNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// AsFloat coerces a numeric value to float64. Strings and absent values
+// coerce to 0; numeric comparisons against them are rejected earlier by
+// the predicate compiler.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt coerces a numeric value to int64 (floats truncate).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal. Numeric values compare by
+// numeric value regardless of int/float representation; strings compare
+// byte-wise; values of incomparable kinds are unequal.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.Kind == KindString && o.Kind == KindString {
+		return v.S == o.S
+	}
+	return v.Kind == KindNone && o.Kind == KindNone
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// Numerics compare numerically, strings lexically. Comparing a numeric
+// against a string orders the numeric first (deterministic total order).
+func (v Value) Compare(o Value) int {
+	vn, on := v.IsNumeric(), o.IsNumeric()
+	switch {
+	case vn && on:
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	case v.Kind == KindString && o.Kind == KindString:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		default:
+			return 0
+		}
+	case vn:
+		return -1
+	case on:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the value for logs and error messages.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.S)
+	default:
+		return "<none>"
+	}
+}

@@ -1,0 +1,126 @@
+package event
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Int(7), KindInt},
+		{Float(3.5), KindFloat},
+		{Str("x"), KindString},
+		{Value{}, KindNone},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("value %v: kind = %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+	}
+}
+
+func TestValueNumericCoercion(t *testing.T) {
+	if got := Int(42).AsFloat(); got != 42 {
+		t.Errorf("Int(42).AsFloat() = %v", got)
+	}
+	if got := Float(2.75).AsInt(); got != 2 {
+		t.Errorf("Float(2.75).AsInt() = %v", got)
+	}
+	if got := Str("9").AsFloat(); got != 0 {
+		t.Errorf("Str coerces to %v, want 0", got)
+	}
+}
+
+func TestValueEqualCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Error("Int(3) should equal Float(3)")
+	}
+	if Int(3).Equal(Str("3")) {
+		t.Error("Int(3) must not equal Str(\"3\")")
+	}
+	if !Str("a").Equal(Str("a")) {
+		t.Error("identical strings must be equal")
+	}
+	if Str("a").Equal(Str("b")) {
+		t.Error("distinct strings must not be equal")
+	}
+	if !(Value{}).Equal(Value{}) {
+		t.Error("two absent values are equal")
+	}
+	if (Value{}).Equal(Int(0)) {
+		t.Error("absent value must not equal Int(0)")
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Float(2.5), Int(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Int(99), Str("a"), -1}, // numerics order before strings
+		{Str("a"), Int(99), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueEqualConsistentWithCompare(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		va, vb := Float(a), Float(b)
+		return va.Equal(vb) == (va.Compare(vb) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-4), "-4"},
+		{Float(1.5), "1.5"},
+		{Str("hi"), `"hi"`},
+		{Value{}, "<none>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || KindFloat.String() != "float" ||
+		KindString.String() != "string" || KindNone.String() != "none" {
+		t.Error("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cepshed/internal/core"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/knapsack"
+	"cepshed/internal/metrics"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// Ablations beyond the paper: each isolates one design choice DESIGN.md
+// §3 calls out and quantifies its effect under the Fig 4 workload.
+
+func init() {
+	register(Experiment{
+		ID:    "abl-adapt",
+		Title: "Ablation: online adaptation on/off under distribution drift",
+		Run:   AblationAdaptivity,
+	})
+	register(Experiment{
+		ID:    "abl-solver",
+		Title: "Ablation: exact-DP vs greedy knapsack for shedding-set selection",
+		Run:   AblationSolver,
+	})
+	register(Experiment{
+		ID:    "abl-delay",
+		Title: "Ablation: re-trigger delay j between state sheds",
+		Run:   AblationDelay,
+	})
+}
+
+// AblationAdaptivity reruns the Fig 12 drift scenario with adaptation
+// disabled: without folding in new counts, the outdated cost model keeps
+// shedding the now-valuable partial matches and recall never recovers
+// after the change point — adaptation is what makes Fig 12's recovery
+// happen.
+func AblationAdaptivity(o Options) []*Table {
+	events := o.scale(24000)
+	shiftAt := events / 2
+	bucket := events / 12
+
+	m := nfa.MustCompile(query.MustParse(`
+		PATTERN SEQ(A a, B b, C c)
+		WHERE a.ID = b.ID AND a.ID = c.ID AND a.V + b.V = c.V
+		WITHIN 2000 EVENTS`))
+	train := gen.DS1(gen.DS1Config{
+		Events: o.scale(12000), Seed: o.Seed + 71, InterArrival: 15 * event.Microsecond,
+		CVMin: 2, CVMax: 10,
+	})
+	work := gen.DS1(gen.DS1Config{
+		Events: events, Seed: o.Seed + 72, InterArrival: 15 * event.Microsecond,
+		CVMin: 2, CVMax: 10,
+		ShiftAt: shiftAt, ShiftMin: 12, ShiftMax: 20,
+	})
+	s := newSetup(m, train, work, metrics.BoundMean)
+	model := core.MustTrain(m, train, core.TrainConfig{Slices: 4, Seed: 1})
+	bound := s.bound(0.4)
+
+	withAdapt := s.run(core.NewHybrid(model, core.Config{Bound: bound, Adapt: true}))
+	// Retrain a fresh model so the adaptive run's estimate updates do not
+	// leak into the frozen run.
+	frozenModel := core.MustTrain(m, train, core.TrainConfig{Slices: 4, Seed: 1})
+	frozen := s.run(core.NewHybrid(frozenModel, core.Config{Bound: bound, Adapt: false}))
+
+	adaptSeries := bucketRecall(s.truthRun().Matches, withAdapt.Matches, events, bucket)
+	frozenSeries := bucketRecall(s.truthRun().Matches, frozen.Matches, events, bucket)
+
+	t := &Table{
+		ID:     "abl-adapt",
+		Title:  "recall over the drifting stream, adaptation on vs off",
+		Header: []string{"event_offset", "adaptive", "frozen"},
+	}
+	for b := 0; b < len(adaptSeries); b++ {
+		row := []string{fmt.Sprintf("%d", b*bucket)}
+		for _, v := range []float64{adaptSeries[b], frozenSeries[b]} {
+			if v < 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, pct(v))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}
+}
+
+// AblationSolver compares the exact dynamic program against the greedy
+// ratio heuristic (§V-C) for shedding-set selection, on recall and
+// throughput across bounds. The paper argues the greedy approximation
+// suffices for large class counts; this quantifies the quality gap.
+func AblationSolver(o Options) []*Table {
+	s := ds1Setup(o, "8ms", metrics.BoundMean)
+	t := &Table{
+		ID:     "abl-solver",
+		Title:  "hybrid with exact-DP vs greedy shedding-set selection",
+		Header: []string{"bound", "recall_exact", "recall_greedy", "thr_exact", "thr_greedy"},
+	}
+	for _, frac := range []float64{0.7, 0.5, 0.3, 0.1} {
+		bound := s.bound(frac)
+		exact := s.run(core.NewHybrid(s.costModel(), core.Config{
+			Bound: bound, Solver: knapsack.Exact, Adapt: true}))
+		greedy := s.run(core.NewHybrid(s.costModel(), core.Config{
+			Bound: bound, Solver: knapsack.Greedy, Adapt: true}))
+		t.Rows = append(t.Rows, []string{
+			fracLabel(frac),
+			pct(s.recallOf(exact)), pct(s.recallOf(greedy)),
+			thr(exact.Throughput), thr(greedy.Throughput),
+		})
+	}
+	return []*Table{t}
+}
+
+// AblationDelay sweeps the re-trigger delay j (§IV-C): short delays
+// re-shed against a stale smoothed latency signal and cumulatively
+// over-shed; delays near the smoothing window preserve recall while
+// still meeting the bound.
+func AblationDelay(o Options) []*Table {
+	s := ds1Setup(o, "8ms", metrics.BoundMean)
+	bound := s.bound(0.5)
+	t := &Table{
+		ID:     "abl-delay",
+		Title:  "hybrid recall / latency vs re-trigger delay (bound 50%)",
+		Header: []string{"delay_events", "recall", "mean_latency", "shed_pms"},
+	}
+	for _, delay := range []int{100, 200, 500, 1000, 2000} {
+		res := s.run(core.NewHybrid(s.costModel(), core.Config{
+			Bound: bound, DelayEvents: delay, Adapt: true}))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", delay),
+			pct(s.recallOf(res)),
+			res.Latency.Mean().String(),
+			count(res.Stats.DroppedPMs),
+		})
+	}
+	return []*Table{t}
+}

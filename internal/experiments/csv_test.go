@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTablePrintCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "fig4a",
+		Title:  "recall",
+		Header: []string{"bound", "RI", "Hybrid"},
+		Rows:   [][]string{{"90%", "87.3", "100.0"}, {"10%", "63.8", "86.3"}},
+	}
+	var buf bytes.Buffer
+	tab.PrintCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "panel,bound,RI,Hybrid" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "fig4a,90%,87.3,100.0" {
+		t.Errorf("row = %q", lines[1])
+	}
+}

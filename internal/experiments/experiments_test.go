@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fmtSscan parses one float from a table cell.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig9",
+		"fig15", "fig16",
+		"abl-adapt", "abl-solver", "abl-delay",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Errorf("registry size = %d, want %d", len(all), len(want))
+	}
+	// All() sorts numerically.
+	for i := 1; i < len(all); i++ {
+		if figOrder(all[i-1].ID) > figOrder(all[i].ID) {
+			t.Errorf("registry unsorted: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "test",
+		Header: []string{"a", "bbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== x: test") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "333") {
+		t.Errorf("missing row: %q", out)
+	}
+}
+
+func TestOptionsScale(t *testing.T) {
+	if (Options{}).scale(100) != 100 {
+		t.Error("full scale wrong")
+	}
+	if (Options{Quick: true}).scale(100) != 25 {
+		t.Error("quick scale wrong")
+	}
+}
+
+// TestFig1Shape runs the cheapest experiment end to end and checks the
+// Fig 1 property: the peak partial-match count dwarfs the median (the
+// burst spike that motivates shedding).
+func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	tables := Fig1PartialMatches(Options{Quick: true})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	rows := tables[0].Rows
+	if len(rows) < 20 {
+		t.Fatalf("samples = %d", len(rows))
+	}
+	var counts []float64
+	for _, r := range rows {
+		var v float64
+		if _, err := sscan(r[2], &v); err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, v)
+	}
+	maxV, sum := 0.0, 0.0
+	for _, v := range counts {
+		if v > maxV {
+			maxV = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(counts))
+	if maxV < 2*mean {
+		t.Errorf("PM peak %v not a spike over mean %v", maxV, mean)
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmtSscan(s, v)
+}
+
+// TestFig14Trend verifies the non-monotonicity mechanism: shedding on a
+// negated query compromises PRECISION (false positives appear) while
+// recall stays high — the paper's qualitative finding. (The direction of
+// the precision trend versus P(B) differs from the paper in our witness
+// model; see EXPERIMENTS.md.)
+func TestFig14Trend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	tables := Fig14NonMonotonic(Options{Quick: true})
+	rows := tables[0].Rows
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	pMin, rMin := 1.0, 1.0
+	for _, r := range rows {
+		var p, rec float64
+		if _, err := fmtSscan(r[1], &p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(r[2], &rec); err != nil {
+			t.Fatal(err)
+		}
+		if p < pMin {
+			pMin = p
+		}
+		if rec < rMin {
+			rMin = rec
+		}
+	}
+	if pMin > 0.95 {
+		t.Errorf("precision never compromised (min %.3f); negation mechanism inert", pMin)
+	}
+	if rMin < 0.6 {
+		t.Errorf("recall collapsed to %.3f", rMin)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"cepshed/internal/citibike"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/metrics"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Partial matches over time for the hot-path query on bike-trip data",
+		Run:   Fig1PartialMatches,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Recall, throughput, and shed ratios under average-latency bounds (Q1/DS1)",
+		Run:   Fig4LatencyBounds,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Hybrid shedding internals: #shed events and #shed PMs per bound",
+		Run:   Fig5HybridDetail,
+	})
+}
+
+// Fig1PartialMatches reproduces Fig 1: the number of live partial matches
+// over time when evaluating the hot-path query — the spike during the
+// burst period motivates load shedding.
+func Fig1PartialMatches(o Options) []*Table {
+	stream := citibike.Generate(citibike.Config{
+		Trips: o.scale(12000),
+		Seed:  o.Seed + 101,
+	})
+	m := nfa.MustCompile(query.HotPaths("3 min", 2, 4))
+	res := metrics.Run(m, stream, metrics.RunConfig{
+		SamplePMsEvery: len(stream) / 40,
+	})
+	t := &Table{
+		ID:     "fig1",
+		Title:  "live partial matches per time bucket (hot-path query)",
+		Header: []string{"bucket", "virtual_time", "partial_matches"},
+	}
+	for i, s := range res.PMSamples {
+		t.Rows = append(t.Rows, []string{
+			count(uint64(i)), s.Time.String(), count(uint64(s.Count)),
+		})
+	}
+	return []*Table{t}
+}
+
+// ds1Setup builds the standard Q1-over-DS1 overload configuration used by
+// Figs 4, 5, 6, 10, and 13: the workload stream is dense enough that
+// unshedded processing violates any of the tested bounds.
+func ds1Setup(o Options, window string, stat metrics.BoundStat) *setup {
+	m := nfa.MustCompile(query.Q1(window))
+	train := gen.DS1(gen.DS1Config{
+		Events: o.scale(12000), Seed: o.Seed + 7, InterArrival: 15 * event.Microsecond,
+	})
+	work := gen.DS1(gen.DS1Config{
+		Events: o.scale(20000), Seed: o.Seed + 8, InterArrival: 15 * event.Microsecond,
+	})
+	return newSetup(m, train, work, stat)
+}
+
+// Fig4LatencyBounds reproduces Fig 4(a-d): recall, throughput, shed-event
+// ratio, and shed-PM ratio for RI, SI, RS, SS, and Hybrid while the bound
+// on the average latency tightens (the paper sweeps 900 to 100 us against
+// an unshedded 1033 us; we sweep the same relative positions).
+func Fig4LatencyBounds(o Options) []*Table {
+	s := ds1Setup(o, "8ms", metrics.BoundMean)
+	fracs := []float64{0.9, 0.7, 0.5, 0.3, 0.1}
+
+	recall := &Table{ID: "fig4a", Title: "recall (%) vs avg-latency bound", Header: append([]string{"bound"}, strategyNames...)}
+	tput := &Table{ID: "fig4b", Title: "throughput (events/s) vs avg-latency bound", Header: append([]string{"bound"}, strategyNames...)}
+	shedEv := &Table{ID: "fig4c", Title: "ratio of shed events (%)", Header: append([]string{"bound"}, strategyNames...)}
+	shedPM := &Table{ID: "fig4d", Title: "ratio of shed PMs (%)", Header: append([]string{"bound"}, strategyNames...)}
+
+	for _, frac := range fracs {
+		bound := s.bound(frac)
+		rowR := []string{fracLabel(frac)}
+		rowT := []string{fracLabel(frac)}
+		rowE := []string{fracLabel(frac)}
+		rowP := []string{fracLabel(frac)}
+		for _, name := range strategyNames {
+			res := s.run(s.strategy(name, bound, o.Seed+11))
+			rowR = append(rowR, pct(s.recallOf(res)))
+			rowT = append(rowT, thr(res.Throughput))
+			rowE = append(rowE, pct(res.ShedEventRatio()))
+			rowP = append(rowP, pct(res.ShedPMRatio()))
+		}
+		recall.Rows = append(recall.Rows, rowR)
+		tput.Rows = append(tput.Rows, rowT)
+		shedEv.Rows = append(shedEv.Rows, rowE)
+		shedPM.Rows = append(shedPM.Rows, rowP)
+	}
+	return []*Table{recall, tput, shedEv, shedPM}
+}
+
+// Fig5HybridDetail reproduces Fig 5: the absolute numbers of shed input
+// events and shed partial matches for the hybrid strategy, under bounds
+// on the average latency (a) and on the 95th-percentile latency (b). The
+// paper's turning point — shed PMs rising then falling as input shedding
+// takes over for tight bounds — is the series to compare.
+func Fig5HybridDetail(o Options) []*Table {
+	fracs := []float64{0.9, 0.7, 0.5, 0.3, 0.1}
+	out := make([]*Table, 0, 2)
+	for _, stat := range []metrics.BoundStat{metrics.BoundMean, metrics.BoundP95} {
+		s := ds1Setup(o, "8ms", stat)
+		id := "fig5a"
+		if stat == metrics.BoundP95 {
+			id = "fig5b"
+		}
+		t := &Table{
+			ID:     id,
+			Title:  "hybrid shed counts vs " + stat.String() + "-latency bound",
+			Header: []string{"bound", "shed_events", "shed_pms"},
+		}
+		for _, frac := range fracs {
+			res := s.run(s.strategy("Hybrid", s.bound(frac), o.Seed+13))
+			t.Rows = append(t.Rows, []string{
+				fracLabel(frac),
+				count(uint64(res.ShedEvents)),
+				count(res.Stats.DroppedPMs),
+			})
+		}
+		out = append(out, t)
+	}
+	return out
+}

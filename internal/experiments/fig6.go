@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"cepshed/internal/baseline"
+	"cepshed/internal/core"
+	"cepshed/internal/metrics"
+	"cepshed/internal/shed"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Selection quality at fixed shedding ratios (input- and state-based)",
+		Run:   Fig6SelectionQuality,
+	})
+}
+
+// Fig6SelectionQuality reproduces Fig 6(a-d): with the shedding ratio
+// fixed (10-90%), how well do the strategies pick WHAT to shed? Input-
+// based: RI vs SI vs HyI (cost-model-ranked events). State-based: RS vs
+// SS vs HyS (cost-model-ranked partial matches).
+func Fig6SelectionQuality(o Options) []*Table {
+	s := ds1Setup(o, "8ms", metrics.BoundMean)
+	ratios := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+
+	inputNames := []string{"RI", "SI", "HyI"}
+	stateNames := []string{"RS", "SS", "HyS"}
+
+	recallIn := &Table{ID: "fig6a", Title: "recall (%) at fixed input-shedding ratios", Header: append([]string{"ratio"}, inputNames...)}
+	tputIn := &Table{ID: "fig6b", Title: "throughput (events/s) at fixed input-shedding ratios", Header: append([]string{"ratio"}, inputNames...)}
+	recallSt := &Table{ID: "fig6c", Title: "recall (%) at fixed state-shedding ratios", Header: append([]string{"ratio"}, stateNames...)}
+	tputSt := &Table{ID: "fig6d", Title: "throughput (events/s) at fixed state-shedding ratios", Header: append([]string{"ratio"}, stateNames...)}
+
+	mk := func(name string, ratio float64) shed.Strategy {
+		seed := o.Seed + 17
+		switch name {
+		case "RI":
+			return baseline.NewRandomInputRatio(ratio, seed)
+		case "SI":
+			return baseline.NewSelectivityInputRatio(s.selectivity(), ratio, seed)
+		case "HyI":
+			return core.NewFixedRatioHybrid(s.costModel(), ratio, true, seed)
+		case "RS":
+			return baseline.NewRandomStateRatio(ratio, seed)
+		case "SS":
+			return baseline.NewSelectivityStateRatio(s.selectivity(), ratio, seed)
+		case "HyS":
+			return core.NewFixedRatioHybrid(s.costModel(), ratio, false, seed)
+		}
+		panic("unknown " + name)
+	}
+
+	for _, ratio := range ratios {
+		rowRI := []string{fracLabel(ratio)}
+		rowTI := []string{fracLabel(ratio)}
+		for _, name := range inputNames {
+			res := s.run(mk(name, ratio))
+			rowRI = append(rowRI, pct(s.recallOf(res)))
+			rowTI = append(rowTI, thr(res.Throughput))
+		}
+		recallIn.Rows = append(recallIn.Rows, rowRI)
+		tputIn.Rows = append(tputIn.Rows, rowTI)
+
+		rowRS := []string{fracLabel(ratio)}
+		rowTS := []string{fracLabel(ratio)}
+		for _, name := range stateNames {
+			res := s.run(mk(name, ratio))
+			rowRS = append(rowRS, pct(s.recallOf(res)))
+			rowTS = append(rowTS, thr(res.Throughput))
+		}
+		recallSt.Rows = append(recallSt.Rows, rowRS)
+		tputSt.Rows = append(tputSt.Rows, rowTS)
+	}
+	return []*Table{recallIn, tputIn, recallSt, tputSt}
+}

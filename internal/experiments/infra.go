@@ -1,0 +1,245 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§VI). Each experiment runs a ground-truth (no shedding) pass to obtain
+// the complete matches and the unshedded latency, derives latency bounds
+// as fractions of that latency as the paper does, runs each shedding
+// strategy, and reports the same series the figure plots. The experiment
+// registry drives both cmd/cepbench and the root bench suite.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cepshed/internal/baseline"
+	"cepshed/internal/core"
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/metrics"
+	"cepshed/internal/nfa"
+	"cepshed/internal/shed"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks streams for fast CI/bench runs; the full scale is the
+	// default for figure reproduction.
+	Quick bool
+	// Seed offsets all generator seeds.
+	Seed int64
+}
+
+// scale returns n in full mode and a reduced count in quick mode.
+func (o Options) scale(n int) int {
+	if o.Quick {
+		return n / 4
+	}
+	return n
+}
+
+// Table is one reproducible output series (a figure panel).
+type Table struct {
+	// ID names the panel (e.g. "fig4a").
+	ID string
+	// Title describes the panel.
+	Title string
+	// Header names the columns; the first column is the swept parameter.
+	Header []string
+	// Rows hold the series, one row per parameter value.
+	Rows [][]string
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintCSV renders the panel as CSV with a leading panel column, ready
+// for plotting tools.
+func (t *Table) PrintCSV(w io.Writer) {
+	fmt.Fprintf(w, "panel,%s\n", strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%s,%s\n", t.ID, strings.Join(row, ","))
+	}
+}
+
+// Experiment is one registered figure reproduction.
+type Experiment struct {
+	// ID is the figure identifier (fig1, fig4, ... fig16).
+	ID string
+	// Title summarizes what the figure shows.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) []*Table
+}
+
+// registry of experiments, populated by the fig*.go files.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return figOrder(out[i].ID) < figOrder(out[j].ID) })
+	return out
+}
+
+// figOrder sorts fig1 < fig4 < ... < fig16 numerically.
+func figOrder(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// setup bundles everything one experimental configuration needs: the
+// compiled query, a training stream for offline estimation, a workload
+// stream, and lazily built artifacts (ground truth, selectivity, model).
+type setup struct {
+	machine   *nfa.Machine
+	train     event.Stream
+	work      event.Stream
+	boundStat metrics.BoundStat
+	costs     engine.Costs
+	trainCfg  core.TrainConfig
+	// deferredNeg switches the engine to witness-based negation
+	// semantics (used by the non-monotonicity experiment).
+	deferredNeg bool
+
+	truth *metrics.RunResult
+	sel   *baseline.Selectivity
+	model *core.Model
+}
+
+func newSetup(m *nfa.Machine, train, work event.Stream, stat metrics.BoundStat) *setup {
+	return &setup{
+		machine:   m,
+		train:     train,
+		work:      work,
+		boundStat: stat,
+		costs:     engine.DefaultCosts(),
+		trainCfg:  core.TrainConfig{Slices: 4, ResourceCosts: false, Seed: 1},
+	}
+}
+
+// truthRun returns (and caches) the no-shedding reference run.
+func (s *setup) truthRun() *metrics.RunResult {
+	if s.truth == nil {
+		s.truth = metrics.Run(s.machine, s.work, metrics.RunConfig{
+			Costs: s.costs, BoundStat: s.boundStat, DeferredNegation: s.deferredNeg,
+		})
+	}
+	return s.truth
+}
+
+// bound returns frac times the unshedded latency statistic.
+func (s *setup) bound(frac float64) event.Time {
+	base := s.boundStat.Of(s.truthRun().Latency)
+	return event.Time(frac * float64(base))
+}
+
+// selectivity returns (and caches) the offline selectivity estimates.
+func (s *setup) selectivity() *baseline.Selectivity {
+	if s.sel == nil {
+		s.sel = baseline.EstimateSelectivity(s.machine, s.train)
+	}
+	return s.sel
+}
+
+// costModel returns (and caches) the trained hybrid cost model.
+func (s *setup) costModel() *core.Model {
+	if s.model == nil {
+		cfg := s.trainCfg
+		cfg.DeferredNegation = s.deferredNeg
+		s.model = core.MustTrain(s.machine, s.train, cfg)
+	}
+	return s.model
+}
+
+// strategyNames are the five latency-bound strategies of the main
+// comparisons.
+var strategyNames = []string{"RI", "SI", "RS", "SS", "Hybrid"}
+
+// strategy builds a latency-bound-driven strategy by name.
+func (s *setup) strategy(name string, bound event.Time, seed int64) shed.Strategy {
+	switch name {
+	case "RI":
+		return baseline.NewRandomInput(bound, seed)
+	case "SI":
+		return baseline.NewSelectivityInput(s.selectivity(), bound, seed)
+	case "RS":
+		return baseline.NewRandomState(bound, seed)
+	case "SS":
+		return baseline.NewSelectivityState(s.selectivity(), bound, seed)
+	case "Hybrid":
+		return core.NewHybrid(s.costModel(), core.Config{Bound: bound, Adapt: true})
+	case "HyS":
+		return core.NewHybrid(s.costModel(), core.Config{Bound: bound, Mode: core.ModeStateOnly, Adapt: true})
+	case "HyI":
+		return core.NewHybrid(s.costModel(), core.Config{Bound: bound, Mode: core.ModeInputOnly, Adapt: true})
+	default:
+		panic("unknown strategy " + name)
+	}
+}
+
+// run executes the workload under a strategy.
+func (s *setup) run(strat shed.Strategy) *metrics.RunResult {
+	return metrics.Run(s.machine, s.work, metrics.RunConfig{
+		Costs: s.costs, Strategy: strat, BoundStat: s.boundStat,
+		DeferredNegation: s.deferredNeg,
+	})
+}
+
+// recallOf computes a run's recall against the cached ground truth.
+func (s *setup) recallOf(r *metrics.RunResult) float64 {
+	return metrics.Recall(s.truthRun().MatchSet(), r.MatchSet())
+}
+
+// precisionOf computes a run's precision against the cached ground truth.
+func (s *setup) precisionOf(r *metrics.RunResult) float64 {
+	return metrics.Precision(s.truthRun().MatchSet(), r.MatchSet())
+}
+
+// Formatting helpers shared by the figures.
+func pct(v float64) string       { return fmt.Sprintf("%.1f", 100*v) }
+func count(v uint64) string      { return fmt.Sprintf("%d", v) }
+func thr(v float64) string       { return fmt.Sprintf("%.0f", v) }
+func fracLabel(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) }

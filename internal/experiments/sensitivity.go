@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/metrics"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Sensitivity to the variance of query selectivity (C.V in U[2,x])",
+		Run:   Fig7SelectivityVariance,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Sensitivity to the time-window size (Q1, 1-16ms)",
+		Run:   Fig8WindowSize,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Sensitivity to the queried pattern length (Q2, length 4-8)",
+		Run:   Fig9PatternLength,
+	})
+}
+
+// sweepStrategies runs all five strategies on a setup at one bound and
+// appends one recall row and one throughput row.
+func sweepStrategies(o Options, s *setup, label string, frac float64, recall, tput *Table) {
+	bound := s.bound(frac)
+	rowR := []string{label}
+	rowT := []string{label}
+	for _, name := range strategyNames {
+		res := s.run(s.strategy(name, bound, o.Seed+19))
+		rowR = append(rowR, pct(s.recallOf(res)))
+		rowT = append(rowT, thr(res.Throughput))
+	}
+	recall.Rows = append(recall.Rows, rowR)
+	tput.Rows = append(tput.Rows, rowT)
+}
+
+// Fig7SelectivityVariance reproduces Fig 7: the V attribute of C events
+// is drawn from U[2,x] with x in {2,4,6,8,10}; small x means the utility
+// of input events is precisely assessable, where input-based shedding
+// (and the hybrid through it) shines with far higher throughput.
+func Fig7SelectivityVariance(o Options) []*Table {
+	recall := &Table{ID: "fig7a", Title: "recall (%) vs variance control x (C.V in U[2,x])", Header: append([]string{"x"}, strategyNames...)}
+	tput := &Table{ID: "fig7b", Title: "throughput (events/s) vs variance control x", Header: append([]string{"x"}, strategyNames...)}
+	for _, x := range []int{2, 4, 6, 8, 10} {
+		m := nfa.MustCompile(query.Q1("8ms"))
+		train := gen.DS1(gen.DS1Config{
+			Events: o.scale(12000), Seed: o.Seed + 21, InterArrival: 15 * event.Microsecond,
+			CVMin: 2, CVMax: x,
+		})
+		work := gen.DS1(gen.DS1Config{
+			Events: o.scale(20000), Seed: o.Seed + 22, InterArrival: 15 * event.Microsecond,
+			CVMin: 2, CVMax: x,
+		})
+		s := newSetup(m, train, work, metrics.BoundP95)
+		sweepStrategies(o, s, fmt.Sprintf("%d", x), 0.5, recall, tput)
+	}
+	return []*Table{recall, tput}
+}
+
+// Fig8WindowSize reproduces Fig 8: Q1's window grows from 1ms to 16ms.
+// Deviation from the paper's setup: the paper holds the input rate steady
+// and its testbed is overloaded at every window size; with our virtual
+// cost calibration, a fixed rate leaves small windows idle (no shedding,
+// recall 100% for everyone) while large windows explode combinatorially.
+// We therefore scale the inter-arrival time with the window so every row
+// operates under comparable overload (~400 events per window), which
+// isolates what the figure studies — how window size affects the cost
+// model's precision and the strategies' recall.
+func Fig8WindowSize(o Options) []*Table {
+	recall := &Table{ID: "fig8a", Title: "recall (%) vs window size", Header: append([]string{"window"}, strategyNames...)}
+	tput := &Table{ID: "fig8b", Title: "throughput (events/s) vs window size", Header: append([]string{"window"}, strategyNames...)}
+	for _, ms := range []int{1, 2, 4, 8, 16} {
+		window := fmt.Sprintf("%dms", ms)
+		ia := event.Time(ms) * event.Millisecond / 400
+		if ia < 2*event.Microsecond {
+			ia = 2 * event.Microsecond
+		}
+		m := nfa.MustCompile(query.Q1(window))
+		train := gen.DS1(gen.DS1Config{
+			Events: o.scale(12000), Seed: o.Seed + 23, InterArrival: ia,
+		})
+		work := gen.DS1(gen.DS1Config{
+			Events: o.scale(16000), Seed: o.Seed + 24, InterArrival: ia,
+		})
+		s := newSetup(m, train, work, metrics.BoundP95)
+		sweepStrategies(o, s, window, 0.5, recall, tput)
+	}
+	return []*Table{recall, tput}
+}
+
+// Fig9PatternLength reproduces Fig 9: Q2's Kleene closure is bounded so
+// the total pattern length runs from 4 to 8; recall should hold roughly
+// stable while throughput collapses with pattern complexity, hybrid
+// degrading the least.
+func Fig9PatternLength(o Options) []*Table {
+	recall := &Table{ID: "fig9a", Title: "recall (%) vs pattern length", Header: append([]string{"length"}, strategyNames...)}
+	tput := &Table{ID: "fig9b", Title: "throughput (events/s) vs pattern length", Header: append([]string{"length"}, strategyNames...)}
+	for _, length := range []int{4, 5, 6, 7, 8} {
+		// The paper varies the LIMIT of the Kleene closure: patterns may
+		// use up to maxReps repetitions (a + b[]{1,maxReps} + c + d), so a
+		// larger limit admits strictly more partial matches.
+		maxReps := length - 3
+		// A 2ms window at a 3us mean gap keeps the engine overloaded even
+		// for the longest patterns.
+		m := nfa.MustCompile(query.Q2("2ms", 1, maxReps))
+		train := gen.DS1(gen.DS1Config{
+			Events: o.scale(12000), Seed: o.Seed + 25, InterArrival: 3 * event.Microsecond,
+		})
+		work := gen.DS1(gen.DS1Config{
+			Events: o.scale(16000), Seed: o.Seed + 26, InterArrival: 3 * event.Microsecond,
+		})
+		s := newSetup(m, train, work, metrics.BoundP95)
+		sweepStrategies(o, s, fmt.Sprintf("%d", length), 0.5, recall, tput)
+	}
+	return []*Table{recall, tput}
+}

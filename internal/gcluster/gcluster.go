@@ -1,0 +1,136 @@
+// Package gcluster simulates a cluster-scheduler task-lifecycle event
+// stream in the spirit of the Google cluster-usage traces the paper's
+// second case study uses (§VI-J). Tasks are submitted, scheduled onto
+// machines, and then either finish, get evicted and rescheduled, or fail.
+// Configurable "eviction storms" raise the eviction probability for a
+// stretch of the stream, which drives the frequency of the
+// submit/schedule/evict/.../fail chains that Listing 3 detects and piles
+// up partial matches. The real traces are not available offline;
+// DESIGN.md §4 documents the substitution.
+package gcluster
+
+import (
+	"math/rand"
+
+	"cepshed/internal/event"
+)
+
+// Storm is a period of elevated eviction probability.
+type Storm struct {
+	// StartFrac/EndFrac delimit the storm as fractions of the task count.
+	StartFrac, EndFrac float64
+	// EvictProb replaces the base eviction probability during the storm.
+	EvictProb float64
+}
+
+// Config parameterizes the simulator.
+type Config struct {
+	// Tasks is the number of task lifecycles to generate.
+	Tasks int
+	// Machines is the number of machines. Default 20.
+	Machines int
+	// MeanGap is the mean gap between consecutive task submissions.
+	// Default 500ms.
+	MeanGap event.Time
+	// StepGap is the mean gap between lifecycle steps of one task.
+	// Default 2s.
+	StepGap event.Time
+	// EvictProb is the base probability that a scheduled task is evicted
+	// (instead of finishing). Default 0.15.
+	EvictProb float64
+	// FailProb is the probability that a task's final scheduling attempt
+	// fails instead of finishing. Default 0.3.
+	FailProb float64
+	// MaxReschedules bounds how often a task can be rescheduled after
+	// evictions. Default 3.
+	MaxReschedules int
+	// Storms are the eviction storms. Default: one storm over the middle
+	// fifth with eviction probability 0.7.
+	Storms []Storm
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tasks <= 0 {
+		c.Tasks = 4000
+	}
+	if c.Machines <= 0 {
+		c.Machines = 20
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = 500 * event.Millisecond
+	}
+	if c.StepGap <= 0 {
+		c.StepGap = 2 * event.Second
+	}
+	if c.EvictProb <= 0 {
+		c.EvictProb = 0.15
+	}
+	if c.FailProb <= 0 {
+		c.FailProb = 0.3
+	}
+	if c.MaxReschedules <= 0 {
+		c.MaxReschedules = 3
+	}
+	if c.Storms == nil {
+		c.Storms = []Storm{{StartFrac: 0.4, EndFrac: 0.6, EvictProb: 0.7}}
+	}
+	return c
+}
+
+// Generate produces the lifecycle stream. Event types are Submit,
+// Schedule, Evict, Fail, and Finish, each with attributes task and
+// machine (Submit carries machine 0).
+func Generate(cfg Config) event.Stream {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var b event.Builder
+	submitAt := event.Time(0)
+	for task := 0; task < cfg.Tasks; task++ {
+		frac := float64(task) / float64(cfg.Tasks)
+		evictProb := cfg.EvictProb
+		for _, st := range cfg.Storms {
+			if frac >= st.StartFrac && frac < st.EndFrac {
+				evictProb = st.EvictProb
+			}
+		}
+		submitAt += event.Time(float64(cfg.MeanGap) * (0.5 + rng.Float64()))
+		t := submitAt
+		id := int64(task + 1)
+		emit := func(typ string, machine int64) {
+			b.Add(event.New(typ, t, map[string]event.Value{
+				"task":    event.Int(id),
+				"machine": event.Int(machine),
+			}))
+		}
+		step := func() {
+			t += event.Time(float64(cfg.StepGap) * (0.5 + rng.Float64()))
+		}
+
+		emit("Submit", 0)
+		prevMachine := int64(0)
+		for attempt := 0; ; attempt++ {
+			step()
+			machine := int64(1 + rng.Intn(cfg.Machines))
+			if machine == prevMachine {
+				machine = 1 + machine%int64(cfg.Machines)
+			}
+			emit("Schedule", machine)
+			prevMachine = machine
+			step()
+			if attempt < cfg.MaxReschedules && rng.Float64() < evictProb {
+				emit("Evict", machine)
+				continue
+			}
+			if rng.Float64() < cfg.FailProb {
+				emit("Fail", machine)
+			} else {
+				emit("Finish", machine)
+			}
+			break
+		}
+	}
+	return b.Finish()
+}

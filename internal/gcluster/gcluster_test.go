@@ -1,0 +1,116 @@
+package gcluster
+
+import (
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+func TestGenerateLifecycles(t *testing.T) {
+	s := Generate(Config{Tasks: 800, Seed: 1})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct per-task lifecycles and validate transitions.
+	last := map[int64]string{}
+	scheduledOn := map[int64]int64{}
+	for _, e := range s {
+		task := e.Int("task")
+		prev := last[task]
+		switch e.Type {
+		case "Submit":
+			if prev != "" {
+				t.Fatalf("task %d submitted twice", task)
+			}
+		case "Schedule":
+			if prev != "Submit" && prev != "Evict" {
+				t.Fatalf("task %d scheduled after %q", task, prev)
+			}
+			scheduledOn[task] = e.Int("machine")
+		case "Evict", "Fail", "Finish":
+			if prev != "Schedule" {
+				t.Fatalf("task %d %s after %q", task, e.Type, prev)
+			}
+			if e.Int("machine") != scheduledOn[task] {
+				t.Fatalf("task %d %s on machine %d but scheduled on %d",
+					task, e.Type, e.Int("machine"), scheduledOn[task])
+			}
+		default:
+			t.Fatalf("unknown type %s", e.Type)
+		}
+		last[task] = e.Type
+	}
+	// Every task ends terminally.
+	for task, state := range last {
+		if state != "Fail" && state != "Finish" {
+			t.Errorf("task %d ends in %q", task, state)
+		}
+	}
+}
+
+func TestRescheduleChangesMachine(t *testing.T) {
+	s := Generate(Config{Tasks: 600, Seed: 2, EvictProb: 0.6})
+	lastSchedule := map[int64]int64{}
+	evicted := map[int64]bool{}
+	for _, e := range s {
+		task := e.Int("task")
+		switch e.Type {
+		case "Schedule":
+			if evicted[task] && e.Int("machine") == lastSchedule[task] {
+				t.Fatalf("task %d rescheduled onto the same machine", task)
+			}
+			lastSchedule[task] = e.Int("machine")
+			evicted[task] = false
+		case "Evict":
+			evicted[task] = true
+		}
+	}
+}
+
+func TestStormRaisesEvictions(t *testing.T) {
+	s := Generate(Config{Tasks: 3000, Seed: 3})
+	evBefore, evDuring, tot := 0, 0, len(s)
+	for i, e := range s {
+		frac := float64(i) / float64(tot)
+		if e.Type != "Evict" {
+			continue
+		}
+		if frac < 0.35 {
+			evBefore++
+		} else if frac >= 0.4 && frac < 0.65 {
+			evDuring++
+		}
+	}
+	if evDuring < 2*evBefore {
+		t.Errorf("storm evictions %d not >> base %d", evDuring, evBefore)
+	}
+}
+
+func TestClusterQueryFindsMatches(t *testing.T) {
+	s := Generate(Config{Tasks: 2500, Seed: 4})
+	m := nfa.MustCompile(query.ClusterTasks("1h"))
+	en := engine.New(m, engine.DefaultCosts())
+	matches := 0
+	for _, e := range s {
+		matches += len(en.Process(e).Matches)
+	}
+	if matches == 0 {
+		t.Fatal("Listing 3 query found no matches on the simulated trace")
+	}
+	t.Logf("cluster matches: %d", matches)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Tasks: 300, Seed: 7})
+	b := Generate(Config{Tasks: 300, Seed: 7})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].Time != b[i].Time {
+			t.Fatal("streams diverge")
+		}
+	}
+}

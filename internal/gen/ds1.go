@@ -1,0 +1,114 @@
+// Package gen generates the paper's synthetic datasets (Table II): DS1
+// with uniformly distributed three-valued payloads and DS2 with skewed,
+// partially overlapping numeric ranges. It also implements the controlled
+// variations the sensitivity experiments use: the variance of C.V (Fig 7)
+// and a mid-stream distribution shift (Fig 12).
+package gen
+
+import (
+	"math/rand"
+
+	"cepshed/internal/event"
+)
+
+// DS1Config parameterizes the DS1 generator.
+type DS1Config struct {
+	// Events is the stream length.
+	Events int
+	// InterArrival is the mean virtual inter-arrival time; actual gaps
+	// are uniform in [0.5, 1.5] times the mean. Default 10us.
+	InterArrival event.Time
+	// IDRange is the ID domain size (Table II: U(1,10)).
+	IDRange int
+	// VMin/VMax bound the default V distribution (Table II: U(1,10)).
+	VMin, VMax int
+	// CVMin/CVMax, when CVMax > 0, control the distribution of V for C
+	// events separately (Fig 7 varies U(2,x); Fig 12 shifts it).
+	CVMin, CVMax int
+	// ShiftAt, when > 0, is the event index at which the C.V distribution
+	// switches to U(ShiftMin, ShiftMax) — the Fig 12 drift scenario.
+	ShiftAt            int
+	ShiftMin, ShiftMax int
+	// BProb, when > 0, sets the occurrence probability of type B; the
+	// remaining types split the rest evenly (§VI-H varies the negated
+	// type's probability from 5% to 50%).
+	BProb float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c DS1Config) withDefaults() DS1Config {
+	if c.Events <= 0 {
+		c.Events = 10000
+	}
+	if c.InterArrival <= 0 {
+		c.InterArrival = 10 * event.Microsecond
+	}
+	if c.IDRange <= 0 {
+		c.IDRange = 10
+	}
+	if c.VMin <= 0 {
+		c.VMin = 1
+	}
+	if c.VMax <= 0 {
+		c.VMax = 10
+	}
+	return c
+}
+
+// DS1 generates a DS1 stream: types uniform over {A,B,C,D}, ID uniform
+// over [1,IDRange], V uniform over [VMin,VMax] (C events optionally
+// controlled).
+func DS1(cfg DS1Config) event.Stream {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	types := []string{"A", "B", "C", "D"}
+	var b event.Builder
+	t := event.Time(0)
+	for i := 0; i < cfg.Events; i++ {
+		t += jitter(rng, cfg.InterArrival)
+		var typ string
+		if cfg.BProb > 0 {
+			if rng.Float64() < cfg.BProb {
+				typ = "B"
+			} else {
+				others := []string{"A", "C", "D"}
+				typ = others[rng.Intn(len(others))]
+			}
+		} else {
+			typ = types[rng.Intn(len(types))]
+		}
+		v := uniformInt(rng, cfg.VMin, cfg.VMax)
+		if typ == "C" {
+			lo, hi := cfg.CVMin, cfg.CVMax
+			if cfg.ShiftAt > 0 && i >= cfg.ShiftAt {
+				lo, hi = cfg.ShiftMin, cfg.ShiftMax
+			}
+			if hi > 0 {
+				v = uniformInt(rng, lo, hi)
+			}
+		}
+		e := event.New(typ, t, map[string]event.Value{
+			"ID": event.Int(int64(uniformInt(rng, 1, cfg.IDRange))),
+			"V":  event.Int(int64(v)),
+		})
+		b.Add(e)
+	}
+	return b.Finish()
+}
+
+// jitter draws an inter-arrival gap uniform in [0.5, 1.5] of the mean.
+func jitter(rng *rand.Rand, mean event.Time) event.Time {
+	g := event.Time(float64(mean) * (0.5 + rng.Float64()))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func uniformInt(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}

@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"math/rand"
+
+	"cepshed/internal/event"
+)
+
+// DS2Config parameterizes the DS2 generator (Table II): events whose
+// numeric payloads are drawn from partially overlapping ranges, giving
+// partial matches widely varying resource costs (§VI-E).
+type DS2Config struct {
+	// Events is the stream length.
+	Events int
+	// InterArrival is the mean virtual inter-arrival time. Default 10us.
+	InterArrival event.Time
+	// IDRange is the ID domain size (Table II: U(1,10)).
+	IDRange int
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c DS2Config) withDefaults() DS2Config {
+	if c.Events <= 0 {
+		c.Events = 10000
+	}
+	if c.InterArrival <= 0 {
+		c.InterArrival = 10 * event.Microsecond
+	}
+	if c.IDRange <= 0 {
+		c.IDRange = 10
+	}
+	return c
+}
+
+// DS2 generates a DS2 stream following Table II:
+//
+//	A.x, A.y, B.x, B.y:  P(0 < X <= 2) = 33%,  P(2 < X <= 4) = 67%
+//	B.v:                 P(X = 2) = 33%,        P(X = 5) = 67%
+//	C.v:                 P(X = 3) = 33%,        P(X = 5) = 67%
+//	D.v:                 P(X = 5) = 33%,        P(X = 2) = 67%
+func DS2(cfg DS2Config) event.Stream {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	types := []string{"A", "B", "C", "D"}
+	var b event.Builder
+	t := event.Time(0)
+	for i := 0; i < cfg.Events; i++ {
+		t += jitter(rng, cfg.InterArrival)
+		typ := types[rng.Intn(len(types))]
+		attrs := map[string]event.Value{
+			"ID": event.Int(int64(uniformInt(rng, 1, cfg.IDRange))),
+		}
+		switch typ {
+		case "A":
+			attrs["x"] = event.Float(skewedRange(rng))
+			attrs["y"] = event.Float(skewedRange(rng))
+		case "B":
+			attrs["x"] = event.Float(skewedRange(rng))
+			attrs["y"] = event.Float(skewedRange(rng))
+			attrs["v"] = event.Float(twoPoint(rng, 2, 5))
+		case "C":
+			attrs["v"] = event.Float(twoPoint(rng, 3, 5))
+		case "D":
+			attrs["v"] = event.Float(twoPoint(rng, 5, 2))
+		}
+		b.Add(event.New(typ, t, attrs))
+	}
+	return b.Finish()
+}
+
+// skewedRange draws from (0,2] with probability 1/3 and (2,4] with 2/3.
+func skewedRange(rng *rand.Rand) float64 {
+	if rng.Float64() < 1.0/3 {
+		return rng.Float64() * 2
+	}
+	return 2 + rng.Float64()*2
+}
+
+// twoPoint returns first with probability 1/3 and second with 2/3.
+func twoPoint(rng *rand.Rand, first, second float64) float64 {
+	if rng.Float64() < 1.0/3 {
+		return first
+	}
+	return second
+}

@@ -1,0 +1,168 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"cepshed/internal/event"
+)
+
+func TestDS1MatchesTableII(t *testing.T) {
+	s := DS1(DS1Config{Events: 8000, Seed: 1})
+	if len(s) != 8000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Types roughly uniform over {A,B,C,D}.
+	counts := map[string]int{}
+	idSeen := map[int64]bool{}
+	vMin, vMax := int64(99), int64(-99)
+	for _, e := range s {
+		counts[e.Type]++
+		idSeen[e.Int("ID")] = true
+		v := e.Int("V")
+		if v < vMin {
+			vMin = v
+		}
+		if v > vMax {
+			vMax = v
+		}
+	}
+	for _, typ := range []string{"A", "B", "C", "D"} {
+		frac := float64(counts[typ]) / float64(len(s))
+		if math.Abs(frac-0.25) > 0.03 {
+			t.Errorf("type %s fraction = %.3f", typ, frac)
+		}
+	}
+	if len(idSeen) != 10 {
+		t.Errorf("distinct IDs = %d, want 10", len(idSeen))
+	}
+	if vMin != 1 || vMax != 10 {
+		t.Errorf("V range = [%d,%d], want [1,10]", vMin, vMax)
+	}
+}
+
+func TestDS1ControlledCV(t *testing.T) {
+	s := DS1(DS1Config{Events: 4000, Seed: 2, CVMin: 2, CVMax: 4})
+	for _, e := range s {
+		if e.Type != "C" {
+			continue
+		}
+		if v := e.Int("V"); v < 2 || v > 4 {
+			t.Fatalf("C.V = %d outside [2,4]", v)
+		}
+	}
+}
+
+func TestDS1Shift(t *testing.T) {
+	s := DS1(DS1Config{
+		Events: 4000, Seed: 3,
+		CVMin: 2, CVMax: 10,
+		ShiftAt: 2000, ShiftMin: 12, ShiftMax: 20,
+	})
+	for i, e := range s {
+		if e.Type != "C" {
+			continue
+		}
+		v := e.Int("V")
+		if i < 2000 && (v < 2 || v > 10) {
+			t.Fatalf("pre-shift C.V = %d", v)
+		}
+		if i >= 2000 && (v < 12 || v > 20) {
+			t.Fatalf("post-shift C.V = %d at %d", v, i)
+		}
+	}
+}
+
+func TestDS1Deterministic(t *testing.T) {
+	a := DS1(DS1Config{Events: 500, Seed: 42})
+	b := DS1(DS1Config{Events: 500, Seed: 42})
+	for i := range a {
+		if a[i].Type != b[i].Type || a[i].Time != b[i].Time || a[i].Int("V") != b[i].Int("V") {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+	c := DS1(DS1Config{Events: 500, Seed: 43})
+	same := true
+	for i := range a {
+		if a[i].Type != c[i].Type || a[i].Int("V") != c[i].Int("V") {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestDS1InterArrival(t *testing.T) {
+	ia := 20 * event.Microsecond
+	s := DS1(DS1Config{Events: 5000, Seed: 4, InterArrival: ia})
+	mean := float64(s.Duration()) / float64(len(s)-1)
+	if math.Abs(mean-float64(ia)) > 0.1*float64(ia) {
+		t.Errorf("mean gap = %.0f, want ~%d", mean, ia)
+	}
+}
+
+func TestDS2MatchesTableII(t *testing.T) {
+	s := DS2(DS2Config{Events: 12000, Seed: 5})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var aLow, aTotal int
+	bv := map[float64]int{}
+	cv := map[float64]int{}
+	dv := map[float64]int{}
+	for _, e := range s {
+		switch e.Type {
+		case "A":
+			x := e.Float("x")
+			if x <= 0 || x > 4 {
+				t.Fatalf("A.x = %v outside (0,4]", x)
+			}
+			aTotal++
+			if x <= 2 {
+				aLow++
+			}
+		case "B":
+			bv[e.Float("v")]++
+		case "C":
+			cv[e.Float("v")]++
+		case "D":
+			dv[e.Float("v")]++
+		}
+	}
+	lowFrac := float64(aLow) / float64(aTotal)
+	if math.Abs(lowFrac-1.0/3) > 0.04 {
+		t.Errorf("P(A.x <= 2) = %.3f, want ~0.33", lowFrac)
+	}
+	checkTwoPoint := func(name string, m map[float64]int, oneThird, twoThirds float64) {
+		t.Helper()
+		total := 0
+		for _, n := range m {
+			total += n
+		}
+		if got := float64(m[oneThird]) / float64(total); math.Abs(got-1.0/3) > 0.05 {
+			t.Errorf("%s: P(%v) = %.3f, want ~0.33", name, oneThird, got)
+		}
+		if got := float64(m[twoThirds]) / float64(total); math.Abs(got-2.0/3) > 0.05 {
+			t.Errorf("%s: P(%v) = %.3f, want ~0.67", name, twoThirds, got)
+		}
+	}
+	checkTwoPoint("B.v", bv, 2, 5)
+	checkTwoPoint("C.v", cv, 3, 5)
+	checkTwoPoint("D.v", dv, 5, 2)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := DS1(DS1Config{Seed: 1})
+	if len(s) != 10000 {
+		t.Errorf("default events = %d", len(s))
+	}
+	s2 := DS2(DS2Config{Seed: 1})
+	if len(s2) != 10000 {
+		t.Errorf("default DS2 events = %d", len(s2))
+	}
+}

@@ -1,0 +1,183 @@
+// Package knapsack implements the 0/1 knapsack solvers that shedding-set
+// selection relies on (§IV-B, §V-C of the paper): an exact dynamic program
+// over scaled integer weights and a greedy value/weight approximation.
+//
+// Shedding-set selection is a minimum-cost covering problem: choose a shed
+// set D minimizing lost contribution subject to saved consumption
+// exceeding the latency violation. MinCover solves it through the
+// complement formulation: keep the maximum-contribution set whose
+// consumption fits in the remaining capacity; everything else is shed.
+package knapsack
+
+import "sort"
+
+// Item is one knapsack item. Value is what we want to keep (contribution
+// share Δ+); Weight is what keeping it costs (consumption share Δ−).
+type Item struct {
+	ID     int
+	Value  float64
+	Weight float64
+}
+
+// defaultResolution scales float weights into DP units. 1000 keeps the DP
+// table small (items × 1000) while giving 0.1% weight precision.
+const defaultResolution = 1000
+
+// SolveDP solves max Σvalue s.t. Σweight <= capacity exactly (up to weight
+// scaling) and returns the IDs of the kept items. Weights and capacity must
+// be non-negative; items with non-positive scaled weight are always kept
+// when their value is positive.
+func SolveDP(items []Item, capacity float64) []int {
+	return solveDP(items, capacity, defaultResolution)
+}
+
+func solveDP(items []Item, capacity float64, resolution int) []int {
+	if capacity < 0 {
+		capacity = 0
+	}
+	w := make([]int, len(items))
+	cap := int(capacity * float64(resolution))
+	for i, it := range items {
+		wi := int(it.Weight*float64(resolution) + 0.5)
+		if wi < 0 {
+			wi = 0
+		}
+		w[i] = wi
+	}
+	// best[c] = max value using a prefix of items within weight c;
+	// choice[i][c] records whether item i is taken at budget c.
+	best := make([]float64, cap+1)
+	choice := make([][]bool, len(items))
+	for i, it := range items {
+		choice[i] = make([]bool, cap+1)
+		if it.Value <= 0 {
+			continue // never beneficial to keep
+		}
+		if w[i] == 0 {
+			for c := 0; c <= cap; c++ {
+				best[c] += it.Value
+				choice[i][c] = true
+			}
+			continue
+		}
+		for c := cap; c >= w[i]; c-- {
+			if cand := best[c-w[i]] + it.Value; cand > best[c] {
+				best[c] = cand
+				choice[i][c] = true
+			}
+		}
+	}
+	// Reconstruct.
+	keep := make([]int, 0, len(items))
+	c := cap
+	for i := len(items) - 1; i >= 0; i-- {
+		if !choice[i][c] {
+			continue
+		}
+		keep = append(keep, items[i].ID)
+		if items[i].Value > 0 {
+			c -= w[i]
+			if c < 0 {
+				c = 0
+			}
+		}
+	}
+	sort.Ints(keep)
+	return keep
+}
+
+// SolveGreedy approximates max Σvalue s.t. Σweight <= capacity by taking
+// items in descending value/weight ratio. Zero-weight positive-value items
+// are always kept. Returns the IDs of the kept items.
+func SolveGreedy(items []Item, capacity float64) []int {
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := items[idx[a]], items[idx[b]]
+		ra := ratio(ia)
+		rb := ratio(ib)
+		if ra != rb {
+			return ra > rb
+		}
+		return ia.Weight < ib.Weight
+	})
+	var used float64
+	keep := make([]int, 0, len(items))
+	for _, i := range idx {
+		it := items[i]
+		if it.Value <= 0 {
+			continue
+		}
+		if it.Weight <= 0 || used+it.Weight <= capacity {
+			keep = append(keep, it.ID)
+			if it.Weight > 0 {
+				used += it.Weight
+			}
+		}
+	}
+	sort.Ints(keep)
+	return keep
+}
+
+func ratio(it Item) float64 {
+	if it.Weight <= 0 {
+		if it.Value > 0 {
+			return 1e18 // free value first
+		}
+		return 0
+	}
+	return it.Value / it.Weight
+}
+
+// Solver selects which algorithm MinCover uses.
+type Solver int
+
+const (
+	// Exact uses the dynamic program.
+	Exact Solver = iota
+	// Greedy uses the ratio heuristic (§V-C).
+	Greedy
+)
+
+// MinCover chooses a shed set D minimizing Σvalue(D) subject to
+// Σweight(D) >= required, via the complement knapsack with capacity
+// total−required. Returns the IDs of the shed items. If required exceeds
+// the total weight, everything is shed. (The paper states the cover
+// constraint strictly; on a continuous consumption measure the non-strict
+// form is operationally identical and avoids degenerate exact covers.)
+func MinCover(items []Item, required float64, solver Solver) []int {
+	var total float64
+	for _, it := range items {
+		total += it.Weight
+	}
+	if required > total {
+		all := make([]int, len(items))
+		for i, it := range items {
+			all[i] = it.ID
+		}
+		sort.Ints(all)
+		return all
+	}
+	capacity := total - required
+	var keep []int
+	switch solver {
+	case Greedy:
+		keep = SolveGreedy(items, capacity)
+	default:
+		keep = SolveDP(items, capacity)
+	}
+	kept := make(map[int]bool, len(keep))
+	for _, id := range keep {
+		kept[id] = true
+	}
+	shed := make([]int, 0, len(items)-len(keep))
+	for _, it := range items {
+		if !kept[it.ID] {
+			shed = append(shed, it.ID)
+		}
+	}
+	sort.Ints(shed)
+	return shed
+}

@@ -1,0 +1,178 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func items(vw ...float64) []Item {
+	out := make([]Item, 0, len(vw)/2)
+	for i := 0; i+1 < len(vw); i += 2 {
+		out = append(out, Item{ID: i / 2, Value: vw[i], Weight: vw[i+1]})
+	}
+	return out
+}
+
+func sumBy(items []Item, ids []int, weight bool) float64 {
+	in := map[int]bool{}
+	for _, id := range ids {
+		in[id] = true
+	}
+	var s float64
+	for _, it := range items {
+		if in[it.ID] {
+			if weight {
+				s += it.Weight
+			} else {
+				s += it.Value
+			}
+		}
+	}
+	return s
+}
+
+func TestSolveDPBasic(t *testing.T) {
+	// Classic: capacity 5, best is items 1+2 (value 7, weight 5).
+	its := items(3, 4, 4, 3, 3, 2)
+	keep := SolveDP(its, 5)
+	if got := sumBy(its, keep, false); got != 7 {
+		t.Errorf("kept value = %v, want 7 (keep=%v)", got, keep)
+	}
+	if w := sumBy(its, keep, true); w > 5.001 {
+		t.Errorf("kept weight = %v exceeds capacity", w)
+	}
+}
+
+func TestSolveDPZeroCapacity(t *testing.T) {
+	its := items(3, 4, 4, 3)
+	keep := SolveDP(its, 0)
+	if w := sumBy(its, keep, true); w > 0.0011 {
+		t.Errorf("zero capacity kept weight %v", w)
+	}
+}
+
+func TestSolveDPZeroWeightItems(t *testing.T) {
+	its := items(5, 0, 1, 1)
+	keep := SolveDP(its, 0.5)
+	if got := sumBy(its, keep, false); got != 5 {
+		t.Errorf("free item not kept: value %v", got)
+	}
+}
+
+func TestSolveDPNonPositiveValueNeverKept(t *testing.T) {
+	its := items(-2, 0.1, 0, 0.1, 3, 0.1)
+	keep := SolveDP(its, 10)
+	if len(keep) != 1 || keep[0] != 2 {
+		t.Errorf("keep = %v, want [2]", keep)
+	}
+}
+
+func TestSolveGreedyRespectsCapacity(t *testing.T) {
+	its := items(10, 5, 6, 4, 5, 4)
+	keep := SolveGreedy(its, 8)
+	if w := sumBy(its, keep, true); w > 8 {
+		t.Errorf("greedy kept weight = %v", w)
+	}
+	if len(keep) == 0 {
+		t.Error("greedy kept nothing")
+	}
+}
+
+func TestSolveGreedyPrefersRatio(t *testing.T) {
+	// Item 0 ratio 2, item 1 ratio 3: only one fits.
+	its := items(4, 2, 6, 2)
+	keep := SolveGreedy(its, 2)
+	if len(keep) != 1 || keep[0] != 1 {
+		t.Errorf("keep = %v, want [1]", keep)
+	}
+}
+
+func TestMinCoverBasic(t *testing.T) {
+	// Four equal-weight classes; require covering > 0.5 of total weight 1.0.
+	its := items(0.4, 0.25, 0.3, 0.25, 0.2, 0.25, 0.1, 0.25)
+	shed := MinCover(its, 0.5, Exact)
+	if w := sumBy(its, shed, true); w <= 0.5-1e-6 {
+		t.Errorf("cover weight = %v, want > 0.5 (shed=%v)", w, shed)
+	}
+	// Optimal shed is the two lowest-value classes {2,3}: value 0.3.
+	if v := sumBy(its, shed, false); v > 0.3+1e-9 {
+		t.Errorf("shed value = %v, want <= 0.3", v)
+	}
+}
+
+func TestMinCoverRequiredExceedsTotal(t *testing.T) {
+	its := items(1, 0.2, 1, 0.3)
+	shed := MinCover(its, 10, Exact)
+	if len(shed) != 2 {
+		t.Errorf("must shed everything, got %v", shed)
+	}
+}
+
+func TestMinCoverGreedyCovers(t *testing.T) {
+	its := items(0.5, 0.1, 0.2, 0.4, 0.2, 0.3, 0.1, 0.2)
+	shed := MinCover(its, 0.6, Greedy)
+	if w := sumBy(its, shed, true); w <= 0.6-1e-6 {
+		t.Errorf("greedy cover weight = %v, want > 0.6", w)
+	}
+}
+
+func TestMinCoverZeroRequired(t *testing.T) {
+	its := items(0.5, 0.5, 0.5, 0.5)
+	shed := MinCover(its, 0, Exact)
+	// Requirement ~0: shedding nothing of value is optimal, but the cover
+	// must still be strictly positive only if required > 0; with 0 nothing
+	// needs shedding.
+	if v := sumBy(its, shed, false); v > 1e-9 {
+		t.Errorf("shed value = %v, want 0", v)
+	}
+}
+
+// Property: DP solution value is never worse than greedy's.
+func TestDPDominatesGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		its := make([]Item, n)
+		var total float64
+		for i := range its {
+			its[i] = Item{ID: i, Value: rng.Float64(), Weight: 0.01 + rng.Float64()}
+			total += its[i].Weight
+		}
+		capacity := rng.Float64() * total
+		dp := sumBy(its, SolveDP(its, capacity), false)
+		gr := sumBy(its, SolveGreedy(its, capacity), false)
+		// Allow for DP weight-scaling granularity.
+		return dp >= gr-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinCover always satisfies the cover requirement (or sheds all).
+func TestMinCoverAlwaysCovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		its := make([]Item, n)
+		var total float64
+		for i := range its {
+			its[i] = Item{ID: i, Value: rng.Float64(), Weight: 0.05 + rng.Float64()}
+			total += its[i].Weight
+		}
+		required := rng.Float64() * total
+		for _, solver := range []Solver{Exact, Greedy} {
+			shed := MinCover(its, required, solver)
+			w := sumBy(its, shed, true)
+			// DP weight scaling grants a small tolerance.
+			if w < required-total*2e-3 && len(shed) < n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package metrics computes the evaluation measures of the paper (§VI-A)
+// — recall, precision, throughput, latency statistics, shed ratios — and
+// provides the Runner that drives a query, a stream, and a shedding
+// strategy through the virtual-time processing loop.
+package metrics
+
+import (
+	"sort"
+
+	"cepshed/internal/event"
+)
+
+// MatchSet is a set of complete-match identities (engine.Match.Key).
+type MatchSet map[string]bool
+
+// Keys builds a MatchSet from a list of match keys.
+func Keys(keys []string) MatchSet {
+	s := make(MatchSet, len(keys))
+	for _, k := range keys {
+		s[k] = true
+	}
+	return s
+}
+
+// Recall returns |got ∩ truth| / |truth| (1 for empty truth).
+func Recall(truth, got MatchSet) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	hit := 0
+	for k := range got {
+		if truth[k] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// Precision returns |got ∩ truth| / |got| (1 for empty got).
+func Precision(truth, got MatchSet) float64 {
+	if len(got) == 0 {
+		return 1
+	}
+	hit := 0
+	for k := range got {
+		if truth[k] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(got))
+}
+
+// LatencySummary aggregates per-event latencies over a whole run.
+type LatencySummary struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Add records one latency sample.
+func (l *LatencySummary) Add(lat event.Time) {
+	l.samples = append(l.samples, float64(lat))
+	l.sum += float64(lat)
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *LatencySummary) Count() int { return len(l.samples) }
+
+// Mean returns the average latency.
+func (l *LatencySummary) Mean() event.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return event.Time(l.sum / float64(len(l.samples)))
+}
+
+// Percentile returns the p-th percentile latency.
+func (l *LatencySummary) Percentile(p float64) event.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	idx := int(p/100*float64(len(l.samples))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(l.samples) {
+		idx = len(l.samples) - 1
+	}
+	return event.Time(l.samples[idx])
+}
+
+// BoundStat selects which latency statistic a bound applies to.
+type BoundStat uint8
+
+const (
+	// BoundMean bounds the sliding average latency.
+	BoundMean BoundStat = iota
+	// BoundP95 bounds the sliding 95th percentile.
+	BoundP95
+	// BoundP99 bounds the sliding 99th percentile.
+	BoundP99
+)
+
+// String names the statistic.
+func (b BoundStat) String() string {
+	switch b {
+	case BoundP95:
+		return "p95"
+	case BoundP99:
+		return "p99"
+	default:
+		return "avg"
+	}
+}
+
+// Of extracts the statistic from a run's latency summary.
+func (b BoundStat) Of(l *LatencySummary) event.Time {
+	switch b {
+	case BoundP95:
+		return l.Percentile(95)
+	case BoundP99:
+		return l.Percentile(99)
+	default:
+		return l.Mean()
+	}
+}

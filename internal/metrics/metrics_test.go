@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/shed"
+)
+
+func TestRecallAndPrecision(t *testing.T) {
+	truth := Keys([]string{"a", "b", "c", "d"})
+	got := Keys([]string{"a", "b", "x"})
+	if r := Recall(truth, got); r != 0.5 {
+		t.Errorf("recall = %v", r)
+	}
+	if p := Precision(truth, got); p < 0.666 || p > 0.667 {
+		t.Errorf("precision = %v", p)
+	}
+	if Recall(MatchSet{}, got) != 1 {
+		t.Error("empty truth recall must be 1")
+	}
+	if Precision(truth, MatchSet{}) != 1 {
+		t.Error("empty got precision must be 1")
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	var l LatencySummary
+	if l.Mean() != 0 || l.Percentile(95) != 0 || l.Count() != 0 {
+		t.Error("empty summary must be zero")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Add(event.Time(i))
+	}
+	if l.Mean() != 50 {
+		t.Errorf("mean = %d", l.Mean())
+	}
+	if l.Percentile(95) != 95 {
+		t.Errorf("p95 = %d", l.Percentile(95))
+	}
+	if l.Percentile(99) != 99 {
+		t.Errorf("p99 = %d", l.Percentile(99))
+	}
+	// Adding after a percentile query re-sorts correctly.
+	l.Add(1000)
+	if l.Percentile(100) != 1000 {
+		t.Errorf("p100 after add = %d", l.Percentile(100))
+	}
+}
+
+func TestBoundStat(t *testing.T) {
+	var l LatencySummary
+	for i := 1; i <= 100; i++ {
+		l.Add(event.Time(i))
+	}
+	if BoundMean.Of(&l) != 50 || BoundP95.Of(&l) != 95 || BoundP99.Of(&l) != 99 {
+		t.Error("BoundStat.Of wrong")
+	}
+	if BoundMean.String() != "avg" || BoundP95.String() != "p95" || BoundP99.String() != "p99" {
+		t.Error("BoundStat names wrong")
+	}
+}
+
+func TestRunNoSheddingFindsAllMatches(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 2000, Seed: 41, InterArrival: 40 * event.Microsecond})
+	res := Run(m, s, RunConfig{})
+	if res.Strategy != "None" {
+		t.Errorf("strategy = %s", res.Strategy)
+	}
+	if res.Events != len(s) {
+		t.Errorf("events = %d", res.Events)
+	}
+	if res.ShedEvents != 0 || res.Stats.DroppedPMs != 0 {
+		t.Error("no-shedding run shed something")
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("no matches found; generator/query mismatch")
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput not measured")
+	}
+	if res.Latency.Count() != len(s) {
+		t.Error("latency samples missing")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 1500, Seed: 42, InterArrival: 40 * event.Microsecond})
+	a := Run(m, s, RunConfig{})
+	b := Run(m, s, RunConfig{})
+	if len(a.Matches) != len(b.Matches) || a.Latency.Mean() != b.Latency.Mean() ||
+		a.Throughput != b.Throughput {
+		t.Error("identical runs diverge")
+	}
+}
+
+func TestRunSamplesPMs(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 1000, Seed: 43, InterArrival: 40 * event.Microsecond})
+	res := Run(m, s, RunConfig{SamplePMsEvery: 100})
+	if len(res.PMSamples) != 10 {
+		t.Fatalf("samples = %d", len(res.PMSamples))
+	}
+	any := false
+	for _, p := range res.PMSamples {
+		if p.Count > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("all PM samples zero")
+	}
+}
+
+// dropAll is a strategy shedding every input event.
+type dropAll struct{ shed.Strategy }
+
+func (dropAll) Name() string                             { return "dropAll" }
+func (dropAll) AdmitEvent(*event.Event, event.Time) bool { return false }
+
+func TestRunWithTotalInputShedding(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 500, Seed: 44, InterArrival: 40 * event.Microsecond})
+	res := Run(m, s, RunConfig{Strategy: dropAll{shed.None{}}})
+	if len(res.Matches) != 0 {
+		t.Error("matches despite total shedding")
+	}
+	if res.ShedEventRatio() != 1 {
+		t.Errorf("shed ratio = %v", res.ShedEventRatio())
+	}
+	// Shed events are nearly free: throughput must dwarf the unshed run.
+	full := Run(m, s, RunConfig{})
+	if res.Throughput <= full.Throughput {
+		t.Error("total shedding did not raise throughput")
+	}
+}
+
+func TestRunRatios(t *testing.T) {
+	r := &RunResult{Events: 100, ShedEvents: 25}
+	r.Stats.CreatedPMs = 40
+	r.Stats.DroppedPMs = 10
+	if r.ShedEventRatio() != 0.25 {
+		t.Error("event ratio")
+	}
+	if r.ShedPMRatio() != 0.25 {
+		t.Error("PM ratio")
+	}
+	empty := &RunResult{}
+	if empty.ShedEventRatio() != 0 || empty.ShedPMRatio() != 0 {
+		t.Error("empty ratios must be 0")
+	}
+}
+
+// Overload sanity: a denser stream must push the no-shedding latency far
+// beyond the service time of a light stream — the regime every shedding
+// experiment depends on.
+func TestOverloadRegime(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	light := gen.DS1(gen.DS1Config{Events: 3000, Seed: 45, InterArrival: 80 * event.Microsecond})
+	dense := gen.DS1(gen.DS1Config{Events: 3000, Seed: 45, InterArrival: 15 * event.Microsecond})
+	lightRes := Run(m, light, RunConfig{})
+	denseRes := Run(m, dense, RunConfig{})
+	if denseRes.Latency.Mean() < 10*lightRes.Latency.Mean() {
+		t.Errorf("dense mean latency %v not >> light %v",
+			denseRes.Latency.Mean(), lightRes.Latency.Mean())
+	}
+	t.Logf("light: mean=%v p95=%v thr=%.0f ev/s, matches=%d",
+		lightRes.Latency.Mean(), lightRes.Latency.Percentile(95), lightRes.Throughput, len(lightRes.Matches))
+	t.Logf("dense: mean=%v p95=%v thr=%.0f ev/s, matches=%d",
+		denseRes.Latency.Mean(), denseRes.Latency.Percentile(95), denseRes.Throughput, len(denseRes.Matches))
+}
+
+var _ = engine.DefaultCosts

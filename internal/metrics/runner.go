@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/shed"
+	"cepshed/internal/vclock"
+)
+
+// RunConfig configures one processing run.
+type RunConfig struct {
+	// Costs calibrates the engine's virtual work. Zero value uses
+	// engine.DefaultCosts().
+	Costs engine.Costs
+	// Strategy is the shedding strategy; nil means no shedding.
+	Strategy shed.Strategy
+	// BoundStat selects the smoothed latency statistic handed to the
+	// strategy's Control (paper figures bound avg, p95, or p99 latency).
+	BoundStat BoundStat
+	// SmoothWindow is the sliding window for the smoothed latency
+	// (paper: a sliding average over 1,000 measurements).
+	SmoothWindow int
+	// SamplePMsEvery, when > 0, samples the live partial-match count
+	// every that many events (Fig 1's series).
+	SamplePMsEvery int
+	// DeferredNegation enables witness-based negation in the engine (the
+	// shedding-sensitive semantics of the non-monotonicity experiment).
+	DeferredNegation bool
+}
+
+// PMSample is one sampled point of the live partial-match count.
+type PMSample struct {
+	Time  event.Time
+	Seq   uint64
+	Count int
+}
+
+// RunResult aggregates everything a run measured.
+type RunResult struct {
+	// Strategy is the name of the strategy that ran.
+	Strategy string
+	// Matches maps match keys to their detection latency.
+	Matches map[string]event.Time
+	// Events is the total number of stream events offered.
+	Events int
+	// ShedEvents is the number discarded by input-based shedding.
+	ShedEvents int
+	// Stats is the engine's counter snapshot.
+	Stats engine.Stats
+	// Latency summarizes per-event latencies over the whole run.
+	Latency *LatencySummary
+	// Throughput is events per virtual second of busy time.
+	Throughput float64
+	// PMSamples is the live partial-match count over time (optional).
+	PMSamples []PMSample
+}
+
+// MatchSet returns the identities of the detected matches.
+func (r *RunResult) MatchSet() MatchSet {
+	s := make(MatchSet, len(r.Matches))
+	for k := range r.Matches {
+		s[k] = true
+	}
+	return s
+}
+
+// ShedEventRatio is the fraction of events discarded by ρI.
+func (r *RunResult) ShedEventRatio() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.ShedEvents) / float64(r.Events)
+}
+
+// ShedPMRatio is the fraction of created partial matches discarded by ρS.
+func (r *RunResult) ShedPMRatio() float64 {
+	if r.Stats.CreatedPMs == 0 {
+		return 0
+	}
+	return float64(r.Stats.DroppedPMs) / float64(r.Stats.CreatedPMs)
+}
+
+// Run drives the stream through a fresh engine under the given strategy
+// and returns the measured result. The virtual-time loop is:
+//
+//  1. ρI decides whether to admit the event; shed events still cost a
+//     small filtering overhead.
+//  2. The engine processes admitted events; the single-server queue turns
+//     the work into a latency sample.
+//  3. The strategy observes results and runs its control step with the
+//     smoothed latency; shedding work is charged to the server.
+func Run(m *nfa.Machine, stream event.Stream, cfg RunConfig) *RunResult {
+	costs := cfg.Costs
+	if costs == (engine.Costs{}) {
+		costs = engine.DefaultCosts()
+	}
+	strategy := cfg.Strategy
+	if strategy == nil {
+		strategy = shed.None{}
+	}
+	smooth := cfg.SmoothWindow
+	if smooth <= 0 {
+		smooth = 1000
+	}
+
+	en := engine.New(m, costs)
+	en.DeferredNegation = cfg.DeferredNegation
+	strategy.Attach(en)
+	var server vclock.Server
+	sliding := vclock.NewSlidingStats(smooth)
+	res := &RunResult{
+		Strategy: strategy.Name(),
+		Matches:  map[string]event.Time{},
+		Latency:  &LatencySummary{},
+	}
+
+	for _, e := range stream {
+		res.Events++
+		if !strategy.AdmitEvent(e, e.Time) {
+			res.ShedEvents++
+			lat := server.Process(e.Time, costs.PerShedEvent)
+			sliding.Add(lat)
+			res.Latency.Add(lat)
+			continue
+		}
+		r := en.Process(e)
+		lat := server.Process(e.Time, r.Work)
+		sliding.Add(lat)
+		res.Latency.Add(lat)
+		for _, match := range r.Matches {
+			res.Matches[match.Key()] = lat
+		}
+		strategy.Observe(&r, e.Time)
+
+		var smoothed event.Time
+		switch cfg.BoundStat {
+		case BoundP95:
+			smoothed = sliding.Percentile(95)
+		case BoundP99:
+			smoothed = sliding.Percentile(99)
+		default:
+			smoothed = sliding.Mean()
+		}
+		if work := strategy.Control(e.Time, smoothed); work > 0 {
+			server.AddWork(work)
+		}
+
+		if cfg.SamplePMsEvery > 0 && res.Events%cfg.SamplePMsEvery == 0 {
+			res.PMSamples = append(res.PMSamples, PMSample{
+				Time: e.Time, Seq: e.Seq, Count: en.LiveCount(),
+			})
+		}
+	}
+	res.Stats = en.Stats()
+	res.Throughput = server.Throughput()
+	return res
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/shed"
+	"cepshed/internal/vclock"
+)
+
+// recorder captures the smoothed latency values handed to Control, so we
+// can verify the runner feeds the configured statistic.
+type recorder struct {
+	shed.None
+	vals []event.Time
+}
+
+func (r *recorder) Control(now event.Time, lat event.Time) vclock.Cost {
+	r.vals = append(r.vals, lat)
+	return 0
+}
+
+func TestRunnerFeedsConfiguredBoundStat(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 1500, Seed: 61, InterArrival: 20 * event.Microsecond})
+	stats := []BoundStat{BoundMean, BoundP95, BoundP99}
+	finals := make([]event.Time, len(stats))
+	for i, st := range stats {
+		rec := &recorder{}
+		Run(m, s, RunConfig{Strategy: rec, BoundStat: st})
+		if len(rec.vals) == 0 {
+			t.Fatal("Control never called")
+		}
+		finals[i] = rec.vals[len(rec.vals)-1]
+	}
+	// Under queueing load the tail statistics dominate the mean.
+	if !(finals[0] <= finals[1] && finals[1] <= finals[2]) {
+		t.Errorf("mean %v, p95 %v, p99 %v not ordered", finals[0], finals[1], finals[2])
+	}
+}
+
+func TestRunnerChargesControlWork(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 400, Seed: 62, InterArrival: 20 * event.Microsecond})
+	free := Run(m, s, RunConfig{})
+	costly := Run(m, s, RunConfig{Strategy: constWork{}})
+	// Charging extra control work must raise observed latency.
+	if costly.Latency.Mean() <= free.Latency.Mean() {
+		t.Errorf("control work not charged: %v <= %v",
+			costly.Latency.Mean(), free.Latency.Mean())
+	}
+}
+
+type constWork struct{ shed.None }
+
+func (constWork) Control(event.Time, event.Time) vclock.Cost { return 5000 }
+
+func TestRunnerSmoothWindowConfigurable(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 300, Seed: 63, InterArrival: 20 * event.Microsecond})
+	// A tiny smoothing window reacts faster; just ensure it runs and the
+	// recorded series differs from the default.
+	recSmall := &recorder{}
+	Run(m, s, RunConfig{Strategy: recSmall, SmoothWindow: 10})
+	recBig := &recorder{}
+	Run(m, s, RunConfig{Strategy: recBig, SmoothWindow: 1000})
+	if len(recSmall.vals) != len(recBig.vals) {
+		t.Fatal("sample counts differ")
+	}
+	same := true
+	for i := range recSmall.vals {
+		if recSmall.vals[i] != recBig.vals[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("smoothing window had no effect")
+	}
+}
+
+var _ = engine.DefaultCosts

@@ -1,0 +1,88 @@
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GapStatistic estimates the optimal number of clusters in points using
+// the gap statistic of Tibshirani, Walther & Hastie (2001): compare the
+// within-cluster dispersion against its expectation under B uniform
+// reference datasets drawn from the bounding box, and pick the smallest k
+// with Gap(k) >= Gap(k+1) - s(k+1). Returns a k in [1, maxK].
+func GapStatistic(points [][]float64, maxK, refSets int, rng *rand.Rand) int {
+	n := len(points)
+	if n == 0 {
+		return 1
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	if maxK > n {
+		maxK = n
+	}
+	if refSets < 1 {
+		refSets = 5
+	}
+	dim := len(points[0])
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	copy(lo, points[0])
+	copy(hi, points[0])
+	for _, p := range points {
+		for d, v := range p {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+
+	logW := make([]float64, maxK+1)
+	gap := make([]float64, maxK+1)
+	sk := make([]float64, maxK+1)
+	for k := 1; k <= maxK; k++ {
+		res := KMeans(points, k, rng)
+		logW[k] = logDispersion(res.Inertia)
+
+		refLogs := make([]float64, refSets)
+		for b := 0; b < refSets; b++ {
+			ref := make([][]float64, n)
+			for i := range ref {
+				p := make([]float64, dim)
+				for d := range p {
+					p[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
+				}
+				ref[i] = p
+			}
+			refLogs[b] = logDispersion(KMeans(ref, k, rng).Inertia)
+		}
+		var mean float64
+		for _, v := range refLogs {
+			mean += v
+		}
+		mean /= float64(refSets)
+		var sd float64
+		for _, v := range refLogs {
+			sd += (v - mean) * (v - mean)
+		}
+		sd = math.Sqrt(sd / float64(refSets))
+		gap[k] = mean - logW[k]
+		sk[k] = sd * math.Sqrt(1+1/float64(refSets))
+	}
+	for k := 1; k < maxK; k++ {
+		if gap[k] >= gap[k+1]-sk[k+1] {
+			return k
+		}
+	}
+	return maxK
+}
+
+func logDispersion(inertia float64) float64 {
+	if inertia <= 0 {
+		return math.Log(1e-12)
+	}
+	return math.Log(inertia)
+}

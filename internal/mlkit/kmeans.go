@@ -1,0 +1,133 @@
+// Package mlkit contains the small machine-learning substrate the cost
+// model needs: k-means clustering, the gap statistic for choosing the
+// number of clusters, and depth-bounded decision trees used as per-state
+// partial-match classifiers (§V-B of the paper).
+package mlkit
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds the outcome of a k-means run.
+type KMeansResult struct {
+	Centroids [][]float64 // k centroids
+	Labels    []int       // cluster index per input point
+	Inertia   float64     // sum of squared distances to assigned centroids
+}
+
+// KMeans clusters points into k clusters using k-means++ seeding and
+// Lloyd's algorithm, deterministic under the given rng. Points must share
+// a dimension; k is clamped to [1, len(points)].
+func KMeans(points [][]float64, k int, rng *rand.Rand) KMeansResult {
+	n := len(points)
+	if n == 0 {
+		return KMeansResult{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+	centroids := seedPlusPlus(points, k, rng)
+	labels := make([]int, n)
+	const maxIter = 100
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := labels[i]
+			counts[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centroids[c] = clone(points[rng.Intn(n)])
+				continue
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centroids[labels[i]])
+	}
+	return KMeansResult{Centroids: centroids, Labels: labels, Inertia: inertia}
+}
+
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, clone(points[rng.Intn(n)]))
+	dists := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if sd := sqDist(p, c); sd < d {
+					d = sd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			// All points coincide with chosen centroids; duplicate one.
+			centroids = append(centroids, clone(points[rng.Intn(n)]))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := 0
+		for i, d := range dists {
+			target -= d
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, clone(points[idx]))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clone(p []float64) []float64 {
+	c := make([]float64, len(p))
+	copy(c, p)
+	return c
+}

@@ -1,0 +1,226 @@
+package mlkit
+
+import (
+	"math"
+	"sort"
+)
+
+// Tree is a depth-bounded binary classification tree over numeric feature
+// vectors (CART with Gini impurity). The paper uses "balanced decision
+// trees, setting the maximal depths to the number of clusters for the
+// respective state" (§V-B); callers pass that depth.
+type Tree struct {
+	root    *node
+	classes int
+	dim     int
+}
+
+type node struct {
+	feature   int // split feature (leaf if left == nil)
+	threshold float64
+	left      *node // feature <= threshold
+	right     *node // feature > threshold
+	label     int
+}
+
+// TrainTree fits a tree on the samples with the given labels (0-based
+// class indices). maxDepth bounds the tree depth; minLeaf is the minimum
+// samples per leaf (clamped to >= 1). Returns nil for empty input.
+func TrainTree(samples [][]float64, labels []int, maxDepth, minLeaf int) *Tree {
+	if len(samples) == 0 || len(samples) != len(labels) {
+		return nil
+	}
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	classes := 0
+	for _, l := range labels {
+		if l+1 > classes {
+			classes = l + 1
+		}
+	}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{classes: classes, dim: len(samples[0])}
+	t.root = t.build(samples, labels, idx, maxDepth, minLeaf)
+	return t
+}
+
+func (t *Tree) build(samples [][]float64, labels []int, idx []int, depth, minLeaf int) *node {
+	counts := make([]int, t.classes)
+	for _, i := range idx {
+		counts[labels[i]]++
+	}
+	majority, majCount := 0, -1
+	pure := true
+	for c, n := range counts {
+		if n > majCount {
+			majority, majCount = c, n
+		}
+		if n != 0 && n != len(idx) {
+			pure = false
+		}
+	}
+	if pure || depth == 0 || len(idx) < 2*minLeaf {
+		return &node{label: majority}
+	}
+	feature, threshold, ok := bestSplit(samples, labels, idx, t.classes, minLeaf)
+	if !ok {
+		return &node{label: majority}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if samples[i][feature] <= threshold {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &node{label: majority}
+	}
+	return &node{
+		feature:   feature,
+		threshold: threshold,
+		left:      t.build(samples, labels, li, depth-1, minLeaf),
+		right:     t.build(samples, labels, ri, depth-1, minLeaf),
+		label:     majority,
+	}
+}
+
+func bestSplit(samples [][]float64, labels []int, idx []int, classes, minLeaf int) (int, float64, bool) {
+	bestGini := math.Inf(1)
+	bestF, bestT := -1, 0.0
+	dim := len(samples[idx[0]])
+	order := make([]int, len(idx))
+	for f := 0; f < dim; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return samples[order[a]][f] < samples[order[b]][f] })
+		leftCounts := make([]int, classes)
+		rightCounts := make([]int, classes)
+		for _, i := range order {
+			rightCounts[labels[i]]++
+		}
+		nLeft := 0
+		nRight := len(order)
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := order[pos]
+			leftCounts[labels[i]]++
+			rightCounts[labels[i]]--
+			nLeft++
+			nRight--
+			v, vn := samples[i][f], samples[order[pos+1]][f]
+			if v == vn {
+				continue // cannot split between equal values
+			}
+			if nLeft < minLeaf || nRight < minLeaf {
+				continue
+			}
+			g := weightedGini(leftCounts, nLeft, rightCounts, nRight)
+			if g < bestGini {
+				bestGini = g
+				bestF = f
+				bestT = (v + vn) / 2
+			}
+		}
+	}
+	return bestF, bestT, bestF >= 0
+}
+
+func weightedGini(lc []int, ln int, rc []int, rn int) float64 {
+	return (gini(lc, ln)*float64(ln) + gini(rc, rn)*float64(rn)) / float64(ln+rn)
+}
+
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+// Predict classifies one feature vector.
+func (t *Tree) Predict(x []float64) int {
+	n := t.root
+	for n.left != nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Depth returns the depth of the trained tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n == nil || n.left == nil {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Region is a hyperrectangle over the feature space: for each feature an
+// inclusive lower bound and an exclusive upper bound (±Inf when open).
+type Region struct {
+	Lo []float64
+	Hi []float64
+}
+
+// Contains reports whether x lies in the region.
+func (r Region) Contains(x []float64) bool {
+	for d := range x {
+		if x[d] < r.Lo[d] || x[d] > r.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ClassRegions returns the feature-space regions whose leaves predict the
+// given label. Input-based shedding derives its event filter from these
+// regions: an event whose features fall into a shed class's region is
+// discarded (§IV-C, §V-A).
+func (t *Tree) ClassRegions(label int) []Region {
+	var regions []Region
+	lo := make([]float64, t.dim)
+	hi := make([]float64, t.dim)
+	for d := 0; d < t.dim; d++ {
+		lo[d] = math.Inf(-1)
+		hi[d] = math.Inf(1)
+	}
+	var walk func(n *node, lo, hi []float64)
+	walk = func(n *node, lo, hi []float64) {
+		if n.left == nil {
+			if n.label == label {
+				regions = append(regions, Region{Lo: clone(lo), Hi: clone(hi)})
+			}
+			return
+		}
+		oldHi := hi[n.feature]
+		hi[n.feature] = math.Min(oldHi, n.threshold)
+		walk(n.left, lo, hi)
+		hi[n.feature] = oldHi
+		oldLo := lo[n.feature]
+		lo[n.feature] = math.Max(oldLo, n.threshold)
+		walk(n.right, lo, hi)
+		lo[n.feature] = oldLo
+	}
+	walk(t.root, lo, hi)
+	return regions
+}

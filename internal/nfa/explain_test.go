@@ -1,0 +1,52 @@
+package nfa
+
+import (
+	"strings"
+	"testing"
+
+	"cepshed/internal/query"
+)
+
+func TestExplainQ1(t *testing.T) {
+	out := MustCompile(query.Q1("8ms")).Explain()
+	for _, frag := range []string{
+		"window: 8ms",
+		"state 0: A a",
+		"state 1: B b",
+		"state 2: C c [final]",
+		"on bind: a.ID = b.ID",
+		"on bind: (a.V+b.V) = c.V",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExplainKleeneAndGuards(t *testing.T) {
+	out := MustCompile(query.HotPaths("1h", 4, 8)).Explain()
+	if !strings.Contains(out, "kleene {4,8}") {
+		t.Errorf("Kleene bounds missing:\n%s", out)
+	}
+	if !strings.Contains(out, "on each repetition:") {
+		t.Errorf("incremental predicates missing:\n%s", out)
+	}
+	out = MustCompile(query.Q4("8ms")).Explain()
+	if !strings.Contains(out, "guard: NOT B b when a.ID = b.ID") {
+		t.Errorf("guard missing:\n%s", out)
+	}
+}
+
+func TestExplainCompletionAndCountWindow(t *testing.T) {
+	q := query.MustParse(`PATTERN SEQ(A a, A+ b[], B c) WHERE AVG(b[].V) > a.V WITHIN 500 EVENTS`)
+	out := MustCompile(q).Explain()
+	if !strings.Contains(out, "on completion: AVG(b[].V) > a.V") {
+		t.Errorf("completion predicate missing:\n%s", out)
+	}
+	if !strings.Contains(out, "window: 500 events") {
+		t.Errorf("count window missing:\n%s", out)
+	}
+	if !strings.Contains(out, "kleene {1,}") {
+		t.Errorf("open kleene missing:\n%s", out)
+	}
+}

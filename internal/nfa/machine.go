@@ -1,0 +1,109 @@
+// Package nfa compiles an analyzed query into the automaton view the
+// engine executes: one state per positive pattern component, with bind
+// and incremental predicates attached to the state's edges and negation
+// guards attached to the gaps between states (cf. Fig 2 of the paper).
+package nfa
+
+import (
+	"fmt"
+
+	"cepshed/internal/query"
+)
+
+// Machine is the compiled automaton for one query.
+type Machine struct {
+	// Query is the source query.
+	Query *query.Query
+	// States are the positive components in pattern order. A partial
+	// match in "state s" has bound states 0..s-1 and waits to bind (or
+	// extend) state s.
+	States []State
+	// Completion holds predicates checked when a full match is emitted.
+	Completion []*query.Predicate
+}
+
+// State is one automaton state.
+type State struct {
+	// Comp is the positive pattern component bound at this state.
+	Comp *query.Component
+	// Bind predicates run when this state binds an event (for Kleene
+	// components: when the match proceeds past them, anchored here).
+	Bind []*query.Predicate
+	// Incremental predicates run on every Kleene take (empty for
+	// non-Kleene components).
+	Incremental []*query.Predicate
+	// Guards are the negated components located between the previous
+	// positive component and this one. A guard is active while a partial
+	// match waits to bind this state; a guard-satisfying event kills the
+	// match.
+	Guards []Guard
+}
+
+// Guard is a negation guard.
+type Guard struct {
+	Comp  *query.Component
+	Preds []*query.Predicate
+}
+
+// Compile builds the machine for q.
+func Compile(q *query.Query) (*Machine, error) {
+	m := &Machine{Query: q, Completion: q.CompletionPredicates()}
+	var pending []Guard
+	for i := range q.Pattern {
+		c := &q.Pattern[i]
+		if c.Negated {
+			pending = append(pending, Guard{Comp: c, Preds: q.NegationPredicates(c.Pos)})
+			continue
+		}
+		bind, inc := q.PredicatesAt(c.Pos)
+		m.States = append(m.States, State{
+			Comp:        c,
+			Bind:        bind,
+			Incremental: inc,
+			Guards:      pending,
+		})
+		pending = nil
+	}
+	if len(pending) > 0 {
+		// analyze() rejects trailing negation, so this is unreachable for
+		// parsed queries; guard against hand-built ones.
+		return nil, fmt.Errorf("nfa: trailing negated component %s", pending[0].Comp.Var)
+	}
+	if len(m.States) == 0 {
+		return nil, fmt.Errorf("nfa: no positive components")
+	}
+	return m, nil
+}
+
+// MustCompile compiles and panics on error.
+func MustCompile(q *query.Query) *Machine {
+	m, err := Compile(q)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NumStates returns the number of automaton states.
+func (m *Machine) NumStates() int { return len(m.States) }
+
+// Final reports whether s is the last state.
+func (m *Machine) Final(s int) bool { return s == len(m.States)-1 }
+
+// IntermediateStates returns the state indices in which live partial
+// matches can rest. A partial match "in state s" has bound state s as its
+// highest component: states 0..n-2 always host live matches, and the
+// final state n-1 does too when it is Kleene (repetitions accumulate
+// there while matches keep being emitted). The cost model maintains one
+// class set per intermediate state (§V-B: "one classifier per state").
+func (m *Machine) IntermediateStates() []int {
+	n := len(m.States)
+	var out []int
+	for s := 0; s < n-1; s++ {
+		out = append(out, s)
+	}
+	if m.States[n-1].Comp.Kleene {
+		out = append(out, n-1)
+	}
+	return out
+}

@@ -1,0 +1,365 @@
+// Package query implements the SASE-style CEP query language used by the
+// paper: PATTERN SEQ(...) WHERE ... WITHIN ..., with Kleene closure,
+// negation, correlation predicates, aggregates, and time- or count-based
+// windows. It provides the lexer, parser, typed AST, static analysis
+// (predicate anchoring), and predicate evaluation.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"cepshed/internal/event"
+)
+
+// Query is a parsed and analyzed CEP query.
+type Query struct {
+	// Pattern is the ordered list of sequence components.
+	Pattern []Component
+	// Where is the conjunction of atomic predicates.
+	Where []*Predicate
+	// Window bounds matches in time or event count.
+	Window Window
+	// Raw is the original query text.
+	Raw string
+}
+
+// Window is a match validity bound: either a virtual-time duration or a
+// count of stream events (the paper's Fig 12 uses 1K-8K event windows).
+type Window struct {
+	Duration event.Time // > 0 for time windows
+	Count    int        // > 0 for count windows
+}
+
+// Component is one element of the SEQ pattern.
+type Component struct {
+	// Type is the required event type.
+	Type string
+	// Var is the variable name binding the event(s).
+	Var string
+	// Kleene marks a Kleene-closure component (Type+ var[]).
+	Kleene bool
+	// Negated marks a NOT component: no matching event may occur between
+	// the neighbouring positive components.
+	Negated bool
+	// MinReps/MaxReps bound Kleene repetitions; MaxReps 0 means unbounded.
+	MinReps int
+	MaxReps int
+	// Pos is the component's index in the pattern.
+	Pos int
+}
+
+// IndexKind says how a Kleene variable is indexed in a field reference.
+type IndexKind uint8
+
+const (
+	// IdxNone is a plain reference to a non-Kleene variable.
+	IdxNone IndexKind = iota
+	// IdxCurrent is k[i] (or k[i+1] when paired): the repetition being
+	// bound right now during an incremental check.
+	IdxCurrent
+	// IdxPrev is k[i] when the same predicate also uses k[i+1]: the
+	// repetition bound immediately before the current one.
+	IdxPrev
+	// IdxFirst is k[1]: the first repetition.
+	IdxFirst
+	// IdxLast is k[last]: the most recent repetition.
+	IdxLast
+	// IdxAll is k[]: all repetitions (only valid inside aggregates).
+	IdxAll
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case IdxNone:
+		return ""
+	case IdxCurrent:
+		return "[i+1]"
+	case IdxPrev:
+		return "[i]"
+	case IdxFirst:
+		return "[1]"
+	case IdxLast:
+		return "[last]"
+	case IdxAll:
+		return "[]"
+	default:
+		return "[?]"
+	}
+}
+
+// Anchor describes when a predicate becomes checkable.
+type Anchor uint8
+
+const (
+	// AnchorBind predicates run when their anchor component binds an event.
+	AnchorBind Anchor = iota
+	// AnchorIncremental predicates run on every Kleene take of the anchor.
+	AnchorIncremental
+	// AnchorComplete predicates run when a full match is about to be
+	// emitted (e.g. aggregate over a trailing Kleene).
+	AnchorComplete
+	// AnchorNegation predicates guard a negated component; they run
+	// against candidate events of the negated type.
+	AnchorNegation
+)
+
+// Predicate is one atomic boolean condition of the WHERE clause.
+type Predicate struct {
+	// Expr is the boolean expression (comparison or membership).
+	Expr Expr
+	// Refs are the field references appearing in Expr.
+	Refs []*FieldRef
+	// AnchorPos is the pattern position at which the predicate runs.
+	AnchorPos int
+	// Kind classifies when the predicate is evaluated.
+	Kind Anchor
+}
+
+// String renders the predicate.
+func (p *Predicate) String() string { return p.Expr.String() }
+
+// Expr is a node of a predicate expression tree.
+type Expr interface {
+	String() string
+	// walk visits the expression and its children.
+	walk(func(Expr))
+}
+
+// Literal is a numeric or string constant.
+type Literal struct{ Val event.Value }
+
+func (l *Literal) String() string    { return l.Val.String() }
+func (l *Literal) walk(f func(Expr)) { f(l) }
+
+// FieldRef references an attribute of a bound pattern variable.
+type FieldRef struct {
+	Var   string
+	Index IndexKind
+	Attr  string
+	// comp is resolved during analysis.
+	comp *Component
+}
+
+func (r *FieldRef) String() string    { return r.Var + r.Index.String() + "." + r.Attr }
+func (r *FieldRef) walk(f func(Expr)) { f(r) }
+
+// Component returns the pattern component the reference resolves to.
+func (r *FieldRef) Component() *Component { return r.comp }
+
+// BinaryOp enumerates arithmetic operators.
+type BinaryOp uint8
+
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+)
+
+func (o BinaryOp) String() string { return [...]string{"+", "-", "*", "/", "^"}[o] }
+
+// Binary is an arithmetic expression.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+func (b *Binary) String() string {
+	return "(" + b.L.String() + b.Op.String() + b.R.String() + ")"
+}
+func (b *Binary) walk(f func(Expr)) { f(b); b.L.walk(f); b.R.walk(f) }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (o CmpOp) String() string { return [...]string{"=", "!=", "<", "<=", ">", ">="}[o] }
+
+// Compare is a boolean comparison.
+type Compare struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+func (c *Compare) String() string {
+	return c.L.String() + " " + c.Op.String() + " " + c.R.String()
+}
+func (c *Compare) walk(f func(Expr)) { f(c); c.L.walk(f); c.R.walk(f) }
+
+// Member is a set-membership test (x IN (v1, v2, ...)).
+type Member struct {
+	X      Expr
+	Values []event.Value
+}
+
+func (m *Member) String() string {
+	parts := make([]string, len(m.Values))
+	for i, v := range m.Values {
+		parts[i] = v.String()
+	}
+	return m.X.String() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+func (m *Member) walk(f func(Expr)) { f(m); m.X.walk(f) }
+
+// Func enumerates the built-in functions.
+type Func uint8
+
+const (
+	FnSqrt Func = iota
+	FnAbs
+	FnAvg
+	FnSum
+	FnMin
+	FnMax
+	FnCount
+)
+
+func (f Func) String() string {
+	return [...]string{"SQRT", "ABS", "AVG", "SUM", "MIN", "MAX", "COUNT"}[f]
+}
+
+// Call is a function application. Aggregate functions (AVG, SUM, MIN, MAX,
+// COUNT) accept multiple arguments and expand k[] references over all
+// Kleene repetitions; SQRT and ABS take a single argument.
+type Call struct {
+	Fn   Func
+	Args []Expr
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Fn.String() + "(" + strings.Join(parts, ", ") + ")"
+}
+func (c *Call) walk(f func(Expr)) {
+	f(c)
+	for _, a := range c.Args {
+		a.walk(f)
+	}
+}
+
+// Component lookup by variable name.
+func (q *Query) component(name string) *Component {
+	for i := range q.Pattern {
+		if q.Pattern[i].Var == name {
+			return &q.Pattern[i]
+		}
+	}
+	return nil
+}
+
+// KleeneCount returns the number of Kleene components.
+func (q *Query) KleeneCount() int {
+	n := 0
+	for _, c := range q.Pattern {
+		if c.Kleene {
+			n++
+		}
+	}
+	return n
+}
+
+// HasNegation reports whether the pattern contains a negated component.
+// Queries with negation are non-monotonic (§III-A): shedding may create
+// false positives.
+func (q *Query) HasNegation() bool {
+	for _, c := range q.Pattern {
+		if c.Negated {
+			return true
+		}
+	}
+	return false
+}
+
+// PredicateAttrs returns, per variable name, the set of attributes that
+// appear in query predicates. The cost-model classifiers use exactly these
+// attributes as predictor variables (§V-B).
+func (q *Query) PredicateAttrs() map[string][]string {
+	seen := map[string]map[string]bool{}
+	for _, p := range q.Where {
+		for _, r := range p.Refs {
+			if seen[r.Var] == nil {
+				seen[r.Var] = map[string]bool{}
+			}
+			seen[r.Var][r.Attr] = true
+		}
+	}
+	out := map[string][]string{}
+	for v, attrs := range seen {
+		list := make([]string, 0, len(attrs))
+		for a := range attrs {
+			list = append(list, a)
+		}
+		sortStrings(list)
+		out[v] = list
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (q *Query) String() string {
+	if q.Raw != "" {
+		return q.Raw
+	}
+	var b strings.Builder
+	b.WriteString("PATTERN SEQ(")
+	for i, c := range q.Pattern {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if c.Negated {
+			b.WriteString("NOT ")
+		}
+		b.WriteString(c.Type)
+		if c.Kleene {
+			b.WriteByte('+')
+		}
+		b.WriteByte(' ')
+		b.WriteString(c.Var)
+		if c.Kleene {
+			b.WriteString("[]")
+			if c.MinReps > 1 || c.MaxReps > 0 {
+				fmt.Fprintf(&b, "{%d,", c.MinReps)
+				if c.MaxReps > 0 {
+					fmt.Fprintf(&b, "%d", c.MaxReps)
+				}
+				b.WriteByte('}')
+			}
+		}
+	}
+	b.WriteByte(')')
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if q.Window.Count > 0 {
+		fmt.Fprintf(&b, " WITHIN %d EVENTS", q.Window.Count)
+	} else {
+		fmt.Fprintf(&b, " WITHIN %s", q.Window.Duration)
+	}
+	return b.String()
+}

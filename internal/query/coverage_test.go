@@ -1,0 +1,192 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"cepshed/internal/event"
+)
+
+func TestIndexKindStrings(t *testing.T) {
+	cases := map[IndexKind]string{
+		IdxNone:    "",
+		IdxCurrent: "[i+1]",
+		IdxPrev:    "[i]",
+		IdxFirst:   "[1]",
+		IdxLast:    "[last]",
+		IdxAll:     "[]",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("IndexKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if IndexKind(99).String() != "[?]" {
+		t.Error("unknown index kind should render as [?]")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	q := MustParse(`PATTERN SEQ(A a, A+ b[], B c)
+		WHERE SQRT(a.x^2) + AVG(b[].V) - 3 * a.y / 2 >= 1
+		AND c.end IN (7, 'x')
+		AND b[last].V != b[1].V
+		WITHIN 1ms`)
+	joined := ""
+	for _, p := range q.Where {
+		joined += p.String() + " AND "
+	}
+	for _, frag := range []string{
+		"SQRT((a.x^2))", "AVG(b[].V)", ">= 1",
+		`c.end IN (7, "x")`, "b[last].V != b[1].V",
+	} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("predicate string missing %q in %q", frag, joined)
+		}
+	}
+}
+
+func TestFieldRefComponentAccessor(t *testing.T) {
+	q := Q1("8ms")
+	r := q.Where[0].Refs[0]
+	if r.Component() == nil || r.Component().Var != r.Var {
+		t.Error("FieldRef.Component broken")
+	}
+}
+
+func TestWindowEventAlias(t *testing.T) {
+	q := MustParse(`PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 1 EVENT`)
+	if q.Window.Count != 1 {
+		t.Errorf("singular EVENT unit: %+v", q.Window)
+	}
+	q = MustParse(`PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 3 sec`)
+	if q.Window.Duration != 3*event.Second {
+		t.Errorf("sec unit: %+v", q.Window)
+	}
+	q = MustParse(`PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 10ns`)
+	if q.Window.Duration != 10 {
+		t.Errorf("ns unit: %+v", q.Window)
+	}
+}
+
+func TestNegativeLiteralsInSetsAndComparisons(t *testing.T) {
+	q := MustParse(`PATTERN SEQ(A a) WHERE a.V IN (-1, -2.5, 3) WITHIN 1ms`)
+	m := q.Where[0].Expr.(*Member)
+	if m.Values[0].AsInt() != -1 || m.Values[1].AsFloat() != -2.5 {
+		t.Errorf("negative set literals: %v", m.Values)
+	}
+	if _, err := Parse(`PATTERN SEQ(A a) WHERE a.V IN (-'x') WITHIN 1ms`); err == nil {
+		t.Error("negated string literal should fail")
+	}
+}
+
+func TestParseCallErrors(t *testing.T) {
+	bad := []string{
+		`PATTERN SEQ(A a) WHERE SQRT(a.x, a.y) = 1 WITHIN 1ms`, // arity
+		`PATTERN SEQ(A a) WHERE ABS() = 1 WITHIN 1ms`,          // empty args
+		`PATTERN SEQ(A a) WHERE AVG(a.x = 1 WITHIN 1ms`,        // unterminated
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalCompareOps(t *testing.T) {
+	b := &fakeBinding{singles: map[int]*event.Event{
+		0: ev("A", map[string]event.Value{"V": event.Int(5)}),
+	}}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`a.V = 5`, true}, {`a.V != 5`, false},
+		{`a.V < 6`, true}, {`a.V <= 5`, true},
+		{`a.V > 4`, true}, {`a.V >= 6`, false},
+	}
+	for _, c := range cases {
+		q := MustParse(`PATTERN SEQ(A a) WHERE ` + c.src + ` WITHIN 1ms`)
+		got, err := EvalPredicate(q.Where[0], b)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalMixedIntFloatArithmetic(t *testing.T) {
+	b := &fakeBinding{singles: map[int]*event.Event{
+		0: ev("A", map[string]event.Value{"i": event.Int(7), "f": event.Float(0.5)}),
+	}}
+	q := MustParse(`PATTERN SEQ(A a) WHERE a.i * a.f = 3.5 AND a.i - 2 = 5 AND a.i + a.f > 7 WITHIN 1ms`)
+	for _, p := range q.Where {
+		if ok, err := EvalPredicate(p, b); err != nil || !ok {
+			t.Errorf("%s: ok=%v err=%v", p, ok, err)
+		}
+	}
+}
+
+func TestEvalAggregateErrors(t *testing.T) {
+	// Aggregate over a string attribute fails.
+	q := MustParse(`PATTERN SEQ(A a, A+ b[], B c) WHERE AVG(b[].S) > 1 WITHIN 1ms`)
+	b := &fakeBinding{
+		singles: map[int]*event.Event{0: ev("A", nil)},
+		kleenes: map[int][]*event.Event{1: {ev("A", map[string]event.Value{"S": event.Str("x")})}},
+	}
+	if _, err := EvalPredicate(q.Where[0], b); err == nil {
+		t.Error("aggregate over strings should error")
+	}
+	// MIN over an empty expansion fails (no repetitions bound).
+	q2 := MustParse(`PATTERN SEQ(A a, A+ b[], B c) WHERE MIN(b[].V) > 1 WITHIN 1ms`)
+	b2 := &fakeBinding{
+		singles: map[int]*event.Event{0: ev("A", nil)},
+		kleenes: map[int][]*event.Event{1: nil},
+	}
+	if _, err := EvalPredicate(q2.Where[0], b2); err == nil {
+		t.Error("aggregate over empty set should error")
+	}
+	// COUNT over an empty expansion is 0, not an error.
+	q3 := MustParse(`PATTERN SEQ(A a, A+ b[], B c) WHERE COUNT(b[].V) = 0 WITHIN 1ms`)
+	if ok, err := EvalPredicate(q3.Where[0], b2); err != nil || !ok {
+		t.Errorf("COUNT over empty: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestEvalFirstIndexOnEmptyKleene(t *testing.T) {
+	q := MustParse(`PATTERN SEQ(A+ b[], B c) WHERE c.V = b[1].V WITHIN 1ms`)
+	b := &fakeBinding{
+		singles: map[int]*event.Event{1: ev("B", map[string]event.Value{"V": event.Int(1)})},
+		kleenes: map[int][]*event.Event{0: nil},
+	}
+	if _, err := EvalPredicate(q.Where[0], b); err == nil {
+		t.Error("b[1] with no repetitions should error")
+	}
+}
+
+func TestQueryStringSynthesized(t *testing.T) {
+	// A query built without Raw renders from the AST.
+	q := Q1("8ms")
+	q.Raw = ""
+	s := q.String()
+	if !strings.Contains(s, "PATTERN SEQ(A a, B b, C c)") {
+		t.Errorf("synthesized string: %q", s)
+	}
+	if !strings.Contains(s, "WITHIN 8ms") {
+		t.Errorf("window missing: %q", s)
+	}
+	// Count window rendering.
+	q2 := MustParse(`PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 100 EVENTS`)
+	q2.Raw = ""
+	if !strings.Contains(q2.String(), "WITHIN 100 EVENTS") {
+		t.Errorf("count window: %q", q2.String())
+	}
+	// Kleene bounds rendering.
+	q3 := MustParse(`PATTERN SEQ(A+ b[]{2,5}, B c) WHERE c.ID = b[last].ID WITHIN 1ms`)
+	q3.Raw = ""
+	if !strings.Contains(q3.String(), "b[]{2,5}") {
+		t.Errorf("kleene bounds: %q", q3.String())
+	}
+}

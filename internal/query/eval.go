@@ -1,0 +1,296 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"cepshed/internal/event"
+)
+
+// Binding supplies the events bound by a (partial) match for predicate
+// evaluation. Positions refer to Component.Pos.
+type Binding interface {
+	// Single returns the event bound at a non-Kleene position (nil if the
+	// position is not bound yet).
+	Single(pos int) *event.Event
+	// Kleene returns the repetitions bound so far at a Kleene position.
+	Kleene(pos int) []*event.Event
+	// Current returns the candidate event being examined right now: the
+	// repetition being taken for incremental predicates, or the candidate
+	// of the negated type for negation predicates.
+	Current() *event.Event
+}
+
+// EvalPredicate evaluates an analyzed predicate under a binding. Missing
+// attributes, unbound variables, and type errors yield an error; callers
+// generally treat an error as "predicate not satisfied".
+func EvalPredicate(p *Predicate, b Binding) (bool, error) {
+	ev := evaluator{b: b, allIdx: -1}
+	return ev.evalBool(p.Expr)
+}
+
+type evaluator struct {
+	b      Binding
+	allIdx int // >= 0 while expanding an IdxAll reference
+}
+
+func (ev *evaluator) evalBool(e Expr) (bool, error) {
+	switch n := e.(type) {
+	case *Compare:
+		l, err := ev.eval(n.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.eval(n.R)
+		if err != nil {
+			return false, err
+		}
+		return compare(n.Op, l, r), nil
+	case *Member:
+		x, err := ev.eval(n.X)
+		if err != nil {
+			return false, err
+		}
+		for _, v := range n.Values {
+			if x.Equal(v) {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("query: expression %s is not boolean", e)
+	}
+}
+
+func compare(op CmpOp, l, r event.Value) bool {
+	switch op {
+	case CmpEq:
+		return l.Equal(r)
+	case CmpNe:
+		return !l.Equal(r)
+	case CmpLt:
+		return l.Compare(r) < 0
+	case CmpLe:
+		return l.Compare(r) <= 0
+	case CmpGt:
+		return l.Compare(r) > 0
+	case CmpGe:
+		return l.Compare(r) >= 0
+	default:
+		return false
+	}
+}
+
+func (ev *evaluator) eval(e Expr) (event.Value, error) {
+	switch n := e.(type) {
+	case *Literal:
+		return n.Val, nil
+	case *FieldRef:
+		return ev.evalRef(n)
+	case *Binary:
+		l, err := ev.eval(n.L)
+		if err != nil {
+			return event.Value{}, err
+		}
+		r, err := ev.eval(n.R)
+		if err != nil {
+			return event.Value{}, err
+		}
+		return arith(n.Op, l, r)
+	case *Call:
+		return ev.evalCall(n)
+	default:
+		return event.Value{}, fmt.Errorf("query: cannot evaluate %s as a value", e)
+	}
+}
+
+func arith(op BinaryOp, l, r event.Value) (event.Value, error) {
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return event.Value{}, fmt.Errorf("query: arithmetic on non-numeric values %s, %s", l, r)
+	}
+	// Integer arithmetic stays integral except for division and power.
+	if l.Kind == event.KindInt && r.Kind == event.KindInt {
+		switch op {
+		case OpAdd:
+			return event.Int(l.I + r.I), nil
+		case OpSub:
+			return event.Int(l.I - r.I), nil
+		case OpMul:
+			return event.Int(l.I * r.I), nil
+		}
+	}
+	lf, rf := l.AsFloat(), r.AsFloat()
+	switch op {
+	case OpAdd:
+		return event.Float(lf + rf), nil
+	case OpSub:
+		return event.Float(lf - rf), nil
+	case OpMul:
+		return event.Float(lf * rf), nil
+	case OpDiv:
+		if rf == 0 {
+			return event.Value{}, fmt.Errorf("query: division by zero")
+		}
+		return event.Float(lf / rf), nil
+	case OpPow:
+		return event.Float(math.Pow(lf, rf)), nil
+	default:
+		return event.Value{}, fmt.Errorf("query: unknown operator %s", op)
+	}
+}
+
+func (ev *evaluator) evalRef(r *FieldRef) (event.Value, error) {
+	c := r.comp
+	if c == nil {
+		return event.Value{}, fmt.Errorf("query: unresolved reference %s", r)
+	}
+	var e *event.Event
+	switch {
+	case c.Negated:
+		e = ev.b.Current()
+	case !c.Kleene:
+		e = ev.b.Single(c.Pos)
+	default:
+		reps := ev.b.Kleene(c.Pos)
+		switch r.Index {
+		case IdxCurrent:
+			e = ev.b.Current()
+		case IdxPrev:
+			if len(reps) == 0 {
+				return event.Value{}, errNoPrev
+			}
+			e = reps[len(reps)-1]
+		case IdxFirst:
+			if len(reps) == 0 {
+				return event.Value{}, fmt.Errorf("query: %s has no repetitions", r.Var)
+			}
+			e = reps[0]
+		case IdxLast:
+			if len(reps) == 0 {
+				return event.Value{}, fmt.Errorf("query: %s has no repetitions", r.Var)
+			}
+			e = reps[len(reps)-1]
+		case IdxAll:
+			if ev.allIdx < 0 || ev.allIdx >= len(reps) {
+				return event.Value{}, fmt.Errorf("query: %s[] outside aggregate expansion", r.Var)
+			}
+			e = reps[ev.allIdx]
+		}
+	}
+	if e == nil {
+		return event.Value{}, fmt.Errorf("query: variable %s is not bound", r.Var)
+	}
+	v, ok := e.Get(r.Attr)
+	if !ok {
+		return event.Value{}, fmt.Errorf("query: event %s has no attribute %s", e.Type, r.Attr)
+	}
+	return v, nil
+}
+
+// errNoPrev marks the vacuous first Kleene repetition: an incremental
+// predicate pairing k[i+1] with k[i] is trivially satisfied when no
+// previous repetition exists. The engine checks for it via IsVacuous.
+var errNoPrev = fmt.Errorf("query: no previous Kleene repetition")
+
+// IsVacuous reports whether an evaluation error means the predicate was
+// not applicable (first Kleene repetition) rather than failed.
+func IsVacuous(err error) bool { return err == errNoPrev }
+
+func (ev *evaluator) evalCall(c *Call) (event.Value, error) {
+	switch c.Fn {
+	case FnSqrt, FnAbs:
+		v, err := ev.eval(c.Args[0])
+		if err != nil {
+			return event.Value{}, err
+		}
+		if !v.IsNumeric() {
+			return event.Value{}, fmt.Errorf("query: %s of non-numeric %s", c.Fn, v)
+		}
+		if c.Fn == FnAbs {
+			return event.Float(math.Abs(v.AsFloat())), nil
+		}
+		f := v.AsFloat()
+		if f < 0 {
+			return event.Value{}, fmt.Errorf("query: SQRT of negative value %v", f)
+		}
+		return event.Float(math.Sqrt(f)), nil
+	}
+	// Aggregates: expand each argument; arguments containing k[] refs
+	// contribute one value per repetition.
+	var vals []float64
+	for _, a := range c.Args {
+		allVar := findAllRef(a)
+		if allVar == nil {
+			v, err := ev.eval(a)
+			if err != nil {
+				return event.Value{}, err
+			}
+			if !v.IsNumeric() {
+				return event.Value{}, fmt.Errorf("query: aggregate over non-numeric %s", v)
+			}
+			vals = append(vals, v.AsFloat())
+			continue
+		}
+		reps := ev.b.Kleene(allVar.comp.Pos)
+		for j := range reps {
+			sub := evaluator{b: ev.b, allIdx: j}
+			v, err := sub.eval(a)
+			if err != nil {
+				return event.Value{}, err
+			}
+			if !v.IsNumeric() {
+				return event.Value{}, fmt.Errorf("query: aggregate over non-numeric %s", v)
+			}
+			vals = append(vals, v.AsFloat())
+		}
+	}
+	if c.Fn == FnCount {
+		return event.Int(int64(len(vals))), nil
+	}
+	if len(vals) == 0 {
+		return event.Value{}, fmt.Errorf("query: %s over empty set", c.Fn)
+	}
+	switch c.Fn {
+	case FnAvg:
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return event.Float(s / float64(len(vals))), nil
+	case FnSum:
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return event.Float(s), nil
+	case FnMin:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return event.Float(m), nil
+	case FnMax:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return event.Float(m), nil
+	default:
+		return event.Value{}, fmt.Errorf("query: unknown function %s", c.Fn)
+	}
+}
+
+// findAllRef returns the first k[] reference inside e, or nil.
+func findAllRef(e Expr) *FieldRef {
+	var found *FieldRef
+	e.walk(func(x Expr) {
+		if r, ok := x.(*FieldRef); ok && r.Index == IdxAll && found == nil {
+			found = r
+		}
+	})
+	return found
+}

@@ -1,0 +1,38 @@
+package query
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that every accepted
+// query re-parses from its String rendering (round-trip stability).
+// Run with `go test -fuzz FuzzParse ./internal/query` for exploration;
+// the seed corpus runs as part of the normal test suite.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 8ms`,
+		`PATTERN SEQ(A+ a[]{2,5}, B b) WHERE b.ID = a[last].ID WITHIN 1000 EVENTS`,
+		`PATTERN SEQ(A a, NOT B b, C c) WHERE a.ID = b.ID AND a.ID = c.ID WITHIN 1h`,
+		`PATTERN SEQ(A a) WHERE SQRT(a.x^2 + a.y^2) >= -1.5 WITHIN 1ms`,
+		`PATTERN SEQ(A a) WHERE a.end ∈ {7,8,9} WITHIN 1ms`,
+		`PATTERN SEQ(A a) WHERE a.u IN ('x', 'y') WITHIN 1ms`,
+		`PATTERN SEQ(`,
+		`PATTERN SEQ(A a) WHERE WITHIN`,
+		"PATTERN SEQ(A a) WHERE a.x = 'unterminated",
+		`pattern seq(a a, b+ b[], c c) where a.id = b[i].id within 2 min`,
+		`PATTERN SEQ(A a) WHERE AVG(a.x, a.y) > COUNT(a.z) WITHIN 1ms -- tail`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted queries must render and re-parse.
+		rendered := q.String()
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("round-trip failed for %q -> %q: %v", src, rendered, err)
+		}
+	})
+}

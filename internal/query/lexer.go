@@ -1,0 +1,211 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokLBrace // {
+	tokRBrace // }
+	tokComma  // ,
+	tokDot    // .
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokSlash  // /
+	tokCaret  // ^
+	tokEq     // = or ==
+	tokNe     // != or <>
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokIn     // IN or ∈
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the query text. It is permissive about unicode operators
+// the paper uses (∈, ≥, ≤, ≠).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		switch {
+		case unicode.IsSpace(r):
+			l.pos += size
+		case r == '-' && strings.HasPrefix(l.src[l.pos:], "--"):
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(r) || r == '_':
+			l.lexIdent()
+		case r >= '0' && r <= '9':
+			// Only ASCII digits start numbers; other Unicode digits fall
+			// through to the symbol handler and are rejected there.
+			l.lexNumber()
+		case r == '\'' || r == '"':
+			if err := l.lexString(byte(r)); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(r, size); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emitAt(tokEOF, "", l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emitAt(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			break
+		}
+		l.pos += size
+	}
+	text := l.src[start:l.pos]
+	if strings.EqualFold(text, "IN") {
+		l.emitAt(tokIn, text, start)
+		return
+	}
+	l.emitAt(tokIdent, text, start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.emitAt(tokNumber, l.src[start:l.pos], start)
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != quote {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("query: unterminated string at offset %d", start)
+	}
+	l.emitAt(tokString, l.src[start+1:l.pos], start)
+	l.pos++ // closing quote
+	return nil
+}
+
+func (l *lexer) lexSymbol(r rune, size int) error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch {
+	case two == "<=" || r == '≤':
+		l.emitAt(tokLe, "<=", start)
+	case two == ">=" || r == '≥':
+		l.emitAt(tokGe, ">=", start)
+	case two == "!=" || two == "<>" || r == '≠':
+		l.emitAt(tokNe, "!=", start)
+	case two == "==":
+		l.emitAt(tokEq, "=", start)
+	case r == '∈':
+		l.emitAt(tokIn, "IN", start)
+	default:
+		var kind tokenKind
+		switch r {
+		case '(':
+			kind = tokLParen
+		case ')':
+			kind = tokRParen
+		case '[':
+			kind = tokLBrack
+		case ']':
+			kind = tokRBrack
+		case '{':
+			kind = tokLBrace
+		case '}':
+			kind = tokRBrace
+		case ',':
+			kind = tokComma
+		case '.':
+			kind = tokDot
+		case '+':
+			kind = tokPlus
+		case '-':
+			kind = tokMinus
+		case '*':
+			kind = tokStar
+		case '/':
+			kind = tokSlash
+		case '^':
+			kind = tokCaret
+		case '=':
+			kind = tokEq
+		case '<':
+			kind = tokLt
+		case '>':
+			kind = tokGt
+		default:
+			return fmt.Errorf("query: unexpected character %q at offset %d", r, start)
+		}
+		l.emitAt(kind, string(r), start)
+		l.pos += size
+		return nil
+	}
+	// Multi-rune branches advance by their consumed width.
+	if two == "<=" || two == ">=" || two == "!=" || two == "<>" || two == "==" {
+		l.pos += 2
+	} else {
+		l.pos += size
+	}
+	return nil
+}

@@ -1,0 +1,504 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cepshed/internal/event"
+)
+
+// Parse parses and analyzes a query text. Syntax (case-insensitive
+// keywords):
+//
+//	PATTERN SEQ(A a, B+ b[]{2,5}, NOT C c, D d)
+//	WHERE a.ID = b[i].ID AND b[i+1].V >= b[i].V AND d.end IN (7, 8, 9)
+//	WITHIN 8ms            -- or: WITHIN 1000 EVENTS
+//
+// Kleene bounds {min,max} are optional ({min,} leaves max unbounded).
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	q.Raw = strings.Join(strings.Fields(src), " ")
+	if err := analyze(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse parses a query and panics on error; for tests and fixed,
+// known-good query constants.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(kind tokenKind) bool {
+	if p.cur().kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, fmt.Errorf("query: expected %s, got %s at offset %d", what, p.cur(), p.cur().pos)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("query: expected %s, got %s at offset %d", kw, p.cur(), p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("PATTERN"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SEQ"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		c, err := p.parseComponent()
+		if err != nil {
+			return nil, err
+		}
+		c.Pos = len(q.Pattern)
+		q.Pattern = append(q.Pattern, c)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if p.acceptKeyword("AND") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("WITHIN"); err != nil {
+		return nil, err
+	}
+	w, err := p.parseWindow()
+	if err != nil {
+		return nil, err
+	}
+	q.Window = w
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at offset %d: %s", p.cur().pos, p.cur())
+	}
+	return q, nil
+}
+
+func (p *parser) parseComponent() (Component, error) {
+	var c Component
+	if p.acceptKeyword("NOT") {
+		c.Negated = true
+	}
+	typ, err := p.expect(tokIdent, "event type")
+	if err != nil {
+		return c, err
+	}
+	c.Type = typ.text
+	if p.accept(tokPlus) {
+		c.Kleene = true
+		c.MinReps = 1
+	}
+	if c.Kleene && c.Negated {
+		return c, fmt.Errorf("query: component %s cannot be both negated and Kleene", c.Type)
+	}
+	v, err := p.expect(tokIdent, "variable name")
+	if err != nil {
+		return c, err
+	}
+	c.Var = v.text
+	if p.accept(tokLBrack) {
+		if !c.Kleene {
+			return c, fmt.Errorf("query: variable %s is not Kleene but declared with []", c.Var)
+		}
+		if _, err := p.expect(tokRBrack, "']'"); err != nil {
+			return c, err
+		}
+	} else if c.Kleene {
+		return c, fmt.Errorf("query: Kleene variable %s must be declared as %s[]", c.Var, c.Var)
+	}
+	if c.Kleene && p.accept(tokLBrace) {
+		min, err := p.expect(tokNumber, "minimum repetitions")
+		if err != nil {
+			return c, err
+		}
+		c.MinReps, _ = strconv.Atoi(min.text)
+		if c.MinReps < 1 {
+			return c, fmt.Errorf("query: Kleene minimum must be >= 1")
+		}
+		if _, err := p.expect(tokComma, "','"); err != nil {
+			return c, err
+		}
+		if p.cur().kind == tokNumber {
+			max := p.next()
+			c.MaxReps, _ = strconv.Atoi(max.text)
+			if c.MaxReps < c.MinReps {
+				return c, fmt.Errorf("query: Kleene maximum %d below minimum %d", c.MaxReps, c.MinReps)
+			}
+		}
+		if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+func (p *parser) parseWindow() (Window, error) {
+	num, err := p.expect(tokNumber, "window size")
+	if err != nil {
+		return Window{}, err
+	}
+	n, err := strconv.ParseFloat(num.text, 64)
+	if err != nil || n <= 0 {
+		return Window{}, fmt.Errorf("query: invalid window size %q", num.text)
+	}
+	unit, err := p.expect(tokIdent, "window unit")
+	if err != nil {
+		return Window{}, err
+	}
+	switch strings.ToLower(unit.text) {
+	case "events", "event":
+		return Window{Count: int(n)}, nil
+	case "ns":
+		return Window{Duration: event.Time(n)}, nil
+	case "us", "µs":
+		return Window{Duration: event.Time(n * float64(event.Microsecond))}, nil
+	case "ms":
+		return Window{Duration: event.Time(n * float64(event.Millisecond))}, nil
+	case "s", "sec":
+		return Window{Duration: event.Time(n * float64(event.Second))}, nil
+	case "m", "min":
+		return Window{Duration: event.Time(n * 60 * float64(event.Second))}, nil
+	case "h":
+		return Window{Duration: event.Time(n * 3600 * float64(event.Second))}, nil
+	default:
+		return Window{}, fmt.Errorf("query: unknown window unit %q", unit.text)
+	}
+}
+
+func (p *parser) parsePredicate() (*Predicate, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokIn) {
+		vals, err := p.parseValueSet()
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Expr: &Member{X: left, Values: vals}}, nil
+	}
+	var op CmpOp
+	switch p.cur().kind {
+	case tokEq:
+		op = CmpEq
+	case tokNe:
+		op = CmpNe
+	case tokLt:
+		op = CmpLt
+	case tokLe:
+		op = CmpLe
+	case tokGt:
+		op = CmpGt
+	case tokGe:
+		op = CmpGe
+	default:
+		return nil, fmt.Errorf("query: expected comparison operator, got %s at offset %d", p.cur(), p.cur().pos)
+	}
+	p.pos++
+	right, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return &Predicate{Expr: &Compare{Op: op, L: left, R: right}}, nil
+}
+
+func (p *parser) parseValueSet() ([]event.Value, error) {
+	var closer tokenKind
+	switch {
+	case p.accept(tokLParen):
+		closer = tokRParen
+	case p.accept(tokLBrace):
+		closer = tokRBrace
+	default:
+		return nil, fmt.Errorf("query: expected '(' or '{' after IN at offset %d", p.cur().pos)
+	}
+	var vals []event.Value
+	for {
+		v, err := p.parseLiteralValue()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if !p.accept(closer) {
+		return nil, fmt.Errorf("query: unterminated value set at offset %d", p.cur().pos)
+	}
+	return vals, nil
+}
+
+func (p *parser) parseLiteralValue() (event.Value, error) {
+	neg := p.accept(tokMinus)
+	switch p.cur().kind {
+	case tokNumber:
+		t := p.next()
+		if strings.Contains(t.text, ".") {
+			f, _ := strconv.ParseFloat(t.text, 64)
+			if neg {
+				f = -f
+			}
+			return event.Float(f), nil
+		}
+		i, _ := strconv.ParseInt(t.text, 10, 64)
+		if neg {
+			i = -i
+		}
+		return event.Int(i), nil
+	case tokString:
+		if neg {
+			return event.Value{}, fmt.Errorf("query: cannot negate a string at offset %d", p.cur().pos)
+		}
+		return event.Str(p.next().text), nil
+	default:
+		return event.Value{}, fmt.Errorf("query: expected literal, got %s at offset %d", p.cur(), p.cur().pos)
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch p.cur().kind {
+		case tokPlus:
+			op = OpAdd
+		case tokMinus:
+			op = OpSub
+		default:
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parsePow()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch p.cur().kind {
+		case tokStar:
+			op = OpMul
+		case tokSlash:
+			op = OpDiv
+		default:
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parsePow()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parsePow() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokCaret) {
+		right, err := p.parsePow() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpPow, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokMinus) {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpSub, L: &Literal{Val: event.Int(0)}, R: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+var funcNames = map[string]Func{
+	"SQRT": FnSqrt, "ABS": FnAbs, "AVG": FnAvg, "SUM": FnSum,
+	"MIN": FnMin, "MAX": FnMax, "COUNT": FnCount,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.cur().kind {
+	case tokNumber, tokString:
+		v, err := p.parseLiteralValue()
+		if err != nil {
+			return nil, err
+		}
+		return &Literal{Val: v}, nil
+	case tokLParen:
+		p.pos++
+		e, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		name := p.next().text
+		if fn, ok := funcNames[strings.ToUpper(name)]; ok && p.cur().kind == tokLParen {
+			return p.parseCall(fn)
+		}
+		return p.parseFieldRef(name)
+	default:
+		return nil, fmt.Errorf("query: unexpected token %s at offset %d", p.cur(), p.cur().pos)
+	}
+}
+
+func (p *parser) parseCall(fn Func) (Expr, error) {
+	p.pos++ // consume '('
+	var args []Expr
+	for {
+		a, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if (fn == FnSqrt || fn == FnAbs) && len(args) != 1 {
+		return nil, fmt.Errorf("query: %s takes exactly one argument", fn)
+	}
+	return &Call{Fn: fn, Args: args}, nil
+}
+
+func (p *parser) parseFieldRef(varName string) (Expr, error) {
+	ref := &FieldRef{Var: varName}
+	if p.accept(tokLBrack) {
+		switch {
+		case p.accept(tokRBrack):
+			ref.Index = IdxAll
+		case p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, "last"):
+			p.pos++
+			ref.Index = IdxLast
+			if _, err := p.expect(tokRBrack, "']'"); err != nil {
+				return nil, err
+			}
+		case p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, "first"):
+			p.pos++
+			ref.Index = IdxFirst
+			if _, err := p.expect(tokRBrack, "']'"); err != nil {
+				return nil, err
+			}
+		case p.cur().kind == tokIdent && p.cur().text == "i":
+			p.pos++
+			ref.Index = IdxPrev // promoted to IdxCurrent during analysis
+			if p.accept(tokPlus) {
+				one, err := p.expect(tokNumber, "1")
+				if err != nil {
+					return nil, err
+				}
+				if one.text != "1" {
+					return nil, fmt.Errorf("query: only [i+1] indexing is supported, got [i+%s]", one.text)
+				}
+				ref.Index = IdxCurrent
+			}
+			if _, err := p.expect(tokRBrack, "']'"); err != nil {
+				return nil, err
+			}
+		case p.cur().kind == tokNumber && p.cur().text == "1":
+			p.pos++
+			ref.Index = IdxFirst
+			if _, err := p.expect(tokRBrack, "']'"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("query: invalid Kleene index %s at offset %d", p.cur(), p.cur().pos)
+		}
+	}
+	if _, err := p.expect(tokDot, "'.'"); err != nil {
+		return nil, err
+	}
+	attr, err := p.expect(tokIdent, "attribute name")
+	if err != nil {
+		return nil, err
+	}
+	ref.Attr = attr.text
+	return ref, nil
+}

@@ -1,0 +1,233 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"cepshed/internal/event"
+)
+
+func TestParseQ1Shape(t *testing.T) {
+	q := Q1("8ms")
+	if len(q.Pattern) != 3 {
+		t.Fatalf("pattern length = %d", len(q.Pattern))
+	}
+	for i, want := range []string{"A", "B", "C"} {
+		if q.Pattern[i].Type != want {
+			t.Errorf("component %d type = %s", i, q.Pattern[i].Type)
+		}
+		if q.Pattern[i].Kleene || q.Pattern[i].Negated {
+			t.Errorf("component %d should be plain", i)
+		}
+	}
+	if len(q.Where) != 3 {
+		t.Errorf("predicates = %d, want 3", len(q.Where))
+	}
+	if q.Window.Duration != 8*event.Millisecond {
+		t.Errorf("window = %v", q.Window.Duration)
+	}
+}
+
+func TestParseKleeneComponent(t *testing.T) {
+	q := MustParse(`PATTERN SEQ(A a, A+ b[]{2,5}, B c) WHERE a.ID=b[i].ID WITHIN 1ms`)
+	k := q.Pattern[1]
+	if !k.Kleene || k.MinReps != 2 || k.MaxReps != 5 {
+		t.Errorf("kleene bounds = {%d,%d}, kleene=%v", k.MinReps, k.MaxReps, k.Kleene)
+	}
+	q = MustParse(`PATTERN SEQ(A a, A+ b[]{4,}, B c) WHERE a.ID=b[i].ID WITHIN 1ms`)
+	k = q.Pattern[1]
+	if k.MinReps != 4 || k.MaxReps != 0 {
+		t.Errorf("open bounds = {%d,%d}", k.MinReps, k.MaxReps)
+	}
+	q = MustParse(`PATTERN SEQ(A+ b[], B c) WHERE c.ID=b[last].ID WITHIN 1ms`)
+	if q.Pattern[0].MinReps != 1 {
+		t.Errorf("default min reps = %d", q.Pattern[0].MinReps)
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	q := Q4("8ms")
+	if !q.Pattern[1].Negated || q.Pattern[1].Type != "B" {
+		t.Fatalf("negated component wrong: %+v", q.Pattern[1])
+	}
+	if !q.HasNegation() {
+		t.Error("HasNegation false")
+	}
+	if Q1("1ms").HasNegation() {
+		t.Error("Q1 should be monotonic")
+	}
+}
+
+func TestParseMembershipAndUnicode(t *testing.T) {
+	// The paper writes b.end∈{7,8,9}; both unicode and ASCII forms parse.
+	for _, src := range []string{
+		`PATTERN SEQ(A a, B b) WHERE b.end IN (7, 8, 9) WITHIN 1h`,
+		`PATTERN SEQ(A a, B b) WHERE b.end ∈ {7,8,9} WITHIN 1h`,
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		m, ok := q.Where[0].Expr.(*Member)
+		if !ok || len(m.Values) != 3 {
+			t.Fatalf("membership not parsed: %v", q.Where[0])
+		}
+	}
+}
+
+func TestParseUnicodeComparisons(t *testing.T) {
+	q := MustParse(`PATTERN SEQ(A a, B b) WHERE a.x ≥ b.v AND a.y ≤ b.v AND a.z ≠ b.v WITHIN 1ms`)
+	ops := []CmpOp{CmpGe, CmpLe, CmpNe}
+	for i, p := range q.Where {
+		c := p.Expr.(*Compare)
+		if c.Op != ops[i] {
+			t.Errorf("predicate %d op = %v, want %v", i, c.Op, ops[i])
+		}
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Window
+	}{
+		{`WITHIN 8ms`, Window{Duration: 8 * event.Millisecond}},
+		{`WITHIN 100us`, Window{Duration: 100 * event.Microsecond}},
+		{`WITHIN 1h`, Window{Duration: 3600 * event.Second}},
+		{`WITHIN 2 min`, Window{Duration: 120 * event.Second}},
+		{`WITHIN 1.5s`, Window{Duration: event.Time(1.5 * float64(event.Second))}},
+		{`WITHIN 1000 EVENTS`, Window{Count: 1000}},
+	}
+	for _, c := range cases {
+		q, err := Parse(`PATTERN SEQ(A a, B b) WHERE a.ID=b.ID ` + c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if q.Window != c.want {
+			t.Errorf("%s: window = %+v, want %+v", c.src, q.Window, c.want)
+		}
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	q := MustParse(`PATTERN SEQ(A a, B b) WHERE a.x + b.y * 2 = 10 WITHIN 1ms`)
+	c := q.Where[0].Expr.(*Compare)
+	// a.x + (b.y * 2)
+	add, ok := c.L.(*Binary)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("top op = %v", c.L)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("inner op = %v", add.R)
+	}
+}
+
+func TestParsePowerRightAssociative(t *testing.T) {
+	q := MustParse(`PATTERN SEQ(A a) WHERE a.x ^ 2 ^ 3 = 0 WITHIN 1ms`)
+	c := q.Where[0].Expr.(*Compare)
+	pow := c.L.(*Binary)
+	if pow.Op != OpPow {
+		t.Fatal("top must be ^")
+	}
+	if inner, ok := pow.R.(*Binary); !ok || inner.Op != OpPow {
+		t.Fatal("^ must be right-associative")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SEQ(A a) WITHIN 1ms`,                   // missing PATTERN
+		`PATTERN SEQ() WITHIN 1ms`,              // empty pattern
+		`PATTERN SEQ(A a, B b) WHERE a.ID=b.ID`, // missing WITHIN
+		`PATTERN SEQ(A a, B b) WHERE a.ID=b.ID WITHIN 1parsec`,        // bad unit
+		`PATTERN SEQ(A a, B b) WHERE a.ID=b.ID WITHIN 0ms`,            // zero window
+		`PATTERN SEQ(A a, A a) WHERE a.ID=a.ID WITHIN 1ms`,            // duplicate var
+		`PATTERN SEQ(NOT A a, B b) WHERE a.ID=b.ID WITHIN 1ms`,        // leading NOT
+		`PATTERN SEQ(A a, NOT B b) WHERE a.ID=b.ID WITHIN 1ms`,        // trailing NOT
+		`PATTERN SEQ(NOT A+ a[], B b) WHERE b.ID=a[i].ID WITHIN 1ms`,  // NOT Kleene
+		`PATTERN SEQ(A a[], B b) WHERE a.ID=b.ID WITHIN 1ms`,          // [] without +
+		`PATTERN SEQ(A+ a, B b) WHERE b.ID=a[i].ID WITHIN 1ms`,        // + without []
+		`PATTERN SEQ(A+ a[]{0,3}, B b) WHERE b.ID=a[i].ID WITHIN 1ms`, // min 0
+		`PATTERN SEQ(A+ a[]{5,3}, B b) WHERE b.ID=a[i].ID WITHIN 1ms`, // max < min
+		`PATTERN SEQ(A a, B b) WHERE a.ID = c.ID WITHIN 1ms`,          // unknown var
+		`PATTERN SEQ(A a, B b) WHERE a.ID WITHIN 1ms`,                 // no comparison
+		`PATTERN SEQ(A a, B b) WHERE 3 = 4 WITHIN 1ms`,                // no var refs
+		`PATTERN SEQ(A a, B b) WHERE a.ID=b.ID WITHIN 1ms extra`,      // trailing
+		`PATTERN SEQ(A+ a[], B b) WHERE a.V = b.V WITHIN 1ms`,         // unindexed Kleene
+		`PATTERN SEQ(A a, B b) WHERE a[i].V = b.V WITHIN 1ms`,         // indexed non-Kleene
+		`PATTERN SEQ(A+ a[], B b) WHERE a[].V = b.V WITHIN 1ms`,       // [] outside aggregate
+		`PATTERN SEQ(A+ a[], B b) WHERE a[i+2].V = b.V WITHIN 1ms`,    // bad index
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	qs := []*Query{
+		Q1("8ms"), Q2("1ms", 1, 0), Q2("1ms", 2, 4), Q3("8ms"), Q4("8ms"),
+		HotPaths("1h", 4, 0), ClusterTasks("1h"),
+	}
+	for _, q := range qs {
+		if q == nil {
+			t.Fatal("nil query")
+		}
+		if len(q.Where) == 0 {
+			t.Errorf("%s: no predicates", q)
+		}
+	}
+	if got := Q2("1ms", 1, 0).KleeneCount(); got != 1 {
+		t.Errorf("Q2 KleeneCount = %d", got)
+	}
+	if ClusterTasks("1h").Window.Duration != 3600*event.Second {
+		t.Error("cluster window wrong")
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	q := MustParse(`PATTERN SEQ(A a, A+ b[]{2,5}, NOT B c, C d) WHERE a.ID = b[i].ID AND a.ID = c.ID AND a.V + 1 = d.V WITHIN 8ms`)
+	s := q.String()
+	for _, frag := range []string{"PATTERN", "SEQ", "WHERE", "WITHIN"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %s: %q", frag, s)
+		}
+	}
+	// Raw is preserved, so re-parsing the string must succeed.
+	if _, err := Parse(s); err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+}
+
+func TestPredicateAttrs(t *testing.T) {
+	q := Q1("8ms")
+	attrs := q.PredicateAttrs()
+	if got := attrs["a"]; len(got) != 2 || got[0] != "ID" || got[1] != "V" {
+		t.Errorf("attrs[a] = %v", got)
+	}
+	if got := attrs["c"]; len(got) != 2 {
+		t.Errorf("attrs[c] = %v", got)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Parse(`PATTERN SEQ(A a) WHERE a.x = 'unterminated WITHIN 1ms`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Parse("PATTERN SEQ(A a) WHERE a.x = ? WITHIN 1ms"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	q := MustParse(`
+		PATTERN SEQ(A a, B b) -- the pattern
+		WHERE a.ID = b.ID     -- correlation
+		WITHIN 1ms`)
+	if len(q.Pattern) != 2 {
+		t.Error("comments broke parsing")
+	}
+}

@@ -1,0 +1,182 @@
+package shed
+
+import (
+	"math/rand"
+	"sort"
+
+	"cepshed/internal/event"
+)
+
+// DropController converts latency-bound violations into a drop
+// probability for input-based strategies (RI, SI): when the smoothed
+// latency exceeds the bound, the drop rate tracks the relative violation
+// (μ−θ)/μ; when latency recovers, the rate decays geometrically.
+type DropController struct {
+	// Bound is the latency bound θ.
+	Bound event.Time
+	// Gain scales how aggressively the rate follows the violation.
+	Gain float64
+	// Decay is the multiplicative cool-down applied when under the bound.
+	Decay float64
+
+	rate float64
+}
+
+// NewDropController returns a controller with the standard gains.
+func NewDropController(bound event.Time) *DropController {
+	return &DropController{Bound: bound, Gain: 0.6, Decay: 0.9}
+}
+
+// Update advances the controller with the latest smoothed latency.
+func (c *DropController) Update(lat event.Time) {
+	if lat > c.Bound && lat > 0 {
+		v := float64(lat-c.Bound) / float64(lat)
+		c.rate = c.rate + c.Gain*(v-c.rate*0.5)
+		if c.rate > 0.98 {
+			c.rate = 0.98
+		}
+		if c.rate < 0 {
+			c.rate = 0
+		}
+	} else {
+		c.rate *= c.Decay
+		if c.rate < 1e-4 {
+			c.rate = 0
+		}
+	}
+}
+
+// Rate returns the current drop probability.
+func (c *DropController) Rate() float64 { return c.rate }
+
+// RatioTracker drives fixed-ratio shedding (Fig 6): it tracks how many
+// items were seen and shed and reports the deficit against a target
+// ratio.
+type RatioTracker struct {
+	// Target is the desired shed fraction in [0,1].
+	Target float64
+
+	seen uint64
+	shed uint64
+}
+
+// Seen records n new items.
+func (r *RatioTracker) Seen(n int) { r.seen += uint64(n) }
+
+// Shed records n shed items.
+func (r *RatioTracker) Shed(n int) { r.shed += uint64(n) }
+
+// Deficit returns how many more items must be shed to reach the target.
+func (r *RatioTracker) Deficit() int {
+	want := int64(r.Target * float64(r.seen))
+	d := want - int64(r.shed)
+	if d < 0 {
+		return 0
+	}
+	return int(d)
+}
+
+// Achieved returns the realized shed ratio.
+func (r *RatioTracker) Achieved() float64 {
+	if r.seen == 0 {
+		return 0
+	}
+	return float64(r.shed) / float64(r.seen)
+}
+
+// UtilityThreshold drops the lowest-utility fraction of a stream of
+// items: it maintains a sliding reservoir of recent utilities and sheds
+// an item when its utility falls below the target quantile, with
+// probabilistic tie-breaking so the achieved ratio converges to the
+// target even for heavily tied (e.g. mostly-zero) utility distributions.
+type UtilityThreshold struct {
+	// Target is the desired shed fraction.
+	Target float64
+
+	rng     *rand.Rand
+	window  []float64
+	next    int
+	filled  bool
+	sorted  []float64
+	stale   int
+	tracker RatioTracker
+}
+
+// NewUtilityThreshold builds a threshold shedder over a reservoir of the
+// given size.
+func NewUtilityThreshold(target float64, size int, seed int64) *UtilityThreshold {
+	if size < 16 {
+		size = 16
+	}
+	return &UtilityThreshold{
+		Target:  target,
+		rng:     rand.New(rand.NewSource(seed)),
+		window:  make([]float64, size),
+		sorted:  make([]float64, 0, size),
+		tracker: RatioTracker{Target: target},
+	}
+}
+
+// ShouldShed records the utility and decides whether to shed the item.
+func (u *UtilityThreshold) ShouldShed(utility float64) bool {
+	u.window[u.next] = utility
+	u.next++
+	if u.next == len(u.window) {
+		u.next = 0
+		u.filled = true
+	}
+	u.stale++
+	u.tracker.Seen(1)
+
+	n := len(u.window)
+	if !u.filled {
+		n = u.next
+	}
+	if n < 8 {
+		// Warm-up: shed uniformly at the target rate.
+		shed := u.rng.Float64() < u.Target
+		if shed {
+			u.tracker.Shed(1)
+		}
+		return shed
+	}
+	if u.stale >= 32 || len(u.sorted) == 0 {
+		u.sorted = u.sorted[:0]
+		u.sorted = append(u.sorted, u.window[:n]...)
+		sort.Float64s(u.sorted)
+		u.stale = 0
+	}
+	idx := int(u.Target * float64(len(u.sorted)))
+	if idx >= len(u.sorted) {
+		idx = len(u.sorted) - 1
+	}
+	thr := u.sorted[idx]
+	var shed bool
+	switch {
+	case utility < thr:
+		shed = true
+	case utility == thr:
+		// Shed ties with the probability that corrects the realized ratio
+		// toward the target.
+		below := sort.SearchFloat64s(u.sorted, thr)
+		ties := sort.Search(len(u.sorted), func(i int) bool { return u.sorted[i] > thr }) - below
+		if ties > 0 {
+			need := u.Target*float64(len(u.sorted)) - float64(below)
+			p := need / float64(ties)
+			shed = u.rng.Float64() < p
+		}
+	}
+	// Feedback nudge: correct drift against the long-run target.
+	if ach := u.tracker.Achieved(); ach < u.Target-0.02 && utility <= thr {
+		shed = true
+	} else if ach := u.tracker.Achieved(); ach > u.Target+0.02 && shed && utility >= thr {
+		shed = false
+	}
+	if shed {
+		u.tracker.Shed(1)
+	}
+	return shed
+}
+
+// Achieved returns the realized shed ratio so far.
+func (u *UtilityThreshold) Achieved() float64 { return u.tracker.Achieved() }

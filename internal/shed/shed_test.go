@@ -1,0 +1,154 @@
+package shed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+func TestNoneStrategy(t *testing.T) {
+	var s Strategy = None{}
+	if s.Name() != "None" {
+		t.Error("name")
+	}
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s.Attach(engine.New(m, engine.DefaultCosts()))
+	if !s.AdmitEvent(event.New("A", 0, nil), 0) {
+		t.Error("None must admit everything")
+	}
+	if s.Control(0, 1<<40) != 0 {
+		t.Error("None must not charge work")
+	}
+}
+
+func TestDropControllerTracksViolation(t *testing.T) {
+	c := NewDropController(100)
+	if c.Rate() != 0 {
+		t.Fatal("initial rate must be 0")
+	}
+	// Sustained violation at 2x the bound drives the rate up.
+	for i := 0; i < 20; i++ {
+		c.Update(200)
+	}
+	if c.Rate() < 0.3 || c.Rate() > 0.98 {
+		t.Errorf("violated rate = %v", c.Rate())
+	}
+	high := c.Rate()
+	// Recovery decays the rate.
+	for i := 0; i < 50; i++ {
+		c.Update(50)
+	}
+	if c.Rate() >= high/2 {
+		t.Errorf("rate did not decay: %v -> %v", high, c.Rate())
+	}
+	for i := 0; i < 200; i++ {
+		c.Update(50)
+	}
+	if c.Rate() != 0 {
+		t.Errorf("rate should bottom out at 0, got %v", c.Rate())
+	}
+}
+
+func TestDropControllerCapped(t *testing.T) {
+	c := NewDropController(1)
+	for i := 0; i < 100; i++ {
+		c.Update(1 << 40)
+	}
+	if c.Rate() > 0.98 {
+		t.Errorf("rate = %v exceeds cap", c.Rate())
+	}
+}
+
+func TestRatioTracker(t *testing.T) {
+	r := RatioTracker{Target: 0.25}
+	r.Seen(100)
+	if d := r.Deficit(); d != 25 {
+		t.Errorf("deficit = %d, want 25", d)
+	}
+	r.Shed(20)
+	if d := r.Deficit(); d != 5 {
+		t.Errorf("deficit = %d, want 5", d)
+	}
+	r.Shed(10)
+	if d := r.Deficit(); d != 0 {
+		t.Errorf("overshoot deficit = %d, want 0", d)
+	}
+	if a := r.Achieved(); a != 0.30 {
+		t.Errorf("achieved = %v", a)
+	}
+	var empty RatioTracker
+	if empty.Achieved() != 0 {
+		t.Error("empty achieved must be 0")
+	}
+}
+
+func TestUtilityThresholdHitsRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, target := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		u := NewUtilityThreshold(target, 256, 1)
+		shed := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if u.ShouldShed(rng.Float64()) {
+				shed++
+			}
+		}
+		got := float64(shed) / n
+		if math.Abs(got-target) > 0.05 {
+			t.Errorf("target %.2f: achieved %.3f", target, got)
+		}
+	}
+}
+
+func TestUtilityThresholdPrefersLowUtility(t *testing.T) {
+	// Bimodal utilities: half are 0, half are 1; at a 50% target the zero
+	// half should absorb essentially all shedding.
+	u := NewUtilityThreshold(0.5, 256, 2)
+	rng := rand.New(rand.NewSource(3))
+	var shedLow, shedHigh, low, high int
+	for i := 0; i < 20000; i++ {
+		if rng.Float64() < 0.5 {
+			low++
+			if u.ShouldShed(0) {
+				shedLow++
+			}
+		} else {
+			high++
+			if u.ShouldShed(1) {
+				shedHigh++
+			}
+		}
+	}
+	lowRate := float64(shedLow) / float64(low)
+	highRate := float64(shedHigh) / float64(high)
+	if lowRate < 0.85 {
+		t.Errorf("low-utility shed rate = %.3f, want high", lowRate)
+	}
+	if highRate > 0.15 {
+		t.Errorf("high-utility shed rate = %.3f, want low", highRate)
+	}
+}
+
+func TestUtilityThresholdMostlyTies(t *testing.T) {
+	// All utilities identical: the achieved ratio must still converge.
+	u := NewUtilityThreshold(0.4, 128, 4)
+	shed := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if u.ShouldShed(3.14) {
+			shed++
+		}
+	}
+	got := float64(shed) / n
+	if math.Abs(got-0.4) > 0.05 {
+		t.Errorf("tie-heavy achieved = %.3f, want ~0.4", got)
+	}
+	if math.Abs(u.Achieved()-got) > 1e-9 {
+		t.Error("Achieved() disagrees with observed")
+	}
+}

@@ -1,0 +1,56 @@
+// Package shed defines the load-shedding strategy interface shared by the
+// hybrid approach (internal/core) and the baseline strategies
+// (internal/baseline), plus the small controllers they have in common.
+//
+// A strategy plugs into the processing loop at two points, mirroring the
+// paper's two shedding functions (§III-C): AdmitEvent is ρI, deciding per
+// input event whether to process it at all, and Control runs after each
+// processed event with the current smoothed latency, where ρS may remove
+// partial matches through the engine.
+package shed
+
+import (
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/vclock"
+)
+
+// Strategy is a load-shedding policy.
+type Strategy interface {
+	// Name identifies the strategy in experiment output (RI, SI, RS, SS,
+	// Hybrid, HyI, HyS, None).
+	Name() string
+	// Attach installs the strategy's hooks on the engine (e.g. OnCreate
+	// classification). Called once before processing starts.
+	Attach(en *engine.Engine)
+	// AdmitEvent is the input-based shedding function ρI: returning false
+	// discards the event unprocessed.
+	AdmitEvent(e *event.Event, now event.Time) bool
+	// Observe lets the strategy see the result of a processed event
+	// (for online adaptation of cost estimates).
+	Observe(res *engine.Result, now event.Time)
+	// Control runs after each event with the current smoothed latency
+	// μ(k); state-based shedding (ρS) happens here. It returns the
+	// virtual work spent on shedding decisions.
+	Control(now event.Time, lat event.Time) vclock.Cost
+}
+
+// None is the no-shedding strategy used for ground-truth runs.
+type None struct{}
+
+// Name returns "None".
+func (None) Name() string { return "None" }
+
+// Attach is a no-op.
+func (None) Attach(*engine.Engine) {}
+
+// AdmitEvent admits everything.
+func (None) AdmitEvent(*event.Event, event.Time) bool { return true }
+
+// Observe is a no-op.
+func (None) Observe(*engine.Result, event.Time) {}
+
+// Control sheds nothing.
+func (None) Control(event.Time, event.Time) vclock.Cost { return 0 }
+
+var _ Strategy = None{}

@@ -1,0 +1,89 @@
+// Package sketch provides a count-min sketch for streaming counts
+// (Cormode & Muthukrishnan), used by the cost model's online adaptation
+// to track per-class contribution and consumption increments without
+// unbounded exact counters.
+package sketch
+
+import (
+	"errors"
+	"hash/maphash"
+	"math"
+)
+
+// CountMin is a count-min sketch over string keys with conservative
+// updates disabled (plain CM, as in the paper's citation [13]).
+type CountMin struct {
+	depth int
+	width int
+	rows  [][]uint64
+	seeds []maphash.Seed
+}
+
+// NewCountMin builds a sketch with error bound eps (relative overcount
+// per total count) and failure probability delta.
+func NewCountMin(eps, delta float64) (*CountMin, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return nil, errors.New("sketch: eps and delta must be in (0,1)")
+	}
+	width := int(math.Ceil(math.E / eps))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMinSized(depth, width), nil
+}
+
+// NewCountMinSized builds a sketch with explicit dimensions.
+func NewCountMinSized(depth, width int) *CountMin {
+	if depth < 1 {
+		depth = 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	cm := &CountMin{depth: depth, width: width}
+	cm.rows = make([][]uint64, depth)
+	cm.seeds = make([]maphash.Seed, depth)
+	for i := range cm.rows {
+		cm.rows[i] = make([]uint64, width)
+		cm.seeds[i] = maphash.MakeSeed()
+	}
+	return cm
+}
+
+func (cm *CountMin) index(row int, key string) int {
+	var h maphash.Hash
+	h.SetSeed(cm.seeds[row])
+	h.WriteString(key)
+	return int(h.Sum64() % uint64(cm.width))
+}
+
+// Add increments the count for key by delta.
+func (cm *CountMin) Add(key string, delta uint64) {
+	for r := 0; r < cm.depth; r++ {
+		cm.rows[r][cm.index(r, key)] += delta
+	}
+}
+
+// Count returns the (over-)estimated count for key.
+func (cm *CountMin) Count(key string) uint64 {
+	min := uint64(math.MaxUint64)
+	for r := 0; r < cm.depth; r++ {
+		if c := cm.rows[r][cm.index(r, key)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Reset zeroes all counters, keeping the hash seeds.
+func (cm *CountMin) Reset() {
+	for _, row := range cm.rows {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// Depth returns the number of hash rows.
+func (cm *CountMin) Depth() int { return cm.depth }
+
+// Width returns the number of counters per row.
+func (cm *CountMin) Width() int { return cm.width }

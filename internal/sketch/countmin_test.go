@@ -1,0 +1,101 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCountMinValidation(t *testing.T) {
+	for _, c := range []struct{ eps, delta float64 }{
+		{0, 0.1}, {0.1, 0}, {1, 0.1}, {0.1, 1}, {-1, 0.5},
+	} {
+		if _, err := NewCountMin(c.eps, c.delta); err == nil {
+			t.Errorf("NewCountMin(%v, %v) should fail", c.eps, c.delta)
+		}
+	}
+	cm, err := NewCountMin(0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Width() < 100 || cm.Depth() < 2 {
+		t.Errorf("dimensions too small: %dx%d", cm.Depth(), cm.Width())
+	}
+}
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm := NewCountMinSized(4, 64)
+	truth := map[string]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%d", rng.Intn(200))
+		cm.Add(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		if got := cm.Count(k); got < want {
+			t.Errorf("Count(%s) = %d undercounts true %d", k, got, want)
+		}
+	}
+}
+
+func TestCountMinExactWhenSparse(t *testing.T) {
+	cm := NewCountMinSized(4, 2048)
+	cm.Add("a", 5)
+	cm.Add("b", 7)
+	if cm.Count("a") < 5 || cm.Count("b") < 7 {
+		t.Error("undercount")
+	}
+	// With a wide sketch and 2 keys, collisions across all 4 rows are
+	// essentially impossible, so counts should be exact.
+	if cm.Count("a") != 5 || cm.Count("b") != 7 {
+		t.Errorf("sparse counts inexact: a=%d b=%d", cm.Count("a"), cm.Count("b"))
+	}
+}
+
+func TestCountMinReset(t *testing.T) {
+	cm := NewCountMinSized(2, 16)
+	cm.Add("x", 3)
+	cm.Reset()
+	if cm.Count("x") != 0 {
+		t.Error("reset did not zero counters")
+	}
+}
+
+func TestCountMinUnseenKey(t *testing.T) {
+	cm := NewCountMinSized(3, 512)
+	if cm.Count("never") != 0 {
+		t.Error("unseen key should count 0 in an empty sketch")
+	}
+}
+
+// Property: the estimate always dominates the true count.
+func TestCountMinOverestimateProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		cm := NewCountMinSized(3, 32)
+		truth := map[string]uint64{}
+		for _, k := range keys {
+			key := fmt.Sprintf("k%d", k%16)
+			cm.Add(key, 1)
+			truth[key]++
+		}
+		for k, want := range truth {
+			if cm.Count(k) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMinSizedClamps(t *testing.T) {
+	cm := NewCountMinSized(0, 0)
+	cm.Add("a", 1)
+	if cm.Count("a") != 1 {
+		t.Error("1x1 sketch should still count")
+	}
+}

@@ -1,0 +1,180 @@
+// Package vclock implements the deterministic virtual-time latency model.
+//
+// The CEP engine reports per-event work in abstract cost units (one unit is
+// one virtual nanosecond). A single-server queue turns arrival times and
+// work into completion times and latencies:
+//
+//	start(k) = max(arrival(k), done(k-1))
+//	done(k)  = start(k) + work(k)
+//	lat(k)   = done(k) - arrival(k)
+//
+// This reproduces the overload dynamics of the paper's wall-clock setup —
+// a spike in partial matches inflates work, the queue backs up, latency
+// rises — while remaining fully reproducible. Latency is smoothed as a
+// sliding average over a fixed interval, as the paper prescribes (§III-A),
+// and window percentiles (95th/99th) are available for figures that bound
+// tail latency.
+package vclock
+
+import (
+	"sort"
+
+	"cepshed/internal/event"
+)
+
+// Cost is an amount of virtual work, in virtual nanoseconds.
+type Cost int64
+
+// Server simulates a single-server FIFO queue in virtual time.
+// The zero Server is ready to use.
+type Server struct {
+	done event.Time // completion time of the last processed event
+	busy event.Time // accumulated service (busy) time
+	n    uint64     // events processed
+}
+
+// Process services one event that arrived at the given time and required
+// the given work, returning its latency (completion minus arrival).
+func (s *Server) Process(arrival event.Time, work Cost) event.Time {
+	start := arrival
+	if s.done > start {
+		start = s.done
+	}
+	s.done = start + event.Time(work)
+	s.busy += event.Time(work)
+	s.n++
+	return s.done - arrival
+}
+
+// AddWork charges extra service time (e.g. shedding-decision overhead)
+// without counting an event: it delays everything queued behind it.
+func (s *Server) AddWork(work Cost) {
+	s.done += event.Time(work)
+	s.busy += event.Time(work)
+}
+
+// Done returns the completion time of the most recently processed event.
+func (s *Server) Done() event.Time { return s.done }
+
+// BusyTime returns the total virtual service time accumulated so far.
+func (s *Server) BusyTime() event.Time { return s.busy }
+
+// Processed returns the number of events processed so far.
+func (s *Server) Processed() uint64 { return s.n }
+
+// Throughput returns processed events per virtual second of busy time.
+// It reports 0 before any work has been recorded.
+func (s *Server) Throughput() float64 {
+	if s.busy == 0 {
+		return 0
+	}
+	return float64(s.n) / (float64(s.busy) / float64(event.Second))
+}
+
+// SlidingStats tracks latency samples over a fixed-size sliding window and
+// exposes the smoothed mean and window percentiles. Percentiles are
+// recomputed lazily at most every refresh insertions, amortizing the sort.
+type SlidingStats struct {
+	window  []float64
+	next    int
+	filled  bool
+	sum     float64
+	refresh int
+	since   int
+	sorted  []float64
+	dirty   bool
+}
+
+// NewSlidingStats returns stats over the given window size (samples).
+// The paper smooths over 1,000 measurements; that is the recommended size.
+func NewSlidingStats(size int) *SlidingStats {
+	if size <= 0 {
+		size = 1
+	}
+	refresh := size / 16
+	if refresh < 1 {
+		refresh = 1
+	}
+	return &SlidingStats{
+		window:  make([]float64, size),
+		refresh: refresh,
+		sorted:  make([]float64, 0, size),
+		dirty:   true,
+	}
+}
+
+// Add records one latency sample.
+func (st *SlidingStats) Add(lat event.Time) {
+	v := float64(lat)
+	if st.filled {
+		st.sum -= st.window[st.next]
+	}
+	st.window[st.next] = v
+	st.sum += v
+	st.next++
+	if st.next == len(st.window) {
+		st.next = 0
+		st.filled = true
+	}
+	st.since++
+	if st.since >= st.refresh {
+		st.dirty = true
+	}
+}
+
+// Count returns the number of live samples in the window.
+func (st *SlidingStats) Count() int {
+	if st.filled {
+		return len(st.window)
+	}
+	return st.next
+}
+
+// Mean returns the sliding average latency, 0 with no samples.
+func (st *SlidingStats) Mean() event.Time {
+	n := st.Count()
+	if n == 0 {
+		return 0
+	}
+	return event.Time(st.sum / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the window,
+// refreshed lazily. Returns 0 with no samples.
+func (st *SlidingStats) Percentile(p float64) event.Time {
+	n := st.Count()
+	if n == 0 {
+		return 0
+	}
+	if st.dirty {
+		st.sorted = st.sorted[:0]
+		if st.filled {
+			st.sorted = append(st.sorted, st.window...)
+		} else {
+			st.sorted = append(st.sorted, st.window[:st.next]...)
+		}
+		sort.Float64s(st.sorted)
+		st.dirty = false
+		st.since = 0
+	}
+	if p <= 0 {
+		return event.Time(st.sorted[0])
+	}
+	idx := int(p/100*float64(len(st.sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(st.sorted) {
+		idx = len(st.sorted) - 1
+	}
+	return event.Time(st.sorted[idx])
+}
+
+// Reset clears all samples.
+func (st *SlidingStats) Reset() {
+	st.next = 0
+	st.filled = false
+	st.sum = 0
+	st.since = 0
+	st.dirty = true
+}

@@ -1,0 +1,175 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cepshed/internal/event"
+)
+
+func TestServerIdleArrival(t *testing.T) {
+	var s Server
+	// First event arrives at t=100, needs 10 units: latency is the work.
+	if lat := s.Process(100, 10); lat != 10 {
+		t.Errorf("latency = %d, want 10", lat)
+	}
+	if s.Done() != 110 {
+		t.Errorf("done = %d, want 110", s.Done())
+	}
+}
+
+func TestServerQueueing(t *testing.T) {
+	var s Server
+	s.Process(0, 100)
+	// Second event arrives at t=10 but the server is busy until 100.
+	if lat := s.Process(10, 5); lat != 95 {
+		t.Errorf("queued latency = %d, want 95", lat)
+	}
+}
+
+func TestServerThroughputAndBusy(t *testing.T) {
+	var s Server
+	s.Process(0, Cost(event.Second/2))
+	s.Process(0, Cost(event.Second/2))
+	if s.BusyTime() != event.Second {
+		t.Errorf("busy = %v", s.BusyTime())
+	}
+	if got := s.Throughput(); got != 2 {
+		t.Errorf("throughput = %v events/s, want 2", got)
+	}
+	if s.Processed() != 2 {
+		t.Errorf("processed = %d", s.Processed())
+	}
+}
+
+func TestServerZeroWork(t *testing.T) {
+	var s Server
+	if s.Throughput() != 0 {
+		t.Error("throughput before any work must be 0")
+	}
+	if lat := s.Process(50, 0); lat != 0 {
+		t.Errorf("zero-work latency = %d", lat)
+	}
+}
+
+// Property: latency is never negative and completion times never decrease.
+func TestServerMonotoneCompletion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Server
+		var arrival event.Time
+		prevDone := event.Time(0)
+		for i := 0; i < 100; i++ {
+			arrival += event.Time(rng.Int63n(50))
+			lat := s.Process(arrival, Cost(rng.Int63n(100)))
+			if lat < 0 || s.Done() < prevDone {
+				return false
+			}
+			prevDone = s.Done()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlidingStatsMean(t *testing.T) {
+	st := NewSlidingStats(4)
+	for _, v := range []event.Time{10, 20, 30, 40} {
+		st.Add(v)
+	}
+	if st.Mean() != 25 {
+		t.Errorf("mean = %d, want 25", st.Mean())
+	}
+	// Window slides: 10 drops out, 50 enters -> mean of {20,30,40,50} = 35.
+	st.Add(50)
+	if st.Mean() != 35 {
+		t.Errorf("sliding mean = %d, want 35", st.Mean())
+	}
+	if st.Count() != 4 {
+		t.Errorf("count = %d", st.Count())
+	}
+}
+
+func TestSlidingStatsPartialWindow(t *testing.T) {
+	st := NewSlidingStats(100)
+	st.Add(10)
+	st.Add(30)
+	if st.Count() != 2 {
+		t.Errorf("count = %d", st.Count())
+	}
+	if st.Mean() != 20 {
+		t.Errorf("mean = %d", st.Mean())
+	}
+}
+
+func TestSlidingStatsPercentile(t *testing.T) {
+	st := NewSlidingStats(100)
+	for i := 1; i <= 100; i++ {
+		st.Add(event.Time(i))
+	}
+	if p := st.Percentile(95); p != 95 {
+		t.Errorf("p95 = %d, want 95", p)
+	}
+	if p := st.Percentile(50); p != 50 {
+		t.Errorf("p50 = %d, want 50", p)
+	}
+	if p := st.Percentile(100); p != 100 {
+		t.Errorf("p100 = %d, want 100", p)
+	}
+	if p := st.Percentile(0); p != 1 {
+		t.Errorf("p0 = %d, want 1", p)
+	}
+}
+
+func TestSlidingStatsEmptyAndReset(t *testing.T) {
+	st := NewSlidingStats(10)
+	if st.Mean() != 0 || st.Percentile(95) != 0 {
+		t.Error("empty stats must report 0")
+	}
+	st.Add(5)
+	st.Reset()
+	if st.Count() != 0 || st.Mean() != 0 {
+		t.Error("reset did not clear stats")
+	}
+}
+
+// Property: percentile never exceeds the max nor undershoots the min of
+// the live window.
+func TestSlidingStatsPercentileBounds(t *testing.T) {
+	f := func(seed int64, p8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := float64(p8 % 101)
+		st := NewSlidingStats(32)
+		lo, hi := event.Time(1<<62), event.Time(-1)
+		var vals []event.Time
+		for i := 0; i < 64; i++ {
+			v := event.Time(rng.Int63n(1000))
+			st.Add(v)
+			vals = append(vals, v)
+		}
+		for _, v := range vals[len(vals)-32:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		got := st.Percentile(p)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSlidingStatsClampsSize(t *testing.T) {
+	st := NewSlidingStats(0)
+	st.Add(7)
+	if st.Mean() != 7 {
+		t.Error("size-0 window must clamp to 1")
+	}
+}
