@@ -1,0 +1,29 @@
+# Tier-1 verification is `make check`: vet + build + race-enabled tests.
+# The sharded runtime (internal/runtime) is concurrent, so -race is part
+# of the default gate, not an optional extra.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-runtime
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Throughput scaling of the sharded runtime vs the sequential engine
+# (numbers recorded in EXPERIMENTS.md).
+bench-runtime:
+	$(GO) test -bench 'BenchmarkRuntimeShards|BenchmarkRuntimeSequentialBaseline' -run '^$$' .

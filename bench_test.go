@@ -19,6 +19,7 @@ import (
 	"cepshed/internal/knapsack"
 	"cepshed/internal/nfa"
 	"cepshed/internal/query"
+	"cepshed/internal/runtime"
 )
 
 func benchFigure(b *testing.B, id string) {
@@ -154,6 +155,47 @@ func BenchmarkNoShedRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sys.Run(work, cepshed.RunOptions{})
 	}
+}
+
+// Throughput scaling of the sharded wall-clock runtime vs the
+// sequential engine on the Q1/DS1 workload. IDRange is widened to 64 so
+// hash partitioning has enough distinct correlation keys to spread load
+// across 8 shards (the default 10 IDs cap effective parallelism).
+// BenchmarkRuntimeSequentialBaseline is the same stream through one
+// bare engine — the number the shard counts are compared against in
+// EXPERIMENTS.md.
+func runtimeBenchStream() (*nfa.Machine, event.Stream) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 20000, Seed: 1, IDRange: 64, InterArrival: 15 * event.Microsecond})
+	return m, s
+}
+
+func benchRuntimeShards(b *testing.B, shards int) {
+	m, s := runtimeBenchStream()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := runtime.New(m, runtime.Config{Shards: shards})
+		for _, e := range s {
+			rt.Offer(e)
+		}
+		rt.Close()
+	}
+	b.ReportMetric(float64(len(s)), "events/op")
+}
+
+func BenchmarkRuntimeShards1(b *testing.B) { benchRuntimeShards(b, 1) }
+func BenchmarkRuntimeShards4(b *testing.B) { benchRuntimeShards(b, 4) }
+func BenchmarkRuntimeShards8(b *testing.B) { benchRuntimeShards(b, 8) }
+
+func BenchmarkRuntimeSequentialBaseline(b *testing.B) {
+	m, s := runtimeBenchStream()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ms := engine.Sequential(m, engine.DefaultCosts(), s, false); len(ms) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+	b.ReportMetric(float64(len(s)), "events/op")
 }
 
 // Query parsing throughput.

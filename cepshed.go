@@ -41,6 +41,7 @@ import (
 	"cepshed/internal/metrics"
 	"cepshed/internal/nfa"
 	"cepshed/internal/query"
+	"cepshed/internal/runtime"
 	"cepshed/internal/shed"
 )
 
@@ -81,6 +82,16 @@ type (
 	// PositionUtility holds the per-type position histograms for the PI
 	// baseline (eSPICE-style position-based input shedding).
 	PositionUtility = baseline.PositionUtility
+	// Runtime is the sharded wall-clock streaming runtime (see
+	// docs/RUNTIME.md): events partition by correlation key across
+	// concurrent engine shards fed through bounded backpressure queues.
+	Runtime = runtime.Runtime
+	// RuntimeConfig configures a Runtime.
+	RuntimeConfig = runtime.Config
+	// RuntimeSnapshot is a point-in-time view of a Runtime's counters.
+	RuntimeSnapshot = runtime.Snapshot
+	// ShardSnapshot is the per-shard portion of a RuntimeSnapshot.
+	ShardSnapshot = runtime.ShardSnapshot
 )
 
 // Virtual time units.
@@ -177,6 +188,19 @@ func (s *System) Run(stream Stream, opts RunOptions) *RunResult {
 		SamplePMsEvery:   opts.SamplePMsEvery,
 		DeferredNegation: opts.DeferredNegation,
 	})
+}
+
+// NewRuntime starts the sharded wall-clock runtime for the compiled
+// query. The runtime is live immediately; feed it with Offer and stop it
+// with Close. With Shards = 1 its match set is identical to Run's.
+func (s *System) NewRuntime(cfg RuntimeConfig) *Runtime {
+	return runtime.New(s.machine, cfg)
+}
+
+// InferPartitionKey returns the attribute the runtime would partition
+// this query's events by ("" when no cross-variable equality exists).
+func (s *System) InferPartitionKey() string {
+	return runtime.InferPartitionKey(s.machine.Query)
 }
 
 // Train estimates the hybrid cost model from historic data (§V-B).

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cepshed/internal/baseline"
 	"cepshed/internal/citibike"
@@ -25,6 +26,7 @@ import (
 	"cepshed/internal/metrics"
 	"cepshed/internal/nfa"
 	"cepshed/internal/query"
+	rtime "cepshed/internal/runtime"
 	"cepshed/internal/shed"
 )
 
@@ -38,6 +40,8 @@ func main() {
 		explain  = flag.Bool("explain", false, "print the compiled automaton plan and exit")
 		bound    = flag.Float64("bound", 0.5, "latency bound as a fraction of the unshedded latency")
 		stat     = flag.String("stat", "avg", "latency statistic the bound applies to: avg, p95, p99")
+		useRT    = flag.Bool("runtime", false, "also run through the sharded wall-clock runtime and report both latency domains")
+		shards   = flag.Int("shards", 4, "shard count for -runtime")
 	)
 	flag.Parse()
 
@@ -78,20 +82,80 @@ func main() {
 	fmt.Printf("unshedded: %d matches, %s latency %s, throughput %.0f events/s\n",
 		len(truth.Matches), boundStat, boundStat.Of(truth.Latency), truth.Throughput)
 
-	if *strategy == "None" {
+	if *strategy != "None" {
+		res := runner.run(*strategy, *bound, *seed)
+		fmt.Printf("\nstrategy %s at %.0f%% %s-latency bound (virtual time):\n", res.Strategy, *bound*100, boundStat)
+		fmt.Printf("  recall      %.1f%%\n", 100*metrics.Recall(truth.MatchSet(), res.MatchSet()))
+		if q.HasNegation() {
+			fmt.Printf("  precision   %.1f%%\n", 100*metrics.Precision(truth.MatchSet(), res.MatchSet()))
+		}
+		fmt.Printf("  throughput  %.0f events/s\n", res.Throughput)
+		fmt.Printf("  latency     %s (bound %s)\n", boundStat.Of(res.Latency), runner.boundAt(*bound))
+		fmt.Printf("  shed events %.1f%% (%d)\n", 100*res.ShedEventRatio(), res.ShedEvents)
+		fmt.Printf("  shed PMs    %.1f%% (%d of %d)\n",
+			100*res.ShedPMRatio(), res.Stats.DroppedPMs, res.Stats.CreatedPMs)
+	}
+
+	if *useRT {
+		runner.runWallclock(*strategy, *bound, *seed, *shards, truth)
+	}
+}
+
+// runWallclock routes the workload through the sharded wall-clock
+// runtime: first an unshedded pass to calibrate the wall-clock bound at
+// the same fraction the virtual run used, then the strategy pass. Both
+// latency domains end up side by side in the output.
+func (r *runner) runWallclock(name string, frac float64, seed int64, shards int, truth *metrics.RunResult) {
+	feed := func(factory func(int) shed.Strategy) (rtime.Snapshot, metrics.MatchSet, time.Duration) {
+		rt := rtime.New(r.m, rtime.Config{
+			Shards:           shards,
+			NewStrategy:      factory,
+			CollectMatches:   true,
+			DeferredNegation: r.m.Query.HasNegation(),
+		})
+		start := time.Now()
+		for _, e := range r.work {
+			rt.Offer(e)
+		}
+		rt.Close()
+		elapsed := time.Since(start)
+		return rt.Snapshot(), metrics.Keys(rt.MatchKeys()), elapsed
+	}
+
+	base, baseMatches, baseElapsed := feed(nil)
+	baseStat := wallStat(r.stat, base)
+	fmt.Printf("\nwall-clock runtime (%d shards, key %q):\n", shards, rtime.InferPartitionKey(r.m.Query))
+	fmt.Printf("  unshedded   %s %s, %d matches, %.0f events/s wall\n",
+		r.stat, baseStat, base.Matches, float64(base.EventsIn)/baseElapsed.Seconds())
+	fmt.Printf("  recall vs virtual truth %.1f%%\n",
+		100*metrics.Recall(truth.MatchSet(), baseMatches))
+	if name == "None" {
 		return
 	}
-	res := runner.run(*strategy, *bound, *seed)
-	fmt.Printf("\nstrategy %s at %.0f%% %s-latency bound:\n", res.Strategy, *bound*100, boundStat)
-	fmt.Printf("  recall      %.1f%%\n", 100*metrics.Recall(truth.MatchSet(), res.MatchSet()))
-	if q.HasNegation() {
-		fmt.Printf("  precision   %.1f%%\n", 100*metrics.Precision(truth.MatchSet(), res.MatchSet()))
+
+	wallBound := event.Time(frac * float64(baseStat.Nanoseconds()))
+	factory := func(i int) shed.Strategy { return r.buildStrategy(name, wallBound, seed+int64(i), true) }
+	snap, got, elapsed := feed(factory)
+	fmt.Printf("\n  strategy %s at %.0f%% wall %s bound (%s):\n", name, frac*100, r.stat, time.Duration(wallBound))
+	fmt.Printf("    recall      %.1f%%\n", 100*metrics.Recall(truth.MatchSet(), got))
+	fmt.Printf("    wall rate   %.0f events/s\n", float64(snap.EventsIn)/elapsed.Seconds())
+	fmt.Printf("    latency     p50 %s  p95 %s  p99 %s (virtual run: %s)\n",
+		snap.P50, snap.P95, snap.P99, r.stat.Of(r.truth().Latency))
+	fmt.Printf("    shed events %.1f%% (%d)\n", 100*snap.InputShedRatio, snap.EventsShed)
+	fmt.Printf("    shed PMs    %.1f%% (%d of %d)\n",
+		100*snap.PMShedRatio, snap.DroppedPMs, snap.CreatedPMs)
+}
+
+// wallStat maps the bound statistic onto a wall-clock snapshot.
+func wallStat(stat metrics.BoundStat, s rtime.Snapshot) time.Duration {
+	switch stat {
+	case metrics.BoundP95:
+		return s.P95
+	case metrics.BoundP99:
+		return s.P99
+	default:
+		return s.MeanLatency
 	}
-	fmt.Printf("  throughput  %.0f events/s\n", res.Throughput)
-	fmt.Printf("  latency     %s (bound %s)\n", boundStat.Of(res.Latency), runner.boundAt(*bound))
-	fmt.Printf("  shed events %.1f%% (%d)\n", 100*res.ShedEventRatio(), res.ShedEvents)
-	fmt.Printf("  shed PMs    %.1f%% (%d of %d)\n",
-		100*res.ShedPMRatio(), res.Stats.DroppedPMs, res.Stats.CreatedPMs)
 }
 
 // runner lazily builds strategies over one configuration, mirroring the
@@ -124,7 +188,18 @@ func (r *runner) boundAt(frac float64) event.Time {
 }
 
 func (r *runner) run(name string, frac float64, seed int64) *metrics.RunResult {
-	bound := r.boundAt(frac)
+	strat := r.buildStrategy(name, r.boundAt(frac), seed, false)
+	return metrics.Run(r.m, r.work, metrics.RunConfig{
+		Strategy: strat, BoundStat: r.stat, DeferredNegation: r.m.Query.HasNegation(),
+	})
+}
+
+// buildStrategy constructs a fresh strategy instance for the given
+// latency bound — virtual time for metrics.Run, wall-clock nanoseconds
+// for the sharded runtime (the unit maps 1:1). freshModel forces a
+// per-call cost model: the online adapter mutates it, so concurrent
+// shards must never share one instance.
+func (r *runner) buildStrategy(name string, bound event.Time, seed int64, freshModel bool) shed.Strategy {
 	var strat shed.Strategy
 	switch name {
 	case "RI":
@@ -145,10 +220,14 @@ func (r *runner) run(name string, frac float64, seed int64) *metrics.RunResult {
 		}
 		strat = baseline.NewSelectivityState(r.sel, bound, seed)
 	case "Hybrid", "HyI", "HyS":
-		if r.model == nil {
-			r.model = core.MustTrain(r.m, r.train, core.TrainConfig{
+		model := r.model
+		if model == nil || freshModel {
+			model = core.MustTrain(r.m, r.train, core.TrainConfig{
 				Slices: 4, Seed: 1, DeferredNegation: r.m.Query.HasNegation(),
 			})
+			if !freshModel {
+				r.model = model
+			}
 		}
 		mode := core.ModeHybrid
 		if name == "HyI" {
@@ -156,14 +235,12 @@ func (r *runner) run(name string, frac float64, seed int64) *metrics.RunResult {
 		} else if name == "HyS" {
 			mode = core.ModeStateOnly
 		}
-		strat = core.NewHybrid(r.model, core.Config{Bound: bound, Mode: mode, Adapt: true})
+		strat = core.NewHybrid(model, core.Config{Bound: bound, Mode: mode, Adapt: true})
 	default:
 		fmt.Fprintf(os.Stderr, "ceprun: unknown strategy %q\n", name)
 		os.Exit(2)
 	}
-	return metrics.Run(r.m, r.work, metrics.RunConfig{
-		Strategy: strat, BoundStat: r.stat, DeferredNegation: r.m.Query.HasNegation(),
-	})
+	return strat
 }
 
 // streams returns training and workload streams plus the default query.

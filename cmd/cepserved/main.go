@@ -1,0 +1,445 @@
+// Command cepserved runs the sharded wall-clock CEP runtime as a server:
+// it ingests NDJSON events over HTTP and/or raw TCP, optionally replays
+// one of the built-in dataset generators at a configurable rate for load
+// testing, and exposes live statistics.
+//
+// Endpoints (on -listen):
+//
+//	POST /ingest   NDJSON event lines (see docs/RUNTIME.md for the format)
+//	GET  /stats    JSON runtime snapshot
+//	GET  /metrics  Prometheus text exposition
+//	GET  /healthz  liveness probe
+//
+// Examples:
+//
+//	cepserved -dataset ds1 -events 200000 -rate 50000 -shards 4 \
+//	  -strategy Hybrid -bound 2ms
+//
+//	cepserved -tcp :9999 -shards 8 -strategy RI -bound 5ms \
+//	  -query 'PATTERN SEQ(A a, B b, C c) WHERE a.ID=b.ID AND a.ID=c.ID WITHIN 8ms'
+//
+// On SIGINT/SIGTERM the server stops ingesting, drains every shard queue
+// (emitting the final matches those events complete), and prints the
+// final snapshot to stdout.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cepshed/internal/baseline"
+	"cepshed/internal/citibike"
+	"cepshed/internal/core"
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gcluster"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/runtime"
+	"cepshed/internal/shed"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "HTTP listen address (/ingest, /stats, /metrics, /healthz)")
+		tcpAddr  = flag.String("tcp", "", "optional raw TCP NDJSON listen address")
+		shards   = flag.Int("shards", 4, "number of engine shards")
+		queueLen = flag.Int("queue", 1024, "per-shard bounded queue capacity")
+		dataset  = flag.String("dataset", "", "replay dataset: ds1, ds2, citibike, gcluster (empty: ingest only)")
+		events   = flag.Int("events", 100000, "replay stream length (trips/tasks for the case studies)")
+		rate     = flag.Float64("rate", 20000, "replay rate in events/sec (0: as fast as backpressure allows)")
+		loop     = flag.Bool("loop", false, "repeat the replay until terminated")
+		querySrc = flag.String("query", "", "query text (default: the paper query for the dataset)")
+		strategy = flag.String("strategy", "Hybrid", "None, RI, SI, PI, RS, SS, Hybrid, HyI, HyS")
+		bound    = flag.Duration("bound", 2*time.Millisecond, "wall-clock latency bound θ for the shedding controller")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		emit     = flag.Bool("print-matches", false, "write detected matches as NDJSON to stdout")
+	)
+	flag.Parse()
+
+	if *dataset == "" && *querySrc == "" {
+		log.Fatal("cepserved: need -query (ingest mode) or -dataset (replay mode)")
+	}
+
+	var train, work event.Stream
+	src := *querySrc
+	if *dataset != "" {
+		var defQuery string
+		train, work, defQuery = streams(*dataset, *events, *seed)
+		if src == "" {
+			src = defQuery
+		}
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		log.Fatalf("cepserved: %v", err)
+	}
+	m, err := nfa.Compile(q)
+	if err != nil {
+		log.Fatalf("cepserved: %v", err)
+	}
+
+	boundNs := event.Time(bound.Nanoseconds())
+	factory, err := strategyFactory(*strategy, m, train, boundNs, *seed)
+	if err != nil {
+		log.Fatalf("cepserved: %v", err)
+	}
+
+	cfg := runtime.Config{
+		Shards:      *shards,
+		QueueLen:    *queueLen,
+		NewStrategy: factory,
+	}
+	var emitMu sync.Mutex
+	if *emit {
+		out := bufio.NewWriter(os.Stdout)
+		cfg.OnMatch = func(shard int, match engine.Match) {
+			emitMu.Lock()
+			out.Write(runtime.EncodeMatch(shard, match))
+			out.WriteByte('\n')
+			out.Flush()
+			emitMu.Unlock()
+		}
+	}
+	// Hybrid strategies train a cost model per shard inside runtime.New,
+	// which can take several seconds on large training streams — say so,
+	// or the silence before the listener comes up looks like a hang.
+	if len(train) > 0 {
+		log.Printf("cepserved: starting %d shards (strategy %s may train on %d events per shard)",
+			*shards, *strategy, len(train))
+	}
+	rt := runtime.New(m, cfg)
+	srv := &server{rt: rt, started: time.Now()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.mux()}
+	go func() {
+		log.Printf("cepserved: HTTP on %s (query: %s, shards=%d, strategy=%s, bound=%s)",
+			*listen, q, *shards, *strategy, bound)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("cepserved: http: %v", err)
+		}
+	}()
+
+	var tcpLn net.Listener
+	if *tcpAddr != "" {
+		tcpLn, err = net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			log.Fatalf("cepserved: tcp: %v", err)
+		}
+		log.Printf("cepserved: NDJSON TCP on %s", *tcpAddr)
+		go srv.serveTCP(ctx, tcpLn)
+	}
+
+	var producers sync.WaitGroup
+	if len(work) > 0 {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for {
+				n := srv.replay(ctx, work, *rate)
+				log.Printf("cepserved: replay pass done (%d events offered)", n)
+				if !*loop || ctx.Err() != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	log.Print("cepserved: draining shard queues")
+	srv.closing.Store(true)
+	if tcpLn != nil {
+		tcpLn.Close()
+	}
+	// Stop the replay producer before closing so the final snapshot
+	// accounts for every event it offered. (Offer itself is safe against
+	// a concurrent Close — late TCP/HTTP ingest is simply rejected.)
+	producers.Wait()
+	rt.Close() // graceful drain: queued events finish, engines flush
+	shut, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shut)
+
+	final := rt.Snapshot()
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(final)
+	log.Printf("cepserved: final: %s", final)
+}
+
+// server wires the runtime into the network frontends.
+type server struct {
+	rt      *runtime.Runtime
+	started time.Time
+	seq     atomic.Uint64
+	lastT   atomic.Int64 // monotone floor for assigned arrival times
+	closing atomic.Bool
+	badLine atomic.Uint64
+}
+
+// submit finalizes an ingested event (arrival time, sequence number) and
+// offers it to the runtime with backpressure.
+func (s *server) submit(e *event.Event, hasTime bool) {
+	if !hasTime {
+		e.Time = event.Time(time.Since(s.started).Nanoseconds())
+	}
+	// Per-shard time must be non-decreasing; concurrent producers race
+	// between stamping and enqueueing, so clamp to a global floor.
+	for {
+		last := s.lastT.Load()
+		if int64(e.Time) >= last {
+			if s.lastT.CompareAndSwap(last, int64(e.Time)) {
+				break
+			}
+			continue
+		}
+		e.Time = event.Time(last)
+		break
+	}
+	e.Seq = s.seq.Add(1) - 1
+	s.rt.Offer(e)
+}
+
+// replay feeds a generated stream at the target rate (events/second),
+// blocking on backpressure when the shards cannot keep up.
+func (s *server) replay(ctx context.Context, work event.Stream, rate float64) int {
+	start := time.Now()
+	n := 0
+	for i, e := range work {
+		if ctx.Err() != nil {
+			return n
+		}
+		if rate > 0 {
+			due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return n
+				}
+			}
+		}
+		// Replayed events keep their generated virtual timestamps: window
+		// semantics stay deterministic regardless of the wall replay rate.
+		s.rt.Offer(e)
+		n++
+	}
+	return n
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := s.rt.Snapshot()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			runtime.Snapshot
+			UptimeSeconds float64 `json:"uptime_seconds"`
+			BadLines      uint64  `json:"bad_lines"`
+		}{snap, time.Since(s.started).Seconds(), s.badLine.Load()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writePrometheus(w, s.rt.Snapshot())
+	})
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		if s.closing.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		accepted, rejected := s.ingestLines(bufio.NewScanner(r.Body))
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", accepted, rejected)
+	})
+	return mux
+}
+
+// ingestLines parses NDJSON lines from the scanner, submitting valid
+// events and counting bad lines.
+func (s *server) ingestLines(sc *bufio.Scanner) (accepted, rejected int) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		e, hasTime, err := runtime.ParseEvent(line)
+		if err != nil {
+			rejected++
+			s.badLine.Add(1)
+			continue
+		}
+		s.submit(e, hasTime)
+		accepted++
+	}
+	return accepted, rejected
+}
+
+func (s *server) serveTCP(ctx context.Context, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || s.closing.Load() {
+				return
+			}
+			log.Printf("cepserved: tcp accept: %v", err)
+			return
+		}
+		go func() {
+			defer conn.Close()
+			s.ingestLines(bufio.NewScanner(conn))
+		}()
+	}
+}
+
+// writePrometheus renders the snapshot in Prometheus text exposition
+// format, with per-shard labelled series plus aggregate quantiles.
+func writePrometheus(w http.ResponseWriter, snap runtime.Snapshot) {
+	counter := func(name, help string, val func(runtime.ShardSnapshot) uint64) {
+		fmt.Fprintf(w, "# HELP cepshed_%s %s\n# TYPE cepshed_%s counter\n", name, help, name)
+		for _, ss := range snap.Shards {
+			fmt.Fprintf(w, "cepshed_%s{shard=\"%d\"} %d\n", name, ss.Shard, val(ss))
+		}
+	}
+	gauge := func(name, help string, val func(runtime.ShardSnapshot) float64) {
+		fmt.Fprintf(w, "# HELP cepshed_%s %s\n# TYPE cepshed_%s gauge\n", name, help, name)
+		for _, ss := range snap.Shards {
+			fmt.Fprintf(w, "cepshed_%s{shard=\"%d\"} %g\n", name, ss.Shard, val(ss))
+		}
+	}
+	counter("events_in_total", "Events offered to the shard.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.EventsIn })
+	counter("events_shed_total", "Events discarded by input-based shedding (rho_I).",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.EventsShed })
+	counter("events_processed_total", "Events processed by the engine.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.EventsProcessed })
+	counter("overflow_dropped_total", "Events dropped on full queue by TryOffer.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.Overflow })
+	counter("matches_total", "Complete matches detected.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.Matches })
+	counter("partial_matches_created_total", "Partial matches created.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.CreatedPMs })
+	counter("partial_matches_dropped_total", "Partial matches removed by state-based shedding (rho_S).",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.DroppedPMs })
+	gauge("queue_depth", "Events waiting in the shard queue.",
+		func(ss runtime.ShardSnapshot) float64 { return float64(ss.QueueDepth) })
+	gauge("live_partial_matches", "Live partial matches in the shard engine.",
+		func(ss runtime.ShardSnapshot) float64 { return float64(ss.LivePMs) })
+	gauge("smoothed_latency_seconds", "EWMA-smoothed wall-clock latency driving the shedder.",
+		func(ss runtime.ShardSnapshot) float64 { return ss.SmoothedLatency.Seconds() })
+
+	fmt.Fprintf(w, "# HELP cepshed_input_shed_ratio Realized rho_I across all shards.\n# TYPE cepshed_input_shed_ratio gauge\ncepshed_input_shed_ratio %g\n", snap.InputShedRatio)
+	fmt.Fprintf(w, "# HELP cepshed_pm_shed_ratio Realized rho_S across all shards.\n# TYPE cepshed_pm_shed_ratio gauge\ncepshed_pm_shed_ratio %g\n", snap.PMShedRatio)
+	fmt.Fprintf(w, "# HELP cepshed_latency_seconds Wall-clock event latency quantiles across all shards.\n# TYPE cepshed_latency_seconds summary\n")
+	fmt.Fprintf(w, "cepshed_latency_seconds{quantile=\"0.5\"} %g\n", snap.P50.Seconds())
+	fmt.Fprintf(w, "cepshed_latency_seconds{quantile=\"0.95\"} %g\n", snap.P95.Seconds())
+	fmt.Fprintf(w, "cepshed_latency_seconds{quantile=\"0.99\"} %g\n", snap.P99.Seconds())
+	fmt.Fprintf(w, "cepshed_latency_seconds_count %d\n", snap.EventsIn)
+}
+
+// strategyFactory builds the per-shard strategy constructor. Every shard
+// gets its own instance (strategies are stateful); model-based
+// strategies train per shard so online adaptation never shares state.
+func strategyFactory(name string, m *nfa.Machine, train event.Stream, bound event.Time, seed int64) (func(int) shed.Strategy, error) {
+	needTrain := func() error {
+		if len(train) == 0 {
+			return fmt.Errorf("strategy %s needs training data: run with -dataset", name)
+		}
+		return nil
+	}
+	switch name {
+	case "None":
+		return nil, nil
+	case "RI":
+		return func(i int) shed.Strategy { return baseline.NewRandomInput(bound, seed+int64(i)) }, nil
+	case "RS":
+		return func(i int) shed.Strategy { return baseline.NewRandomState(bound, seed+int64(i)) }, nil
+	case "SI":
+		if err := needTrain(); err != nil {
+			return nil, err
+		}
+		return func(i int) shed.Strategy {
+			return baseline.NewSelectivityInput(baseline.EstimateSelectivity(m, train), bound, seed+int64(i))
+		}, nil
+	case "SS":
+		if err := needTrain(); err != nil {
+			return nil, err
+		}
+		return func(i int) shed.Strategy {
+			return baseline.NewSelectivityState(baseline.EstimateSelectivity(m, train), bound, seed+int64(i))
+		}, nil
+	case "PI":
+		if err := needTrain(); err != nil {
+			return nil, err
+		}
+		return func(i int) shed.Strategy {
+			return baseline.NewPositionInput(baseline.EstimatePositionUtility(m, train), bound, seed+int64(i))
+		}, nil
+	case "Hybrid", "HyI", "HyS":
+		if err := needTrain(); err != nil {
+			return nil, err
+		}
+		mode := core.ModeHybrid
+		if name == "HyI" {
+			mode = core.ModeInputOnly
+		} else if name == "HyS" {
+			mode = core.ModeStateOnly
+		}
+		return func(i int) shed.Strategy {
+			model := core.MustTrain(m, train, core.TrainConfig{Slices: 4, Seed: 1})
+			return core.NewHybrid(model, core.Config{Bound: bound, Mode: mode, Adapt: true})
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+// streams returns training and workload streams plus the default query
+// for a dataset (the same shapes ceprun uses).
+func streams(dataset string, events int, seed int64) (train, work event.Stream, defQuery string) {
+	switch dataset {
+	case "ds1":
+		train = gen.DS1(gen.DS1Config{Events: events / 2, Seed: seed + 1000, InterArrival: 15 * event.Microsecond})
+		work = gen.DS1(gen.DS1Config{Events: events, Seed: seed, InterArrival: 15 * event.Microsecond})
+		defQuery = query.Q1("8ms").Raw
+	case "ds2":
+		train = gen.DS2(gen.DS2Config{Events: events / 2, Seed: seed + 1000, InterArrival: 15 * event.Microsecond})
+		work = gen.DS2(gen.DS2Config{Events: events, Seed: seed, InterArrival: 15 * event.Microsecond})
+		defQuery = query.Q3("8ms").Raw
+	case "citibike":
+		train = citibike.Generate(citibike.Config{Trips: events / 2, Seed: seed + 1000})
+		work = citibike.Generate(citibike.Config{Trips: events, Seed: seed})
+		defQuery = query.HotPaths("5 min", 2, 5).Raw
+	case "gcluster":
+		cfg := gcluster.Config{Tasks: events / 4, MeanGap: 120 * event.Millisecond, StepGap: 400 * event.Millisecond}
+		cfg.Seed = seed + 1000
+		train = gcluster.Generate(cfg)
+		cfg.Seed = seed
+		work = gcluster.Generate(cfg)
+		defQuery = query.ClusterTasks("1 min").Raw
+	default:
+		log.Fatalf("cepserved: unknown dataset %q", dataset)
+	}
+	return train, work, defQuery
+}

@@ -1,0 +1,23 @@
+package engine
+
+import (
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+)
+
+// Sequential processes an entire stream through a fresh single-threaded
+// engine and returns every match in emission order. It is the reference
+// semantics the sharded runtime's determinism cross-check compares
+// against (internal/runtime): a one-shard runtime must produce exactly
+// this match set.
+func Sequential(m *nfa.Machine, costs Costs, stream event.Stream, deferredNegation bool) []Match {
+	en := New(m, costs)
+	en.DeferredNegation = deferredNegation
+	var out []Match
+	for _, e := range stream {
+		res := en.Process(e)
+		out = append(out, res.Matches...)
+	}
+	en.Flush()
+	return out
+}

@@ -1,0 +1,147 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+)
+
+// The NDJSON wire format, one event per line:
+//
+//	{"type":"A","time":123456,"attrs":{"ID":5,"V":3.5,"user":"u1"}}
+//
+// "time" is the virtual timestamp in nanoseconds and is optional — a
+// server assigns arrival time when absent. Attribute values map onto the
+// event model: JSON integers become Int, other numbers Float, strings
+// Str. Booleans and nested structures are rejected: the event model has
+// no corresponding kinds, and silently coercing them would make
+// predicates fail in confusing ways.
+
+type wireEvent struct {
+	Type  string                     `json:"type"`
+	Time  *int64                     `json:"time,omitempty"`
+	Attrs map[string]json.RawMessage `json:"attrs,omitempty"`
+}
+
+// ParseEvent decodes one NDJSON line into an event. hasTime reports
+// whether the line carried an explicit timestamp; when false the caller
+// must assign one before offering the event to a runtime.
+func ParseEvent(line []byte) (e *event.Event, hasTime bool, err error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var we wireEvent
+	if err := dec.Decode(&we); err != nil {
+		return nil, false, fmt.Errorf("runtime: bad event line: %w", err)
+	}
+	if we.Type == "" {
+		return nil, false, fmt.Errorf("runtime: event line missing \"type\"")
+	}
+	attrs := make(map[string]event.Value, len(we.Attrs))
+	for name, raw := range we.Attrs {
+		v, err := parseValue(raw)
+		if err != nil {
+			return nil, false, fmt.Errorf("runtime: attr %q: %w", name, err)
+		}
+		attrs[name] = v
+	}
+	var t event.Time
+	if we.Time != nil {
+		t = event.Time(*we.Time)
+	}
+	return event.New(we.Type, t, attrs), we.Time != nil, nil
+}
+
+func parseValue(raw json.RawMessage) (event.Value, error) {
+	s := strings.TrimSpace(string(raw))
+	if s == "" {
+		return event.Value{}, fmt.Errorf("empty value")
+	}
+	if s[0] == '"' {
+		var str string
+		if err := json.Unmarshal(raw, &str); err != nil {
+			return event.Value{}, err
+		}
+		return event.Str(str), nil
+	}
+	var num json.Number
+	if err := json.Unmarshal(raw, &num); err != nil {
+		return event.Value{}, fmt.Errorf("unsupported value %s (only numbers and strings)", s)
+	}
+	if i, err := num.Int64(); err == nil {
+		return event.Int(i), nil
+	}
+	f, err := num.Float64()
+	if err != nil {
+		return event.Value{}, err
+	}
+	return event.Float(f), nil
+}
+
+// EncodeEvent renders an event as one NDJSON line (without the trailing
+// newline).
+func EncodeEvent(e *event.Event) []byte {
+	var b bytes.Buffer
+	t := int64(e.Time)
+	b.WriteString(`{"type":`)
+	writeJSONString(&b, e.Type)
+	fmt.Fprintf(&b, `,"time":%d,"attrs":{`, t)
+	names := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeJSONString(&b, k)
+		b.WriteByte(':')
+		v := e.Attrs[k]
+		switch {
+		case v.Kind == event.KindString:
+			writeJSONString(&b, v.S)
+		case v.Kind == event.KindInt:
+			fmt.Fprintf(&b, "%d", v.I)
+		case v.Kind == event.KindFloat:
+			fmt.Fprintf(&b, "%g", v.F)
+		default:
+			b.WriteString("null")
+		}
+	}
+	b.WriteString("}}")
+	return b.Bytes()
+}
+
+// EncodeMatch renders a detected match as one NDJSON line: the shard,
+// detection timestamp, canonical key, and the matched events' sequence
+// numbers and types.
+func EncodeMatch(shard int, m engine.Match) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"shard":%d,"detected":%d,"key":`, shard, int64(m.Detected))
+	writeJSONString(&b, m.Key())
+	b.WriteString(`,"events":[`)
+	for i, e := range m.Events {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"seq":%d,"type":`, e.Seq)
+		writeJSONString(&b, e.Type)
+		b.WriteByte('}')
+	}
+	b.WriteString("]}")
+	return b.Bytes()
+}
+
+func writeJSONString(b *bytes.Buffer, s string) {
+	enc, err := json.Marshal(s)
+	if err != nil {
+		b.WriteString(`""`)
+		return
+	}
+	b.Write(enc)
+}

@@ -1,0 +1,79 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+)
+
+func TestParseEventRoundTrip(t *testing.T) {
+	e := event.New("A", 1234, map[string]event.Value{
+		"ID":   event.Int(7),
+		"V":    event.Float(2.5),
+		"user": event.Str(`x"y`),
+	})
+	line := EncodeEvent(e)
+	got, hasTime, err := ParseEvent(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasTime {
+		t.Error("round trip lost the timestamp")
+	}
+	if got.Type != "A" || got.Time != 1234 {
+		t.Errorf("type/time = %s/%d", got.Type, got.Time)
+	}
+	if got.Int("ID") != 7 || got.Float("V") != 2.5 || got.Str("user") != `x"y` {
+		t.Errorf("attrs = %v", got.Attrs)
+	}
+	if got.Attrs["ID"].Kind != event.KindInt {
+		t.Errorf("ID kind = %v, want int", got.Attrs["ID"].Kind)
+	}
+	if got.Attrs["V"].Kind != event.KindFloat {
+		t.Errorf("V kind = %v, want float", got.Attrs["V"].Kind)
+	}
+}
+
+func TestParseEventNoTime(t *testing.T) {
+	got, hasTime, err := ParseEvent([]byte(`{"type":"B","attrs":{"ID":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasTime {
+		t.Error("hasTime = true for a line without time")
+	}
+	if got.Type != "B" || got.Int("ID") != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	for _, line := range []string{
+		``,
+		`{`,
+		`{"attrs":{}}`,                    // no type
+		`{"type":"A","attrs":{"x":true}}`, // boolean attr
+		`{"type":"A","attrs":{"x":[1]}}`,  // nested attr
+		`{"type":"A","bogus":1}`,          // unknown field
+	} {
+		if _, _, err := ParseEvent([]byte(line)); err == nil {
+			t.Errorf("ParseEvent(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestEncodeMatch(t *testing.T) {
+	a := event.New("A", 10, nil)
+	a.Seq = 3
+	b := event.New("B", 20, nil)
+	b.Seq = 5
+	m := engine.Match{Events: []*event.Event{a, b}, Detected: 20}
+	line := string(EncodeMatch(1, m))
+	for _, want := range []string{`"shard":1`, `"detected":20`, `"key":"3,5"`, `"seq":3`, `"type":"B"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("EncodeMatch output %s missing %s", line, want)
+		}
+	}
+}

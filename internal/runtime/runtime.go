@@ -1,0 +1,382 @@
+// Package runtime is the sharded, concurrent streaming runtime: the
+// bridge between the deterministic virtual-time reproduction and a
+// wall-clock online system. Events are partitioned by correlation key
+// across N shards; each shard owns an independent engine instance plus
+// its own shedding strategy and is fed through a bounded channel, so
+// queue depth is real backpressure rather than a simulated queueing
+// model. Each shard measures wall-clock queueing-plus-service latency,
+// smooths it with an EWMA (paper w = 0.5), and hands the smoothed value
+// to the strategy's control step — the same ρI/ρS control loop the
+// virtual-time runner drives, now running against the hardware clock.
+//
+// With Shards = 1 the runtime degenerates to the sequential engine:
+// events are processed in arrival order by one goroutine and the match
+// set is identical to engine.Sequential — the determinism cross-check
+// the tests enforce. With more shards, any query whose matches are
+// connected by an equality predicate on one attribute (a.ID = b.ID = …)
+// partitions exactly: all events of one key land on one shard, so the
+// merged match set is again identical. Count windows are the exception —
+// they expire on global sequence distance, which partitioning stretches;
+// see docs/RUNTIME.md.
+package runtime
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/metrics"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/shed"
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Shards is the number of engine shards (default 1).
+	Shards int
+	// QueueLen is the per-shard bounded channel capacity (default 1024).
+	// When a shard's queue is full, Offer blocks: backpressure propagates
+	// to the producer instead of growing an unbounded buffer.
+	QueueLen int
+	// Costs calibrates the engines' virtual work accounting (zero value:
+	// engine.DefaultCosts()). Virtual work is still tracked per event so
+	// strategies that charge shedding overhead keep functioning, but
+	// latency fed to the control loop is wall-clock.
+	Costs engine.Costs
+	// KeyAttr is the partition attribute; events hash to shards by its
+	// value. Empty: inferred from the query's equality predicates via
+	// InferPartitionKey, falling back to round-robin (approximate for
+	// multi-shard runs; exact for Shards = 1).
+	KeyAttr string
+	// KeyFunc overrides partitioning entirely when non-nil.
+	KeyFunc func(*event.Event) uint64
+	// NewStrategy builds the per-shard shedding strategy (nil strategy /
+	// nil factory: no shedding). Each shard needs its OWN instance:
+	// strategies are stateful and are only ever called from the shard's
+	// goroutine.
+	NewStrategy func(shard int) shed.Strategy
+	// SmoothWeight is the EWMA weight w applied to new latency samples,
+	// smoothed = w·sample + (1−w)·smoothed (default 0.5, the paper's
+	// adaptation weight).
+	SmoothWeight float64
+	// DeferredNegation selects witness-based negation semantics.
+	DeferredNegation bool
+	// CollectMatches keeps every match in memory so Matches() can return
+	// the merged set after Close. Disable for long-running servers.
+	CollectMatches bool
+	// OnMatch, when set, is invoked from the detecting shard's goroutine
+	// for every match. It must be safe for concurrent calls from
+	// different shards.
+	OnMatch func(shard int, m engine.Match)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.Costs == (engine.Costs{}) {
+		c.Costs = engine.DefaultCosts()
+	}
+	if c.SmoothWeight <= 0 || c.SmoothWeight > 1 {
+		c.SmoothWeight = 0.5
+	}
+	return c
+}
+
+// Runtime is a running sharded CEP pipeline. Create with New, feed with
+// Offer (single producer, or multiple producers that tolerate per-shard
+// interleaving), and stop with Close.
+type Runtime struct {
+	cfg    Config
+	shards []*shard
+	key    func(*event.Event) uint64
+	global *metrics.Histogram // merged latency across shards
+
+	// mu excludes Offer/TryOffer sends against Close closing the shard
+	// channels: producers hold the read side around a send, Close takes
+	// the write side before closing. A producer blocked on a full queue
+	// holds its RLock, but shard workers keep draining until the channels
+	// close (which needs the write lock), so the send — and with it
+	// Close — always completes.
+	mu     sync.RWMutex
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New builds and starts a runtime for a compiled machine. Shard worker
+// goroutines start immediately; the runtime is ready for Offer.
+func New(m *nfa.Machine, cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	r := &Runtime{cfg: cfg, global: metrics.NewHistogram()}
+	r.key = cfg.KeyFunc
+	if r.key == nil {
+		attr := cfg.KeyAttr
+		if attr == "" {
+			attr = InferPartitionKey(m.Query)
+		}
+		r.key = keyByAttr(attr)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		var strat shed.Strategy
+		if cfg.NewStrategy != nil {
+			strat = cfg.NewStrategy(i)
+		}
+		sh := newShard(i, m, cfg, strat, r.global)
+		r.shards = append(r.shards, sh)
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			sh.run()
+		}()
+	}
+	return r
+}
+
+// NumShards returns the shard count.
+func (r *Runtime) NumShards() int { return len(r.shards) }
+
+// Offer routes the event to its shard and blocks while that shard's
+// queue is full — this blocking IS the backpressure signal; a
+// rate-limited producer that cannot tolerate blocking should use
+// TryOffer. After Close the event is rejected and Offer returns false,
+// so producers may race a shutdown without coordination.
+func (r *Runtime) Offer(e *event.Event) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed.Load() {
+		return false
+	}
+	r.shardFor(e).ch <- item{e: e, enq: time.Now()}
+	return true
+}
+
+// TryOffer is the non-blocking variant: it returns false (counting the
+// event as an overflow drop) instead of blocking when the shard queue is
+// full. Like Offer it rejects events after Close.
+func (r *Runtime) TryOffer(e *event.Event) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed.Load() {
+		return false
+	}
+	sh := r.shardFor(e)
+	select {
+	case sh.ch <- item{e: e, enq: time.Now()}:
+		return true
+	default:
+		sh.overflow.Add(1)
+		return false
+	}
+}
+
+func (r *Runtime) shardFor(e *event.Event) *shard {
+	if len(r.shards) == 1 {
+		return r.shards[0]
+	}
+	return r.shards[r.key(e)%uint64(len(r.shards))]
+}
+
+// Close drains the runtime gracefully: input channels are closed, every
+// shard finishes its queued events (emitting any final matches they
+// complete), engines flush their remaining state, and the workers exit.
+// Close is idempotent and safe to call while producers are still
+// offering — their in-flight sends finish first, later ones are
+// rejected.
+func (r *Runtime) Close() {
+	if !r.closed.CompareAndSwap(false, true) {
+		r.wg.Wait()
+		return
+	}
+	r.mu.Lock()
+	for _, sh := range r.shards {
+		close(sh.ch)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// Matches returns the merged match set, sorted by detection time then
+// match key (the deterministic "sorted merge" order). Only valid after
+// Close and only when Config.CollectMatches was set.
+func (r *Runtime) Matches() []engine.Match {
+	var out []engine.Match
+	for _, sh := range r.shards {
+		out = append(out, sh.matches...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Detected != out[j].Detected {
+			return out[i].Detected < out[j].Detected
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// MatchKeys returns the sorted-merge match identities (engine.Match.Key)
+// in the same order as Matches.
+func (r *Runtime) MatchKeys() []string {
+	ms := r.Matches()
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = m.Key()
+	}
+	return keys
+}
+
+// ShardSnapshot is the point-in-time state of one shard.
+type ShardSnapshot struct {
+	Shard      int    `json:"shard"`
+	Strategy   string `json:"strategy"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+
+	EventsIn        uint64 `json:"events_in"`
+	EventsShed      uint64 `json:"events_shed"`
+	EventsProcessed uint64 `json:"events_processed"`
+	Overflow        uint64 `json:"overflow_dropped"`
+	Matches         uint64 `json:"matches"`
+
+	LivePMs    int64  `json:"live_partial_matches"`
+	CreatedPMs uint64 `json:"created_partial_matches"`
+	DroppedPMs uint64 `json:"dropped_partial_matches"`
+
+	SmoothedLatency time.Duration `json:"smoothed_latency_ns"`
+	P50             time.Duration `json:"p50_ns"`
+	P95             time.Duration `json:"p95_ns"`
+	P99             time.Duration `json:"p99_ns"`
+	MeanLatency     time.Duration `json:"mean_latency_ns"`
+	MaxLatency      time.Duration `json:"max_latency_ns"`
+}
+
+// Snapshot is the aggregate point-in-time state of the runtime; all
+// counters are monotone except queue depths, live partial matches, and
+// latency statistics.
+type Snapshot struct {
+	Shards []ShardSnapshot `json:"shards"`
+
+	EventsIn        uint64 `json:"events_in"`
+	EventsShed      uint64 `json:"events_shed"`
+	EventsProcessed uint64 `json:"events_processed"`
+	Overflow        uint64 `json:"overflow_dropped"`
+	Matches         uint64 `json:"matches"`
+	LivePMs         int64  `json:"live_partial_matches"`
+	CreatedPMs      uint64 `json:"created_partial_matches"`
+	DroppedPMs      uint64 `json:"dropped_partial_matches"`
+
+	// InputShedRatio is shed / offered events; PMShedRatio is dropped /
+	// created partial matches (the paper's ρI and ρS realized ratios).
+	InputShedRatio float64 `json:"input_shed_ratio"`
+	PMShedRatio    float64 `json:"pm_shed_ratio"`
+
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	MeanLatency time.Duration `json:"mean_latency_ns"`
+	MaxLatency  time.Duration `json:"max_latency_ns"`
+}
+
+// Snapshot captures the current counters. Safe to call at any time from
+// any goroutine.
+func (r *Runtime) Snapshot() Snapshot {
+	var s Snapshot
+	for _, sh := range r.shards {
+		ss := sh.snapshot()
+		s.Shards = append(s.Shards, ss)
+		s.EventsIn += ss.EventsIn
+		s.EventsShed += ss.EventsShed
+		s.EventsProcessed += ss.EventsProcessed
+		s.Overflow += ss.Overflow
+		s.Matches += ss.Matches
+		s.LivePMs += ss.LivePMs
+		s.CreatedPMs += ss.CreatedPMs
+		s.DroppedPMs += ss.DroppedPMs
+	}
+	if s.EventsIn > 0 {
+		s.InputShedRatio = float64(s.EventsShed) / float64(s.EventsIn)
+	}
+	if s.CreatedPMs > 0 {
+		s.PMShedRatio = float64(s.DroppedPMs) / float64(s.CreatedPMs)
+	}
+	s.P50 = time.Duration(r.global.Quantile(0.50))
+	s.P95 = time.Duration(r.global.Quantile(0.95))
+	s.P99 = time.Duration(r.global.Quantile(0.99))
+	s.MeanLatency = time.Duration(r.global.Mean())
+	s.MaxLatency = time.Duration(r.global.Max())
+	return s
+}
+
+// String renders a one-line summary for logs.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("in=%d shed=%d (%.1f%%) matched=%d pms=%d dropped=%d (%.1f%%) p50=%s p99=%s",
+		s.EventsIn, s.EventsShed, 100*s.InputShedRatio, s.Matches,
+		s.LivePMs, s.DroppedPMs, 100*s.PMShedRatio, s.P50, s.P99)
+}
+
+// InferPartitionKey picks the partition attribute from the query: the
+// attribute most often equated between two different pattern variables
+// (a.ID = b.ID and a.ID = c.ID make ID the key for Q1). Matches of such
+// a query are fully contained in one partition, so key-hash sharding is
+// exact. Returns "" when no cross-variable equality exists — then only
+// round-robin (approximate) partitioning is possible.
+func InferPartitionKey(q *query.Query) string {
+	votes := map[string]int{}
+	for _, p := range q.Where {
+		cmp, ok := p.Expr.(*query.Compare)
+		if !ok || cmp.Op != query.CmpEq {
+			continue
+		}
+		l, lok := cmp.L.(*query.FieldRef)
+		rr, rok := cmp.R.(*query.FieldRef)
+		if !lok || !rok || l.Attr != rr.Attr || l.Var == rr.Var {
+			continue
+		}
+		votes[l.Attr]++
+	}
+	best, bestN := "", 0
+	for attr, n := range votes {
+		if n > bestN || (n == bestN && attr < best) {
+			best, bestN = attr, n
+		}
+	}
+	return best
+}
+
+var keySeed = maphash.MakeSeed()
+
+// keyByAttr hashes the named attribute's value (numerics hash by their
+// float64 value so Int(5) and Float(5), which compare equal, co-locate;
+// strings hash their bytes). Empty attr, or an event missing the attr,
+// falls back to a per-call round-robin counter.
+func keyByAttr(attr string) func(*event.Event) uint64 {
+	var rr atomic.Uint64
+	return func(e *event.Event) uint64 {
+		if attr != "" {
+			if v, ok := e.Get(attr); ok {
+				var h maphash.Hash
+				h.SetSeed(keySeed)
+				if v.IsNumeric() {
+					var buf [8]byte
+					bits := math.Float64bits(v.AsFloat())
+					for i := range buf {
+						buf[i] = byte(bits >> (8 * i))
+					}
+					h.Write(buf[:])
+				} else {
+					h.WriteString(v.S)
+				}
+				return h.Sum64()
+			}
+		}
+		return rr.Add(1)
+	}
+}

@@ -1,0 +1,298 @@
+package runtime
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cepshed/internal/baseline"
+	"cepshed/internal/citibike"
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/shed"
+	"cepshed/internal/vclock"
+)
+
+// sortedKeys runs the sequential reference engine and returns its match
+// keys in sorted-merge order.
+func sortedKeys(ms []engine.Match) []string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = m.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func feedAll(r *Runtime, s event.Stream) {
+	for _, e := range s {
+		r.Offer(e)
+	}
+	r.Close()
+}
+
+// equivalence runs stream through both the sequential engine and an
+// n-shard runtime and requires byte-identical sorted match sets.
+func equivalence(t *testing.T, m *nfa.Machine, s event.Stream, shards int) {
+	t.Helper()
+	want := sortedKeys(engine.Sequential(m, engine.DefaultCosts(), s, false))
+
+	r := New(m, Config{Shards: shards, CollectMatches: true})
+	feedAll(r, s)
+	got := r.MatchKeys()
+	sort.Strings(got)
+
+	if len(want) == 0 {
+		t.Fatal("reference run found no matches; test is vacuous")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shards=%d: %d matches, sequential %d; sets differ", shards, len(got), len(want))
+	}
+}
+
+func TestShard1EquivalenceDS1(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 5000, Seed: 7, InterArrival: 15 * event.Microsecond})
+	equivalence(t, m, s, 1)
+}
+
+func TestShard1EquivalenceCitiBike(t *testing.T) {
+	m := nfa.MustCompile(query.HotPaths("5 min", 2, 5))
+	s := citibike.Generate(citibike.Config{Trips: 1200, Seed: 3})
+	equivalence(t, m, s, 1)
+}
+
+// Q1 correlates every match on one ID, so hash-partitioning by ID is
+// exact for any shard count, not just one.
+func TestShardedEquivalenceDS1(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 5000, Seed: 7, InterArrival: 15 * event.Microsecond})
+	for _, shards := range []int{2, 4, 8} {
+		equivalence(t, m, s, shards)
+	}
+}
+
+func TestShardedEquivalenceCitiBike(t *testing.T) {
+	m := nfa.MustCompile(query.HotPaths("5 min", 2, 5))
+	s := citibike.Generate(citibike.Config{Trips: 1200, Seed: 3})
+	equivalence(t, m, s, 4)
+}
+
+func TestInferPartitionKey(t *testing.T) {
+	cases := []struct {
+		q    *query.Query
+		want string
+	}{
+		{query.Q1("8ms"), "ID"},
+		{query.Q3("8ms"), "ID"},
+		{query.Q4("8ms"), "ID"},
+		{query.HotPaths("5 min", 2, 5), "bike"},
+		{query.ClusterTasks("1 min"), "task"},
+	}
+	for _, c := range cases {
+		if got := InferPartitionKey(c.q); got != c.want {
+			t.Errorf("InferPartitionKey(%s) = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotCountersConsistent(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 5000, Seed: 2, InterArrival: 15 * event.Microsecond})
+	r := New(m, Config{
+		Shards: 4,
+		// A bound of 1ns is violated by every wall-clock sample, so the
+		// drop controller must engage and shed some events.
+		NewStrategy: func(i int) shed.Strategy { return baseline.NewRandomInput(1, int64(i)+1) },
+	})
+	feedAll(r, s)
+	snap := r.Snapshot()
+
+	if snap.EventsIn != uint64(len(s)) {
+		t.Errorf("EventsIn = %d, want %d", snap.EventsIn, len(s))
+	}
+	if snap.EventsShed+snap.EventsProcessed != snap.EventsIn {
+		t.Errorf("shed(%d) + processed(%d) != in(%d)",
+			snap.EventsShed, snap.EventsProcessed, snap.EventsIn)
+	}
+	if snap.EventsShed == 0 {
+		t.Error("1ns bound shed nothing; controller is not engaging")
+	}
+	if snap.InputShedRatio <= 0 {
+		t.Errorf("InputShedRatio = %v, want > 0", snap.InputShedRatio)
+	}
+	if snap.LivePMs != 0 {
+		t.Errorf("LivePMs after Close = %d, want 0 (flush)", snap.LivePMs)
+	}
+	if len(snap.Shards) != 4 {
+		t.Fatalf("len(Shards) = %d, want 4", len(snap.Shards))
+	}
+	var perShard uint64
+	for _, ss := range snap.Shards {
+		perShard += ss.EventsIn
+		if ss.Strategy != "RI" {
+			t.Errorf("shard %d strategy = %q, want RI", ss.Shard, ss.Strategy)
+		}
+	}
+	if perShard != snap.EventsIn {
+		t.Errorf("per-shard sum %d != aggregate %d", perShard, snap.EventsIn)
+	}
+}
+
+// gateStrategy blocks AdmitEvent until released, letting the test fill a
+// shard queue deterministically.
+type gateStrategy struct {
+	shed.None
+	gate  chan struct{}
+	once  sync.Once
+	first chan struct{} // closed when the worker is inside AdmitEvent
+}
+
+func (g *gateStrategy) AdmitEvent(e *event.Event, now event.Time) bool {
+	g.once.Do(func() { close(g.first) })
+	<-g.gate
+	return true
+}
+
+func (g *gateStrategy) Control(event.Time, event.Time) vclock.Cost { return 0 }
+
+func TestTryOfferOverflowAndBackpressureBound(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	gs := &gateStrategy{gate: make(chan struct{}), first: make(chan struct{})}
+	const queueLen = 8
+	r := New(m, Config{
+		Shards:      1,
+		QueueLen:    queueLen,
+		NewStrategy: func(int) shed.Strategy { return gs },
+	})
+
+	s := gen.DS1(gen.DS1Config{Events: 100, Seed: 1})
+	// The worker parks on the first event; everything after that queues.
+	r.Offer(s[0])
+	<-gs.first
+	accepted := 1
+	for _, e := range s[1:] {
+		if r.TryOffer(e) {
+			accepted++
+		}
+	}
+	if accepted > queueLen+2 {
+		t.Errorf("accepted %d events with a %d-slot queue; backpressure bound is broken", accepted, queueLen)
+	}
+	snap := r.Snapshot()
+	if snap.Overflow == 0 {
+		t.Error("no overflow drops recorded while the queue was full")
+	}
+	close(gs.gate)
+	r.Close()
+	final := r.Snapshot()
+	if final.EventsIn != uint64(accepted) {
+		t.Errorf("EventsIn = %d, want %d accepted", final.EventsIn, accepted)
+	}
+}
+
+func TestMatchesSortedMergeOrder(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 6000, Seed: 5, InterArrival: 15 * event.Microsecond})
+	r := New(m, Config{Shards: 4, CollectMatches: true})
+	feedAll(r, s)
+	ms := r.Matches()
+	if len(ms) == 0 {
+		t.Fatal("no matches")
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Detected < ms[i-1].Detected {
+			t.Fatalf("matches not sorted by detection time at %d", i)
+		}
+		if ms[i].Detected == ms[i-1].Detected && ms[i].Key() < ms[i-1].Key() {
+			t.Fatalf("ties not broken by key at %d", i)
+		}
+	}
+}
+
+func TestOnMatchCallback(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 6000, Seed: 5, InterArrival: 15 * event.Microsecond})
+	var mu sync.Mutex
+	n := 0
+	r := New(m, Config{
+		Shards: 4,
+		OnMatch: func(shard int, match engine.Match) {
+			mu.Lock()
+			n++
+			mu.Unlock()
+		},
+	})
+	feedAll(r, s)
+	snap := r.Snapshot()
+	mu.Lock()
+	defer mu.Unlock()
+	if uint64(n) != snap.Matches {
+		t.Errorf("OnMatch fired %d times, snapshot says %d matches", n, snap.Matches)
+	}
+	if n == 0 {
+		t.Error("no matches delivered")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	r := New(m, Config{Shards: 2})
+	r.Close()
+	r.Close()
+}
+
+// Concurrent Snapshot while feeding must be race-free (run under -race).
+func TestSnapshotDuringFeed(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 5000, Seed: 9, InterArrival: 15 * event.Microsecond})
+	r := New(m, Config{Shards: 4})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	feedAll(r, s)
+	<-done
+}
+
+// Producers racing Close must never panic on a closed channel: in-flight
+// Offers either land (and are drained) or are rejected, and the final
+// snapshot accounts for exactly the accepted ones. Regression test for
+// the cepserved SIGTERM-during-replay shutdown path.
+func TestOfferDuringClose(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 20000, Seed: 11, InterArrival: 15 * event.Microsecond})
+	r := New(m, Config{Shards: 4})
+
+	var accepted atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(s); i += 4 {
+				if r.Offer(s[i]) {
+					accepted.Add(1)
+				}
+			}
+		}(p)
+	}
+	r.Close() // races the producers by design
+	wg.Wait()
+	r.Close() // drain is idempotent after stragglers
+
+	if r.Offer(s[0]) {
+		t.Fatal("Offer accepted an event after Close")
+	}
+	if got, want := r.Snapshot().EventsIn, accepted.Load(); got != want {
+		t.Fatalf("EventsIn = %d, accepted Offers = %d", got, want)
+	}
+}

@@ -1,0 +1,153 @@
+package runtime
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/metrics"
+	"cepshed/internal/nfa"
+	"cepshed/internal/shed"
+)
+
+// item is one queued event plus its enqueue instant; the difference
+// between dequeue-plus-service completion and enq is the wall-clock
+// latency sample fed to the shedding control loop.
+type item struct {
+	e   *event.Event
+	enq time.Time
+}
+
+// shard owns one engine instance and one strategy instance. The engine
+// and strategy are touched ONLY by the shard's worker goroutine; every
+// field read by Snapshot from other goroutines is atomic.
+type shard struct {
+	id    int
+	ch    chan item
+	en    *engine.Engine
+	strat shed.Strategy
+	cfg   Config
+
+	hist   *metrics.Histogram // per-shard latency
+	global *metrics.Histogram // runtime-wide latency (shared)
+	ewma   atomic.Uint64      // math.Float64bits of the smoothed latency
+
+	eventsIn   atomic.Uint64
+	eventsShed atomic.Uint64
+	processed  atomic.Uint64
+	overflow   atomic.Uint64
+	matched    atomic.Uint64
+	livePMs    atomic.Int64
+	createdPMs atomic.Uint64
+	droppedPMs atomic.Uint64
+
+	matches []engine.Match // collected matches (worker-only until Close)
+}
+
+func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *metrics.Histogram) *shard {
+	if strat == nil {
+		strat = shed.None{}
+	}
+	en := engine.New(m, cfg.Costs)
+	en.DeferredNegation = cfg.DeferredNegation
+	strat.Attach(en)
+	return &shard{
+		id:     id,
+		ch:     make(chan item, cfg.QueueLen),
+		en:     en,
+		strat:  strat,
+		cfg:    cfg,
+		hist:   metrics.NewHistogram(),
+		global: global,
+	}
+}
+
+// run is the shard worker loop. It exits when the input channel closes,
+// after flushing the engine's remaining state.
+func (s *shard) run() {
+	w := s.cfg.SmoothWeight
+	for it := range s.ch {
+		e := it.e
+		s.eventsIn.Add(1)
+
+		if !s.strat.AdmitEvent(e, e.Time) {
+			// ρI dropped the event before any engine work; the sample
+			// still enters the latency stream — a shed event was "served"
+			// nearly for free, which is exactly how shedding relieves the
+			// queue.
+			s.eventsShed.Add(1)
+			s.record(time.Since(it.enq), w)
+			continue
+		}
+
+		res := s.en.Process(e)
+		s.processed.Add(1)
+		s.strat.Observe(&res, e.Time)
+
+		if len(res.Matches) > 0 {
+			s.matched.Add(uint64(len(res.Matches)))
+			if s.cfg.CollectMatches {
+				s.matches = append(s.matches, res.Matches...)
+			}
+			if s.cfg.OnMatch != nil {
+				for _, m := range res.Matches {
+					s.cfg.OnMatch(s.id, m)
+				}
+			}
+		}
+
+		lat := s.record(time.Since(it.enq), w)
+		s.strat.Control(e.Time, lat)
+
+		st := s.en.Stats()
+		s.livePMs.Store(int64(s.en.LiveCount()))
+		s.createdPMs.Store(st.CreatedPMs)
+		s.droppedPMs.Store(st.DroppedPMs)
+	}
+	s.en.Flush()
+	s.livePMs.Store(0)
+}
+
+// record adds one wall-clock latency sample to the histograms and the
+// EWMA, returning the updated smoothed latency as virtual time (both are
+// nanoseconds, so the unit maps 1:1).
+func (s *shard) record(d time.Duration, w float64) event.Time {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	s.hist.Record(event.Time(ns))
+	s.global.Record(event.Time(ns))
+	prev := math.Float64frombits(s.ewma.Load())
+	sm := w*float64(ns) + (1-w)*prev
+	s.ewma.Store(math.Float64bits(sm))
+	return event.Time(sm)
+}
+
+func (s *shard) snapshot() ShardSnapshot {
+	return ShardSnapshot{
+		Shard:      s.id,
+		Strategy:   s.strat.Name(),
+		QueueDepth: len(s.ch),
+		QueueCap:   cap(s.ch),
+
+		EventsIn:        s.eventsIn.Load(),
+		EventsShed:      s.eventsShed.Load(),
+		EventsProcessed: s.processed.Load(),
+		Overflow:        s.overflow.Load(),
+		Matches:         s.matched.Load(),
+
+		LivePMs:    s.livePMs.Load(),
+		CreatedPMs: s.createdPMs.Load(),
+		DroppedPMs: s.droppedPMs.Load(),
+
+		SmoothedLatency: time.Duration(math.Float64frombits(s.ewma.Load())),
+		P50:             time.Duration(s.hist.Quantile(0.50)),
+		P95:             time.Duration(s.hist.Quantile(0.95)),
+		P99:             time.Duration(s.hist.Quantile(0.99)),
+		MeanLatency:     time.Duration(s.hist.Mean()),
+		MaxLatency:      time.Duration(s.hist.Max()),
+	}
+}

@@ -1,0 +1,54 @@
+package shed
+
+import (
+	"sync"
+	"testing"
+
+	"cepshed/internal/event"
+)
+
+// TestDropControllerConcurrent hammers Update and Rate from parallel
+// goroutines — the access pattern of the sharded wall-clock runtime,
+// where a monitor reads the rate while a worker feeds latencies. Run
+// under -race (the Makefile check target does); the assertions only
+// verify the controller still converges sensibly under contention.
+func TestDropControllerConcurrent(t *testing.T) {
+	c := NewDropController(100)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(over bool) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				if over {
+					c.Update(400) // 75% violation
+				} else {
+					_ = c.Rate()
+				}
+			}
+		}(g%2 == 0)
+	}
+	wg.Wait()
+	if r := c.Rate(); r <= 0 || r > 0.98 {
+		t.Errorf("rate after sustained violation = %v, want in (0, 0.98]", r)
+	}
+	for i := 0; i < 200; i++ {
+		c.Update(10) // well under the bound: decay to zero
+	}
+	if r := c.Rate(); r != 0 {
+		t.Errorf("rate after recovery = %v, want 0", r)
+	}
+}
+
+// TestDropControllerWallClockUnits checks the controller is agnostic to
+// the time domain: wall-clock nanoseconds map onto event.Time 1:1, which
+// is how internal/runtime drives it.
+func TestDropControllerWallClockUnits(t *testing.T) {
+	c := NewDropController(event.Time(2_000_000)) // 2ms wall bound
+	for i := 0; i < 100; i++ {
+		c.Update(event.Time(8_000_000)) // sustained 8ms observed
+	}
+	if r := c.Rate(); r < 0.5 {
+		t.Errorf("rate under 4x violation = %v, want >= 0.5", r)
+	}
+}

@@ -3,6 +3,7 @@ package shed
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"cepshed/internal/event"
 )
@@ -11,6 +12,11 @@ import (
 // probability for input-based strategies (RI, SI): when the smoothed
 // latency exceeds the bound, the drop rate tracks the relative violation
 // (μ−θ)/μ; when latency recovers, the rate decays geometrically.
+//
+// DropController is safe for concurrent use: in the sharded wall-clock
+// runtime (internal/runtime) a monitoring goroutine may read Rate while
+// a shard worker feeds Update. Bound/Gain/Decay must not be mutated
+// after the controller is shared.
 type DropController struct {
 	// Bound is the latency bound θ.
 	Bound event.Time
@@ -19,6 +25,7 @@ type DropController struct {
 	// Decay is the multiplicative cool-down applied when under the bound.
 	Decay float64
 
+	mu   sync.Mutex
 	rate float64
 }
 
@@ -29,6 +36,8 @@ func NewDropController(bound event.Time) *DropController {
 
 // Update advances the controller with the latest smoothed latency.
 func (c *DropController) Update(lat event.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if lat > c.Bound && lat > 0 {
 		v := float64(lat-c.Bound) / float64(lat)
 		c.rate = c.rate + c.Gain*(v-c.rate*0.5)
@@ -47,7 +56,11 @@ func (c *DropController) Update(lat event.Time) {
 }
 
 // Rate returns the current drop probability.
-func (c *DropController) Rate() float64 { return c.rate }
+func (c *DropController) Rate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rate
+}
 
 // RatioTracker drives fixed-ratio shedding (Fig 6): it tracks how many
 // items were seen and shed and reports the deficit against a target
