@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-runtime
+.PHONY: check vet build test race bench bench-runtime chaos fuzz-seeds fuzz
 
-check: vet build race
+check: vet build race fuzz-seeds
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,24 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The chaos suite (docs/ROBUSTNESS.md): supervisor recovery, circuit
+# breaker failover, degradation ladder, corrupt-input, and concurrent
+# fault-injection tests, always under the race detector.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Supervisor|CircuitBreaker|AllShardsFailed|DeadLetter|Rebuild|Degradation|Ladder|Admission|LineDecoder|Panic|Switchable|Chain|Corrupter|Stall|Healthz|Ingest' \
+		./internal/runtime ./internal/fault ./internal/shed ./cmd/cepserved
+
+# Replay the checked-in fuzz corpora (seeds plus any minimized crashers)
+# as a plain regression suite; part of `make check`.
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' ./internal/runtime ./internal/query ./internal/csvio
+
+# Explore new inputs. Crashers land in testdata/fuzz/ — check them in.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeNDJSON -fuzztime $(FUZZTIME) ./internal/runtime
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

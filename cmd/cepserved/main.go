@@ -5,10 +5,11 @@
 //
 // Endpoints (on -listen):
 //
-//	POST /ingest   NDJSON event lines (see docs/RUNTIME.md for the format)
-//	GET  /stats    JSON runtime snapshot
-//	GET  /metrics  Prometheus text exposition
-//	GET  /healthz  liveness probe
+//	POST /ingest      NDJSON event lines (see docs/RUNTIME.md for the format)
+//	GET  /stats       JSON runtime snapshot
+//	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     health/readiness probe (503 while draining or load-rejecting)
+//	GET  /deadletters recent quarantined inputs (see docs/ROBUSTNESS.md)
 //
 // Examples:
 //
@@ -18,17 +19,27 @@
 //	cepserved -tcp :9999 -shards 8 -strategy RI -bound 5ms \
 //	  -query 'PATTERN SEQ(A a, B b, C c) WHERE a.ID=b.ID AND a.ID=c.ID WITHIN 8ms'
 //
-// On SIGINT/SIGTERM the server stops ingesting, drains every shard queue
-// (emitting the final matches those events complete), and prints the
-// final snapshot to stdout.
+// On SIGINT/SIGTERM the server stops ingesting, closes live TCP ingest
+// connections, drains every shard queue (emitting the final matches
+// those events complete), and prints the final snapshot to stdout.
+//
+// The server is hardened against misbehaving clients: HTTP requests are
+// bounded by header/read/idle timeouts, TCP ingest connections carry a
+// per-read idle deadline so a stalled producer cannot hold a goroutine
+// forever, undecodable NDJSON lines are quarantined to the runtime's
+// dead-letter queue with their line number and payload, and when the
+// runtime's degradation ladder reaches load rejection the HTTP path
+// answers 429 and the TCP path emits NACK lines (docs/ROBUSTNESS.md).
 package main
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -46,6 +57,7 @@ import (
 	"cepshed/internal/event"
 	"cepshed/internal/gcluster"
 	"cepshed/internal/gen"
+	"cepshed/internal/metrics"
 	"cepshed/internal/nfa"
 	"cepshed/internal/query"
 	"cepshed/internal/runtime"
@@ -54,19 +66,22 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8080", "HTTP listen address (/ingest, /stats, /metrics, /healthz)")
-		tcpAddr  = flag.String("tcp", "", "optional raw TCP NDJSON listen address")
-		shards   = flag.Int("shards", 4, "number of engine shards")
-		queueLen = flag.Int("queue", 1024, "per-shard bounded queue capacity")
-		dataset  = flag.String("dataset", "", "replay dataset: ds1, ds2, citibike, gcluster (empty: ingest only)")
-		events   = flag.Int("events", 100000, "replay stream length (trips/tasks for the case studies)")
-		rate     = flag.Float64("rate", 20000, "replay rate in events/sec (0: as fast as backpressure allows)")
-		loop     = flag.Bool("loop", false, "repeat the replay until terminated")
-		querySrc = flag.String("query", "", "query text (default: the paper query for the dataset)")
-		strategy = flag.String("strategy", "Hybrid", "None, RI, SI, PI, RS, SS, Hybrid, HyI, HyS")
-		bound    = flag.Duration("bound", 2*time.Millisecond, "wall-clock latency bound θ for the shedding controller")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		emit     = flag.Bool("print-matches", false, "write detected matches as NDJSON to stdout")
+		listen    = flag.String("listen", ":8080", "HTTP listen address (/ingest, /stats, /metrics, /healthz, /deadletters)")
+		tcpAddr   = flag.String("tcp", "", "optional raw TCP NDJSON listen address")
+		tcpIdle   = flag.Duration("tcp-idle", time.Minute, "TCP ingest read deadline; a connection idle longer is closed")
+		httpRead  = flag.Duration("http-read-timeout", 5*time.Minute, "HTTP read timeout (bounds one /ingest request body)")
+		shards    = flag.Int("shards", 4, "number of engine shards")
+		queueLen  = flag.Int("queue", 1024, "per-shard bounded queue capacity")
+		dataset   = flag.String("dataset", "", "replay dataset: ds1, ds2, citibike, gcluster (empty: ingest only)")
+		events    = flag.Int("events", 100000, "replay stream length (trips/tasks for the case studies)")
+		rate      = flag.Float64("rate", 20000, "replay rate in events/sec (0: as fast as backpressure allows)")
+		loop      = flag.Bool("loop", false, "repeat the replay until terminated")
+		querySrc  = flag.String("query", "", "query text (default: the paper query for the dataset)")
+		strategy  = flag.String("strategy", "Hybrid", "None, RI, SI, PI, RS, SS, Hybrid, HyI, HyS")
+		bound     = flag.Duration("bound", 2*time.Millisecond, "wall-clock latency bound θ for the shedding controller and degradation ladder")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		emit      = flag.Bool("print-matches", false, "write detected matches as NDJSON to stdout")
+		noRecover = flag.Bool("no-recover", false, "disable the shard supervisor (panics crash the process; for debugging)")
 	)
 	flag.Parse()
 
@@ -99,9 +114,12 @@ func main() {
 	}
 
 	cfg := runtime.Config{
-		Shards:      *shards,
-		QueueLen:    *queueLen,
-		NewStrategy: factory,
+		Shards:          *shards,
+		QueueLen:        *queueLen,
+		NewStrategy:     factory,
+		Bound:           *bound,
+		DisableRecovery: *noRecover,
+		Logf:            log.Printf,
 	}
 	var emitMu sync.Mutex
 	if *emit {
@@ -122,12 +140,21 @@ func main() {
 			*shards, *strategy, len(train))
 	}
 	rt := runtime.New(m, cfg)
-	srv := &server{rt: rt, started: time.Now()}
+	srv := &server{rt: rt, started: time.Now(), tcpIdle: *tcpIdle, conns: map[net.Conn]struct{}{}}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.mux()}
+	// A slow or malicious HTTP client must not hold a connection open
+	// indefinitely: headers get a short deadline, a whole request body a
+	// longer one, and keep-alive connections an idle cap.
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *httpRead,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		log.Printf("cepserved: HTTP on %s (query: %s, shards=%d, strategy=%s, bound=%s)",
 			*listen, q, *shards, *strategy, bound)
@@ -142,7 +169,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("cepserved: tcp: %v", err)
 		}
-		log.Printf("cepserved: NDJSON TCP on %s", *tcpAddr)
+		log.Printf("cepserved: NDJSON TCP on %s (idle timeout %s)", *tcpAddr, *tcpIdle)
 		go srv.serveTCP(ctx, tcpLn)
 	}
 
@@ -167,6 +194,7 @@ func main() {
 	if tcpLn != nil {
 		tcpLn.Close()
 	}
+	srv.closeConns() // stalled producers must not delay the drain
 	// Stop the replay producer before closing so the final snapshot
 	// accounts for every event it offered. (Offer itself is safe against
 	// a concurrent Close — late TCP/HTTP ingest is simply rejected.)
@@ -187,15 +215,22 @@ func main() {
 type server struct {
 	rt      *runtime.Runtime
 	started time.Time
+	tcpIdle time.Duration
 	seq     atomic.Uint64
 	lastT   atomic.Int64 // monotone floor for assigned arrival times
 	closing atomic.Bool
 	badLine atomic.Uint64
+	stalled atomic.Uint64 // TCP connections closed by the idle deadline
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // submit finalizes an ingested event (arrival time, sequence number) and
-// offers it to the runtime with backpressure.
-func (s *server) submit(e *event.Event, hasTime bool) {
+// offers it to the runtime with backpressure. It reports whether the
+// runtime accepted the event — false means the degradation ladder (or
+// shutdown) rejected it at the door.
+func (s *server) submit(e *event.Event, hasTime bool) bool {
 	if !hasTime {
 		e.Time = event.Time(time.Since(s.started).Nanoseconds())
 	}
@@ -213,7 +248,7 @@ func (s *server) submit(e *event.Event, hasTime bool) {
 		break
 	}
 	e.Seq = s.seq.Add(1) - 1
-	s.rt.Offer(e)
+	return s.rt.Offer(e)
 }
 
 // replay feeds a generated stream at the target rate (events/second),
@@ -245,9 +280,7 @@ func (s *server) replay(ctx context.Context, work event.Stream, rate float64) in
 
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		snap := s.rt.Snapshot()
@@ -257,7 +290,14 @@ func (s *server) mux() *http.ServeMux {
 			runtime.Snapshot
 			UptimeSeconds float64 `json:"uptime_seconds"`
 			BadLines      uint64  `json:"bad_lines"`
-		}{snap, time.Since(s.started).Seconds(), s.badLine.Load()})
+			StalledConns  uint64  `json:"stalled_conns"`
+		}{snap, time.Since(s.started).Seconds(), s.badLine.Load(), s.stalled.Load()})
+	})
+	mux.HandleFunc("GET /deadletters", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.rt.DeadLetters())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -268,32 +308,105 @@ func (s *server) mux() *http.ServeMux {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
-		accepted, rejected := s.ingestLines(bufio.NewScanner(r.Body))
+		// Load rejection (ladder level 3) maps to 429: the client should
+		// back off and retry, which is exactly what Retry-After says.
+		if s.rt.DegradationLevel() >= runtime.LevelReject {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded: load rejection active", http.StatusTooManyRequests)
+			return
+		}
+		accepted, rejected, overloaded := s.ingest(r.Body)
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", accepted, rejected)
+		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d,"overloaded":%d}`+"\n", accepted, rejected, overloaded)
 	})
 	return mux
 }
 
-// ingestLines parses NDJSON lines from the scanner, submitting valid
-// events and counting bad lines.
-func (s *server) ingestLines(sc *bufio.Scanner) (accepted, rejected int) {
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		e, hasTime, err := runtime.ParseEvent(line)
-		if err != nil {
-			rejected++
-			s.badLine.Add(1)
-			continue
-		}
-		s.submit(e, hasTime)
-		accepted++
+// handleHealthz is the health/readiness probe: 200 while the server can
+// accept work, 503 while draining, while the degradation ladder is at
+// load rejection, or when every shard has failed. The body always
+// carries the detail a human (or a smarter prober) wants.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.rt.Snapshot()
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case s.closing.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case snap.FailedShards >= len(snap.Shards):
+		status, code = "failed", http.StatusServiceUnavailable
+	case snap.DegradationLevel >= runtime.LevelReject:
+		status, code = "overloaded", http.StatusServiceUnavailable
+	case snap.DegradationLevel > runtime.LevelNormal || snap.FailedShards > 0:
+		status = "degraded"
 	}
-	return accepted, rejected
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, `{"status":%q,"degradation_level":%d,"failed_shards":%d,"restarts":%d,"quarantined":%d}`+"\n",
+		status, snap.DegradationLevel, snap.FailedShards, snap.Restarts, snap.Quarantined)
+}
+
+// ingest decodes NDJSON from r, submitting valid events. Undecodable
+// lines are quarantined to the dead-letter queue with their line number
+// and a truncated payload; events the ladder rejects at the door are
+// counted as overloaded.
+func (s *server) ingest(r io.Reader) (accepted, rejected, overloaded int) {
+	dec := runtime.NewLineDecoder(r, 1<<20)
+	for {
+		e, hasTime, err := dec.Next()
+		if err != nil {
+			var lerr *runtime.LineError
+			if errors.As(err, &lerr) {
+				rejected++
+				s.badLine.Add(1)
+				s.rt.Quarantine(lerr.Error(), lerr.Payload)
+				continue
+			}
+			return accepted, rejected, overloaded // EOF or read failure
+		}
+		if s.submit(e, hasTime) {
+			accepted++
+		} else {
+			overloaded++
+		}
+	}
+}
+
+// deadlineConn re-arms a read deadline before every read, so the
+// connection dies tcpIdle after the producer stops sending rather than
+// holding a goroutine forever.
+type deadlineConn struct {
+	net.Conn
+	idle time.Duration
+}
+
+func (c deadlineConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (s *server) trackConn(c net.Conn) {
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *server) untrackConn(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// closeConns force-closes every live TCP ingest connection; called at
+// drain time so stalled producers cannot delay shutdown.
+func (s *server) closeConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
 }
 
 func (s *server) serveTCP(ctx context.Context, ln net.Listener) {
@@ -306,26 +419,64 @@ func (s *server) serveTCP(ctx context.Context, ln net.Listener) {
 			log.Printf("cepserved: tcp accept: %v", err)
 			return
 		}
-		go func() {
-			defer conn.Close()
-			s.ingestLines(bufio.NewScanner(conn))
-		}()
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn ingests one TCP NDJSON connection under the idle deadline.
+// When the ladder rejects events it best-effort NACKs once per rejection
+// burst so a well-behaved producer can back off; the write carries its
+// own short deadline so a consumer that has also stalled its read side
+// cannot block us.
+func (s *server) serveConn(conn net.Conn) {
+	s.trackConn(conn)
+	defer func() {
+		s.untrackConn(conn)
+		conn.Close()
+	}()
+	dec := runtime.NewLineDecoder(deadlineConn{Conn: conn, idle: s.tcpIdle}, 1<<20)
+	nacked := false
+	for {
+		e, hasTime, err := dec.Next()
+		if err != nil {
+			var lerr *runtime.LineError
+			if errors.As(err, &lerr) {
+				s.badLine.Add(1)
+				s.rt.Quarantine(lerr.Error(), lerr.Payload)
+				continue
+			}
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.stalled.Add(1)
+				log.Printf("cepserved: tcp %s stalled for %s; closing", conn.RemoteAddr(), s.tcpIdle)
+			}
+			return
+		}
+		if s.submit(e, hasTime) {
+			nacked = false
+			continue
+		}
+		if !nacked {
+			nacked = true
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			fmt.Fprintf(conn, `{"nack":"overloaded","degradation_level":%d}`+"\n", s.rt.DegradationLevel())
+		}
 	}
 }
 
 // writePrometheus renders the snapshot in Prometheus text exposition
 // format, with per-shard labelled series plus aggregate quantiles.
-func writePrometheus(w http.ResponseWriter, snap runtime.Snapshot) {
+func writePrometheus(w io.Writer, snap runtime.Snapshot) {
+	p := metrics.NewPromWriter(w)
 	counter := func(name, help string, val func(runtime.ShardSnapshot) uint64) {
-		fmt.Fprintf(w, "# HELP cepshed_%s %s\n# TYPE cepshed_%s counter\n", name, help, name)
+		p.Counter("cepshed_"+name, help)
 		for _, ss := range snap.Shards {
-			fmt.Fprintf(w, "cepshed_%s{shard=\"%d\"} %d\n", name, ss.Shard, val(ss))
+			p.SampleUint("cepshed_"+name, val(ss), "shard", fmt.Sprint(ss.Shard))
 		}
 	}
 	gauge := func(name, help string, val func(runtime.ShardSnapshot) float64) {
-		fmt.Fprintf(w, "# HELP cepshed_%s %s\n# TYPE cepshed_%s gauge\n", name, help, name)
+		p.Gauge("cepshed_"+name, help)
 		for _, ss := range snap.Shards {
-			fmt.Fprintf(w, "cepshed_%s{shard=\"%d\"} %g\n", name, ss.Shard, val(ss))
+			p.Sample("cepshed_"+name, val(ss), "shard", fmt.Sprint(ss.Shard))
 		}
 	}
 	counter("events_in_total", "Events offered to the shard.",
@@ -342,20 +493,42 @@ func writePrometheus(w http.ResponseWriter, snap runtime.Snapshot) {
 		func(ss runtime.ShardSnapshot) uint64 { return ss.CreatedPMs })
 	counter("partial_matches_dropped_total", "Partial matches removed by state-based shedding (rho_S).",
 		func(ss runtime.ShardSnapshot) uint64 { return ss.DroppedPMs })
+	counter("shard_restarts_total", "Supervisor restarts after a worker panic.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.Restarts })
+	counter("shard_quarantined_total", "Events quarantined to the dead-letter queue by this shard.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.Quarantined })
 	gauge("queue_depth", "Events waiting in the shard queue.",
 		func(ss runtime.ShardSnapshot) float64 { return float64(ss.QueueDepth) })
 	gauge("live_partial_matches", "Live partial matches in the shard engine.",
 		func(ss runtime.ShardSnapshot) float64 { return float64(ss.LivePMs) })
 	gauge("smoothed_latency_seconds", "EWMA-smoothed wall-clock latency driving the shedder.",
 		func(ss runtime.ShardSnapshot) float64 { return ss.SmoothedLatency.Seconds() })
+	gauge("shard_failed", "1 when the circuit breaker marked the shard permanently failed.",
+		func(ss runtime.ShardSnapshot) float64 {
+			if ss.Failed {
+				return 1
+			}
+			return 0
+		})
 
-	fmt.Fprintf(w, "# HELP cepshed_input_shed_ratio Realized rho_I across all shards.\n# TYPE cepshed_input_shed_ratio gauge\ncepshed_input_shed_ratio %g\n", snap.InputShedRatio)
-	fmt.Fprintf(w, "# HELP cepshed_pm_shed_ratio Realized rho_S across all shards.\n# TYPE cepshed_pm_shed_ratio gauge\ncepshed_pm_shed_ratio %g\n", snap.PMShedRatio)
-	fmt.Fprintf(w, "# HELP cepshed_latency_seconds Wall-clock event latency quantiles across all shards.\n# TYPE cepshed_latency_seconds summary\n")
-	fmt.Fprintf(w, "cepshed_latency_seconds{quantile=\"0.5\"} %g\n", snap.P50.Seconds())
-	fmt.Fprintf(w, "cepshed_latency_seconds{quantile=\"0.95\"} %g\n", snap.P95.Seconds())
-	fmt.Fprintf(w, "cepshed_latency_seconds{quantile=\"0.99\"} %g\n", snap.P99.Seconds())
-	fmt.Fprintf(w, "cepshed_latency_seconds_count %d\n", snap.EventsIn)
+	p.Gauge("cepshed_degradation_level", "Graceful-degradation ladder level (0 normal .. 3 load rejection).")
+	p.Sample("cepshed_degradation_level", float64(snap.DegradationLevel))
+	p.Counter("cepshed_admission_rejected_total", "Offers rejected at the door by the degradation ladder.")
+	p.SampleUint("cepshed_admission_rejected_total", snap.AdmissionRejected)
+	p.Counter("cepshed_quarantined_total", "Dead letters recorded (shard panics plus rejected inputs).")
+	p.SampleUint("cepshed_quarantined_total", snap.Quarantined)
+	p.Gauge("cepshed_failed_shards", "Shards marked permanently failed by the circuit breaker.")
+	p.Sample("cepshed_failed_shards", float64(snap.FailedShards))
+
+	p.Gauge("cepshed_input_shed_ratio", "Realized rho_I across all shards.")
+	p.Sample("cepshed_input_shed_ratio", snap.InputShedRatio)
+	p.Gauge("cepshed_pm_shed_ratio", "Realized rho_S across all shards.")
+	p.Sample("cepshed_pm_shed_ratio", snap.PMShedRatio)
+	p.Summary("cepshed_latency_seconds", "Wall-clock event latency quantiles across all shards.")
+	p.Sample("cepshed_latency_seconds", snap.P50.Seconds(), "quantile", "0.5")
+	p.Sample("cepshed_latency_seconds", snap.P95.Seconds(), "quantile", "0.95")
+	p.Sample("cepshed_latency_seconds", snap.P99.Seconds(), "quantile", "0.99")
+	p.SampleUint("cepshed_latency_seconds_count", snap.EventsIn)
 }
 
 // strategyFactory builds the per-shard strategy constructor. Every shard

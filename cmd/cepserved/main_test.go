@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cepshed/internal/event"
+	"cepshed/internal/fault"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/runtime"
+)
+
+func newTestServer(t *testing.T, cfg runtime.Config) *server {
+	t.Helper()
+	m := nfa.MustCompile(query.Q1("8ms"))
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	rt := runtime.New(m, cfg)
+	t.Cleanup(rt.Close)
+	return &server{rt: rt, started: time.Now(), tcpIdle: 30 * time.Millisecond, conns: map[net.Conn]struct{}{}}
+}
+
+func TestHealthzOKThenDraining(t *testing.T) {
+	s := newTestServer(t, runtime.Config{})
+	rec := httptest.NewRecorder()
+	s.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthy server: code = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+
+	s.closing.Store(true)
+	rec = httptest.NewRecorder()
+	s.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining server: code = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"status":"draining"`) {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+func TestHealthzFailedWhenAllShardsDead(t *testing.T) {
+	s := newTestServer(t, runtime.Config{
+		Shards: 1,
+		Restart: runtime.RestartPolicy{
+			BackoffBase: 100 * time.Microsecond,
+			BackoffMax:  time.Millisecond,
+			MaxRestarts: 1,
+			Window:      time.Minute,
+		},
+		BeforeProcess: fault.PanicIf(func(int, *event.Event) bool { return true }, "dead on arrival"),
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for s.rt.Snapshot().FailedShards == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("shard never failed")
+		}
+		s.rt.Offer(event.New("A", event.Time(time.Since(s.started)), map[string]event.Value{"ID": event.Int(1)}))
+	}
+	rec := httptest.NewRecorder()
+	s.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("all shards failed: code = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"status":"failed"`) {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+func TestIngestQuarantinesBadLines(t *testing.T) {
+	s := newTestServer(t, runtime.Config{})
+	in := `{"type":"A","attrs":{"ID":1}}
+garbage line
+{"type":"B","attrs":{"ID":2}}
+`
+	accepted, rejected, overloaded := s.ingest(strings.NewReader(in))
+	if accepted != 2 || rejected != 1 || overloaded != 0 {
+		t.Errorf("ingest = (%d, %d, %d), want (2, 1, 0)", accepted, rejected, overloaded)
+	}
+	if got := s.badLine.Load(); got != 1 {
+		t.Errorf("badLine = %d, want 1", got)
+	}
+	dls := s.rt.DeadLetters()
+	if len(dls) != 1 {
+		t.Fatalf("dead letters = %d, want 1", len(dls))
+	}
+	if dls[0].Payload != "garbage line" {
+		t.Errorf("dead letter payload = %q", dls[0].Payload)
+	}
+	if !strings.Contains(dls[0].Reason, "line 2") {
+		t.Errorf("dead letter reason %q lacks the line number", dls[0].Reason)
+	}
+}
+
+// A producer that connects, sends one event, and then goes silent must
+// be disconnected by the per-read idle deadline instead of holding its
+// goroutine forever.
+func TestTCPIdleDeadlineClosesStalledConn(t *testing.T) {
+	s := newTestServer(t, runtime.Config{})
+	client, srvConn := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		s.serveConn(srvConn)
+		close(done)
+	}()
+	if _, err := client.Write([]byte(`{"type":"A","attrs":{"ID":1}}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	// ...and now stall. The server must give up after tcpIdle (30ms).
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled connection still being served after 5s")
+	}
+	if got := s.stalled.Load(); got != 1 {
+		t.Errorf("stalled = %d, want 1", got)
+	}
+	// The server closed its side; the client sees it on the next write.
+	client.SetWriteDeadline(time.Now().Add(time.Second))
+	var err error
+	for i := 0; i < 100; i++ {
+		if _, err = client.Write([]byte("x\n")); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("client writes still succeeding after the server hung up")
+	}
+}
+
+func TestWritePrometheusExposesRobustnessSeries(t *testing.T) {
+	s := newTestServer(t, runtime.Config{})
+	s.ingest(strings.NewReader(`{"type":"A","attrs":{"ID":1}}` + "\nbad\n"))
+	var buf bytes.Buffer
+	writePrometheus(&buf, s.rt.Snapshot())
+	out := buf.String()
+	for _, series := range []string{
+		"cepshed_events_in_total",
+		"cepshed_shard_restarts_total",
+		"cepshed_shard_quarantined_total",
+		"cepshed_shard_failed",
+		"cepshed_degradation_level",
+		"cepshed_admission_rejected_total",
+		"cepshed_quarantined_total 1",
+		"cepshed_failed_shards",
+		"cepshed_latency_seconds",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("/metrics output missing %q", series)
+		}
+	}
+}
+
+func TestIngestEndpointRejectsAtLoadRejection(t *testing.T) {
+	// A tiny queue, a tight bound, and a slow consumer push the ladder to
+	// LevelReject; the HTTP edge must answer 429 with Retry-After.
+	s := newTestServer(t, runtime.Config{
+		Shards:        1,
+		QueueLen:      4,
+		Bound:         time.Millisecond,
+		BeforeProcess: fault.Delay(5*time.Millisecond, nil),
+	})
+	mux := s.mux()
+	line := `{"type":"A","attrs":{"ID":1}}` + "\n"
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("ladder never reached load rejection")
+		}
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("POST", "/ingest",
+			strings.NewReader(strings.Repeat(line, 50))))
+		if rec.Code == http.StatusTooManyRequests {
+			if rec.Header().Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+			break
+		}
+		if rec.Code != http.StatusOK {
+			t.Fatalf("unexpected status %d", rec.Code)
+		}
+		io.Copy(io.Discard, rec.Body)
+	}
+}

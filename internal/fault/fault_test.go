@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"cepshed/internal/event"
+)
+
+func TestPanicIf(t *testing.T) {
+	h := PanicIf(func(shard int, e *event.Event) bool { return e.Type == "POISON" }, "boom")
+	h(0, event.New("A", 1, nil)) // must not panic
+	defer func() {
+		if p := recover(); p != "boom" {
+			t.Fatalf("recover() = %v, want boom", p)
+		}
+	}()
+	h(0, event.New("POISON", 2, nil))
+	t.Fatal("unreachable")
+}
+
+func TestPanicEveryLimit(t *testing.T) {
+	h := PanicEvery(2, 1, "bang")
+	fired := 0
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fired++
+				}
+			}()
+			h(0, nil)
+		}()
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d panics, want exactly 1 (limit)", fired)
+	}
+}
+
+func TestSwitchable(t *testing.T) {
+	s := NewSwitchable(PanicIf(func(int, *event.Event) bool { return true }, "on"))
+	s.Set(false)
+	s.Hook(0, nil) // disabled: must not panic
+	s.Set(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("enabled switchable did not fire")
+		}
+	}()
+	s.Hook(0, nil)
+}
+
+func TestChainAndDelay(t *testing.T) {
+	var order []string
+	h := Chain(
+		func(int, *event.Event) { order = append(order, "a") },
+		Delay(time.Millisecond, nil),
+		func(int, *event.Event) { order = append(order, "b") },
+	)
+	start := time.Now()
+	h(0, nil)
+	if d := time.Since(start); d < time.Millisecond {
+		t.Errorf("chain took %s, want >= 1ms (delay hook skipped?)", d)
+	}
+	if strings.Join(order, "") != "ab" {
+		t.Errorf("hook order = %v", order)
+	}
+}
+
+// The corrupter must be deterministic for a fixed seed (chaos tests
+// must replay) and must actually corrupt at rate ~P.
+func TestCorrupterDeterministicAndEffective(t *testing.T) {
+	line := []byte(`{"type":"A","time":1,"attrs":{"ID":5}}`)
+	a, b := NewCorrupter(0.5, 42), NewCorrupter(0.5, 42)
+	changed := 0
+	for i := 0; i < 1000; i++ {
+		ma, mb := a.Mangle(line), b.Mangle(line)
+		if !bytes.Equal(ma, mb) {
+			t.Fatalf("iteration %d: same seed diverged: %q vs %q", i, ma, mb)
+		}
+		if !bytes.Equal(ma, line) {
+			changed++
+		}
+	}
+	if changed < 300 || changed > 700 {
+		t.Errorf("corrupted %d/1000 lines with P=0.5", changed)
+	}
+	if !bytes.Equal(line, []byte(`{"type":"A","time":1,"attrs":{"ID":5}}`)) {
+		t.Error("Mangle modified its input in place")
+	}
+}
+
+func TestStallReader(t *testing.T) {
+	sr := NewStallReader(strings.NewReader("hello world"), 5)
+	got, err := io.ReadAll(io.LimitReader(sr, 5))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("prefix read = %q, %v", got, err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := sr.Read(make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("read past budget returned (%v) instead of stalling", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	sr.Release()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("released read error = %v, want EOF", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Release did not unblock the stalled read")
+	}
+}

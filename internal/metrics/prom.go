@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// PromWriter renders series in the Prometheus text exposition format
+// (version 0.0.4). It factors the HELP/TYPE/sample boilerplate out of
+// HTTP /metrics handlers; it holds no state beyond the output writer, so
+// a handler allocates one per request.
+type PromWriter struct {
+	w io.Writer
+}
+
+// NewPromWriter writes exposition text to w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Counter emits the HELP/TYPE header for a counter series.
+func (p *PromWriter) Counter(name, help string) { p.header(name, "counter", help) }
+
+// Gauge emits the HELP/TYPE header for a gauge series.
+func (p *PromWriter) Gauge(name, help string) { p.header(name, "gauge", help) }
+
+// Summary emits the HELP/TYPE header for a summary series.
+func (p *PromWriter) Summary(name, help string) { p.header(name, "summary", help) }
+
+func (p *PromWriter) header(name, typ, help string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample emits one float sample; labels are alternating key, value
+// pairs.
+func (p *PromWriter) Sample(name string, value float64, labels ...string) {
+	p.name(name, labels)
+	fmt.Fprintf(p.w, " %g\n", value)
+}
+
+// SampleUint emits one integer sample without float rounding (counters
+// past 2^53 would lose precision through %g).
+func (p *PromWriter) SampleUint(name string, value uint64, labels ...string) {
+	p.name(name, labels)
+	fmt.Fprintf(p.w, " %d\n", value)
+}
+
+// name writes the series name and label set; %q covers the quote,
+// backslash, and newline escaping the exposition format requires.
+func (p *PromWriter) name(name string, labels []string) {
+	io.WriteString(p.w, name)
+	if len(labels) >= 2 {
+		io.WriteString(p.w, "{")
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				io.WriteString(p.w, ",")
+			}
+			fmt.Fprintf(p.w, "%s=%q", labels[i], labels[i+1])
+		}
+		io.WriteString(p.w, "}")
+	}
+}

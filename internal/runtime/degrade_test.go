@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"cepshed/internal/event"
+	"cepshed/internal/fault"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// The full ladder round trip: a slow consumer drives the smoothed
+// latency above θ and the queue past its water marks, the ladder
+// escalates to admission control / rejection, and once the fault clears
+// the level walks back to LevelNormal.
+func TestDegradationLadderEscalatesAndRecovers(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 64, Seed: 11, InterArrival: 15 * event.Microsecond})
+	slow := fault.NewSwitchable(fault.Delay(5*time.Millisecond, nil))
+	r := New(m, Config{
+		Shards:        1,
+		QueueLen:      8,
+		Bound:         time.Millisecond, // θ: 5ms service time blows through it
+		BeforeProcess: slow.Hook,
+	})
+	defer r.Close()
+
+	// Flood with a non-blocking producer until the ladder is visibly
+	// rejecting at the door.
+	deadline := time.Now().Add(10 * time.Second)
+	escalated := false
+	for !escalated {
+		if time.Now().After(deadline) {
+			t.Fatalf("ladder never escalated: %+v", r.Snapshot())
+		}
+		for _, e := range s {
+			r.TryOffer(e)
+		}
+		snap := r.Snapshot()
+		escalated = snap.DegradationLevel >= LevelAdmission && snap.AdmissionRejected > 0
+	}
+
+	// Incident over: consumer is fast again, producer stops. The queue
+	// drains, the stale EWMA decays out of the signal, and the ladder
+	// must walk back to normal on its own.
+	slow.Set(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for r.DegradationLevel() != LevelNormal {
+		if time.Now().After(deadline) {
+			t.Fatalf("ladder stuck at level %d after fault cleared: %+v",
+				r.DegradationLevel(), r.Snapshot())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	snap := r.Snapshot()
+	if snap.EventsProcessed == 0 {
+		t.Error("nothing processed during the whole episode")
+	}
+	// New offers are admitted again at level 0.
+	if !r.Offer(s[0]) {
+		t.Error("Offer rejected after the ladder recovered to LevelNormal")
+	}
+}
+
+// With Bound = 0 the ladder must stay disabled: no door rejections, no
+// level changes, even under a slow consumer with full queues — the
+// pre-ladder contract existing callers rely on.
+func TestLadderDisabledWithoutBound(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 64, Seed: 13, InterArrival: 15 * event.Microsecond})
+	r := New(m, Config{
+		Shards:        1,
+		QueueLen:      4,
+		BeforeProcess: fault.Delay(500*time.Microsecond, nil),
+	})
+	defer r.Close()
+	for i := 0; i < 20; i++ {
+		for _, e := range s {
+			r.TryOffer(e)
+		}
+	}
+	snap := r.Snapshot()
+	if snap.DegradationLevel != LevelNormal {
+		t.Errorf("DegradationLevel = %d with Bound = 0, want %d", snap.DegradationLevel, LevelNormal)
+	}
+	if snap.AdmissionRejected != 0 {
+		t.Errorf("AdmissionRejected = %d with Bound = 0, want 0", snap.AdmissionRejected)
+	}
+}

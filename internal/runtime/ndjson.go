@@ -1,11 +1,14 @@
 package runtime
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
+	"unicode/utf8"
 
 	"cepshed/internal/engine"
 	"cepshed/internal/event"
@@ -80,6 +83,168 @@ func parseValue(raw json.RawMessage) (event.Value, error) {
 		return event.Value{}, err
 	}
 	return event.Float(f), nil
+}
+
+// LineError reports one rejected NDJSON line with enough context to
+// debug the producer: the 1-based line number in the stream and a
+// truncated copy of the offending payload. A LineError is recoverable —
+// a LineDecoder keeps going after returning one — and is what ingest
+// paths feed to the dead-letter queue.
+type LineError struct {
+	// Line is the 1-based line number within the decoded stream.
+	Line int
+	// Payload is the offending line, truncated to a bounded length and
+	// sanitized to valid UTF-8.
+	Payload string
+	// Err is the underlying decode failure.
+	Err error
+}
+
+// Error renders the line number, cause, and truncated payload.
+func (e *LineError) Error() string {
+	return fmt.Sprintf("runtime: ndjson line %d: %v (payload %q)", e.Line, e.Err, e.Payload)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *LineError) Unwrap() error { return e.Err }
+
+// maxPayloadSample bounds the payload copied into a LineError.
+const maxPayloadSample = 160
+
+// truncatePayload clips b to max bytes for diagnostics, appending "..."
+// when it clipped and replacing invalid UTF-8 so the result is safe to
+// embed in JSON and logs.
+func truncatePayload(b []byte, max int) string {
+	clipped := false
+	if len(b) > max {
+		b, clipped = b[:max], true
+	}
+	s := string(b)
+	if !utf8.ValidString(s) {
+		// The 3-byte replacement rune can grow the string past max when
+		// it substitutes shorter invalid sequences; re-clip on a rune
+		// boundary to keep the bound hard.
+		s = strings.ToValidUTF8(s, "�")
+		if len(s) > max {
+			cut := max
+			for cut > 0 && !utf8.RuneStart(s[cut]) {
+				cut--
+			}
+			s, clipped = s[:cut], true
+		}
+	}
+	if clipped {
+		s += "..."
+	}
+	return s
+}
+
+// LineDecoder reads an NDJSON stream line by line, surviving every kind
+// of malformed input: bad JSON, unsupported values, and lines longer
+// than the buffer (the oversized line is consumed and rejected instead
+// of poisoning the reader, so one huge line cannot kill a connection).
+// Decode errors are *LineError values carrying the line number and a
+// truncated payload; the decoder stays usable after returning one.
+type LineDecoder struct {
+	r        *bufio.Reader
+	maxLine  int
+	line     int
+	rejected uint64
+}
+
+// NewLineDecoder wraps r; lines longer than maxLine bytes are rejected
+// (default 1 MiB when maxLine <= 0).
+func NewLineDecoder(r io.Reader, maxLine int) *LineDecoder {
+	if maxLine <= 0 {
+		maxLine = 1 << 20
+	}
+	bufSize := maxLine
+	if bufSize > 64*1024 {
+		bufSize = 64 * 1024
+	}
+	return &LineDecoder{r: bufio.NewReaderSize(r, bufSize), maxLine: maxLine}
+}
+
+// Line returns the number of lines consumed so far.
+func (d *LineDecoder) Line() int { return d.line }
+
+// Rejected returns how many lines failed to decode.
+func (d *LineDecoder) Rejected() uint64 { return d.rejected }
+
+// Next returns the next event. Blank lines are skipped. At end of input
+// it returns io.EOF (or the reader's error). A *LineError means one bad
+// line was skipped; keep calling Next.
+func (d *LineDecoder) Next() (e *event.Event, hasTime bool, err error) {
+	line, err := d.readLine()
+	if err != nil {
+		if lerr, ok := err.(*LineError); ok {
+			d.rejected++
+			return nil, false, lerr
+		}
+		return nil, false, err
+	}
+	e, hasTime, perr := ParseEvent(line)
+	if perr != nil {
+		d.rejected++
+		return nil, false, &LineError{Line: d.line, Payload: truncatePayload(line, maxPayloadSample), Err: perr}
+	}
+	return e, hasTime, nil
+}
+
+// readLine returns the next non-blank line without its trailing
+// newline. An overlong line is consumed to its end (retaining only a
+// bounded prefix) and reported as a *LineError.
+func (d *LineDecoder) readLine() ([]byte, error) {
+	for {
+		line, tooLong, err := d.rawLine()
+		if line == nil && !tooLong {
+			return nil, err // end of input or read failure
+		}
+		d.line++
+		if tooLong {
+			return nil, &LineError{Line: d.line, Payload: truncatePayload(line, maxPayloadSample),
+				Err: fmt.Errorf("line exceeds %d bytes", d.maxLine)}
+		}
+		line = bytes.TrimRight(line, "\r\n")
+		if len(bytes.TrimSpace(line)) > 0 {
+			return line, nil
+		}
+		if err != nil {
+			return nil, err // blank final line, then EOF
+		}
+	}
+}
+
+// rawLine accumulates one raw line, keeping at most maxLine bytes; the
+// remainder of an overlong line is discarded and tooLong reported. At
+// end of input err is io.EOF and line may still hold a final
+// unterminated line; the EOF surfaces again on the next call.
+func (d *LineDecoder) rawLine() (line []byte, tooLong bool, err error) {
+	var acc []byte
+	for {
+		chunk, rerr := d.r.ReadSlice('\n')
+		if !tooLong {
+			if len(acc)+len(chunk) <= d.maxLine {
+				acc = append(acc, chunk...)
+			} else {
+				if keep := d.maxLine - len(acc); keep > 0 {
+					acc = append(acc, chunk[:keep]...)
+				}
+				tooLong = true
+			}
+		}
+		switch rerr {
+		case nil: // newline found
+			return acc, tooLong, nil
+		case bufio.ErrBufferFull:
+			continue
+		default: // io.EOF or a real read error
+			if len(acc) == 0 && !tooLong {
+				return nil, false, rerr
+			}
+			return acc, tooLong, rerr
+		}
+	}
 }
 
 // EncodeEvent renders an event as one NDJSON line (without the trailing

@@ -1,8 +1,11 @@
 package runtime
 
 import (
+	"errors"
+	"io"
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"cepshed/internal/engine"
 	"cepshed/internal/event"
@@ -75,5 +78,110 @@ func TestEncodeMatch(t *testing.T) {
 		if !strings.Contains(line, want) {
 			t.Errorf("EncodeMatch output %s missing %s", line, want)
 		}
+	}
+}
+
+func TestLineDecoderHappyPathAndBlankLines(t *testing.T) {
+	in := "{\"type\":\"A\",\"time\":1,\"attrs\":{\"ID\":1}}\n" +
+		"\n" + // blank line skipped
+		"   \r\n" + // whitespace-only skipped, CRLF tolerated
+		"{\"type\":\"B\",\"time\":2,\"attrs\":{\"ID\":2}}\r\n" +
+		"{\"type\":\"C\",\"attrs\":{}}" // final line without newline
+	d := NewLineDecoder(strings.NewReader(in), 0)
+	var types []string
+	for {
+		e, hasTime, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if e.Type == "C" && hasTime {
+			t.Error("hasTime = true for the timeless final line")
+		}
+		types = append(types, e.Type)
+	}
+	if strings.Join(types, "") != "ABC" {
+		t.Errorf("decoded types = %v, want A B C", types)
+	}
+	if d.Rejected() != 0 {
+		t.Errorf("Rejected = %d on a clean stream", d.Rejected())
+	}
+	if d.Line() != 5 {
+		t.Errorf("Line = %d, want 5 (blank lines count)", d.Line())
+	}
+}
+
+func TestLineDecoderReportsLineNumberAndPayload(t *testing.T) {
+	in := "{\"type\":\"A\",\"time\":1,\"attrs\":{}}\n" +
+		"this is not json\n" +
+		"{\"type\":\"B\",\"time\":2,\"attrs\":{}}\n"
+	d := NewLineDecoder(strings.NewReader(in), 0)
+	if _, _, err := d.Next(); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	_, _, err := d.Next()
+	var lerr *LineError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("line 2 error = %v, want *LineError", err)
+	}
+	if lerr.Line != 2 {
+		t.Errorf("LineError.Line = %d, want 2", lerr.Line)
+	}
+	if lerr.Payload != "this is not json" {
+		t.Errorf("LineError.Payload = %q", lerr.Payload)
+	}
+	if msg := lerr.Error(); !strings.Contains(msg, "line 2") || !strings.Contains(msg, "this is not json") {
+		t.Errorf("Error() = %q missing line number or payload", msg)
+	}
+	// The decoder must keep going after a bad line.
+	e, _, err := d.Next()
+	if err != nil || e.Type != "B" {
+		t.Fatalf("after bad line: %v, %v", e, err)
+	}
+	if d.Rejected() != 1 {
+		t.Errorf("Rejected = %d, want 1", d.Rejected())
+	}
+}
+
+// One huge line must be consumed and rejected — with a bounded payload
+// sample and bounded memory — without poisoning the lines after it.
+func TestLineDecoderOverlongLineRecovery(t *testing.T) {
+	huge := strings.Repeat("x", 1<<20) // 1 MiB against a 4 KiB cap
+	in := huge + "\n{\"type\":\"A\",\"time\":1,\"attrs\":{}}\n"
+	d := NewLineDecoder(strings.NewReader(in), 4096)
+	_, _, err := d.Next()
+	var lerr *LineError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("overlong line error = %v, want *LineError", err)
+	}
+	if lerr.Line != 1 {
+		t.Errorf("LineError.Line = %d, want 1", lerr.Line)
+	}
+	if len(lerr.Payload) > maxPayloadSample+len("...") {
+		t.Errorf("payload sample is %d bytes, want <= %d", len(lerr.Payload), maxPayloadSample+3)
+	}
+	if !strings.HasSuffix(lerr.Payload, "...") {
+		t.Errorf("truncated payload %q lacks ellipsis", lerr.Payload)
+	}
+	e, _, err := d.Next()
+	if err != nil || e.Type != "A" {
+		t.Fatalf("line after overlong one: %v, %v", e, err)
+	}
+	if _, _, err := d.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestLineDecoderSanitizesInvalidUTF8(t *testing.T) {
+	d := NewLineDecoder(strings.NewReader("not json \xff\xfe\n"), 0)
+	_, _, err := d.Next()
+	var lerr *LineError
+	if !errors.As(err, &lerr) {
+		t.Fatalf("error = %v, want *LineError", err)
+	}
+	if !utf8.ValidString(lerr.Payload) {
+		t.Errorf("payload %q is not valid UTF-8", lerr.Payload)
 	}
 }

@@ -18,6 +18,15 @@
 // merged match set is again identical. Count windows are the exception —
 // they expire on global sequence distance, which partitioning stretches;
 // see docs/RUNTIME.md.
+//
+// Two robustness layers wrap the shards (docs/ROBUSTNESS.md): a
+// supervisor that recovers worker panics, quarantines poison events to a
+// dead-letter queue, and fails persistent offenders over to healthy
+// shards (supervisor.go); and a graceful-degradation ladder that extends
+// the paper's "degrade quality, not latency" contract from the strategy
+// level (ρI/ρS) up to the admission edge — probabilistic rejection at
+// the door, then outright load rejection — driven by the same smoothed
+// latency signal against the bound θ.
 package runtime
 
 import (
@@ -36,6 +45,38 @@ import (
 	"cepshed/internal/query"
 	"cepshed/internal/shed"
 )
+
+// Degradation ladder levels, escalating with overload. Transitions are
+// driven by the EWMA latency signal against Config.Bound and by
+// aggregate queue fill; with Bound = 0 the ladder is disabled and the
+// level stays LevelNormal.
+const (
+	// LevelNormal: smoothed latency under θ; nothing is degraded.
+	LevelNormal = iota
+	// LevelShedding: latency over θ; the per-shard strategies are
+	// expected to be shedding (ρI/ρS). The runtime itself changes
+	// nothing — this level makes strategy-driven degradation observable.
+	LevelShedding
+	// LevelAdmission: queues past the high-water mark (or latency far
+	// over θ); offers are rejected probabilistically at the door before
+	// they cost a queue slot.
+	LevelAdmission
+	// LevelReject: queues near capacity (or latency an order of
+	// magnitude over θ); every offer is rejected so the backlog can
+	// drain. Servers surface this as 429/NACK.
+	LevelReject
+)
+
+// ladderStale is how long a shard's smoothed latency stays authoritative
+// for the ladder after its last sample. A shard with an empty queue and
+// no samples for this long contributes zero — otherwise a high EWMA
+// frozen at the moment input stopped would wedge the ladder at a high
+// level with no traffic left to decay it.
+const ladderStale = 500 * time.Millisecond
+
+// maxDeadLetterPayload bounds the payload rendering retained per dead
+// letter.
+const maxDeadLetterPayload = 160
 
 // Config configures a Runtime.
 type Config struct {
@@ -60,7 +101,8 @@ type Config struct {
 	// NewStrategy builds the per-shard shedding strategy (nil strategy /
 	// nil factory: no shedding). Each shard needs its OWN instance:
 	// strategies are stateful and are only ever called from the shard's
-	// goroutine.
+	// goroutine. The supervisor calls the factory again when it rebuilds
+	// a shard after a panic.
 	NewStrategy func(shard int) shed.Strategy
 	// SmoothWeight is the EWMA weight w applied to new latency samples,
 	// smoothed = w·sample + (1−w)·smoothed (default 0.5, the paper's
@@ -75,6 +117,38 @@ type Config struct {
 	// for every match. It must be safe for concurrent calls from
 	// different shards.
 	OnMatch func(shard int, m engine.Match)
+
+	// Bound is the wall-clock latency bound θ driving the degradation
+	// ladder. Zero disables the ladder (the level stays LevelNormal and
+	// admission control never engages); the per-shard strategies still
+	// run whatever bound they were built with.
+	Bound time.Duration
+	// HighWater is the aggregate queue-fill fraction where admission
+	// control (LevelAdmission) starts rejecting probabilistically
+	// (default 0.75).
+	HighWater float64
+	// RejectWater is the fill fraction where the ladder escalates to
+	// LevelReject and refuses all input (default 0.95).
+	RejectWater float64
+	// Restart tunes the shard supervisor's backoff and circuit breaker;
+	// zero value: defaults (see RestartPolicy).
+	Restart RestartPolicy
+	// DeadLetterCap is how many recent dead letters are retained for
+	// DeadLetters() (default 256). The total count is unbounded and
+	// monotone.
+	DeadLetterCap int
+	// DisableRecovery turns the shard supervisor off: a worker panic
+	// propagates and crashes the process. Useful when debugging engine
+	// bugs that quarantining would mask.
+	DisableRecovery bool
+	// BeforeProcess, when set, runs on the shard goroutine after ρI
+	// admission and immediately before the engine processes the event.
+	// It exists for fault injection (internal/fault): it may panic or
+	// sleep, and the supervisor treats either as it would a real fault.
+	BeforeProcess func(shard int, e *event.Event)
+	// Logf receives supervisor and ladder lifecycle messages (restarts,
+	// breaker trips, level transitions). Nil: silent.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +164,16 @@ func (c Config) withDefaults() Config {
 	if c.SmoothWeight <= 0 || c.SmoothWeight > 1 {
 		c.SmoothWeight = 0.5
 	}
+	if c.HighWater <= 0 || c.HighWater >= 1 {
+		c.HighWater = 0.75
+	}
+	if c.RejectWater <= c.HighWater || c.RejectWater > 1 {
+		c.RejectWater = 0.95
+	}
+	if c.DeadLetterCap <= 0 {
+		c.DeadLetterCap = 256
+	}
+	c.Restart = c.Restart.withDefaults()
 	return c
 }
 
@@ -102,12 +186,18 @@ type Runtime struct {
 	key    func(*event.Event) uint64
 	global *metrics.Histogram // merged latency across shards
 
+	dlq               *deadLetters
+	admit             *shed.AdmissionController
+	level             atomic.Int32
+	admissionRejected atomic.Uint64
+
 	// mu excludes Offer/TryOffer sends against Close closing the shard
 	// channels: producers hold the read side around a send, Close takes
 	// the write side before closing. A producer blocked on a full queue
 	// holds its RLock, but shard workers keep draining until the channels
 	// close (which needs the write lock), so the send — and with it
-	// Close — always completes.
+	// Close — always completes. Failover forwarding (supervisor.go)
+	// mirrors the producer side of this protocol.
 	mu     sync.RWMutex
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -117,7 +207,12 @@ type Runtime struct {
 // goroutines start immediately; the runtime is ready for Offer.
 func New(m *nfa.Machine, cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
-	r := &Runtime{cfg: cfg, global: metrics.NewHistogram()}
+	r := &Runtime{
+		cfg:    cfg,
+		global: metrics.NewHistogram(),
+		dlq:    newDeadLetters(cfg.DeadLetterCap),
+		admit:  shed.NewAdmissionController(cfg.HighWater, cfg.RejectWater, 0x5eed),
+	}
 	r.key = cfg.KeyFunc
 	if r.key == nil {
 		attr := cfg.KeyAttr
@@ -136,7 +231,11 @@ func New(m *nfa.Machine, cfg Config) *Runtime {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			sh.run()
+			if cfg.DisableRecovery {
+				sh.run()
+			} else {
+				sh.runSupervised(r)
+			}
 		}()
 	}
 	return r
@@ -145,31 +244,56 @@ func New(m *nfa.Machine, cfg Config) *Runtime {
 // NumShards returns the shard count.
 func (r *Runtime) NumShards() int { return len(r.shards) }
 
+func (r *Runtime) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
 // Offer routes the event to its shard and blocks while that shard's
 // queue is full — this blocking IS the backpressure signal; a
 // rate-limited producer that cannot tolerate blocking should use
 // TryOffer. After Close the event is rejected and Offer returns false,
-// so producers may race a shutdown without coordination.
+// so producers may race a shutdown without coordination. Offer also
+// returns false when the degradation ladder is rejecting at the door
+// (levels 2–3) or when every shard has failed; those rejections are
+// counted in Snapshot.AdmissionRejected.
 func (r *Runtime) Offer(e *event.Event) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if r.closed.Load() {
 		return false
 	}
-	r.shardFor(e).ch <- item{e: e, enq: time.Now()}
+	if !r.admitAtDoor() {
+		return false
+	}
+	sh := r.shardFor(e)
+	if sh == nil {
+		r.admissionRejected.Add(1)
+		return false
+	}
+	sh.ch <- item{e: e, enq: time.Now()}
 	return true
 }
 
 // TryOffer is the non-blocking variant: it returns false (counting the
 // event as an overflow drop) instead of blocking when the shard queue is
-// full. Like Offer it rejects events after Close.
+// full. Like Offer it rejects events after Close and while the ladder is
+// rejecting at the door.
 func (r *Runtime) TryOffer(e *event.Event) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if r.closed.Load() {
 		return false
 	}
+	if !r.admitAtDoor() {
+		return false
+	}
 	sh := r.shardFor(e)
+	if sh == nil {
+		r.admissionRejected.Add(1)
+		return false
+	}
 	select {
 	case sh.ch <- item{e: e, enq: time.Now()}:
 		return true
@@ -179,11 +303,129 @@ func (r *Runtime) TryOffer(e *event.Event) bool {
 	}
 }
 
-func (r *Runtime) shardFor(e *event.Event) *shard {
-	if len(r.shards) == 1 {
-		return r.shards[0]
+// admitAtDoor runs the degradation ladder's door checks: at LevelReject
+// everything is refused, at LevelAdmission offers are rejected with a
+// probability that ramps with queue fill. Cheap at LevelNormal — with
+// Bound = 0 it is a single comparison.
+func (r *Runtime) admitAtDoor() bool {
+	if r.cfg.Bound <= 0 {
+		return true
 	}
-	return r.shards[r.key(e)%uint64(len(r.shards))]
+	lvl, fill := r.updateLevel()
+	switch {
+	case lvl >= LevelReject:
+		r.admissionRejected.Add(1)
+		return false
+	case lvl == LevelAdmission && !r.admit.Admit(fill):
+		r.admissionRejected.Add(1)
+		return false
+	}
+	return true
+}
+
+// ladderSignals gathers the two inputs of the ladder: the worst
+// effective smoothed latency across shards (stale signals of drained
+// shards decay to zero, see ladderStale) and the aggregate queue fill.
+func (r *Runtime) ladderSignals() (maxEwma, fill float64) {
+	now := time.Now().UnixNano()
+	var depth, capTot int
+	for _, sh := range r.shards {
+		d := len(sh.ch)
+		depth += d
+		capTot += cap(sh.ch)
+		ew := math.Float64frombits(sh.ewma.Load())
+		if d == 0 && now-sh.lastNs.Load() > int64(ladderStale) {
+			ew = 0
+		}
+		if ew > maxEwma {
+			maxEwma = ew
+		}
+	}
+	if capTot > 0 {
+		fill = float64(depth) / float64(capTot)
+	}
+	return maxEwma, fill
+}
+
+// levelFor maps the signals to a ladder level. scale < 1 tightens every
+// threshold, which is how updateLevel implements de-escalation
+// hysteresis: leaving a level requires the signals to clear the scaled
+// (easier to trip) thresholds too.
+func (r *Runtime) levelFor(maxEwma, fill, scale float64) int {
+	theta := float64(r.cfg.Bound.Nanoseconds()) * scale
+	lvl := LevelNormal
+	if maxEwma > theta {
+		lvl = LevelShedding
+	}
+	if fill >= r.cfg.HighWater*scale || maxEwma > 4*theta {
+		lvl = LevelAdmission
+	}
+	if fill >= r.cfg.RejectWater*scale || maxEwma > 8*theta {
+		lvl = LevelReject
+	}
+	return lvl
+}
+
+// updateLevel recomputes the ladder level with hysteresis: escalation is
+// immediate, de-escalation requires the signals to clear thresholds
+// tightened by 30% so the level doesn't flap around a boundary.
+func (r *Runtime) updateLevel() (int, float64) {
+	maxEwma, fill := r.ladderSignals()
+	raw := r.levelFor(maxEwma, fill, 1.0)
+	cur := int(r.level.Load())
+	next := raw
+	if raw < cur {
+		if hold := r.levelFor(maxEwma, fill, 0.7); hold < cur {
+			next = hold
+		} else {
+			next = cur
+		}
+	}
+	if next != cur && r.level.CompareAndSwap(int32(cur), int32(next)) {
+		r.logf("runtime: degradation level %d -> %d (ewma=%s fill=%.2f)",
+			cur, next, time.Duration(maxEwma), fill)
+	}
+	return next, fill
+}
+
+// DegradationLevel returns the current ladder level (refreshed from the
+// live signals, so it de-escalates even when no offers arrive).
+func (r *Runtime) DegradationLevel() int {
+	if r.cfg.Bound <= 0 {
+		return LevelNormal
+	}
+	lvl, _ := r.updateLevel()
+	return lvl
+}
+
+// Quarantine records an input that was rejected before it became a
+// runtime event — typically an undecodable NDJSON line — in the
+// dead-letter queue (Shard = -1). payload should already be truncated to
+// a reasonable length; it is clamped to the dead-letter bound anyway.
+func (r *Runtime) Quarantine(reason, payload string) {
+	r.dlq.add(DeadLetter{
+		Shard:   -1,
+		Reason:  reason,
+		Payload: truncatePayload([]byte(payload), maxDeadLetterPayload),
+	})
+}
+
+// DeadLetters returns a copy of the retained dead letters, oldest first.
+// The retention window is Config.DeadLetterCap; Snapshot.Quarantined
+// counts every dead letter ever recorded.
+func (r *Runtime) DeadLetters() []DeadLetter { return r.dlq.letters() }
+
+func (r *Runtime) shardFor(e *event.Event) *shard {
+	sh := r.shards[0]
+	if len(r.shards) > 1 {
+		sh = r.shards[r.key(e)%uint64(len(r.shards))]
+	}
+	if sh.failed.Load() {
+		// Key range of a failed shard routes to the next healthy shard;
+		// nil (every shard failed) makes Offer reject the event.
+		sh = r.fallbackFor(sh.id)
+	}
+	return sh
 }
 
 // Close drains the runtime gracefully: input channels are closed, every
@@ -250,6 +492,10 @@ type ShardSnapshot struct {
 	CreatedPMs uint64 `json:"created_partial_matches"`
 	DroppedPMs uint64 `json:"dropped_partial_matches"`
 
+	Restarts    uint64 `json:"restarts"`
+	Quarantined uint64 `json:"quarantined"`
+	Failed      bool   `json:"failed"`
+
 	SmoothedLatency time.Duration `json:"smoothed_latency_ns"`
 	P50             time.Duration `json:"p50_ns"`
 	P95             time.Duration `json:"p95_ns"`
@@ -259,8 +505,8 @@ type ShardSnapshot struct {
 }
 
 // Snapshot is the aggregate point-in-time state of the runtime; all
-// counters are monotone except queue depths, live partial matches, and
-// latency statistics.
+// counters are monotone except queue depths, live partial matches,
+// latency statistics, and the degradation level.
 type Snapshot struct {
 	Shards []ShardSnapshot `json:"shards"`
 
@@ -272,6 +518,18 @@ type Snapshot struct {
 	LivePMs         int64  `json:"live_partial_matches"`
 	CreatedPMs      uint64 `json:"created_partial_matches"`
 	DroppedPMs      uint64 `json:"dropped_partial_matches"`
+
+	// Robustness counters. Restarts sums supervisor restarts across
+	// shards; Quarantined counts every dead letter ever recorded
+	// (including pre-runtime rejections fed through Quarantine, which no
+	// per-shard counter covers); AdmissionRejected counts offers refused
+	// at the door by the degradation ladder (levels 2–3, plus offers with
+	// no healthy shard left).
+	DegradationLevel  int    `json:"degradation_level"`
+	Restarts          uint64 `json:"restarts"`
+	Quarantined       uint64 `json:"quarantined"`
+	AdmissionRejected uint64 `json:"admission_rejected"`
+	FailedShards      int    `json:"failed_shards"`
 
 	// InputShedRatio is shed / offered events; PMShedRatio is dropped /
 	// created partial matches (the paper's ρI and ρS realized ratios).
@@ -300,7 +558,14 @@ func (r *Runtime) Snapshot() Snapshot {
 		s.LivePMs += ss.LivePMs
 		s.CreatedPMs += ss.CreatedPMs
 		s.DroppedPMs += ss.DroppedPMs
+		s.Restarts += ss.Restarts
+		if ss.Failed {
+			s.FailedShards++
+		}
 	}
+	s.DegradationLevel = r.DegradationLevel()
+	s.Quarantined = r.dlq.count()
+	s.AdmissionRejected = r.admissionRejected.Load()
 	if s.EventsIn > 0 {
 		s.InputShedRatio = float64(s.EventsShed) / float64(s.EventsIn)
 	}
@@ -317,9 +582,10 @@ func (r *Runtime) Snapshot() Snapshot {
 
 // String renders a one-line summary for logs.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("in=%d shed=%d (%.1f%%) matched=%d pms=%d dropped=%d (%.1f%%) p50=%s p99=%s",
+	return fmt.Sprintf("in=%d shed=%d (%.1f%%) matched=%d pms=%d dropped=%d (%.1f%%) lvl=%d restarts=%d quarantined=%d p50=%s p99=%s",
 		s.EventsIn, s.EventsShed, 100*s.InputShedRatio, s.Matches,
-		s.LivePMs, s.DroppedPMs, 100*s.PMShedRatio, s.P50, s.P99)
+		s.LivePMs, s.DroppedPMs, 100*s.PMShedRatio,
+		s.DegradationLevel, s.Restarts, s.Quarantined, s.P50, s.P99)
 }
 
 // InferPartitionKey picks the partition attribute from the query: the

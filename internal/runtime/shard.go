@@ -22,26 +22,40 @@ type item struct {
 
 // shard owns one engine instance and one strategy instance. The engine
 // and strategy are touched ONLY by the shard's worker goroutine; every
-// field read by Snapshot from other goroutines is atomic.
+// field read by Snapshot from other goroutines is atomic. On a panic the
+// supervisor (supervisor.go) rebuilds the engine and strategy in place —
+// both are worker-owned, so the rebuild needs no locking.
 type shard struct {
 	id    int
 	ch    chan item
+	m     *nfa.Machine // kept for supervisor rebuilds
 	en    *engine.Engine
 	strat shed.Strategy
 	cfg   Config
 
-	hist   *metrics.Histogram // per-shard latency
-	global *metrics.Histogram // runtime-wide latency (shared)
-	ewma   atomic.Uint64      // math.Float64bits of the smoothed latency
+	hist      *metrics.Histogram // per-shard latency
+	global    *metrics.Histogram // runtime-wide latency (shared)
+	ewma      atomic.Uint64      // math.Float64bits of the smoothed latency
+	lastNs    atomic.Int64       // wall instant of the last latency sample
+	stratName atomic.Value       // string; s.strat itself is worker-owned
 
-	eventsIn   atomic.Uint64
-	eventsShed atomic.Uint64
-	processed  atomic.Uint64
-	overflow   atomic.Uint64
-	matched    atomic.Uint64
-	livePMs    atomic.Int64
-	createdPMs atomic.Uint64
-	droppedPMs atomic.Uint64
+	eventsIn    atomic.Uint64
+	eventsShed  atomic.Uint64
+	processed   atomic.Uint64
+	overflow    atomic.Uint64
+	matched     atomic.Uint64
+	livePMs     atomic.Int64
+	createdPMs  atomic.Uint64
+	droppedPMs  atomic.Uint64
+	restarts    atomic.Uint64
+	quarantined atomic.Uint64
+	failed      atomic.Bool
+
+	// Engine stats reset when the supervisor rebuilds the engine; these
+	// worker-only offsets keep the exported counters monotone across
+	// restarts.
+	pmCreatedBase uint64
+	pmDroppedBase uint64
 
 	matches []engine.Match // collected matches (worker-only until Close)
 }
@@ -53,59 +67,80 @@ func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *m
 	en := engine.New(m, cfg.Costs)
 	en.DeferredNegation = cfg.DeferredNegation
 	strat.Attach(en)
-	return &shard{
+	s := &shard{
 		id:     id,
 		ch:     make(chan item, cfg.QueueLen),
+		m:      m,
 		en:     en,
 		strat:  strat,
 		cfg:    cfg,
 		hist:   metrics.NewHistogram(),
 		global: global,
 	}
+	s.stratName.Store(strat.Name())
+	return s
 }
 
-// run is the shard worker loop. It exits when the input channel closes,
-// after flushing the engine's remaining state.
+// run is the unsupervised worker loop (Config.DisableRecovery): it exits
+// when the input channel closes, after flushing the engine's remaining
+// state, and a panic propagates and kills the process.
 func (s *shard) run() {
 	w := s.cfg.SmoothWeight
 	for it := range s.ch {
-		e := it.e
-		s.eventsIn.Add(1)
-
-		if !s.strat.AdmitEvent(e, e.Time) {
-			// ρI dropped the event before any engine work; the sample
-			// still enters the latency stream — a shed event was "served"
-			// nearly for free, which is exactly how shedding relieves the
-			// queue.
-			s.eventsShed.Add(1)
-			s.record(time.Since(it.enq), w)
-			continue
-		}
-
-		res := s.en.Process(e)
-		s.processed.Add(1)
-		s.strat.Observe(&res, e.Time)
-
-		if len(res.Matches) > 0 {
-			s.matched.Add(uint64(len(res.Matches)))
-			if s.cfg.CollectMatches {
-				s.matches = append(s.matches, res.Matches...)
-			}
-			if s.cfg.OnMatch != nil {
-				for _, m := range res.Matches {
-					s.cfg.OnMatch(s.id, m)
-				}
-			}
-		}
-
-		lat := s.record(time.Since(it.enq), w)
-		s.strat.Control(e.Time, lat)
-
-		st := s.en.Stats()
-		s.livePMs.Store(int64(s.en.LiveCount()))
-		s.createdPMs.Store(st.CreatedPMs)
-		s.droppedPMs.Store(st.DroppedPMs)
+		s.process(it, w)
 	}
+	s.finish()
+}
+
+// process handles one dequeued event: ρI admission, the fault hook, the
+// engine step, match delivery, the latency sample, and the strategy's
+// control step. It is the only code a supervisor-caught panic can come
+// from.
+func (s *shard) process(it item, w float64) {
+	e := it.e
+	s.eventsIn.Add(1)
+
+	if !s.strat.AdmitEvent(e, e.Time) {
+		// ρI dropped the event before any engine work; the sample
+		// still enters the latency stream — a shed event was "served"
+		// nearly for free, which is exactly how shedding relieves the
+		// queue.
+		s.eventsShed.Add(1)
+		s.record(time.Since(it.enq), w)
+		return
+	}
+
+	if s.cfg.BeforeProcess != nil {
+		s.cfg.BeforeProcess(s.id, e)
+	}
+
+	res := s.en.Process(e)
+	s.processed.Add(1)
+	s.strat.Observe(&res, e.Time)
+
+	if len(res.Matches) > 0 {
+		s.matched.Add(uint64(len(res.Matches)))
+		if s.cfg.CollectMatches {
+			s.matches = append(s.matches, res.Matches...)
+		}
+		if s.cfg.OnMatch != nil {
+			for _, m := range res.Matches {
+				s.cfg.OnMatch(s.id, m)
+			}
+		}
+	}
+
+	lat := s.record(time.Since(it.enq), w)
+	s.strat.Control(e.Time, lat)
+
+	st := s.en.Stats()
+	s.livePMs.Store(int64(s.en.LiveCount()))
+	s.createdPMs.Store(s.pmCreatedBase + st.CreatedPMs)
+	s.droppedPMs.Store(s.pmDroppedBase + st.DroppedPMs)
+}
+
+// finish flushes the engine after a clean drain (input channel closed).
+func (s *shard) finish() {
 	s.en.Flush()
 	s.livePMs.Store(0)
 }
@@ -123,13 +158,14 @@ func (s *shard) record(d time.Duration, w float64) event.Time {
 	prev := math.Float64frombits(s.ewma.Load())
 	sm := w*float64(ns) + (1-w)*prev
 	s.ewma.Store(math.Float64bits(sm))
+	s.lastNs.Store(time.Now().UnixNano())
 	return event.Time(sm)
 }
 
 func (s *shard) snapshot() ShardSnapshot {
 	return ShardSnapshot{
 		Shard:      s.id,
-		Strategy:   s.strat.Name(),
+		Strategy:   s.stratName.Load().(string),
 		QueueDepth: len(s.ch),
 		QueueCap:   cap(s.ch),
 
@@ -142,6 +178,10 @@ func (s *shard) snapshot() ShardSnapshot {
 		LivePMs:    s.livePMs.Load(),
 		CreatedPMs: s.createdPMs.Load(),
 		DroppedPMs: s.droppedPMs.Load(),
+
+		Restarts:    s.restarts.Load(),
+		Quarantined: s.quarantined.Load(),
+		Failed:      s.failed.Load(),
 
 		SmoothedLatency: time.Duration(math.Float64frombits(s.ewma.Load())),
 		P50:             time.Duration(s.hist.Quantile(0.50)),

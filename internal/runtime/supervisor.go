@@ -1,0 +1,284 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/shed"
+)
+
+// This file is the shard supervisor: the layer that turns "a panic in
+// one shard kills the process" into controlled degradation. Each shard
+// worker runs its processing loop under recover(); on a panic the
+// supervisor quarantines the offending event to the dead-letter queue,
+// rebuilds the shard's engine and strategy (losing only that shard's
+// in-flight partial matches — the bounded, accounted cost of the fault),
+// sleeps a capped, jittered exponential backoff, and resumes from the
+// same queue. A circuit breaker marks the shard permanently failed after
+// MaxRestarts restarts inside Window; from then on the shard's key range
+// routes to the next healthy shard and the dead worker lingers only as a
+// forwarder so in-flight sends never strand.
+//
+// State machine per shard:
+//
+//	running ──panic──► quarantine + restart++ ──breaker ok──► backoff ──► running
+//	   │                                   └──breaker trips──► failed (forwarding)
+//	   └──channel closed──► drained (clean exit)
+
+// RestartPolicy tunes the supervisor's backoff and circuit breaker.
+// The zero value means "use the defaults".
+type RestartPolicy struct {
+	// BackoffBase is the delay before the first restart; each further
+	// restart inside Window doubles it (default 10ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff (default 2s).
+	BackoffMax time.Duration
+	// Jitter is the ± fraction applied to each backoff so restarting
+	// shards don't thunder in lockstep (default 0.2).
+	Jitter float64
+	// MaxRestarts is the circuit breaker: more than this many restarts
+	// inside Window marks the shard permanently failed (default 5).
+	MaxRestarts int
+	// Window is the sliding window the breaker counts restarts in
+	// (default 1 minute).
+	Window time.Duration
+}
+
+func (p RestartPolicy) withDefaults() RestartPolicy {
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 10 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 2 * time.Second
+	}
+	if p.Jitter <= 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	if p.MaxRestarts <= 0 {
+		p.MaxRestarts = 5
+	}
+	if p.Window <= 0 {
+		p.Window = time.Minute
+	}
+	return p
+}
+
+// backoff returns the sleep before restart number n (1-based) in the
+// current window: base·2^(n−1), capped, with ±Jitter applied.
+func (p RestartPolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := p.BackoffBase
+	for i := 1; i < n && d < p.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	j := 1 + p.Jitter*(2*rng.Float64()-1)
+	return time.Duration(float64(d) * j)
+}
+
+// DeadLetter is one quarantined input: an event whose processing
+// panicked, an event that could not be failed over, or (Shard = -1) a
+// rejected raw input such as an undecodable NDJSON line.
+type DeadLetter struct {
+	Shard   int    `json:"shard"` // -1 for pre-runtime rejections
+	Seq     uint64 `json:"seq"`
+	Type    string `json:"type,omitempty"`
+	Reason  string `json:"reason"`
+	Payload string `json:"payload"` // truncated rendering of the input
+}
+
+// deadLetters is a bounded ring of the most recent dead letters plus a
+// monotone total. Quarantining must never block or grow without bound —
+// the queue exists for postmortems, not durability.
+type deadLetters struct {
+	mu    sync.Mutex
+	buf   []DeadLetter
+	next  int
+	full  bool
+	total uint64
+}
+
+func newDeadLetters(capacity int) *deadLetters {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &deadLetters{buf: make([]DeadLetter, capacity)}
+}
+
+func (q *deadLetters) add(dl DeadLetter) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.total++
+	q.buf[q.next] = dl
+	q.next++
+	if q.next == len(q.buf) {
+		q.next, q.full = 0, true
+	}
+}
+
+// letters returns a copy, oldest first.
+func (q *deadLetters) letters() []DeadLetter {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []DeadLetter
+	if q.full {
+		out = append(out, q.buf[q.next:]...)
+	}
+	out = append(out, q.buf[:q.next]...)
+	return out
+}
+
+func (q *deadLetters) count() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}
+
+// runSupervised is the supervised worker entry point. It loops the
+// processing loop through recover() until the input channel closes.
+func (s *shard) runSupervised(r *Runtime) {
+	pol := r.cfg.Restart
+	rng := rand.New(rand.NewSource(int64(s.id)*7919 + 1))
+	var recent []time.Time // restart instants inside the breaker window
+	for {
+		pv, poison, clean := s.runOnce()
+		if clean {
+			s.finish()
+			return
+		}
+		s.quarantine(r, poison, fmt.Sprintf("panic: %v", pv))
+		s.restarts.Add(1)
+		now := time.Now()
+		recent = append(recent, now)
+		for len(recent) > 0 && now.Sub(recent[0]) > pol.Window {
+			recent = recent[1:]
+		}
+		if len(recent) > pol.MaxRestarts || !s.rebuild() {
+			s.failed.Store(true)
+			r.logf("runtime: shard %d circuit breaker tripped after %d restarts in %s; rerouting key range",
+				s.id, len(recent), pol.Window)
+			s.forwardRemaining(r)
+			return
+		}
+		d := pol.backoff(len(recent), rng)
+		r.logf("runtime: shard %d recovered from panic on seq=%d (%v); restart %d in %s",
+			s.id, poison.seq(), pv, len(recent), d)
+		time.Sleep(d)
+	}
+}
+
+// runOnce drains the input channel until it closes (clean=true) or a
+// panic escapes processing (clean=false, with the panic value and the
+// item being processed).
+func (s *shard) runOnce() (pv any, poison item, clean bool) {
+	var cur item
+	defer func() {
+		if p := recover(); p != nil {
+			pv, poison = p, cur
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("runtime: shard %d panic: %v\n%s", s.id, p, debug.Stack())
+			}
+		}
+	}()
+	w := s.cfg.SmoothWeight
+	for it := range s.ch {
+		cur = it
+		s.process(it, w)
+	}
+	return nil, item{}, true
+}
+
+func (it item) seq() uint64 {
+	if it.e == nil {
+		return 0
+	}
+	return it.e.Seq
+}
+
+// quarantine records the poison event in the dead-letter queue. The
+// event is NOT reprocessed after the restart — quarantining it is what
+// breaks the crash loop a deterministic poison pill would otherwise
+// cause.
+func (s *shard) quarantine(r *Runtime, it item, reason string) {
+	if it.e == nil {
+		return
+	}
+	s.quarantined.Add(1)
+	r.dlq.add(DeadLetter{
+		Shard:   s.id,
+		Seq:     it.e.Seq,
+		Type:    it.e.Type,
+		Reason:  reason,
+		Payload: truncatePayload(EncodeEvent(it.e), maxDeadLetterPayload),
+	})
+}
+
+// rebuild replaces the engine and strategy with fresh instances. The
+// old engine's partial matches are gone — that loss is the quarantine
+// cost of the fault and is visible through the createdPMs/droppedPMs
+// offsets staying monotone. Returns false when the strategy factory
+// itself panics, which the caller treats as an immediate breaker trip.
+func (s *shard) rebuild() (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			ok = false
+		}
+	}()
+	st := s.en.Stats()
+	s.pmCreatedBase += st.CreatedPMs
+	s.pmDroppedBase += st.DroppedPMs
+	en := engine.New(s.m, s.cfg.Costs)
+	en.DeferredNegation = s.cfg.DeferredNegation
+	var strat shed.Strategy = shed.None{}
+	if s.cfg.NewStrategy != nil {
+		if ns := s.cfg.NewStrategy(s.id); ns != nil {
+			strat = ns
+		}
+	}
+	strat.Attach(en)
+	s.en, s.strat = en, strat
+	s.stratName.Store(strat.Name())
+	s.livePMs.Store(0)
+	return true
+}
+
+// forwardRemaining turns a permanently failed shard's worker into a
+// forwarder: items still in (or racing into) its queue are re-routed to
+// a healthy shard, so producers blocked on a send never deadlock and
+// Close still drains. It exits when the channel closes.
+func (s *shard) forwardRemaining(r *Runtime) {
+	for it := range s.ch {
+		r.failover(s, it)
+	}
+}
+
+// failover re-routes one item from a failed shard to the next healthy
+// one, or quarantines it when no healthy shard remains. It mirrors
+// Offer's locking so the send cannot race Close closing the channels:
+// see the Runtime.mu comment.
+func (r *Runtime) failover(from *shard, it item) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if t := r.fallbackFor(from.id); t != nil && !r.closed.Load() {
+		t.ch <- it
+		return
+	}
+	from.quarantine(r, it, "no healthy shard for failover")
+}
+
+// fallbackFor returns the next healthy shard after id, or nil when every
+// shard has failed.
+func (r *Runtime) fallbackFor(id int) *shard {
+	n := len(r.shards)
+	for off := 1; off < n; off++ {
+		if sh := r.shards[(id+off)%n]; !sh.failed.Load() {
+			return sh
+		}
+	}
+	return nil
+}
