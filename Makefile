@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-runtime chaos fuzz-seeds fuzz
+.PHONY: check vet build test race bench bench-runtime bench-baseline bench-compare chaos fuzz-seeds fuzz
 
-check: vet build race fuzz-seeds
+check: vet build race fuzz-seeds bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -45,3 +45,13 @@ bench:
 # (numbers recorded in EXPERIMENTS.md).
 bench-runtime:
 	$(GO) test -bench 'BenchmarkRuntimeShards|BenchmarkRuntimeSequentialBaseline' -run '^$$' .
+
+# Engine hot-path perf trajectory (docs/PERFORMANCE.md): bench-baseline
+# records BENCH_engine.json on this machine; bench-compare re-measures
+# and fails on a >10% ns/event regression (skipping the hard gate when
+# the baseline was recorded on different hardware).
+bench-baseline:
+	$(GO) run ./cmd/cepbench -engine-bench -bench-out BENCH_engine.json
+
+bench-compare:
+	$(GO) run ./cmd/cepbench -engine-bench -bench-compare BENCH_engine.json

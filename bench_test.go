@@ -82,6 +82,37 @@ func BenchmarkEngineKleene(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineNegation measures the eager-negation hot path (Q4/DS1:
+// interior NOT B guard killing runs as B events arrive).
+func BenchmarkEngineNegation(b *testing.B) {
+	m := nfa.MustCompile(query.Q4("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 5000, Seed: 1, InterArrival: 30 * event.Microsecond})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en := engine.New(m, engine.DefaultCosts())
+		for _, e := range s {
+			en.Process(e)
+		}
+	}
+	b.ReportMetric(float64(len(s)), "events/op")
+}
+
+// BenchmarkEngineNegationDeferred is the same workload with witness-based
+// deferred negation (the shed-eligible mode of §VI-H).
+func BenchmarkEngineNegationDeferred(b *testing.B) {
+	m := nfa.MustCompile(query.Q4("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 5000, Seed: 1, InterArrival: 30 * event.Microsecond})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en := engine.New(m, engine.DefaultCosts())
+		en.DeferredNegation = true
+		for _, e := range s {
+			en.Process(e)
+		}
+	}
+	b.ReportMetric(float64(len(s)), "events/op")
+}
+
 // Ablation: exact dynamic-programming knapsack vs the greedy
 // approximation of §V-C, at shedding-set sizes typical for the cost model
 // (tens of class cells).

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cepshed"
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// This file is the engine benchmark-regression harness: -engine-bench
+// measures the raw Engine.Process hot path on the three canonical
+// workloads (sequence join, Kleene-heavy, negation), -bench-out writes
+// the result as BENCH_engine.json, and -bench-compare gates the current
+// build against a checked-in baseline, failing on >10% ns/event
+// regression. See docs/PERFORMANCE.md for the workflow.
+
+// regressionTolerance is the allowed ns/event slowdown before
+// -bench-compare fails.
+const regressionTolerance = 1.10
+
+// BenchHost fingerprints the machine a baseline was recorded on.
+// Comparisons across different hosts warn instead of failing — absolute
+// ns/event is only meaningful on like hardware.
+type BenchHost struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+}
+
+func currentHost() BenchHost {
+	return BenchHost{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// BenchWorkload is one measured workload.
+type BenchWorkload struct {
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	MatchesPerSec  float64 `json:"matches_per_sec"`
+	Events         int     `json:"events"`
+	Matches        uint64  `json:"matches"`
+}
+
+// BenchFile is the serialized form of BENCH_engine.json.
+type BenchFile struct {
+	Host      BenchHost                `json:"host"`
+	Date      string                   `json:"date"`
+	Workloads map[string]BenchWorkload `json:"workloads"`
+}
+
+type benchCase struct {
+	name     string
+	machine  *nfa.Machine
+	stream   event.Stream
+	deferred bool
+}
+
+func engineBenchCases() []benchCase {
+	ds1 := gen.DS1(gen.DS1Config{Events: 5000, Seed: 1, InterArrival: 30 * event.Microsecond})
+	return []benchCase{
+		{name: "q1-ds1", machine: nfa.MustCompile(query.Q1("8ms")), stream: ds1},
+		{
+			name:    "kleene-hotpaths",
+			machine: nfa.MustCompile(query.HotPaths("5 min", 2, 5)),
+			stream:  cepshed.CitiBike(cepshed.CitiBikeConfig{Trips: 1500, Seed: 1}),
+		},
+		{name: "negation-eager", machine: nfa.MustCompile(query.Q4("8ms")), stream: ds1},
+		{name: "negation-deferred", machine: nfa.MustCompile(query.Q4("8ms")), stream: ds1, deferred: true},
+	}
+}
+
+func measure(c benchCase) BenchWorkload {
+	var matches uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			en := engine.New(c.machine, engine.DefaultCosts())
+			en.DeferredNegation = c.deferred
+			for _, e := range c.stream {
+				en.Process(e)
+			}
+			matches = en.Stats().Matches
+		}
+	})
+	events := len(c.stream)
+	nsPerEvent := float64(r.NsPerOp()) / float64(events)
+	out := BenchWorkload{
+		NsPerEvent:     nsPerEvent,
+		AllocsPerEvent: float64(r.AllocsPerOp()) / float64(events),
+		BytesPerEvent:  float64(r.AllocedBytesPerOp()) / float64(events),
+		Events:         events,
+		Matches:        matches,
+	}
+	if r.NsPerOp() > 0 {
+		out.MatchesPerSec = float64(matches) / (float64(r.NsPerOp()) / 1e9)
+	}
+	return out
+}
+
+// runEngineBench measures every workload and then writes the baseline,
+// compares against one, or just prints — per the flags. Returns the
+// process exit code.
+func runEngineBench(outPath, comparePath string) int {
+	bf := BenchFile{
+		Host:      currentHost(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Workloads: map[string]BenchWorkload{},
+	}
+	cases := engineBenchCases()
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "cepbench: measuring %s...\n", c.name)
+		bf.Workloads[c.name] = measure(c)
+	}
+
+	fmt.Printf("%-18s %12s %12s %12s %14s\n", "workload", "ns/event", "allocs/event", "B/event", "matches/sec")
+	for _, c := range cases {
+		w := bf.Workloads[c.name]
+		fmt.Printf("%-18s %12.0f %12.2f %12.1f %14.0f\n",
+			c.name, w.NsPerEvent, w.AllocsPerEvent, w.BytesPerEvent, w.MatchesPerSec)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "cepbench: baseline written to %s\n", outPath)
+	}
+
+	if comparePath != "" {
+		return compareBaseline(bf, comparePath)
+	}
+	return 0
+}
+
+// compareBaseline gates the measured run against a stored baseline.
+func compareBaseline(cur BenchFile, path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cepbench: no baseline to compare against (%v); run make bench-baseline first\n", err)
+		return 1
+	}
+	var base BenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "cepbench: corrupt baseline %s: %v\n", path, err)
+		return 1
+	}
+	hostMatch := base.Host == cur.Host
+	if !hostMatch {
+		fmt.Fprintf(os.Stderr, "cepbench: WARNING: baseline host %+v differs from this host %+v; "+
+			"reporting deltas but skipping the hard regression gate\n", base.Host, cur.Host)
+	}
+	failed := false
+	for name, cw := range cur.Workloads {
+		bw, ok := base.Workloads[name]
+		if !ok || bw.NsPerEvent <= 0 {
+			fmt.Printf("%-18s new workload (no baseline)\n", name)
+			continue
+		}
+		ratio := cw.NsPerEvent / bw.NsPerEvent
+		verdict := "ok"
+		if ratio > regressionTolerance {
+			if hostMatch {
+				verdict = "REGRESSION"
+				failed = true
+			} else {
+				verdict = "slower (host mismatch, not gated)"
+			}
+		}
+		fmt.Printf("%-18s baseline %8.0f ns/event, now %8.0f ns/event (%+.1f%%)  %s\n",
+			name, bw.NsPerEvent, cw.NsPerEvent, (ratio-1)*100, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "cepbench: ns/event regressed more than %.0f%% against %s\n",
+			(regressionTolerance-1)*100, path)
+		return 1
+	}
+	return 0
+}

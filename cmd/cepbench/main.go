@@ -7,6 +7,12 @@
 //	cepbench -all               run every experiment
 //	cepbench -quick ...         quarter-scale streams (fast smoke runs)
 //	cepbench -seed 7 ...        offset all generator seeds
+//
+// Engine benchmark-regression harness (docs/PERFORMANCE.md):
+//
+//	cepbench -engine-bench                                  measure and print
+//	cepbench -engine-bench -bench-out BENCH_engine.json     record a baseline
+//	cepbench -engine-bench -bench-compare BENCH_engine.json gate vs baseline
 package main
 
 import (
@@ -26,9 +32,17 @@ func main() {
 		quick = flag.Bool("quick", false, "quarter-scale streams")
 		seed  = flag.Int64("seed", 0, "generator seed offset")
 		csv   = flag.Bool("csv", false, "emit panels as CSV instead of tables")
+
+		engineBench  = flag.Bool("engine-bench", false, "measure Engine.Process on the canonical workloads")
+		benchOut     = flag.String("bench-out", "", "with -engine-bench: write the result as a JSON baseline")
+		benchCompare = flag.String("bench-compare", "", "with -engine-bench: gate against a JSON baseline (>10% ns/event fails)")
 	)
 	flag.Parse()
 	emitCSV = *csv
+
+	if *engineBench {
+		os.Exit(runEngineBench(*benchOut, *benchCompare))
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -4,6 +4,14 @@
 // accounting the virtual work of every operation. It exposes the partial
 // matches for inspection and removal, which is the attachment point for
 // state-based load shedding.
+//
+// The hot path is organized around two auxiliary structures (see
+// docs/PERFORMANCE.md): a type index mapping each event type to the
+// partial matches that can react to it, and a start-ordered expiry ring
+// that pops whole expired start groups off its front. Physical work per
+// event is proportional to the matches that actually react; the virtual
+// cost model still charges the paper's PerScan for every live match, so
+// shedding economics are unchanged.
 package engine
 
 import (
@@ -23,7 +31,9 @@ type Engine struct {
 	nextID    uint64
 
 	// OnCreate, if set, is called for every newly created partial match
-	// (the cost model classifies matches here, §V-B).
+	// (the cost model classifies matches here, §V-B). Setting it also
+	// disables partial-match recycling, because OnCreate consumers retain
+	// match pointers across events.
 	OnCreate func(*PartialMatch)
 
 	// DeferredNegation switches negation handling from eager guard kills
@@ -32,9 +42,43 @@ type Engine struct {
 	// checked only when a match completes. Witnesses are shed-eligible,
 	// so state-based shedding can fabricate matches — the false-positive
 	// mechanism the paper's non-monotonicity experiment measures (§VI-H).
+	// Must be set before the first Process call.
 	DeferredNegation bool
 
 	stats Stats
+
+	// useScan selects the reference exhaustive-scan path (legacy.go) used
+	// by the differential tests; the type-indexed path is the default.
+	useScan bool
+
+	// live is len(pms) minus dead-but-unswept entries. deadPMs and
+	// deadWitnesses gate the compaction sweeps.
+	live          int
+	deadPMs       int
+	deadWitnesses int
+
+	index     map[string]*typeBucket
+	indexDead int // dead entries across all buckets
+	ring      expiryRing
+	groupPool []*startGroup
+
+	reacts       []stateReact
+	reactBuf     []typeFlag
+	witnessSpots map[string][]witnessSpot
+
+	alloc pmAlloc
+	pool  bool // recycling enabled (sticky-disabled once OnCreate is seen)
+
+	// Scratch bindings reused across predicate evaluations so passing
+	// them through the query.Binding interface never heap-allocates.
+	b  binding
+	pb provisionalBinding
+}
+
+// witnessSpot locates one negation guard for deferred-witness creation.
+type witnessSpot struct {
+	state int
+	guard *nfa.Guard
 }
 
 // Stats aggregates engine counters.
@@ -50,7 +94,34 @@ type Stats struct {
 
 // New builds an engine for a compiled machine.
 func New(m *nfa.Machine, costs Costs) *Engine {
-	return &Engine{m: m, costs: costs}
+	en := &Engine{m: m, costs: costs, pool: true}
+	en.alloc.init(len(m.States))
+	en.index = make(map[string]*typeBucket, 8)
+	en.reacts = make([]stateReact, len(m.States))
+	n := len(m.States)
+	for s := range m.States {
+		st := &m.States[s]
+		d := &en.reacts[s]
+		if st.Comp.Kleene {
+			d.takeType = st.Comp.Type
+			d.minReps = st.Comp.MinReps
+			d.maxReps = st.Comp.MaxReps
+		}
+		if s+1 < n {
+			d.proceedType = m.States[s+1].Comp.Type
+			for gi := range m.States[s+1].Guards {
+				d.guardTypes = append(d.guardTypes, m.States[s+1].Guards[gi].Comp.Type)
+			}
+		}
+	}
+	en.witnessSpots = make(map[string][]witnessSpot)
+	for s := range m.States {
+		for gi := range m.States[s].Guards {
+			g := &m.States[s].Guards[gi]
+			en.witnessSpots[g.Comp.Type] = append(en.witnessSpots[g.Comp.Type], witnessSpot{state: s, guard: g})
+		}
+	}
+	return en
 }
 
 // Machine returns the compiled automaton.
@@ -63,7 +134,9 @@ func (en *Engine) Stats() Stats { return en.stats }
 func (en *Engine) LiveCount() int { return len(en.pms) }
 
 // PartialMatches returns the live partial matches. The slice is owned by
-// the engine; callers must not retain it across Process calls.
+// the engine; callers must not retain it — or the matches it points to —
+// across Process calls unless OnCreate is set (which disables match
+// recycling).
 func (en *Engine) PartialMatches() []*PartialMatch { return en.pms }
 
 // Result reports the outcome of processing one event.
@@ -75,135 +148,90 @@ type Result struct {
 }
 
 // Process evaluates the next stream event. Events must be fed in
-// non-decreasing time order.
+// non-decreasing time (and sequence) order.
 func (en *Engine) Process(e *event.Event) Result {
+	if en.OnCreate != nil {
+		en.pool = false
+	}
 	en.stats.Events++
 	res := Result{Work: en.costs.PerEvent}
 	w := &res.Work
 
-	n := len(en.m.States)
-	window := en.m.Query.Window
+	// The paper's cost model charges one scan per live partial match per
+	// event (the O(|PM|) term shedding exists to contain). The type index
+	// avoids doing that scan physically, so the charge is applied
+	// arithmetically over the matches live at event arrival.
+	*w += vclock.Cost(len(en.pms)) * en.costs.PerScan
 
-	// Scan the pre-existing partial matches: expiry, negation guards,
-	// Kleene takes, and proceeds. Branches created here are appended and
-	// not re-scanned for this event.
-	existing := len(en.pms)
-	for i := 0; i < existing; i++ {
-		pm := en.pms[i]
-		if pm.dead {
-			continue
-		}
-		*w += en.costs.PerScan
-		if expired(window, pm, e) {
-			pm.dead = true
-			en.stats.ExpiredPMs++
-			*w += en.costs.PerExpiry
-			continue
-		}
-		if pm.witnessOf != nil {
-			continue // witnesses never extend
-		}
-		next := pm.cur + 1
-
-		// Negation guards active while waiting to bind state next
-		// (eager mode kills immediately; deferred mode records
-		// witnesses below instead).
-		if next < n && !en.DeferredNegation {
-			if en.checkGuards(pm, next, e, w) {
-				pm.dead = true
-				en.stats.KilledByGuard++
-				continue
-			}
-		}
-
-		// Kleene take at the current state.
-		st := &en.m.States[pm.cur]
-		if st.Comp.Kleene && e.Type == st.Comp.Type {
-			reps := pm.kleene[pm.cur]
-			if st.Comp.MaxReps == 0 || len(reps) < st.Comp.MaxReps {
-				if en.evalSet(st.Incremental, binding{pm: pm, current: e}, w) {
-					branch := pm.clone(en.allocID())
-					branch.kleene[pm.cur] = append(branch.kleene[pm.cur], e)
-					*w += en.costs.PerExtension
-					en.register(branch)
-					if en.m.Final(pm.cur) && len(branch.kleene[pm.cur]) >= st.Comp.MinReps {
-						en.tryEmit(branch, branch, e, &res)
-					}
-				}
-			}
-		}
-
-		// Proceed: bind the next state.
-		if next < n && e.Type == en.m.States[next].Comp.Type {
-			if st.Comp.Kleene && len(pm.kleene[pm.cur]) < st.Comp.MinReps {
-				continue // Kleene minimum not reached yet
-			}
-			en.tryBind(pm, next, e, &res)
-		}
+	// Window expiry first: pop expired start groups off the ring front.
+	if en.useScan {
+		en.expireScan(e, w)
+	} else {
+		en.expireRing(e, w)
 	}
-	en.compact()
+
+	// Reactions: guards, Kleene takes, and proceeds — only for matches
+	// that can respond to e.Type. Branches created here are appended to
+	// buckets and not re-scanned for this event.
+	if en.useScan {
+		en.scanReact(e, &res)
+	} else {
+		en.indexReact(e, &res)
+	}
 
 	// Deferred negation: store the event as a witness for every guard of
 	// its type. Witness entries join the partial-match set.
 	if en.DeferredNegation {
-		for s := range en.m.States {
-			for gi := range en.m.States[s].Guards {
-				g := &en.m.States[s].Guards[gi]
-				if g.Comp.Type != e.Type {
-					continue
-				}
-				wpm := &PartialMatch{
-					id:        en.allocID(),
-					m:         en.m,
-					cur:       s,
-					singles:   make([]*event.Event, n),
-					kleene:    make([][]*event.Event, n),
-					startTime: e.Time,
-					startSeq:  e.Seq,
-					Class:     -1,
-					Slice:     -1,
-					witnessOf: g,
-				}
-				wpm.singles[s] = e
-				*w += en.costs.PerExtension
-				en.witnesses = append(en.witnesses, wpm)
-				en.register(wpm)
-			}
+		for _, spot := range en.witnessSpots[e.Type] {
+			wpm := en.alloc.get()
+			wpm.id = en.allocID()
+			wpm.m = en.m
+			wpm.cur = spot.state
+			wpm.startTime = e.Time
+			wpm.startSeq = e.Seq
+			wpm.witnessOf = spot.guard
+			wpm.singles[spot.state] = e
+			wpm.group = en.groupFor(e)
+			*w += en.costs.PerExtension
+			en.witnesses = append(en.witnesses, wpm)
+			en.register(wpm)
 		}
 	}
 
 	// Start a new run if the event can bind state 0.
 	first := &en.m.States[0]
 	if e.Type == first.Comp.Type {
-		pm := &PartialMatch{
-			id:        en.allocID(),
-			m:         en.m,
-			singles:   make([]*event.Event, n),
-			kleene:    make([][]*event.Event, n),
-			startTime: e.Time,
-			startSeq:  e.Seq,
-			Class:     -1,
-			Slice:     -1,
-		}
+		n := len(en.m.States)
+		pm := en.alloc.get()
+		pm.id = en.allocID()
+		pm.m = en.m
+		pm.startTime = e.Time
+		pm.startSeq = e.Seq
 		ok := false
 		if first.Comp.Kleene {
 			// First repetition: paired incremental predicates are vacuous,
 			// and bind predicates cannot anchor at a Kleene state.
-			ok = en.evalSet(first.Incremental, binding{pm: pm, current: e}, w)
+			en.b.pm, en.b.current = pm, e
+			ok = en.evalSet(first.IncrementalC, &en.b, w)
 			if ok {
-				pm.kleene[0] = []*event.Event{e}
+				pm.kleene[0] = en.alloc.seedRep(e)
 			}
 		} else {
 			pm.singles[0] = e
-			ok = en.evalSet(first.Bind, binding{pm: pm, current: e}, w)
+			en.b.pm, en.b.current = pm, e
+			ok = en.evalSet(first.BindC, &en.b, w)
 		}
-		if ok {
+		if !ok {
+			en.freeTemp(pm)
+		} else {
 			*w += en.costs.PerExtension
 			if n == 1 && !first.Comp.Kleene {
 				// Single-component pattern completes immediately.
 				en.stats.CreatedPMs++
 				en.tryEmit(pm, nil, e, &res)
+				en.freeTemp(pm)
 			} else {
+				pm.group = en.groupFor(e)
 				en.register(pm)
 				if n == 1 && first.Comp.Kleene && 1 >= first.Comp.MinReps {
 					en.tryEmit(pm, pm, e, &res)
@@ -211,16 +239,70 @@ func (en *Engine) Process(e *event.Event) Result {
 			}
 		}
 	}
+
+	en.compactIfDirty()
 	return res
+}
+
+// indexReact dispatches e to every partial match whose bucket entry says
+// it can react, in registration order.
+func (en *Engine) indexReact(e *event.Event, res *Result) {
+	b := en.index[e.Type]
+	if b == nil {
+		return
+	}
+	if b.dead > 32 && b.dead*2 > len(b.entries) {
+		en.compactBucket(b)
+	}
+	ents := b.entries
+	for i, n := 0, len(ents); i < n; i++ {
+		ent := &ents[i]
+		pm := ent.pm
+		if pm.gen != ent.gen || pm.dead {
+			continue
+		}
+		en.react(pm, ent.flags, e, res)
+	}
+}
+
+// react applies one match's reactions to e: eager guard kill, Kleene
+// take, then proceed — the same per-match order as the exhaustive scan.
+func (en *Engine) react(pm *PartialMatch, flags uint8, e *event.Event, res *Result) {
+	w := &res.Work
+	next := pm.cur + 1
+	if flags&reactGuard != 0 && en.checkGuards(pm, next, e, w) {
+		pm.dead = true
+		en.noteDead(pm)
+		en.stats.KilledByGuard++
+		return
+	}
+	if flags&reactTake != 0 {
+		st := &en.m.States[pm.cur]
+		en.b.pm, en.b.current = pm, e
+		if en.evalSet(st.IncrementalC, &en.b, w) {
+			branch := en.clonePM(pm)
+			branch.kleene[pm.cur] = appendRep(pm.kleene[pm.cur], e)
+			*w += en.costs.PerExtension
+			en.register(branch)
+			if en.m.Final(pm.cur) && len(branch.kleene[pm.cur]) >= st.Comp.MinReps {
+				en.tryEmit(branch, branch, e, res)
+			}
+		}
+	}
+	if flags&reactProceed != 0 {
+		en.tryBind(pm, next, e, res)
+	}
 }
 
 // checkGuards reports whether e violates a negation guard of state next.
 func (en *Engine) checkGuards(pm *PartialMatch, next int, e *event.Event, w *vclock.Cost) bool {
-	for _, g := range en.m.States[next].Guards {
+	for gi := range en.m.States[next].Guards {
+		g := &en.m.States[next].Guards[gi]
 		if g.Comp.Type != e.Type {
 			continue
 		}
-		if en.evalSet(g.Preds, binding{pm: pm, current: e}, w) {
+		en.b.pm, en.b.current = pm, e
+		if en.evalSet(g.PredsC, &en.b, w) {
 			return true
 		}
 	}
@@ -234,12 +316,13 @@ func (en *Engine) tryBind(pm *PartialMatch, next int, e *event.Event, res *Resul
 	if st.Comp.Kleene {
 		// First Kleene repetition of state next: incremental predicates
 		// pairing [i+1] with [i] are vacuous, lone [i] ones see e.
-		if !en.evalSet(st.Incremental, binding{pm: pm, current: e}, w) {
+		en.b.pm, en.b.current = pm, e
+		if !en.evalSet(st.IncrementalC, &en.b, w) {
 			return
 		}
-		branch := pm.clone(en.allocID())
+		branch := en.clonePM(pm)
 		branch.cur = next
-		branch.kleene[next] = []*event.Event{e}
+		branch.kleene[next] = en.alloc.seedRep(e)
 		*w += en.costs.PerExtension
 		en.register(branch)
 		if en.m.Final(next) && 1 >= st.Comp.MinReps {
@@ -247,20 +330,23 @@ func (en *Engine) tryBind(pm *PartialMatch, next int, e *event.Event, res *Resul
 		}
 		return
 	}
-	if !en.evalSet(st.Bind, provisionalBinding{binding: binding{pm: pm, current: e}, state: next, cand: e}, w) {
+	en.pb.binding.pm, en.pb.binding.current = pm, e
+	en.pb.state, en.pb.cand = next, e
+	if !en.evalSet(st.BindC, &en.pb, w) {
 		return
 	}
 	if en.m.Final(next) {
 		// Completing a non-Kleene final state emits without keeping a run;
 		// the match derives from the extended run pm.
-		branch := pm.clone(en.allocID())
+		branch := en.clonePM(pm)
 		branch.cur = next
 		branch.singles[next] = e
 		en.stats.CreatedPMs++
 		en.tryEmit(branch, pm, e, res)
+		en.freeTemp(branch)
 		return
 	}
-	branch := pm.clone(en.allocID())
+	branch := en.clonePM(pm)
 	branch.cur = next
 	branch.singles[next] = e
 	*w += en.costs.PerExtension
@@ -269,9 +355,11 @@ func (en *Engine) tryBind(pm *PartialMatch, next int, e *event.Event, res *Resul
 
 // tryEmit evaluates completion predicates and emits a match. source is
 // the registered partial match the completion derives from (nil for
-// single-event matches).
+// single-event matches); emitting pins it against recycling because it
+// escapes in Match.Source.
 func (en *Engine) tryEmit(pm *PartialMatch, source *PartialMatch, e *event.Event, res *Result) {
-	if !en.evalSet(en.m.Completion, binding{pm: pm}, &res.Work) {
+	en.b.pm, en.b.current = pm, nil
+	if !en.evalSet(en.m.CompletionC, &en.b, &res.Work) {
 		return
 	}
 	if en.DeferredNegation && en.violatedByWitness(pm, &res.Work) {
@@ -280,6 +368,9 @@ func (en *Engine) tryEmit(pm *PartialMatch, source *PartialMatch, e *event.Event
 	}
 	events := pm.Events()
 	res.Work += vclock.Cost(len(events)) * en.costs.PerMatchEvent
+	if source != nil {
+		source.pinned = true
+	}
 	res.Matches = append(res.Matches, Match{Events: events, Detected: e.Time, Source: source})
 	en.stats.Matches++
 }
@@ -305,7 +396,8 @@ func (en *Engine) violatedByWitness(pm *PartialMatch, w *vclock.Cost) bool {
 		if wt <= tPrev || wt >= tNext {
 			continue
 		}
-		if en.evalSet(wit.witnessOf.Preds, binding{pm: pm, current: wit.singles[s]}, w) {
+		en.b.pm, en.b.current = pm, wit.singles[s]
+		if en.evalSet(wit.witnessOf.PredsC, &en.b, w) {
 			return true
 		}
 	}
@@ -335,13 +427,13 @@ func lastTimeAt(pm *PartialMatch, s int) event.Time {
 	return 0
 }
 
-// evalSet evaluates a predicate conjunction; vacuous first-repetition
-// checks pass, any other error fails the conjunction.
-func (en *Engine) evalSet(preds []*query.Predicate, b query.Binding, w *vclock.Cost) bool {
-	for _, p := range preds {
+// evalSet evaluates a compiled predicate conjunction; vacuous
+// first-repetition checks pass, any other error fails the conjunction.
+func (en *Engine) evalSet(preds []query.CompiledPredicate, b query.Binding, w *vclock.Cost) bool {
+	for i := range preds {
 		*w += en.costs.PerPredicate
 		en.stats.PredEvals++
-		ok, err := query.EvalPredicate(p, b)
+		ok, err := preds[i].Eval(b)
 		if err != nil {
 			if query.IsVacuous(err) {
 				continue
@@ -355,16 +447,6 @@ func (en *Engine) evalSet(preds []*query.Predicate, b query.Binding, w *vclock.C
 	return true
 }
 
-func expired(window query.Window, pm *PartialMatch, e *event.Event) bool {
-	if window.Duration > 0 && e.Time-pm.startTime > window.Duration {
-		return true
-	}
-	if window.Count > 0 && e.Seq-pm.startSeq >= uint64(window.Count) {
-		return true
-	}
-	return false
-}
-
 func (en *Engine) allocID() uint64 {
 	en.nextID++
 	return en.nextID
@@ -373,24 +455,24 @@ func (en *Engine) allocID() uint64 {
 func (en *Engine) register(pm *PartialMatch) {
 	en.stats.CreatedPMs++
 	en.pms = append(en.pms, pm)
+	en.live++
+	if pm.group != nil {
+		pm.group.members = append(pm.group.members, groupMember{pm: pm, gen: pm.gen})
+	}
+	if pm.witnessOf == nil && !en.useScan {
+		en.indexPM(pm)
+	}
 	if en.OnCreate != nil {
+		en.pool = false
 		en.OnCreate(pm)
 	}
 }
 
-// compact removes dead partial matches (and witnesses) in place.
-func (en *Engine) compact() {
-	live := en.pms[:0]
-	for _, pm := range en.pms {
-		if !pm.dead {
-			live = append(live, pm)
-		}
-	}
-	for i := len(live); i < len(en.pms); i++ {
-		en.pms[i] = nil
-	}
-	en.pms = live
-	if len(en.witnesses) > 0 {
+// compactIfDirty removes dead partial matches (and witnesses) in place,
+// recycling objects nothing references anymore. The sweeps are skipped
+// entirely when nothing died since the last compaction.
+func (en *Engine) compactIfDirty() {
+	if en.deadWitnesses > 0 {
 		liveW := en.witnesses[:0]
 		for _, wpm := range en.witnesses {
 			if !wpm.dead {
@@ -401,30 +483,84 @@ func (en *Engine) compact() {
 			en.witnesses[i] = nil
 		}
 		en.witnesses = liveW
+		en.deadWitnesses = 0
+	}
+	if en.deadPMs > 0 {
+		live := en.pms[:0]
+		for _, pm := range en.pms {
+			if pm.dead {
+				en.tryRelease(pm)
+				continue
+			}
+			live = append(live, pm)
+		}
+		for i := len(live); i < len(en.pms); i++ {
+			en.pms[i] = nil
+		}
+		en.pms = live
+		en.deadPMs = 0
+	}
+	// Safety valve: buckets for types the stream stopped producing keep
+	// dead entries forever otherwise.
+	if en.indexDead > 1024 && en.indexDead > 2*en.live {
+		for _, b := range en.index {
+			if b.dead > 0 {
+				en.compactBucket(b)
+			}
+		}
 	}
 }
 
 // DropIf removes every live partial match for which shed returns true
 // (state-based shedding, ρS) and returns the number removed along with
-// the virtual cost of the removal.
+// the virtual cost of the removal: one PerScan per live match inspected
+// plus one PerDrop per match removed.
 func (en *Engine) DropIf(shed func(*PartialMatch) bool) (int, vclock.Cost) {
-	n := 0
+	n, scanned := 0, 0
 	for _, pm := range en.pms {
-		if !pm.dead && shed(pm) {
+		if pm.dead {
+			continue
+		}
+		scanned++
+		if shed(pm) {
 			pm.dead = true
+			en.noteDead(pm)
 			n++
 		}
 	}
 	if n > 0 {
-		en.compact()
 		en.stats.DroppedPMs += uint64(n)
+		en.compactIfDirty()
 	}
-	return n, vclock.Cost(n) * en.costs.PerDrop
+	return n, vclock.Cost(scanned)*en.costs.PerScan + vclock.Cost(n)*en.costs.PerDrop
 }
 
 // Flush expires all remaining partial matches (end of stream).
 func (en *Engine) Flush() {
 	en.stats.ExpiredPMs += uint64(len(en.pms))
+	for _, pm := range en.pms {
+		if !pm.dead {
+			pm.dead = true
+		}
+	}
+	for _, pm := range en.pms {
+		en.tryRelease(pm)
+	}
 	en.pms = nil
 	en.witnesses = nil
+	en.live, en.deadPMs, en.deadWitnesses = 0, 0, 0
+	for _, b := range en.index {
+		for i := range b.entries {
+			b.entries[i] = indexEntry{}
+		}
+		b.entries = b.entries[:0]
+		b.dead = 0
+	}
+	en.indexDead = 0
+	for en.ring.front() != nil {
+		g := en.ring.front()
+		en.ring.pop()
+		en.freeGroup(g)
+	}
+	en.ring.reset()
 }

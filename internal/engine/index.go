@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"cepshed/internal/event"
+	"cepshed/internal/query"
+	"cepshed/internal/vclock"
+)
+
+// This file implements the type-indexed partial-match store and the
+// start-ordered expiry ring. Both rest on one structural invariant of
+// the engine: a registered partial match is immutable except for its
+// dead flag (extension always branches), so the set of event types it
+// can react to — and its window-start coordinates — are fixed at
+// registration time.
+
+// Reaction flags: what a partial match does when an event of the
+// indexed type arrives.
+const (
+	reactGuard   uint8 = 1 << iota // eager negation guard at the next state
+	reactTake                      // Kleene take at the current state
+	reactProceed                   // bind the next state
+)
+
+// indexEntry is one bucket slot. gen snapshots the match's recycle
+// generation so entries pointing at a reused object are skipped.
+type indexEntry struct {
+	pm    *PartialMatch
+	gen   uint32
+	flags uint8
+}
+
+// typeBucket holds, in registration order, every live match that can
+// react to one event type. dead counts entries whose match has died
+// (compacted lazily).
+type typeBucket struct {
+	entries []indexEntry
+	dead    int
+}
+
+// stateReact is the per-state reaction descriptor computed at New: which
+// event types a match resting in this state responds to. The dynamic
+// parts (repetition count vs Min/MaxReps) are evaluated per match at
+// registration.
+type stateReact struct {
+	takeType string // non-empty iff the state is Kleene
+	minReps  int
+	maxReps  int
+
+	proceedType string   // type of the next state ("" at the final state)
+	guardTypes  []string // types guarding the gap to the next state
+}
+
+// typeFlag pairs an event type with merged reaction flags.
+type typeFlag struct {
+	t string
+	f uint8
+}
+
+// reactionsOf returns the (type, flags) pairs match pm reacts to,
+// deduplicated by type. The result aliases en.reactBuf and is valid
+// until the next call.
+func (en *Engine) reactionsOf(pm *PartialMatch) []typeFlag {
+	buf := en.reactBuf[:0]
+	d := &en.reacts[pm.cur]
+	if !en.DeferredNegation {
+		for _, t := range d.guardTypes {
+			buf = addTypeFlag(buf, t, reactGuard)
+		}
+	}
+	if d.takeType != "" && (d.maxReps == 0 || len(pm.kleene[pm.cur]) < d.maxReps) {
+		buf = addTypeFlag(buf, d.takeType, reactTake)
+	}
+	if d.proceedType != "" && (d.takeType == "" || len(pm.kleene[pm.cur]) >= d.minReps) {
+		buf = addTypeFlag(buf, d.proceedType, reactProceed)
+	}
+	en.reactBuf = buf
+	return buf
+}
+
+func addTypeFlag(buf []typeFlag, t string, f uint8) []typeFlag {
+	for i := range buf {
+		if buf[i].t == t {
+			buf[i].f |= f
+			return buf
+		}
+	}
+	return append(buf, typeFlag{t: t, f: f})
+}
+
+// indexPM adds a freshly registered match to the buckets of every type
+// it reacts to. Bucket order is registration order, which preserves the
+// exhaustive scan's reaction (and therefore match emission) order.
+func (en *Engine) indexPM(pm *PartialMatch) {
+	for _, tf := range en.reactionsOf(pm) {
+		b := en.index[tf.t]
+		if b == nil {
+			b = &typeBucket{}
+			en.index[tf.t] = b
+		}
+		b.entries = append(b.entries, indexEntry{pm: pm, gen: pm.gen, flags: tf.f})
+	}
+}
+
+// noteDead records a match's death for lazy cleanup: live counter, sweep
+// counters, and the dead tallies of every bucket holding it.
+func (en *Engine) noteDead(pm *PartialMatch) {
+	en.live--
+	en.deadPMs++
+	if pm.witnessOf != nil {
+		en.deadWitnesses++
+		return
+	}
+	if en.useScan {
+		return
+	}
+	for _, tf := range en.reactionsOf(pm) {
+		if b := en.index[tf.t]; b != nil {
+			b.dead++
+			en.indexDead++
+		}
+	}
+}
+
+// compactBucket drops dead and stale entries in place.
+func (en *Engine) compactBucket(b *typeBucket) {
+	live := b.entries[:0]
+	for _, ent := range b.entries {
+		if ent.pm.gen == ent.gen && !ent.pm.dead {
+			live = append(live, ent)
+		}
+	}
+	for i := len(live); i < len(b.entries); i++ {
+		b.entries[i] = indexEntry{}
+	}
+	b.entries = live
+	en.indexDead -= b.dead
+	b.dead = 0
+}
+
+// startGroup collects every match (and witness) whose run started at one
+// stream position. Window expiry — by duration or by count — is a
+// monotone predicate of (startTime, startSeq), and groups are created in
+// stream order, so the ring expires strictly from the front.
+type startGroup struct {
+	startTime event.Time
+	startSeq  uint64
+	members   []groupMember
+}
+
+type groupMember struct {
+	pm  *PartialMatch
+	gen uint32
+}
+
+// expiryRing is a deque of start groups ordered by stream position.
+type expiryRing struct {
+	groups []*startGroup
+	head   int
+}
+
+func (r *expiryRing) front() *startGroup {
+	if r.head < len(r.groups) {
+		return r.groups[r.head]
+	}
+	return nil
+}
+
+func (r *expiryRing) back() *startGroup {
+	if r.head < len(r.groups) {
+		return r.groups[len(r.groups)-1]
+	}
+	return nil
+}
+
+func (r *expiryRing) push(g *startGroup) { r.groups = append(r.groups, g) }
+
+func (r *expiryRing) pop() {
+	r.groups[r.head] = nil
+	r.head++
+	if r.head > 64 && r.head*2 >= len(r.groups) {
+		n := copy(r.groups, r.groups[r.head:])
+		for i := n; i < len(r.groups); i++ {
+			r.groups[i] = nil
+		}
+		r.groups = r.groups[:n]
+		r.head = 0
+	}
+}
+
+func (r *expiryRing) reset() {
+	r.groups = r.groups[:0]
+	r.head = 0
+}
+
+// groupFor returns the ring group for runs starting at e, reusing the
+// back group when e is the same stream position (several witnesses and a
+// run can start on one event).
+func (en *Engine) groupFor(e *event.Event) *startGroup {
+	if en.useScan {
+		return nil
+	}
+	if g := en.ring.back(); g != nil && g.startSeq == e.Seq && g.startTime == e.Time {
+		return g
+	}
+	g := en.newGroup()
+	g.startTime = e.Time
+	g.startSeq = e.Seq
+	en.ring.push(g)
+	return g
+}
+
+func (en *Engine) newGroup() *startGroup {
+	if k := len(en.groupPool) - 1; k >= 0 {
+		g := en.groupPool[k]
+		en.groupPool[k] = nil
+		en.groupPool = en.groupPool[:k]
+		return g
+	}
+	return &startGroup{}
+}
+
+func (en *Engine) freeGroup(g *startGroup) {
+	for i := range g.members {
+		g.members[i] = groupMember{}
+	}
+	g.members = g.members[:0]
+	en.groupPool = append(en.groupPool, g)
+}
+
+// expireRing pops expired start groups off the ring front, marking their
+// members dead. Because expiry is monotone in ring order, the first
+// non-expired group stops the walk — matches still inside their window
+// are never touched.
+func (en *Engine) expireRing(e *event.Event, w *vclock.Cost) {
+	window := en.m.Query.Window
+	for {
+		g := en.ring.front()
+		if g == nil || !expiredAt(window, g.startTime, g.startSeq, e) {
+			return
+		}
+		for _, mb := range g.members {
+			pm := mb.pm
+			if pm.gen != mb.gen || pm.dead {
+				continue
+			}
+			pm.dead = true
+			en.noteDead(pm)
+			en.stats.ExpiredPMs++
+			*w += en.costs.PerExpiry
+		}
+		en.ring.pop()
+		en.freeGroup(g)
+	}
+}
+
+func expiredAt(window query.Window, startTime event.Time, startSeq uint64, e *event.Event) bool {
+	if window.Duration > 0 && e.Time-startTime > window.Duration {
+		return true
+	}
+	if window.Count > 0 && e.Seq-startSeq >= uint64(window.Count) {
+		return true
+	}
+	return false
+}

@@ -37,6 +37,23 @@ type PartialMatch struct {
 	witnessOf *nfa.Guard
 
 	dead bool
+
+	// Pool/slab lifecycle state (see docs/PERFORMANCE.md). gen is bumped
+	// every time the object is recycled, so stale type-index and expiry-
+	// ring entries referencing a reused object can be detected and
+	// skipped. children counts live branches derived from this match (the
+	// cost model walks Parent chains, so a parent may be reclaimed only
+	// after all descendants are). pinned marks matches that escaped as
+	// Match.Source and must never be recycled. pooled guards against
+	// double-release.
+	gen      uint32
+	children int32
+	pinned   bool
+	pooled   bool
+
+	// group is the expiry-ring start group this match belongs to (nil in
+	// the reference scan engine).
+	group *startGroup
 }
 
 // IsWitness reports whether this entry is a negation witness rather than
@@ -126,82 +143,62 @@ func (pm *PartialMatch) String() string {
 	return b.String()
 }
 
-// clone branches the partial match for skip-till-any-match extension.
-func (pm *PartialMatch) clone(id uint64) *PartialMatch {
-	c := &PartialMatch{
-		id:        id,
-		parent:    pm,
-		m:         pm.m,
-		cur:       pm.cur,
-		singles:   make([]*event.Event, len(pm.singles)),
-		kleene:    make([][]*event.Event, len(pm.kleene)),
-		startTime: pm.startTime,
-		startSeq:  pm.startSeq,
-		Class:     -1,
-		Slice:     -1,
-	}
-	copy(c.singles, pm.singles)
-	for s, reps := range pm.kleene {
-		if len(reps) > 0 {
-			c.kleene[s] = append([]*event.Event(nil), reps...)
-		}
-	}
-	return c
-}
-
 // binding adapts a partial match (plus the candidate event under
 // examination) to query.Binding. Positions are original pattern
-// positions; states are positive-only indices.
+// positions; states are positive-only indices. Methods use pointer
+// receivers so the engine can pass a preallocated scratch binding
+// through the query.Binding interface without a per-evaluation heap
+// allocation.
 type binding struct {
 	pm      *PartialMatch
 	current *event.Event
 }
 
-func (b binding) Single(pos int) *event.Event {
-	s, ok := posToState(b.pm.m, pos)
-	if !ok {
+func (b *binding) Single(pos int) *event.Event {
+	s := posToState(b.pm.m, pos)
+	if s < 0 {
 		return nil
 	}
 	return b.pm.singles[s]
 }
 
-func (b binding) Kleene(pos int) []*event.Event {
-	s, ok := posToState(b.pm.m, pos)
-	if !ok {
+func (b *binding) Kleene(pos int) []*event.Event {
+	s := posToState(b.pm.m, pos)
+	if s < 0 {
 		return nil
 	}
 	return b.pm.kleene[s]
 }
 
-func (b binding) Current() *event.Event { return b.current }
+func (b *binding) Current() *event.Event { return b.current }
 
-func posToState(m *nfa.Machine, pos int) (int, bool) {
-	for s := range m.States {
-		if m.States[s].Comp.Pos == pos {
-			return s, true
-		}
+// posToState maps a pattern position to its automaton state via the
+// table built at compile time (-1 for negated or unknown positions).
+func posToState(m *nfa.Machine, pos int) int {
+	if pos < 0 || pos >= len(m.PosState) {
+		return -1
 	}
-	return 0, false
+	return m.PosState[pos]
 }
 
-// bindingWith returns a binding where, additionally, the candidate event
-// is provisionally visible as the binding of state s. Used to evaluate
-// bind predicates before committing a branch.
+// provisionalBinding is a binding where, additionally, the candidate
+// event is provisionally visible as the binding of state s. Used to
+// evaluate bind predicates before committing a branch.
 type provisionalBinding struct {
 	binding
 	state int
 	cand  *event.Event
 }
 
-func (b provisionalBinding) Single(pos int) *event.Event {
-	if s, ok := posToState(b.pm.m, pos); ok && s == b.state {
+func (b *provisionalBinding) Single(pos int) *event.Event {
+	if s := posToState(b.pm.m, pos); s >= 0 && s == b.state {
 		return b.cand
 	}
 	return b.binding.Single(pos)
 }
 
-func (b provisionalBinding) Kleene(pos int) []*event.Event {
-	if s, ok := posToState(b.pm.m, pos); ok && s == b.state && !b.pm.m.States[s].Comp.Kleene {
+func (b *provisionalBinding) Kleene(pos int) []*event.Event {
+	if s := posToState(b.pm.m, pos); s >= 0 && s == b.state && !b.pm.m.States[s].Comp.Kleene {
 		return nil
 	}
 	return b.binding.Kleene(pos)

@@ -1,0 +1,163 @@
+package engine
+
+import "cepshed/internal/event"
+
+// This file implements slab allocation and pooling for partial matches.
+// PartialMatch structs and their per-state singles/kleene backing arrays
+// are carved out of batch-allocated slabs (one allocation amortized over
+// slabPMs matches), and dead matches are recycled through a free list so
+// the steady-state branch path allocates nothing.
+//
+// Recycling is only safe while nobody outside the engine can retain a
+// match pointer. Two escape hatches disable or bypass it:
+//
+//   - OnCreate: shedding strategies and the cost model keep PartialMatch
+//     pointers across events (class sets, Γ bookkeeping). The first
+//     Process or register that observes OnCreate != nil permanently
+//     disables recycling for the engine (slab allocation stays on).
+//   - Match.Source: an emitted match escapes to the caller holding its
+//     source run; the source is pinned and its ancestor chain is kept
+//     alive through the children refcount, because the cost model walks
+//     Parent chains of emitted matches.
+
+const slabPMs = 64
+
+// pmAlloc hands out PartialMatch objects backed by slabs.
+type pmAlloc struct {
+	n    int // automaton states per match
+	free []*PartialMatch
+
+	pmSlab     []PartialMatch
+	singleSlab []*event.Event
+	kleeneSlab [][]*event.Event
+	seedSlab   []*event.Event
+}
+
+func (a *pmAlloc) init(n int) { a.n = n }
+
+// get returns a zeroed match (gen preserved across recycles).
+func (a *pmAlloc) get() *PartialMatch {
+	if k := len(a.free) - 1; k >= 0 {
+		pm := a.free[k]
+		a.free[k] = nil
+		a.free = a.free[:k]
+		pm.pooled = false
+		pm.dead = false
+		pm.Class, pm.Slice = -1, -1
+		return pm
+	}
+	if len(a.pmSlab) == 0 {
+		a.pmSlab = make([]PartialMatch, slabPMs)
+	}
+	pm := &a.pmSlab[0]
+	a.pmSlab = a.pmSlab[1:]
+	n := a.n
+	if len(a.singleSlab) < n {
+		a.singleSlab = make([]*event.Event, n*slabPMs)
+	}
+	pm.singles, a.singleSlab = a.singleSlab[:n:n], a.singleSlab[n:]
+	if len(a.kleeneSlab) < n {
+		a.kleeneSlab = make([][]*event.Event, n*slabPMs)
+	}
+	pm.kleene, a.kleeneSlab = a.kleeneSlab[:n:n], a.kleeneSlab[n:]
+	pm.Class, pm.Slice = -1, -1
+	return pm
+}
+
+// put recycles a match. The caller guarantees no live reference remains.
+func (a *pmAlloc) put(pm *PartialMatch) {
+	for i := range pm.singles {
+		pm.singles[i] = nil
+	}
+	for i := range pm.kleene {
+		pm.kleene[i] = nil
+	}
+	pm.parent = nil
+	pm.group = nil
+	pm.witnessOf = nil
+	pm.id = 0
+	pm.cur = 0
+	pm.startTime = 0
+	pm.startSeq = 0
+	pm.children = 0
+	pm.pinned = false
+	pm.gen++
+	pm.pooled = true
+	a.free = append(a.free, pm)
+}
+
+// seedRep carves a one-element repetition slice (capacity clamped to 1 so
+// branch appends always reallocate — the copy-on-write invariant).
+func (a *pmAlloc) seedRep(e *event.Event) []*event.Event {
+	if len(a.seedSlab) == 0 {
+		a.seedSlab = make([]*event.Event, 4*slabPMs)
+	}
+	s := a.seedSlab[:1:1]
+	a.seedSlab = a.seedSlab[1:]
+	s[0] = e
+	return s
+}
+
+// appendRep returns reps + e in a fresh exactly-sized slice. Repetition
+// slices are shared copy-on-write between branches, so extension must
+// never write into the shared backing array.
+func appendRep(reps []*event.Event, e *event.Event) []*event.Event {
+	out := make([]*event.Event, len(reps)+1)
+	copy(out, reps)
+	out[len(reps)] = e
+	return out[: len(reps)+1 : len(reps)+1]
+}
+
+// clonePM branches pm for skip-till-any-match extension. Kleene
+// repetition slices are shared copy-on-write (capacity-clamped so any
+// append by either branch reallocates).
+func (en *Engine) clonePM(pm *PartialMatch) *PartialMatch {
+	c := en.alloc.get()
+	c.id = en.allocID()
+	c.parent = pm
+	pm.children++
+	c.m = pm.m
+	c.cur = pm.cur
+	c.startTime = pm.startTime
+	c.startSeq = pm.startSeq
+	c.group = pm.group
+	copy(c.singles, pm.singles)
+	for s, reps := range pm.kleene {
+		if n := len(reps); n > 0 {
+			c.kleene[s] = reps[:n:n]
+		}
+	}
+	return c
+}
+
+// freeTemp releases an unregistered temporary branch (failed start-run
+// binding, or the throwaway branch built to emit a final non-Kleene
+// completion).
+func (en *Engine) freeTemp(pm *PartialMatch) {
+	if !en.pool || pm.pinned {
+		return
+	}
+	parent := pm.parent
+	en.alloc.put(pm)
+	if parent != nil {
+		parent.children--
+		en.tryRelease(parent)
+	}
+}
+
+// tryRelease recycles a dead match once nothing references it anymore,
+// cascading up the parent chain as refcounts drain.
+func (en *Engine) tryRelease(pm *PartialMatch) {
+	if !en.pool {
+		return
+	}
+	for pm != nil && pm.dead && !pm.pooled && !pm.pinned && pm.children == 0 {
+		parent := pm.parent
+		en.alloc.put(pm)
+		if parent == nil {
+			return
+		}
+		parent.children--
+		pm = parent
+	}
+}

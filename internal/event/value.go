@@ -90,13 +90,22 @@ func (v Value) AsInt() int64 {
 // numeric value regardless of int/float representation; strings compare
 // byte-wise; values of incomparable kinds are unequal.
 func (v Value) Equal(o Value) bool {
+	if v.Kind == o.Kind {
+		switch v.Kind {
+		case KindInt:
+			return v.I == o.I
+		case KindFloat:
+			return v.F == o.F
+		case KindString:
+			return v.S == o.S
+		default:
+			return true // both absent
+		}
+	}
 	if v.IsNumeric() && o.IsNumeric() {
 		return v.AsFloat() == o.AsFloat()
 	}
-	if v.Kind == KindString && o.Kind == KindString {
-		return v.S == o.S
-	}
-	return v.Kind == KindNone && o.Kind == KindNone
+	return false
 }
 
 // Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.

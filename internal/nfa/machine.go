@@ -20,6 +20,12 @@ type Machine struct {
 	States []State
 	// Completion holds predicates checked when a full match is emitted.
 	Completion []*query.Predicate
+	// CompletionC is Completion compiled into closure chains.
+	CompletionC []query.CompiledPredicate
+	// PosState maps a pattern position (Component.Pos) to its automaton
+	// state index, or -1 for negated components. It replaces the linear
+	// position scan on every field-reference resolution in the hot path.
+	PosState []int
 }
 
 // State is one automaton state.
@@ -37,30 +43,45 @@ type State struct {
 	// match waits to bind this state; a guard-satisfying event kills the
 	// match.
 	Guards []Guard
+
+	// BindC and IncrementalC are the compiled forms of Bind and
+	// Incremental (built once at Compile time; the engine evaluates only
+	// these).
+	BindC        []query.CompiledPredicate
+	IncrementalC []query.CompiledPredicate
 }
 
 // Guard is a negation guard.
 type Guard struct {
 	Comp  *query.Component
 	Preds []*query.Predicate
+	// PredsC is the compiled form of Preds.
+	PredsC []query.CompiledPredicate
 }
 
 // Compile builds the machine for q.
 func Compile(q *query.Query) (*Machine, error) {
 	m := &Machine{Query: q, Completion: q.CompletionPredicates()}
+	m.CompletionC = query.CompilePredicates(m.Completion)
+	m.PosState = make([]int, len(q.Pattern))
 	var pending []Guard
 	for i := range q.Pattern {
 		c := &q.Pattern[i]
 		if c.Negated {
-			pending = append(pending, Guard{Comp: c, Preds: q.NegationPredicates(c.Pos)})
+			m.PosState[c.Pos] = -1
+			preds := q.NegationPredicates(c.Pos)
+			pending = append(pending, Guard{Comp: c, Preds: preds, PredsC: query.CompilePredicates(preds)})
 			continue
 		}
 		bind, inc := q.PredicatesAt(c.Pos)
+		m.PosState[c.Pos] = len(m.States)
 		m.States = append(m.States, State{
-			Comp:        c,
-			Bind:        bind,
-			Incremental: inc,
-			Guards:      pending,
+			Comp:         c,
+			Bind:         bind,
+			Incremental:  inc,
+			Guards:       pending,
+			BindC:        query.CompilePredicates(bind),
+			IncrementalC: query.CompilePredicates(inc),
 		})
 		pending = nil
 	}

@@ -81,15 +81,38 @@ func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *m
 	return s
 }
 
+// statsSyncBatch bounds how many drained events may share one snapshot
+// sync: the engine-stats copy and atomic stores run once per batch (or
+// as soon as the queue goes idle) instead of once per event.
+const statsSyncBatch = 64
+
 // run is the unsupervised worker loop (Config.DisableRecovery): it exits
 // when the input channel closes, after flushing the engine's remaining
-// state, and a panic propagates and kills the process.
+// state, and a panic propagates and kills the process. The queue is
+// drained in batches: snapshot counters sync at batch boundaries and
+// whenever the queue is momentarily empty, so an idle shard is always
+// up to date while a saturated shard pays the sync once per
+// statsSyncBatch events.
 func (s *shard) run() {
 	w := s.cfg.SmoothWeight
+	batched := 0
 	for it := range s.ch {
 		s.process(it, w)
+		if batched++; batched >= statsSyncBatch || len(s.ch) == 0 {
+			s.syncEngineStats()
+			batched = 0
+		}
 	}
 	s.finish()
+}
+
+// syncEngineStats publishes the worker-owned engine counters to the
+// atomics Snapshot reads.
+func (s *shard) syncEngineStats() {
+	st := s.en.Stats()
+	s.livePMs.Store(int64(s.en.LiveCount()))
+	s.createdPMs.Store(s.pmCreatedBase + st.CreatedPMs)
+	s.droppedPMs.Store(s.pmDroppedBase + st.DroppedPMs)
 }
 
 // process handles one dequeued event: ρI admission, the fault hook, the
@@ -132,17 +155,12 @@ func (s *shard) process(it item, w float64) {
 
 	lat := s.record(time.Since(it.enq), w)
 	s.strat.Control(e.Time, lat)
-
-	st := s.en.Stats()
-	s.livePMs.Store(int64(s.en.LiveCount()))
-	s.createdPMs.Store(s.pmCreatedBase + st.CreatedPMs)
-	s.droppedPMs.Store(s.pmDroppedBase + st.DroppedPMs)
 }
 
 // finish flushes the engine after a clean drain (input channel closed).
 func (s *shard) finish() {
 	s.en.Flush()
-	s.livePMs.Store(0)
+	s.syncEngineStats()
 }
 
 // record adds one wall-clock latency sample to the histograms and the

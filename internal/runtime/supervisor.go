@@ -186,9 +186,14 @@ func (s *shard) runOnce() (pv any, poison item, clean bool) {
 		}
 	}()
 	w := s.cfg.SmoothWeight
+	batched := 0
 	for it := range s.ch {
 		cur = it
 		s.process(it, w)
+		if batched++; batched >= statsSyncBatch || len(s.ch) == 0 {
+			s.syncEngineStats()
+			batched = 0
+		}
 	}
 	return nil, item{}, true
 }
