@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-runtime bench-baseline bench-compare chaos fuzz-seeds fuzz
+.PHONY: check vet build test race bench bench-runtime bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke
 
-check: vet build race fuzz-seeds bench-compare
+check: vet build race fuzz-seeds chaos recover-smoke bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -20,18 +20,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The chaos suite (docs/ROBUSTNESS.md): supervisor recovery, circuit
-# breaker failover, degradation ladder, corrupt-input, and concurrent
+# The chaos suite (docs/ROBUSTNESS.md + docs/DURABILITY.md): supervisor
+# recovery, circuit breaker failover, degradation ladder, corrupt-input,
+# crash-recovery differential, kill-during-snapshot, and concurrent
 # fault-injection tests, always under the race detector.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Supervisor|CircuitBreaker|AllShardsFailed|DeadLetter|Rebuild|Degradation|Ladder|Admission|LineDecoder|Panic|Switchable|Chain|Corrupter|Stall|Healthz|Ingest' \
-		./internal/runtime ./internal/fault ./internal/shed ./cmd/cepserved
+		-run 'Chaos|Supervisor|CircuitBreaker|AllShardsFailed|DeadLetter|Rebuild|Degradation|Ladder|Admission|LineDecoder|Panic|Switchable|Chain|Corrupter|Stall|Healthz|Ingest|Recover|Recovery|Snapshot|Durab|WAL|Checkpoint|Torn|Monotone|FailStage' \
+		./internal/runtime ./internal/fault ./internal/shed ./internal/checkpoint ./cmd/cepserved
+
+# End-to-end durability drill: run the real server, SIGKILL it
+# mid-stream, restart against the same -state-dir, and require recovery
+# instead of a cold start (see TestRecoverSmoke).
+recover-smoke:
+	$(GO) test -count=1 -run RecoverSmoke ./cmd/cepserved
 
 # Replay the checked-in fuzz corpora (seeds plus any minimized crashers)
 # as a plain regression suite; part of `make check`.
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/runtime ./internal/query ./internal/csvio
+	$(GO) test -run 'Fuzz' ./internal/runtime ./internal/query ./internal/csvio ./internal/checkpoint
 
 # Explore new inputs. Crashers land in testdata/fuzz/ — check them in.
 FUZZTIME ?= 30s

@@ -23,6 +23,14 @@
 // connections, drains every shard queue (emitting the final matches
 // those events complete), and prints the final snapshot to stdout.
 //
+// With -state-dir the runtime checkpoints every shard's state (live
+// partial matches, counters, strategy state) and write-ahead-logs the
+// events in between, so a crash or restart resumes from the last good
+// snapshot plus the WAL tail instead of losing every open window; a
+// graceful SIGTERM drain ends with a final snapshot, so a clean restart
+// replays nothing. During boot recovery /healthz reports "recovering"
+// and /ingest answers 503. See docs/DURABILITY.md.
+//
 // The server is hardened against misbehaving clients: HTTP requests are
 // bounded by header/read/idle timeouts, TCP ingest connections carry a
 // per-read idle deadline so a stalled producer cannot hold a goroutine
@@ -51,6 +59,7 @@ import (
 	"time"
 
 	"cepshed/internal/baseline"
+	"cepshed/internal/checkpoint"
 	"cepshed/internal/citibike"
 	"cepshed/internal/core"
 	"cepshed/internal/engine"
@@ -82,6 +91,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		emit      = flag.Bool("print-matches", false, "write detected matches as NDJSON to stdout")
 		noRecover = flag.Bool("no-recover", false, "disable the shard supervisor (panics crash the process; for debugging)")
+		stateDir  = flag.String("state-dir", "", "directory for per-shard checkpoints and WALs (empty: no durability; see docs/DURABILITY.md)")
+		ckptEvery = flag.Int("checkpoint-every", 4096, "events between per-shard snapshots")
+		walFlush  = flag.Int("wal-flush", 64, "events between WAL flushes; 1 flushes every event (crash loses at most this many events per shard)")
+		walFsync  = flag.Bool("wal-fsync", false, "fsync WAL flushes and snapshots (survives machine crashes, not just process crashes)")
 	)
 	flag.Parse()
 
@@ -121,6 +134,14 @@ func main() {
 		DisableRecovery: *noRecover,
 		Logf:            log.Printf,
 	}
+	if *stateDir != "" {
+		cfg.Durability = &checkpoint.Config{
+			Dir:         *stateDir,
+			EveryEvents: *ckptEvery,
+			FlushEvery:  *walFlush,
+			Fsync:       *walFsync,
+		}
+	}
 	var emitMu sync.Mutex
 	if *emit {
 		out := bufio.NewWriter(os.Stdout)
@@ -147,21 +168,44 @@ func main() {
 
 	// A slow or malicious HTTP client must not hold a connection open
 	// indefinitely: headers get a short deadline, a whole request body a
-	// longer one, and keep-alive connections an idle cap.
+	// longer one, and keep-alive connections an idle cap. The listener is
+	// opened explicitly so ":0" works and the log line carries the real
+	// address (the smoke test depends on both).
 	httpSrv := &http.Server{
-		Addr:              *listen,
 		Handler:           srv.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       *httpRead,
 		IdleTimeout:       2 * time.Minute,
 	}
+	httpLn, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("cepserved: http listen: %v", err)
+	}
+	log.Printf("cepserved: HTTP on %s (query: %s, shards=%d, strategy=%s, bound=%s)",
+		httpLn.Addr(), q, *shards, *strategy, bound)
 	go func() {
-		log.Printf("cepserved: HTTP on %s (query: %s, shards=%d, strategy=%s, bound=%s)",
-			*listen, q, *shards, *strategy, bound)
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		if err := httpSrv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("cepserved: http: %v", err)
 		}
 	}()
+
+	// Recovery gate: the HTTP endpoints are already up (so /healthz says
+	// "recovering" and /ingest answers 503), but no new input flows until
+	// every shard has restored its snapshot and replayed its WAL tail.
+	rt.WaitRecovered()
+	if cfg.Durability != nil {
+		info := rt.RecoveryInfo()
+		if info.MaxSeq > 0 || info.WALReplayed > 0 {
+			// Resume numbering and time above everything already durable, and
+			// make dataset replay skip the prefix the store already has.
+			srv.seq.Store(info.MaxSeq + 1)
+			srv.lastT.Store(info.MaxTime)
+			srv.replayFloor.Store(info.MaxSeq + 1)
+			log.Printf("cepserved: recovered state up to seq=%d (wal_replayed=%d cold_starts=%d)",
+				info.MaxSeq, info.WALReplayed, info.ColdStarts)
+		}
+	}
+	srv.ready.Store(true)
 
 	var tcpLn net.Listener
 	if *tcpAddr != "" {
@@ -222,6 +266,13 @@ type server struct {
 	badLine atomic.Uint64
 	stalled atomic.Uint64 // TCP connections closed by the idle deadline
 
+	// ready flips once boot recovery finishes; until then /ingest answers
+	// 503 and /healthz reports "recovering". replayFloor is the first
+	// sequence number dataset replay still owes — everything below it was
+	// recovered from the checkpoint store.
+	ready       atomic.Bool
+	replayFloor atomic.Uint64
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 }
@@ -255,13 +306,21 @@ func (s *server) submit(e *event.Event, hasTime bool) bool {
 // blocking on backpressure when the shards cannot keep up.
 func (s *server) replay(ctx context.Context, work event.Stream, rate float64) int {
 	start := time.Now()
+	floor := s.replayFloor.Swap(0) // resume floor applies to one pass only
 	n := 0
-	for i, e := range work {
+	for _, e := range work {
 		if ctx.Err() != nil {
 			return n
 		}
+		if e.Seq < floor {
+			// Already recovered from the checkpoint store; re-offering it
+			// would double-process the prefix the WAL replay just rebuilt.
+			continue
+		}
 		if rate > 0 {
-			due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			// Pace by offered count, not stream index, so a resumed pass
+			// does not burst through the skipped prefix's time budget.
+			due := start.Add(time.Duration(float64(n) / rate * float64(time.Second)))
 			if d := time.Until(due); d > 0 {
 				select {
 				case <-time.After(d):
@@ -304,6 +363,11 @@ func (s *server) mux() *http.ServeMux {
 		writePrometheus(w, s.rt.Snapshot())
 	})
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
 		if s.closing.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
@@ -333,6 +397,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.closing.Load():
 		status, code = "draining", http.StatusServiceUnavailable
+	case !s.ready.Load() || snap.Recovering:
+		status, code = "recovering", http.StatusServiceUnavailable
 	case snap.FailedShards >= len(snap.Shards):
 		status, code = "failed", http.StatusServiceUnavailable
 	case snap.DegradationLevel >= runtime.LevelReject:
@@ -497,6 +563,14 @@ func writePrometheus(w io.Writer, snap runtime.Snapshot) {
 		func(ss runtime.ShardSnapshot) uint64 { return ss.Restarts })
 	counter("shard_quarantined_total", "Events quarantined to the dead-letter queue by this shard.",
 		func(ss runtime.ShardSnapshot) uint64 { return ss.Quarantined })
+	counter("snapshots_total", "Checkpoint snapshots taken by the shard.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.Snapshots })
+	counter("wal_replayed_total", "Events replayed from the WAL during recovery.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.WALReplayed })
+	counter("recovery_cold_starts_total", "Recoveries that fell back to an empty engine.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.ColdStarts })
+	gauge("snapshot_bytes", "Size of the shard's last checkpoint snapshot.",
+		func(ss runtime.ShardSnapshot) float64 { return float64(ss.SnapshotBytes) })
 	gauge("queue_depth", "Events waiting in the shard queue.",
 		func(ss runtime.ShardSnapshot) float64 { return float64(ss.QueueDepth) })
 	gauge("live_partial_matches", "Live partial matches in the shard engine.",
@@ -519,6 +593,19 @@ func writePrometheus(w io.Writer, snap runtime.Snapshot) {
 	p.SampleUint("cepshed_quarantined_total", snap.Quarantined)
 	p.Gauge("cepshed_failed_shards", "Shards marked permanently failed by the circuit breaker.")
 	p.Sample("cepshed_failed_shards", float64(snap.FailedShards))
+
+	p.Gauge("cepshed_recovering", "1 while any shard is restoring a snapshot or replaying its WAL.")
+	if snap.Recovering {
+		p.Sample("cepshed_recovering", 1)
+	} else {
+		p.Sample("cepshed_recovering", 0)
+	}
+	p.Gauge("cepshed_snapshot_age_seconds", "Age of the stalest shard checkpoint (0 until every durable shard has snapshotted).")
+	age := 0.0
+	if snap.OldestSnapshotUnixNs > 0 {
+		age = time.Since(time.Unix(0, snap.OldestSnapshotUnixNs)).Seconds()
+	}
+	p.Sample("cepshed_snapshot_age_seconds", age)
 
 	p.Gauge("cepshed_input_shed_ratio", "Realized rho_I across all shards.")
 	p.Sample("cepshed_input_shed_ratio", snap.InputShedRatio)

@@ -25,7 +25,9 @@ func newTestServer(t *testing.T, cfg runtime.Config) *server {
 	}
 	rt := runtime.New(m, cfg)
 	t.Cleanup(rt.Close)
-	return &server{rt: rt, started: time.Now(), tcpIdle: 30 * time.Millisecond, conns: map[net.Conn]struct{}{}}
+	s := &server{rt: rt, started: time.Now(), tcpIdle: 30 * time.Millisecond, conns: map[net.Conn]struct{}{}}
+	s.ready.Store(true) // tests exercise the post-recovery state unless they flip it back
+	return s
 }
 
 func TestHealthzOKThenDraining(t *testing.T) {

@@ -1,0 +1,418 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// liveState runs a real engine over a generated stream and snapshots it,
+// so round-trip tests cover a populated PM store, not an empty one.
+func liveState(t *testing.T, n int) (*engine.Engine, *ShardState) {
+	t.Helper()
+	en := engine.New(nfa.MustCompile(query.Q1("2ms")), engine.DefaultCosts())
+	s := gen.DS1(gen.DS1Config{Events: n, Seed: 3, InterArrival: 30 * event.Microsecond})
+	var lastSeq uint64
+	var lastTime int64
+	for _, e := range s {
+		en.Process(e)
+		lastSeq, lastTime = e.Seq, int64(e.Time)
+	}
+	return en, &ShardState{
+		Shard:    2,
+		LastSeq:  lastSeq,
+		LastTime: lastTime,
+		TakenNs:  123456789,
+		Counters: Counters{
+			EventsIn: uint64(n), Processed: uint64(n), Matched: 7,
+			Restarts: 1, Quarantined: 2, BaseCreated: 11, BaseDropped: 5,
+		},
+		StrategyName: "Hybrid",
+		Strategy:     []byte{1, 2, 3, 4},
+		Engine:       en.Snapshot(),
+	}
+}
+
+const testFP = 0xfeedbeefcafe
+
+func TestShardStateRoundTrip(t *testing.T) {
+	en, st := liveState(t, 400)
+	if en.LiveCount() == 0 {
+		t.Fatal("want live PMs in the fixture")
+	}
+	img := EncodeShardState(st, testFP)
+	got, err := DecodeShardState(img, testFP)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Shard != st.Shard || got.LastSeq != st.LastSeq || got.LastTime != st.LastTime ||
+		got.TakenNs != st.TakenNs || got.Counters != st.Counters ||
+		got.StrategyName != st.StrategyName || !bytes.Equal(got.Strategy, st.Strategy) {
+		t.Fatalf("header fields diverged:\ngot  %+v\nwant %+v", got, st)
+	}
+	if got.Engine.Stats != st.Engine.Stats || got.Engine.NextID != st.Engine.NextID {
+		t.Fatalf("engine stats diverged: got %+v want %+v", got.Engine.Stats, st.Engine.Stats)
+	}
+	if len(got.Engine.PMs) != len(st.Engine.PMs) || len(got.Engine.Events) != len(st.Engine.Events) {
+		t.Fatalf("engine state sizes diverged: %d/%d PMs, %d/%d events",
+			len(got.Engine.PMs), len(st.Engine.PMs), len(got.Engine.Events), len(st.Engine.Events))
+	}
+	// The decoded state must restore into a working engine.
+	restored := engine.New(nfa.MustCompile(query.Q1("2ms")), engine.DefaultCosts())
+	if err := restored.Restore(got.Engine); err != nil {
+		t.Fatalf("Restore of decoded state: %v", err)
+	}
+	if restored.LiveCount() != en.LiveCount() {
+		t.Fatalf("restored live %d, want %d", restored.LiveCount(), en.LiveCount())
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	_, st := liveState(t, 100)
+	img := EncodeShardState(st, testFP)
+
+	t.Run("wrong-fingerprint", func(t *testing.T) {
+		if _, err := DecodeShardState(img, testFP+1); err == nil {
+			t.Fatal("accepted wrong fingerprint")
+		}
+	})
+	t.Run("wrong-magic", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[0] ^= 0xff
+		if _, err := DecodeShardState(bad, testFP); err == nil {
+			t.Fatal("accepted wrong magic")
+		}
+	})
+	t.Run("wrong-version", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[8] ^= 0xff
+		if _, err := DecodeShardState(bad, testFP); err == nil {
+			t.Fatal("accepted wrong version")
+		}
+	})
+	t.Run("body-bitflip", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[len(bad)-3] ^= 0x10
+		if _, err := DecodeShardState(bad, testFP); err == nil {
+			t.Fatal("accepted corrupt body (CRC should catch)")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(img); cut += 7 {
+			if _, err := DecodeShardState(img[:cut], testFP); err == nil {
+				t.Fatalf("accepted truncation at %d", cut)
+			}
+		}
+	})
+}
+
+func walEvents(recs []Record) []*event.Event {
+	var out []*event.Event
+	for _, r := range recs {
+		if r.Kind == RecEvent {
+			out = append(out, r.Event)
+		}
+	}
+	return out
+}
+
+func TestWALRoundTripAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewShardStore(Config{Dir: dir, FlushEvery: 1}, 0, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := gen.DS1(gen.DS1Config{Events: 50, Seed: 1, InterArrival: event.Millisecond})
+	for _, e := range evs {
+		if err := st.AppendEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.AppendMatchKey(evs[9].Seq, "1,5,9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendSkip(evs[20].Seq); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn {
+		t.Fatal("clean WAL reported torn")
+	}
+	got := walEvents(res.Records)
+	if len(got) != len(evs) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i].Seq != evs[i].Seq || got[i].Type != evs[i].Type || got[i].Time != evs[i].Time {
+			t.Fatalf("event %d diverged: got %v want %v", i, got[i], evs[i])
+		}
+		for k, v := range evs[i].Attrs {
+			if got[i].Attrs[k] != v {
+				t.Fatalf("event %d attr %s diverged", i, k)
+			}
+		}
+	}
+	var matches, skips int
+	for _, r := range res.Records {
+		switch r.Kind {
+		case RecMatch:
+			matches++
+			if r.Key != "1,5,9" || r.Seq != evs[9].Seq {
+				t.Fatalf("match record %+v", r)
+			}
+		case RecSkip:
+			skips++
+			if r.Seq != evs[20].Seq {
+				t.Fatalf("skip record %+v", r)
+			}
+		}
+	}
+	if matches != 1 || skips != 1 {
+		t.Fatalf("matches=%d skips=%d, want 1/1", matches, skips)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the file at every byte boundary: each prefix must decode to
+	// a (possibly torn) prefix of the records without error or panic.
+	data, err := os.ReadFile(filepath.Join(dir, "shard-000.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, torn, err := DecodeWAL(data, testFP)
+	if err != nil || torn {
+		t.Fatalf("full decode: torn=%v err=%v", torn, err)
+	}
+	for cut := headerLen; cut < len(data); cut += 11 {
+		recs, _, err := DecodeWAL(data[:cut], testFP)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) > len(full) {
+			t.Fatalf("cut %d: more records than the full file", cut)
+		}
+		for i := range recs {
+			if recs[i].Kind != full[i].Kind || recs[i].Seq != full[i].Seq {
+				t.Fatalf("cut %d: record %d diverged", cut, i)
+			}
+		}
+	}
+	// A bit flip mid-record ends the scan at that record, keeping the
+	// records before it.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x40
+	recs, torn, err := DecodeWAL(bad, testFP)
+	if err != nil {
+		t.Fatalf("bitflip decode: %v", err)
+	}
+	if !torn {
+		t.Fatal("bitflip not reported as torn")
+	}
+	if len(recs) >= len(full) {
+		t.Fatal("bitflip decode returned all records")
+	}
+}
+
+func TestSaveRotatesAndLoadPrefersNewest(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewShardStore(Config{Dir: dir, FlushEvery: 1}, 1, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1 := liveState(t, 100)
+	st1.LastSeq = 100
+	if _, err := store.Save(st1); err != nil {
+		t.Fatal(err)
+	}
+	evs := gen.DS1(gen.DS1Config{Events: 5, Seed: 9, InterArrival: event.Millisecond})
+	for _, e := range evs {
+		if err := store.AppendEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, st2 := liveState(t, 200)
+	st2.LastSeq = 200
+	if _, err := store.Save(st2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State == nil || res.State.LastSeq != 200 {
+		t.Fatalf("loaded snapshot %+v, want LastSeq 200", res.State)
+	}
+	if res.UsedPrev {
+		t.Fatal("UsedPrev set with an intact current snapshot")
+	}
+	// wal.prev (the 5 events) + fresh wal (empty) are both returned.
+	if got := walEvents(res.Records); len(got) != len(evs) {
+		t.Fatalf("records %d, want %d", len(got), len(evs))
+	}
+	store.Close()
+
+	// Corrupt the current snapshot: Load falls back to the previous
+	// generation and counts the corruption.
+	snap := filepath.Join(dir, "shard-001.snap")
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := NewShardStore(Config{Dir: dir}, 1, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := store2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.State == nil || res2.State.LastSeq != 100 {
+		t.Fatalf("fallback snapshot %+v, want LastSeq 100", res2.State)
+	}
+	if !res2.UsedPrev || res2.CorruptSnaps != 1 {
+		t.Fatalf("UsedPrev=%v CorruptSnaps=%d, want true/1", res2.UsedPrev, res2.CorruptSnaps)
+	}
+	store2.Close()
+
+	// Both generations corrupt: State nil, CorruptSnaps 2, no error — the
+	// caller cold-starts.
+	prev := filepath.Join(dir, "shard-001.snap.prev")
+	if err := os.WriteFile(prev, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store3, err := NewShardStore(Config{Dir: dir}, 1, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := store3.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.State != nil || res3.CorruptSnaps != 2 {
+		t.Fatalf("State=%v CorruptSnaps=%d, want nil/2", res3.State, res3.CorruptSnaps)
+	}
+	store3.Close()
+}
+
+// TestHalfWrittenTmpIgnored proves the atomic-publish property: a crash
+// that leaves a garbage .snap.tmp does not affect what Load restores.
+func TestHalfWrittenTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewShardStore(Config{Dir: dir}, 0, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := liveState(t, 100)
+	st.LastSeq = 42
+	if _, err := store.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "shard-000.snap.tmp"), []byte("half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State == nil || res.State.LastSeq != 42 || res.CorruptSnaps != 0 {
+		t.Fatalf("State=%+v CorruptSnaps=%d", res.State, res.CorruptSnaps)
+	}
+	store.Close()
+}
+
+func TestAbortDropsBufferedTail(t *testing.T) {
+	dir := t.TempDir()
+	// Huge FlushEvery: nothing reaches the OS until an explicit flush.
+	store, err := NewShardStore(Config{Dir: dir, FlushEvery: 1 << 20}, 0, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := gen.DS1(gen.DS1Config{Events: 20, Seed: 2, InterArrival: event.Millisecond})
+	for _, e := range evs[:10] {
+		store.AppendEvent(e)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs[10:] {
+		store.AppendEvent(e)
+	}
+	store.Abort() // crash: buffered tail lost
+
+	store2, err := NewShardStore(Config{Dir: dir}, 0, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := store2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := walEvents(res.Records); len(got) != 10 {
+		t.Fatalf("recovered %d events, want the 10 flushed ones", len(got))
+	}
+	store2.Close()
+}
+
+func TestDeadLetterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if st, err := LoadDeadLetters(dir); err != nil || st != nil {
+		t.Fatalf("empty dir: st=%v err=%v", st, err)
+	}
+	want := &DeadLetterState{
+		Total: 9,
+		Letters: []DeadLetterRecord{
+			{Shard: 1, Seq: 44, Type: "A", Reason: "panic: boom", Payload: "A t=1"},
+			{Shard: 0, Seq: 45, Type: "B", Reason: "panic: poison", Payload: "B t=2"},
+		},
+	}
+	if err := SaveDeadLetters(dir, 1, want, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDeadLetters(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != want.Total || len(got.Letters) != len(want.Letters) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for i := range want.Letters {
+		if got.Letters[i] != want.Letters[i] {
+			t.Fatalf("letter %d: got %+v, want %+v", i, got.Letters[i], want.Letters[i])
+		}
+	}
+	// Corrupt file: error, not nil-and-ignore.
+	path := filepath.Join(dir, "deadletters.snap")
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 1
+	os.WriteFile(path, data, 0o644)
+	if _, err := LoadDeadLetters(dir); err == nil {
+		t.Fatal("accepted corrupt dead-letter file")
+	}
+}
+
+func TestFingerprintDistinguishesConfigs(t *testing.T) {
+	a := Fingerprint("q1", "shards=4")
+	b := Fingerprint("q1", "shards=8")
+	c := Fingerprint("q1s", "hards=4") // boundary shift must not collide
+	if a == b || a == c {
+		t.Fatalf("fingerprint collisions: %x %x %x", a, b, c)
+	}
+	if a != Fingerprint("q1", "shards=4") {
+		t.Fatal("fingerprint not deterministic")
+	}
+}

@@ -1,0 +1,205 @@
+// Package checkpoint implements the durability subsystem: per-shard
+// snapshot files of engine + strategy state, a CRC-framed write-ahead
+// event log between snapshots, and a dead-letter checkpoint — the state
+// a crashed or restarted process recovers instead of cold-starting
+// (docs/DURABILITY.md).
+//
+// Everything on disk is framed with explicit lengths and CRC32 checks
+// and decoded through a bounds-checked reader: corrupt or truncated
+// bytes yield an error (and a cold-start fallback upstream), never a
+// panic or an unbounded allocation. FuzzCheckpointDecode enforces that.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Encoder builds a snapshot or record body. The zero value is ready to
+// use; Reset reuses the buffer across encodes.
+type Encoder struct {
+	buf []byte
+}
+
+// Reset truncates the buffer, keeping its capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded body; valid until the next Reset.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Varint appends a zigzag-encoded signed varint.
+func (e *Encoder) Varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// F64 appends a float64 as fixed 8 little-endian bytes of its IEEE bits.
+func (e *Encoder) F64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Bool appends a single 0/1 byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// ErrCorrupt is the sentinel wrapped by every decode failure.
+var ErrCorrupt = errors.New("checkpoint: corrupt data")
+
+// Decoder reads an encoded body. It is sticky: after the first error
+// every further read returns zero values and Err() reports the failure.
+// All length prefixes are capped by the remaining byte count, so
+// adversarial input cannot force large allocations.
+type Decoder struct {
+	b   []byte
+	err error
+}
+
+// NewDecoder wraps a body.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.b) }
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCorrupt, what)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// F64 reads a fixed 8-byte float64.
+func (d *Decoder) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("short float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+// Bool reads a 0/1 byte.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.fail("short bool")
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	if v > 1 {
+		d.fail("bad bool")
+		return false
+	}
+	return v == 1
+}
+
+// Str reads a length-prefixed string. The length is validated against
+// the remaining bytes before any allocation.
+func (d *Decoder) Str() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("string length past end")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// Blob reads a length-prefixed byte slice (copy).
+func (d *Decoder) Blob() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("blob length past end")
+		return nil
+	}
+	out := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return out
+}
+
+// Count reads an element count whose elements occupy at least minBytes
+// each, rejecting counts that could not possibly fit in the remaining
+// input — the guard that keeps make() calls bounded on fuzzed data.
+func (d *Decoder) Count(minBytes int) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(len(d.b)/minBytes) {
+		d.fail("count past end")
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,238 @@
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+
+	"cepshed/internal/event"
+)
+
+// WAL file layout: the same magic/version/fingerprint header as
+// snapshots (magic "CEPWAL01"), then a sequence of records:
+//
+//	kind u8  payloadLen u32 LE  crc u32 LE  payload
+//
+// where crc is CRC32-IEEE over the kind byte followed by the payload.
+// The reader tolerates a truncated or corrupt tail — it returns every
+// record up to the first anomaly and flags the file as torn — because a
+// crash mid-append is the WAL's normal ending, not an error.
+
+// WAL record kinds.
+const (
+	// RecEvent is one processed input event, appended BEFORE the engine
+	// sees it so replay covers events whose processing crashed.
+	RecEvent byte = 'E'
+	// RecMatch is the key of a delivered match plus the seq of the event
+	// that completed it. Logged-and-flushed before delivery; on replay the
+	// key suppresses re-emission (exactly-once per process crash).
+	RecMatch byte = 'M'
+	// RecSkip marks a quarantined (poison) seq: replay must skip it or the
+	// poison event would re-crash the shard on every recovery.
+	RecSkip byte = 'Q'
+)
+
+// maxWALRecord bounds one record payload.
+const maxWALRecord = 1 << 24
+
+// Record is one decoded WAL record.
+type Record struct {
+	Kind  byte
+	Seq   uint64       // event seq (RecEvent, RecSkip) or completing seq (RecMatch)
+	Event *event.Event // RecEvent only
+	Key   string       // RecMatch only
+}
+
+// walWriter appends records to an open WAL file through a buffer.
+type walWriter struct {
+	f   *os.File
+	bw  *bufio.Writer
+	enc Encoder
+
+	fsync   bool
+	pending int
+}
+
+// openWAL opens (creating and writing the header if empty) path for
+// append.
+func openWAL(path string, fp uint64, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &walWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16), fsync: fsync}
+	if info.Size() == 0 {
+		if _, err := w.bw.Write(putHeader(nil, walMagic, fp)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := w.flush(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// frameHeader renders the 9-byte record header for kind+payload.
+func frameHeader(kind byte, payload []byte) [9]byte {
+	var hdr [9]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:1])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[5:9], crc.Sum32())
+	return hdr
+}
+
+// appendFrame appends one framed record to an in-memory WAL image
+// (fuzz-seed assembly).
+func appendFrame(buf []byte, kind byte, payload []byte) []byte {
+	hdr := frameHeader(kind, payload)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// append frames one record into the buffer. Data reaches the OS only at
+// flush; a crash loses at most the buffered tail (the bounded-loss
+// window documented in docs/DURABILITY.md).
+func (w *walWriter) append(kind byte, payload []byte) error {
+	hdr := frameHeader(kind, payload)
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	w.pending++
+	return nil
+}
+
+func (w *walWriter) flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	w.pending = 0
+	if w.fsync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// close flushes and closes the file.
+func (w *walWriter) close() error {
+	ferr := w.flush()
+	cerr := w.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// abort closes WITHOUT flushing, discarding the buffered tail — the
+// in-process equivalent of SIGKILL, used by Runtime.Kill for recovery
+// tests.
+func (w *walWriter) abort() {
+	w.f.Close()
+}
+
+// readWALFile loads a WAL file. A missing file yields (nil, false, nil);
+// a bad header yields an error; a truncated or corrupt record tail stops
+// the scan cleanly with torn=true.
+func readWALFile(path string, fp uint64) (recs []Record, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return DecodeWAL(data, fp)
+}
+
+// DecodeWAL parses a WAL image. Exposed for the fuzz target.
+func DecodeWAL(data []byte, fp uint64) (recs []Record, torn bool, err error) {
+	rest, err := checkHeader(data, walMagic, fp)
+	if err != nil {
+		return nil, false, err
+	}
+	for len(rest) > 0 {
+		if len(rest) < 9 {
+			return recs, true, nil
+		}
+		kind := rest[0]
+		plen := binary.LittleEndian.Uint32(rest[1:5])
+		crc := binary.LittleEndian.Uint32(rest[5:9])
+		if plen > maxWALRecord || uint64(plen) > uint64(len(rest)-9) {
+			return recs, true, nil
+		}
+		payload := rest[9 : 9+plen]
+		h := crc32.NewIEEE()
+		h.Write(rest[:1])
+		h.Write(payload)
+		if h.Sum32() != crc {
+			return recs, true, nil
+		}
+		rec, ok := decodeRecord(kind, payload)
+		if !ok {
+			return recs, true, nil
+		}
+		recs = append(recs, rec)
+		rest = rest[9+plen:]
+	}
+	return recs, false, nil
+}
+
+func decodeRecord(kind byte, payload []byte) (Record, bool) {
+	d := NewDecoder(payload)
+	rec := Record{Kind: kind}
+	switch kind {
+	case RecEvent:
+		rec.Event = decodeEvent(d)
+		if d.Err() != nil {
+			return rec, false
+		}
+		rec.Seq = rec.Event.Seq
+	case RecMatch:
+		rec.Seq = d.Uvarint()
+		rec.Key = d.Str()
+		if d.Err() != nil {
+			return rec, false
+		}
+	case RecSkip:
+		rec.Seq = d.Uvarint()
+		if d.Err() != nil {
+			return rec, false
+		}
+	default:
+		return rec, false
+	}
+	return rec, true
+}
+
+// encodeEventRecord renders a RecEvent payload into enc (reset first).
+func encodeEventRecord(enc *Encoder, e *event.Event) []byte {
+	enc.Reset()
+	encodeEvent(enc, e)
+	return enc.Bytes()
+}
+
+func encodeMatchRecord(enc *Encoder, seq uint64, key string) []byte {
+	enc.Reset()
+	enc.Uvarint(seq)
+	enc.Str(key)
+	return enc.Bytes()
+}
+
+func encodeSkipRecord(enc *Encoder, seq uint64) []byte {
+	enc.Reset()
+	enc.Uvarint(seq)
+	return enc.Bytes()
+}

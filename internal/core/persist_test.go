@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestHybridStateRoundTrip(t *testing.T) {
+	_, model := trainDS1(t, TrainConfig{Slices: 4, Seed: 1})
+	h := NewHybrid(model, Config{Bound: 1})
+
+	// Perturb some estimates as the online adapter would.
+	for s := range model.states {
+		for c := 0; c < model.states[s].k; c++ {
+			for sl := 0; sl < model.cfg.Slices; sl++ {
+				model.setEstimate(s, c, sl, float64(s*100+c*10+sl)+0.5, float64(c+1))
+			}
+		}
+	}
+	blob, err := h.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A freshly trained twin (same seed => same shape) restores exactly.
+	_, model2 := trainDS1(t, TrainConfig{Slices: 4, Seed: 1})
+	h2 := NewHybrid(model2, Config{Bound: 1})
+	if err := h2.UnmarshalState(blob); err != nil {
+		t.Fatalf("UnmarshalState: %v", err)
+	}
+	for s := range model.states {
+		for c := 0; c < model.states[s].k; c++ {
+			for sl := 0; sl < model.cfg.Slices; sl++ {
+				wc, ww := model.Estimate(s, c, sl)
+				gc, gw := model2.Estimate(s, c, sl)
+				if wc != gc || ww != gw {
+					t.Fatalf("cell (%d,%d,%d): got (%g,%g), want (%g,%g)", s, c, sl, gc, gw, wc, ww)
+				}
+			}
+		}
+	}
+}
+
+func TestHybridStateRejectsMismatch(t *testing.T) {
+	_, model := trainDS1(t, TrainConfig{Slices: 4, Seed: 1})
+	h := NewHybrid(model, Config{Bound: 1})
+	blob, err := h.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different slice count: shape mismatch must be rejected and leave the
+	// fresh estimates untouched.
+	_, model3 := trainDS1(t, TrainConfig{Slices: 2, Seed: 1})
+	h3 := NewHybrid(model3, Config{Bound: 1})
+	before, _ := model3.Estimate(1, 0, 0)
+	if err := h3.UnmarshalState(blob); err == nil {
+		t.Fatal("accepted blob with mismatched slice count")
+	}
+	if after, _ := model3.Estimate(1, 0, 0); after != before {
+		t.Fatal("rejected blob mutated estimates")
+	}
+
+	// Truncations and garbage: error, never panic, never partial apply.
+	for cut := 0; cut < len(blob); cut += 3 {
+		h4 := NewHybrid(model3, Config{Bound: 1})
+		if err := h4.UnmarshalState(blob[:cut]); err == nil {
+			t.Fatalf("accepted truncated blob at %d", cut)
+		}
+	}
+	if err := h.UnmarshalState(append(blob, 0xff)); err == nil {
+		t.Fatal("accepted blob with trailing bytes")
+	}
+}

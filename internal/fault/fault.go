@@ -68,6 +68,29 @@ func PanicEvery(n int, limit int, msg string) Hook {
 	}
 }
 
+// FailStageOnce returns a checkpoint OnStage hook that panics the nth
+// time (1-based) the named snapshot stage is reached, then never again —
+// the "crash in the middle of writing a snapshot" fault. Paired with the
+// stage names in internal/checkpoint (encoded, tmp-written, renamed,
+// rotated), it lets a chaos test kill a shard at an exact point of the
+// temp-write-rename protocol and assert recovery falls back to the
+// previous good generation.
+func FailStageOnce(stage string, nth int) func(shard int, stage string) {
+	if nth < 1 {
+		nth = 1
+	}
+	var seen atomic.Int64
+	var fired atomic.Bool
+	return func(_ int, st string) {
+		if st != stage || fired.Load() {
+			return
+		}
+		if seen.Add(1) == int64(nth) && fired.CompareAndSwap(false, true) {
+			panic("fault: injected crash at snapshot stage " + stage)
+		}
+	}
+}
+
 // Delay sleeps d before every event matched by pred (nil pred: all
 // events) — the "expensive event" fault that pushes wall-clock latency
 // over the bound and exercises the degradation ladder.

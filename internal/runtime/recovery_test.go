@@ -1,0 +1,483 @@
+package runtime
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"cepshed/internal/checkpoint"
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/fault"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// collector records every delivered match key across one or more runtime
+// incarnations and remembers duplicates — the property the WAL's
+// flush-before-deliver match records exist to guarantee.
+type collector struct {
+	mu   sync.Mutex
+	seen map[string]int
+}
+
+func newCollector() *collector { return &collector{seen: map[string]int{}} }
+
+func (c *collector) hook() func(int, engine.Match) {
+	return func(_ int, m engine.Match) {
+		c.mu.Lock()
+		c.seen[m.Key()]++
+		c.mu.Unlock()
+	}
+}
+
+func (c *collector) dups() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for k, n := range c.seen {
+		if n > 1 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *collector) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.seen))
+	for k := range c.seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// drainTo polls until the runtime has appended (and begun processing)
+// exactly want events, so a Kill afterwards cannot discard queued input
+// that never reached the WAL.
+func drainTo(t *testing.T, r *Runtime, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s := r.Snapshot()
+		if s.EventsIn == want {
+			// The last event may still be mid-process; one more snapshot
+			// round after queues empty is enough for its WAL records (match
+			// appends flush synchronously before delivery).
+			depth := 0
+			for _, ss := range s.Shards {
+				depth += ss.QueueDepth
+			}
+			if depth == 0 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain stalled: EventsIn=%d, want %d", s.EventsIn, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func subsetOf(got, want []string) (missing []string, extra []string) {
+	w := map[string]bool{}
+	for _, k := range want {
+		w[k] = true
+	}
+	g := map[string]bool{}
+	for _, k := range got {
+		g[k] = true
+		if !w[k] {
+			extra = append(extra, k)
+		}
+	}
+	for _, k := range want {
+		if !g[k] {
+			missing = append(missing, k)
+		}
+	}
+	return missing, extra
+}
+
+// runCrashDifferential is the acceptance backbone: run a stream with a
+// SIGKILL-equivalent crash at a random cut, recover into a second
+// incarnation, and require the union of delivered matches to equal the
+// uninterrupted run's EXACTLY, with zero duplicate emissions. FlushEvery
+// = 1 makes the WAL complete at the crash instant, so recovery owes the
+// full set; larger flush intervals only shrink the owed window, never
+// change the no-duplicates side.
+func runCrashDifferential(t *testing.T, shards int, seed int64, events int) {
+	t.Helper()
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: events, Seed: seed, InterArrival: 15 * event.Microsecond})
+	want := sortedKeys(engine.Sequential(m, engine.DefaultCosts(), s, false))
+	if len(want) == 0 {
+		t.Fatal("reference run found no matches; test is vacuous")
+	}
+
+	rng := rand.New(rand.NewSource(seed * 7919))
+	cut := 1 + rng.Intn(len(s)-2)
+	dir := t.TempDir()
+	dur := &checkpoint.Config{Dir: dir, EveryEvents: 200, FlushEvery: 1}
+	col := newCollector()
+	cfg := Config{Shards: shards, OnMatch: col.hook(), Durability: dur}
+
+	r1 := New(m, cfg)
+	r1.WaitRecovered()
+	for _, e := range s[:cut] {
+		r1.Offer(e)
+	}
+	drainTo(t, r1, uint64(cut))
+	r1.Kill()
+
+	r2 := New(m, cfg)
+	r2.WaitRecovered()
+	info := r2.RecoveryInfo()
+	if info.ColdStarts != 0 {
+		t.Fatalf("recovery fell back to cold start %d times", info.ColdStarts)
+	}
+	if info.MaxSeq != uint64(cut-1) && shards == 1 {
+		t.Fatalf("restored MaxSeq = %d, want %d", info.MaxSeq, cut-1)
+	}
+	for _, e := range s[cut:] {
+		r2.Offer(e)
+	}
+	r2.Close()
+
+	if d := col.dups(); len(d) != 0 {
+		t.Fatalf("cut=%d: %d matches delivered more than once, e.g. %s", cut, len(d), d[0])
+	}
+	got := col.keys()
+	missing, extra := subsetOf(got, want)
+	if len(missing) != 0 || len(extra) != 0 {
+		t.Fatalf("cut=%d: recovered run delivered %d matches, want %d (missing %d, extra %d)",
+			cut, len(got), len(want), len(missing), len(extra))
+	}
+}
+
+func TestCrashRecoveryDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		runCrashDifferential(t, 1, seed, 2500)
+	}
+}
+
+func TestCrashRecoveryDifferentialSharded(t *testing.T) {
+	// Q1 correlates on ID, so hash partitioning is exact and the
+	// differential holds per shard too.
+	runCrashDifferential(t, 3, 4, 2500)
+}
+
+// TestGracefulRestartNoReplay: Close takes a final snapshot, so a clean
+// restart restores with ZERO WAL replay and the two halves still add up
+// to the uninterrupted match set.
+func TestGracefulRestartNoReplay(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 2000, Seed: 5, InterArrival: 15 * event.Microsecond})
+	want := sortedKeys(engine.Sequential(m, engine.DefaultCosts(), s, false))
+	dur := &checkpoint.Config{Dir: t.TempDir(), EveryEvents: 500, FlushEvery: 8}
+	col := newCollector()
+	cfg := Config{Shards: 1, OnMatch: col.hook(), Durability: dur}
+	cut := len(s) / 2
+
+	r1 := New(m, cfg)
+	for _, e := range s[:cut] {
+		r1.Offer(e)
+	}
+	r1.Close()
+
+	r2 := New(m, cfg)
+	r2.WaitRecovered()
+	info := r2.RecoveryInfo()
+	if info.WALReplayed != 0 {
+		t.Fatalf("clean shutdown left %d WAL events to replay, want 0", info.WALReplayed)
+	}
+	if info.MaxSeq != uint64(cut-1) {
+		t.Fatalf("restored MaxSeq = %d, want %d", info.MaxSeq, cut-1)
+	}
+	for _, e := range s[cut:] {
+		r2.Offer(e)
+	}
+	r2.Close()
+
+	if d := col.dups(); len(d) != 0 {
+		t.Fatalf("%d duplicate matches across restart", len(d))
+	}
+	got := col.keys()
+	if missing, extra := subsetOf(got, want); len(missing) != 0 || len(extra) != 0 {
+		t.Fatalf("restarted run delivered %d matches, want %d", len(got), len(want))
+	}
+}
+
+// TestTornWALTailRecovery chops bytes off the WAL tail after a crash —
+// the on-disk state a power loss mid-write leaves. Recovery must come up
+// without panicking, deliver only a subset of the reference matches in
+// its own incarnation without internal duplicates, and keep processing
+// new input. (Cross-incarnation duplicates are out of scope here: the
+// truncation may eat match records for deliveries that DID happen, which
+// a real crash cannot do — flush-before-deliver puts every delivered
+// match's record on disk ahead of any bytes a crash can lose.)
+func TestTornWALTailRecovery(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 1500, Seed: 9, InterArrival: 15 * event.Microsecond})
+	want := sortedKeys(engine.Sequential(m, engine.DefaultCosts(), s, false))
+	dir := t.TempDir()
+	dur := &checkpoint.Config{Dir: dir, EveryEvents: 400, FlushEvery: 1}
+	cut := 1000
+
+	r1 := New(m, Config{Shards: 1, Durability: dur})
+	for _, e := range s[:cut] {
+		r1.Offer(e)
+	}
+	drainTo(t, r1, uint64(cut))
+	r1.Kill()
+
+	wal := filepath.Join(dir, "shard-000.wal")
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 64 {
+		// Keep the header plus a ragged prefix; the final record is torn.
+		if err := os.Truncate(wal, fi.Size()-fi.Size()/3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	col := newCollector()
+	r2 := New(m, Config{Shards: 1, OnMatch: col.hook(), Durability: dur})
+	r2.WaitRecovered()
+	if info := r2.RecoveryInfo(); info.ColdStarts != 0 {
+		t.Fatalf("torn tail caused %d cold starts, want graceful partial replay", info.ColdStarts)
+	}
+	for _, e := range s[cut:] {
+		r2.Offer(e)
+	}
+	r2.Close()
+
+	if d := col.dups(); len(d) != 0 {
+		t.Fatalf("%d matches delivered twice within the recovered incarnation", len(d))
+	}
+	if _, extra := subsetOf(col.keys(), want); len(extra) != 0 {
+		t.Fatalf("recovered run invented %d matches outside the reference set", len(extra))
+	}
+}
+
+// TestCountersMonotoneAcrossRecovery is the accounting regression test:
+// the externally visible created/dropped partial-match counters must
+// never decrease — not across a panic-rebuild-restore (the supervisor
+// path re-bases offsets after replay) and not across a kill-and-reboot
+// (the boot path adopts the snapshot counters, then replay adds the
+// tail).
+func TestCountersMonotoneAcrossRecovery(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 2000, Seed: 11, InterArrival: 15 * event.Microsecond})
+	dur := &checkpoint.Config{Dir: t.TempDir(), EveryEvents: 300, FlushEvery: 1}
+	const poisonSeq = 777
+	cfg := Config{
+		Shards:     1,
+		Durability: dur,
+		BeforeProcess: fault.PanicIf(func(_ int, e *event.Event) bool {
+			return e.Seq == poisonSeq
+		}, "poison"),
+		Restart: RestartPolicy{BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond},
+	}
+
+	r1 := New(m, cfg)
+	stop := make(chan struct{})
+	var monoErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// Sample the exported counters concurrently with the
+		// panic-rebuild-replay cycle; any dip is the regression.
+		defer wg.Done()
+		var lastCreated, lastDropped uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r1.Snapshot()
+			if snap.CreatedPMs < lastCreated || snap.DroppedPMs < lastDropped {
+				monoErr = &nonMonotone{lastCreated, snap.CreatedPMs, lastDropped, snap.DroppedPMs}
+				return
+			}
+			lastCreated, lastDropped = snap.CreatedPMs, snap.DroppedPMs
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	for _, e := range s {
+		r1.Offer(e)
+	}
+	drainTo(t, r1, uint64(len(s)))
+	close(stop)
+	wg.Wait()
+	if monoErr != nil {
+		t.Fatalf("counters dipped during panic recovery: %v", monoErr)
+	}
+	pre := r1.Snapshot()
+	if pre.Restarts != 1 || pre.Quarantined != 1 {
+		t.Fatalf("restarts=%d quarantined=%d, want 1/1 (poison must fire exactly once)", pre.Restarts, pre.Quarantined)
+	}
+	r1.Kill()
+
+	// Boot restore: counters resume at or above the pre-kill values.
+	r2 := New(m, cfg)
+	r2.WaitRecovered()
+	post := r2.Snapshot()
+	if post.CreatedPMs < pre.CreatedPMs || post.DroppedPMs < pre.DroppedPMs {
+		t.Fatalf("boot restore lost counter ground: created %d->%d dropped %d->%d",
+			pre.CreatedPMs, post.CreatedPMs, pre.DroppedPMs, post.DroppedPMs)
+	}
+	if post.EventsIn < pre.EventsIn-1 {
+		t.Fatalf("boot restore lost events_in ground: %d -> %d", pre.EventsIn, post.EventsIn)
+	}
+	r2.Close()
+}
+
+type nonMonotone struct {
+	prevCreated, curCreated, prevDropped, curDropped uint64
+}
+
+func (e *nonMonotone) Error() string {
+	return "created " + itoa(e.prevCreated) + "->" + itoa(e.curCreated) +
+		", dropped " + itoa(e.prevDropped) + "->" + itoa(e.curDropped)
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// TestChaosKillDuringSnapshot crashes the worker at the exact moment the
+// second snapshot's temp file has been written but not renamed. The
+// half-written generation must be skipped for the previous good one: no
+// cold start, exactly one supervisor restart, and the delivered matches
+// stay a duplicate-free subset of the reference set (the event in flight
+// at the crash is quarantined — that is the bounded cost).
+func TestChaosKillDuringSnapshot(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 2000, Seed: 13, InterArrival: 15 * event.Microsecond})
+	want := sortedKeys(engine.Sequential(m, engine.DefaultCosts(), s, false))
+	col := newCollector()
+	dur := &checkpoint.Config{
+		Dir:         t.TempDir(),
+		EveryEvents: 250,
+		FlushEvery:  1,
+		OnStage:     fault.FailStageOnce("tmp-written", 2),
+	}
+	r := New(m, Config{
+		Shards:     1,
+		OnMatch:    col.hook(),
+		Durability: dur,
+		Restart:    RestartPolicy{BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond},
+	})
+	for _, e := range s {
+		r.Offer(e)
+	}
+	drainTo(t, r, uint64(len(s)))
+	snap := r.Snapshot()
+	r.Close()
+
+	if snap.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (snapshot-stage crash must be supervised once)", snap.Restarts)
+	}
+	if snap.ColdStarts != 0 {
+		t.Fatalf("cold starts = %d; recovery must fall back to the previous good snapshot", snap.ColdStarts)
+	}
+	if snap.Snapshots < 2 {
+		t.Fatalf("snapshots = %d; the crash point was never reached", snap.Snapshots)
+	}
+	if d := col.dups(); len(d) != 0 {
+		t.Fatalf("%d duplicate matches across the snapshot crash", len(d))
+	}
+	got := col.keys()
+	missing, extra := subsetOf(got, want)
+	if len(extra) != 0 {
+		t.Fatalf("%d matches outside the reference set", len(extra))
+	}
+	// The quarantined in-flight event may cost its own matches, nothing
+	// more; Q1 matches are short, so the loss is a handful at most.
+	if len(missing) > 25 {
+		t.Fatalf("lost %d of %d matches; snapshot crash lost more than the in-flight event", len(missing), len(want))
+	}
+	if len(got) == 0 {
+		t.Fatal("no matches delivered; test is vacuous")
+	}
+}
+
+// TestDeadLetterCheckpointSurvivesCrash: a dead letter is postmortem
+// evidence, so it is checkpointed the moment it is recorded rather than
+// waiting for the snapshot cadence. Both sources — an edge-side
+// Quarantine (bad input that never entered a shard) and a supervisor
+// quarantine (a poison event that panicked a worker) — must survive a
+// SIGKILL that lands before any periodic snapshot would have saved them.
+func TestDeadLetterCheckpointSurvivesCrash(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 200, Seed: 17, InterArrival: 15 * event.Microsecond})
+	// EveryEvents is set far past the stream length: the only DLQ saves
+	// are the quarantine-time ones under test.
+	dur := &checkpoint.Config{Dir: t.TempDir(), EveryEvents: 1 << 30, FlushEvery: 1}
+	const poisonSeq = 42
+	cfg := Config{
+		Shards:     2,
+		Durability: dur,
+		BeforeProcess: fault.PanicIf(func(_ int, e *event.Event) bool {
+			return e.Seq == poisonSeq
+		}, "poison"),
+		Restart: RestartPolicy{BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond},
+	}
+
+	r1 := New(m, cfg)
+	r1.WaitRecovered()
+	r1.Quarantine("decode: line 3: not json", "not-json")
+	for _, e := range s {
+		r1.Offer(e)
+	}
+	drainTo(t, r1, uint64(len(s)))
+	if q := r1.Snapshot().Quarantined; q != 2 {
+		t.Fatalf("quarantined = %d before the crash, want 2 (edge + poison)", q)
+	}
+	r1.Kill()
+
+	r2 := New(m, cfg)
+	r2.WaitRecovered()
+	defer r2.Close()
+	if got := r2.Snapshot().Quarantined; got != 2 {
+		t.Fatalf("Quarantined after crash restart = %d, want 2", got)
+	}
+	letters := r2.DeadLetters()
+	if len(letters) != 2 {
+		t.Fatalf("dead letters after crash restart = %d, want 2: %+v", len(letters), letters)
+	}
+	var haveEdge, havePoison bool
+	for _, l := range letters {
+		if l.Shard == -1 && l.Reason == "decode: line 3: not json" {
+			haveEdge = true
+		}
+		if l.Shard >= 0 && l.Seq == poisonSeq {
+			havePoison = true
+		}
+	}
+	if !haveEdge || !havePoison {
+		t.Fatalf("restored letters missing a source (edge=%v poison=%v): %+v", haveEdge, havePoison, letters)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cepshed/internal/checkpoint"
 	"cepshed/internal/engine"
 	"cepshed/internal/event"
 	"cepshed/internal/metrics"
@@ -146,6 +147,14 @@ type Config struct {
 	// It exists for fault injection (internal/fault): it may panic or
 	// sleep, and the supervisor treats either as it would a real fault.
 	BeforeProcess func(shard int, e *event.Event)
+	// Durability, when non-nil, enables per-shard checkpointing: each
+	// shard snapshots its full state (live partial matches, counters,
+	// strategy state) every EveryEvents events and logs the events in
+	// between to a write-ahead log, so a crash or restart loses at most
+	// one WAL flush interval of work instead of every open partial match.
+	// See docs/DURABILITY.md. A shard whose store cannot be opened runs
+	// without durability (logged), never fails to start.
+	Durability *checkpoint.Config
 	// Logf receives supervisor and ladder lifecycle messages (restarts,
 	// breaker trips, level transitions). Nil: silent.
 	Logf func(format string, args ...any)
@@ -187,9 +196,21 @@ type Runtime struct {
 	global *metrics.Histogram // merged latency across shards
 
 	dlq               *deadLetters
+	dlqEdgeMu         sync.Mutex // serializes Quarantine's shared-owner DLQ saves
 	admit             *shed.AdmissionController
 	level             atomic.Int32
 	admissionRejected atomic.Uint64
+
+	// Durability plumbing (inert without Config.Durability): fp binds
+	// checkpoints to this query/sharding configuration, dur is the
+	// resolved checkpoint config (nil when durability is off), recoverWG
+	// releases WaitRecovered once every shard has finished (or skipped)
+	// recovery, and killed switches Close into Kill's crash-simulation
+	// mode.
+	fp        uint64
+	dur       *checkpoint.Config
+	recoverWG sync.WaitGroup
+	killed    atomic.Bool
 
 	// mu excludes Offer/TryOffer sends against Close closing the shard
 	// channels: producers hold the read side around a send, Close takes
@@ -221,15 +242,50 @@ func New(m *nfa.Machine, cfg Config) *Runtime {
 		}
 		r.key = keyByAttr(attr)
 	}
+	var dur checkpoint.Config
+	if cfg.Durability != nil {
+		dur = cfg.Durability.WithDefaults()
+		r.dur = &dur
+		r.fp = checkpoint.Fingerprint(
+			m.Query.String(),
+			fmt.Sprintf("shards=%d", cfg.Shards),
+			fmt.Sprintf("defneg=%v", cfg.DeferredNegation),
+		)
+		if st, err := checkpoint.LoadDeadLetters(dur.Dir); err != nil {
+			r.logf("runtime: dead-letter checkpoint unreadable, starting empty: %v", err)
+		} else {
+			r.dlq.seed(st)
+		}
+		r.recoverWG.Add(cfg.Shards)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		var strat shed.Strategy
 		if cfg.NewStrategy != nil {
 			strat = cfg.NewStrategy(i)
 		}
 		sh := newShard(i, m, cfg, strat, r.global)
+		sh.killed = &r.killed
+		if cfg.Durability != nil {
+			store, err := checkpoint.NewShardStore(dur, i, r.fp)
+			if err != nil {
+				// A shard must start even when its store cannot: durability
+				// degrades, availability does not.
+				r.logf("runtime: shard %d: checkpoint store unavailable, running without durability: %v", i, err)
+			} else {
+				sh.ckpt = store
+				sh.needRecover = true
+			}
+			owner := i
+			sh.recoverDone = r.recoverWG.Done
+			sh.saveDLQ = func() { r.saveDeadLetters(dur, owner) }
+		}
 		r.shards = append(r.shards, sh)
 		r.wg.Add(1)
 		go func() {
+			// signalRecovered backstops WaitRecovered against a worker that
+			// dies before reaching its loop entry (e.g. breaker trip during
+			// replay).
+			defer sh.signalRecovered()
 			defer r.wg.Done()
 			if cfg.DisableRecovery {
 				sh.run()
@@ -239,6 +295,84 @@ func New(m *nfa.Machine, cfg Config) *Runtime {
 		}()
 	}
 	return r
+}
+
+// WaitRecovered blocks until every shard has finished restoring its
+// snapshot and replaying its WAL tail (immediately without durability).
+// Servers call this before accepting traffic so recovery is not racing
+// live input for the worker goroutine.
+func (r *Runtime) WaitRecovered() { r.recoverWG.Wait() }
+
+// Recovering reports whether any shard is still inside its
+// restore-and-replay phase.
+func (r *Runtime) Recovering() bool {
+	for _, sh := range r.shards {
+		if sh.recovering.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoveryInfo summarises what boot recovery restored.
+type RecoveryInfo struct {
+	// MaxSeq / MaxTime are the highest restored input sequence number and
+	// event time across shards; producers resume numbering above MaxSeq.
+	MaxSeq  uint64 `json:"max_seq"`
+	MaxTime int64  `json:"max_time"`
+	// WALReplayed counts events replayed from WAL tails; ColdStarts counts
+	// shards that fell back to an empty engine.
+	WALReplayed uint64 `json:"wal_replayed"`
+	ColdStarts  uint64 `json:"cold_starts"`
+}
+
+// RecoveryInfo reports the post-recovery floor; meaningful after
+// WaitRecovered returns.
+func (r *Runtime) RecoveryInfo() RecoveryInfo {
+	var info RecoveryInfo
+	for _, sh := range r.shards {
+		if seq := sh.restoredSeq.Load(); seq > info.MaxSeq {
+			info.MaxSeq = seq
+		}
+		if t := sh.restoredTime.Load(); t > info.MaxTime {
+			info.MaxTime = t
+		}
+		info.WALReplayed += sh.walReplayed.Load()
+		info.ColdStarts += sh.coldStarts.Load()
+	}
+	return info
+}
+
+// Kill simulates a crash for tests: shards stop touching the engine and
+// the WAL, buffered WAL tails are abandoned unflushed, and no final
+// snapshot is taken — exactly the on-disk state a SIGKILL would leave.
+// The runtime still drains its channels so blocked producers unblock.
+func (r *Runtime) Kill() {
+	r.killed.Store(true)
+	r.Close()
+}
+
+// saveDeadLetters checkpoints the runtime-wide dead-letter queue. Every
+// durable shard calls it after its own snapshot (owner keeps their temp
+// files from colliding); last writer wins, which is fine — the queue is
+// shared state and any recent copy serves the postmortem.
+func (r *Runtime) saveDeadLetters(dur checkpoint.Config, owner int) {
+	if err := checkpoint.SaveDeadLetters(dur.Dir, owner, r.dlq.state(), dur.Fsync); err != nil {
+		r.logf("runtime: dead-letter checkpoint failed: %v", err)
+	}
+}
+
+// persistDeadLetters checkpoints the queue right away, outside the
+// snapshot cadence. Quarantines are rare and each letter is exactly the
+// record a postmortem needs, so the queue is made durable on write — a
+// SIGKILL right after a poison event must not lose the evidence. owner
+// only namespaces the temp file; callers on distinct goroutines must
+// pass distinct values.
+func (r *Runtime) persistDeadLetters(owner int) {
+	if r.dur == nil {
+		return
+	}
+	r.saveDeadLetters(*r.dur, owner)
 }
 
 // NumShards returns the shard count.
@@ -408,6 +542,11 @@ func (r *Runtime) Quarantine(reason, payload string) {
 		Reason:  reason,
 		Payload: truncatePayload([]byte(payload), maxDeadLetterPayload),
 	})
+	// len(r.shards) as owner: an id no shard worker uses, so edge-side
+	// quarantines never collide with a shard's snapshot-time save.
+	r.dlqEdgeMu.Lock()
+	r.persistDeadLetters(len(r.shards))
+	r.dlqEdgeMu.Unlock()
 }
 
 // DeadLetters returns a copy of the retained dead letters, oldest first.
@@ -496,6 +635,15 @@ type ShardSnapshot struct {
 	Quarantined uint64 `json:"quarantined"`
 	Failed      bool   `json:"failed"`
 
+	// Durability state; all zero when the shard runs without a
+	// checkpoint store.
+	Recovering     bool   `json:"recovering"`
+	Snapshots      uint64 `json:"snapshots"`
+	SnapshotBytes  int64  `json:"snapshot_bytes"`
+	SnapshotUnixNs int64  `json:"snapshot_unix_ns"`
+	WALReplayed    uint64 `json:"wal_replayed"`
+	ColdStarts     uint64 `json:"cold_starts"`
+
 	SmoothedLatency time.Duration `json:"smoothed_latency_ns"`
 	P50             time.Duration `json:"p50_ns"`
 	P95             time.Duration `json:"p95_ns"`
@@ -531,6 +679,18 @@ type Snapshot struct {
 	AdmissionRejected uint64 `json:"admission_rejected"`
 	FailedShards      int    `json:"failed_shards"`
 
+	// Durability aggregates (zero without Config.Durability).
+	// Recovering is true while any shard is still restoring/replaying;
+	// OldestSnapshotUnixNs is the stalest shard snapshot instant (0 until
+	// every durable shard has snapshotted at least once), the basis of the
+	// snapshot-age gauge.
+	Recovering           bool   `json:"recovering"`
+	Snapshots            uint64 `json:"snapshots"`
+	WALReplayed          uint64 `json:"wal_replayed"`
+	ColdStarts           uint64 `json:"cold_starts"`
+	OldestSnapshotUnixNs int64  `json:"oldest_snapshot_unix_ns"`
+	SnapshotBytes        int64  `json:"snapshot_bytes"`
+
 	// InputShedRatio is shed / offered events; PMShedRatio is dropped /
 	// created partial matches (the paper's ρI and ρS realized ratios).
 	InputShedRatio float64 `json:"input_shed_ratio"`
@@ -561,6 +721,14 @@ func (r *Runtime) Snapshot() Snapshot {
 		s.Restarts += ss.Restarts
 		if ss.Failed {
 			s.FailedShards++
+		}
+		s.Recovering = s.Recovering || ss.Recovering
+		s.Snapshots += ss.Snapshots
+		s.WALReplayed += ss.WALReplayed
+		s.ColdStarts += ss.ColdStarts
+		s.SnapshotBytes += ss.SnapshotBytes
+		if ss.SnapshotUnixNs > 0 && (s.OldestSnapshotUnixNs == 0 || ss.SnapshotUnixNs < s.OldestSnapshotUnixNs) {
+			s.OldestSnapshotUnixNs = ss.SnapshotUnixNs
 		}
 	}
 	s.DegradationLevel = r.DegradationLevel()

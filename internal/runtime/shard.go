@@ -2,9 +2,11 @@ package runtime
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"cepshed/internal/checkpoint"
 	"cepshed/internal/engine"
 	"cepshed/internal/event"
 	"cepshed/internal/metrics"
@@ -58,6 +60,32 @@ type shard struct {
 	pmDroppedBase uint64
 
 	matches []engine.Match // collected matches (worker-only until Close)
+
+	// Durability (nil ckpt: the shard runs without checkpointing). All
+	// non-atomic fields below are worker-owned.
+	ckpt     *checkpoint.ShardStore
+	killed   *atomic.Bool // Runtime.killed: drain-and-discard on Kill
+	lastSeq  uint64       // seq/time of the last event appended to the WAL
+	lastTime int64
+	sinceSnap int // events since the last snapshot
+
+	// needRecover is consumed at the top of the worker loop: true at boot
+	// (restore snapshot + replay WAL) and after every supervisor rebuild
+	// (recoverAfterPanic distinguishes the two counter-composition paths).
+	needRecover       bool
+	recoverAfterPanic bool
+	recoverDone       func() // Runtime.recoverWG.Done, via recoveredOnce
+	recoveredOnce     sync.Once
+	saveDLQ           func() // checkpoint the runtime dead-letter queue
+
+	recovering   atomic.Bool
+	snapshots    atomic.Uint64
+	snapBytes    atomic.Int64
+	snapUnixNs   atomic.Int64
+	walReplayed  atomic.Uint64
+	coldStarts   atomic.Uint64
+	restoredSeq  atomic.Uint64
+	restoredTime atomic.Int64
 }
 
 func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *metrics.Histogram) *shard {
@@ -94,16 +122,43 @@ const statsSyncBatch = 64
 // up to date while a saturated shard pays the sync once per
 // statsSyncBatch events.
 func (s *shard) run() {
+	if s.needRecover {
+		// Unsupervised recovery: a replay panic propagates, matching the
+		// DisableRecovery contract for live processing.
+		s.needRecover = false
+		var cur item
+		s.recoverReplay(&cur)
+	}
+	s.signalRecovered()
 	w := s.cfg.SmoothWeight
 	batched := 0
 	for it := range s.ch {
 		s.process(it, w)
 		if batched++; batched >= statsSyncBatch || len(s.ch) == 0 {
 			s.syncEngineStats()
+			s.idleFlush()
 			batched = 0
 		}
 	}
 	s.finish()
+}
+
+// signalRecovered releases Runtime.WaitRecovered for this shard; safe to
+// call on every loop entry (once-guarded) and from the worker's exit
+// defer, so the wait can never strand on a shard that dies early.
+func (s *shard) signalRecovered() {
+	if s.recoverDone != nil {
+		s.recoveredOnce.Do(s.recoverDone)
+	}
+}
+
+// idleFlush pushes the buffered WAL tail to the OS whenever the queue
+// goes idle, shrinking the loss window below FlushEvery while the shard
+// has nothing better to do.
+func (s *shard) idleFlush() {
+	if s.ckpt != nil && len(s.ch) == 0 {
+		s.ckpt.Flush()
+	}
 }
 
 // syncEngineStats publishes the worker-owned engine counters to the
@@ -115,12 +170,23 @@ func (s *shard) syncEngineStats() {
 	s.droppedPMs.Store(s.pmDroppedBase + st.DroppedPMs)
 }
 
-// process handles one dequeued event: ρI admission, the fault hook, the
-// engine step, match delivery, the latency sample, and the strategy's
-// control step. It is the only code a supervisor-caught panic can come
-// from.
+// process handles one dequeued event: the WAL append, ρI admission, the
+// fault hook, the engine step, match delivery, the latency sample, the
+// strategy's control step, and the periodic snapshot. It is the only
+// code a supervisor-caught panic can come from.
 func (s *shard) process(it item, w float64) {
+	if s.killed != nil && s.killed.Load() {
+		// Kill(): drain-and-discard so blocked producers unblock, but no
+		// event reaches the engine or the WAL — the crash already happened.
+		return
+	}
 	e := it.e
+	if s.ckpt != nil {
+		// Logged BEFORE any processing, so an event whose processing
+		// crashes the worker is replayable (and skippable via a Q record).
+		s.ckpt.AppendEvent(e)
+		s.lastSeq, s.lastTime = e.Seq, int64(e.Time)
+	}
 	s.eventsIn.Add(1)
 
 	if !s.strat.AdmitEvent(e, e.Time) {
@@ -130,6 +196,7 @@ func (s *shard) process(it item, w float64) {
 		// queue.
 		s.eventsShed.Add(1)
 		s.record(time.Since(it.enq), w)
+		s.maybeSnapshot()
 		return
 	}
 
@@ -142,23 +209,281 @@ func (s *shard) process(it item, w float64) {
 	s.strat.Observe(&res, e.Time)
 
 	if len(res.Matches) > 0 {
-		s.matched.Add(uint64(len(res.Matches)))
-		if s.cfg.CollectMatches {
-			s.matches = append(s.matches, res.Matches...)
-		}
-		if s.cfg.OnMatch != nil {
-			for _, m := range res.Matches {
-				s.cfg.OnMatch(s.id, m)
-			}
-		}
+		s.deliver(res.Matches, e.Seq, nil, false)
 	}
 
 	lat := s.record(time.Since(it.enq), w)
 	s.strat.Control(e.Time, lat)
+	s.maybeSnapshot()
 }
 
-// finish flushes the engine after a clean drain (input channel closed).
+// deliver emits matches: the WAL match record is flushed BEFORE the
+// match reaches OnMatch, so a crash can lose an undelivered match but
+// never deliver one twice. During replay, suppress holds the keys of
+// matches the previous incarnation already delivered; countSuppressed
+// re-counts them into the matched counter (boot restore, where the
+// atomic restarted from the snapshot value) or not (post-panic restore,
+// where the atomic survived the rebuild).
+func (s *shard) deliver(matches []engine.Match, seq uint64, suppress map[string]bool, countSuppressed bool) {
+	for i := range matches {
+		m := matches[i]
+		var key string
+		if s.ckpt != nil || suppress != nil {
+			key = m.Key()
+		}
+		if suppress != nil && suppress[key] {
+			if countSuppressed {
+				s.matched.Add(1)
+			}
+			continue
+		}
+		if s.ckpt != nil {
+			s.ckpt.AppendMatchKey(seq, key)
+		}
+		s.matched.Add(1)
+		if s.cfg.CollectMatches {
+			s.matches = append(s.matches, m)
+		}
+		if s.cfg.OnMatch != nil {
+			s.cfg.OnMatch(s.id, m)
+		}
+	}
+}
+
+// maybeSnapshot counts processed events toward the snapshot interval.
+func (s *shard) maybeSnapshot() {
+	if s.ckpt == nil {
+		return
+	}
+	if s.sinceSnap++; s.sinceSnap >= s.ckpt.EveryEvents() {
+		s.takeSnapshot()
+	}
+}
+
+// takeSnapshot persists the shard's full state and rotates the WAL.
+func (s *shard) takeSnapshot() {
+	s.sinceSnap = 0
+	st := s.buildState()
+	n, err := s.ckpt.Save(st)
+	if err != nil {
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("runtime: shard %d: snapshot failed: %v", s.id, err)
+		}
+		return
+	}
+	s.snapshots.Add(1)
+	s.snapBytes.Store(int64(n))
+	s.snapUnixNs.Store(st.TakenNs)
+	if s.saveDLQ != nil {
+		s.saveDLQ()
+	}
+}
+
+// buildState freezes everything a restart needs into a ShardState.
+func (s *shard) buildState() *checkpoint.ShardState {
+	st := &checkpoint.ShardState{
+		Shard:    s.id,
+		LastSeq:  s.lastSeq,
+		LastTime: s.lastTime,
+		TakenNs:  checkpoint.TakenNow(),
+		Counters: checkpoint.Counters{
+			EventsIn:    s.eventsIn.Load(),
+			EventsShed:  s.eventsShed.Load(),
+			Processed:   s.processed.Load(),
+			Overflow:    s.overflow.Load(),
+			Matched:     s.matched.Load(),
+			Restarts:    s.restarts.Load(),
+			Quarantined: s.quarantined.Load(),
+			BaseCreated: s.pmCreatedBase,
+			BaseDropped: s.pmDroppedBase,
+		},
+		StrategyName: s.strat.Name(),
+		Engine:       s.en.Snapshot(),
+	}
+	if ds, ok := s.strat.(shed.DurableStrategy); ok {
+		if blob, err := ds.MarshalState(); err == nil {
+			st.Strategy = blob
+		}
+	}
+	return st
+}
+
+// saturatingSub keeps counter compositions from wrapping when a replay
+// regenerates more state than the pre-crash run had counted.
+func saturatingSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// recoverReplay restores the last good snapshot and replays the WAL
+// tail. Every failure degrades to a counted cold start — a corrupt file
+// must never crash-loop the shard. cur is the supervisor's
+// poison-tracking slot: it is set to each replayed event so a replay
+// panic quarantines that event (and logs a Q record) exactly like a
+// live-processing panic.
+func (s *shard) recoverReplay(cur *item) {
+	fromPanic := s.recoverAfterPanic
+	s.recoverAfterPanic = false
+	s.recovering.Store(true)
+	defer s.recovering.Store(false)
+
+	res, err := s.ckpt.Load()
+	if err != nil {
+		s.coldStarts.Add(1)
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("runtime: shard %d: checkpoint load failed, cold start: %v", s.id, err)
+		}
+		return
+	}
+	if res.CorruptSnaps > 0 && s.cfg.Logf != nil {
+		s.cfg.Logf("runtime: shard %d: %d corrupt snapshot generation(s), usedPrev=%v",
+			s.id, res.CorruptSnaps, res.UsedPrev)
+	}
+
+	// Pre-restore exported counter values: the post-panic path must keep
+	// them exactly (the atomics survived the rebuild), whatever mix of
+	// snapshot stats and replay the restored engine ends up with.
+	wantCreated := s.pmCreatedBase
+	wantDropped := s.pmDroppedBase
+
+	var minSeq uint64
+	restored := false
+	if res.State != nil {
+		if rerr := s.en.Restore(res.State.Engine); rerr != nil {
+			// Decodable but structurally unusable (e.g. format drift inside
+			// version 1, or a machine mismatch the fingerprint missed):
+			// counted cold start, full-WAL replay below.
+			s.coldStarts.Add(1)
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("runtime: shard %d: snapshot restore rejected, cold start: %v", s.id, rerr)
+			}
+			res.State = nil
+		} else {
+			restored = true
+			minSeq = res.State.LastSeq
+			s.lastSeq, s.lastTime = res.State.LastSeq, res.State.LastTime
+		}
+	} else if len(res.Records) == 0 {
+		// Fresh directory: nothing to recover, not a cold-start fallback.
+		return
+	}
+
+	if restored {
+		st := res.State
+		if !fromPanic {
+			// Boot: adopt the snapshot's externally visible counters.
+			c := &st.Counters
+			s.eventsIn.Store(c.EventsIn)
+			s.eventsShed.Store(c.EventsShed)
+			s.processed.Store(c.Processed)
+			s.overflow.Store(c.Overflow)
+			s.matched.Store(c.Matched)
+			s.restarts.Store(c.Restarts)
+			s.quarantined.Store(c.Quarantined)
+			s.pmCreatedBase = c.BaseCreated
+			s.pmDroppedBase = c.BaseDropped
+		}
+		if len(st.Strategy) > 0 && st.StrategyName == s.strat.Name() {
+			if ds, ok := s.strat.(shed.DurableStrategy); ok {
+				if uerr := ds.UnmarshalState(st.Strategy); uerr != nil && s.cfg.Logf != nil {
+					s.cfg.Logf("runtime: shard %d: strategy state rejected, keeping fresh: %v", s.id, uerr)
+				}
+			}
+		}
+	}
+
+	// Index the WAL: Q records mark quarantined seqs replay must skip
+	// (the poison-crash-loop breaker), M records the matches already
+	// delivered before the crash (the duplicate-emission breaker).
+	skips := make(map[uint64]bool)
+	suppress := make(map[string]bool)
+	for _, rec := range res.Records {
+		switch rec.Kind {
+		case checkpoint.RecSkip:
+			if rec.Seq > minSeq {
+				skips[rec.Seq] = true
+			}
+		case checkpoint.RecMatch:
+			suppress[rec.Key] = true
+		}
+	}
+
+	var replayed uint64
+	for _, rec := range res.Records {
+		if rec.Kind != checkpoint.RecEvent || rec.Seq <= minSeq || skips[rec.Seq] {
+			continue
+		}
+		*cur = item{e: rec.Event}
+		s.replayEvent(rec.Event, !fromPanic, suppress)
+		replayed++
+	}
+	*cur = item{}
+
+	if fromPanic {
+		// The replayed engine re-counts creations/drops that the exported
+		// atomics already include; re-base so the exported values resume
+		// exactly where they stopped.
+		st := s.en.Stats()
+		s.pmCreatedBase = saturatingSub(wantCreated, st.CreatedPMs)
+		s.pmDroppedBase = saturatingSub(wantDropped, st.DroppedPMs)
+	}
+	s.syncEngineStats()
+	s.walReplayed.Add(replayed)
+	s.restoredSeq.Store(s.lastSeq)
+	s.restoredTime.Store(s.lastTime)
+	if res.Torn && s.cfg.Logf != nil {
+		s.cfg.Logf("runtime: shard %d: WAL tail torn (expected after a crash); replayed %d events", s.id, replayed)
+	}
+}
+
+// replayEvent re-processes one WAL event during recovery. No WAL append
+// (the record is already on disk), no latency sample (the enqueue
+// instant is long gone — the strategy's control step sees the surviving
+// EWMA), and counters only on the boot path, where they restore the
+// pre-crash totals the snapshot missed.
+func (s *shard) replayEvent(e *event.Event, boot bool, suppress map[string]bool) {
+	if boot {
+		s.eventsIn.Add(1)
+	}
+	s.lastSeq, s.lastTime = e.Seq, int64(e.Time)
+	if !s.strat.AdmitEvent(e, e.Time) {
+		if boot {
+			s.eventsShed.Add(1)
+		}
+		return
+	}
+	if s.cfg.BeforeProcess != nil {
+		// Fault hooks fire in replay too: a deterministic poison event
+		// panics again here, gets quarantined with a Q record, and the
+		// NEXT recovery skips it — the crash loop terminates.
+		s.cfg.BeforeProcess(s.id, e)
+	}
+	res := s.en.Process(e)
+	if boot {
+		s.processed.Add(1)
+	}
+	s.strat.Observe(&res, e.Time)
+	if len(res.Matches) > 0 {
+		s.deliver(res.Matches, e.Seq, suppress, boot)
+	}
+	s.strat.Control(e.Time, event.Time(math.Float64frombits(s.ewma.Load())))
+}
+
+// finish runs when the input channel closes. A clean drain takes a final
+// snapshot (so a graceful shutdown restarts with zero WAL replay) and
+// closes the store; a Kill abandons the buffered WAL tail unflushed —
+// that is the crash being simulated.
 func (s *shard) finish() {
+	if s.ckpt != nil {
+		if s.killed != nil && s.killed.Load() {
+			s.ckpt.Abort()
+			return
+		}
+		s.takeSnapshot()
+		s.ckpt.Close()
+	}
 	s.en.Flush()
 	s.syncEngineStats()
 }
@@ -200,6 +525,13 @@ func (s *shard) snapshot() ShardSnapshot {
 		Restarts:    s.restarts.Load(),
 		Quarantined: s.quarantined.Load(),
 		Failed:      s.failed.Load(),
+
+		Recovering:     s.recovering.Load(),
+		Snapshots:      s.snapshots.Load(),
+		SnapshotBytes:  s.snapBytes.Load(),
+		SnapshotUnixNs: s.snapUnixNs.Load(),
+		WALReplayed:    s.walReplayed.Load(),
+		ColdStarts:     s.coldStarts.Load(),
 
 		SmoothedLatency: time.Duration(math.Float64frombits(s.ewma.Load())),
 		P50:             time.Duration(s.hist.Quantile(0.50)),

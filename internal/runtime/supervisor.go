@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"cepshed/internal/checkpoint"
 	"cepshed/internal/engine"
 	"cepshed/internal/shed"
 )
@@ -139,6 +140,52 @@ func (q *deadLetters) count() uint64 {
 	return q.total
 }
 
+// seed restores the queue from a checkpointed state at boot: the monotone
+// total resumes and the ring refills with the retained letters (clamped
+// to capacity, newest kept) WITHOUT re-counting them.
+func (q *deadLetters) seed(st *checkpoint.DeadLetterState) {
+	if st == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.total = st.Total
+	q.next, q.full = 0, false
+	letters := st.Letters
+	if len(letters) > len(q.buf) {
+		letters = letters[len(letters)-len(q.buf):]
+	}
+	for _, l := range letters {
+		q.buf[q.next] = DeadLetter{Shard: l.Shard, Seq: l.Seq, Type: l.Type, Reason: l.Reason, Payload: l.Payload}
+		q.next++
+		if q.next == len(q.buf) {
+			q.next, q.full = 0, true
+		}
+	}
+}
+
+// state freezes the queue for checkpointing: total plus the retained
+// letters, oldest first, under one lock acquisition.
+func (q *deadLetters) state() *checkpoint.DeadLetterState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := &checkpoint.DeadLetterState{Total: q.total}
+	emit := func(dl DeadLetter) {
+		st.Letters = append(st.Letters, checkpoint.DeadLetterRecord{
+			Shard: dl.Shard, Seq: dl.Seq, Type: dl.Type, Reason: dl.Reason, Payload: dl.Payload,
+		})
+	}
+	if q.full {
+		for _, dl := range q.buf[q.next:] {
+			emit(dl)
+		}
+	}
+	for _, dl := range q.buf[:q.next] {
+		emit(dl)
+	}
+	return st
+}
+
 // runSupervised is the supervised worker entry point. It loops the
 // processing loop through recover() until the input channel closes.
 func (s *shard) runSupervised(r *Runtime) {
@@ -152,6 +199,12 @@ func (s *shard) runSupervised(r *Runtime) {
 			return
 		}
 		s.quarantine(r, poison, fmt.Sprintf("panic: %v", pv))
+		if s.ckpt != nil && poison.e != nil {
+			// The Q record makes the quarantine durable: replay after the
+			// NEXT crash (or restart) skips this seq, so a deterministic
+			// poison event cannot re-crash recovery forever.
+			s.ckpt.AppendSkip(poison.e.Seq)
+		}
 		s.restarts.Add(1)
 		now := time.Now()
 		recent = append(recent, now)
@@ -164,6 +217,14 @@ func (s *shard) runSupervised(r *Runtime) {
 				s.id, len(recent), pol.Window)
 			s.forwardRemaining(r)
 			return
+		}
+		if s.ckpt != nil {
+			// The rebuilt engine is empty; the next runOnce restores the last
+			// snapshot and replays the WAL tail (minus the quarantined seq),
+			// so the panic costs at most the in-flight event — not every
+			// partial match the shard had open.
+			s.needRecover = true
+			s.recoverAfterPanic = true
 		}
 		d := pol.backoff(len(recent), rng)
 		r.logf("runtime: shard %d recovered from panic on seq=%d (%v); restart %d in %s",
@@ -185,6 +246,14 @@ func (s *shard) runOnce() (pv any, poison item, clean bool) {
 			}
 		}
 	}()
+	if s.needRecover {
+		// Recovery runs under the same recover(): a panic while replaying
+		// a WAL event quarantines that event (cur tracks it) and the next
+		// runOnce retries recovery with the poison seq skipped.
+		s.needRecover = false
+		s.recoverReplay(&cur)
+	}
+	s.signalRecovered()
 	w := s.cfg.SmoothWeight
 	batched := 0
 	for it := range s.ch {
@@ -192,6 +261,7 @@ func (s *shard) runOnce() (pv any, poison item, clean bool) {
 		s.process(it, w)
 		if batched++; batched >= statsSyncBatch || len(s.ch) == 0 {
 			s.syncEngineStats()
+			s.idleFlush()
 			batched = 0
 		}
 	}
@@ -221,6 +291,11 @@ func (s *shard) quarantine(r *Runtime, it item, reason string) {
 		Reason:  reason,
 		Payload: truncatePayload(EncodeEvent(it.e), maxDeadLetterPayload),
 	})
+	// Durable immediately (not just at the next snapshot): if the
+	// process dies during the restart backoff, the postmortem record of
+	// WHY it was crashing must already be on disk. Runs on this shard's
+	// worker goroutine, so s.id cannot collide with a snapshot-time save.
+	r.persistDeadLetters(s.id)
 }
 
 // rebuild replaces the engine and strategy with fresh instances. The
@@ -272,6 +347,13 @@ func (r *Runtime) failover(from *shard, it item) {
 	if t := r.fallbackFor(from.id); t != nil && !r.closed.Load() {
 		t.ch <- it
 		return
+	}
+	// The item left the queue without reaching process(), so count its
+	// arrival here: the conservation law `events_in == shed + processed +
+	// quarantined` must hold even for events quarantined at the door of a
+	// closing or fully failed runtime.
+	if it.e != nil {
+		from.eventsIn.Add(1)
 	}
 	from.quarantine(r, it, "no healthy shard for failover")
 }

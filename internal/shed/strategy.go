@@ -35,6 +35,18 @@ type Strategy interface {
 	Control(now event.Time, lat event.Time) vclock.Cost
 }
 
+// DurableStrategy is implemented by strategies whose learned state is
+// worth carrying across a restart (internal/checkpoint stores the blob
+// inside shard snapshots). MarshalState renders the state opaquely;
+// UnmarshalState applies a previously marshalled blob, returning an
+// error — not panicking — when the blob is incompatible, in which case
+// the caller keeps the freshly initialised state.
+type DurableStrategy interface {
+	Strategy
+	MarshalState() ([]byte, error)
+	UnmarshalState([]byte) error
+}
+
 // None is the no-shedding strategy used for ground-truth runs.
 type None struct{}
 
