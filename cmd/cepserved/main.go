@@ -195,7 +195,10 @@ func main() {
 	rt.WaitRecovered()
 	if cfg.Durability != nil {
 		info := rt.RecoveryInfo()
-		if info.MaxSeq > 0 || info.WALReplayed > 0 {
+		// Gate on Restored, not MaxSeq > 0: sequence numbers start at 0, so
+		// a store whose only durable event is seq 0 would otherwise hand out
+		// seq 0 again.
+		if info.Restored {
 			// Resume numbering and time above everything already durable, and
 			// make dataset replay skip the prefix the store already has.
 			srv.seq.Store(info.MaxSeq + 1)
@@ -569,6 +572,8 @@ func writePrometheus(w io.Writer, snap runtime.Snapshot) {
 		func(ss runtime.ShardSnapshot) uint64 { return ss.WALReplayed })
 	counter("recovery_cold_starts_total", "Recoveries that fell back to an empty engine.",
 		func(ss runtime.ShardSnapshot) uint64 { return ss.ColdStarts })
+	counter("wal_errors_total", "WAL append/flush failures; the first disables the shard's durability.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.WALErrors })
 	gauge("snapshot_bytes", "Size of the shard's last checkpoint snapshot.",
 		func(ss runtime.ShardSnapshot) float64 { return float64(ss.SnapshotBytes) })
 	gauge("queue_depth", "Events waiting in the shard queue.",

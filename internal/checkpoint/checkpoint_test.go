@@ -28,6 +28,7 @@ func liveState(t *testing.T, n int) (*engine.Engine, *ShardState) {
 	return en, &ShardState{
 		Shard:    2,
 		LastSeq:  lastSeq,
+		HasSeq:   true,
 		LastTime: lastTime,
 		TakenNs:  123456789,
 		Counters: Counters{
@@ -52,7 +53,8 @@ func TestShardStateRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if got.Shard != st.Shard || got.LastSeq != st.LastSeq || got.LastTime != st.LastTime ||
+	if got.Shard != st.Shard || got.LastSeq != st.LastSeq || got.HasSeq != st.HasSeq ||
+		got.LastTime != st.LastTime ||
 		got.TakenNs != st.TakenNs || got.Counters != st.Counters ||
 		got.StrategyName != st.StrategyName || !bytes.Equal(got.Strategy, st.Strategy) {
 		t.Fatalf("header fields diverged:\ngot  %+v\nwant %+v", got, st)
@@ -221,6 +223,112 @@ func TestWALRoundTripAndTornTail(t *testing.T) {
 	}
 	if len(recs) >= len(full) {
 		t.Fatal("bitflip decode returned all records")
+	}
+}
+
+// TestOpenWALTruncatesTornTail covers the reopen-after-crash path: a WAL
+// with a partial last frame must be truncated to its last valid frame on
+// open, so records appended by the recovered process land where the NEXT
+// recovery can read them (the reader stops at the first bad frame —
+// appending after a torn point would make every later record, including
+// flushed match records, unreachable).
+func TestOpenWALTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewShardStore(Config{Dir: dir, FlushEvery: 1}, 0, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := gen.DS1(gen.DS1Config{Events: 20, Seed: 4, InterArrival: event.Millisecond})
+	for _, e := range evs {
+		if err := store.AppendEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.AppendMatchKey(evs[19].Seq, "m-old"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: chop 3 bytes off the final frame (the m-old match).
+	path := filepath.Join(dir, "shard-000.wal")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (repair runs inside), append more records, close cleanly.
+	store2, err := NewShardStore(Config{Dir: dir, FlushEvery: 1}, 0, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs2 := gen.DS1(gen.DS1Config{Events: 10, Seed: 5, InterArrival: event.Millisecond})
+	for _, e := range evs2 {
+		e.Seq += 100 // distinct seq range for readability
+		if err := store2.AppendEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store2.AppendMatchKey(evs2[9].Seq, "m-new"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := store2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn {
+		t.Fatal("repaired-then-appended WAL reported torn")
+	}
+	if got := len(walEvents(res.Records)); got != 30 {
+		t.Fatalf("replayed %d events, want 30 (20 old + 10 new)", got)
+	}
+	var sawNew, sawOld bool
+	for _, r := range res.Records {
+		if r.Kind == RecMatch {
+			switch r.Key {
+			case "m-new":
+				sawNew = true
+			case "m-old":
+				sawOld = true
+			}
+		}
+	}
+	if !sawNew {
+		t.Fatal("match appended after repair is unreachable — tail was not truncated")
+	}
+	if sawOld {
+		t.Fatal("torn match record survived repair")
+	}
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A WAL whose header belongs to another configuration rotates aside
+	// instead of being appended to.
+	store3, err := NewShardStore(Config{Dir: dir, FlushEvery: 1}, 0, testFP+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := gen.DS1(gen.DS1Config{Events: 1, Seed: 6, InterArrival: event.Millisecond})
+	if err := store3.AppendEvent(fresh[0]); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := store3.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(walEvents(res3.Records)); got != 1 {
+		t.Fatalf("fresh store replayed %d events, want 1", got)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("alien WAL not rotated aside: %v", err)
+	}
+	if err := store3.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -30,7 +30,9 @@ const (
 
 	// FormatVersion is the on-disk format version shared by snapshot, WAL
 	// and dead-letter files. Bump on any incompatible encoding change.
-	FormatVersion = 1
+	// v2: ShardState gained HasSeq (LastSeq alone cannot express "no
+	// events yet" — sequence numbers start at 0).
+	FormatVersion = 2
 
 	headerLen = 8 + 2 + 8         // magic + version + fingerprint
 	frameLen  = headerLen + 4 + 4 // + bodyLen + bodyCRC
@@ -72,9 +74,15 @@ type Counters struct {
 
 // ShardState is everything one shard persists per snapshot.
 type ShardState struct {
-	Shard    int
-	LastSeq  uint64 // seq of the last event reflected in Engine
-	LastTime int64  // its virtual time
+	Shard   int
+	LastSeq uint64 // seq of the last event reflected in Engine
+	// HasSeq reports that LastSeq/LastTime are meaningful: at least one
+	// event reached the shard before this snapshot. Seq numbering starts
+	// at 0, so LastSeq == 0 alone is ambiguous between "first event" and
+	// "no events"; replay must not treat an event-free snapshot as a
+	// floor that filters seq 0.
+	HasSeq   bool
+	LastTime int64 // its virtual time
 	TakenNs  int64  // wall clock (UnixNano) at snapshot time
 	Counters Counters
 	// StrategyName + Strategy carry the shedding strategy's opaque state
@@ -152,6 +160,7 @@ func DecodeShardState(data []byte, fp uint64) (*ShardState, error) {
 func encodeShardBody(e *Encoder, st *ShardState) {
 	e.Varint(int64(st.Shard))
 	e.Uvarint(st.LastSeq)
+	e.Bool(st.HasSeq)
 	e.Varint(st.LastTime)
 	e.Varint(st.TakenNs)
 	c := &st.Counters
@@ -173,6 +182,7 @@ func decodeShardBody(d *Decoder) *ShardState {
 	st := &ShardState{}
 	st.Shard = int(d.Varint())
 	st.LastSeq = d.Uvarint()
+	st.HasSeq = d.Bool()
 	st.LastTime = d.Varint()
 	st.TakenNs = d.Varint()
 	c := &st.Counters

@@ -55,8 +55,19 @@ type walWriter struct {
 }
 
 // openWAL opens (creating and writing the header if empty) path for
-// append.
+// append. An existing file is repaired first: everything past the last
+// valid frame — the torn remnant of a crash mid-write — is truncated,
+// because the reader stops at the first bad frame, so records appended
+// after a torn point would be unreachable on the next recovery (a
+// second crash would then lose post-boot events and re-deliver matches
+// whose M records sit beyond the tear). A file whose header does not
+// match this process (foreign magic, version, or fingerprint) is
+// rotated aside to .corrupt rather than appended to, for the same
+// reason.
 func openWAL(path string, fp uint64, fsync bool) (*walWriter, error) {
+	if err := repairWAL(path, fp); err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -78,6 +89,62 @@ func openWAL(path string, fp uint64, fsync bool) (*walWriter, error) {
 		}
 	}
 	return w, nil
+}
+
+// repairWAL makes an existing WAL file safe to append to: torn tails
+// truncate to the last valid frame (losing only bytes no reader could
+// use), alien headers rotate the whole file aside. Missing or empty
+// files need no repair.
+func repairWAL(path string, fp uint64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	valid, headerOK := validWALPrefix(data, fp)
+	if !headerOK {
+		return os.Rename(path, path+".corrupt")
+	}
+	if valid < int64(len(data)) {
+		return os.Truncate(path, valid)
+	}
+	return nil
+}
+
+// validWALPrefix returns the byte length of the header plus every valid
+// frame (the prefix DecodeWAL would read), and whether the header
+// itself was acceptable.
+func validWALPrefix(data []byte, fp uint64) (int64, bool) {
+	rest, err := checkHeader(data, walMagic, fp)
+	if err != nil {
+		return 0, false
+	}
+	n := int64(headerLen)
+	for len(rest) >= 9 {
+		plen := binary.LittleEndian.Uint32(rest[1:5])
+		crc := binary.LittleEndian.Uint32(rest[5:9])
+		if plen > maxWALRecord || uint64(plen) > uint64(len(rest)-9) {
+			break
+		}
+		payload := rest[9 : 9+plen]
+		h := crc32.NewIEEE()
+		h.Write(rest[:1])
+		h.Write(payload)
+		if h.Sum32() != crc {
+			break
+		}
+		if _, ok := decodeRecord(rest[0], payload); !ok {
+			break
+		}
+		n += int64(9 + plen)
+		rest = rest[9+plen:]
+	}
+	return n, true
 }
 
 // frameHeader renders the 9-byte record header for kind+payload.

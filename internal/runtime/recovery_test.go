@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -479,5 +480,212 @@ func TestDeadLetterCheckpointSurvivesCrash(t *testing.T) {
 	}
 	if !haveEdge || !havePoison {
 		t.Fatalf("restored letters missing a source (edge=%v poison=%v): %+v", haveEdge, havePoison, letters)
+	}
+}
+
+// shardConservation asserts the per-shard accounting law
+// events_in == shed + processed + quarantined for every shard.
+func shardConservation(t *testing.T, snap Snapshot, ctx string) {
+	t.Helper()
+	for _, ss := range snap.Shards {
+		if ss.EventsIn != ss.EventsShed+ss.EventsProcessed+ss.Quarantined {
+			t.Fatalf("%s: shard %d conservation broken: in=%d shed=%d processed=%d quarantined=%d",
+				ctx, ss.Shard, ss.EventsIn, ss.EventsShed, ss.EventsProcessed, ss.Quarantined)
+		}
+	}
+}
+
+// TestRecoveryBeforeFirstSnapshot crashes before any snapshot exists, so
+// recovery has no sequence floor and must replay the WAL from the very
+// first record. Sequence numbers start at 0: a zero-valued "no snapshot"
+// sentinel would silently drop the stream's first event here, losing its
+// matches forever.
+func TestRecoveryBeforeFirstSnapshot(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 1500, Seed: 21, InterArrival: 15 * event.Microsecond})
+	want := sortedKeys(engine.Sequential(m, engine.DefaultCosts(), s, false))
+	if len(want) == 0 {
+		t.Fatal("reference run found no matches; test is vacuous")
+	}
+	// EveryEvents past the cut: the crash lands before the first snapshot.
+	dur := &checkpoint.Config{Dir: t.TempDir(), EveryEvents: 1 << 30, FlushEvery: 1}
+	col := newCollector()
+	cfg := Config{Shards: 1, OnMatch: col.hook(), Durability: dur}
+	const cut = 60
+
+	r1 := New(m, cfg)
+	r1.WaitRecovered()
+	for _, e := range s[:cut] {
+		r1.Offer(e)
+	}
+	drainTo(t, r1, cut)
+	r1.Kill()
+
+	r2 := New(m, cfg)
+	r2.WaitRecovered()
+	info := r2.RecoveryInfo()
+	if !info.Restored {
+		t.Fatal("recovery restored a WAL tail but reports Restored=false")
+	}
+	if info.WALReplayed != cut {
+		t.Fatalf("replayed %d WAL events, want %d (seq 0 must replay without a snapshot floor)",
+			info.WALReplayed, cut)
+	}
+	if info.MaxSeq != cut-1 {
+		t.Fatalf("restored MaxSeq = %d, want %d", info.MaxSeq, cut-1)
+	}
+	for _, e := range s[cut:] {
+		r2.Offer(e)
+	}
+	r2.Close()
+
+	if d := col.dups(); len(d) != 0 {
+		t.Fatalf("%d matches delivered more than once", len(d))
+	}
+	got := col.keys()
+	if missing, extra := subsetOf(got, want); len(missing) != 0 || len(extra) != 0 {
+		t.Fatalf("recovered run delivered %d matches, want %d (missing %d, extra %d)",
+			len(got), len(want), len(missing), len(extra))
+	}
+}
+
+// TestQuarantinedSeqZeroSkippedOnReplay: the stream's FIRST event is the
+// poison. Its quarantine writes a Q record for seq 0; a reboot with no
+// snapshot (so no replay floor) must honor that record — a zero-valued
+// floor sentinel would discard it, and boot replay would re-panic on the
+// poison event on every restart.
+func TestQuarantinedSeqZeroSkippedOnReplay(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 300, Seed: 23, InterArrival: 15 * event.Microsecond})
+	dur := &checkpoint.Config{Dir: t.TempDir(), EveryEvents: 1 << 30, FlushEvery: 1}
+	cfg := Config{
+		Shards:     1,
+		Durability: dur,
+		BeforeProcess: fault.PanicIf(func(_ int, e *event.Event) bool {
+			return e.Seq == 0
+		}, "poison"),
+		Restart: RestartPolicy{BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond},
+	}
+
+	r1 := New(m, cfg)
+	r1.WaitRecovered()
+	for _, e := range s {
+		r1.Offer(e)
+	}
+	drainTo(t, r1, uint64(len(s)))
+	if pre := r1.Snapshot(); pre.Restarts != 1 {
+		t.Fatalf("restarts = %d before the crash, want 1", pre.Restarts)
+	}
+	r1.Kill()
+
+	r2 := New(m, cfg)
+	r2.WaitRecovered()
+	snap := r2.Snapshot()
+	r2.Close()
+	// Any restart in the second incarnation means boot replay hit the
+	// poison event again: the seq-0 Q record was not honored.
+	if snap.Restarts != 0 {
+		t.Fatalf("boot replay restarted %d times; quarantined seq 0 was replayed", snap.Restarts)
+	}
+	if snap.EventsIn != uint64(len(s)) {
+		t.Fatalf("events_in after recovery = %d, want %d", snap.EventsIn, len(s))
+	}
+	shardConservation(t, snap, "after seq-0-poison recovery")
+}
+
+// TestBootReplayPanicKeepsConservation arms a poison event that fires
+// only during the SECOND incarnation's boot replay. The supervisor
+// quarantines it and retries recovery; the retry must resume boot counter
+// composition (snapshot base + full replay accounting), not degrade to
+// the post-panic path that stops counting — that would permanently lose
+// the arrival counts of every event past the poison seq.
+func TestBootReplayPanicKeepsConservation(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 650, Seed: 27, InterArrival: 15 * event.Microsecond})
+	dur := &checkpoint.Config{Dir: t.TempDir(), EveryEvents: 200, FlushEvery: 1}
+	const poisonSeq = 620
+	var armed atomic.Bool
+	cfg := Config{
+		Shards:     1,
+		Durability: dur,
+		BeforeProcess: fault.PanicIf(func(_ int, e *event.Event) bool {
+			return armed.Load() && e.Seq == poisonSeq
+		}, "replay-poison"),
+		Restart: RestartPolicy{BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond},
+	}
+
+	r1 := New(m, cfg)
+	r1.WaitRecovered()
+	for _, e := range s {
+		r1.Offer(e)
+	}
+	drainTo(t, r1, uint64(len(s)))
+	pre := r1.Snapshot()
+	if pre.Snapshots == 0 {
+		t.Fatal("no snapshot before the crash; boot replay would not exercise the snapshot-base path")
+	}
+	shardConservation(t, pre, "before crash")
+	r1.Kill()
+
+	armed.Store(true)
+	r2 := New(m, cfg)
+	r2.WaitRecovered()
+	snap := r2.Snapshot()
+	r2.Close()
+
+	if snap.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (the armed poison must panic boot replay exactly once)", snap.Restarts)
+	}
+	if snap.EventsIn != pre.EventsIn {
+		t.Fatalf("events_in after boot-replay panic = %d, want %d — the retry lost arrival counts",
+			snap.EventsIn, pre.EventsIn)
+	}
+	var quarantined uint64
+	for _, ss := range snap.Shards {
+		quarantined += ss.Quarantined
+	}
+	if quarantined != 1 {
+		t.Fatalf("shard quarantined = %d, want exactly 1 (no double count across the retry)", quarantined)
+	}
+	shardConservation(t, snap, "after boot-replay panic retry")
+}
+
+// TestWALFailureDegradesLoudly simulates a WAL write failure (the file
+// descriptor dies under the store, as on a yanked disk). The shard must
+// count the failure, disable its durability, and KEEP processing — the
+// match stream must be unaffected even though exactly-once across a
+// restart is gone.
+func TestWALFailureDegradesLoudly(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 800, Seed: 31, InterArrival: 15 * event.Microsecond})
+	want := sortedKeys(engine.Sequential(m, engine.DefaultCosts(), s, false))
+	dur := &checkpoint.Config{Dir: t.TempDir(), EveryEvents: 200, FlushEvery: 1}
+	col := newCollector()
+	r := New(m, Config{Shards: 1, OnMatch: col.hook(), Durability: dur})
+	r.WaitRecovered()
+	// Close the WAL's file descriptor out from under the store: every
+	// subsequent append flush fails. WaitRecovered ordered this write
+	// after the worker's recovery-time store use; the worker's next use
+	// is ordered after the first Offer's channel send.
+	r.shards[0].ckpt.Abort()
+	for _, e := range s {
+		r.Offer(e)
+	}
+	drainTo(t, r, uint64(len(s)))
+	snap := r.Snapshot()
+	r.Close()
+
+	if snap.WALErrors == 0 {
+		t.Fatal("WAL failure was not counted")
+	}
+	if snap.EventsIn != uint64(len(s)) {
+		t.Fatalf("events_in = %d, want %d — processing must continue without durability", snap.EventsIn, len(s))
+	}
+	if d := col.dups(); len(d) != 0 {
+		t.Fatalf("%d duplicate matches after durability loss", len(d))
+	}
+	got := col.keys()
+	if missing, extra := subsetOf(got, want); len(missing) != 0 || len(extra) != 0 {
+		t.Fatalf("degraded run delivered %d matches, want %d", len(got), len(want))
 	}
 }

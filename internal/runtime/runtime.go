@@ -274,6 +274,11 @@ func New(m *nfa.Machine, cfg Config) *Runtime {
 			} else {
 				sh.ckpt = store
 				sh.needRecover = true
+				// bootPending distinguishes the first (boot) recovery — which
+				// composes counters from the snapshot — from post-panic
+				// rebuilds; it stays true across boot-replay panics so a
+				// retry resumes boot counter composition.
+				sh.bootPending = true
 			}
 			owner := i
 			sh.recoverDone = r.recoverWG.Done
@@ -316,8 +321,14 @@ func (r *Runtime) Recovering() bool {
 
 // RecoveryInfo summarises what boot recovery restored.
 type RecoveryInfo struct {
+	// Restored reports that at least one shard recovered a sequence floor
+	// (snapshot or WAL event). Producers must gate seq resumption on this,
+	// not on MaxSeq > 0 — sequence numbers start at 0, so MaxSeq == 0 is
+	// ambiguous between "nothing restored" and "restored through seq 0".
+	Restored bool `json:"restored"`
 	// MaxSeq / MaxTime are the highest restored input sequence number and
-	// event time across shards; producers resume numbering above MaxSeq.
+	// event time across shards; producers resume numbering above MaxSeq
+	// when Restored is true.
 	MaxSeq  uint64 `json:"max_seq"`
 	MaxTime int64  `json:"max_time"`
 	// WALReplayed counts events replayed from WAL tails; ColdStarts counts
@@ -331,6 +342,9 @@ type RecoveryInfo struct {
 func (r *Runtime) RecoveryInfo() RecoveryInfo {
 	var info RecoveryInfo
 	for _, sh := range r.shards {
+		if sh.restoredHasSeq.Load() {
+			info.Restored = true
+		}
 		if seq := sh.restoredSeq.Load(); seq > info.MaxSeq {
 			info.MaxSeq = seq
 		}
@@ -643,6 +657,10 @@ type ShardSnapshot struct {
 	SnapshotUnixNs int64  `json:"snapshot_unix_ns"`
 	WALReplayed    uint64 `json:"wal_replayed"`
 	ColdStarts     uint64 `json:"cold_starts"`
+	// WALErrors counts WAL append/flush failures; the first one disables
+	// durability for the shard (loudly), so any nonzero value means the
+	// exactly-once contract no longer holds across a restart.
+	WALErrors uint64 `json:"wal_errors"`
 
 	SmoothedLatency time.Duration `json:"smoothed_latency_ns"`
 	P50             time.Duration `json:"p50_ns"`
@@ -688,6 +706,7 @@ type Snapshot struct {
 	Snapshots            uint64 `json:"snapshots"`
 	WALReplayed          uint64 `json:"wal_replayed"`
 	ColdStarts           uint64 `json:"cold_starts"`
+	WALErrors            uint64 `json:"wal_errors"`
 	OldestSnapshotUnixNs int64  `json:"oldest_snapshot_unix_ns"`
 	SnapshotBytes        int64  `json:"snapshot_bytes"`
 
@@ -726,6 +745,7 @@ func (r *Runtime) Snapshot() Snapshot {
 		s.Snapshots += ss.Snapshots
 		s.WALReplayed += ss.WALReplayed
 		s.ColdStarts += ss.ColdStarts
+		s.WALErrors += ss.WALErrors
 		s.SnapshotBytes += ss.SnapshotBytes
 		if ss.SnapshotUnixNs > 0 && (s.OldestSnapshotUnixNs == 0 || ss.SnapshotUnixNs < s.OldestSnapshotUnixNs) {
 			s.OldestSnapshotUnixNs = ss.SnapshotUnixNs

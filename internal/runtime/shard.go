@@ -61,31 +61,40 @@ type shard struct {
 
 	matches []engine.Match // collected matches (worker-only until Close)
 
-	// Durability (nil ckpt: the shard runs without checkpointing). All
-	// non-atomic fields below are worker-owned.
+	// Durability (nil ckpt: the shard runs without checkpointing; also
+	// the degraded state walFailed leaves behind). All non-atomic fields
+	// below are worker-owned.
 	ckpt     *checkpoint.ShardStore
 	killed   *atomic.Bool // Runtime.killed: drain-and-discard on Kill
 	lastSeq  uint64       // seq/time of the last event appended to the WAL
 	lastTime int64
-	sinceSnap int // events since the last snapshot
+	hasSeq   bool // lastSeq/lastTime are meaningful (seq numbering starts at 0)
+	sinceSnap int  // events since the last snapshot
 
 	// needRecover is consumed at the top of the worker loop: true at boot
-	// (restore snapshot + replay WAL) and after every supervisor rebuild
-	// (recoverAfterPanic distinguishes the two counter-composition paths).
-	needRecover       bool
-	recoverAfterPanic bool
-	recoverDone       func() // Runtime.recoverWG.Done, via recoveredOnce
-	recoveredOnce     sync.Once
-	saveDLQ           func() // checkpoint the runtime dead-letter queue
+	// (restore snapshot + replay WAL) and after every supervisor rebuild.
+	// bootPending stays true until a BOOT recovery completes without
+	// panicking, so a retry after a replay panic keeps composing counters
+	// the boot way (restore snapshot values, re-count replay) instead of
+	// the post-panic way (atomics survived, count nothing).
+	// bootBaseApplied marks the one-shot part of that composition done.
+	needRecover     bool
+	bootPending     bool
+	bootBaseApplied bool
+	recoverDone     func() // Runtime.recoverWG.Done, via recoveredOnce
+	recoveredOnce   sync.Once
+	saveDLQ         func() // checkpoint the runtime dead-letter queue
 
-	recovering   atomic.Bool
-	snapshots    atomic.Uint64
-	snapBytes    atomic.Int64
-	snapUnixNs   atomic.Int64
-	walReplayed  atomic.Uint64
-	coldStarts   atomic.Uint64
-	restoredSeq  atomic.Uint64
-	restoredTime atomic.Int64
+	recovering     atomic.Bool
+	snapshots      atomic.Uint64
+	snapBytes      atomic.Int64
+	snapUnixNs     atomic.Int64
+	walReplayed    atomic.Uint64
+	coldStarts     atomic.Uint64
+	walErrors      atomic.Uint64
+	restoredSeq    atomic.Uint64
+	restoredTime   atomic.Int64
+	restoredHasSeq atomic.Bool
 }
 
 func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *metrics.Histogram) *shard {
@@ -157,8 +166,27 @@ func (s *shard) signalRecovered() {
 // has nothing better to do.
 func (s *shard) idleFlush() {
 	if s.ckpt != nil && len(s.ch) == 0 {
-		s.ckpt.Flush()
+		if err := s.ckpt.Flush(); err != nil {
+			s.walFailed("flush", err)
+		}
 	}
+}
+
+// walFailed handles a WAL append/flush failure (disk full, I/O error —
+// bufio keeps the first error sticky, so every later write would fail
+// too). The bounded-loss and no-duplicate contracts can no longer be
+// honored, so rather than silently delivering matches with no durable
+// record (which the next recovery would re-emit), the shard counts the
+// failure, logs loudly, and drops to running without durability. The
+// store is aborted, not closed: flushing is exactly what just failed.
+func (s *shard) walFailed(op string, err error) {
+	s.walErrors.Add(1)
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("runtime: shard %d: WAL %s failed; durability DISABLED for this shard — state on disk is frozen at the failure point and exactly-once no longer holds across a restart: %v",
+			s.id, op, err)
+	}
+	s.ckpt.Abort()
+	s.ckpt = nil
 }
 
 // syncEngineStats publishes the worker-owned engine counters to the
@@ -184,8 +212,11 @@ func (s *shard) process(it item, w float64) {
 	if s.ckpt != nil {
 		// Logged BEFORE any processing, so an event whose processing
 		// crashes the worker is replayable (and skippable via a Q record).
-		s.ckpt.AppendEvent(e)
-		s.lastSeq, s.lastTime = e.Seq, int64(e.Time)
+		if err := s.ckpt.AppendEvent(e); err != nil {
+			s.walFailed("event append", err)
+		} else {
+			s.lastSeq, s.lastTime, s.hasSeq = e.Seq, int64(e.Time), true
+		}
 	}
 	s.eventsIn.Add(1)
 
@@ -238,7 +269,12 @@ func (s *shard) deliver(matches []engine.Match, seq uint64, suppress map[string]
 			continue
 		}
 		if s.ckpt != nil {
-			s.ckpt.AppendMatchKey(seq, key)
+			// The M record must be durable before OnMatch runs; if it cannot
+			// be, the match is still delivered (availability wins) but the
+			// exactly-once contract is declared broken, not silently voided.
+			if err := s.ckpt.AppendMatchKey(seq, key); err != nil {
+				s.walFailed("match append", err)
+			}
 		}
 		s.matched.Add(1)
 		if s.cfg.CollectMatches {
@@ -284,6 +320,7 @@ func (s *shard) buildState() *checkpoint.ShardState {
 	st := &checkpoint.ShardState{
 		Shard:    s.id,
 		LastSeq:  s.lastSeq,
+		HasSeq:   s.hasSeq,
 		LastTime: s.lastTime,
 		TakenNs:  checkpoint.TakenNow(),
 		Counters: checkpoint.Counters{
@@ -324,8 +361,12 @@ func saturatingSub(a, b uint64) uint64 {
 // panic quarantines that event (and logs a Q record) exactly like a
 // live-processing panic.
 func (s *shard) recoverReplay(cur *item) {
-	fromPanic := s.recoverAfterPanic
-	s.recoverAfterPanic = false
+	// boot (vs post-panic) selects the counter-composition path. It
+	// comes from bootPending, NOT from "is this the first recovery": a
+	// replay panic during boot sends the retry back here, and that retry
+	// must still compose counters the boot way — bootPending only clears
+	// when a boot recovery runs to completion.
+	boot := s.bootPending
 	s.recovering.Store(true)
 	defer s.recovering.Store(false)
 
@@ -335,6 +376,7 @@ func (s *shard) recoverReplay(cur *item) {
 		if s.cfg.Logf != nil {
 			s.cfg.Logf("runtime: shard %d: checkpoint load failed, cold start: %v", s.id, err)
 		}
+		s.bootPending = false
 		return
 	}
 	if res.CorruptSnaps > 0 && s.cfg.Logf != nil {
@@ -348,12 +390,20 @@ func (s *shard) recoverReplay(cur *item) {
 	wantCreated := s.pmCreatedBase
 	wantDropped := s.pmDroppedBase
 
-	var minSeq uint64
+	// floor is the replay low-water mark: WAL events at or below it are
+	// already inside the restored snapshot. haveFloor distinguishes "no
+	// floor" (no snapshot, or one taken before any event arrived) from a
+	// floor of 0 — sequence numbers start at 0, so the value alone
+	// cannot encode "none" and a zero sentinel would silently drop the
+	// stream's first event (and any Q record for it) from every
+	// snapshot-less recovery.
+	var floor uint64
+	haveFloor := false
 	restored := false
 	if res.State != nil {
 		if rerr := s.en.Restore(res.State.Engine); rerr != nil {
 			// Decodable but structurally unusable (e.g. format drift inside
-			// version 1, or a machine mismatch the fingerprint missed):
+			// one version, or a machine mismatch the fingerprint missed):
 			// counted cold start, full-WAL replay below.
 			s.coldStarts.Add(1)
 			if s.cfg.Logf != nil {
@@ -362,29 +412,44 @@ func (s *shard) recoverReplay(cur *item) {
 			res.State = nil
 		} else {
 			restored = true
-			minSeq = res.State.LastSeq
-			s.lastSeq, s.lastTime = res.State.LastSeq, res.State.LastTime
+			haveFloor = res.State.HasSeq
+			floor = res.State.LastSeq
+			s.lastSeq, s.lastTime, s.hasSeq = res.State.LastSeq, res.State.LastTime, res.State.HasSeq
 		}
 	} else if len(res.Records) == 0 {
 		// Fresh directory: nothing to recover, not a cold-start fallback.
+		s.bootPending = false
 		return
 	}
 
+	if boot {
+		// Adopt the externally visible counters: the snapshot's values, or
+		// zero on a cold start. Replay-composed counters are re-stored on
+		// EVERY boot attempt, so when a replay panic interrupts one attempt
+		// the partial increments never double-count in the retry.
+		var base checkpoint.Counters
+		if restored {
+			base = res.State.Counters
+		}
+		s.eventsIn.Store(base.EventsIn)
+		s.eventsShed.Store(base.EventsShed)
+		s.processed.Store(base.Processed)
+		s.matched.Store(base.Matched)
+		s.pmCreatedBase = base.BaseCreated
+		s.pmDroppedBase = base.BaseDropped
+		if !s.bootBaseApplied {
+			// Applied once, not per attempt: these advance BETWEEN boot
+			// attempts (the supervisor counts each replay panic's restart;
+			// producers may overflow while recovery runs), so re-storing
+			// would erase legitimate ground. Add keeps those increments.
+			s.bootBaseApplied = true
+			s.overflow.Add(base.Overflow)
+			s.restarts.Add(base.Restarts)
+			s.quarantined.Add(base.Quarantined)
+		}
+	}
 	if restored {
 		st := res.State
-		if !fromPanic {
-			// Boot: adopt the snapshot's externally visible counters.
-			c := &st.Counters
-			s.eventsIn.Store(c.EventsIn)
-			s.eventsShed.Store(c.EventsShed)
-			s.processed.Store(c.Processed)
-			s.overflow.Store(c.Overflow)
-			s.matched.Store(c.Matched)
-			s.restarts.Store(c.Restarts)
-			s.quarantined.Store(c.Quarantined)
-			s.pmCreatedBase = c.BaseCreated
-			s.pmDroppedBase = c.BaseDropped
-		}
 		if len(st.Strategy) > 0 && st.StrategyName == s.strat.Name() {
 			if ds, ok := s.strat.(shed.DurableStrategy); ok {
 				if uerr := ds.UnmarshalState(st.Strategy); uerr != nil && s.cfg.Logf != nil {
@@ -402,7 +467,7 @@ func (s *shard) recoverReplay(cur *item) {
 	for _, rec := range res.Records {
 		switch rec.Kind {
 		case checkpoint.RecSkip:
-			if rec.Seq > minSeq {
+			if !haveFloor || rec.Seq > floor {
 				skips[rec.Seq] = true
 			}
 		case checkpoint.RecMatch:
@@ -412,16 +477,30 @@ func (s *shard) recoverReplay(cur *item) {
 
 	var replayed uint64
 	for _, rec := range res.Records {
-		if rec.Kind != checkpoint.RecEvent || rec.Seq <= minSeq || skips[rec.Seq] {
+		if rec.Kind != checkpoint.RecEvent || (haveFloor && rec.Seq <= floor) {
+			continue
+		}
+		if skips[rec.Seq] {
+			// The quarantined event is not reprocessed, but it still
+			// advances the seq high-water mark (producers must not reuse
+			// its number — a fresh event under a Q-recorded seq would be
+			// skipped by every later replay) and, on the boot path, still
+			// owes its arrival accounting: events_in == shed + processed +
+			// quarantined must survive recovery.
+			s.lastSeq, s.lastTime, s.hasSeq = rec.Seq, int64(rec.Event.Time), true
+			if boot {
+				s.eventsIn.Add(1)
+				s.quarantined.Add(1)
+			}
 			continue
 		}
 		*cur = item{e: rec.Event}
-		s.replayEvent(rec.Event, !fromPanic, suppress)
+		s.replayEvent(rec.Event, boot, suppress)
 		replayed++
 	}
 	*cur = item{}
 
-	if fromPanic {
+	if !boot {
 		// The replayed engine re-counts creations/drops that the exported
 		// atomics already include; re-base so the exported values resume
 		// exactly where they stopped.
@@ -433,9 +512,13 @@ func (s *shard) recoverReplay(cur *item) {
 	s.walReplayed.Add(replayed)
 	s.restoredSeq.Store(s.lastSeq)
 	s.restoredTime.Store(s.lastTime)
+	if s.hasSeq {
+		s.restoredHasSeq.Store(true)
+	}
 	if res.Torn && s.cfg.Logf != nil {
 		s.cfg.Logf("runtime: shard %d: WAL tail torn (expected after a crash); replayed %d events", s.id, replayed)
 	}
+	s.bootPending = false
 }
 
 // replayEvent re-processes one WAL event during recovery. No WAL append
@@ -447,7 +530,7 @@ func (s *shard) replayEvent(e *event.Event, boot bool, suppress map[string]bool)
 	if boot {
 		s.eventsIn.Add(1)
 	}
-	s.lastSeq, s.lastTime = e.Seq, int64(e.Time)
+	s.lastSeq, s.lastTime, s.hasSeq = e.Seq, int64(e.Time), true
 	if !s.strat.AdmitEvent(e, e.Time) {
 		if boot {
 			s.eventsShed.Add(1)
@@ -532,6 +615,7 @@ func (s *shard) snapshot() ShardSnapshot {
 		SnapshotUnixNs: s.snapUnixNs.Load(),
 		WALReplayed:    s.walReplayed.Load(),
 		ColdStarts:     s.coldStarts.Load(),
+		WALErrors:      s.walErrors.Load(),
 
 		SmoothedLatency: time.Duration(math.Float64frombits(s.ewma.Load())),
 		P50:             time.Duration(s.hist.Quantile(0.50)),

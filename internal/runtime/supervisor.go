@@ -198,12 +198,18 @@ func (s *shard) runSupervised(r *Runtime) {
 			s.finish()
 			return
 		}
-		s.quarantine(r, poison, fmt.Sprintf("panic: %v", pv))
+		// A panic during BOOT replay must not bump the quarantined counter
+		// here: the retry re-runs recovery from the snapshot counters and
+		// its skip-path counts the poisoned seq exactly once. Counting it
+		// now too would double it and break the conservation law.
+		s.quarantine(r, poison, fmt.Sprintf("panic: %v", pv), !s.bootPending)
 		if s.ckpt != nil && poison.e != nil {
 			// The Q record makes the quarantine durable: replay after the
 			// NEXT crash (or restart) skips this seq, so a deterministic
 			// poison event cannot re-crash recovery forever.
-			s.ckpt.AppendSkip(poison.e.Seq)
+			if err := s.ckpt.AppendSkip(poison.e.Seq); err != nil {
+				s.walFailed("skip append", err)
+			}
 		}
 		s.restarts.Add(1)
 		now := time.Now()
@@ -222,9 +228,11 @@ func (s *shard) runSupervised(r *Runtime) {
 			// The rebuilt engine is empty; the next runOnce restores the last
 			// snapshot and replays the WAL tail (minus the quarantined seq),
 			// so the panic costs at most the in-flight event — not every
-			// partial match the shard had open.
+			// partial match the shard had open. bootPending (still true if
+			// THIS panic interrupted boot replay) tells recoverReplay whether
+			// to resume boot counter composition or treat the retry as a
+			// post-panic in-process rebuild.
 			s.needRecover = true
-			s.recoverAfterPanic = true
 		}
 		d := pol.backoff(len(recent), rng)
 		r.logf("runtime: shard %d recovered from panic on seq=%d (%v); restart %d in %s",
@@ -278,12 +286,15 @@ func (it item) seq() uint64 {
 // quarantine records the poison event in the dead-letter queue. The
 // event is NOT reprocessed after the restart — quarantining it is what
 // breaks the crash loop a deterministic poison pill would otherwise
-// cause.
-func (s *shard) quarantine(r *Runtime, it item, reason string) {
+// cause. count=false suppresses the quarantined counter for boot-replay
+// panics, whose retry counts the seq through the replay skip-path.
+func (s *shard) quarantine(r *Runtime, it item, reason string, count bool) {
 	if it.e == nil {
 		return
 	}
-	s.quarantined.Add(1)
+	if count {
+		s.quarantined.Add(1)
+	}
 	r.dlq.add(DeadLetter{
 		Shard:   s.id,
 		Seq:     it.e.Seq,
@@ -355,7 +366,7 @@ func (r *Runtime) failover(from *shard, it item) {
 	if it.e != nil {
 		from.eventsIn.Add(1)
 	}
-	from.quarantine(r, it, "no healthy shard for failover")
+	from.quarantine(r, it, "no healthy shard for failover", true)
 }
 
 // fallbackFor returns the next healthy shard after id, or nil when every
