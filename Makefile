@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-runtime bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke
+.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke
 
-check: vet build race fuzz-seeds chaos recover-smoke bench-compare
+check: vet build race fuzz-seeds chaos recover-smoke bench-smoke bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -53,12 +53,22 @@ bench:
 bench-runtime:
 	$(GO) test -bench 'BenchmarkRuntimeShards|BenchmarkRuntimeSequentialBaseline' -run '^$$' .
 
-# Engine hot-path perf trajectory (docs/PERFORMANCE.md): bench-baseline
-# records BENCH_engine.json on this machine; bench-compare re-measures
-# and fails on a >10% ns/event regression (skipping the hard gate when
-# the baseline was recorded on different hardware).
+# Quarter-scale serving-path measurement; part of `make check` as a
+# smoke test that the bench harness itself stays runnable (numbers from
+# a -quick run are not comparable to the checked-in baselines).
+bench-smoke:
+	$(GO) run ./cmd/cepbench -runtime-bench -quick
+
+# Perf trajectory (docs/PERFORMANCE.md): bench-baseline records
+# BENCH_engine.json (engine hot path) and BENCH_runtime.json (full
+# serving path: runtime+WAL+NDJSON) on this machine; bench-compare
+# re-measures both and fails on a regression past each gate's tolerance
+# (skipping the hard gate when a baseline was recorded on different
+# hardware).
 bench-baseline:
 	$(GO) run ./cmd/cepbench -engine-bench -bench-out BENCH_engine.json
+	$(GO) run ./cmd/cepbench -runtime-bench -bench-out BENCH_runtime.json
 
 bench-compare:
 	$(GO) run ./cmd/cepbench -engine-bench -bench-compare BENCH_engine.json
+	$(GO) run ./cmd/cepbench -runtime-bench -bench-compare BENCH_runtime.json

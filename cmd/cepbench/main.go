@@ -13,6 +13,11 @@
 //	cepbench -engine-bench                                  measure and print
 //	cepbench -engine-bench -bench-out BENCH_engine.json     record a baseline
 //	cepbench -engine-bench -bench-compare BENCH_engine.json gate vs baseline
+//
+// Runtime (serving-path) harness, same flags with -runtime-bench:
+//
+//	cepbench -runtime-bench -bench-out BENCH_runtime.json
+//	cepbench -runtime-bench -quick                          smoke (no write/gate)
 package main
 
 import (
@@ -34,14 +39,18 @@ func main() {
 		csv   = flag.Bool("csv", false, "emit panels as CSV instead of tables")
 
 		engineBench  = flag.Bool("engine-bench", false, "measure Engine.Process on the canonical workloads")
-		benchOut     = flag.String("bench-out", "", "with -engine-bench: write the result as a JSON baseline")
-		benchCompare = flag.String("bench-compare", "", "with -engine-bench: gate against a JSON baseline (>10% ns/event fails)")
+		runtimeBench = flag.Bool("runtime-bench", false, "measure the full serving path (runtime+WAL+NDJSON)")
+		benchOut     = flag.String("bench-out", "", "with -engine-bench/-runtime-bench: write the result as a JSON baseline")
+		benchCompare = flag.String("bench-compare", "", "with -engine-bench/-runtime-bench: gate against a JSON baseline")
 	)
 	flag.Parse()
 	emitCSV = *csv
 
 	if *engineBench {
 		os.Exit(runEngineBench(*benchOut, *benchCompare))
+	}
+	if *runtimeBench {
+		os.Exit(runRuntimeBench(*benchOut, *benchCompare, *quick))
 	}
 
 	if *list {

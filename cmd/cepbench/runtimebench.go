@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"cepshed/internal/checkpoint"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/runtime"
+)
+
+// This file is the runtime (serving-path) benchmark harness:
+// -runtime-bench measures the full ingest→shard→WAL→deliver pipeline —
+// the path cepserved actually runs — across durability modes and shard
+// counts, plus the NDJSON decode path in isolation. Results land in
+// BENCH_runtime.json next to the engine baseline and are gated by the
+// same make bench-compare target. See docs/PERFORMANCE.md.
+
+// runtimeRegressionTolerance is looser than the engine gate: the
+// serving path includes goroutine handoff and the scheduler, so
+// wall-clock ns/event is noisier than the single-threaded engine loop.
+const runtimeRegressionTolerance = 1.25
+
+// RuntimeBenchEntry is one recorded measurement run.
+type RuntimeBenchEntry struct {
+	Host      BenchHost                `json:"host"`
+	Date      string                   `json:"date"`
+	Label     string                   `json:"label,omitempty"`
+	Workloads map[string]BenchWorkload `json:"workloads"`
+}
+
+// RuntimeBenchFile is the serialized form of BENCH_runtime.json: the
+// current measurement plus the prior entries it superseded, oldest
+// last, so the perf trajectory stays in the repo.
+type RuntimeBenchFile struct {
+	RuntimeBenchEntry
+	History []RuntimeBenchEntry `json:"history,omitempty"`
+}
+
+type runtimeBenchCase struct {
+	name   string
+	shards int
+	dur    bool
+	fsync  bool
+}
+
+func runtimeBenchCases() []runtimeBenchCase {
+	return []runtimeBenchCase{
+		{name: "nodur-1shard", shards: 1},
+		{name: "wal-1shard", shards: 1, dur: true},
+		{name: "wal-fsync-1shard", shards: 1, dur: true, fsync: true},
+		{name: "nodur-4shard", shards: 4},
+		{name: "wal-4shard", shards: 4, dur: true},
+	}
+}
+
+// offerAll pushes a stream through the runtime the way cepserved does,
+// batching the handoff where the API allows it.
+func offerAll(r *runtime.Runtime, s event.Stream) {
+	const chunk = 256
+	for i := 0; i < len(s); i += chunk {
+		end := i + chunk
+		if end > len(s) {
+			end = len(s)
+		}
+		r.OfferBatch(s[i:end])
+	}
+}
+
+func measureRuntime(c runtimeBenchCase, s event.Stream) BenchWorkload {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	var matches uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := runtime.Config{Shards: c.shards}
+			var dir string
+			if c.dur {
+				b.StopTimer()
+				var err error
+				dir, err = os.MkdirTemp("", "cepbench-wal-*")
+				if err != nil {
+					panic(err)
+				}
+				cfg.Durability = &checkpoint.Config{Dir: dir, Fsync: c.fsync}
+				b.StartTimer()
+			}
+			rt := runtime.New(m, cfg)
+			rt.WaitRecovered()
+			offerAll(rt, s)
+			rt.Close()
+			matches = rt.Snapshot().Matches
+			if dir != "" {
+				b.StopTimer()
+				os.RemoveAll(dir)
+				b.StartTimer()
+			}
+		}
+	})
+	events := len(s)
+	out := BenchWorkload{
+		NsPerEvent:     float64(r.NsPerOp()) / float64(events),
+		AllocsPerEvent: float64(r.AllocsPerOp()) / float64(events),
+		BytesPerEvent:  float64(r.AllocedBytesPerOp()) / float64(events),
+		Events:         events,
+		Matches:        matches,
+	}
+	if r.NsPerOp() > 0 {
+		out.MatchesPerSec = float64(matches) / (float64(r.NsPerOp()) / 1e9)
+	}
+	return out
+}
+
+// measureNDJSON isolates the line-decode path: allocs/event here is the
+// headline number for the zero-alloc scanner.
+func measureNDJSON(s event.Stream) BenchWorkload {
+	var buf bytes.Buffer
+	for _, e := range s {
+		buf.Write(runtime.EncodeEvent(e))
+		buf.WriteByte('\n')
+	}
+	raw := buf.Bytes()
+	var decoded uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := runtime.NewLineDecoder(bytes.NewReader(raw), 1<<20)
+			decoded = 0
+			for {
+				_, _, err := d.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					panic(err)
+				}
+				decoded++
+			}
+		}
+	})
+	events := len(s)
+	if decoded != uint64(events) {
+		panic(fmt.Sprintf("ndjson-decode: decoded %d of %d events", decoded, events))
+	}
+	return BenchWorkload{
+		NsPerEvent:     float64(r.NsPerOp()) / float64(events),
+		AllocsPerEvent: float64(r.AllocsPerOp()) / float64(events),
+		BytesPerEvent:  float64(r.AllocedBytesPerOp()) / float64(events),
+		Events:         events,
+		Matches:        decoded,
+	}
+}
+
+// runRuntimeBench measures the serving-path workloads, prints the
+// table, and then writes and/or gates per the flags. Returns the
+// process exit code. With quick=true it runs a quarter-scale smoke:
+// same code path, no stable numbers — never write or gate those.
+func runRuntimeBench(outPath, comparePath string, quick bool) int {
+	// 100µs inter-arrival keeps the 8ms window's population — and with
+	// it the per-event engine cost — representative of a high-rate
+	// serving workload without letting Engine.Process dominate the
+	// measurement: this harness exists to watch the runtime layer
+	// (handoff, WAL, delivery), and the engine has its own gate.
+	events := 20000
+	if quick {
+		events = 4000
+	}
+	s := gen.DS1(gen.DS1Config{Events: events, Seed: 1, InterArrival: 100 * event.Microsecond})
+
+	cur := RuntimeBenchEntry{
+		Host:      currentHost(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Workloads: map[string]BenchWorkload{},
+	}
+	cases := runtimeBenchCases()
+	names := make([]string, 0, len(cases)+1)
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "cepbench: measuring %s...\n", c.name)
+		cur.Workloads[c.name] = measureRuntime(c, s)
+		names = append(names, c.name)
+	}
+	fmt.Fprintf(os.Stderr, "cepbench: measuring ndjson-decode...\n")
+	cur.Workloads["ndjson-decode"] = measureNDJSON(s)
+	names = append(names, "ndjson-decode")
+
+	fmt.Printf("%-18s %12s %12s %12s %14s\n", "workload", "ns/event", "allocs/event", "B/event", "events/sec")
+	for _, name := range names {
+		w := cur.Workloads[name]
+		evPerSec := 0.0
+		if w.NsPerEvent > 0 {
+			evPerSec = 1e9 / w.NsPerEvent
+		}
+		fmt.Printf("%-18s %12.0f %12.2f %12.1f %14.0f\n",
+			name, w.NsPerEvent, w.AllocsPerEvent, w.BytesPerEvent, evPerSec)
+	}
+
+	if quick {
+		fmt.Fprintf(os.Stderr, "cepbench: quick smoke run; skipping write/compare\n")
+		return 0
+	}
+
+	if outPath != "" {
+		if err := writeRuntimeBench(cur, outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "cepbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "cepbench: baseline written to %s\n", outPath)
+	}
+	if comparePath != "" {
+		return compareRuntimeBaseline(cur, comparePath)
+	}
+	return 0
+}
+
+// writeRuntimeBench records cur as the file's current entry; the entry
+// it replaces (if any) is prepended to History so the trajectory is
+// never overwritten, only extended.
+func writeRuntimeBench(cur RuntimeBenchEntry, path string) error {
+	out := RuntimeBenchFile{RuntimeBenchEntry: cur}
+	if data, err := os.ReadFile(path); err == nil {
+		var prev RuntimeBenchFile
+		if err := json.Unmarshal(data, &prev); err == nil && len(prev.Workloads) > 0 {
+			out.History = append([]RuntimeBenchEntry{prev.RuntimeBenchEntry}, prev.History...)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compareRuntimeBaseline gates the measured run against the stored
+// file's current entry, mirroring the engine gate but with the looser
+// serving-path tolerance.
+func compareRuntimeBaseline(cur RuntimeBenchEntry, path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cepbench: no runtime baseline to compare against (%v); run make bench-baseline first\n", err)
+		return 1
+	}
+	var base RuntimeBenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "cepbench: corrupt runtime baseline %s: %v\n", path, err)
+		return 1
+	}
+	hostMatch := base.Host == cur.Host
+	if !hostMatch {
+		fmt.Fprintf(os.Stderr, "cepbench: WARNING: runtime baseline host %+v differs from this host %+v; "+
+			"reporting deltas but skipping the hard regression gate\n", base.Host, cur.Host)
+	}
+	failed := false
+	for name, cw := range cur.Workloads {
+		bw, ok := base.Workloads[name]
+		if !ok || bw.NsPerEvent <= 0 {
+			fmt.Printf("%-18s new workload (no baseline)\n", name)
+			continue
+		}
+		ratio := cw.NsPerEvent / bw.NsPerEvent
+		verdict := "ok"
+		if ratio > runtimeRegressionTolerance {
+			if hostMatch {
+				verdict = "REGRESSION"
+				failed = true
+			} else {
+				verdict = "slower (host mismatch, not gated)"
+			}
+		}
+		fmt.Printf("%-18s baseline %8.0f ns/event, now %8.0f ns/event (%+.1f%%)  %s\n",
+			name, bw.NsPerEvent, cw.NsPerEvent, (ratio-1)*100, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "cepbench: runtime ns/event regressed more than %.0f%% against %s\n",
+			(runtimeRegressionTolerance-1)*100, path)
+		return 1
+	}
+	return 0
+}

@@ -92,8 +92,10 @@ func main() {
 		emit      = flag.Bool("print-matches", false, "write detected matches as NDJSON to stdout")
 		noRecover = flag.Bool("no-recover", false, "disable the shard supervisor (panics crash the process; for debugging)")
 		stateDir  = flag.String("state-dir", "", "directory for per-shard checkpoints and WALs (empty: no durability; see docs/DURABILITY.md)")
-		ckptEvery = flag.Int("checkpoint-every", 4096, "events between per-shard snapshots")
-		walFlush  = flag.Int("wal-flush", 64, "events between WAL flushes; 1 flushes every event (crash loses at most this many events per shard)")
+		ckptEvery = flag.Int("checkpoint-every", 32768, "events between per-shard snapshots (bounds replay time after a crash, not data loss)")
+		walFlush  = flag.Int("wal-flush", 1024, "max WAL records per flush group; 1 flushes every record (group commit: a crash loses at most one unflushed group)")
+		walFlushB = flag.Int("wal-flush-bytes", 48<<10, "max buffered WAL bytes per flush group")
+		walFlushT = flag.Duration("wal-flush-interval", 2*time.Millisecond, "max age of a buffered WAL record before the group flushes")
 		walFsync  = flag.Bool("wal-fsync", false, "fsync WAL flushes and snapshots (survives machine crashes, not just process crashes)")
 	)
 	flag.Parse()
@@ -137,9 +139,11 @@ func main() {
 	if *stateDir != "" {
 		cfg.Durability = &checkpoint.Config{
 			Dir:         *stateDir,
-			EveryEvents: *ckptEvery,
-			FlushEvery:  *walFlush,
-			Fsync:       *walFsync,
+			EveryEvents:   *ckptEvery,
+			FlushEvery:    *walFlush,
+			FlushBytes:    *walFlushB,
+			FlushInterval: *walFlushT,
+			Fsync:         *walFsync,
 		}
 	}
 	var emitMu sync.Mutex
@@ -280,11 +284,8 @@ type server struct {
 	conns  map[net.Conn]struct{}
 }
 
-// submit finalizes an ingested event (arrival time, sequence number) and
-// offers it to the runtime with backpressure. It reports whether the
-// runtime accepted the event — false means the degradation ladder (or
-// shutdown) rejected it at the door.
-func (s *server) submit(e *event.Event, hasTime bool) bool {
+// stamp finalizes an ingested event's arrival time and sequence number.
+func (s *server) stamp(e *event.Event, hasTime bool) {
 	if !hasTime {
 		e.Time = event.Time(time.Since(s.started).Nanoseconds())
 	}
@@ -302,8 +303,24 @@ func (s *server) submit(e *event.Event, hasTime bool) bool {
 		break
 	}
 	e.Seq = s.seq.Add(1) - 1
+}
+
+// submit finalizes an ingested event and offers it to the runtime with
+// backpressure. It reports whether the runtime accepted the event —
+// false means the degradation ladder (or shutdown) rejected it at the
+// door.
+func (s *server) submit(e *event.Event, hasTime bool) bool {
+	s.stamp(e, hasTime)
 	return s.rt.Offer(e)
 }
+
+// ingestBatchSize bounds how many decoded events accumulate before one
+// OfferBatch call: one runtime-lock acquisition and one ladder check
+// cover the whole group instead of every line paying both. Only paths
+// that already hold a complete input (an HTTP request body, a
+// full-throttle replay) batch; streaming TCP stays per-event because a
+// connection may idle indefinitely mid-batch.
+const ingestBatchSize = 256
 
 // replay feeds a generated stream at the target rate (events/second),
 // blocking on backpressure when the shards cannot keep up.
@@ -311,8 +328,18 @@ func (s *server) replay(ctx context.Context, work event.Stream, rate float64) in
 	start := time.Now()
 	floor := s.replayFloor.Swap(0) // resume floor applies to one pass only
 	n := 0
+	// Full-throttle replay (rate <= 0) feeds the runtime in batches so
+	// the per-offer lock and ladder work amortize across the group.
+	batch := make([]*event.Event, 0, ingestBatchSize)
+	flush := func() {
+		if len(batch) > 0 {
+			s.rt.OfferBatch(batch)
+			batch = batch[:0]
+		}
+	}
 	for _, e := range work {
 		if ctx.Err() != nil {
+			flush()
 			return n
 		}
 		if e.Seq < floor {
@@ -320,23 +347,30 @@ func (s *server) replay(ctx context.Context, work event.Stream, rate float64) in
 			// would double-process the prefix the WAL replay just rebuilt.
 			continue
 		}
-		if rate > 0 {
-			// Pace by offered count, not stream index, so a resumed pass
-			// does not burst through the skipped prefix's time budget.
-			due := start.Add(time.Duration(float64(n) / rate * float64(time.Second)))
-			if d := time.Until(due); d > 0 {
-				select {
-				case <-time.After(d):
-				case <-ctx.Done():
-					return n
-				}
-			}
-		}
 		// Replayed events keep their generated virtual timestamps: window
 		// semantics stay deterministic regardless of the wall replay rate.
+		if rate <= 0 {
+			batch = append(batch, e)
+			n++
+			if len(batch) == ingestBatchSize {
+				flush()
+			}
+			continue
+		}
+		// Pace by offered count, not stream index, so a resumed pass
+		// does not burst through the skipped prefix's time budget.
+		due := start.Add(time.Duration(float64(n) / rate * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return n
+			}
+		}
 		s.rt.Offer(e)
 		n++
 	}
+	flush()
 	return n
 }
 
@@ -421,6 +455,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // counted as overloaded.
 func (s *server) ingest(r io.Reader) (accepted, rejected, overloaded int) {
 	dec := runtime.NewLineDecoder(r, 1<<20)
+	batch := make([]*event.Event, 0, ingestBatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		n := s.rt.OfferBatch(batch)
+		accepted += n
+		overloaded += len(batch) - n
+		batch = batch[:0]
+	}
 	for {
 		e, hasTime, err := dec.Next()
 		if err != nil {
@@ -431,12 +475,13 @@ func (s *server) ingest(r io.Reader) (accepted, rejected, overloaded int) {
 				s.rt.Quarantine(lerr.Error(), lerr.Payload)
 				continue
 			}
+			flush()
 			return accepted, rejected, overloaded // EOF or read failure
 		}
-		if s.submit(e, hasTime) {
-			accepted++
-		} else {
-			overloaded++
+		s.stamp(e, hasTime)
+		batch = append(batch, e)
+		if len(batch) == ingestBatchSize {
+			flush()
 		}
 	}
 }

@@ -18,13 +18,32 @@ type Config struct {
 	// dead-letter checkpoint live in it.
 	Dir string
 	// EveryEvents is the snapshot interval in processed events per shard
-	// (default 4096).
+	// (default 32768). A snapshot bounds WAL replay time after a crash;
+	// it does NOT bound data loss — that is the flush policy's job — so
+	// the default leans toward cheap steady-state over instant recovery
+	// (replaying 32k events takes tens of milliseconds).
 	EveryEvents int
 	// FlushEvery bounds how many WAL records may sit in the write buffer
-	// before a flush (default 64). Match records always force a flush
-	// before delivery regardless, so a process crash can never duplicate
-	// an already-delivered match.
+	// before a flush (default 1024). Together with FlushBytes and
+	// FlushInterval it defines one flush group: match records join the
+	// group instead of forcing their own flush, and the shard releases
+	// the buffered matches only once the single covering flush has
+	// happened (group commit). The loss window is bounded by whichever
+	// limit closes the group first — under load that is FlushBytes or
+	// FlushEvery, under a trickle FlushInterval. FlushEvery = 1
+	// degenerates to a flush per record, the pre-group-commit behavior.
 	FlushEvery int
+	// FlushBytes bounds the buffered byte count before a flush (default
+	// 48 KiB). It must stay below the writer's 64 KiB buffer: an
+	// invisible bufio spill would make match records durable while the
+	// shard still holds their deliveries, and a crash in that state
+	// widens the undelivered-match window.
+	FlushBytes int
+	// FlushInterval bounds how long a record may sit buffered (default
+	// 2ms). Checked on every append and on the shard's batch boundary —
+	// there is no timer goroutine, so an idle shard relies on the batch
+	// drain's idle flush instead.
+	FlushInterval time.Duration
 	// Fsync syncs WAL flushes and snapshot writes to the device. Off by
 	// default: the contract then covers process crashes, not power loss
 	// (docs/DURABILITY.md).
@@ -39,10 +58,16 @@ type Config struct {
 // WithDefaults returns the config with zero fields defaulted.
 func (c Config) WithDefaults() Config {
 	if c.EveryEvents <= 0 {
-		c.EveryEvents = 4096
+		c.EveryEvents = 32768
 	}
 	if c.FlushEvery <= 0 {
-		c.FlushEvery = 64
+		c.FlushEvery = 1024
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 48 << 10
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
 	}
 	return c
 }
@@ -113,8 +138,9 @@ func (s *ShardStore) stage(name string) {
 	}
 }
 
-// AppendEvent logs one input event before the engine processes it,
-// flushing when the buffered record count reaches FlushEvery.
+// AppendEvent logs one input event before the engine processes it; the
+// record joins the current flush group and the group-commit policy
+// decides when the group reaches the OS.
 func (s *ShardStore) AppendEvent(e *event.Event) error {
 	if err := s.wal.append(RecEvent, encodeEventRecord(&s.enc, e)); err != nil {
 		return err
@@ -122,14 +148,17 @@ func (s *ShardStore) AppendEvent(e *event.Event) error {
 	return s.maybeFlush()
 }
 
-// AppendMatchKey logs a delivered match key and forces a flush: the
-// record must be durable BEFORE the match is handed to OnMatch, so a
-// crash after delivery can never re-emit it on replay.
+// AppendMatchKey logs a match key under the group-commit policy: the
+// record joins the current flush group instead of forcing its own
+// flush. The caller (the shard) must hold the match back until
+// Unflushed reports zero — the record must be durable BEFORE the match
+// is handed to OnMatch, so a crash after delivery can never re-emit it
+// on replay.
 func (s *ShardStore) AppendMatchKey(seq uint64, key string) error {
 	if err := s.wal.append(RecMatch, encodeMatchRecord(&s.enc, seq, key)); err != nil {
 		return err
 	}
-	return s.wal.flush()
+	return s.maybeFlush()
 }
 
 // AppendSkip logs a quarantined seq and flushes, so replay after the
@@ -142,7 +171,8 @@ func (s *ShardStore) AppendSkip(seq uint64) error {
 }
 
 // Flush forces buffered WAL records to the OS (and the device when
-// Fsync is on).
+// Fsync is on). A no-op with an empty buffer, so calling it on a timer
+// or an idle batch boundary costs nothing.
 func (s *ShardStore) Flush() error {
 	if s.wal.pending == 0 {
 		return nil
@@ -150,9 +180,43 @@ func (s *ShardStore) Flush() error {
 	return s.wal.flush()
 }
 
+// Unflushed reports how many appended records are still buffered. Zero
+// means every record appended so far is durable (to the OS; to the
+// device with Fsync) — the shard's signal that held-back matches may be
+// released.
+func (s *ShardStore) Unflushed() int { return s.wal.pending }
+
+// maybeFlush applies the group-commit policy on the append path: flush
+// once the group reaches FlushEvery records, FlushBytes bytes, or
+// FlushInterval age. The count/byte checks are branch-cheap and run on
+// every append; the age check needs a clock read, so it is amortized to
+// every 16th record — the worst case stretches the age bound by 15
+// records' worth of appends, and FlushIfDue at the batch boundary
+// checks the clock exactly.
 func (s *ShardStore) maybeFlush() error {
-	if s.wal.pending >= s.cfg.FlushEvery {
-		return s.wal.flush()
+	w := s.wal
+	if w.pending >= s.cfg.FlushEvery || w.pendingBytes >= s.cfg.FlushBytes {
+		return w.flush()
+	}
+	if w.pending&15 == 0 &&
+		time.Now().UnixNano()-w.firstPendingNs >= int64(s.cfg.FlushInterval) {
+		return w.flush()
+	}
+	return nil
+}
+
+// FlushIfDue applies the full policy — including an exact age check —
+// outside an append; the shard calls it at batch boundaries so a
+// trickle of records still flushes within FlushInterval even when no
+// single append trips the policy.
+func (s *ShardStore) FlushIfDue() error {
+	w := s.wal
+	if w.pending == 0 {
+		return nil
+	}
+	if w.pending >= s.cfg.FlushEvery || w.pendingBytes >= s.cfg.FlushBytes ||
+		time.Now().UnixNano()-w.firstPendingNs >= int64(s.cfg.FlushInterval) {
+		return w.flush()
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"cepshed/internal/engine"
 	"cepshed/internal/event"
@@ -445,8 +446,11 @@ func TestHalfWrittenTmpIgnored(t *testing.T) {
 
 func TestAbortDropsBufferedTail(t *testing.T) {
 	dir := t.TempDir()
-	// Huge FlushEvery: nothing reaches the OS until an explicit flush.
-	store, err := NewShardStore(Config{Dir: dir, FlushEvery: 1 << 20}, 0, testFP)
+	// Every policy limit pinned huge: nothing reaches the OS until an
+	// explicit flush.
+	store, err := NewShardStore(Config{
+		Dir: dir, FlushEvery: 1 << 20, FlushBytes: 1 << 30, FlushInterval: time.Hour,
+	}, 0, testFP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -522,5 +526,160 @@ func TestFingerprintDistinguishesConfigs(t *testing.T) {
 	}
 	if a != Fingerprint("q1", "shards=4") {
 		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+// TestFlushPolicyTriggers pins each group-commit limit in isolation:
+// the record count, the byte bound, the age bound (both the amortized
+// append-path check and the exact batch-boundary check), and the
+// empty-buffer no-op.
+func TestFlushPolicyTriggers(t *testing.T) {
+	evs := gen.DS1(gen.DS1Config{Events: 64, Seed: 4, InterArrival: event.Millisecond})
+	open := func(t *testing.T, cfg Config) *ShardStore {
+		t.Helper()
+		cfg.Dir = t.TempDir()
+		store, err := NewShardStore(cfg, 0, testFP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		return store
+	}
+
+	t.Run("count", func(t *testing.T) {
+		store := open(t, Config{FlushEvery: 4, FlushBytes: 1 << 30, FlushInterval: time.Hour})
+		for i, e := range evs[:3] {
+			if err := store.AppendEvent(e); err != nil {
+				t.Fatal(err)
+			}
+			if got := store.Unflushed(); got != i+1 {
+				t.Fatalf("after %d appends Unflushed = %d", i+1, got)
+			}
+		}
+		if err := store.AppendEvent(evs[3]); err != nil {
+			t.Fatal(err)
+		}
+		if got := store.Unflushed(); got != 0 {
+			t.Fatalf("4th append did not close the group: Unflushed = %d", got)
+		}
+	})
+
+	t.Run("bytes", func(t *testing.T) {
+		store := open(t, Config{FlushEvery: 1 << 20, FlushBytes: 1, FlushInterval: time.Hour})
+		if err := store.AppendEvent(evs[0]); err != nil {
+			t.Fatal(err)
+		}
+		if got := store.Unflushed(); got != 0 {
+			t.Fatalf("byte bound did not flush: Unflushed = %d", got)
+		}
+	})
+
+	t.Run("age-on-append", func(t *testing.T) {
+		// The append path checks age only every 16th record; with the
+		// interval at 1ns, records 1..15 stay buffered and the 16th
+		// append flushes.
+		store := open(t, Config{FlushEvery: 1 << 20, FlushBytes: 1 << 30, FlushInterval: time.Nanosecond})
+		for _, e := range evs[:15] {
+			if err := store.AppendEvent(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := store.Unflushed(); got != 15 {
+			t.Fatalf("age checked too eagerly: Unflushed = %d, want 15", got)
+		}
+		if err := store.AppendEvent(evs[15]); err != nil {
+			t.Fatal(err)
+		}
+		if got := store.Unflushed(); got != 0 {
+			t.Fatalf("16th append did not run the age check: Unflushed = %d", got)
+		}
+	})
+
+	t.Run("age-at-boundary", func(t *testing.T) {
+		// FlushIfDue (the batch-boundary check) is exact: one overdue
+		// record flushes regardless of the amortization stride.
+		store := open(t, Config{FlushEvery: 1 << 20, FlushBytes: 1 << 30, FlushInterval: time.Nanosecond})
+		if err := store.AppendEvent(evs[0]); err != nil {
+			t.Fatal(err)
+		}
+		if got := store.Unflushed(); got != 1 {
+			t.Fatalf("Unflushed = %d, want 1", got)
+		}
+		time.Sleep(time.Microsecond)
+		if err := store.FlushIfDue(); err != nil {
+			t.Fatal(err)
+		}
+		if got := store.Unflushed(); got != 0 {
+			t.Fatalf("FlushIfDue left Unflushed = %d", got)
+		}
+	})
+
+	t.Run("empty-noop", func(t *testing.T) {
+		// The boundary check firing with nothing buffered (an idle shard
+		// whose batch produced no records) must be a no-op, not an error
+		// or a spurious sync.
+		store := open(t, Config{FlushEvery: 4, FlushBytes: 1 << 30, FlushInterval: time.Nanosecond})
+		for i := 0; i < 3; i++ {
+			if err := store.FlushIfDue(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := store.Unflushed(); got != 0 {
+			t.Fatalf("Unflushed = %d after no appends", got)
+		}
+	})
+}
+
+// TestFlushGroupSpansSnapshotRotation: a flush group open at snapshot
+// time must not lose records. Save closes the group into the outgoing
+// WAL generation before rotating, so every pre-Save record survives a
+// crash right after the snapshot, while post-Save appends start a fresh
+// group in the new WAL and die with an unflushed crash.
+func TestFlushGroupSpansSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewShardStore(Config{
+		Dir: dir, FlushEvery: 1 << 20, FlushBytes: 1 << 30, FlushInterval: time.Hour,
+	}, 0, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := gen.DS1(gen.DS1Config{Events: 20, Seed: 2, InterArrival: event.Millisecond})
+	for _, e := range evs[:10] {
+		if err := store.AppendEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := store.Unflushed(); got != 10 {
+		t.Fatalf("Unflushed = %d, want 10 buffered", got)
+	}
+	_, st := liveState(t, 50)
+	st.LastSeq = 9
+	if _, err := store.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Unflushed(); got != 0 {
+		t.Fatalf("Save left the flush group open: Unflushed = %d", got)
+	}
+	for _, e := range evs[10:] {
+		if err := store.AppendEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.Abort() // crash with an open group in the fresh WAL
+
+	store2, err := NewShardStore(Config{Dir: dir}, 0, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	res, err := store2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State == nil || res.State.LastSeq != 9 {
+		t.Fatalf("snapshot not restored: %+v", res.State)
+	}
+	if got := walEvents(res.Records); len(got) != 10 {
+		t.Fatalf("recovered %d WAL events, want the 10 pre-Save ones", len(got))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"os"
+	"time"
 
 	"cepshed/internal/event"
 )
@@ -50,8 +51,14 @@ type walWriter struct {
 	bw  *bufio.Writer
 	enc Encoder
 
-	fsync   bool
-	pending int
+	fsync bool
+	// pending / pendingBytes / firstPendingNs describe the current flush
+	// group: records buffered since the last flush, their framed size,
+	// and when the first of them was appended. They feed the group-commit
+	// policy in ShardStore.maybeFlush.
+	pending        int
+	pendingBytes   int
+	firstPendingNs int64
 }
 
 // openWAL opens (creating and writing the header if empty) path for
@@ -83,7 +90,12 @@ func openWAL(path string, fp uint64, fsync bool) (*walWriter, error) {
 			f.Close()
 			return nil, err
 		}
-		if err := w.flush(); err != nil {
+		// The header reaches the OS now but is deliberately NOT fsynced:
+		// no record is durable before its own flush's fsync, and that
+		// fsync covers the whole file, header included. A crash before
+		// the first record flush leaves an empty or torn header that
+		// repairWAL handles like any other torn tail.
+		if err := w.bw.Flush(); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -178,7 +190,11 @@ func (w *walWriter) append(kind byte, payload []byte) error {
 	if _, err := w.bw.Write(payload); err != nil {
 		return err
 	}
+	if w.pending == 0 {
+		w.firstPendingNs = time.Now().UnixNano()
+	}
 	w.pending++
+	w.pendingBytes += len(hdr) + len(payload)
 	return nil
 }
 
@@ -187,6 +203,7 @@ func (w *walWriter) flush() error {
 		return err
 	}
 	w.pending = 0
+	w.pendingBytes = 0
 	if w.fsync {
 		return w.f.Sync()
 	}

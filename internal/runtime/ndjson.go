@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"unicode/utf8"
 
@@ -71,6 +72,25 @@ func parseValue(raw json.RawMessage) (event.Value, error) {
 		}
 		return event.Str(str), nil
 	}
+	// Fast path: a literal that passes the JSON number grammar decodes
+	// directly with strconv, skipping the json.Unmarshal round-trip
+	// through json.Number. Semantics match the slow path exactly: an
+	// integer literal too big for int64 degrades to float, the same
+	// fallback json.Number.Int64 → Float64 takes.
+	if isInt, ok := jsonNumber(s); ok {
+		if isInt {
+			if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+				return event.Int(i), nil
+			}
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return event.Value{}, err
+		}
+		return event.Float(f), nil
+	}
+	// Not a number literal (bool, null, nested, malformed): let
+	// encoding/json produce the error.
 	var num json.Number
 	if err := json.Unmarshal(raw, &num); err != nil {
 		return event.Value{}, fmt.Errorf("unsupported value %s (only numbers and strings)", s)
@@ -150,6 +170,7 @@ type LineDecoder struct {
 	maxLine  int
 	line     int
 	rejected uint64
+	in       internTable
 }
 
 // NewLineDecoder wraps r; lines longer than maxLine bytes are rejected
@@ -162,7 +183,11 @@ func NewLineDecoder(r io.Reader, maxLine int) *LineDecoder {
 	if bufSize > 64*1024 {
 		bufSize = 64 * 1024
 	}
-	return &LineDecoder{r: bufio.NewReaderSize(r, bufSize), maxLine: maxLine}
+	return &LineDecoder{
+		r:       bufio.NewReaderSize(r, bufSize),
+		maxLine: maxLine,
+		in:      internTable{m: make(map[string]string, 64)},
+	}
 }
 
 // Line returns the number of lines consumed so far.
@@ -182,6 +207,9 @@ func (d *LineDecoder) Next() (e *event.Event, hasTime bool, err error) {
 			return nil, false, lerr
 		}
 		return nil, false, err
+	}
+	if e, hasTime, ok := parseEventFast(line, &d.in); ok {
+		return e, hasTime, nil
 	}
 	e, hasTime, perr := ParseEvent(line)
 	if perr != nil {
@@ -215,14 +243,31 @@ func (d *LineDecoder) readLine() ([]byte, error) {
 	}
 }
 
-// rawLine accumulates one raw line, keeping at most maxLine bytes; the
+// rawLine returns one raw line, keeping at most maxLine bytes; the
 // remainder of an overlong line is discarded and tooLong reported. At
 // end of input err is io.EOF and line may still hold a final
 // unterminated line; the EOF surfaces again on the next call.
+//
+// The returned slice may alias the reader's internal buffer and is only
+// valid until the next rawLine call — Next consumes each line fully
+// before reading again, so the common case (a line that fits the buffer
+// in one chunk) allocates nothing.
 func (d *LineDecoder) rawLine() (line []byte, tooLong bool, err error) {
-	var acc []byte
+	chunk, rerr := d.r.ReadSlice('\n')
+	if rerr != bufio.ErrBufferFull {
+		// Whole line in one chunk: return the buffer's slice directly.
+		// tooLong is impossible here — the reader's buffer never exceeds
+		// maxLine, so a chunk that ends in a newline (or at EOF) fits.
+		if len(chunk) == 0 {
+			return nil, false, rerr
+		}
+		return chunk, false, rerr
+	}
+	// Line spans the buffer: fall back to accumulating a copy. The first
+	// chunk always fits (buffer size <= maxLine).
+	acc := append(make([]byte, 0, 2*len(chunk)), chunk...)
 	for {
-		chunk, rerr := d.r.ReadSlice('\n')
+		chunk, rerr = d.r.ReadSlice('\n')
 		if !tooLong {
 			if len(acc)+len(chunk) <= d.maxLine {
 				acc = append(acc, chunk...)
@@ -239,9 +284,6 @@ func (d *LineDecoder) rawLine() (line []byte, tooLong bool, err error) {
 		case bufio.ErrBufferFull:
 			continue
 		default: // io.EOF or a real read error
-			if len(acc) == 0 && !tooLong {
-				return nil, false, rerr
-			}
 			return acc, tooLong, rerr
 		}
 	}

@@ -1,0 +1,254 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cepshed/internal/event"
+)
+
+func newInternTable() *internTable {
+	return &internTable{m: make(map[string]string, 64)}
+}
+
+// checkFastAgainstStdlib runs one line through both parsers and fails if
+// the fast path accepted it but disagrees with ParseEvent in any way.
+// Returns whether the fast path accepted the line.
+func checkFastAgainstStdlib(t *testing.T, line []byte) bool {
+	t.Helper()
+	fe, fht, ok := parseEventFast(line, newInternTable())
+	if !ok {
+		return false // bail is always allowed; the fallback handles it
+	}
+	se, sht, err := ParseEvent(line)
+	if err != nil {
+		t.Fatalf("fast path accepted a line the stdlib rejects: %q -> %v", line, err)
+	}
+	if fe.Type != se.Type || fe.Time != se.Time || fht != sht {
+		t.Fatalf("fast path disagrees on %q: fast=(%v,%v,hasTime=%v) stdlib=(%v,%v,hasTime=%v)",
+			line, fe.Type, fe.Time, fht, se.Type, se.Time, sht)
+	}
+	if !reflect.DeepEqual(fe.Attrs, se.Attrs) {
+		t.Fatalf("fast path attrs disagree on %q: fast=%v stdlib=%v", line, fe.Attrs, se.Attrs)
+	}
+	return true
+}
+
+// TestParseEventFastDifferential pits the fast path against ParseEvent
+// on hand-picked edge cases. Lines in mustAccept are the canonical wire
+// shape — the fast path bailing on them would silently lose the whole
+// optimization, so that is a failure too.
+func TestParseEventFastDifferential(t *testing.T) {
+	mustAccept := []string{
+		`{"type":"A","time":123456,"attrs":{"ID":5,"V":3.5,"user":"u1"}}`,
+		`{"type":"A","time":0,"attrs":{}}`,
+		`{"type":"B","attrs":{"ID":2}}`, // no time: hasTime=false
+		`{"type":"C","time":-42,"attrs":{"x":-0.5}}`,
+		`{"type":"A","time":9223372036854775807,"attrs":{}}`,
+		`{"attrs":{"a":1},"time":7,"type":"Z"}`, // any key order
+		` { "type" : "A" , "time" : 1 , "attrs" : { "k" : "v" } } `,
+		`{"type":"A","attrs":{"big":9223372036854775808}}`,       // int64 overflow -> float
+		`{"type":"A","attrs":{"n":18446744073709551615}}`,        // uint64 max -> float
+		`{"type":"A","attrs":{"e":1e5,"E":1E+5,"m":-1.5e-3}}`,    // exponent forms
+		`{"type":"A","attrs":{"z":-0,"zz":0.0}}`,                 // signed zero
+		`{"type":"A","attrs":{"dup":1,"dup":2}}`,                 // attr last-wins
+		`{"type":"A","time":5,"attrs":{"k":"v"}}trailing junk`,   // Decode reads one value
+		`{"type":"A"}`,                                           // no attrs at all
+	}
+	for _, line := range mustAccept {
+		if !checkFastAgainstStdlib(t, []byte(line)) {
+			t.Errorf("fast path bailed on canonical line %q", line)
+		}
+	}
+	// Lines where bailing is expected; the check still enforces
+	// agreement if the fast path ever starts accepting them.
+	tricky := []string{
+		``,
+		`{}`,
+		`{"type":""}`,                         // empty type errors in stdlib
+		`{"Type":"A"}`,                        // case-folded key: stdlib accepts!
+		`{"TYPE":"A","TIME":3}`,               //
+		`{"type":"A","time":null}`,            // null time: stdlib hasTime=false
+		`{"type":"A","attrs":null}`,           //
+		`{"type":"A","type":"B"}`,             // duplicate top-level key: last wins
+		`{"type":"A","attrs":{"a":1},"attrs":{"b":2}}`, // duplicate attrs MERGE
+		`{"type":"A","time":1.5}`,             // float time errors
+		`{"type":"A","time":1e2}`,             //
+		`{"type":"A","time":9223372036854775808}`, // time overflow errors
+		`{"type":"A","attrs":{"x":true}}`,     // bool attr errors
+		`{"type":"A","attrs":{"x":null}}`,     //
+		`{"type":"A","attrs":{"x":{"y":1}}}`,  // nested attr errors
+		`{"type":"A","attrs":{"x":[1]}}`,      //
+		`{"type":"A","attrs":{"x":01}}`,       // leading zero errors
+		`{"type":"A","attrs":{"x":+1}}`,       // leading plus errors
+		`{"type":"A","attrs":{"x":1e999}}`,    // out-of-range float errors
+		`{"type":"A","attrs":{"x":.5}}`,       // bare fraction errors
+		`{"type":"A","attrs":{"x":1.}}`,       //
+		`{"type":"AA"}`,                  // escape: stdlib decodes it
+		`{"type":"é"}`,                   //
+		`{"type":"é","attrs":{"k":"ü"}}`,      // non-ASCII: stdlib accepts
+		`{"type":"A","extra":1}`,              // unknown key errors (DisallowUnknownFields)
+		`{"type":"A","attrs":{"k":"v"}`,       // truncated
+		`{"type":"A",}`,                       // trailing comma
+		`[1,2,3]`,
+		`"just a string"`,
+	}
+	for _, line := range tricky {
+		checkFastAgainstStdlib(t, []byte(line))
+	}
+}
+
+// TestParseEventFastRandomized round-trips randomly generated events
+// through EncodeEvent and both parsers. ASCII-only events must take the
+// fast path; events with exotic strings may bail but must never
+// disagree.
+func TestParseEventFastRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	exotic := []string{"", "ü", "a\"b", "x\\y", "tab\there", "line\nbreak", "nul\x00"}
+	accepted := 0
+	for i := 0; i < 2000; i++ {
+		plain := rng.Intn(4) > 0
+		str := func() string {
+			if plain || rng.Intn(3) > 0 {
+				return fmt.Sprintf("s%d", rng.Intn(50))
+			}
+			return exotic[rng.Intn(len(exotic))]
+		}
+		attrs := map[string]event.Value{}
+		for n := rng.Intn(5); n > 0; n-- {
+			k := str()
+			switch rng.Intn(3) {
+			case 0:
+				attrs[k] = event.Int(rng.Int63() - rng.Int63())
+			case 1:
+				attrs[k] = event.Float(math.Trunc(rng.NormFloat64()*1e6) / 1e3)
+			default:
+				attrs[k] = event.Str(str())
+			}
+		}
+		typ := str()
+		if typ == "" {
+			typ = "T"
+		}
+		e := event.New(typ, event.Time(rng.Int63()-rng.Int63()), attrs)
+		line := EncodeEvent(e)
+		if checkFastAgainstStdlib(t, line) {
+			accepted++
+		} else if plain && asciiClean(line) {
+			t.Fatalf("fast path bailed on plain ASCII line %q", line)
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("fast path accepted nothing; generator or parser broken")
+	}
+	t.Logf("fast path accepted %d/2000 random round-trips", accepted)
+}
+
+func asciiClean(line []byte) bool {
+	for _, c := range line {
+		if c < 0x20 || c >= 0x80 || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParseValueNumbers pins the parseValue number fast path to the
+// documented semantics: int64 range stays Int, overflow and any
+// fraction/exponent form degrade to Float, malformed literals error.
+func TestParseValueNumbers(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want event.Value
+		err  bool
+	}{
+		{`9223372036854775807`, event.Int(math.MaxInt64), false},
+		{`-9223372036854775808`, event.Int(math.MinInt64), false},
+		{`9223372036854775808`, event.Float(9223372036854775808), false},  // int64+1 -> float
+		{`-9223372036854775809`, event.Float(-9223372036854775809), false},
+		{`18446744073709551615`, event.Float(18446744073709551615), false},
+		{`1e5`, event.Float(100000), false},
+		{`1E+5`, event.Float(100000), false},
+		{`-1.5e-3`, event.Float(-0.0015), false},
+		{`123.0`, event.Float(123), false}, // fraction part forces float
+		{`-0`, event.Int(0), false},
+		{`0.0`, event.Float(0), false},
+		{`1e999`, event.Value{}, true}, // out of range
+		{`01`, event.Value{}, true},    // leading zero is not JSON
+		{`+1`, event.Value{}, true},
+		{`.5`, event.Value{}, true},
+		{`1.`, event.Value{}, true},
+		{`true`, event.Value{}, true},
+		{`nan`, event.Value{}, true},
+	}
+	for _, c := range cases {
+		got, err := parseValue([]byte(c.raw))
+		if c.err {
+			if err == nil {
+				t.Errorf("parseValue(%q) = %v, want error", c.raw, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseValue(%q) error: %v", c.raw, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseValue(%q) = %#v, want %#v", c.raw, got, c.want)
+		}
+	}
+}
+
+// TestInternTableBounds pins the intern table's caps: oversized strings
+// and post-cap entries still decode, just without deduplication.
+func TestInternTableBounds(t *testing.T) {
+	in := newInternTable()
+	long := strings.Repeat("x", internMaxLen+1)
+	if got := in.intern([]byte(long)); got != long {
+		t.Errorf("long string mangled: %q", got)
+	}
+	if len(in.m) != 0 {
+		t.Errorf("long string was interned; table should skip it")
+	}
+	for i := 0; i < internMaxEntries+100; i++ {
+		s := fmt.Sprintf("k%d", i)
+		if got := in.intern([]byte(s)); got != s {
+			t.Fatalf("intern(%q) = %q", s, got)
+		}
+	}
+	if len(in.m) != internMaxEntries {
+		t.Errorf("table size %d, want cap %d", len(in.m), internMaxEntries)
+	}
+	// Post-cap lookups of already-interned strings still hit.
+	if got := in.intern([]byte("k0")); got != "k0" {
+		t.Errorf("interned lookup broken: %q", got)
+	}
+}
+
+// FuzzParseEventFast feeds arbitrary single lines to both parsers: the
+// fast path must never panic and must agree with ParseEvent on every
+// line it accepts.
+func FuzzParseEventFast(f *testing.F) {
+	f.Add([]byte(`{"type":"A","time":123,"attrs":{"ID":5,"V":3.5,"user":"u1"}}`))
+	f.Add([]byte(`{"type":"A","time":null,"attrs":null}`))
+	f.Add([]byte(`{"Type":"A","attrs":{"x":01,"y":1e999,"z":true}}`))
+	f.Add([]byte(`{"attrs":{"dup":1,"dup":2},"type":"Z","time":-1}`))
+	f.Add([]byte(`{"type":"é","attrs":{"k":"a\"b"}}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fe, fht, ok := parseEventFast(line, newInternTable())
+		if !ok {
+			return
+		}
+		se, sht, err := ParseEvent(line)
+		if err != nil {
+			t.Fatalf("fast accepted, stdlib rejects %q: %v", line, err)
+		}
+		if fe.Type != se.Type || fe.Time != se.Time || fht != sht || !reflect.DeepEqual(fe.Attrs, se.Attrs) {
+			t.Fatalf("divergence on %q: fast=%v stdlib=%v", line, fe, se)
+		}
+	})
+}

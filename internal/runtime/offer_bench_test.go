@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// offerSource hands out copies of a generated stream with virtual time
+// and sequence numbers kept monotone across wraps. Reusing the raw
+// stream would send time backward at every wrap, so window expiry would
+// stop and the engine's partial-match state would grow without bound —
+// the benchmark would measure an ever-slower engine, not the offer path.
+type offerSource struct {
+	s    event.Stream
+	span event.Time
+	next atomic.Uint64
+}
+
+func newOfferSource(n int) *offerSource {
+	s := gen.DS1(gen.DS1Config{Events: n, Seed: 1, InterArrival: 100 * event.Microsecond})
+	return &offerSource{s: s, span: s[len(s)-1].Time - s[0].Time + 100*event.Microsecond}
+}
+
+func (o *offerSource) event() *event.Event {
+	i := o.next.Add(1) - 1
+	e := *o.s[i%uint64(len(o.s))]
+	e.Time += event.Time(i/uint64(len(o.s))) * o.span
+	e.Seq = i
+	return &e
+}
+
+// benchRuntime builds a 4-shard runtime with deep queues so the offer
+// path, not consumer backpressure, dominates the measurement.
+func benchRuntime(b *testing.B) (*Runtime, *offerSource) {
+	b.Helper()
+	m := nfa.MustCompile(query.Q1("8ms"))
+	r := New(m, Config{Shards: 4, QueueLen: 8192})
+	b.Cleanup(func() { r.Close() })
+	return r, newOfferSource(8192)
+}
+
+// BenchmarkOffer guards the single-event offer path: batched handoff
+// must not have added per-offer cost for callers that cannot batch
+// (streaming TCP ingest). The event copy costs one allocation; the
+// offer path itself adds none.
+func BenchmarkOffer(b *testing.B) {
+	r, src := benchRuntime(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Offer(src.event())
+	}
+}
+
+// BenchmarkOfferParallel is the same guard under producer contention —
+// the shape concurrent ingest connections create.
+func BenchmarkOfferParallel(b *testing.B) {
+	r, src := benchRuntime(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Offer(src.event())
+		}
+	})
+}
+
+// BenchmarkOfferBatch measures the batched handoff the HTTP ingest and
+// replay paths use.
+func BenchmarkOfferBatch(b *testing.B) {
+	r, src := benchRuntime(b)
+	const chunk = 256
+	batch := make([]*event.Event, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += chunk {
+		n := chunk
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			batch[j] = src.event()
+		}
+		r.OfferBatch(batch[:n])
+	}
+}

@@ -420,7 +420,8 @@ func (r *Runtime) Offer(e *event.Event) bool {
 		r.admissionRejected.Add(1)
 		return false
 	}
-	sh.ch <- item{e: e, enq: time.Now()}
+	sh.depth.Add(1)
+	sh.ch <- batch{one: item{e: e, enq: time.Now()}}
 	return true
 }
 
@@ -442,13 +443,84 @@ func (r *Runtime) TryOffer(e *event.Event) bool {
 		r.admissionRejected.Add(1)
 		return false
 	}
+	sh.depth.Add(1)
 	select {
-	case sh.ch <- item{e: e, enq: time.Now()}:
+	case sh.ch <- batch{one: item{e: e, enq: time.Now()}}:
 		return true
 	default:
+		sh.depth.Add(-1)
 		sh.overflow.Add(1)
 		return false
 	}
+}
+
+// OfferBatch routes a slice of events to their shards in one pass: one
+// lock acquisition, one clock read, and one degradation-ladder update
+// cover the whole slice, and each shard receives its events as a single
+// queued batch instead of one channel operation per event. Per-event
+// semantics match Offer — blocking backpressure, door rejection at
+// ladder levels 2–3 (per event at LevelAdmission, so the admission
+// probability still applies), counted rejections — and the return value
+// is how many events were accepted. Order is preserved per shard, the
+// only order the runtime guarantees. One batch may briefly push a
+// shard's queued-event count past QueueLen (the channel bounds batches,
+// not events); the ladder's fill signal sees that surplus, which errs
+// toward shedding earlier, never later.
+func (r *Runtime) OfferBatch(events []*event.Event) int {
+	if len(events) == 0 {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed.Load() {
+		return 0
+	}
+	lvl, fill := LevelNormal, 0.0
+	if r.cfg.Bound > 0 {
+		lvl, fill = r.updateLevel()
+		if lvl >= LevelReject {
+			r.admissionRejected.Add(uint64(len(events)))
+			return 0
+		}
+	}
+	enq := time.Now()
+	accepted := 0
+	var groups [][]item
+	for _, e := range events {
+		if lvl == LevelAdmission && !r.admit.Admit(fill) {
+			r.admissionRejected.Add(1)
+			continue
+		}
+		sh := r.shardFor(e)
+		if sh == nil {
+			r.admissionRejected.Add(1)
+			continue
+		}
+		if groups == nil {
+			groups = make([][]item, len(r.shards))
+		}
+		if groups[sh.id] == nil {
+			groups[sh.id] = getItems()
+		}
+		groups[sh.id] = append(groups[sh.id], item{e: e, enq: enq})
+		accepted++
+	}
+	for id, g := range groups {
+		if g == nil {
+			continue
+		}
+		sh := r.shards[id]
+		if len(g) == 1 {
+			one := g[0]
+			putItems(g)
+			sh.depth.Add(1)
+			sh.ch <- batch{one: one}
+			continue
+		}
+		sh.depth.Add(int64(len(g)))
+		sh.ch <- batch{items: g}
+	}
+	return accepted
 }
 
 // admitAtDoor runs the degradation ladder's door checks: at LevelReject
@@ -478,7 +550,10 @@ func (r *Runtime) ladderSignals() (maxEwma, fill float64) {
 	now := time.Now().UnixNano()
 	var depth, capTot int
 	for _, sh := range r.shards {
-		d := len(sh.ch)
+		d := int(sh.depth.Load())
+		if d < 0 {
+			d = 0
+		}
 		depth += d
 		capTot += cap(sh.ch)
 		ew := math.Float64frombits(sh.ewma.Load())

@@ -22,6 +22,31 @@ type item struct {
 	enq time.Time
 }
 
+// batch is what the shard channel carries: either a single item (items
+// nil — the Offer/TryOffer fast path, no slice allocation) or a slice
+// of items from OfferBatch. Ownership of items transfers to the
+// consumer, which returns the slice to itemSlicePool when done.
+type batch struct {
+	one   item
+	items []item
+}
+
+// itemSlicePool recycles OfferBatch's per-shard item slices between
+// producers and shard workers.
+var itemSlicePool = sync.Pool{New: func() any {
+	s := make([]item, 0, 256)
+	return &s
+}}
+
+func getItems() []item {
+	return (*itemSlicePool.Get().(*[]item))[:0]
+}
+
+func putItems(items []item) {
+	items = items[:0]
+	itemSlicePool.Put(&items)
+}
+
 // shard owns one engine instance and one strategy instance. The engine
 // and strategy are touched ONLY by the shard's worker goroutine; every
 // field read by Snapshot from other goroutines is atomic. On a panic the
@@ -29,7 +54,8 @@ type item struct {
 // both are worker-owned, so the rebuild needs no locking.
 type shard struct {
 	id    int
-	ch    chan item
+	ch    chan batch
+	depth atomic.Int64 // queued events (not batches) across ch + in-flight batches
 	m     *nfa.Machine // kept for supervisor rebuilds
 	en    *engine.Engine
 	strat shed.Strategy
@@ -64,12 +90,29 @@ type shard struct {
 	// Durability (nil ckpt: the shard runs without checkpointing; also
 	// the degraded state walFailed leaves behind). All non-atomic fields
 	// below are worker-owned.
-	ckpt     *checkpoint.ShardStore
-	killed   *atomic.Bool // Runtime.killed: drain-and-discard on Kill
-	lastSeq  uint64       // seq/time of the last event appended to the WAL
-	lastTime int64
-	hasSeq   bool // lastSeq/lastTime are meaningful (seq numbering starts at 0)
+	ckpt      *checkpoint.ShardStore
+	killed    *atomic.Bool // Runtime.killed: drain-and-discard on Kill
+	lastSeq   uint64       // seq/time of the last event appended to the WAL
+	lastTime  int64
+	hasSeq    bool // lastSeq/lastTime are meaningful (seq numbering starts at 0)
 	sinceSnap int  // events since the last snapshot
+
+	// pend holds matches whose M records sit in the current WAL flush
+	// group: group commit defers the flush, so delivery defers with it.
+	// Released, in order, the moment a flush makes the records durable —
+	// on the covering policy flush, at the batch boundary, or (panic)
+	// explicitly before recovery reuses the store.
+	pend []engine.Match
+
+	// curBatch/curIdx/curItem track the batch being consumed so a panic
+	// can report the poison item and salvage the unprocessed remainder
+	// into rem; rem is consumed as live input after the post-panic
+	// recovery (those events never reached the WAL, so they come after
+	// the replayed tail).
+	curBatch []item
+	curIdx   int
+	curItem  item
+	rem      []item
 
 	// needRecover is consumed at the top of the worker loop: true at boot
 	// (restore snapshot + replay WAL) and after every supervisor rebuild.
@@ -106,7 +149,7 @@ func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *m
 	strat.Attach(en)
 	s := &shard{
 		id:     id,
-		ch:     make(chan item, cfg.QueueLen),
+		ch:     make(chan batch, cfg.QueueLen),
 		m:      m,
 		en:     en,
 		strat:  strat,
@@ -118,38 +161,146 @@ func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *m
 	return s
 }
 
-// statsSyncBatch bounds how many drained events may share one snapshot
-// sync: the engine-stats copy and atomic stores run once per batch (or
-// as soon as the queue goes idle) instead of once per event.
-const statsSyncBatch = 64
+// batchBudget bounds how many drained events may share one batch
+// boundary: the engine-stats sync, the covering WAL flush, and the
+// snapshot check run once per budget (or as soon as the queue goes
+// idle) instead of once per event. It generalizes the old
+// statsSyncBatch constant to the whole batch drain.
+const batchBudget = 64
 
 // run is the unsupervised worker loop (Config.DisableRecovery): it exits
 // when the input channel closes, after flushing the engine's remaining
-// state, and a panic propagates and kills the process. The queue is
-// drained in batches: snapshot counters sync at batch boundaries and
-// whenever the queue is momentarily empty, so an idle shard is always
-// up to date while a saturated shard pays the sync once per
-// statsSyncBatch events.
+// state, and a panic propagates and kills the process.
 func (s *shard) run() {
 	if s.needRecover {
 		// Unsupervised recovery: a replay panic propagates, matching the
 		// DisableRecovery contract for live processing.
 		s.needRecover = false
-		var cur item
-		s.recoverReplay(&cur)
+		s.curItem = item{}
+		s.recoverReplay(&s.curItem)
 	}
 	s.signalRecovered()
-	w := s.cfg.SmoothWeight
-	batched := 0
-	for it := range s.ch {
-		s.process(it, w)
-		if batched++; batched >= statsSyncBatch || len(s.ch) == 0 {
-			s.syncEngineStats()
-			s.idleFlush()
-			batched = 0
+	s.drain(s.cfg.SmoothWeight)
+	s.finish()
+}
+
+// drain is the batched consume loop shared by the supervised and
+// unsupervised workers: one blocking receive, then opportunistic
+// receives until batchBudget events are in hand or the queue is
+// momentarily empty, then one explicit endBatch. The batch boundary is
+// explicit — the old loop's racy per-event len(s.ch) == 0 probe is
+// gone. Returns when the channel closes.
+func (s *shard) drain(w float64) {
+	for {
+		b, ok := <-s.ch
+		if !ok {
+			return
+		}
+		n := s.consumeBatch(b, w)
+	fill:
+		for n < batchBudget {
+			select {
+			case b2, ok2 := <-s.ch:
+				if !ok2 {
+					s.endBatch()
+					return
+				}
+				n += s.consumeBatch(b2, w)
+			default:
+				break fill
+			}
+		}
+		s.endBatch()
+	}
+}
+
+// consumeBatch processes every item of one received batch, maintaining
+// the poison-tracking fields for the supervisor's recover() and
+// returning the slice to the pool once fully consumed.
+func (s *shard) consumeBatch(b batch, w float64) int {
+	if b.items == nil {
+		s.curItem = b.one
+		s.depth.Add(-1)
+		s.process(b.one, w)
+		return 1
+	}
+	items := b.items
+	s.curBatch = items
+	for i := range items {
+		s.curIdx = i
+		s.curItem = items[i]
+		s.depth.Add(-1)
+		s.process(items[i], w)
+	}
+	s.curBatch, s.curIdx = nil, 0
+	putItems(items)
+	return len(items)
+}
+
+// endBatch runs once per drained batch: publish engine stats, settle
+// the WAL flush group, and take the periodic snapshot. The flush group
+// — and with it any held-back matches — survives across batch
+// boundaries while input keeps coming: it closes when the policy says
+// so (FlushEvery records, FlushBytes bytes, FlushInterval age), when
+// the queue goes idle, or before a snapshot rotation (Save flushes the
+// writer internally, and durable-but-undelivered M records are exactly
+// the state replay suppression would turn into lost matches — so the
+// release MUST come first). Delivery latency under continuous load is
+// therefore bounded by FlushInterval, and an idle queue delivers
+// immediately.
+func (s *shard) endBatch() {
+	s.syncEngineStats()
+	if s.ckpt == nil {
+		return
+	}
+	if s.killed != nil && s.killed.Load() {
+		// Kill(): the held matches' M records are unflushed by the pend
+		// invariant and will be aborted with the store; dropping the
+		// deliveries IS the simulated crash loss.
+		s.pend = s.pend[:0]
+		return
+	}
+	snapDue := s.sinceSnap >= s.ckpt.EveryEvents()
+	if snapDue || s.depth.Load() == 0 {
+		// One covering flush (one fsync when configured) makes every
+		// buffered E and M record durable, then the matches those M
+		// records cover are delivered.
+		if err := s.ckpt.Flush(); err != nil {
+			s.walFailed("flush", err)
+			return
+		}
+		s.releasePend()
+	} else {
+		if err := s.ckpt.FlushIfDue(); err != nil {
+			s.walFailed("flush", err)
+			return
+		}
+		if len(s.pend) > 0 && s.ckpt.Unflushed() == 0 {
+			s.releasePend()
 		}
 	}
-	s.finish()
+	if snapDue {
+		s.takeSnapshot()
+	}
+}
+
+// releasePend delivers every held-back match, in order.
+func (s *shard) releasePend() {
+	for i := range s.pend {
+		s.emit(s.pend[i])
+	}
+	s.pend = s.pend[:0]
+}
+
+// emit hands one match to the configured sinks and counts it.
+func (s *shard) emit(m engine.Match) {
+	s.matched.Add(1)
+	if s.cfg.CollectMatches {
+		s.matches = append(s.matches, m)
+	}
+	if s.cfg.OnMatch != nil {
+		s.cfg.OnMatch(s.id, m)
+	}
 }
 
 // signalRecovered releases Runtime.WaitRecovered for this shard; safe to
@@ -161,17 +312,6 @@ func (s *shard) signalRecovered() {
 	}
 }
 
-// idleFlush pushes the buffered WAL tail to the OS whenever the queue
-// goes idle, shrinking the loss window below FlushEvery while the shard
-// has nothing better to do.
-func (s *shard) idleFlush() {
-	if s.ckpt != nil && len(s.ch) == 0 {
-		if err := s.ckpt.Flush(); err != nil {
-			s.walFailed("flush", err)
-		}
-	}
-}
-
 // walFailed handles a WAL append/flush failure (disk full, I/O error —
 // bufio keeps the first error sticky, so every later write would fail
 // too). The bounded-loss and no-duplicate contracts can no longer be
@@ -179,6 +319,8 @@ func (s *shard) idleFlush() {
 // record (which the next recovery would re-emit), the shard counts the
 // failure, logs loudly, and drops to running without durability. The
 // store is aborted, not closed: flushing is exactly what just failed.
+// Matches held for the failed flush group are delivered on the way out
+// — availability wins; the broken contract is declared, not widened.
 func (s *shard) walFailed(op string, err error) {
 	s.walErrors.Add(1)
 	if s.cfg.Logf != nil {
@@ -187,6 +329,7 @@ func (s *shard) walFailed(op string, err error) {
 	}
 	s.ckpt.Abort()
 	s.ckpt = nil
+	s.releasePend()
 }
 
 // syncEngineStats publishes the worker-owned engine counters to the
@@ -216,6 +359,11 @@ func (s *shard) process(it item, w float64) {
 			s.walFailed("event append", err)
 		} else {
 			s.lastSeq, s.lastTime, s.hasSeq = e.Seq, int64(e.Time), true
+			if len(s.pend) > 0 && s.ckpt.Unflushed() == 0 {
+				// The append tripped the policy flush, which made the held
+				// matches' M records durable as a side effect.
+				s.releasePend()
+			}
 		}
 	}
 	s.eventsIn.Add(1)
@@ -226,8 +374,8 @@ func (s *shard) process(it item, w float64) {
 		// nearly for free, which is exactly how shedding relieves the
 		// queue.
 		s.eventsShed.Add(1)
-		s.record(time.Since(it.enq), w)
-		s.maybeSnapshot()
+		s.record(it.enq, w)
+		s.noteSnapshotProgress()
 		return
 	}
 
@@ -243,14 +391,20 @@ func (s *shard) process(it item, w float64) {
 		s.deliver(res.Matches, e.Seq, nil, false)
 	}
 
-	lat := s.record(time.Since(it.enq), w)
+	lat := s.record(it.enq, w)
 	s.strat.Control(e.Time, lat)
-	s.maybeSnapshot()
+	s.noteSnapshotProgress()
 }
 
-// deliver emits matches: the WAL match record is flushed BEFORE the
-// match reaches OnMatch, so a crash can lose an undelivered match but
-// never deliver one twice. During replay, suppress holds the keys of
+// deliver emits matches under the flush-before-deliver invariant: a
+// match's M record must be durable before the match reaches OnMatch, so
+// a crash can lose an undelivered match but never deliver one twice.
+// Under group commit the record joins the current flush group and the
+// match waits in pend until a flush covers it — the policy flush an
+// append trips, or the batch boundary's explicit one. During replay
+// (suppress != nil) each new match still forces its own flush: replay
+// is rare and the immediate delivery keeps recovery observably
+// identical to the pre-group-commit store. suppress holds the keys of
 // matches the previous incarnation already delivered; countSuppressed
 // re-counts them into the matched counter (boot restore, where the
 // atomic restarted from the snapshot value) or not (post-panic restore,
@@ -268,31 +422,42 @@ func (s *shard) deliver(matches []engine.Match, seq uint64, suppress map[string]
 			}
 			continue
 		}
-		if s.ckpt != nil {
-			// The M record must be durable before OnMatch runs; if it cannot
-			// be, the match is still delivered (availability wins) but the
-			// exactly-once contract is declared broken, not silently voided.
-			if err := s.ckpt.AppendMatchKey(seq, key); err != nil {
-				s.walFailed("match append", err)
+		if s.ckpt == nil {
+			s.emit(m)
+			continue
+		}
+		// If the append (or flush) fails, the match is still delivered
+		// (availability wins) but the exactly-once contract is declared
+		// broken, not silently voided — walFailed also releases any
+		// earlier matches of the failed group, keeping delivery order.
+		if err := s.ckpt.AppendMatchKey(seq, key); err != nil {
+			s.walFailed("match append", err)
+			s.emit(m)
+			continue
+		}
+		if suppress != nil {
+			if err := s.ckpt.Flush(); err != nil {
+				s.walFailed("match flush", err)
 			}
+			s.emit(m)
+			continue
 		}
-		s.matched.Add(1)
-		if s.cfg.CollectMatches {
-			s.matches = append(s.matches, m)
-		}
-		if s.cfg.OnMatch != nil {
-			s.cfg.OnMatch(s.id, m)
+		if s.ckpt.Unflushed() == 0 {
+			s.releasePend()
+			s.emit(m)
+		} else {
+			s.pend = append(s.pend, m)
 		}
 	}
 }
 
-// maybeSnapshot counts processed events toward the snapshot interval.
-func (s *shard) maybeSnapshot() {
-	if s.ckpt == nil {
-		return
-	}
-	if s.sinceSnap++; s.sinceSnap >= s.ckpt.EveryEvents() {
-		s.takeSnapshot()
+// noteSnapshotProgress counts processed events toward the snapshot
+// interval; the snapshot itself is taken at the batch boundary
+// (endBatch), after the flush group settles and held matches release,
+// so snapshot counters are always delivery-consistent.
+func (s *shard) noteSnapshotProgress() {
+	if s.ckpt != nil {
+		s.sinceSnap++
 	}
 }
 
@@ -561,9 +726,22 @@ func (s *shard) replayEvent(e *event.Event, boot bool, suppress map[string]bool)
 func (s *shard) finish() {
 	if s.ckpt != nil {
 		if s.killed != nil && s.killed.Load() {
+			s.pend = s.pend[:0]
 			s.ckpt.Abort()
 			return
 		}
+		// Settle any open flush group before the final snapshot; the drain
+		// normally leaves pend empty, but a direct finish must not strand a
+		// held match.
+		if len(s.pend) > 0 {
+			if err := s.ckpt.Flush(); err != nil {
+				s.walFailed("flush", err)
+			} else {
+				s.releasePend()
+			}
+		}
+	}
+	if s.ckpt != nil {
 		s.takeSnapshot()
 		s.ckpt.Close()
 	}
@@ -571,11 +749,14 @@ func (s *shard) finish() {
 	s.syncEngineStats()
 }
 
-// record adds one wall-clock latency sample to the histograms and the
-// EWMA, returning the updated smoothed latency as virtual time (both are
-// nanoseconds, so the unit maps 1:1).
-func (s *shard) record(d time.Duration, w float64) event.Time {
-	ns := d.Nanoseconds()
+// record adds one wall-clock latency sample (now minus the event's
+// enqueue instant) to the histograms and the EWMA, returning the updated
+// smoothed latency as virtual time (both are nanoseconds, so the unit
+// maps 1:1). Taking enq instead of a duration lets one clock read serve
+// both the sample and the lastNs staleness stamp.
+func (s *shard) record(enq time.Time, w float64) event.Time {
+	now := time.Now()
+	ns := now.Sub(enq).Nanoseconds()
 	if ns < 0 {
 		ns = 0
 	}
@@ -584,15 +765,19 @@ func (s *shard) record(d time.Duration, w float64) event.Time {
 	prev := math.Float64frombits(s.ewma.Load())
 	sm := w*float64(ns) + (1-w)*prev
 	s.ewma.Store(math.Float64bits(sm))
-	s.lastNs.Store(time.Now().UnixNano())
+	s.lastNs.Store(now.UnixNano())
 	return event.Time(sm)
 }
 
 func (s *shard) snapshot() ShardSnapshot {
+	depth := int(s.depth.Load())
+	if depth < 0 {
+		depth = 0
+	}
 	return ShardSnapshot{
 		Shard:      s.id,
 		Strategy:   s.stratName.Load().(string),
-		QueueDepth: len(s.ch),
+		QueueDepth: depth,
 		QueueCap:   cap(s.ch),
 
 		EventsIn:        s.eventsIn.Load(),

@@ -198,6 +198,13 @@ func (s *shard) runSupervised(r *Runtime) {
 			s.finish()
 			return
 		}
+		// Settle the open flush group FIRST: recovery below reuses the
+		// store, and ShardStore.Load flushes the live writer — which would
+		// make the held matches' M records durable while the deliveries
+		// sit in pend, exactly the state replay suppression would turn
+		// into silently lost matches. Flush-and-release now, before
+		// anything else can flush behind our back.
+		s.flushPendOnPanic()
 		// A panic during BOOT replay must not bump the quarantined counter
 		// here: the retry re-runs recovery from the snapshot counters and
 		// its skip-path counts the poisoned seq exactly once. Counting it
@@ -243,37 +250,82 @@ func (s *shard) runSupervised(r *Runtime) {
 
 // runOnce drains the input channel until it closes (clean=true) or a
 // panic escapes processing (clean=false, with the panic value and the
-// item being processed).
+// item being processed). A panic mid-batch salvages the batch's
+// unprocessed tail into s.rem: those events were popped from the
+// channel but never reached the engine or the WAL, so the next
+// incarnation consumes them as live input right after recovery.
 func (s *shard) runOnce() (pv any, poison item, clean bool) {
-	var cur item
 	defer func() {
 		if p := recover(); p != nil {
-			pv, poison = p, cur
+			pv, poison = p, s.curItem
+			if tail := s.panicRemainder(); len(tail) > 0 {
+				s.rem = append(tail, s.rem...)
+			}
+			s.curBatch, s.curIdx = nil, 0
 			if s.cfg.Logf != nil {
 				s.cfg.Logf("runtime: shard %d panic: %v\n%s", s.id, p, debug.Stack())
 			}
 		}
 	}()
+	s.curItem, s.curBatch, s.curIdx = item{}, nil, 0
 	if s.needRecover {
 		// Recovery runs under the same recover(): a panic while replaying
-		// a WAL event quarantines that event (cur tracks it) and the next
-		// runOnce retries recovery with the poison seq skipped.
+		// a WAL event quarantines that event (curItem tracks it) and the
+		// next runOnce retries recovery with the poison seq skipped.
 		s.needRecover = false
-		s.recoverReplay(&cur)
+		s.recoverReplay(&s.curItem)
 	}
 	s.signalRecovered()
 	w := s.cfg.SmoothWeight
-	batched := 0
-	for it := range s.ch {
-		cur = it
-		s.process(it, w)
-		if batched++; batched >= statsSyncBatch || len(s.ch) == 0 {
-			s.syncEngineStats()
-			s.idleFlush()
-			batched = 0
-		}
-	}
+	s.consumeRemainder(w)
+	s.drain(w)
 	return nil, item{}, true
+}
+
+// panicRemainder copies the unprocessed tail of the batch a panic
+// interrupted (everything after the poison item).
+func (s *shard) panicRemainder() []item {
+	if s.curBatch == nil || s.curIdx+1 >= len(s.curBatch) {
+		return nil
+	}
+	tail := make([]item, len(s.curBatch)-s.curIdx-1)
+	copy(tail, s.curBatch[s.curIdx+1:])
+	return tail
+}
+
+// consumeRemainder feeds events salvaged from a panic-interrupted batch
+// back through processing. Each item is popped before it runs, so a
+// second poison among them quarantines cleanly and leaves the rest in
+// s.rem for the incarnation after that.
+func (s *shard) consumeRemainder(w float64) {
+	if len(s.rem) == 0 {
+		return
+	}
+	for len(s.rem) > 0 {
+		it := s.rem[0]
+		s.rem = s.rem[1:]
+		s.curItem = it
+		s.depth.Add(-1)
+		s.process(it, w)
+	}
+	s.rem = nil
+	s.endBatch()
+}
+
+// flushPendOnPanic settles the flush group a panic left open: flush the
+// store once and deliver the held matches. Runs before quarantine and
+// recovery so no other code path (AppendSkip's flush, Load's writer
+// flush) can make the M records durable while the deliveries are still
+// held back.
+func (s *shard) flushPendOnPanic() {
+	if s.ckpt == nil || len(s.pend) == 0 {
+		return
+	}
+	if err := s.ckpt.Flush(); err != nil {
+		s.walFailed("flush", err)
+		return
+	}
+	s.releasePend()
 }
 
 func (it item) seq() uint64 {
@@ -339,12 +391,27 @@ func (s *shard) rebuild() (ok bool) {
 }
 
 // forwardRemaining turns a permanently failed shard's worker into a
-// forwarder: items still in (or racing into) its queue are re-routed to
-// a healthy shard, so producers blocked on a send never deadlock and
-// Close still drains. It exits when the channel closes.
+// forwarder: items still in (or racing into) its queue — including any
+// batch tail a panic salvaged — are re-routed to a healthy shard, so
+// producers blocked on a send never deadlock and Close still drains. It
+// exits when the channel closes.
 func (s *shard) forwardRemaining(r *Runtime) {
-	for it := range s.ch {
+	for _, it := range s.rem {
+		s.depth.Add(-1)
 		r.failover(s, it)
+	}
+	s.rem = nil
+	for b := range s.ch {
+		if b.items == nil {
+			s.depth.Add(-1)
+			r.failover(s, b.one)
+			continue
+		}
+		for _, it := range b.items {
+			s.depth.Add(-1)
+			r.failover(s, it)
+		}
+		putItems(b.items)
 	}
 }
 
@@ -356,7 +423,8 @@ func (r *Runtime) failover(from *shard, it item) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if t := r.fallbackFor(from.id); t != nil && !r.closed.Load() {
-		t.ch <- it
+		t.depth.Add(1)
+		t.ch <- batch{one: it}
 		return
 	}
 	// The item left the queue without reaching process(), so count its
