@@ -4,12 +4,22 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke
+.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke multiquery-smoke
 
-check: vet build race fuzz-seeds chaos recover-smoke bench-smoke bench-compare
+check: vet build race fuzz-seeds chaos recover-smoke multiquery-smoke bench-smoke bench-compare
+
+# Pinned so `go run` resolves one known-good version from the module
+# cache or proxy. Offline (no proxy, cold cache) the probe fails and vet
+# degrades to `go vet` alone instead of failing the gate.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2024.1.1
 
 vet:
 	$(GO) vet ./...
+	@if $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK) ./...; \
+	else \
+		echo "vet: $(STATICCHECK) unavailable (offline or cold module cache); skipping staticcheck"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -34,6 +44,14 @@ chaos:
 # instead of a cold start (see TestRecoverSmoke).
 recover-smoke:
 	$(GO) test -count=1 -run RecoverSmoke ./cmd/cepserved
+
+# End-to-end multi-tenant drill: two tenants x two queries registered
+# over the admin API against one replayed stream; the low-priority
+# tenant's Kleene query is driven into overload and the arbiter must
+# degrade only that tenant while the other keeps full recall and sane
+# p99, then drain cleanly (see TestMultiQuerySmoke, docs/MULTIQUERY.md).
+multiquery-smoke:
+	$(GO) test -count=1 -run MultiQuerySmoke ./cmd/cepserved
 
 # Replay the checked-in fuzz corpora (seeds plus any minimized crashers)
 # as a plain regression suite; part of `make check`.

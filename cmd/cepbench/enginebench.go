@@ -112,6 +112,24 @@ func measure(c benchCase) BenchWorkload {
 	return out
 }
 
+// benchRepeats is the best-of-N sample count for gated measurements.
+// On a shared host a single testing.Benchmark run can swing ±40% with
+// co-tenant load; the minimum over a few repetitions estimates the
+// uncontended cost on both sides of the comparison, which is what the
+// regression gate is meant to compare.
+const benchRepeats = 3
+
+// bestOf runs f n times and keeps the fastest result by ns/event.
+func bestOf(n int, f func() BenchWorkload) BenchWorkload {
+	best := f()
+	for i := 1; i < n; i++ {
+		if w := f(); w.NsPerEvent < best.NsPerEvent {
+			best = w
+		}
+	}
+	return best
+}
+
 // runEngineBench measures every workload and then writes the baseline,
 // compares against one, or just prints — per the flags. Returns the
 // process exit code.
@@ -124,7 +142,8 @@ func runEngineBench(outPath, comparePath string) int {
 	cases := engineBenchCases()
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "cepbench: measuring %s...\n", c.name)
-		bf.Workloads[c.name] = measure(c)
+		c := c
+		bf.Workloads[c.name] = bestOf(benchRepeats, func() BenchWorkload { return measure(c) })
 	}
 
 	fmt.Printf("%-18s %12s %12s %12s %14s\n", "workload", "ns/event", "allocs/event", "B/event", "matches/sec")

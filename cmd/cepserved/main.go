@@ -1,15 +1,32 @@
-// Command cepserved runs the sharded wall-clock CEP runtime as a server:
-// it ingests NDJSON events over HTTP and/or raw TCP, optionally replays
-// one of the built-in dataset generators at a configurable rate for load
-// testing, and exposes live statistics.
+// Command cepserved runs the sharded wall-clock CEP runtime as a
+// multi-query, multi-tenant server: a query registry holds N compiled
+// queries (each with its own shards, degradation ladder, and durable
+// state), one decoded NDJSON stream fans out to every subscribed query,
+// and a cross-query arbiter keeps one tenant's overload from degrading
+// its neighbors. Events arrive over HTTP and/or raw TCP; the built-in
+// dataset generators can replay a stream at a configurable rate for
+// load testing.
 //
 // Endpoints (on -listen):
 //
-//	POST /ingest      NDJSON event lines (see docs/RUNTIME.md for the format)
-//	GET  /stats       JSON runtime snapshot
-//	GET  /metrics     Prometheus text exposition
-//	GET  /healthz     health/readiness probe (503 while draining or load-rejecting)
-//	GET  /deadletters recent quarantined inputs (see docs/ROBUSTNESS.md)
+//	POST   /ingest                           NDJSON event lines (docs/RUNTIME.md)
+//	GET    /stats                            JSON registry snapshot (per query + totals)
+//	GET    /metrics                          Prometheus text exposition (tenant/query labels)
+//	GET    /healthz                          health/readiness probe
+//	GET    /deadletters                      recent quarantined inputs (docs/ROBUSTNESS.md)
+//	GET    /queries                          registered queries with live status
+//	POST   /queries                          register a query (JSON QuerySpec; ?wait=1 blocks
+//	                                         until it is recovered and serving)
+//	DELETE /queries/{tenant}/{name}          unregister (+ ?purge=1 deletes its state dir)
+//	POST   /queries/{tenant}/{name}/pause    stop routing to a query, keep it registered
+//	POST   /queries/{tenant}/{name}/resume   undo pause
+//	GET    /tenants                          registered tenants
+//	PUT    /tenants                          register/update a tenant (JSON Tenant)
+//
+// Queries are added and removed at runtime — no restart: POST /queries
+// compiles and validates the query text (and its shedding strategy)
+// before anything is activated, so a bad spec is a clean 400. See
+// docs/MULTIQUERY.md.
 //
 // Examples:
 //
@@ -20,24 +37,23 @@
 //	  -query 'PATTERN SEQ(A a, B b, C c) WHERE a.ID=b.ID AND a.ID=c.ID WITHIN 8ms'
 //
 // On SIGINT/SIGTERM the server stops ingesting, closes live TCP ingest
-// connections, drains every shard queue (emitting the final matches
-// those events complete), and prints the final snapshot to stdout.
+// connections, drains every query's shard queues (emitting the final
+// matches those events complete), and prints the final snapshot.
 //
-// With -state-dir the runtime checkpoints every shard's state (live
-// partial matches, counters, strategy state) and write-ahead-logs the
-// events in between, so a crash or restart resumes from the last good
-// snapshot plus the WAL tail instead of losing every open window; a
-// graceful SIGTERM drain ends with a final snapshot, so a clean restart
-// replays nothing. During boot recovery /healthz reports "recovering"
-// and /ingest answers 503. See docs/DURABILITY.md.
+// With -state-dir every query checkpoints into its own fingerprinted
+// directory and the registry records its membership in a manifest, so a
+// crash or restart re-registers every query — including ones added
+// mid-stream over the admin API — and resumes each from its last good
+// snapshot plus WAL tail. During boot recovery /healthz reports
+// "recovering" and /ingest answers 503. See docs/DURABILITY.md.
 //
 // The server is hardened against misbehaving clients: HTTP requests are
 // bounded by header/read/idle timeouts, TCP ingest connections carry a
-// per-read idle deadline so a stalled producer cannot hold a goroutine
-// forever, undecodable NDJSON lines are quarantined to the runtime's
-// dead-letter queue with their line number and payload, and when the
-// runtime's degradation ladder reaches load rejection the HTTP path
-// answers 429 and the TCP path emits NACK lines (docs/ROBUSTNESS.md).
+// per-read idle deadline, undecodable NDJSON lines are quarantined to
+// the dead-letter queue with their line number and payload, and when
+// EVERY serving query's degradation ladder reaches load rejection the
+// HTTP path answers 429 and the TCP path emits NACK lines
+// (docs/ROBUSTNESS.md).
 package main
 
 import (
@@ -53,6 +69,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -69,39 +86,66 @@ import (
 	"cepshed/internal/metrics"
 	"cepshed/internal/nfa"
 	"cepshed/internal/query"
+	"cepshed/internal/registry"
 	"cepshed/internal/runtime"
 	"cepshed/internal/shed"
 )
 
+// defaultTenant/defaultQueryName identify the query built from the
+// -query/-dataset flags; admin-added queries pick their own names.
+const (
+	defaultTenant    = "default"
+	defaultQueryName = "main"
+)
+
 func main() {
 	var (
-		listen    = flag.String("listen", ":8080", "HTTP listen address (/ingest, /stats, /metrics, /healthz, /deadletters)")
+		listen    = flag.String("listen", ":8080", "HTTP listen address (/ingest, /stats, /metrics, /healthz, /deadletters, /queries, /tenants)")
 		tcpAddr   = flag.String("tcp", "", "optional raw TCP NDJSON listen address")
 		tcpIdle   = flag.Duration("tcp-idle", time.Minute, "TCP ingest read deadline; a connection idle longer is closed")
 		httpRead  = flag.Duration("http-read-timeout", 5*time.Minute, "HTTP read timeout (bounds one /ingest request body)")
-		shards    = flag.Int("shards", 4, "number of engine shards")
+		shards    = flag.Int("shards", 4, "engine shards per query")
 		queueLen  = flag.Int("queue", 1024, "per-shard bounded queue capacity")
 		dataset   = flag.String("dataset", "", "replay dataset: ds1, ds2, citibike, gcluster (empty: ingest only)")
 		events    = flag.Int("events", 100000, "replay stream length (trips/tasks for the case studies)")
 		rate      = flag.Float64("rate", 20000, "replay rate in events/sec (0: as fast as backpressure allows)")
 		loop      = flag.Bool("loop", false, "repeat the replay until terminated")
-		querySrc  = flag.String("query", "", "query text (default: the paper query for the dataset)")
-		strategy  = flag.String("strategy", "Hybrid", "None, RI, SI, PI, RS, SS, Hybrid, HyI, HyS")
-		bound     = flag.Duration("bound", 2*time.Millisecond, "wall-clock latency bound θ for the shedding controller and degradation ladder")
+		querySrc  = flag.String("query", "", "initial query text (default: the paper query for the dataset; empty with no dataset: start with no queries and register over POST /queries)")
+		strategy  = flag.String("strategy", "Hybrid", "default shedding strategy: None, RI, SI, PI, RS, SS, Hybrid, HyI, HyS (per-query override via QuerySpec.Strategy)")
+		bound     = flag.Duration("bound", 2*time.Millisecond, "default wall-clock latency bound θ (per-tenant/per-query overrides via the admin API)")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		emit      = flag.Bool("print-matches", false, "write detected matches as NDJSON to stdout")
 		noRecover = flag.Bool("no-recover", false, "disable the shard supervisor (panics crash the process; for debugging)")
-		stateDir  = flag.String("state-dir", "", "directory for per-shard checkpoints and WALs (empty: no durability; see docs/DURABILITY.md)")
+		stateDir  = flag.String("state-dir", "", "directory for per-query checkpoints, WALs, and the registry manifest (empty: no durability; see docs/DURABILITY.md)")
 		ckptEvery = flag.Int("checkpoint-every", 32768, "events between per-shard snapshots (bounds replay time after a crash, not data loss)")
 		walFlush  = flag.Int("wal-flush", 1024, "max WAL records per flush group; 1 flushes every record (group commit: a crash loses at most one unflushed group)")
 		walFlushB = flag.Int("wal-flush-bytes", 48<<10, "max buffered WAL bytes per flush group")
 		walFlushT = flag.Duration("wal-flush-interval", 2*time.Millisecond, "max age of a buffered WAL record before the group flushes")
 		walFsync  = flag.Bool("wal-fsync", false, "fsync WAL flushes and snapshots (survives machine crashes, not just process crashes)")
+		arbEvery  = flag.Duration("arbiter-interval", 250*time.Millisecond, "cross-query arbiter control period")
+		arbCap    = flag.Float64("arbiter-capacity", 0, "arbiter utilization target in CPU-seconds/sec (0: 0.8 x GOMAXPROCS)")
+		noArbiter = flag.Bool("no-arbiter", false, "disable the cross-query shedding arbiter (per-query ladders still run)")
 	)
 	flag.Parse()
 
-	if *dataset == "" && *querySrc == "" {
-		log.Fatal("cepserved: need -query (ingest mode) or -dataset (replay mode)")
+	// Durability knobs without -state-dir used to silently do nothing —
+	// an operator who set -wal-fsync believed they had durability and
+	// did not. Fail fast instead.
+	durabilityFlags := map[string]bool{
+		"checkpoint-every": true, "wal-flush": true, "wal-flush-bytes": true,
+		"wal-flush-interval": true, "wal-fsync": true,
+	}
+	if *stateDir == "" {
+		var orphaned []string
+		flag.Visit(func(f *flag.Flag) {
+			if durabilityFlags[f.Name] {
+				orphaned = append(orphaned, "-"+f.Name)
+			}
+		})
+		if len(orphaned) > 0 {
+			log.Fatalf("cepserved: %s without -state-dir: durability flags have no effect unless a state directory is set",
+				strings.Join(orphaned, ", "))
+		}
 	}
 
 	var train, work event.Stream
@@ -113,32 +157,34 @@ func main() {
 			src = defQuery
 		}
 	}
-	q, err := query.Parse(src)
-	if err != nil {
-		log.Fatalf("cepserved: %v", err)
-	}
-	m, err := nfa.Compile(q)
-	if err != nil {
-		log.Fatalf("cepserved: %v", err)
+	if src == "" && *stateDir == "" {
+		log.Print("cepserved: no -query, -dataset, or -state-dir: starting with no queries; register one via POST /queries")
 	}
 
-	boundNs := event.Time(bound.Nanoseconds())
-	factory, err := strategyFactory(*strategy, m, train, boundNs, *seed)
-	if err != nil {
-		log.Fatalf("cepserved: %v", err)
+	cfg := registry.Config{
+		Shards:       *shards,
+		QueueLen:     *queueLen,
+		DefaultTheta: *bound,
+		StateDir:     *stateDir,
+		Arbiter: registry.ArbiterConfig{
+			Interval: *arbEvery,
+			Capacity: *arbCap,
+			Disabled: *noArbiter,
+		},
+		NewStrategy: func(spec registry.QuerySpec, m *nfa.Machine, b time.Duration) (func(int) shed.Strategy, error) {
+			name := spec.Strategy
+			if name == "" {
+				name = *strategy
+			}
+			return strategyFactory(name, m, train, event.Time(b.Nanoseconds()), *seed)
+		},
+		Logf: log.Printf,
 	}
-
-	cfg := runtime.Config{
-		Shards:          *shards,
-		QueueLen:        *queueLen,
-		NewStrategy:     factory,
-		Bound:           *bound,
-		DisableRecovery: *noRecover,
-		Logf:            log.Printf,
+	if *noRecover {
+		cfg.TuneRuntime = func(_ registry.QuerySpec, rc *runtime.Config) { rc.DisableRecovery = true }
 	}
 	if *stateDir != "" {
 		cfg.Durability = &checkpoint.Config{
-			Dir:         *stateDir,
 			EveryEvents:   *ckptEvery,
 			FlushEvery:    *walFlush,
 			FlushBytes:    *walFlushB,
@@ -149,23 +195,48 @@ func main() {
 	var emitMu sync.Mutex
 	if *emit {
 		out := bufio.NewWriter(os.Stdout)
-		cfg.OnMatch = func(shard int, match engine.Match) {
+		cfg.OnMatch = func(spec registry.QuerySpec, shard int, match engine.Match) {
 			emitMu.Lock()
+			fmt.Fprintf(out, `{"tenant":%q,"query":%q,"match":`, spec.Tenant, spec.Name)
 			out.Write(runtime.EncodeMatch(shard, match))
-			out.WriteByte('\n')
+			out.WriteString("}\n")
 			out.Flush()
 			emitMu.Unlock()
 		}
 	}
-	// Hybrid strategies train a cost model per shard inside runtime.New,
+
+	// Hybrid strategies train a cost model per shard inside the runtime,
 	// which can take several seconds on large training streams — say so,
 	// or the silence before the listener comes up looks like a hang.
 	if len(train) > 0 {
-		log.Printf("cepserved: starting %d shards (strategy %s may train on %d events per shard)",
+		log.Printf("cepserved: starting %d shards per query (strategy %s may train on %d events per shard)",
 			*shards, *strategy, len(train))
 	}
-	rt := runtime.New(m, cfg)
-	srv := &server{rt: rt, started: time.Now(), tcpIdle: *tcpIdle, conns: map[net.Conn]struct{}{}}
+	reg, err := registry.Open(cfg)
+	if err != nil {
+		log.Fatalf("cepserved: %v", err)
+	}
+	// Register the flag-defined default query unless the durable manifest
+	// already restored it (possibly with different text — the manifest,
+	// being what the durable state belongs to, wins).
+	if src != "" {
+		if in, ok := reg.Get(defaultTenant, defaultQueryName); ok {
+			if in.Spec().Query != src {
+				log.Printf("cepserved: manifest already defines %s/%s; ignoring -query/-dataset default text",
+					defaultTenant, defaultQueryName)
+			}
+		} else {
+			if _, err := reg.Add(registry.QuerySpec{
+				Tenant:   defaultTenant,
+				Name:     defaultQueryName,
+				Query:    src,
+				Strategy: *strategy,
+			}); err != nil {
+				log.Fatalf("cepserved: %v", err)
+			}
+		}
+	}
+	srv := &server{reg: reg, started: time.Now(), tcpIdle: *tcpIdle, conns: map[net.Conn]struct{}{}}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -174,7 +245,7 @@ func main() {
 	// indefinitely: headers get a short deadline, a whole request body a
 	// longer one, and keep-alive connections an idle cap. The listener is
 	// opened explicitly so ":0" works and the log line carries the real
-	// address (the smoke test depends on both).
+	// address (the smoke tests depend on both).
 	httpSrv := &http.Server{
 		Handler:           srv.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -185,8 +256,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("cepserved: http listen: %v", err)
 	}
-	log.Printf("cepserved: HTTP on %s (query: %s, shards=%d, strategy=%s, bound=%s)",
-		httpLn.Addr(), q, *shards, *strategy, bound)
+	log.Printf("cepserved: HTTP on %s (queries=%d, shards=%d, default strategy=%s, bound=%s)",
+		httpLn.Addr(), len(reg.Snapshot().Queries), *shards, *strategy, bound)
 	go func() {
 		if err := httpSrv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("cepserved: http: %v", err)
@@ -195,21 +266,21 @@ func main() {
 
 	// Recovery gate: the HTTP endpoints are already up (so /healthz says
 	// "recovering" and /ingest answers 503), but no new input flows until
-	// every shard has restored its snapshot and replayed its WAL tail.
-	rt.WaitRecovered()
-	if cfg.Durability != nil {
-		info := rt.RecoveryInfo()
-		// Gate on Restored, not MaxSeq > 0: sequence numbers start at 0, so
-		// a store whose only durable event is seq 0 would otherwise hand out
-		// seq 0 again.
-		if info.Restored {
-			// Resume numbering and time above everything already durable, and
-			// make dataset replay skip the prefix the store already has.
+	// every registered query has restored its snapshots and replayed its
+	// WAL tail.
+	reg.WaitRecovered()
+	if *stateDir != "" {
+		info := reg.RecoveryInfo()
+		if info.Restored > 0 {
+			// Resume numbering and time above everything already durable.
+			// Dataset replay restarts from the LOWEST recovered floor so
+			// every query's gap is covered; per-query floors drop the prefix
+			// an individual query already has.
 			srv.seq.Store(info.MaxSeq + 1)
 			srv.lastT.Store(info.MaxTime)
-			srv.replayFloor.Store(info.MaxSeq + 1)
-			log.Printf("cepserved: recovered state up to seq=%d (wal_replayed=%d cold_starts=%d)",
-				info.MaxSeq, info.WALReplayed, info.ColdStarts)
+			srv.replayFloor.Store(info.MinFloorSeq)
+			log.Printf("cepserved: recovered %d queries up to seq=%d (replay floor=%d wal_replayed=%d cold_starts=%d)",
+				info.Restored, info.MaxSeq, info.MinFloorSeq, info.WALReplayed, info.ColdStarts)
 		}
 	}
 	srv.ready.Store(true)
@@ -250,21 +321,22 @@ func main() {
 	// accounts for every event it offered. (Offer itself is safe against
 	// a concurrent Close — late TCP/HTTP ingest is simply rejected.)
 	producers.Wait()
-	rt.Close() // graceful drain: queued events finish, engines flush
+	reg.Close() // graceful drain: queued events finish, engines flush
 	shut, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(shut)
 
-	final := rt.Snapshot()
+	final := reg.Snapshot()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	enc.Encode(final)
-	log.Printf("cepserved: final: %s", final)
+	log.Printf("cepserved: final: queries=%d events_in=%d matches=%d shed=%d imposed=%d unrouted=%d",
+		len(final.Queries), final.EventsIn, final.Matches, final.EventsShed, final.ImposedDrops, final.Unrouted)
 }
 
-// server wires the runtime into the network frontends.
+// server wires the registry into the network frontends.
 type server struct {
-	rt      *runtime.Runtime
+	reg     *registry.Registry
 	started time.Time
 	tcpIdle time.Duration
 	seq     atomic.Uint64
@@ -276,7 +348,7 @@ type server struct {
 	// ready flips once boot recovery finishes; until then /ingest answers
 	// 503 and /healthz reports "recovering". replayFloor is the first
 	// sequence number dataset replay still owes — everything below it was
-	// recovered from the checkpoint store.
+	// recovered by every query from its checkpoint store.
 	ready       atomic.Bool
 	replayFloor atomic.Uint64
 
@@ -305,19 +377,18 @@ func (s *server) stamp(e *event.Event, hasTime bool) {
 	e.Seq = s.seq.Add(1) - 1
 }
 
-// submit finalizes an ingested event and offers it to the runtime with
-// backpressure. It reports whether the runtime accepted the event —
-// false means the degradation ladder (or shutdown) rejected it at the
-// door.
+// submit finalizes an ingested event and fans it out with backpressure.
+// It reports false only when at least one subscribed query rejected the
+// event at the door and none accepted it.
 func (s *server) submit(e *event.Event, hasTime bool) bool {
 	s.stamp(e, hasTime)
-	return s.rt.Offer(e)
+	return s.reg.Offer(e)
 }
 
 // ingestBatchSize bounds how many decoded events accumulate before one
-// OfferBatch call: one runtime-lock acquisition and one ladder check
-// cover the whole group instead of every line paying both. Only paths
-// that already hold a complete input (an HTTP request body, a
+// OfferBatch call: one route-table load and one batched handoff per
+// query cover the whole group instead of every line paying both. Only
+// paths that already hold a complete input (an HTTP request body, a
 // full-throttle replay) batch; streaming TCP stays per-event because a
 // connection may idle indefinitely mid-batch.
 const ingestBatchSize = 256
@@ -328,12 +399,12 @@ func (s *server) replay(ctx context.Context, work event.Stream, rate float64) in
 	start := time.Now()
 	floor := s.replayFloor.Swap(0) // resume floor applies to one pass only
 	n := 0
-	// Full-throttle replay (rate <= 0) feeds the runtime in batches so
-	// the per-offer lock and ladder work amortize across the group.
+	// Full-throttle replay (rate <= 0) feeds the registry in batches so
+	// the fan-out and per-query handoff amortize across the group.
 	batch := make([]*event.Event, 0, ingestBatchSize)
 	flush := func() {
 		if len(batch) > 0 {
-			s.rt.OfferBatch(batch)
+			s.reg.OfferBatch(batch)
 			batch = batch[:0]
 		}
 	}
@@ -343,8 +414,8 @@ func (s *server) replay(ctx context.Context, work event.Stream, rate float64) in
 			return n
 		}
 		if e.Seq < floor {
-			// Already recovered from the checkpoint store; re-offering it
-			// would double-process the prefix the WAL replay just rebuilt.
+			// Below every query's recovered floor: re-offering it would be
+			// pure fan-out overhead (per-query floors would drop it anyway).
 			continue
 		}
 		// Replayed events keep their generated virtual timestamps: window
@@ -367,7 +438,7 @@ func (s *server) replay(ctx context.Context, work event.Stream, rate float64) in
 				return n
 			}
 		}
-		s.rt.Offer(e)
+		s.reg.Offer(e)
 		n++
 	}
 	flush()
@@ -379,11 +450,11 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		snap := s.rt.Snapshot()
+		snap := s.reg.Snapshot()
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(struct {
-			runtime.Snapshot
+			registry.Snapshot
 			UptimeSeconds float64 `json:"uptime_seconds"`
 			BadLines      uint64  `json:"bad_lines"`
 			StalledConns  uint64  `json:"stalled_conns"`
@@ -393,11 +464,11 @@ func (s *server) mux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(s.rt.DeadLetters())
+		enc.Encode(s.reg.DeadLetters())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		writePrometheus(w, s.rt.Snapshot())
+		writePrometheus(w, s.reg.Snapshot(), runtime.InternTelemetry())
 	})
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
@@ -409,26 +480,106 @@ func (s *server) mux() *http.ServeMux {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
-		// Load rejection (ladder level 3) maps to 429: the client should
-		// back off and retry, which is exactly what Retry-After says.
-		if s.rt.DegradationLevel() >= runtime.LevelReject {
+		// 429 only when EVERY serving query is at load rejection: one
+		// overloaded tenant must not make the whole server turn away
+		// events its neighbors would accept.
+		if lvl := s.reg.MinDegradation(); lvl >= runtime.LevelReject {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "overloaded: load rejection active", http.StatusTooManyRequests)
 			return
 		}
-		accepted, rejected, overloaded := s.ingest(r.Body)
+		accepted, rejected, overloaded, unrouted := s.ingest(r.Body)
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d,"overloaded":%d}`+"\n", accepted, rejected, overloaded)
+		fmt.Fprintf(w, `{"accepted":%d,"rejected":%d,"overloaded":%d,"unrouted":%d}`+"\n",
+			accepted, rejected, overloaded, unrouted)
+	})
+
+	// Admin API: query and tenant lifecycle, no restart required.
+	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.reg.Snapshot().Queries)
+	})
+	mux.HandleFunc("POST /queries", func(w http.ResponseWriter, r *http.Request) {
+		var spec registry.QuerySpec
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+			http.Error(w, "bad query spec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		in, err := s.reg.Add(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if strings.Contains(err.Error(), "already registered") {
+				code = http.StatusConflict
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		if r.URL.Query().Get("wait") == "1" {
+			in.WaitReady()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"id":%q,"fingerprint":"%016x"}`+"\n", spec.ID(), in.Fingerprint())
+	})
+	mux.HandleFunc("DELETE /queries/{tenant}/{name}", func(w http.ResponseWriter, r *http.Request) {
+		purge := r.URL.Query().Get("purge") == "1"
+		if err := s.reg.Remove(r.PathValue("tenant"), r.PathValue("name"), purge); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	pauseHandler := func(paused bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			tenant, name := r.PathValue("tenant"), r.PathValue("name")
+			var err error
+			if paused {
+				err = s.reg.Pause(tenant, name)
+			} else {
+				err = s.reg.Resume(tenant, name)
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}
+	mux.HandleFunc("POST /queries/{tenant}/{name}/pause", pauseHandler(true))
+	mux.HandleFunc("POST /queries/{tenant}/{name}/resume", pauseHandler(false))
+	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.reg.Tenants())
+	})
+	mux.HandleFunc("PUT /tenants", func(w http.ResponseWriter, r *http.Request) {
+		var t registry.Tenant
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&t); err != nil {
+			http.Error(w, "bad tenant: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.reg.SetTenant(t); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 	return mux
 }
 
 // handleHealthz is the health/readiness probe: 200 while the server can
-// accept work, 503 while draining, while the degradation ladder is at
-// load rejection, or when every shard has failed. The body always
-// carries the detail a human (or a smarter prober) wants.
+// accept work, 503 while draining, while EVERY serving query is at load
+// rejection, or when every shard of every query has failed. The body
+// always carries the detail a human (or a smarter prober) wants.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.rt.Snapshot()
+	snap := s.reg.Snapshot()
+	totalShards := 0
+	for _, q := range snap.Queries {
+		totalShards += len(q.Runtime.Shards)
+	}
 	status := "ok"
 	code := http.StatusOK
 	switch {
@@ -436,33 +587,35 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status, code = "draining", http.StatusServiceUnavailable
 	case !s.ready.Load() || snap.Recovering:
 		status, code = "recovering", http.StatusServiceUnavailable
-	case snap.FailedShards >= len(snap.Shards):
+	case totalShards > 0 && snap.FailedShards >= totalShards:
 		status, code = "failed", http.StatusServiceUnavailable
-	case snap.DegradationLevel >= runtime.LevelReject:
+	case len(snap.Queries) > 0 && snap.MinDegradation >= runtime.LevelReject:
 		status, code = "overloaded", http.StatusServiceUnavailable
-	case snap.DegradationLevel > runtime.LevelNormal || snap.FailedShards > 0:
+	case snap.MaxDegradation > runtime.LevelNormal || snap.FailedShards > 0:
 		status = "degraded"
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	fmt.Fprintf(w, `{"status":%q,"degradation_level":%d,"failed_shards":%d,"restarts":%d,"quarantined":%d}`+"\n",
-		status, snap.DegradationLevel, snap.FailedShards, snap.Restarts, snap.Quarantined)
+	fmt.Fprintf(w, `{"status":%q,"queries":%d,"degradation_level":%d,"failed_shards":%d,"restarts":%d,"quarantined":%d}`+"\n",
+		status, len(snap.Queries), snap.MaxDegradation, snap.FailedShards, snap.Restarts, snap.Quarantined)
 }
 
-// ingest decodes NDJSON from r, submitting valid events. Undecodable
-// lines are quarantined to the dead-letter queue with their line number
-// and a truncated payload; events the ladder rejects at the door are
-// counted as overloaded.
-func (s *server) ingest(r io.Reader) (accepted, rejected, overloaded int) {
+// ingest decodes NDJSON from r, fanning valid events out to every
+// subscribed query. Undecodable lines are quarantined to the registry's
+// edge dead-letter queue with their line number and a truncated
+// payload; (event, query) pairs a ladder rejects at the door count as
+// overloaded; events no query subscribes to count as unrouted.
+func (s *server) ingest(r io.Reader) (accepted, rejected, overloaded, unrouted int) {
 	dec := runtime.NewLineDecoder(r, 1<<20)
 	batch := make([]*event.Event, 0, ingestBatchSize)
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		n := s.rt.OfferBatch(batch)
-		accepted += n
-		overloaded += len(batch) - n
+		res := s.reg.OfferBatch(batch)
+		accepted += res.Deliveries
+		overloaded += res.DoorRejected
+		unrouted += res.Unrouted
 		batch = batch[:0]
 	}
 	for {
@@ -472,11 +625,11 @@ func (s *server) ingest(r io.Reader) (accepted, rejected, overloaded int) {
 			if errors.As(err, &lerr) {
 				rejected++
 				s.badLine.Add(1)
-				s.rt.Quarantine(lerr.Error(), lerr.Payload)
+				s.reg.Quarantine(lerr.Error(), lerr.Payload)
 				continue
 			}
 			flush()
-			return accepted, rejected, overloaded // EOF or read failure
+			return accepted, rejected, overloaded, unrouted // EOF or read failure
 		}
 		s.stamp(e, hasTime)
 		batch = append(batch, e)
@@ -538,10 +691,10 @@ func (s *server) serveTCP(ctx context.Context, ln net.Listener) {
 }
 
 // serveConn ingests one TCP NDJSON connection under the idle deadline.
-// When the ladder rejects events it best-effort NACKs once per rejection
-// burst so a well-behaved producer can back off; the write carries its
-// own short deadline so a consumer that has also stalled its read side
-// cannot block us.
+// When every subscribed query rejects an event it best-effort NACKs
+// once per rejection burst so a well-behaved producer can back off; the
+// write carries its own short deadline so a consumer that has also
+// stalled its read side cannot block us.
 func (s *server) serveConn(conn net.Conn) {
 	s.trackConn(conn)
 	defer func() {
@@ -556,7 +709,7 @@ func (s *server) serveConn(conn net.Conn) {
 			var lerr *runtime.LineError
 			if errors.As(err, &lerr) {
 				s.badLine.Add(1)
-				s.rt.Quarantine(lerr.Error(), lerr.Payload)
+				s.reg.Quarantine(lerr.Error(), lerr.Payload)
 				continue
 			}
 			if errors.Is(err, os.ErrDeadlineExceeded) {
@@ -572,25 +725,33 @@ func (s *server) serveConn(conn net.Conn) {
 		if !nacked {
 			nacked = true
 			conn.SetWriteDeadline(time.Now().Add(time.Second))
-			fmt.Fprintf(conn, `{"nack":"overloaded","degradation_level":%d}`+"\n", s.rt.DegradationLevel())
+			fmt.Fprintf(conn, `{"nack":"overloaded","degradation_level":%d}`+"\n", s.reg.MinDegradation())
 		}
 	}
 }
 
-// writePrometheus renders the snapshot in Prometheus text exposition
-// format, with per-shard labelled series plus aggregate quantiles.
-func writePrometheus(w io.Writer, snap runtime.Snapshot) {
+// writePrometheus renders the registry snapshot in Prometheus text
+// exposition format: per-shard series labelled {tenant, query, shard},
+// per-query and per-tenant series, and the unlabeled server aggregates
+// the pre-registry dashboards already scrape.
+func writePrometheus(w io.Writer, snap registry.Snapshot, intern runtime.InternStats) {
 	p := metrics.NewPromWriter(w)
 	counter := func(name, help string, val func(runtime.ShardSnapshot) uint64) {
 		p.Counter("cepshed_"+name, help)
-		for _, ss := range snap.Shards {
-			p.SampleUint("cepshed_"+name, val(ss), "shard", fmt.Sprint(ss.Shard))
+		for _, q := range snap.Queries {
+			for _, ss := range q.Runtime.Shards {
+				p.SampleUint("cepshed_"+name, val(ss),
+					"tenant", q.Spec.Tenant, "query", q.Spec.Name, "shard", fmt.Sprint(ss.Shard))
+			}
 		}
 	}
 	gauge := func(name, help string, val func(runtime.ShardSnapshot) float64) {
 		p.Gauge("cepshed_"+name, help)
-		for _, ss := range snap.Shards {
-			p.Sample("cepshed_"+name, val(ss), "shard", fmt.Sprint(ss.Shard))
+		for _, q := range snap.Queries {
+			for _, ss := range q.Runtime.Shards {
+				p.Sample("cepshed_"+name, val(ss),
+					"tenant", q.Spec.Tenant, "query", q.Spec.Name, "shard", fmt.Sprint(ss.Shard))
+			}
 		}
 	}
 	counter("events_in_total", "Events offered to the shard.",
@@ -619,6 +780,9 @@ func writePrometheus(w io.Writer, snap runtime.Snapshot) {
 		func(ss runtime.ShardSnapshot) uint64 { return ss.ColdStarts })
 	counter("wal_errors_total", "WAL append/flush failures; the first disables the shard's durability.",
 		func(ss runtime.ShardSnapshot) uint64 { return ss.WALErrors })
+	// Unlabeled aggregate under the same header: the alert an operator
+	// actually pages on ("any WAL error anywhere?") without a sum().
+	p.SampleUint("cepshed_wal_errors_total", snap.WALErrors)
 	gauge("snapshot_bytes", "Size of the shard's last checkpoint snapshot.",
 		func(ss runtime.ShardSnapshot) float64 { return float64(ss.SnapshotBytes) })
 	gauge("queue_depth", "Events waiting in the shard queue.",
@@ -635,16 +799,78 @@ func writePrometheus(w io.Writer, snap runtime.Snapshot) {
 			return 0
 		})
 
-	p.Gauge("cepshed_degradation_level", "Graceful-degradation ladder level (0 normal .. 3 load rejection).")
-	p.Sample("cepshed_degradation_level", float64(snap.DegradationLevel))
-	p.Counter("cepshed_admission_rejected_total", "Offers rejected at the door by the degradation ladder.")
+	// Per-query series: ladder level, arbiter imposition, recovery floor
+	// skips, latency quantiles.
+	p.Gauge("cepshed_degradation_level", "Graceful-degradation ladder level (0 normal .. 3 load rejection); unlabeled: worst across queries.")
+	for _, q := range snap.Queries {
+		p.Sample("cepshed_degradation_level", float64(q.Runtime.DegradationLevel),
+			"tenant", q.Spec.Tenant, "query", q.Spec.Name)
+	}
+	p.Sample("cepshed_degradation_level", float64(snap.MaxDegradation))
+	p.Counter("cepshed_imposed_drops_total", "Events dropped by the cross-query arbiter's gates.")
+	for _, q := range snap.Queries {
+		p.SampleUint("cepshed_imposed_drops_total", q.ImposedDrops,
+			"tenant", q.Spec.Tenant, "query", q.Spec.Name)
+	}
+	p.SampleUint("cepshed_imposed_drops_total", snap.ImposedDrops)
+	p.Counter("cepshed_floor_skips_total", "Events below a recovered query's sequence floor, dropped for exactly-once replay.")
+	for _, q := range snap.Queries {
+		p.SampleUint("cepshed_floor_skips_total", q.FloorSkips,
+			"tenant", q.Spec.Tenant, "query", q.Spec.Name)
+	}
+	p.Gauge("cepshed_imposed_drop_probability", "Current arbiter drop probability per (query, event type) class.")
+	for _, q := range snap.Queries {
+		for typ, prob := range q.Imposed {
+			p.Sample("cepshed_imposed_drop_probability", prob,
+				"tenant", q.Spec.Tenant, "query", q.Spec.Name, "type", typ)
+		}
+	}
+	p.Summary("cepshed_latency_seconds", "Wall-clock event latency quantiles per query.")
+	for _, q := range snap.Queries {
+		labels := []string{"tenant", q.Spec.Tenant, "query", q.Spec.Name}
+		p.Sample("cepshed_latency_seconds", q.Runtime.P50.Seconds(), append(labels, "quantile", "0.5")...)
+		p.Sample("cepshed_latency_seconds", q.Runtime.P95.Seconds(), append(labels, "quantile", "0.95")...)
+		p.Sample("cepshed_latency_seconds", q.Runtime.P99.Seconds(), append(labels, "quantile", "0.99")...)
+	}
+	p.SampleUint("cepshed_latency_seconds_count", snap.EventsIn)
+
+	// Per-tenant arbiter series: the isolation story in three gauges.
+	p.Gauge("cepshed_tenant_utilization", "Smoothed CPU-seconds/second the tenant's queries cost.")
+	for _, tl := range snap.Arbiter.Tenants {
+		p.Sample("cepshed_tenant_utilization", tl.Utilization, "tenant", tl.Tenant)
+	}
+	p.Gauge("cepshed_tenant_share", "The tenant's current fair-share entitlement.")
+	for _, tl := range snap.Arbiter.Tenants {
+		p.Sample("cepshed_tenant_share", tl.Share, "tenant", tl.Tenant)
+	}
+	p.Gauge("cepshed_tenant_imposed_drop", "Largest drop probability currently imposed on the tenant (0: untouched).")
+	for _, tl := range snap.Arbiter.Tenants {
+		p.Sample("cepshed_tenant_imposed_drop", tl.ImposedDrop, "tenant", tl.Tenant)
+	}
+	p.Gauge("cepshed_arbiter_utilization", "Total measured utilization across all queries.")
+	p.Sample("cepshed_arbiter_utilization", snap.Arbiter.Utilization)
+	p.Gauge("cepshed_arbiter_capacity", "The arbiter's utilization target.")
+	p.Sample("cepshed_arbiter_capacity", snap.Arbiter.Capacity)
+	p.Gauge("cepshed_arbiter_overloaded", "1 while total utilization exceeds the capacity target.")
+	if snap.Arbiter.Overloaded {
+		p.Sample("cepshed_arbiter_overloaded", 1)
+	} else {
+		p.Sample("cepshed_arbiter_overloaded", 0)
+	}
+
+	// Server aggregates (unlabeled, pre-registry dashboard compatible).
+	p.Counter("cepshed_admission_rejected_total", "Offers rejected at the door by a degradation ladder.")
 	p.SampleUint("cepshed_admission_rejected_total", snap.AdmissionRejected)
 	p.Counter("cepshed_quarantined_total", "Dead letters recorded (shard panics plus rejected inputs).")
 	p.SampleUint("cepshed_quarantined_total", snap.Quarantined)
+	p.Counter("cepshed_unrouted_total", "Ingested events no registered query subscribes to.")
+	p.SampleUint("cepshed_unrouted_total", snap.Unrouted)
 	p.Gauge("cepshed_failed_shards", "Shards marked permanently failed by the circuit breaker.")
 	p.Sample("cepshed_failed_shards", float64(snap.FailedShards))
+	p.Gauge("cepshed_queries", "Registered queries.")
+	p.Sample("cepshed_queries", float64(len(snap.Queries)))
 
-	p.Gauge("cepshed_recovering", "1 while any shard is restoring a snapshot or replaying its WAL.")
+	p.Gauge("cepshed_recovering", "1 while any shard of any query is restoring a snapshot or replaying its WAL.")
 	if snap.Recovering {
 		p.Sample("cepshed_recovering", 1)
 	} else {
@@ -652,20 +878,46 @@ func writePrometheus(w io.Writer, snap runtime.Snapshot) {
 	}
 	p.Gauge("cepshed_snapshot_age_seconds", "Age of the stalest shard checkpoint (0 until every durable shard has snapshotted).")
 	age := 0.0
-	if snap.OldestSnapshotUnixNs > 0 {
-		age = time.Since(time.Unix(0, snap.OldestSnapshotUnixNs)).Seconds()
+	oldest := int64(0)
+	for _, q := range snap.Queries {
+		if ns := q.Runtime.OldestSnapshotUnixNs; ns > 0 && (oldest == 0 || ns < oldest) {
+			oldest = ns
+		}
+	}
+	if oldest > 0 {
+		age = time.Since(time.Unix(0, oldest)).Seconds()
 	}
 	p.Sample("cepshed_snapshot_age_seconds", age)
 
-	p.Gauge("cepshed_input_shed_ratio", "Realized rho_I across all shards.")
-	p.Sample("cepshed_input_shed_ratio", snap.InputShedRatio)
-	p.Gauge("cepshed_pm_shed_ratio", "Realized rho_S across all shards.")
-	p.Sample("cepshed_pm_shed_ratio", snap.PMShedRatio)
-	p.Summary("cepshed_latency_seconds", "Wall-clock event latency quantiles across all shards.")
-	p.Sample("cepshed_latency_seconds", snap.P50.Seconds(), "quantile", "0.5")
-	p.Sample("cepshed_latency_seconds", snap.P95.Seconds(), "quantile", "0.95")
-	p.Sample("cepshed_latency_seconds", snap.P99.Seconds(), "quantile", "0.99")
-	p.SampleUint("cepshed_latency_seconds_count", snap.EventsIn)
+	p.Gauge("cepshed_input_shed_ratio", "Realized rho_I across all queries.")
+	shedRatio := 0.0
+	if snap.EventsIn > 0 {
+		shedRatio = float64(snap.EventsShed) / float64(snap.EventsIn)
+	}
+	p.Sample("cepshed_input_shed_ratio", shedRatio)
+	p.Gauge("cepshed_pm_shed_ratio", "Realized rho_S across all queries.")
+	var createdPMs, droppedPMs uint64
+	for _, q := range snap.Queries {
+		for _, ss := range q.Runtime.Shards {
+			createdPMs += ss.CreatedPMs
+			droppedPMs += ss.DroppedPMs
+		}
+	}
+	pmRatio := 0.0
+	if createdPMs > 0 {
+		pmRatio = float64(droppedPMs) / float64(createdPMs)
+	}
+	p.Sample("cepshed_pm_shed_ratio", pmRatio)
+
+	// NDJSON decoder intern-table telemetry (process-wide): occupancy
+	// near capacity or nonzero rejects means high-cardinality inputs are
+	// defeating the zero-allocation fast path.
+	p.Counter("cepshed_ndjson_intern_inserts_total", "Strings admitted to the NDJSON decoder intern tables.")
+	p.SampleUint("cepshed_ndjson_intern_inserts_total", intern.Inserts)
+	p.Counter("cepshed_ndjson_intern_rejects_total", "Strings refused by a full intern table (each decoded as a fresh allocation).")
+	p.SampleUint("cepshed_ndjson_intern_rejects_total", intern.Rejects)
+	p.Gauge("cepshed_ndjson_intern_high_water", "Largest occupancy any single intern table reached.")
+	p.SampleUint("cepshed_ndjson_intern_high_water", intern.HighWater)
 }
 
 // strategyFactory builds the per-shard strategy constructor. Every shard

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -12,20 +13,43 @@ import (
 
 	"cepshed/internal/event"
 	"cepshed/internal/fault"
-	"cepshed/internal/nfa"
 	"cepshed/internal/query"
+	"cepshed/internal/registry"
 	"cepshed/internal/runtime"
 )
 
+// newTestServer builds a registry-backed server with one registered
+// query (Q1, so event types A/B/C route) and the given runtime knobs
+// applied to every query via TuneRuntime.
 func newTestServer(t *testing.T, cfg runtime.Config) *server {
 	t.Helper()
-	m := nfa.MustCompile(query.Q1("8ms"))
 	if cfg.Shards == 0 {
 		cfg.Shards = 1
 	}
-	rt := runtime.New(m, cfg)
-	t.Cleanup(rt.Close)
-	s := &server{rt: rt, started: time.Now(), tcpIdle: 30 * time.Millisecond, conns: map[net.Conn]struct{}{}}
+	reg, err := registry.Open(registry.Config{
+		Shards:       cfg.Shards,
+		QueueLen:     cfg.QueueLen,
+		DefaultTheta: cfg.Bound,
+		Arbiter:      registry.ArbiterConfig{Disabled: true},
+		TuneRuntime: func(_ registry.QuerySpec, rc *runtime.Config) {
+			rc.Restart = cfg.Restart
+			rc.BeforeProcess = cfg.BeforeProcess
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reg.Close)
+	in, err := reg.Add(registry.QuerySpec{
+		Tenant: defaultTenant,
+		Name:   defaultQueryName,
+		Query:  query.Q1("8ms").Raw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.WaitReady()
+	s := &server{reg: reg, started: time.Now(), tcpIdle: 30 * time.Millisecond, conns: map[net.Conn]struct{}{}}
 	s.ready.Store(true) // tests exercise the post-recovery state unless they flip it back
 	return s
 }
@@ -64,11 +88,11 @@ func TestHealthzFailedWhenAllShardsDead(t *testing.T) {
 		BeforeProcess: fault.PanicIf(func(int, *event.Event) bool { return true }, "dead on arrival"),
 	})
 	deadline := time.Now().Add(5 * time.Second)
-	for s.rt.Snapshot().FailedShards == 0 {
+	for s.reg.Snapshot().FailedShards == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("shard never failed")
 		}
-		s.rt.Offer(event.New("A", event.Time(time.Since(s.started)), map[string]event.Value{"ID": event.Int(1)}))
+		s.reg.Offer(event.New("A", event.Time(time.Since(s.started)), map[string]event.Value{"ID": event.Int(1)}))
 	}
 	rec := httptest.NewRecorder()
 	s.handleHealthz(rec, httptest.NewRequest("GET", "/healthz", nil))
@@ -86,14 +110,14 @@ func TestIngestQuarantinesBadLines(t *testing.T) {
 garbage line
 {"type":"B","attrs":{"ID":2}}
 `
-	accepted, rejected, overloaded := s.ingest(strings.NewReader(in))
-	if accepted != 2 || rejected != 1 || overloaded != 0 {
-		t.Errorf("ingest = (%d, %d, %d), want (2, 1, 0)", accepted, rejected, overloaded)
+	accepted, rejected, overloaded, unrouted := s.ingest(strings.NewReader(in))
+	if accepted != 2 || rejected != 1 || overloaded != 0 || unrouted != 0 {
+		t.Errorf("ingest = (%d, %d, %d, %d), want (2, 1, 0, 0)", accepted, rejected, overloaded, unrouted)
 	}
 	if got := s.badLine.Load(); got != 1 {
 		t.Errorf("badLine = %d, want 1", got)
 	}
-	dls := s.rt.DeadLetters()
+	dls := s.reg.DeadLetters()
 	if len(dls) != 1 {
 		t.Fatalf("dead letters = %d, want 1", len(dls))
 	}
@@ -102,6 +126,20 @@ garbage line
 	}
 	if !strings.Contains(dls[0].Reason, "line 2") {
 		t.Errorf("dead letter reason %q lacks the line number", dls[0].Reason)
+	}
+	if dls[0].Tenant != "" || dls[0].Query != "" {
+		t.Errorf("undecodable line attributed to %s/%s, want the registry edge", dls[0].Tenant, dls[0].Query)
+	}
+}
+
+// An event whose type no registered query subscribes to is neither
+// accepted nor an error — it is counted as unrouted.
+func TestIngestCountsUnroutedEvents(t *testing.T) {
+	s := newTestServer(t, runtime.Config{})
+	accepted, rejected, overloaded, unrouted := s.ingest(strings.NewReader(
+		`{"type":"Z","attrs":{"ID":1}}` + "\n" + `{"type":"A","attrs":{"ID":1}}` + "\n"))
+	if accepted != 1 || rejected != 0 || overloaded != 0 || unrouted != 1 {
+		t.Errorf("ingest = (%d, %d, %d, %d), want (1, 0, 0, 1)", accepted, rejected, overloaded, unrouted)
 	}
 }
 
@@ -145,7 +183,7 @@ func TestWritePrometheusExposesRobustnessSeries(t *testing.T) {
 	s := newTestServer(t, runtime.Config{})
 	s.ingest(strings.NewReader(`{"type":"A","attrs":{"ID":1}}` + "\nbad\n"))
 	var buf bytes.Buffer
-	writePrometheus(&buf, s.rt.Snapshot())
+	writePrometheus(&buf, s.reg.Snapshot(), runtime.InternTelemetry())
 	out := buf.String()
 	for _, series := range []string{
 		"cepshed_events_in_total",
@@ -157,6 +195,16 @@ func TestWritePrometheusExposesRobustnessSeries(t *testing.T) {
 		"cepshed_quarantined_total 1",
 		"cepshed_failed_shards",
 		"cepshed_latency_seconds",
+		// Multi-query and satellite series.
+		`tenant="default"`,
+		`query="main"`,
+		"cepshed_wal_errors_total",
+		"cepshed_imposed_drops_total",
+		"cepshed_unrouted_total",
+		"cepshed_queries 1",
+		"cepshed_ndjson_intern_inserts_total",
+		"cepshed_ndjson_intern_rejects_total",
+		"cepshed_ndjson_intern_high_water",
 	} {
 		if !strings.Contains(out, series) {
 			t.Errorf("/metrics output missing %q", series)
@@ -193,5 +241,85 @@ func TestIngestEndpointRejectsAtLoadRejection(t *testing.T) {
 			t.Fatalf("unexpected status %d", rec.Code)
 		}
 		io.Copy(io.Discard, rec.Body)
+	}
+}
+
+// The admin API drives the full query lifecycle over HTTP: register
+// (with validation), list, pause/resume, and remove — no restart.
+func TestAdminQueryLifecycle(t *testing.T) {
+	s := newTestServer(t, runtime.Config{})
+	mux := s.mux()
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		var r io.Reader
+		if body != "" {
+			r = strings.NewReader(body)
+		}
+		mux.ServeHTTP(rec, httptest.NewRequest(method, path, r))
+		return rec
+	}
+
+	// A bad query must be a clean 400 with the compile error, not a
+	// half-registered instance.
+	if rec := do("POST", "/queries", `{"tenant":"acme","name":"broken","query":"NOT A QUERY"}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad query: code = %d, want 400 (body %s)", rec.Code, rec.Body.String())
+	}
+
+	spec := `{"tenant":"acme","name":"xy","query":"PATTERN SEQ(X x, Y y) WHERE x.ID = y.ID WITHIN 8ms"}`
+	if rec := do("POST", "/queries?wait=1", spec); rec.Code != http.StatusCreated {
+		t.Fatalf("add: code = %d, want 201 (body %s)", rec.Code, rec.Body.String())
+	}
+	// Duplicate registration is a conflict, not a validation error.
+	if rec := do("POST", "/queries", spec); rec.Code != http.StatusConflict {
+		t.Fatalf("dup add: code = %d, want 409", rec.Code)
+	}
+
+	rec := do("GET", "/queries", "")
+	var listed []registry.InstanceStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &listed); err != nil {
+		t.Fatalf("list: %v (body %s)", err, rec.Body.String())
+	}
+	if len(listed) != 2 {
+		t.Fatalf("listed %d queries, want 2", len(listed))
+	}
+
+	// X events route only once the new query serves; pausing stops them.
+	if a, _, _, u := s.ingest(strings.NewReader(`{"type":"X","attrs":{"ID":1}}` + "\n")); a != 1 || u != 0 {
+		t.Fatalf("X before pause: accepted=%d unrouted=%d, want 1/0", a, u)
+	}
+	if rec := do("POST", "/queries/acme/xy/pause", ""); rec.Code != http.StatusNoContent {
+		t.Fatalf("pause: code = %d, want 204", rec.Code)
+	}
+	if a, _, _, u := s.ingest(strings.NewReader(`{"type":"X","attrs":{"ID":2}}` + "\n")); a != 0 || u != 1 {
+		t.Fatalf("X while paused: accepted=%d unrouted=%d, want 0/1", a, u)
+	}
+	if rec := do("POST", "/queries/acme/xy/resume", ""); rec.Code != http.StatusNoContent {
+		t.Fatalf("resume: code = %d, want 204", rec.Code)
+	}
+	if a, _, _, u := s.ingest(strings.NewReader(`{"type":"X","attrs":{"ID":3}}` + "\n")); a != 1 || u != 0 {
+		t.Fatalf("X after resume: accepted=%d unrouted=%d, want 1/0", a, u)
+	}
+
+	if rec := do("PUT", "/tenants", `{"name":"acme","priority":2,"shed_budget":0.5}`); rec.Code != http.StatusNoContent {
+		t.Fatalf("put tenant: code = %d, want 204 (body %s)", rec.Code, rec.Body.String())
+	}
+	rec = do("GET", "/tenants", "")
+	var tenants []registry.Tenant
+	if err := json.Unmarshal(rec.Body.Bytes(), &tenants); err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 1 || tenants[0].Priority != 2 {
+		t.Fatalf("tenants = %+v, want acme with priority 2", tenants)
+	}
+
+	if rec := do("DELETE", "/queries/acme/xy", ""); rec.Code != http.StatusNoContent {
+		t.Fatalf("remove: code = %d, want 204", rec.Code)
+	}
+	if rec := do("DELETE", "/queries/acme/xy", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("double remove: code = %d, want 404", rec.Code)
+	}
+	if a, _, _, u := s.ingest(strings.NewReader(`{"type":"X","attrs":{"ID":4}}` + "\n")); a != 0 || u != 1 {
+		t.Fatalf("X after remove: accepted=%d unrouted=%d, want 0/1", a, u)
 	}
 }

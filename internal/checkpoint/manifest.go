@@ -1,0 +1,58 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// Manifest persistence: the query registry records which (tenant, query)
+// pairs are registered — and under which per-query state directory their
+// shard checkpoints live — in a small JSON manifest inside the state
+// directory. Unlike snapshots and WALs this file is written on control
+// operations (add/remove/pause), never on the event path, so a
+// human-debuggable encoding beats a binary frame. The write is the same
+// temp-write-rename protocol the snapshots use: a crash mid-save leaves
+// the previous manifest intact, never a torn one.
+
+// SaveManifest atomically replaces path with the JSON encoding of v.
+func SaveManifest(path string, v any, fsync bool) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if fsync {
+		if f, err := os.Open(tmp); err == nil {
+			f.Sync()
+			f.Close()
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if fsync {
+		syncDir(filepath.Dir(path))
+	}
+	return nil
+}
+
+// LoadManifest reads a manifest into v. Returns (false, nil) when the
+// file does not exist — a fresh state directory, not an error.
+func LoadManifest(path string, v any) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, err
+	}
+	return true, nil
+}

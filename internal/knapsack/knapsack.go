@@ -148,6 +148,13 @@ const (
 // constraint strictly; on a continuous consumption measure the non-strict
 // form is operationally identical and avoids degenerate exact covers.)
 func MinCover(items []Item, required float64, solver Solver) []int {
+	if required <= 0 {
+		// Nothing to cover: the complement formulation would still shed
+		// every non-positive-value item, which is wrong when the caller
+		// (e.g. the cross-query arbiter) treats the shed set as imposed
+		// drops rather than a keep-set optimization.
+		return nil
+	}
 	var total float64
 	for _, it := range items {
 		total += it.Weight

@@ -1,0 +1,441 @@
+package registry
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cepshed/internal/knapsack"
+)
+
+// The cross-query shedding arbiter. Each query's own degradation
+// ladder and ρI/ρS strategies keep that query inside its latency bound
+// — but they are blind to neighbors: a pathological Kleene query that
+// saturates the process drives every co-located query's queues up, and
+// each victim then sheds ITS OWN input to survive load it did not
+// cause. The arbiter closes that gap with a global control loop:
+//
+//  1. Measure. Every tick it polls each query's runtime.LoadStats and
+//     turns the busy-time delta into a utilization (CPU-seconds per
+//     wall-second this query actually cost), EWMA-smoothed. Unlike the
+//     latency EWMA — which includes queue wait and explodes under
+//     overload — busy time is a true unit cost, usable as a knapsack
+//     weight.
+//
+//  2. Entitle. When total utilization exceeds the capacity target, a
+//     priority-weighted water-filling pass computes each tenant's fair
+//     share: capacity is divided in proportion to tenant priority, and
+//     slack from tenants using less than their entitlement is
+//     redistributed to the rest. Tenants at or under their share are
+//     never touched — that is the isolation guarantee: the overloading
+//     tenant degrades itself, not its neighbors.
+//
+//  3. Select. Within each over-share tenant, the excess utilization
+//     must be shed at minimum utility loss. This is the paper's
+//     minimal-cost shedding-set problem lifted one level up: items are
+//     (query, event type) classes — weight = the utilization that
+//     class is responsible for, value = what shedding it forfeits
+//     (query priority × the class's match-participation rate) — and
+//     knapsack.MinCover picks the cheapest set covering the excess.
+//
+//  4. Impose. Selected classes get a fractional drop probability
+//     (excess / selected weight, capped), clamped by the tenant's
+//     ShedBudget, published as an immutable per-query gate table that
+//     the fan-out path consults with one atomic load. When the
+//     pressure clears, gates decay geometrically to zero instead of
+//     snapping off, so the system does not oscillate between "shed
+//     everything" and "admit everything" at the capacity boundary.
+type ArbiterConfig struct {
+	// Interval is the control period (default 250ms).
+	Interval time.Duration
+	// Capacity is the utilization target in CPU-seconds per second
+	// (default 0.8 × GOMAXPROCS). Total measured busy time above this
+	// triggers arbitration; the 20% headroom leaves room for the
+	// decoder, the supervisors, and the GC.
+	Capacity float64
+	// Solver picks the shedding set (default greedy: the arbiter runs
+	// on the control path every tick, and the DP's pseudo-polynomial
+	// cost buys little on a handful of classes).
+	Solver knapsack.Solver
+	// MaxDrop caps any single class's imposed drop probability (default
+	// 0.95): even a fully-shed class keeps a trickle flowing so its
+	// cost and utility estimates stay live and release can be detected.
+	MaxDrop float64
+	// Smooth is the EWMA weight for utilization samples (default 0.5,
+	// the paper's adaptation weight).
+	Smooth float64
+	// Disabled turns the arbiter off: per-query ladders still run,
+	// cross-query isolation does not.
+	Disabled bool
+}
+
+func (c ArbiterConfig) withDefaults() ArbiterConfig {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 0.8 * float64(runtime.GOMAXPROCS(0))
+	}
+	if c.MaxDrop <= 0 || c.MaxDrop > 1 {
+		c.MaxDrop = 0.95
+	}
+	if c.Smooth <= 0 || c.Smooth > 1 {
+		c.Smooth = 0.5
+	}
+	return c
+}
+
+// gateDecay halves surviving drop probabilities each non-overloaded
+// tick; gateFloor clears them entirely once negligible.
+const (
+	gateDecay = 0.5
+	gateFloor = 0.02
+)
+
+// arbScratch is per-instance state owned exclusively by the arbiter
+// goroutine between ticks.
+type arbScratch struct {
+	lastBusyNs  int64
+	lastOffered map[string]uint64
+	util        float64 // EWMA-smoothed utilization
+	seeded      bool
+}
+
+// TenantLoad is one tenant's slice of an arbiter snapshot.
+type TenantLoad struct {
+	Tenant string `json:"tenant"`
+	// Utilization is the tenant's smoothed CPU-seconds/second;
+	// Share its current fair-share entitlement.
+	Utilization float64 `json:"utilization"`
+	Share       float64 `json:"share"`
+	// ImposedDrop is the largest drop probability currently imposed on
+	// any of the tenant's classes (0: untouched).
+	ImposedDrop float64 `json:"imposed_drop"`
+	// BudgetCapped reports that fairness asked for more shedding than
+	// the tenant's ShedBudget allows — the tenant is trading latency
+	// for fidelity.
+	BudgetCapped bool `json:"budget_capped,omitempty"`
+}
+
+// ArbiterSnapshot is the arbiter's observable state for /stats.
+type ArbiterSnapshot struct {
+	Enabled     bool         `json:"enabled"`
+	Capacity    float64      `json:"capacity"`
+	Utilization float64      `json:"utilization"`
+	Overloaded  bool         `json:"overloaded"`
+	Ticks       uint64       `json:"ticks"`
+	Tenants     []TenantLoad `json:"tenants,omitempty"`
+}
+
+type arbiter struct {
+	g   *Registry
+	cfg ArbiterConfig
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu   sync.Mutex
+	snap ArbiterSnapshot
+}
+
+func newArbiter(g *Registry, cfg ArbiterConfig) *arbiter {
+	a := &arbiter{
+		g:    g,
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	a.snap.Enabled = !a.cfg.Disabled
+	a.snap.Capacity = a.cfg.Capacity
+	if a.cfg.Disabled {
+		close(a.done)
+		return a
+	}
+	go a.loop()
+	return a
+}
+
+func (a *arbiter) stopLoop() {
+	if a.cfg.Disabled {
+		return
+	}
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	<-a.done
+}
+
+func (a *arbiter) snapshot() ArbiterSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.snap
+	s.Tenants = append([]TenantLoad(nil), a.snap.Tenants...)
+	return s
+}
+
+func (a *arbiter) loop() {
+	defer close(a.done)
+	tick := time.NewTicker(a.cfg.Interval)
+	defer tick.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case now := <-tick.C:
+			wall := now.Sub(last)
+			last = now
+			if wall > 0 {
+				a.tick(wall)
+			}
+		}
+	}
+}
+
+// classItem is one (query, event type) shedding candidate.
+type classItem struct {
+	inst *Instance
+	typ  string
+	util float64 // utilization attributed to this class
+}
+
+// tick runs one control period; wall is the elapsed time since the
+// previous tick.
+func (a *arbiter) tick(wall time.Duration) {
+	insts := a.g.instances()
+	tenants := map[string]*TenantLoad{}
+	specs := map[string]Tenant{}
+	byTenant := map[string][]*Instance{}
+	var total float64
+	for _, in := range insts {
+		if !in.ready.Load() {
+			continue
+		}
+		st := in.rt.LoadStats()
+		sc := &in.arb
+		busyDelta := st.BusyNs - sc.lastBusyNs
+		sc.lastBusyNs = st.BusyNs
+		sample := float64(busyDelta) / float64(wall.Nanoseconds())
+		if sample < 0 {
+			sample = 0
+		}
+		if !sc.seeded {
+			sc.util = sample
+			sc.seeded = true
+		} else {
+			sc.util = a.cfg.Smooth*sample + (1-a.cfg.Smooth)*sc.util
+		}
+		total += sc.util
+		t := in.spec.Tenant
+		if _, ok := tenants[t]; !ok {
+			tenants[t] = &TenantLoad{Tenant: t}
+			specs[t] = a.g.tenant(t)
+		}
+		tenants[t].Utilization += sc.util
+		byTenant[t] = append(byTenant[t], in)
+	}
+
+	overloaded := total > a.cfg.Capacity && len(tenants) > 0
+	if overloaded {
+		a.entitle(tenants, specs)
+		for name, tl := range tenants {
+			excess := tl.Utilization - tl.Share
+			if excess <= 1e-9 {
+				// At or under entitlement: isolation means this tenant's
+				// gates only ever decay.
+				a.relax(byTenant[name], tl)
+				continue
+			}
+			a.impose(byTenant[name], tl, specs[name], excess)
+		}
+	} else {
+		for name := range tenants {
+			a.relax(byTenant[name], tenants[name])
+		}
+	}
+
+	loads := make([]TenantLoad, 0, len(tenants))
+	for _, tl := range tenants {
+		loads = append(loads, *tl)
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Tenant < loads[j].Tenant })
+	a.mu.Lock()
+	a.snap.Utilization = total
+	a.snap.Overloaded = overloaded
+	a.snap.Ticks++
+	a.snap.Tenants = loads
+	a.mu.Unlock()
+}
+
+// entitle computes priority-weighted fair shares by water-filling:
+// every tenant is entitled to capacity × (priority / Σ priorities);
+// tenants demanding less than their entitlement keep their demand, and
+// their slack is redistributed among the still-unsatisfied tenants
+// until shares stabilize. Work-conserving: Σ shares = min(capacity,
+// Σ demands).
+func (a *arbiter) entitle(tenants map[string]*TenantLoad, specs map[string]Tenant) {
+	remaining := a.cfg.Capacity
+	unsat := make([]string, 0, len(tenants))
+	for name := range tenants {
+		unsat = append(unsat, name)
+	}
+	sort.Strings(unsat) // deterministic iteration
+	for len(unsat) > 0 {
+		var prioSum float64
+		for _, name := range unsat {
+			prioSum += specs[name].Priority
+		}
+		if prioSum <= 0 {
+			break
+		}
+		satisfied := false
+		next := unsat[:0]
+		for _, name := range unsat {
+			ent := remaining * specs[name].Priority / prioSum
+			if tenants[name].Utilization <= ent+1e-12 {
+				// Under entitlement: give the tenant its demand, free the
+				// rest for redistribution.
+				tenants[name].Share = tenants[name].Utilization
+				remaining -= tenants[name].Utilization
+				satisfied = true
+			} else {
+				next = append(next, name)
+			}
+		}
+		unsat = next
+		if !satisfied {
+			// No one newly satisfied: split what's left by priority.
+			for _, name := range unsat {
+				tenants[name].Share = remaining * specs[name].Priority / prioSum
+			}
+			break
+		}
+	}
+}
+
+// impose selects the tenant's cheapest shedding set and publishes drop
+// gates on the selected classes.
+func (a *arbiter) impose(insts []*Instance, tl *TenantLoad, spec Tenant, excess float64) {
+	// ShedBudget caps the utilization fraction the arbiter may remove.
+	if budget := spec.ShedBudget * tl.Utilization; excess > budget {
+		excess = budget
+		tl.BudgetCapped = true
+	}
+	if excess <= 0 {
+		a.relax(insts, tl)
+		return
+	}
+
+	// Build the class items: each query's utilization is split across
+	// its event types by offered-event share (uniform when the window
+	// saw no events), weighted so Σ class weights = tenant utilization.
+	// Item IDs index the classes slice (knapsack IDs are ints).
+	var items []knapsack.Item
+	var classes []classItem
+	for _, in := range insts {
+		sc := &in.arb
+		if sc.lastOffered == nil {
+			sc.lastOffered = map[string]uint64{}
+		}
+		deltas := map[string]uint64{}
+		var deltaSum uint64
+		for _, typ := range in.types {
+			cur := in.typeStats[typ].offered.Load()
+			d := cur - sc.lastOffered[typ]
+			sc.lastOffered[typ] = cur
+			deltas[typ] = d
+			deltaSum += d
+		}
+		prio := in.spec.Priority
+		if prio <= 0 {
+			prio = spec.Priority
+		}
+		for _, typ := range in.types {
+			ts := in.typeStats[typ]
+			share := 1 / float64(len(in.types))
+			if deltaSum > 0 {
+				share = float64(deltas[typ]) / float64(deltaSum)
+			}
+			w := sc.util * share
+			if w <= 0 {
+				continue
+			}
+			// Utility: the class's match-participation rate — how often an
+			// offered event of this type ended up inside an emitted match.
+			// +1 smoothing keeps unobserved classes from looking free.
+			hitRate := float64(ts.hits.Load()+1) / float64(ts.offered.Load()+1)
+			items = append(items, knapsack.Item{
+				ID:     len(classes),
+				Value:  prio * hitRate * share,
+				Weight: w,
+			})
+			classes = append(classes, classItem{inst: in, typ: typ, util: w})
+		}
+	}
+	if len(items) == 0 {
+		a.relax(insts, tl)
+		return
+	}
+
+	shedIDs := knapsack.MinCover(items, excess, a.cfg.Solver)
+	var selWeight float64
+	selected := make(map[int]bool, len(shedIDs))
+	for _, id := range shedIDs {
+		selected[id] = true
+		selWeight += classes[id].util
+	}
+	p := 1.0
+	if selWeight > excess && selWeight > 0 {
+		p = excess / selWeight
+	}
+	p = math.Min(p, a.cfg.MaxDrop)
+
+	// Publish one immutable gate table per query: selected classes get
+	// p, unselected classes decay their previous imposition.
+	for _, in := range insts {
+		gates := map[string]float64{}
+		for typ, prev := range in.gate.Probs() {
+			if next := prev * gateDecay; next >= gateFloor {
+				gates[typ] = next
+			}
+		}
+		for id, ci := range classes {
+			if ci.inst == in && selected[id] {
+				gates[ci.typ] = p
+			}
+		}
+		a.publish(in, gates, tl)
+	}
+}
+
+// relax decays a tenant's gates toward zero and reports the residual.
+func (a *arbiter) relax(insts []*Instance, tl *TenantLoad) {
+	for _, in := range insts {
+		old := in.gate.Probs()
+		if old == nil {
+			continue
+		}
+		gates := map[string]float64{}
+		for typ, prev := range old {
+			if next := prev * gateDecay; next >= gateFloor {
+				gates[typ] = next
+			}
+		}
+		a.publish(in, gates, tl)
+	}
+}
+
+// publish stores the gate table (empty clears back to the zero-cost
+// fast path) and folds its maximum into the tenant's snapshot line.
+func (a *arbiter) publish(in *Instance, gates map[string]float64, tl *TenantLoad) {
+	for _, p := range gates {
+		if p > tl.ImposedDrop {
+			tl.ImposedDrop = p
+		}
+	}
+	in.gate.Set(gates)
+}

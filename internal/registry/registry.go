@@ -1,0 +1,1043 @@
+// Package registry turns the single-query runtime into a multi-query,
+// multi-tenant serving surface. A Registry holds N compiled queries —
+// each wrapped in its own runtime.Runtime (own shards, queues,
+// degradation ladder, supervisor, durable state directory) — and fans
+// one decoded input stream out to every subscribed query by event type:
+// a line is decoded once, then routed to each query whose pattern
+// mentions its type, preserving the batched OfferBatch handoff per
+// query. Shard ownership is effectively keyed by (query, key): every
+// instance's runtime gets KeySalt = the query fingerprint, so one hot
+// correlation key lands on different shard indices for different
+// queries instead of piling every query's work onto one worker.
+//
+// Queries are added, paused, and removed at runtime (no restart): Add
+// compiles and validates the query text and its strategy before
+// anything is activated, and membership changes swap an immutable route
+// table under an atomic pointer, so the fan-out path never takes the
+// lifecycle lock. With durability enabled each query checkpoints into
+// its own fingerprinted directory and the membership itself is recorded
+// in a manifest (registry.json), so a restart re-registers every query
+// and recovers each one's shard state independently — including queries
+// that were added mid-stream.
+//
+// Cross-query isolation — one tenant's pathological query degrading
+// itself rather than its neighbors — is the arbiter's job; see
+// arbiter.go.
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cepshed/internal/checkpoint"
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+	"cepshed/internal/runtime"
+	"cepshed/internal/shed"
+)
+
+// Tenant is the unit of isolation and accounting: every query belongs
+// to exactly one tenant, and the arbiter's fair-share guarantee is
+// stated per tenant, not per query.
+type Tenant struct {
+	Name string `json:"name"`
+	// Theta is the tenant's latency bound θ, inherited by queries that
+	// don't override it (zero: registry default).
+	Theta time.Duration `json:"theta_ns,omitempty"`
+	// Priority weights the tenant's fair share of processing capacity
+	// (default 1). A priority-2 tenant is entitled to twice the share of
+	// a priority-1 tenant before the arbiter imposes drops on it.
+	Priority float64 `json:"priority,omitempty"`
+	// ShedBudget caps the utilization fraction the arbiter may shed from
+	// this tenant in one control period, in [0,1] (default 1: the
+	// arbiter may shed as much as fairness requires). A tenant that pays
+	// for full fidelity sets a small budget and accepts latency instead.
+	ShedBudget float64 `json:"shed_budget,omitempty"`
+}
+
+func (t Tenant) withDefaults() Tenant {
+	if t.Priority <= 0 {
+		t.Priority = 1
+	}
+	if t.ShedBudget <= 0 || t.ShedBudget > 1 {
+		t.ShedBudget = 1
+	}
+	return t
+}
+
+// QuerySpec describes one registered query. Tenant+Name identify it;
+// the rest parameterizes its runtime.
+type QuerySpec struct {
+	Tenant string `json:"tenant"`
+	Name   string `json:"name"`
+	// Query is the query text (parsed and compiled at Add time).
+	Query string `json:"query"`
+	// Strategy names the shedding strategy for this query's shards
+	// (interpreted by Config.NewStrategy; empty = its default).
+	Strategy string `json:"strategy,omitempty"`
+	// Theta overrides the tenant latency bound for this query.
+	Theta time.Duration `json:"theta_ns,omitempty"`
+	// Priority overrides the tenant priority for arbiter value
+	// accounting within the tenant (zero: tenant priority).
+	Priority float64 `json:"priority,omitempty"`
+	// Shards overrides the registry default shard count.
+	Shards int `json:"shards,omitempty"`
+	// Paused records the paused state across restarts: a paused query
+	// stays registered (and durable) but receives no events.
+	Paused bool `json:"paused,omitempty"`
+}
+
+// ID returns the registry key "tenant/name".
+func (s QuerySpec) ID() string { return s.Tenant + "/" + s.Name }
+
+// Config configures a Registry.
+type Config struct {
+	// Shards / QueueLen are per-query runtime defaults (see
+	// runtime.Config).
+	Shards   int
+	QueueLen int
+	// DefaultTheta is the latency bound for tenants that don't set one.
+	// Zero disables the degradation ladder for such queries.
+	DefaultTheta time.Duration
+	// StateDir enables durability: each query checkpoints into
+	// StateDir/q-<fingerprint>/ and the membership manifest is
+	// StateDir/registry.json. Empty: everything is in-memory.
+	StateDir string
+	// Durability is the checkpoint template applied to each query
+	// (Dir is overridden per query). Nil with StateDir set: defaults.
+	Durability *checkpoint.Config
+	// NewStrategy builds a per-shard strategy factory for a query, or
+	// fails validation (e.g. unknown strategy name, strategy requiring a
+	// training stream that isn't loaded). Nil: no shedding strategies.
+	NewStrategy func(spec QuerySpec, m *nfa.Machine, bound time.Duration) (func(shard int) shed.Strategy, error)
+	// OnMatch is invoked for every match of every query, from the
+	// detecting shard's goroutine (must tolerate concurrent calls).
+	OnMatch func(spec QuerySpec, shard int, m engine.Match)
+	// CollectMatches retains matches in memory per query (tests).
+	CollectMatches bool
+	// DeferredNegation selects witness-based negation semantics.
+	DeferredNegation bool
+	// Arbiter configures the cross-query shedding arbiter.
+	Arbiter ArbiterConfig
+	// TuneRuntime, when set, may adjust each query's runtime.Config
+	// after the registry has built it and before the runtime starts.
+	// It exists for tests (fault injection, restart policies).
+	TuneRuntime func(spec QuerySpec, rc *runtime.Config)
+	// Logf receives lifecycle messages. Nil: silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	return c
+}
+
+// manifest is the durable membership record.
+type manifest struct {
+	Tenants []Tenant    `json:"tenants"`
+	Queries []QuerySpec `json:"queries"`
+}
+
+// Instance is one registered query: spec + compiled machine + running
+// runtime + the registry-side routing state.
+type Instance struct {
+	spec QuerySpec
+	// fp fingerprints (tenant, name, query text): it salts the shard
+	// hash, names the per-query state directory, and — combined with the
+	// runtime's own query/sharding fingerprint inside that directory —
+	// binds recovered state to exactly this registered query.
+	fp    uint64
+	dir   string
+	m     *nfa.Machine
+	rt    *runtime.Runtime
+	types []string // pattern event types, sorted, deduplicated
+
+	// ready flips once recovery finished and the instance joined the
+	// route table; readyCh closes at the same moment (WaitReady).
+	ready   atomic.Bool
+	readyCh chan struct{}
+
+	// floor is the exactly-once gate after recovery: events with
+	// Seq < floor were already applied by this instance's restored state
+	// and are dropped at fan-out (hasFloor distinguishes floor 0).
+	hasFloor atomic.Bool
+	floor    atomic.Uint64
+
+	// gate carries the arbiter's imposed per-event-type drop
+	// probabilities; clear (the fast path) when nothing is imposed.
+	gate shed.DropGate
+
+	// typeStats keys every subscribed type to its demand/utility
+	// counters. The map itself is immutable after construction; the
+	// counters are atomics.
+	typeStats map[string]*typeStat
+
+	// imposedDrops counts events the arbiter gate dropped for this
+	// query; floorSkips counts events below the recovery floor.
+	imposedDrops atomic.Uint64
+	floorSkips   atomic.Uint64
+
+	// Arbiter scratch, owned by the arbiter goroutine (see arbiter.go).
+	arb arbScratch
+}
+
+// typeStat tracks one (query, event type) class: offered counts demand
+// (pre-gate, so shed classes keep reporting their true weight), hits
+// counts match participations (utility numerator).
+type typeStat struct {
+	offered atomic.Uint64
+	hits    atomic.Uint64
+}
+
+// Spec returns the instance's spec (Paused reflects registration time;
+// use Registry.Status for live state).
+func (in *Instance) Spec() QuerySpec { return in.spec }
+
+// Fingerprint returns the registry-level fingerprint.
+func (in *Instance) Fingerprint() uint64 { return in.fp }
+
+// Runtime exposes the wrapped runtime (tests and stats).
+func (in *Instance) Runtime() *runtime.Runtime { return in.rt }
+
+// WaitReady blocks until the instance finished recovery and joined the
+// route table (or was removed first).
+func (in *Instance) WaitReady() { <-in.readyCh }
+
+// routeRef binds an instance to its dense index in the route table's
+// scratch space.
+type routeRef struct {
+	inst *Instance
+	idx  int
+}
+
+// routeTable is the immutable fan-out index: byType lists, for each
+// event type, every active (ready, unpaused) instance subscribed to
+// it. Membership changes build a fresh table and swap the pointer; the
+// offer path only ever loads it.
+type routeTable struct {
+	insts  []*Instance
+	byType map[string][]routeRef
+}
+
+// DeadLetter is a runtime dead letter annotated with the query it
+// belongs to (empty Tenant/Query: a registry-edge letter, e.g. an
+// undecodable line quarantined before routing).
+type DeadLetter struct {
+	Tenant string `json:"tenant,omitempty"`
+	Query  string `json:"query,omitempty"`
+	runtime.DeadLetter
+}
+
+// Registry is the multi-query serving core. Create with Open, feed
+// with Offer/OfferBatch, manage with Add/Remove/Pause/Resume, stop
+// with Close.
+type Registry struct {
+	cfg     Config
+	arb     *arbiter
+	dur     checkpoint.Config // resolved template (Dir unset), valid when durable
+	durable bool
+
+	route atomic.Pointer[routeTable]
+
+	// mu guards lifecycle: insts/tenants maps, route rebuilds, manifest
+	// saves. The offer path never takes it.
+	mu      sync.Mutex
+	insts   map[string]*Instance
+	tenants map[string]Tenant
+	closed  bool
+
+	// Edge dead letters: inputs rejected before they were routable
+	// (undecodable lines). Kept registry-side so per-query counters stay
+	// meaningful; persisted into StateDir's root when durable.
+	edgeMu      sync.Mutex
+	edgeLetters []runtime.DeadLetter
+	edgeTotal   uint64
+
+	unrouted atomic.Uint64
+
+	fanPool sync.Pool // [][]*event.Event scratch for OfferBatch
+}
+
+const edgeLetterCap = 256
+
+// edgeDLQOwner namespaces the edge dead-letter checkpoint's temp file
+// far away from any per-query shard owner.
+const edgeDLQOwner = 1 << 20
+
+// Open builds a registry and — when StateDir is set — re-registers
+// every tenant and query recorded in its manifest, recovering each
+// query's durable state. Queries that no longer compile (manifest from
+// a newer/older build) are logged and skipped, never fatal: the
+// registry must come up with whatever subset is servable.
+func Open(cfg Config) (*Registry, error) {
+	cfg = cfg.withDefaults()
+	g := &Registry{
+		cfg:     cfg,
+		insts:   map[string]*Instance{},
+		tenants: map[string]Tenant{},
+	}
+	g.route.Store(&routeTable{byType: map[string][]routeRef{}})
+	if cfg.StateDir != "" {
+		g.durable = true
+		if cfg.Durability != nil {
+			g.dur = cfg.Durability.WithDefaults()
+		} else {
+			g.dur = checkpoint.Config{}.WithDefaults()
+		}
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("registry: state dir: %w", err)
+		}
+		if st, err := checkpoint.LoadDeadLetters(cfg.StateDir); err != nil {
+			g.logf("registry: edge dead-letter checkpoint unreadable, starting empty: %v", err)
+		} else if st != nil {
+			g.seedEdgeLetters(st)
+		}
+		var man manifest
+		ok, err := checkpoint.LoadManifest(g.manifestPath(), &man)
+		if err != nil {
+			return nil, fmt.Errorf("registry: manifest: %w", err)
+		}
+		if ok {
+			for _, t := range man.Tenants {
+				g.tenants[t.Name] = t.withDefaults()
+			}
+			for _, spec := range man.Queries {
+				if _, err := g.add(spec, false); err != nil {
+					g.logf("registry: manifest query %s not restored: %v", spec.ID(), err)
+				}
+			}
+		}
+	}
+	g.arb = newArbiter(g, cfg.Arbiter)
+	return g, nil
+}
+
+func (g *Registry) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+func (g *Registry) manifestPath() string {
+	return filepath.Join(g.cfg.StateDir, "registry.json")
+}
+
+// persistManifestLocked saves the membership manifest; callers hold mu.
+func (g *Registry) persistManifestLocked() {
+	if !g.durable {
+		return
+	}
+	var man manifest
+	for _, t := range g.tenants {
+		man.Tenants = append(man.Tenants, t)
+	}
+	sort.Slice(man.Tenants, func(i, j int) bool { return man.Tenants[i].Name < man.Tenants[j].Name })
+	for _, in := range g.insts {
+		man.Queries = append(man.Queries, in.spec)
+	}
+	sort.Slice(man.Queries, func(i, j int) bool { return man.Queries[i].ID() < man.Queries[j].ID() })
+	if err := checkpoint.SaveManifest(g.manifestPath(), man, g.dur.Fsync); err != nil {
+		g.logf("registry: manifest save failed: %v", err)
+	}
+}
+
+// SetTenant registers or updates a tenant. Updates apply to future
+// queries immediately and to the arbiter's next tick; a changed Theta
+// does not re-bound already-running queries (their ladders were built
+// with the bound resolved at Add time).
+func (g *Registry) SetTenant(t Tenant) error {
+	if t.Name == "" || strings.Contains(t.Name, "/") {
+		return fmt.Errorf("registry: invalid tenant name %q", t.Name)
+	}
+	if t.ShedBudget < 0 || t.ShedBudget > 1 {
+		return fmt.Errorf("registry: tenant %s: shed budget %v outside [0,1]", t.Name, t.ShedBudget)
+	}
+	if t.Priority < 0 {
+		return fmt.Errorf("registry: tenant %s: negative priority", t.Name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return fmt.Errorf("registry: closed")
+	}
+	g.tenants[t.Name] = t.withDefaults()
+	g.persistManifestLocked()
+	return nil
+}
+
+// Tenants returns the registered tenants, sorted by name.
+func (g *Registry) Tenants() []Tenant {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Tenant, 0, len(g.tenants))
+	for _, t := range g.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (g *Registry) tenant(name string) Tenant {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t, ok := g.tenants[name]; ok {
+		return t
+	}
+	return Tenant{Name: name}.withDefaults()
+}
+
+// Add compiles, validates, and registers a query, then activates it
+// once its durable state (if any) has recovered. The returned instance
+// is registered immediately — visible in Status, checkpointing once
+// active — but joins the fan-out route table only after recovery, so
+// live input never races a replay. Callers that need the query serving
+// use Instance.WaitReady.
+func (g *Registry) Add(spec QuerySpec) (*Instance, error) {
+	return g.add(spec, true)
+}
+
+func (g *Registry) add(spec QuerySpec, persist bool) (*Instance, error) {
+	if spec.Tenant == "" || strings.Contains(spec.Tenant, "/") {
+		return nil, fmt.Errorf("registry: invalid tenant %q", spec.Tenant)
+	}
+	if spec.Name == "" || strings.Contains(spec.Name, "/") {
+		return nil, fmt.Errorf("registry: invalid query name %q", spec.Name)
+	}
+	// Compile-and-validate BEFORE any registration side effect: a bad
+	// query must be a clean 4xx, not a half-registered instance.
+	q, err := query.Parse(spec.Query)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %s: parse: %w", spec.ID(), err)
+	}
+	m, err := nfa.Compile(q)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %s: compile: %w", spec.ID(), err)
+	}
+	ten := g.tenant(spec.Tenant)
+	bound := spec.Theta
+	if bound <= 0 {
+		bound = ten.Theta
+	}
+	if bound <= 0 {
+		bound = g.cfg.DefaultTheta
+	}
+	var newStrat func(int) shed.Strategy
+	if g.cfg.NewStrategy != nil {
+		newStrat, err = g.cfg.NewStrategy(spec, m, bound)
+		if err != nil {
+			return nil, fmt.Errorf("registry: %s: strategy: %w", spec.ID(), err)
+		}
+	}
+
+	in := &Instance{
+		spec:    spec,
+		fp:      checkpoint.Fingerprint("registry", spec.Tenant, spec.Name, spec.Query),
+		m:       m,
+		readyCh: make(chan struct{}),
+		typeStats: map[string]*typeStat{},
+	}
+	seen := map[string]bool{}
+	for i := range q.Pattern {
+		typ := q.Pattern[i].Type
+		if seen[typ] {
+			continue
+		}
+		seen[typ] = true
+		in.types = append(in.types, typ)
+		in.typeStats[typ] = &typeStat{}
+	}
+	sort.Strings(in.types)
+
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = g.cfg.Shards
+	}
+	rc := runtime.Config{
+		Shards:           shards,
+		QueueLen:         g.cfg.QueueLen,
+		KeySalt:          in.fp,
+		NewStrategy:      newStrat,
+		DeferredNegation: g.cfg.DeferredNegation,
+		CollectMatches:   g.cfg.CollectMatches,
+		Bound:            bound,
+		Logf: func(format string, args ...any) {
+			g.logf("%s: "+format, append([]any{spec.ID()}, args...)...)
+		},
+	}
+	if g.cfg.OnMatch != nil {
+		onMatch := g.cfg.OnMatch
+		rc.OnMatch = func(shard int, mt engine.Match) {
+			in.countMatch(mt)
+			onMatch(spec, shard, mt)
+		}
+	} else {
+		rc.OnMatch = func(shard int, mt engine.Match) { in.countMatch(mt) }
+	}
+	if g.durable {
+		dur := g.dur
+		dur.Dir = filepath.Join(g.cfg.StateDir, fmt.Sprintf("q-%016x", in.fp))
+		rc.Durability = &dur
+		in.dir = dur.Dir
+	}
+	if g.cfg.TuneRuntime != nil {
+		g.cfg.TuneRuntime(spec, &rc)
+	}
+
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("registry: closed")
+	}
+	if _, dup := g.insts[spec.ID()]; dup {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("registry: %s already registered", spec.ID())
+	}
+	in.rt = runtime.New(m, rc)
+	g.insts[spec.ID()] = in
+	if persist {
+		g.persistManifestLocked()
+	}
+	g.mu.Unlock()
+
+	// Activation is asynchronous: the instance joins the route table
+	// only after its shards finished restore-and-replay, so fan-out
+	// input cannot interleave with WAL replay, and the recovery floor is
+	// in place before the first live event is routed.
+	go func() {
+		in.rt.WaitRecovered()
+		if info := in.rt.RecoveryInfo(); info.Restored {
+			in.floor.Store(info.MaxSeq + 1)
+			in.hasFloor.Store(true)
+		}
+		g.mu.Lock()
+		if g.insts[spec.ID()] == in && !g.closed {
+			in.ready.Store(true)
+			g.rebuildRouteLocked()
+		}
+		g.mu.Unlock()
+		close(in.readyCh)
+	}()
+	return in, nil
+}
+
+func (in *Instance) countMatch(m engine.Match) {
+	for _, e := range m.Events {
+		if ts, ok := in.typeStats[e.Type]; ok {
+			ts.hits.Add(1)
+		}
+	}
+}
+
+// Remove unregisters a query and drains its runtime gracefully (final
+// snapshot included when durable). purge additionally deletes its
+// state directory — the difference between "stop serving this query"
+// and "forget it ever existed".
+func (g *Registry) Remove(tenant, name string, purge bool) error {
+	id := tenant + "/" + name
+	g.mu.Lock()
+	in, ok := g.insts[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("registry: %s not registered", id)
+	}
+	delete(g.insts, id)
+	g.rebuildRouteLocked()
+	g.persistManifestLocked()
+	g.mu.Unlock()
+	// Close outside mu: draining can take a while and must not block
+	// unrelated lifecycle operations. In-flight offers that still hold
+	// the old route table land on a closing runtime, which rejects them
+	// — the same race a plain runtime already tolerates.
+	in.rt.Close()
+	if purge && in.dir != "" {
+		if err := os.RemoveAll(in.dir); err != nil {
+			g.logf("registry: %s: purge: %v", id, err)
+		}
+	}
+	return nil
+}
+
+// Pause stops routing events to a query while keeping it registered,
+// warm, and durable. Resume reverses it.
+func (g *Registry) Pause(tenant, name string) error { return g.setPaused(tenant, name, true) }
+
+// Resume re-activates a paused query.
+func (g *Registry) Resume(tenant, name string) error { return g.setPaused(tenant, name, false) }
+
+func (g *Registry) setPaused(tenant, name string, paused bool) error {
+	id := tenant + "/" + name
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	in, ok := g.insts[id]
+	if !ok {
+		return fmt.Errorf("registry: %s not registered", id)
+	}
+	if in.spec.Paused == paused {
+		return nil
+	}
+	in.spec.Paused = paused
+	g.rebuildRouteLocked()
+	g.persistManifestLocked()
+	return nil
+}
+
+// Get returns a registered instance by id.
+func (g *Registry) Get(tenant, name string) (*Instance, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	in, ok := g.insts[tenant+"/"+name]
+	return in, ok
+}
+
+// instances returns every registered instance, sorted by id.
+func (g *Registry) instances() []*Instance {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Instance, 0, len(g.insts))
+	for _, in := range g.insts {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].spec.ID() < out[j].spec.ID() })
+	return out
+}
+
+// rebuildRouteLocked recomputes the immutable route table from current
+// membership; callers hold mu.
+func (g *Registry) rebuildRouteLocked() {
+	rt := &routeTable{byType: map[string][]routeRef{}}
+	ids := make([]string, 0, len(g.insts))
+	for id := range g.insts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		in := g.insts[id]
+		if !in.ready.Load() || in.spec.Paused {
+			continue
+		}
+		ref := routeRef{inst: in, idx: len(rt.insts)}
+		rt.insts = append(rt.insts, in)
+		for _, typ := range in.types {
+			rt.byType[typ] = append(rt.byType[typ], ref)
+		}
+	}
+	g.route.Store(rt)
+}
+
+// OfferResult accounts one OfferBatch call. Deliveries/DoorRejected/
+// ArbiterShed/FloorSkipped count (event, query) pairs — one event
+// fanned out to three queries contributes three pairs — while Events
+// and Unrouted count input events.
+type OfferResult struct {
+	// Events is the input batch size.
+	Events int
+	// Deliveries is how many (event, query) pairs a query's runtime
+	// accepted into a shard queue.
+	Deliveries int
+	// DoorRejected counts pairs refused by a query's degradation ladder
+	// or failed shards — the overload signal.
+	DoorRejected int
+	// ArbiterShed counts pairs dropped by the cross-query arbiter's
+	// gates (deliberate, budgeted shedding — not overload backpressure).
+	ArbiterShed int
+	// FloorSkipped counts pairs below a recovered query's sequence
+	// floor: already durable in that query's state, dropped to keep
+	// recovery exactly-once.
+	FloorSkipped int
+	// Unrouted counts events no registered query subscribes to.
+	Unrouted int
+}
+
+// Overloaded reports whether any (event, query) pair hit backpressure.
+func (r OfferResult) Overloaded() bool { return r.DoorRejected > 0 }
+
+// MinDegradation returns the lowest degradation-ladder level across
+// active (ready, unpaused) queries, or -1 when none are active. It is
+// the whole-server load-rejection signal — reject new input only when
+// EVERY serving query refuses it — and, unlike Snapshot, costs one
+// atomic load per query.
+func (g *Registry) MinDegradation() int {
+	rt := g.route.Load()
+	min := -1
+	for _, in := range rt.insts {
+		lvl := in.rt.DegradationLevel()
+		if min < 0 || lvl < min {
+			min = lvl
+		}
+	}
+	return min
+}
+
+func (g *Registry) getFan(n int) [][]*event.Event {
+	if v := g.fanPool.Get(); v != nil {
+		s := v.([][]*event.Event)
+		if cap(s) >= n {
+			s = s[:n]
+			for i := range s {
+				s[i] = s[i][:0]
+			}
+			return s
+		}
+	}
+	return make([][]*event.Event, n)
+}
+
+func (g *Registry) putFan(s [][]*event.Event) {
+	g.fanPool.Put(s[:cap(s)])
+}
+
+// OfferBatch fans a decoded batch out to every subscribed query: one
+// route-table load covers the whole batch, each query receives its
+// events as one batched OfferBatch handoff (order preserved per
+// query), and per-(query, type) gates/floors are applied inline.
+// Blocking semantics per query match runtime.OfferBatch: a query whose
+// shard queues are full exerts backpressure on the caller; queries at
+// LevelReject refuse their pairs without blocking anyone else.
+func (g *Registry) OfferBatch(events []*event.Event) OfferResult {
+	var res OfferResult
+	res.Events = len(events)
+	if len(events) == 0 {
+		return res
+	}
+	rt := g.route.Load()
+	if len(rt.insts) == 0 {
+		res.Unrouted = len(events)
+		g.unrouted.Add(uint64(len(events)))
+		return res
+	}
+	fan := g.getFan(len(rt.insts))
+	for _, e := range events {
+		refs := rt.byType[e.Type]
+		if len(refs) == 0 {
+			res.Unrouted++
+			g.unrouted.Add(1)
+			continue
+		}
+		for _, ref := range refs {
+			in := ref.inst
+			if ts := in.typeStats[e.Type]; ts != nil {
+				ts.offered.Add(1)
+			}
+			if in.hasFloor.Load() && e.Seq < in.floor.Load() {
+				in.floorSkips.Add(1)
+				res.FloorSkipped++
+				continue
+			}
+			if in.gate.ShouldDrop(e.Type) {
+				in.imposedDrops.Add(1)
+				res.ArbiterShed++
+				continue
+			}
+			fan[ref.idx] = append(fan[ref.idx], e)
+		}
+	}
+	for idx, sub := range fan {
+		if len(sub) == 0 {
+			continue
+		}
+		n := rt.insts[idx].rt.OfferBatch(sub)
+		res.Deliveries += n
+		res.DoorRejected += len(sub) - n
+	}
+	g.putFan(fan)
+	return res
+}
+
+// Offer routes a single event (the TCP per-line path). It returns
+// false only when at least one subscribed query door-rejected the
+// event and none accepted it — the signal a NACKing protocol wants.
+func (g *Registry) Offer(e *event.Event) bool {
+	res := g.OfferBatch([]*event.Event{e})
+	return res.DoorRejected == 0 || res.Deliveries > 0
+}
+
+// Quarantine records an input rejected before routing (undecodable
+// line) in the registry's edge dead-letter queue, persisted when
+// durable.
+func (g *Registry) Quarantine(reason, payload string) {
+	if len(payload) > 160 {
+		payload = payload[:160]
+	}
+	g.edgeMu.Lock()
+	g.edgeTotal++
+	g.edgeLetters = append(g.edgeLetters, runtime.DeadLetter{
+		Shard:   -1,
+		Reason:  reason,
+		Payload: payload,
+	})
+	if len(g.edgeLetters) > edgeLetterCap {
+		g.edgeLetters = g.edgeLetters[len(g.edgeLetters)-edgeLetterCap:]
+	}
+	st := g.edgeState()
+	g.edgeMu.Unlock()
+	if g.durable {
+		if err := checkpoint.SaveDeadLetters(g.cfg.StateDir, edgeDLQOwner, st, g.dur.Fsync); err != nil {
+			g.logf("registry: edge dead-letter checkpoint failed: %v", err)
+		}
+	}
+}
+
+func (g *Registry) edgeState() *checkpoint.DeadLetterState {
+	st := &checkpoint.DeadLetterState{Total: g.edgeTotal}
+	for _, dl := range g.edgeLetters {
+		st.Letters = append(st.Letters, checkpoint.DeadLetterRecord{
+			Shard:   dl.Shard,
+			Seq:     dl.Seq,
+			Type:    dl.Type,
+			Reason:  dl.Reason,
+			Payload: dl.Payload,
+		})
+	}
+	return st
+}
+
+func (g *Registry) seedEdgeLetters(st *checkpoint.DeadLetterState) {
+	g.edgeMu.Lock()
+	defer g.edgeMu.Unlock()
+	g.edgeTotal = st.Total
+	for _, dl := range st.Letters {
+		g.edgeLetters = append(g.edgeLetters, runtime.DeadLetter{
+			Shard:   dl.Shard,
+			Seq:     dl.Seq,
+			Type:    dl.Type,
+			Reason:  dl.Reason,
+			Payload: dl.Payload,
+		})
+	}
+}
+
+// DeadLetters merges the registry-edge letters with every query's
+// retained letters, each annotated with its owner.
+func (g *Registry) DeadLetters() []DeadLetter {
+	var out []DeadLetter
+	g.edgeMu.Lock()
+	for _, dl := range g.edgeLetters {
+		out = append(out, DeadLetter{DeadLetter: dl})
+	}
+	g.edgeMu.Unlock()
+	for _, in := range g.instances() {
+		for _, dl := range in.rt.DeadLetters() {
+			out = append(out, DeadLetter{
+				Tenant:     in.spec.Tenant,
+				Query:      in.spec.Name,
+				DeadLetter: dl,
+			})
+		}
+	}
+	return out
+}
+
+// WaitRecovered blocks until every currently registered query is
+// active (recovered and routed, or removed).
+func (g *Registry) WaitRecovered() {
+	for _, in := range g.instances() {
+		<-in.readyCh
+	}
+}
+
+// RecoveryInfo aggregates per-query recovery across the registry.
+type RecoveryInfo struct {
+	// Restored counts queries that recovered a sequence floor.
+	Restored int `json:"restored_queries"`
+	// MaxSeq/MaxTime are the highest restored input sequence/time over
+	// all queries; a shared-stream producer resumes above MaxSeq.
+	// MinFloorSeq is the LOWEST floor over restored queries: replaying
+	// the shared stream from above MinFloorSeq reaches every query's gap
+	// (per-query floors drop what an individual query already has).
+	MaxSeq      uint64 `json:"max_seq"`
+	MaxTime     int64  `json:"max_time"`
+	MinFloorSeq uint64 `json:"min_floor_seq"`
+	// WALReplayed/ColdStarts sum the per-query runtime counters.
+	WALReplayed uint64 `json:"wal_replayed"`
+	ColdStarts  uint64 `json:"cold_starts"`
+}
+
+// RecoveryInfo reports the aggregate floor; meaningful after
+// WaitRecovered.
+func (g *Registry) RecoveryInfo() RecoveryInfo {
+	var info RecoveryInfo
+	first := true
+	for _, in := range g.instances() {
+		ri := in.rt.RecoveryInfo()
+		info.WALReplayed += ri.WALReplayed
+		info.ColdStarts += ri.ColdStarts
+		if !ri.Restored {
+			// A query with nothing restored needs the stream from the
+			// beginning.
+			info.MinFloorSeq = 0
+			first = false
+			continue
+		}
+		info.Restored++
+		if ri.MaxSeq > info.MaxSeq {
+			info.MaxSeq = ri.MaxSeq
+		}
+		if ri.MaxTime > info.MaxTime {
+			info.MaxTime = ri.MaxTime
+		}
+		if first || ri.MaxSeq+1 < info.MinFloorSeq {
+			info.MinFloorSeq = ri.MaxSeq + 1
+		}
+		first = false
+	}
+	return info
+}
+
+// InstanceStatus is the per-query slice of a registry snapshot.
+type InstanceStatus struct {
+	Spec        QuerySpec          `json:"spec"`
+	Fingerprint string             `json:"fingerprint"`
+	Ready       bool               `json:"ready"`
+	Types       []string           `json:"types"`
+	// Imposed is the arbiter's current drop probability per event type
+	// (absent types: zero).
+	Imposed      map[string]float64 `json:"imposed,omitempty"`
+	ImposedDrops uint64             `json:"imposed_drops"`
+	FloorSkips   uint64             `json:"floor_skips"`
+	Runtime      runtime.Snapshot   `json:"runtime"`
+}
+
+// Snapshot is the registry-wide point-in-time state.
+type Snapshot struct {
+	Queries []InstanceStatus `json:"queries"`
+	Tenants []Tenant         `json:"tenants"`
+	Arbiter ArbiterSnapshot  `json:"arbiter"`
+
+	// Totals aggregated across queries (same fields as the runtime's).
+	EventsIn          uint64 `json:"events_in"`
+	EventsShed        uint64 `json:"events_shed"`
+	EventsProcessed   uint64 `json:"events_processed"`
+	Overflow          uint64 `json:"overflow_dropped"`
+	Matches           uint64 `json:"matches"`
+	LivePMs           int64  `json:"live_partial_matches"`
+	Snapshots         uint64 `json:"snapshots"`
+	WALReplayed       uint64 `json:"wal_replayed"`
+	ColdStarts        uint64 `json:"cold_starts"`
+	Restarts          uint64 `json:"restarts"`
+	Quarantined       uint64 `json:"quarantined"`
+	AdmissionRejected uint64 `json:"admission_rejected"`
+	FailedShards      int    `json:"failed_shards"`
+	WALErrors         uint64 `json:"wal_errors"`
+	Recovering        bool   `json:"recovering"`
+
+	// MaxDegradation/MinDegradation are the worst and best ladder level
+	// across active queries: Max drives "degraded" health, Min drives
+	// whole-server load rejection (429 only when EVERY query refuses).
+	MaxDegradation int `json:"max_degradation"`
+	MinDegradation int `json:"min_degradation"`
+
+	// ImposedDrops counts arbiter-gate drops over all queries; Unrouted
+	// counts events no query subscribed to; EdgeQuarantined counts
+	// pre-routing quarantines (also included in Quarantined).
+	ImposedDrops    uint64 `json:"imposed_drops"`
+	Unrouted        uint64 `json:"unrouted"`
+	EdgeQuarantined uint64 `json:"edge_quarantined"`
+}
+
+// Snapshot captures per-query snapshots plus registry aggregates. Safe
+// from any goroutine; cost is proportional to total shard count.
+func (g *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	s.Tenants = g.Tenants()
+	s.Arbiter = g.arb.snapshot()
+	first := true
+	for _, in := range g.instances() {
+		rs := in.rt.Snapshot()
+		st := InstanceStatus{
+			Spec:         in.spec,
+			Fingerprint:  fmt.Sprintf("%016x", in.fp),
+			Ready:        in.ready.Load(),
+			Types:        in.types,
+			ImposedDrops: in.imposedDrops.Load(),
+			FloorSkips:   in.floorSkips.Load(),
+			Runtime:      rs,
+		}
+		if pm := in.gate.Probs(); len(pm) > 0 {
+			st.Imposed = make(map[string]float64, len(pm))
+			for typ, p := range pm {
+				st.Imposed[typ] = p
+			}
+		}
+		s.Queries = append(s.Queries, st)
+		s.EventsIn += rs.EventsIn
+		s.EventsShed += rs.EventsShed
+		s.EventsProcessed += rs.EventsProcessed
+		s.Overflow += rs.Overflow
+		s.Matches += rs.Matches
+		s.LivePMs += rs.LivePMs
+		s.Snapshots += rs.Snapshots
+		s.WALReplayed += rs.WALReplayed
+		s.ColdStarts += rs.ColdStarts
+		s.Restarts += rs.Restarts
+		s.Quarantined += rs.Quarantined
+		s.AdmissionRejected += rs.AdmissionRejected
+		s.FailedShards += rs.FailedShards
+		s.WALErrors += rs.WALErrors
+		s.Recovering = s.Recovering || rs.Recovering
+		s.ImposedDrops += st.ImposedDrops
+		if in.ready.Load() && !in.spec.Paused {
+			lvl := rs.DegradationLevel
+			if first || lvl > s.MaxDegradation {
+				s.MaxDegradation = lvl
+			}
+			if first || lvl < s.MinDegradation {
+				s.MinDegradation = lvl
+			}
+			first = false
+		}
+	}
+	g.edgeMu.Lock()
+	s.EdgeQuarantined = g.edgeTotal
+	g.edgeMu.Unlock()
+	s.Quarantined += s.EdgeQuarantined
+	s.Unrouted = g.unrouted.Load()
+	return s
+}
+
+// Close stops the arbiter and drains every query gracefully (final
+// snapshots included when durable). Idempotent.
+func (g *Registry) Close() {
+	g.shutdown(func(in *Instance) { in.rt.Close() })
+}
+
+// Kill simulates a whole-process crash for tests: every query's
+// runtime is killed (buffered WAL tails abandoned, no final
+// snapshots), leaving exactly the on-disk state a SIGKILL would.
+func (g *Registry) Kill() {
+	g.shutdown(func(in *Instance) { in.rt.Kill() })
+}
+
+func (g *Registry) shutdown(stop func(*Instance)) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	insts := make([]*Instance, 0, len(g.insts))
+	for _, in := range g.insts {
+		insts = append(insts, in)
+	}
+	g.route.Store(&routeTable{byType: map[string][]routeRef{}})
+	g.mu.Unlock()
+	g.arb.stopLoop()
+	var wg sync.WaitGroup
+	for _, in := range insts {
+		wg.Add(1)
+		go func(in *Instance) {
+			defer wg.Done()
+			stop(in)
+		}(in)
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"strconv"
+	"sync/atomic"
 	"unicode/utf8"
 
 	"cepshed/internal/event"
@@ -31,6 +32,39 @@ const (
 	internMaxLen     = 64
 )
 
+// Intern-table telemetry, aggregated across every LineDecoder in the
+// process. The hit path (the steady state) touches none of these; the
+// insert and reject paths are rare enough that an atomic add is noise.
+// Rejects > 0 is the loud signal that a table filled and decoding
+// degraded to one string allocation per unseen value.
+var (
+	internInserts   atomic.Uint64
+	internRejects   atomic.Uint64
+	internHighWater atomic.Uint64
+)
+
+// InternStats reports process-wide NDJSON intern-table telemetry.
+type InternStats struct {
+	// Inserts counts first-sighting strings admitted to any table.
+	Inserts uint64 `json:"inserts"`
+	// Rejects counts strings refused because their table was full —
+	// each one decoded as a fresh allocation. Nonzero means at least one
+	// decoder exceeded the intern capacity (high-cardinality values).
+	Rejects uint64 `json:"rejects"`
+	// HighWater is the largest occupancy any single table reached
+	// (capacity internMaxEntries).
+	HighWater uint64 `json:"high_water"`
+}
+
+// InternTelemetry returns the current counters; safe from any goroutine.
+func InternTelemetry() InternStats {
+	return InternStats{
+		Inserts:   internInserts.Load(),
+		Rejects:   internRejects.Load(),
+		HighWater: internHighWater.Load(),
+	}
+}
+
 func (t *internTable) intern(b []byte) string {
 	if len(b) > internMaxLen {
 		return string(b)
@@ -39,10 +73,17 @@ func (t *internTable) intern(b []byte) string {
 		return s
 	}
 	if t.m == nil || len(t.m) >= internMaxEntries {
+		internRejects.Add(1)
 		return string(b)
 	}
 	s := string(b)
 	t.m[s] = s
+	internInserts.Add(1)
+	if n := uint64(len(t.m)); n > internHighWater.Load() {
+		// Racy max is fine: a lost update undercounts by a few entries,
+		// never over.
+		internHighWater.Store(n)
+	}
 	return s
 }
 

@@ -97,6 +97,13 @@ type Config struct {
 	// InferPartitionKey, falling back to round-robin (approximate for
 	// multi-shard runs; exact for Shards = 1).
 	KeyAttr string
+	// KeySalt perturbs the key hash, effectively rekeying shard
+	// ownership from `key` to `(salt, key)`. A multi-query registry sets
+	// it to the query fingerprint so the same correlation key lands on
+	// different shard indices for different queries — one hot key cannot
+	// pile every query's work onto the same worker. Zero (the
+	// single-query default) leaves the hash untouched.
+	KeySalt uint64
 	// KeyFunc overrides partitioning entirely when non-nil.
 	KeyFunc func(*event.Event) uint64
 	// NewStrategy builds the per-shard shedding strategy (nil strategy /
@@ -240,7 +247,7 @@ func New(m *nfa.Machine, cfg Config) *Runtime {
 		if attr == "" {
 			attr = InferPartitionKey(m.Query)
 		}
-		r.key = keyByAttr(attr)
+		r.key = keyByAttr(attr, cfg.KeySalt)
 	}
 	var dur checkpoint.Config
 	if cfg.Durability != nil {
@@ -357,6 +364,44 @@ func (r *Runtime) RecoveryInfo() RecoveryInfo {
 	return info
 }
 
+// LoadStats is the cheap load summary the cross-query arbiter polls
+// every tick: monotone counters plus the instantaneous ladder signals.
+// Reading it touches a handful of atomics per shard — no histogram
+// quantiles, no per-shard snapshot structs.
+type LoadStats struct {
+	// BusyNs is cumulative worker service time across shards; the delta
+	// between two polls over the wall interval is the utilization this
+	// query costs the process.
+	BusyNs int64
+	// EventsIn/EventsShed/Processed/Matches are the aggregate monotone
+	// counters (same meaning as Snapshot's).
+	EventsIn   uint64
+	EventsShed uint64
+	Processed  uint64
+	Matches    uint64
+	// SmoothedLatency is the worst effective per-shard EWMA (stale shards
+	// decayed, as for the degradation ladder); QueueFill the aggregate
+	// queue fill in [0,1].
+	SmoothedLatency time.Duration
+	QueueFill       float64
+}
+
+// LoadStats gathers the arbiter's poll cheaply; safe from any goroutine.
+func (r *Runtime) LoadStats() LoadStats {
+	var st LoadStats
+	for _, sh := range r.shards {
+		st.BusyNs += sh.busyNs.Load()
+		st.EventsIn += sh.eventsIn.Load()
+		st.EventsShed += sh.eventsShed.Load()
+		st.Processed += sh.processed.Load()
+		st.Matches += sh.matched.Load()
+	}
+	ewma, fill := r.ladderSignals()
+	st.SmoothedLatency = time.Duration(ewma)
+	st.QueueFill = fill
+	return st
+}
+
 // Kill simulates a crash for tests: shards stop touching the engine and
 // the WAL, buffered WAL tails are abandoned unflushed, and no final
 // snapshot is taken — exactly the on-disk state a SIGKILL would leave.
@@ -391,6 +436,11 @@ func (r *Runtime) persistDeadLetters(owner int) {
 
 // NumShards returns the shard count.
 func (r *Runtime) NumShards() int { return len(r.shards) }
+
+// Fingerprint returns the checkpoint fingerprint binding this runtime's
+// durable state to its query text and sharding configuration; zero
+// without durability.
+func (r *Runtime) Fingerprint() uint64 { return r.fp }
 
 func (r *Runtime) logf(format string, args ...any) {
 	if r.cfg.Logf != nil {
@@ -724,6 +774,10 @@ type ShardSnapshot struct {
 	Quarantined uint64 `json:"quarantined"`
 	Failed      bool   `json:"failed"`
 
+	// BusyNs is cumulative wall time the worker spent servicing batches
+	// (queue waiting excluded); ΔBusyNs/Δwall is the shard's utilization.
+	BusyNs int64 `json:"busy_ns"`
+
 	// Durability state; all zero when the shard runs without a
 	// checkpoint store.
 	Recovering     bool   `json:"recovering"`
@@ -759,6 +813,7 @@ type Snapshot struct {
 	LivePMs         int64  `json:"live_partial_matches"`
 	CreatedPMs      uint64 `json:"created_partial_matches"`
 	DroppedPMs      uint64 `json:"dropped_partial_matches"`
+	BusyNs          int64  `json:"busy_ns"`
 
 	// Robustness counters. Restarts sums supervisor restarts across
 	// shards; Quarantined counts every dead letter ever recorded
@@ -813,6 +868,7 @@ func (r *Runtime) Snapshot() Snapshot {
 		s.CreatedPMs += ss.CreatedPMs
 		s.DroppedPMs += ss.DroppedPMs
 		s.Restarts += ss.Restarts
+		s.BusyNs += ss.BusyNs
 		if ss.Failed {
 			s.FailedShards++
 		}
@@ -884,15 +940,23 @@ var keySeed = maphash.MakeSeed()
 
 // keyByAttr hashes the named attribute's value (numerics hash by their
 // float64 value so Int(5) and Float(5), which compare equal, co-locate;
-// strings hash their bytes). Empty attr, or an event missing the attr,
-// falls back to a per-call round-robin counter.
-func keyByAttr(attr string) func(*event.Event) uint64 {
+// strings hash their bytes). A non-zero salt prefixes the hash input so
+// distinct salts shard the same key differently. Empty attr, or an
+// event missing the attr, falls back to a per-call round-robin counter.
+func keyByAttr(attr string, salt uint64) func(*event.Event) uint64 {
 	var rr atomic.Uint64
+	var saltBuf [8]byte
+	for i := range saltBuf {
+		saltBuf[i] = byte(salt >> (8 * i))
+	}
 	return func(e *event.Event) uint64 {
 		if attr != "" {
 			if v, ok := e.Get(attr); ok {
 				var h maphash.Hash
 				h.SetSeed(keySeed)
+				if salt != 0 {
+					h.Write(saltBuf[:])
+				}
 				if v.IsNumeric() {
 					var buf [8]byte
 					bits := math.Float64bits(v.AsFloat())

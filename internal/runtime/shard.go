@@ -67,6 +67,12 @@ type shard struct {
 	lastNs    atomic.Int64       // wall instant of the last latency sample
 	stratName atomic.Value       // string; s.strat itself is worker-owned
 
+	// busyNs accumulates wall time the worker spent consuming batches
+	// (engine work + WAL + delivery; queue waiting excluded). Measured at
+	// batch granularity — two clock reads per drained batch — it is the
+	// utilization signal the cross-query arbiter divides CPU capacity by.
+	busyNs atomic.Int64
+
 	eventsIn    atomic.Uint64
 	eventsShed  atomic.Uint64
 	processed   atomic.Uint64
@@ -196,6 +202,9 @@ func (s *shard) drain(w float64) {
 		if !ok {
 			return
 		}
+		// The blocking receive above is queue idle time; everything from
+		// here to the batch boundary is service, charged to busyNs.
+		t0 := time.Now()
 		n := s.consumeBatch(b, w)
 	fill:
 		for n < batchBudget {
@@ -203,6 +212,7 @@ func (s *shard) drain(w float64) {
 			case b2, ok2 := <-s.ch:
 				if !ok2 {
 					s.endBatch()
+					s.busyNs.Add(time.Since(t0).Nanoseconds())
 					return
 				}
 				n += s.consumeBatch(b2, w)
@@ -211,6 +221,7 @@ func (s *shard) drain(w float64) {
 			}
 		}
 		s.endBatch()
+		s.busyNs.Add(time.Since(t0).Nanoseconds())
 	}
 }
 
@@ -793,6 +804,7 @@ func (s *shard) snapshot() ShardSnapshot {
 		Restarts:    s.restarts.Load(),
 		Quarantined: s.quarantined.Load(),
 		Failed:      s.failed.Load(),
+		BusyNs:      s.busyNs.Load(),
 
 		Recovering:     s.recovering.Load(),
 		Snapshots:      s.snapshots.Load(),

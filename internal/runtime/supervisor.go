@@ -301,6 +301,7 @@ func (s *shard) consumeRemainder(w float64) {
 	if len(s.rem) == 0 {
 		return
 	}
+	t0 := time.Now()
 	for len(s.rem) > 0 {
 		it := s.rem[0]
 		s.rem = s.rem[1:]
@@ -310,6 +311,7 @@ func (s *shard) consumeRemainder(w float64) {
 	}
 	s.rem = nil
 	s.endBatch()
+	s.busyNs.Add(time.Since(t0).Nanoseconds())
 }
 
 // flushPendOnPanic settles the flush group a panic left open: flush the
