@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke multiquery-smoke
+.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke multiquery-smoke cluster-smoke
 
-check: vet build race fuzz-seeds chaos recover-smoke multiquery-smoke bench-smoke bench-compare
+check: vet build race fuzz-seeds chaos recover-smoke multiquery-smoke cluster-smoke bench-smoke bench-compare
 
 # Pinned so `go run` resolves one known-good version from the module
 # cache or proxy. Offline (no proxy, cold cache) the probe fails and vet
@@ -30,14 +30,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The chaos suite (docs/ROBUSTNESS.md + docs/DURABILITY.md): supervisor
-# recovery, circuit breaker failover, degradation ladder, corrupt-input,
-# crash-recovery differential, kill-during-snapshot, and concurrent
-# fault-injection tests, always under the race detector.
+# The chaos suite (docs/ROBUSTNESS.md + docs/DURABILITY.md +
+# docs/CLUSTER.md): supervisor recovery, circuit breaker failover,
+# degradation ladder, corrupt-input, crash-recovery differential,
+# kill-during-snapshot, node failure detection, cluster failover, and
+# concurrent fault-injection tests, always under the race detector.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Supervisor|CircuitBreaker|AllShardsFailed|DeadLetter|Rebuild|Degradation|Ladder|Admission|LineDecoder|Panic|Switchable|Chain|Corrupter|Stall|Healthz|Ingest|Recover|Recovery|Snapshot|Durab|WAL|Checkpoint|Torn|Monotone|FailStage' \
-		./internal/runtime ./internal/fault ./internal/shed ./internal/checkpoint ./cmd/cepserved
+		-run 'Chaos|Supervisor|CircuitBreaker|AllShardsFailed|DeadLetter|Rebuild|Degradation|Ladder|Admission|LineDecoder|Panic|Switchable|Chain|Corrupter|Stall|Healthz|Ingest|Recover|Recovery|Snapshot|Durab|WAL|Checkpoint|Torn|Monotone|FailStage|Failover|Placement|Detector|Takeover|Handoff|Cluster|Rendezvous' \
+		./internal/runtime ./internal/fault ./internal/shed ./internal/checkpoint ./internal/cluster ./cmd/cepserved
 
 # End-to-end durability drill: run the real server, SIGKILL it
 # mid-stream, restart against the same -state-dir, and require recovery
@@ -52,6 +53,13 @@ recover-smoke:
 # p99, then drain cleanly (see TestMultiQuerySmoke, docs/MULTIQUERY.md).
 multiquery-smoke:
 	$(GO) test -count=1 -run MultiQuerySmoke ./cmd/cepserved
+
+# End-to-end fault-tolerance drill: boot a 3-node cluster of real
+# binaries on loopback, do one planned slot handoff, SIGKILL a node
+# mid-stream, and require automatic failover to complete every match
+# exactly once (see TestClusterSmoke, docs/CLUSTER.md). Offline-safe.
+cluster-smoke:
+	$(GO) test -count=1 -run ClusterSmoke -timeout 300s ./cmd/cepserved
 
 # Replay the checked-in fuzz corpora (seeds plus any minimized crashers)
 # as a plain regression suite; part of `make check`.

@@ -1,0 +1,332 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClusterSmoke is the end-to-end fault-tolerance drill behind
+// `make cluster-smoke`: boot a 3-node cluster of real binaries on
+// loopback, stream partial matches across it, perform one planned slot
+// handoff, SIGKILL a node mid-stream, and require automatic failover to
+// complete every match exactly once — zero duplicates, zero loss of
+// flushed state. Offline-safe: all listeners bind 127.0.0.1.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a 3-node cluster of server binaries")
+	}
+	bin := filepath.Join(t.TempDir(), "cepserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	root := t.TempDir()
+	names := []string{"n1", "n2", "n3"}
+	addrs := make([]string, len(names))
+	for i := range names {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	topo := map[string]any{"nodes": []map[string]string{}}
+	var nodeSpecs []map[string]string
+	for i, name := range names {
+		nodeSpecs = append(nodeSpecs, map[string]string{
+			"name": name, "addr": addrs[i], "state_dir": filepath.Join(root, name),
+		})
+	}
+	topo["nodes"] = nodeSpecs
+	topoBytes, _ := json.Marshal(topo)
+	topoPath := filepath.Join(root, "topology.json")
+	if err := os.WriteFile(topoPath, topoBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		qText = `PATTERN SEQ(A a, B b, C c) WHERE a.ID = b.ID AND a.ID = c.ID AND a.V + b.V = c.V WITHIN 8ms`
+		token = "smoke-token"
+		ids   = 40
+	)
+	procs := map[string]*serverProc{}
+	for i, name := range names {
+		procs[name] = startServer(t, bin, []string{
+			"-listen", addrs[i],
+			"-cluster", topoPath,
+			"-node", name,
+			"-state-dir", filepath.Join(root, name),
+			"-query", qText,
+			"-shards", "8",
+			"-queue", "4096",
+			"-strategy", "None",
+			"-bound", "0",
+			"-no-arbiter",
+			"-wal-flush", "1",
+			"-checkpoint-every", "100000",
+			// Generous detection window: node startup is sequential here and
+			// peers start presumed-up, so the grace must cover the slowest boot.
+			"-heartbeat", "250ms",
+			"-heartbeat-misses", "8",
+			"-admin-token", token,
+		})
+	}
+	defer func() {
+		for _, p := range procs {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	}()
+
+	// Everyone sees everyone: no peer down on any node.
+	for _, name := range names {
+		waitCluster(t, procs[name].addr, 30*time.Second, func(c clusterStatus) bool {
+			up := 0
+			for _, p := range c.Peers {
+				if p.Up {
+					up++
+				}
+			}
+			return up == len(names)-1
+		})
+	}
+
+	// Phase 1: A and B for every id — live partial matches spread across
+	// all three nodes by (query, key) routing. One shared timestamp keeps
+	// every partial match inside the 8ms window across the whole drill.
+	var b strings.Builder
+	for id := 0; id < ids; id++ {
+		fmt.Fprintf(&b, `{"type":"A","time":10000000,"attrs":{"ID":%d,"V":1}}`+"\n", id)
+		fmt.Fprintf(&b, `{"type":"B","time":10000000,"attrs":{"ID":%d,"V":2}}`+"\n", id)
+	}
+	postIngest(t, procs["n1"].addr, b.String())
+
+	// Quiesce: every pair landed in exactly one engine, nothing in flight.
+	waitTotalEventsIn(t, procs, names, 30*time.Second, 2*ids)
+	waitCluster(t, procs["n1"].addr, 30*time.Second, func(c clusterStatus) bool {
+		return c.InFlight == 0
+	})
+
+	// Planned handoff: move slot 0 off its owner. Only the owner answers
+	// 204; target is a survivor (never n3, which dies next).
+	moved := false
+	for _, name := range names {
+		target := "n2"
+		if name == "n2" {
+			target = "n1"
+		}
+		code := postMove(t, procs[name].addr, token,
+			fmt.Sprintf("/cluster/move?tenant=default&query=main&slot=0&target=%s", target))
+		if code == http.StatusNoContent {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("no node accepted the planned move of slot 0")
+	}
+
+	// SIGKILL n3 — the crash the failover path exists for. Its WAL was
+	// flushed per record (-wal-flush 1) and ingest has quiesced, so
+	// survivors must recover ALL of its partial matches from shared state.
+	if err := procs["n3"].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs["n3"].cmd.Wait()
+
+	// Survivors detect the death and adopt n3's slots.
+	for _, name := range []string{"n1", "n2"} {
+		waitCluster(t, procs[name].addr, 60*time.Second, func(c clusterStatus) bool {
+			for _, p := range c.Peers {
+				if p.Name == "n3" && !p.Up {
+					return c.Degraded
+				}
+			}
+			return false
+		})
+	}
+	waitTakeoversStable(t, procs, 60*time.Second)
+
+	// Phase 2: the completing C events. Every one of the 40 matches must
+	// be emitted exactly once across the survivors — including matches
+	// whose A/B state lived on n3 and the slot moved by the planned
+	// handoff.
+	b.Reset()
+	for id := 0; id < ids; id++ {
+		fmt.Fprintf(&b, `{"type":"C","time":10000000,"attrs":{"ID":%d,"V":3}}`+"\n", id)
+	}
+	postIngest(t, procs["n1"].addr, b.String())
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if total := totalMatches(procs, []string{"n1", "n2"}); total >= ids {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("matches stalled at %d, want %d — failover lost state", totalMatches(procs, []string{"n1", "n2"}), ids)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// Settle, then check for duplicate emissions: the count must STOP at 40.
+	time.Sleep(500 * time.Millisecond)
+	if total := totalMatches(procs, []string{"n1", "n2"}); total != ids {
+		t.Fatalf("matches = %d across survivors, want exactly %d (more = duplicate emissions)", total, ids)
+	}
+
+	// Survivors shut down cleanly.
+	for _, name := range []string{"n1", "n2"} {
+		p := procs[name]
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- p.cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s SIGTERM exit: %v", name, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s did not exit within 30s of SIGTERM", name)
+		}
+	}
+}
+
+type clusterStatus struct {
+	Self     string `json:"self"`
+	Degraded bool   `json:"degraded"`
+	Peers    []struct {
+		Name string `json:"name"`
+		Up   bool   `json:"up"`
+	} `json:"peers"`
+	Takeovers uint64 `json:"takeovers"`
+	InFlight  int64  `json:"handoff_in_flight"`
+}
+
+func getCluster(addr string) (clusterStatus, error) {
+	var c clusterStatus
+	resp, err := http.Get(fmt.Sprintf("http://%s/cluster", addr))
+	if err != nil {
+		return c, err
+	}
+	defer resp.Body.Close()
+	return c, json.NewDecoder(resp.Body).Decode(&c)
+}
+
+func waitCluster(t *testing.T, addr string, timeout time.Duration, ok func(clusterStatus) bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last clusterStatus
+	for time.Now().Before(deadline) {
+		if c, err := getCluster(addr); err == nil {
+			last = c
+			if ok(c) {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("cluster condition not met within %s; last: %+v", timeout, last)
+}
+
+func postIngest(t *testing.T, addr, body string) {
+	t.Helper()
+	resp, err := http.Post(fmt.Sprintf("http://%s/ingest", addr), "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /ingest: %s", resp.Status)
+	}
+}
+
+func postMove(t *testing.T, addr, token, path string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, fmt.Sprintf("http://%s%s", addr, path), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}
+
+func nodeStats(addr string) (stats, error) {
+	var s stats
+	resp, err := http.Get(fmt.Sprintf("http://%s/stats", addr))
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	return s, json.NewDecoder(resp.Body).Decode(&s)
+}
+
+func waitTotalEventsIn(t *testing.T, procs map[string]*serverProc, names []string, timeout time.Duration, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last uint64
+	for time.Now().Before(deadline) {
+		var total uint64
+		for _, name := range names {
+			if s, err := nodeStats(procs[name].addr); err == nil {
+				total += s.EventsIn
+			}
+		}
+		last = total
+		if total >= want {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("cluster events_in stalled at %d, want %d", last, want)
+}
+
+func totalMatches(procs map[string]*serverProc, names []string) uint64 {
+	var total uint64
+	for _, name := range names {
+		if s, err := nodeStats(procs[name].addr); err == nil {
+			total += s.Matches
+		}
+	}
+	return total
+}
+
+// waitTakeoversStable waits until failover work settles: takeovers
+// across survivors unchanged between two polls and at least one slot
+// adopted (n3 owns slots under any rendezvous spread of 8 slots × 3
+// nodes that isn't degenerate).
+func waitTakeoversStable(t *testing.T, procs map[string]*serverProc, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var prev uint64
+	for time.Now().Before(deadline) {
+		var cur uint64
+		for _, name := range []string{"n1", "n2"} {
+			if c, err := getCluster(procs[name].addr); err == nil {
+				cur += c.Takeovers
+			}
+		}
+		if cur > 0 && cur == prev {
+			return
+		}
+		prev = cur
+		time.Sleep(300 * time.Millisecond)
+	}
+	t.Fatalf("takeovers never stabilized above zero (last %d)", prev)
+}

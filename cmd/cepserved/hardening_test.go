@@ -1,0 +1,111 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cepshed/internal/runtime"
+)
+
+// With -admin-token set, every mutating admin route refuses requests
+// without the bearer token; reads (/stats, /queries GET, /ingest) stay
+// open so load balancers and producers keep working.
+func TestAdminTokenGatesMutatingRoutes(t *testing.T) {
+	s := newTestServer(t, runtime.Config{})
+	s.adminToken = "sekrit"
+	mux := s.mux()
+
+	do := func(method, path, body, token string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		mux.ServeHTTP(rec, req)
+		return rec
+	}
+
+	spec := `{"tenant":"acme","name":"xy","query":"PATTERN SEQ(X x, Y y) WHERE x.ID = y.ID WITHIN 8ms"}`
+	for _, tc := range []struct {
+		method, path, body string
+	}{
+		{"POST", "/queries", spec},
+		{"DELETE", "/queries/acme/xy", ""},
+		{"POST", "/queries/acme/xy/pause", ""},
+		{"POST", "/queries/acme/xy/resume", ""},
+		{"PUT", "/tenants", `{"name":"acme","priority":2}`},
+	} {
+		if rec := do(tc.method, tc.path, tc.body, ""); rec.Code != http.StatusUnauthorized {
+			t.Errorf("%s %s no token: code = %d, want 401", tc.method, tc.path, rec.Code)
+		} else if rec.Header().Get("WWW-Authenticate") == "" {
+			t.Errorf("%s %s 401 lacks WWW-Authenticate", tc.method, tc.path)
+		}
+		if rec := do(tc.method, tc.path, tc.body, "wrong"); rec.Code != http.StatusUnauthorized {
+			t.Errorf("%s %s bad token: code = %d, want 401", tc.method, tc.path, rec.Code)
+		}
+	}
+
+	// The right token lets the work through.
+	if rec := do("POST", "/queries?wait=1", spec, "sekrit"); rec.Code != http.StatusCreated {
+		t.Fatalf("add with token: code = %d, want 201 (body %s)", rec.Code, rec.Body.String())
+	}
+	if rec := do("DELETE", "/queries/acme/xy", "", "sekrit"); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete with token: code = %d, want 204", rec.Code)
+	}
+
+	// Reads stay open without a token.
+	for _, path := range []string{"/stats", "/queries", "/healthz", "/metrics"} {
+		if rec := do("GET", path, "", ""); rec.Code != http.StatusOK {
+			t.Errorf("GET %s without token: code = %d, want 200", path, rec.Code)
+		}
+	}
+	if rec := do("POST", "/ingest", `{"type":"A","attrs":{"ID":1}}`+"\n", ""); rec.Code != http.StatusOK {
+		t.Errorf("POST /ingest without token: code = %d, want 200", rec.Code)
+	}
+}
+
+// Without -admin-token, admin routes remain open (single-node dev
+// default) — auth is opt-in.
+func TestNoTokenMeansOpenAdmin(t *testing.T) {
+	s := newTestServer(t, runtime.Config{})
+	mux := s.mux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("PUT", "/tenants",
+		strings.NewReader(`{"name":"acme","priority":2}`)))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("PUT /tenants without configured token: code = %d, want 204", rec.Code)
+	}
+}
+
+// An oversized body on a bounded admin route is a 413, not an OOM or a
+// truncated-but-accepted spec.
+func TestOversizedAdminBodyIs413(t *testing.T) {
+	s := newTestServer(t, runtime.Config{})
+	mux := s.mux()
+
+	// Valid JSON that only overflows the cap partway through a string —
+	// the decoder must hit MaxBytesError, not a syntax error.
+	big := `{"name":"` + strings.Repeat("x", 1<<20) + `"}`
+	for _, tc := range []struct{ method, path string }{
+		{"POST", "/queries"},
+		{"PUT", "/tenants"},
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(tc.method, tc.path, strings.NewReader(big)))
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s %s with %d-byte body: code = %d, want 413",
+				tc.method, tc.path, len(big), rec.Code)
+		}
+	}
+
+	// A normal-sized spec still works after the rejections.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("PUT", "/tenants",
+		strings.NewReader(`{"name":"acme","priority":2}`)))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("normal PUT /tenants after 413s: code = %d, want 204", rec.Code)
+	}
+}

@@ -23,6 +23,14 @@
 //	GET    /tenants                          registered tenants
 //	PUT    /tenants                          register/update a tenant (JSON Tenant)
 //
+// With -cluster topology.json -node <name>, additional /cluster routes
+// serve the multi-node layer (docs/CLUSTER.md): GET /cluster (node
+// status), /cluster/health (heartbeat), /cluster/placement,
+// /cluster/stats, and POST /cluster/forward, /cluster/handoff,
+// /cluster/move (planned shard migration). Mutating admin and cluster
+// routes accept an optional shared bearer token (-admin-token) and are
+// body- and time-bounded.
+//
 // Queries are added and removed at runtime — no restart: POST /queries
 // compiles and validates the query text (and its shedding strategy)
 // before anything is activated, so a bad spec is a clean 400. See
@@ -59,6 +67,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -78,6 +87,7 @@ import (
 	"cepshed/internal/baseline"
 	"cepshed/internal/checkpoint"
 	"cepshed/internal/citibike"
+	"cepshed/internal/cluster"
 	"cepshed/internal/core"
 	"cepshed/internal/engine"
 	"cepshed/internal/event"
@@ -125,6 +135,13 @@ func main() {
 		arbEvery  = flag.Duration("arbiter-interval", 250*time.Millisecond, "cross-query arbiter control period")
 		arbCap    = flag.Float64("arbiter-capacity", 0, "arbiter utilization target in CPU-seconds/sec (0: 0.8 x GOMAXPROCS)")
 		noArbiter = flag.Bool("no-arbiter", false, "disable the cross-query shedding arbiter (per-query ladders still run)")
+
+		clusterCfg = flag.String("cluster", "", "cluster topology file (JSON; see docs/CLUSTER.md); requires -node")
+		nodeName   = flag.String("node", "", "this node's name in the -cluster topology")
+		hbEvery    = flag.Duration("heartbeat", 100*time.Millisecond, "cluster heartbeat interval")
+		hbMisses   = flag.Int("heartbeat-misses", 3, "consecutive missed heartbeats before a peer is declared dead")
+		adminToken = flag.String("admin-token", "", "bearer token required on mutating admin and cluster endpoints (empty: no auth)")
+		adminTO    = flag.Duration("admin-timeout", 10*time.Second, "per-request timeout on admin endpoints")
 	)
 	flag.Parse()
 
@@ -145,6 +162,30 @@ func main() {
 		if len(orphaned) > 0 {
 			log.Fatalf("cepserved: %s without -state-dir: durability flags have no effect unless a state directory is set",
 				strings.Join(orphaned, ", "))
+		}
+	}
+
+	var topo cluster.Topology
+	if *clusterCfg != "" {
+		if *nodeName == "" {
+			log.Fatal("cepserved: -cluster requires -node")
+		}
+		if *dataset != "" {
+			// Replay events carry generator-assigned sequence numbers that
+			// would interleave with the node's own counter; clustered load
+			// comes in over /ingest or TCP.
+			log.Fatal("cepserved: -dataset replay is single-node load generation; it does not compose with -cluster")
+		}
+		var err error
+		topo, err = cluster.LoadTopology(*clusterCfg)
+		if err != nil {
+			log.Fatalf("cepserved: %v", err)
+		}
+		if _, ok := topo.Find(*nodeName); !ok {
+			log.Fatalf("cepserved: -node %q not in topology %s", *nodeName, *clusterCfg)
+		}
+		if *stateDir == "" {
+			log.Print("cepserved: cluster mode without -state-dir: failover will move slot ownership but cannot adopt a dead node's state")
 		}
 	}
 
@@ -236,7 +277,30 @@ func main() {
 			}
 		}
 	}
-	srv := &server{reg: reg, started: time.Now(), tcpIdle: *tcpIdle, conns: map[net.Conn]struct{}{}}
+	srv := &server{reg: reg, started: time.Now(), tcpIdle: *tcpIdle, conns: map[net.Conn]struct{}{},
+		adminToken: *adminToken, adminTO: *adminTO}
+
+	if *clusterCfg != "" {
+		cl, err := cluster.New(cluster.Config{
+			Self:      *nodeName,
+			Topology:  topo,
+			Registry:  reg,
+			StampTime: func(e *event.Event) { srv.stampTime(e, false) },
+			StampSeq:  srv.stampSeq,
+			BumpSeq:   srv.bumpSeq,
+			Detector: cluster.DetectorConfig{
+				Interval: *hbEvery,
+				Misses:   *hbMisses,
+			},
+			AuthToken: *adminToken,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("cepserved: %v", err)
+		}
+		srv.cl = cl
+		log.Printf("cepserved: cluster node %q in %d-node topology %s", *nodeName, len(topo.Nodes), *clusterCfg)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -284,6 +348,12 @@ func main() {
 		}
 	}
 	srv.ready.Store(true)
+	if srv.cl != nil {
+		// Start probing peers only after local recovery: a node busy
+		// replaying its WAL must not declare the cluster degraded, and
+		// imports require recovered runtimes.
+		srv.cl.Start()
+	}
 
 	var tcpLn net.Listener
 	if *tcpAddr != "" {
@@ -321,6 +391,9 @@ func main() {
 	// accounts for every event it offered. (Offer itself is safe against
 	// a concurrent Close — late TCP/HTTP ingest is simply rejected.)
 	producers.Wait()
+	if srv.cl != nil {
+		srv.cl.Close() // stop heartbeats and drain forward queues first
+	}
 	reg.Close() // graceful drain: queued events finish, engines flush
 	shut, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -336,14 +409,17 @@ func main() {
 
 // server wires the registry into the network frontends.
 type server struct {
-	reg     *registry.Registry
-	started time.Time
-	tcpIdle time.Duration
-	seq     atomic.Uint64
-	lastT   atomic.Int64 // monotone floor for assigned arrival times
-	closing atomic.Bool
-	badLine atomic.Uint64
-	stalled atomic.Uint64 // TCP connections closed by the idle deadline
+	reg        *registry.Registry
+	cl         *cluster.Node // nil outside cluster mode
+	adminToken string
+	adminTO    time.Duration
+	started    time.Time
+	tcpIdle    time.Duration
+	seq        atomic.Uint64
+	lastT      atomic.Int64 // monotone floor for assigned arrival times
+	closing    atomic.Bool
+	badLine    atomic.Uint64
+	stalled    atomic.Uint64 // TCP connections closed by the idle deadline
 
 	// ready flips once boot recovery finishes; until then /ingest answers
 	// 503 and /healthz reports "recovering". replayFloor is the first
@@ -358,6 +434,15 @@ type server struct {
 
 // stamp finalizes an ingested event's arrival time and sequence number.
 func (s *server) stamp(e *event.Event, hasTime bool) {
+	s.stampTime(e, hasTime)
+	s.stampSeq(e)
+}
+
+// stampTime assigns the arrival time (when the line carried none) and
+// clamps it to the monotone floor. Separate from stampSeq because in
+// cluster mode time is stamped at the INGEST edge while the sequence
+// number is stamped at the slot's owner.
+func (s *server) stampTime(e *event.Event, hasTime bool) {
 	if !hasTime {
 		e.Time = event.Time(time.Since(s.started).Nanoseconds())
 	}
@@ -374,13 +459,33 @@ func (s *server) stamp(e *event.Event, hasTime bool) {
 		e.Time = event.Time(last)
 		break
 	}
+}
+
+// stampSeq assigns the node-local sequence number.
+func (s *server) stampSeq(e *event.Event) {
 	e.Seq = s.seq.Add(1) - 1
+}
+
+// bumpSeq raises the sequence counter to at least min — after a shard
+// import, new stamps must land above the imported snapshot's floor or
+// the next recovery's WAL filter would drop them as already-covered.
+func (s *server) bumpSeq(min uint64) {
+	for {
+		cur := s.seq.Load()
+		if cur >= min || s.seq.CompareAndSwap(cur, min) {
+			return
+		}
+	}
 }
 
 // submit finalizes an ingested event and fans it out with backpressure.
 // It reports false only when at least one subscribed query rejected the
 // event at the door and none accepted it.
 func (s *server) submit(e *event.Event, hasTime bool) bool {
+	if s.cl != nil {
+		res := s.cl.OfferBatch([]cluster.Input{{E: e, HasTime: hasTime}})
+		return res.DoorRejected == 0 || res.Deliveries > 0
+	}
 	s.stamp(e, hasTime)
 	return s.reg.Offer(e)
 }
@@ -445,20 +550,71 @@ func (s *server) replay(ctx context.Context, work event.Stream, rate float64) in
 	return n
 }
 
+// statsPayload is the GET /stats body; the cluster's rolled-up stats
+// endpoint reuses it per node.
+func (s *server) statsPayload() any {
+	return struct {
+		registry.Snapshot
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		BadLines      uint64  `json:"bad_lines"`
+		StalledConns  uint64  `json:"stalled_conns"`
+	}{s.reg.Snapshot(), time.Since(s.started).Seconds(), s.badLine.Load(), s.stalled.Load()}
+}
+
+// auth gates a handler behind the shared bearer token when -admin-token
+// is set (constant-time compare); without a token it passes through.
+func (s *server) auth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.adminToken != "" {
+			want := "Bearer " + s.adminToken
+			if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte(want)) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="cepserved"`)
+				http.Error(w, "unauthorized", http.StatusUnauthorized)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// maxBody caps a request body; an overflowing read surfaces as
+// *http.MaxBytesError in the handler's decoder (see bodyError).
+func maxBody(n int64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, n)
+		h(w, r)
+	}
+}
+
+// bodyError maps a body decode failure to 413 (body over the maxBody
+// cap) or 400 (malformed content).
+func bodyError(w http.ResponseWriter, err error, what string) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, what+": "+err.Error(), http.StatusBadRequest)
+}
+
+// withTimeout bounds one request end to end — a stalled admin client
+// gets 503 instead of holding a handler goroutine. A zero duration
+// means no bound (in-process tests build servers without the flag).
+func withTimeout(d time.Duration, h http.Handler) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	return http.TimeoutHandler(h, d, "request timed out")
+}
+
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		snap := s.reg.Snapshot()
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(struct {
-			registry.Snapshot
-			UptimeSeconds float64 `json:"uptime_seconds"`
-			BadLines      uint64  `json:"bad_lines"`
-			StalledConns  uint64  `json:"stalled_conns"`
-		}{snap, time.Since(s.started).Seconds(), s.badLine.Load(), s.stalled.Load()})
+		enc.Encode(s.statsPayload())
 	})
 	mux.HandleFunc("GET /deadletters", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -468,7 +624,14 @@ func (s *server) mux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		writePrometheus(w, s.reg.Snapshot(), runtime.InternTelemetry())
+		node := ""
+		if s.cl != nil {
+			node = s.cl.Self()
+		}
+		writePrometheus(w, s.reg.Snapshot(), runtime.InternTelemetry(), node)
+		if s.cl != nil {
+			writeClusterProm(w, node, s.cl.Status())
+		}
 	})
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
 		if !s.ready.Load() {
@@ -501,10 +664,10 @@ func (s *server) mux() *http.ServeMux {
 		enc.SetIndent("", "  ")
 		enc.Encode(s.reg.Snapshot().Queries)
 	})
-	mux.HandleFunc("POST /queries", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("POST /queries", s.auth(maxBody(1<<20, func(w http.ResponseWriter, r *http.Request) {
 		var spec registry.QuerySpec
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
-			http.Error(w, "bad query spec: "+err.Error(), http.StatusBadRequest)
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			bodyError(w, err, "bad query spec")
 			return
 		}
 		in, err := s.reg.Add(spec)
@@ -522,15 +685,15 @@ func (s *server) mux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusCreated)
 		fmt.Fprintf(w, `{"id":%q,"fingerprint":"%016x"}`+"\n", spec.ID(), in.Fingerprint())
-	})
-	mux.HandleFunc("DELETE /queries/{tenant}/{name}", func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.Handle("DELETE /queries/{tenant}/{name}", withTimeout(s.adminTO, s.auth(func(w http.ResponseWriter, r *http.Request) {
 		purge := r.URL.Query().Get("purge") == "1"
 		if err := s.reg.Remove(r.PathValue("tenant"), r.PathValue("name"), purge); err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	})
+	})))
 	pauseHandler := func(paused bool) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			tenant, name := r.PathValue("tenant"), r.PathValue("name")
@@ -547,18 +710,18 @@ func (s *server) mux() *http.ServeMux {
 			w.WriteHeader(http.StatusNoContent)
 		}
 	}
-	mux.HandleFunc("POST /queries/{tenant}/{name}/pause", pauseHandler(true))
-	mux.HandleFunc("POST /queries/{tenant}/{name}/resume", pauseHandler(false))
+	mux.Handle("POST /queries/{tenant}/{name}/pause", withTimeout(s.adminTO, s.auth(pauseHandler(true))))
+	mux.Handle("POST /queries/{tenant}/{name}/resume", withTimeout(s.adminTO, s.auth(pauseHandler(false))))
 	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.reg.Tenants())
 	})
-	mux.HandleFunc("PUT /tenants", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("PUT /tenants", withTimeout(s.adminTO, s.auth(maxBody(1<<20, func(w http.ResponseWriter, r *http.Request) {
 		var t registry.Tenant
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&t); err != nil {
-			http.Error(w, "bad tenant: "+err.Error(), http.StatusBadRequest)
+		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+			bodyError(w, err, "bad tenant")
 			return
 		}
 		if err := s.reg.SetTenant(t); err != nil {
@@ -566,8 +729,60 @@ func (s *server) mux() *http.ServeMux {
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	})
+	}))))
+
+	// Cluster control and data plane (docs/CLUSTER.md). Mutating routes
+	// share the admin token; the handoff cap tracks the checkpoint
+	// decoder's own snapshot-body bound.
+	if s.cl != nil {
+		mux.HandleFunc("GET /cluster", s.cl.HandleStatus)
+		mux.HandleFunc("GET /cluster/health", s.cl.HandleHealth)
+		mux.HandleFunc("GET /cluster/stats", s.cl.HandleClusterStats(s.statsPayload))
+		mux.HandleFunc("GET /cluster/placement", s.cl.HandlePlacement)
+		mux.Handle("POST /cluster/placement", withTimeout(s.adminTO, s.auth(maxBody(4<<20, s.cl.HandlePlacement))))
+		mux.Handle("POST /cluster/forward", s.auth(maxBody(64<<20, s.cl.HandleForward)))
+		mux.Handle("POST /cluster/handoff", withTimeout(2*time.Minute, s.auth(maxBody(1<<28+1<<20, s.cl.HandleHandoff))))
+		mux.Handle("POST /cluster/move", withTimeout(2*time.Minute, s.auth(s.cl.HandleMove)))
+	}
 	return mux
+}
+
+// writeClusterProm appends the cluster-layer series to /metrics; the
+// node label is already applied via the writer's common labels in
+// writePrometheus, so it is set again here on a fresh writer.
+func writeClusterProm(w io.Writer, node string, st cluster.Status) {
+	p := metrics.NewPromWriter(w)
+	p.Common("node", node)
+	p.Gauge("cepshed_cluster_degraded", "1 while any peer is considered down or quarantined.")
+	if st.Degraded {
+		p.Sample("cepshed_cluster_degraded", 1)
+	} else {
+		p.Sample("cepshed_cluster_degraded", 0)
+	}
+	p.Gauge("cepshed_cluster_peer_up", "1 while the peer answers heartbeats.")
+	for _, ps := range st.Peers {
+		v := 0.0
+		if ps.Up {
+			v = 1
+		}
+		p.Sample("cepshed_cluster_peer_up", v, "peer", ps.Name)
+	}
+	p.Counter("cepshed_cluster_forwarded_out_total", "Event pairs forwarded to a peer owner.")
+	p.SampleUint("cepshed_cluster_forwarded_out_total", st.ForwardedOut)
+	p.Counter("cepshed_cluster_forwarded_in_total", "Event pairs received from peer routers.")
+	p.SampleUint("cepshed_cluster_forwarded_in_total", st.ForwardedIn)
+	p.Counter("cepshed_cluster_forward_dropped_total", "Event pairs dropped at the router: queue full, owner down, send failed.")
+	p.SampleUint("cepshed_cluster_forward_dropped_total", st.ForwardDrop)
+	p.Counter("cepshed_cluster_router_shed_total", "Event pairs refused by degraded-mode router admission.")
+	p.SampleUint("cepshed_cluster_router_shed_total", st.RouterShed)
+	p.Counter("cepshed_cluster_handoffs_out_total", "Planned handoffs shipped successfully.")
+	p.SampleUint("cepshed_cluster_handoffs_out_total", st.HandoffsOut)
+	p.Counter("cepshed_cluster_handoffs_in_total", "Shard handoffs imported.")
+	p.SampleUint("cepshed_cluster_handoffs_in_total", st.HandoffsIn)
+	p.Counter("cepshed_cluster_takeovers_total", "Slots adopted from dead peers by failover.")
+	p.SampleUint("cepshed_cluster_takeovers_total", st.Takeovers)
+	p.Gauge("cepshed_cluster_handoff_in_flight", "Events queued for forwarding plus handoff frames awaiting an ack.")
+	p.Sample("cepshed_cluster_handoff_in_flight", float64(st.InFlight))
 }
 
 // handleHealthz is the health/readiness probe: 200 while the server can
@@ -608,7 +823,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) ingest(r io.Reader) (accepted, rejected, overloaded, unrouted int) {
 	dec := runtime.NewLineDecoder(r, 1<<20)
 	batch := make([]*event.Event, 0, ingestBatchSize)
+	cbatch := make([]cluster.Input, 0, ingestBatchSize) // cluster mode: events routed unstamped
 	flush := func() {
+		if s.cl != nil {
+			if len(cbatch) == 0 {
+				return
+			}
+			res := s.cl.OfferBatch(cbatch)
+			accepted += res.Deliveries + res.ForwardedPairs
+			overloaded += res.DoorRejected + res.DroppedPairs + res.ShedPairs
+			unrouted += res.Unrouted
+			cbatch = cbatch[:0]
+			return
+		}
 		if len(batch) == 0 {
 			return
 		}
@@ -630,6 +857,13 @@ func (s *server) ingest(r io.Reader) (accepted, rejected, overloaded, unrouted i
 			}
 			flush()
 			return accepted, rejected, overloaded, unrouted // EOF or read failure
+		}
+		if s.cl != nil {
+			cbatch = append(cbatch, cluster.Input{E: e, HasTime: hasTime})
+			if len(cbatch) == ingestBatchSize {
+				flush()
+			}
+			continue
 		}
 		s.stamp(e, hasTime)
 		batch = append(batch, e)
@@ -734,8 +968,11 @@ func (s *server) serveConn(conn net.Conn) {
 // exposition format: per-shard series labelled {tenant, query, shard},
 // per-query and per-tenant series, and the unlabeled server aggregates
 // the pre-registry dashboards already scrape.
-func writePrometheus(w io.Writer, snap registry.Snapshot, intern runtime.InternStats) {
+func writePrometheus(w io.Writer, snap registry.Snapshot, intern runtime.InternStats, node string) {
 	p := metrics.NewPromWriter(w)
+	if node != "" {
+		p.Common("node", node)
+	}
 	counter := func(name, help string, val func(runtime.ShardSnapshot) uint64) {
 		p.Counter("cepshed_"+name, help)
 		for _, q := range snap.Queries {

@@ -183,7 +183,7 @@ func TestWritePrometheusExposesRobustnessSeries(t *testing.T) {
 	s := newTestServer(t, runtime.Config{})
 	s.ingest(strings.NewReader(`{"type":"A","attrs":{"ID":1}}` + "\nbad\n"))
 	var buf bytes.Buffer
-	writePrometheus(&buf, s.reg.Snapshot(), runtime.InternTelemetry())
+	writePrometheus(&buf, s.reg.Snapshot(), runtime.InternTelemetry(), "")
 	out := buf.String()
 	for _, series := range []string{
 		"cepshed_events_in_total",

@@ -111,19 +111,70 @@ func (s *ShardStore) path(suffix string) string {
 
 // NewShardStore opens (creating as needed) the store for one shard. The
 // WAL is opened for append immediately so records written before the
-// first snapshot are replayable too.
+// first snapshot are replayable too. A ceded tombstone (written when
+// the shard's state was handed to another node) sweeps the old files
+// first: the new owner already snapshotted that state, so replaying it
+// here would re-emit every match the new owner delivered.
 func NewShardStore(cfg Config, shard int, fp uint64) (*ShardStore, error) {
 	cfg = cfg.WithDefaults()
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	s := &ShardStore{cfg: cfg, shard: shard, fp: fp}
+	if _, err := os.Stat(s.path(cededSuffix)); err == nil {
+		if err := s.sweepCeded(); err != nil {
+			return nil, err
+		}
+	}
 	w, err := openWAL(s.path(".wal"), fp, cfg.Fsync)
 	if err != nil {
 		return nil, err
 	}
 	s.wal = w
 	return s, nil
+}
+
+// cededSuffix marks a shard whose state migrated to another node. The
+// marker is written AFTER the importing node has durably snapshotted
+// the state, so the files it shadows are redundant, never the only
+// copy.
+const cededSuffix = ".ceded"
+
+// CedeShard tombstones one shard's files in dir: a node that boots (or
+// reopens) this store cold-starts the shard instead of replaying state
+// that now lives elsewhere — replaying it would duplicate emissions.
+// Used by the failover path, where the source process is dead and
+// cannot retire its own store.
+func CedeShard(dir string, shard int) error {
+	return os.WriteFile(
+		filepath.Join(dir, fmt.Sprintf("shard-%03d%s", shard, cededSuffix)),
+		[]byte("ceded\n"), 0o644)
+}
+
+// sweepCeded removes the shard's snapshot/WAL generations plus the
+// tombstone itself, leaving a cold directory for this shard.
+func (s *ShardStore) sweepCeded() error {
+	for _, suf := range []string{".snap", ".snap.prev", ".snap.tmp", ".wal", ".wal.prev", cededSuffix} {
+		if err := os.Remove(s.path(suf)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if s.cfg.Fsync {
+		syncDir(s.cfg.Dir)
+	}
+	return nil
+}
+
+// Retire closes the store and tombstones its files — the planned-
+// handoff source's last act after the target acknowledged a durable
+// import. The shard's state now lives on the target; keeping readable
+// snapshot/WAL generations here would make a restart of this node
+// replay (and re-emit) history another node owns.
+func (s *ShardStore) Retire() error {
+	if err := s.wal.close(); err != nil {
+		return err
+	}
+	return s.sweepCeded()
 }
 
 // Shard returns the shard index this store belongs to.

@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// handoffSeed builds one representative handoff frame: warm engine
+// state plus a WAL tail with all three record kinds, as a failover
+// would ship.
+func handoffSeed() (*Handoff, []byte) {
+	en := engine.New(nfa.MustCompile(query.Q1("2ms")), engine.DefaultCosts())
+	s := gen.DS1(gen.DS1Config{Events: 120, Seed: 5, InterArrival: 30 * event.Microsecond})
+	for _, e := range s {
+		en.Process(e)
+	}
+	h := &Handoff{
+		Tenant: "acme",
+		Query:  "main",
+		Shard:  2,
+		State: &ShardState{
+			Shard: 2, LastSeq: 120, LastTime: int64(30 * event.Microsecond * 120),
+			Counters:     Counters{EventsIn: 120, Processed: 120, Matched: 3},
+			StrategyName: "Hybrid", Strategy: []byte{9, 9},
+			Engine: en.Snapshot(),
+		},
+		Tail: []Record{
+			{Kind: RecEvent, Event: s[0]},
+			{Kind: RecMatch, Seq: 7, Key: "0,3,7"},
+			{Kind: RecSkip, Seq: 9},
+		},
+	}
+	return h, EncodeHandoff(h, fuzzFP)
+}
+
+func TestHandoffRoundTrip(t *testing.T) {
+	h, frame := handoffSeed()
+	got, err := DecodeHandoff(frame, fuzzFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tenant != h.Tenant || got.Query != h.Query || got.Shard != h.Shard {
+		t.Errorf("identity = %s/%s shard %d, want %s/%s shard %d",
+			got.Tenant, got.Query, got.Shard, h.Tenant, h.Query, h.Shard)
+	}
+	if got.State == nil || got.State.LastSeq != 120 || got.State.Counters.Matched != 3 {
+		t.Errorf("state = %+v, want LastSeq 120, Matched 3", got.State)
+	}
+	if got.State.Engine == nil || len(got.State.Engine.PMs) != len(h.State.Engine.PMs) ||
+		got.State.Engine.NextID != h.State.Engine.NextID {
+		t.Errorf("engine state changed in flight: got %d PMs NextID %d, want %d PMs NextID %d",
+			len(got.State.Engine.PMs), got.State.Engine.NextID,
+			len(h.State.Engine.PMs), h.State.Engine.NextID)
+	}
+	if len(got.Tail) != 3 {
+		t.Fatalf("tail = %d records, want 3", len(got.Tail))
+	}
+	if got.Tail[1].Kind != RecMatch || got.Tail[1].Seq != 7 || got.Tail[1].Key != "0,3,7" {
+		t.Errorf("tail[1] = %+v, want the match record", got.Tail[1])
+	}
+	if got.Tail[2].Kind != RecSkip || got.Tail[2].Seq != 9 {
+		t.Errorf("tail[2] = %+v, want the skip record", got.Tail[2])
+	}
+
+	// Wrong fingerprint: a frame from a different query must be refused.
+	if _, err := DecodeHandoff(frame, fuzzFP+1); err == nil {
+		t.Error("DecodeHandoff accepted a frame under the wrong fingerprint")
+	}
+	// One flipped body byte: CRC must catch it.
+	flip := append([]byte(nil), frame...)
+	flip[len(flip)-3] ^= 0x40
+	if _, err := DecodeHandoff(flip, fuzzFP); err == nil {
+		t.Error("DecodeHandoff accepted a frame with a flipped body byte")
+	}
+}
+
+// FuzzHandoffDecode mirrors FuzzCheckpointDecode for the network-facing
+// frame: arbitrary bytes from a peer (or an attacker on the cluster
+// port) must produce a clean error, never a panic or an engine restored
+// from garbage. Seed corpus lives in testdata/fuzz/FuzzHandoffDecode;
+// regenerate with CEPSHED_REGEN_CORPUS=1 after format changes.
+func FuzzHandoffDecode(f *testing.F) {
+	m := nfa.MustCompile(query.Q1("2ms"))
+	_, frame := handoffSeed()
+	f.Add(frame)
+	f.Add(append([]byte(nil), frame[:len(frame)/2]...))
+	flip := append([]byte(nil), frame...)
+	flip[len(flip)/3] ^= 0x20
+	f.Add(flip)
+	f.Add([]byte(handoffMagic))
+	f.Add(putHeader(nil, handoffMagic, fuzzFP))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHandoff(data, fuzzFP)
+		if err != nil {
+			return
+		}
+		if h == nil || h.State == nil {
+			t.Fatal("DecodeHandoff returned nil handoff/state without error")
+		}
+		// A decoded frame still faces engine.Restore on import; it must
+		// reject structurally-bad state without panicking and leave the
+		// engine cold-usable.
+		fresh := engine.New(m, engine.DefaultCosts())
+		if rerr := fresh.Restore(h.State.Engine); rerr != nil && fresh.LiveCount() != 0 {
+			t.Fatalf("rejected Restore left %d live PMs", fresh.LiveCount())
+		}
+	})
+}
+
+// TestRegenHandoffFuzzCorpus rewrites the checked-in seed corpus for
+// FuzzHandoffDecode when CEPSHED_REGEN_CORPUS=1, same contract as
+// TestRegenFuzzCorpus.
+func TestRegenHandoffFuzzCorpus(t *testing.T) {
+	if os.Getenv("CEPSHED_REGEN_CORPUS") != "1" {
+		t.Skip("set CEPSHED_REGEN_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzHandoffDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, frame := handoffSeed()
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)/3] ^= 0x20
+	seeds := map[string][]byte{
+		"handoff-valid":   frame,
+		"handoff-trunc":   frame[:len(frame)/2],
+		"handoff-bitflip": flipped,
+		"magic-only":      []byte(handoffMagic),
+		"header-only":     putHeader(nil, handoffMagic, fuzzFP),
+		"zero-length":     {},
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

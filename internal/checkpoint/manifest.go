@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 )
@@ -12,10 +13,14 @@ import (
 // directory. Unlike snapshots and WALs this file is written on control
 // operations (add/remove/pause), never on the event path, so a
 // human-debuggable encoding beats a binary frame. The write is the same
-// temp-write-rename protocol the snapshots use: a crash mid-save leaves
-// the previous manifest intact, never a torn one.
+// temp-write-rename protocol the snapshots use, and like them it keeps
+// one previous generation (.prev): a crash mid-save leaves the previous
+// manifest intact, and a manifest corrupted by anything else (partial
+// write on a dying disk, an editor mishap) falls back to the previous
+// generation instead of silently dropping every registered query.
 
-// SaveManifest atomically replaces path with the JSON encoding of v.
+// SaveManifest atomically replaces path with the JSON encoding of v,
+// rotating the old manifest to path+".prev" first.
 func SaveManifest(path string, v any, fsync bool) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
@@ -32,6 +37,11 @@ func SaveManifest(path string, v any, fsync bool) error {
 			f.Close()
 		}
 	}
+	// Rotate before publish: a crash between the two renames leaves
+	// .prev plus .tmp, and LoadManifest falls back to .prev.
+	if err := os.Rename(path, path+".prev"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
@@ -41,18 +51,29 @@ func SaveManifest(path string, v any, fsync bool) error {
 	return nil
 }
 
-// LoadManifest reads a manifest into v. Returns (false, nil) when the
-// file does not exist — a fresh state directory, not an error.
+// LoadManifest reads a manifest into v, falling back to the previous
+// generation when the current one is missing or corrupt. Returns
+// (false, nil) when neither generation exists — a fresh state
+// directory, not an error — and an error only when a manifest exists
+// but no generation is decodable (the caller decides whether that is
+// fatal).
 func LoadManifest(path string, v any) (bool, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return false, nil
+	var firstErr error
+	for _, p := range []string{path, path + ".prev"} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			if !os.IsNotExist(err) && firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
-		return false, err
+		if err := json.Unmarshal(data, v); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("manifest %s: %w", filepath.Base(p), err)
+			}
+			continue
+		}
+		return true, nil
 	}
-	if err := json.Unmarshal(data, v); err != nil {
-		return false, err
-	}
-	return true, nil
+	return false, firstErr
 }

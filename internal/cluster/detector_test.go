@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cepshed/internal/runtime"
+)
+
+// fakeProbe is a switchable heartbeat target.
+type fakeProbe struct {
+	mu   sync.Mutex
+	fail map[string]bool
+}
+
+func (f *fakeProbe) set(name string, failing bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail == nil {
+		f.fail = map[string]bool{}
+	}
+	f.fail[name] = failing
+}
+
+func (f *fakeProbe) probe(spec NodeSpec) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail[spec.Name] {
+		return errors.New("probe refused")
+	}
+	return nil
+}
+
+// transitions records OnDown/OnUp events on channels the test selects on.
+type transitions struct {
+	down chan string
+	up   chan string
+}
+
+func newTransitions() *transitions {
+	return &transitions{down: make(chan string, 16), up: make(chan string, 16)}
+}
+
+func waitEvent(t *testing.T, ch chan string, what string) string {
+	t.Helper()
+	select {
+	case name := <-ch:
+		return name
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no %s event within 5s", what)
+		return ""
+	}
+}
+
+func fastDetector(p *fakeProbe, tr *transitions, cfg DetectorConfig) *Detector {
+	cfg.Interval = 2 * time.Millisecond
+	cfg.Misses = 2
+	cfg.Probe = p.probe
+	cfg.OnDown = func(n string) { tr.down <- n }
+	cfg.OnUp = func(n string) { tr.up <- n }
+	cfg.Policy = runtime.RestartPolicy{BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond}
+	cfg.Seed = 1
+	return NewDetector(cfg, []NodeSpec{{Name: "peer", Addr: "x:1"}})
+}
+
+// Misses consecutive failures flip a peer down (exactly one OnDown);
+// the first success after that flips it back up.
+func TestDetectorDownAfterMissesThenRecovers(t *testing.T) {
+	p, tr := &fakeProbe{}, newTransitions()
+	// Quarantine thresholds high enough not to trigger here.
+	d := fastDetector(p, tr, DetectorConfig{FlapDeaths: 100, FlapWindow: time.Minute})
+	d.Start()
+	defer d.Close()
+
+	p.set("peer", true)
+	if got := waitEvent(t, tr.down, "down"); got != "peer" {
+		t.Fatalf("down event for %q", got)
+	}
+	st := d.Status()
+	if len(st) != 1 || st[0].Up {
+		t.Fatalf("status after death: %+v, want down", st)
+	}
+
+	p.set("peer", false)
+	if got := waitEvent(t, tr.up, "up"); got != "peer" {
+		t.Fatalf("up event for %q", got)
+	}
+	select {
+	case n := <-tr.down:
+		t.Fatalf("spurious extra down event for %q", n)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// A single failed probe is a miss, not a death.
+func TestDetectorToleratesOneMiss(t *testing.T) {
+	tr := newTransitions()
+	var once sync.Once
+	cfg := DetectorConfig{FlapDeaths: 100, FlapWindow: time.Minute}
+	cfg.Interval = 2 * time.Millisecond
+	cfg.Misses = 3
+	cfg.OnDown = func(n string) { tr.down <- n }
+	cfg.OnUp = func(n string) { tr.up <- n }
+	cfg.Seed = 1
+	// Fail exactly one probe, then succeed forever.
+	cfg.Probe = func(spec NodeSpec) error {
+		var err error
+		once.Do(func() { err = errors.New("one blip") })
+		return err
+	}
+	d := NewDetector(cfg, []NodeSpec{{Name: "peer", Addr: "x:1"}})
+	d.Start()
+	defer d.Close()
+	select {
+	case <-tr.down:
+		t.Fatal("one missed heartbeat declared the peer dead")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// A peer that dies FlapDeaths times inside FlapWindow is quarantined:
+// it stays down for placement even while its heartbeats succeed, and
+// OnUp fires only after the quarantine expires.
+func TestDetectorQuarantinesFlappingPeer(t *testing.T) {
+	p, tr := &fakeProbe{}, newTransitions()
+	d := fastDetector(p, tr, DetectorConfig{
+		FlapDeaths:    2,
+		FlapWindow:    time.Minute,
+		QuarantineFor: 150 * time.Millisecond,
+	})
+	d.Start()
+	defer d.Close()
+
+	// First death and recovery: normal.
+	p.set("peer", true)
+	waitEvent(t, tr.down, "down")
+	p.set("peer", false)
+	waitEvent(t, tr.up, "up")
+
+	// Second death inside the window: quarantine kicks in.
+	p.set("peer", true)
+	waitEvent(t, tr.down, "down")
+	start := time.Now()
+	p.set("peer", false) // heartbeats succeed again immediately...
+
+	// ...but the peer must stay benched: no OnUp while quarantined.
+	select {
+	case <-tr.up:
+		if since := time.Since(start); since < 100*time.Millisecond {
+			t.Fatalf("flapping peer revived after %v, inside the 150ms quarantine", since)
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+	st := d.Status()
+	if len(st) != 1 || !st[0].Quarantined || st[0].Up {
+		t.Fatalf("status during quarantine: %+v, want quarantined+down", st[0])
+	}
+
+	// After expiry the next successful probe revives it.
+	if got := waitEvent(t, tr.up, "post-quarantine up"); got != "peer" {
+		t.Fatalf("up event for %q", got)
+	}
+	if since := time.Since(start); since < 100*time.Millisecond {
+		t.Fatalf("revived after only %v, quarantine was 150ms", since)
+	}
+}

@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cepshed/internal/event"
+	"cepshed/internal/registry"
+	"cepshed/internal/shed"
+)
+
+// Config wires a Node into its host process.
+type Config struct {
+	// Self is this node's name; it must appear in Topology.
+	Self string
+	// Topology is the static membership, identical on every node.
+	Topology Topology
+	// Registry is the local serving core. Every node registers the same
+	// queries; placement decides which slots each node actually runs.
+	Registry *registry.Registry
+	// StampTime assigns a monotone arrival timestamp to an event whose
+	// source line carried none. It runs at the INGEST edge, so a
+	// forwarded event keeps its true arrival time.
+	StampTime func(e *event.Event)
+	// StampSeq assigns the node-local sequence number. It runs only at
+	// the slot's OWNER — forwarded events travel with time but no seq —
+	// so each node's WAL sequence space stays monotone under its own
+	// counter regardless of which node ingested the event.
+	StampSeq func(e *event.Event)
+	// BumpSeq raises the node's sequence counter to at least min —
+	// called after an import so events stamped after the migrated
+	// state slot in ABOVE the imported snapshot's floor, never below it
+	// (below would make the next recovery's WAL filter drop them).
+	BumpSeq func(min uint64)
+	// Detector tunes failure detection; Probe is filled in by the node.
+	Detector DetectorConfig
+	// ForwardBuf is the per-peer forward queue capacity in events
+	// (default 4096). A full queue sheds rather than blocks ingest.
+	ForwardBuf int
+	// HTTPTimeout bounds each peer call (default 2s; handoffs get 10×).
+	HTTPTimeout time.Duration
+	// AuthToken, when set, is sent as a bearer token on mutating peer
+	// calls (forward, handoff, placement) — pair it with the server's
+	// -admin-token so cluster traffic passes the same door.
+	AuthToken string
+	// AdmissionSeed fixes the degraded-mode router gate's sampling.
+	AdmissionSeed int64
+	Logf          func(format string, args ...any)
+}
+
+// Node is the cluster runtime for one process: placement view, failure
+// detector, forwarders, and the handoff/failover control plane. The
+// host HTTP server mounts Handle* under /cluster/*.
+type Node struct {
+	cfg   Config
+	self  NodeSpec
+	reg   *registry.Registry
+	place *Placement
+	det   *Detector
+	gate  *shed.RouterAdmission
+	hc    *http.Client
+
+	peers map[string]*peerLink
+
+	// moveMu serializes the control plane (planned moves, failovers):
+	// concurrent migrations of the same slot would race export against
+	// import.
+	moveMu sync.Mutex
+
+	closed atomic.Bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// Counters. inFlight is the handoff_in_flight gauge: events queued
+	// for forwarding plus handoff frames shipped but not yet resolved.
+	forwardedOut  atomic.Uint64 // pairs sent to a peer
+	forwardedIn   atomic.Uint64 // pairs received from peers
+	forwardDrop   atomic.Uint64 // pairs dropped: queue full, peer down, send failed
+	handoffsOut   atomic.Uint64 // planned handoffs shipped successfully
+	handoffsIn    atomic.Uint64 // handoffs imported (planned or not)
+	handoffFailed atomic.Uint64
+	takeovers     atomic.Uint64 // slots adopted by failover
+	failovers     atomic.Uint64 // dead-peer events handled
+	inFlight      atomic.Int64
+}
+
+type peerLink struct {
+	spec NodeSpec
+	q    chan fwdItem
+}
+
+type fwdItem struct {
+	tenant, query string
+	slot          int
+	line          []byte // NDJSON-encoded event, newline not included
+}
+
+// New builds a Node; Start launches its goroutines.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	self, ok := cfg.Topology.Find(cfg.Self)
+	if !ok {
+		return nil, fmt.Errorf("cluster: self %q not in topology", cfg.Self)
+	}
+	if cfg.Registry == nil || cfg.StampTime == nil || cfg.StampSeq == nil {
+		return nil, fmt.Errorf("cluster: Registry, StampTime, and StampSeq are required")
+	}
+	if cfg.ForwardBuf <= 0 {
+		cfg.ForwardBuf = 4096
+	}
+	if cfg.HTTPTimeout <= 0 {
+		cfg.HTTPTimeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	n := &Node{
+		cfg:   cfg,
+		self:  self,
+		reg:   cfg.Registry,
+		place: NewPlacement(cfg.Topology.Names()),
+		gate:  shed.NewRouterAdmission(cfg.AdmissionSeed),
+		hc:    &http.Client{Timeout: cfg.HTTPTimeout},
+		peers: map[string]*peerLink{},
+		done:  make(chan struct{}),
+	}
+	for _, p := range cfg.Topology.Nodes {
+		if p.Name == cfg.Self {
+			continue
+		}
+		n.peers[p.Name] = &peerLink{spec: p, q: make(chan fwdItem, cfg.ForwardBuf)}
+	}
+	det := cfg.Detector
+	det.Probe = n.probe
+	det.OnDown = n.onPeerDown
+	det.OnUp = n.onPeerUp
+	if det.Logf == nil {
+		det.Logf = cfg.Logf
+	}
+	peerSpecs := make([]NodeSpec, 0, len(n.peers))
+	for _, pl := range n.peers {
+		peerSpecs = append(peerSpecs, pl.spec)
+	}
+	n.det = NewDetector(det, peerSpecs)
+	return n, nil
+}
+
+// Start launches the detector, the per-peer forwarders, and an initial
+// placement pull so a rejoining node learns overrides recorded while
+// it was dead (its old slots may have moved; claiming them back would
+// split ownership).
+func (n *Node) Start() {
+	n.det.Start()
+	for _, pl := range n.peers {
+		n.wg.Add(1)
+		go n.forwarder(pl)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.pullPlacement()
+	}()
+}
+
+// Close stops the detector and forwarders. Queued forward items are
+// dropped (counted). The host must stop offering batches first —
+// OfferBatch after Close drops every remote pair.
+func (n *Node) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	n.det.Close()
+	close(n.done)
+	n.wg.Wait()
+}
+
+// Degraded reports whether any peer is currently considered down.
+func (n *Node) Degraded() bool { return n.place.AnyDown() }
+
+// Placement exposes the node's placement view (status, tests).
+func (n *Node) Placement() *Placement { return n.place }
+
+// Self returns this node's name.
+func (n *Node) Self() string { return n.cfg.Self }
+
+func (n *Node) probe(spec NodeSpec) error {
+	req, err := http.NewRequest(http.MethodGet, "http://"+spec.Addr+"/cluster/health", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health: %s", resp.Status)
+	}
+	return nil
+}
+
+func (n *Node) onPeerDown(name string) {
+	n.place.SetDown(name, true)
+	n.gate.SetDegraded(true)
+	n.failovers.Add(1)
+	go n.failover(name)
+}
+
+func (n *Node) onPeerUp(name string) {
+	n.place.SetDown(name, false)
+	n.gate.SetDegraded(n.place.AnyDown())
+	// The revived peer missed every override recorded while it was
+	// dead — push our view so it doesn't reclaim migrated slots.
+	go n.pushPlacement(name)
+}
+
+// ---- HTTP client helpers ----
+
+func (n *Node) post(addr, path string, body []byte, contentType string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if n.cfg.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+n.cfg.AuthToken)
+	}
+	return n.hc.Do(req)
+}
+
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+}
+
+// ---- placement gossip ----
+
+type placementMsg struct {
+	From      string     `json:"from"`
+	Version   uint64     `json:"version"`
+	Overrides []Override `json:"overrides"`
+}
+
+func (n *Node) placementBody() []byte {
+	v, ovs := n.place.Overrides()
+	b, _ := json.Marshal(placementMsg{From: n.cfg.Self, Version: v, Overrides: ovs})
+	return b
+}
+
+func (n *Node) pushPlacement(names ...string) {
+	body := n.placementBody()
+	targets := names
+	if len(targets) == 0 {
+		for name := range n.peers {
+			targets = append(targets, name)
+		}
+	}
+	for _, name := range targets {
+		pl, ok := n.peers[name]
+		if !ok || n.place.IsDown(name) {
+			continue
+		}
+		resp, err := n.post(pl.spec.Addr, "/cluster/placement", body, "application/json")
+		if err != nil {
+			n.cfg.Logf("cluster: placement push to %s: %v", name, err)
+			continue
+		}
+		drainClose(resp)
+	}
+}
+
+func (n *Node) pullPlacement() {
+	for name, pl := range n.peers {
+		req, err := http.NewRequest(http.MethodGet, "http://"+pl.spec.Addr+"/cluster/placement", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := n.hc.Do(req)
+		if err != nil {
+			continue
+		}
+		var msg placementMsg
+		err = json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&msg)
+		resp.Body.Close()
+		if err != nil {
+			n.cfg.Logf("cluster: placement pull from %s: %v", name, err)
+			continue
+		}
+		n.place.Merge(msg.Overrides)
+	}
+}
+
+// ---- HTTP handlers (mounted by the host server under /cluster/*) ----
+
+// HandleHealth answers heartbeats: GET /cluster/health.
+func (n *Node) HandleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"node":%q,"version":%d}`+"\n", n.cfg.Self, n.place.Version())
+}
+
+// HandlePlacement serves GET (our override map) and POST (merge a
+// peer's) on /cluster/placement.
+func (n *Node) HandlePlacement(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(n.placementBody())
+	case http.MethodPost:
+		var msg placementMsg
+		if err := json.NewDecoder(io.LimitReader(r.Body, 4<<20)).Decode(&msg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n.place.Merge(msg.Overrides)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// Status is the /cluster payload.
+type Status struct {
+	Self     string       `json:"self"`
+	Degraded bool         `json:"degraded"`
+	Peers    []PeerStatus `json:"peers"`
+	Placement struct {
+		Version   uint64 `json:"version"`
+		Overrides int    `json:"overrides"`
+	} `json:"placement"`
+	ForwardedOut  uint64 `json:"forwarded_out"`
+	ForwardedIn   uint64 `json:"forwarded_in"`
+	ForwardDrop   uint64 `json:"forward_dropped"`
+	RouterShed    uint64 `json:"router_shed"`
+	HandoffsOut   uint64 `json:"handoffs_out"`
+	HandoffsIn    uint64 `json:"handoffs_in"`
+	HandoffFailed uint64 `json:"handoffs_failed"`
+	Takeovers     uint64 `json:"takeovers"`
+	Failovers     uint64 `json:"failovers"`
+	InFlight      int64  `json:"handoff_in_flight"`
+}
+
+// Status snapshots the node's cluster state.
+func (n *Node) Status() Status {
+	var s Status
+	s.Self = n.cfg.Self
+	s.Degraded = n.Degraded()
+	s.Peers = n.det.Status()
+	sort.Slice(s.Peers, func(i, j int) bool { return s.Peers[i].Name < s.Peers[j].Name })
+	v, ovs := n.place.Overrides()
+	s.Placement.Version = v
+	s.Placement.Overrides = len(ovs)
+	s.ForwardedOut = n.forwardedOut.Load()
+	s.ForwardedIn = n.forwardedIn.Load()
+	s.ForwardDrop = n.forwardDrop.Load()
+	s.RouterShed = n.gate.Dropped()
+	s.HandoffsOut = n.handoffsOut.Load()
+	s.HandoffsIn = n.handoffsIn.Load()
+	s.HandoffFailed = n.handoffFailed.Load()
+	s.Takeovers = n.takeovers.Load()
+	s.Failovers = n.failovers.Load()
+	s.InFlight = n.inFlight.Load()
+	return s
+}
+
+// HandleStatus serves GET /cluster.
+func (n *Node) HandleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(n.Status())
+}
+
+// HandleClusterStats serves GET /cluster/stats: this node's /stats
+// plus every reachable peer's, keyed by node name — the rolled-up
+// cluster view a dashboard scrapes once.
+func (n *Node) HandleClusterStats(localStats func() any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		nodes := map[string]json.RawMessage{}
+		if b, err := json.Marshal(localStats()); err == nil {
+			nodes[n.cfg.Self] = b
+		}
+		for name, pl := range n.peers {
+			if n.place.IsDown(name) {
+				continue
+			}
+			req, err := http.NewRequest(http.MethodGet, "http://"+pl.spec.Addr+"/stats", nil)
+			if err != nil {
+				continue
+			}
+			resp, err := n.hc.Do(req)
+			if err != nil {
+				continue
+			}
+			b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK && json.Valid(b) {
+				nodes[name] = b
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"cluster": n.Status(), "nodes": nodes})
+	}
+}

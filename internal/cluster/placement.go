@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// SlotKey identifies one unit of placement: a query instance (by its
+// registry fingerprint, identical on every node because it hashes the
+// spec) and one of its shard slots.
+type SlotKey struct {
+	FP   uint64 `json:"fp"`
+	Slot int    `json:"slot"`
+}
+
+// Override is one explicit placement decision, recorded when a slot
+// moved off its rendezvous-default node (planned handoff or failover).
+type Override struct {
+	SlotKey
+	Node string `json:"node"`
+}
+
+// Placement is a node's view of slot ownership: the static member
+// list, which members it currently considers up, and the override map.
+// Ownership is computed, not stored: Owner() consults overrides first,
+// then rendezvous-hashes over up nodes. Because the hash and the
+// topology are identical everywhere, two nodes with the same liveness
+// view and override set always agree on every owner — the only
+// coordination the cluster needs is gossiping overrides.
+//
+// Overrides are soft state: they live in memory and are re-exchanged
+// on /cluster/placement. A full cluster restart forgets them and
+// ownership reverts to pure rendezvous; that is safe (the ceded
+// tombstones prevent duplicate replay) but documented as a known gap
+// in docs/CLUSTER.md.
+type Placement struct {
+	mu        sync.RWMutex
+	names     []string // sorted, static
+	down      map[string]bool
+	overrides map[SlotKey]string
+	version   uint64
+}
+
+// NewPlacement builds a placement over the topology's node names, all
+// initially up.
+func NewPlacement(names []string) *Placement {
+	s := append([]string(nil), names...)
+	sort.Strings(s)
+	return &Placement{
+		names:     s,
+		down:      map[string]bool{},
+		overrides: map[SlotKey]string{},
+	}
+}
+
+// mix64 is splitmix64's finalizer — a cheap, deterministic 64-bit
+// avalanche shared by every node (no per-process seed, by design).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func nameHash(name string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime
+	}
+	return h
+}
+
+// rendezvous picks the eligible node with the highest score for the
+// slot (highest-random-weight hashing): moving ONE node in or out of
+// the eligible set only moves the slots that node wins or loses, so a
+// failover migrates the dead node's slots and nothing else.
+func rendezvous(fp uint64, slot int, names []string, eligible func(string) bool) string {
+	best, bestScore := "", uint64(0)
+	for _, n := range names {
+		if !eligible(n) {
+			continue
+		}
+		score := mix64(fp ^ mix64(uint64(slot)) ^ nameHash(n))
+		if best == "" || score > bestScore || (score == bestScore && n < best) {
+			best, bestScore = n, score
+		}
+	}
+	return best
+}
+
+// Owner returns the node that owns (fp, slot) under the current
+// liveness view, and false when no node is up. An override pointing at
+// a down node is ignored (failover will re-point it).
+func (p *Placement) Owner(fp uint64, slot int) (string, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.ownerLocked(fp, slot, p.down)
+}
+
+func (p *Placement) ownerLocked(fp uint64, slot int, down map[string]bool) (string, bool) {
+	if o, ok := p.overrides[SlotKey{FP: fp, Slot: slot}]; ok && !down[o] {
+		return o, true
+	}
+	n := rendezvous(fp, slot, p.names, func(name string) bool { return !down[name] })
+	return n, n != ""
+}
+
+// OwnerIfUp computes the owner pretending `node` were up — the
+// "before" view a survivor uses to decide which slots a freshly dead
+// node was responsible for.
+func (p *Placement) OwnerIfUp(fp uint64, slot int, node string) (string, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if !p.down[node] {
+		return p.ownerLocked(fp, slot, p.down)
+	}
+	view := make(map[string]bool, len(p.down))
+	for k, v := range p.down {
+		view[k] = v
+	}
+	delete(view, node)
+	return p.ownerLocked(fp, slot, view)
+}
+
+// SetDown flips one node's liveness in this view.
+func (p *Placement) SetDown(name string, down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down[name] == down {
+		return
+	}
+	if down {
+		p.down[name] = true
+	} else {
+		delete(p.down, name)
+	}
+	p.version++
+}
+
+// Down reports whether the view currently considers the node down.
+func (p *Placement) IsDown(name string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.down[name]
+}
+
+// AnyDown reports whether any member is considered down — the
+// cluster-degraded signal driving router admission.
+func (p *Placement) AnyDown() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.down) > 0
+}
+
+// SetOverride records an explicit owner for a slot.
+func (p *Placement) SetOverride(k SlotKey, node string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.overrides[k] == node {
+		return
+	}
+	p.overrides[k] = node
+	p.version++
+}
+
+// Overrides snapshots the override map with a version stamp.
+func (p *Placement) Overrides() (uint64, []Override) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]Override, 0, len(p.overrides))
+	for k, n := range p.overrides {
+		out = append(out, Override{SlotKey: k, Node: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FP != out[j].FP {
+			return out[i].FP < out[j].FP
+		}
+		return out[i].Slot < out[j].Slot
+	})
+	return p.version, out
+}
+
+// Merge folds a peer's overrides into this view. Conflicts (both sides
+// claim the slot for different nodes) resolve deterministically: the
+// entry whose target node is up wins; if both targets are up, the
+// lexically smaller node name wins, so every node converges to the
+// same map regardless of gossip order.
+func (p *Placement) Merge(ovs []Override) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	changed := 0
+	for _, o := range ovs {
+		cur, ok := p.overrides[o.SlotKey]
+		if !ok {
+			p.overrides[o.SlotKey] = o.Node
+			changed++
+			continue
+		}
+		if cur == o.Node {
+			continue
+		}
+		curUp, newUp := !p.down[cur], !p.down[o.Node]
+		win := cur
+		switch {
+		case curUp && !newUp:
+			win = cur
+		case newUp && !curUp:
+			win = o.Node
+		case o.Node < cur:
+			win = o.Node
+		}
+		if win != cur {
+			p.overrides[o.SlotKey] = win
+			changed++
+		}
+	}
+	if changed > 0 {
+		p.version++
+	}
+	return changed
+}
+
+// Version returns the monotone local mutation counter (diagnostic
+// only — versions are per-node, not a cluster-wide clock).
+func (p *Placement) Version() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.version
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"testing"
+)
+
+var testNames = []string{"n1", "n2", "n3"}
+
+// Rendezvous ownership is a pure function of (fp, slot, liveness):
+// every node computes the same owner, and the distribution uses every
+// node.
+func TestRendezvousDeterministicAndSpread(t *testing.T) {
+	p := NewPlacement(testNames)
+	q := NewPlacement([]string{"n3", "n1", "n2"}) // order must not matter
+	seen := map[string]int{}
+	for fp := uint64(1); fp <= 4; fp++ {
+		for slot := 0; slot < 32; slot++ {
+			a, ok := p.Owner(fp, slot)
+			if !ok {
+				t.Fatalf("no owner for fp=%d slot=%d", fp, slot)
+			}
+			b, _ := q.Owner(fp, slot)
+			if a != b {
+				t.Fatalf("fp=%d slot=%d: owner %q vs %q across name orders", fp, slot, a, b)
+			}
+			seen[a]++
+		}
+	}
+	for _, n := range testNames {
+		if seen[n] == 0 {
+			t.Errorf("node %s owns zero of 128 slots — degenerate hash spread: %v", n, seen)
+		}
+	}
+}
+
+// Marking one node down moves ONLY that node's slots (minimal-disruption
+// property of highest-random-weight hashing); everything else stays put.
+func TestRendezvousMinimalMovementOnFailure(t *testing.T) {
+	p := NewPlacement(testNames)
+	before := map[int]string{}
+	for slot := 0; slot < 64; slot++ {
+		before[slot], _ = p.Owner(7, slot)
+	}
+	p.SetDown("n2", true)
+	for slot := 0; slot < 64; slot++ {
+		after, ok := p.Owner(7, slot)
+		if !ok {
+			t.Fatalf("slot %d lost its owner", slot)
+		}
+		if after == "n2" {
+			t.Fatalf("slot %d still owned by the down node", slot)
+		}
+		if before[slot] != "n2" && after != before[slot] {
+			t.Errorf("slot %d moved %s→%s though its owner did not fail", slot, before[slot], after)
+		}
+	}
+	// Recovery restores the exact original assignment.
+	p.SetDown("n2", false)
+	for slot := 0; slot < 64; slot++ {
+		if got, _ := p.Owner(7, slot); got != before[slot] {
+			t.Errorf("slot %d: owner %s after recovery, want %s", slot, got, before[slot])
+		}
+	}
+}
+
+// An override redirects a slot while its target is up and is ignored —
+// not deleted — while the target is down.
+func TestOverridePrecedenceAndDownTarget(t *testing.T) {
+	p := NewPlacement(testNames)
+	key := SlotKey{FP: 9, Slot: 3}
+	def, _ := p.Owner(9, 3)
+	target := "n1"
+	if def == "n1" {
+		target = "n2"
+	}
+	p.SetOverride(key, target)
+	if got, _ := p.Owner(9, 3); got != target {
+		t.Fatalf("override ignored: owner = %s, want %s", got, target)
+	}
+	p.SetDown(target, true)
+	if got, _ := p.Owner(9, 3); got == target {
+		t.Fatal("override still points at a down node")
+	}
+	p.SetDown(target, false)
+	if got, _ := p.Owner(9, 3); got != target {
+		t.Fatalf("override not restored after target recovery: owner = %s", got)
+	}
+}
+
+// OwnerIfUp reconstructs the pre-failure view — the survivor's "which
+// slots did the dead node own" question.
+func TestOwnerIfUp(t *testing.T) {
+	p := NewPlacement(testNames)
+	owned := map[int]string{}
+	for slot := 0; slot < 64; slot++ {
+		owned[slot], _ = p.Owner(5, slot)
+	}
+	p.SetDown("n3", true)
+	for slot := 0; slot < 64; slot++ {
+		got, ok := p.OwnerIfUp(5, slot, "n3")
+		if !ok || got != owned[slot] {
+			t.Errorf("slot %d: OwnerIfUp = %s/%v, want %s", slot, got, ok, owned[slot])
+		}
+	}
+}
+
+// Merge resolves conflicting overrides deterministically so any gossip
+// order converges: up target beats down target, then the lexically
+// smaller name.
+func TestMergeConvergesRegardlessOfOrder(t *testing.T) {
+	key := SlotKey{FP: 1, Slot: 0}
+	a := Override{SlotKey: key, Node: "n1"}
+	b := Override{SlotKey: key, Node: "n2"}
+
+	p1 := NewPlacement(testNames)
+	p1.Merge([]Override{a})
+	p1.Merge([]Override{b})
+	p2 := NewPlacement(testNames)
+	p2.Merge([]Override{b})
+	p2.Merge([]Override{a})
+	_, o1 := p1.Overrides()
+	_, o2 := p2.Overrides()
+	if len(o1) != 1 || len(o2) != 1 || o1[0].Node != o2[0].Node {
+		t.Fatalf("merge order changed the winner: %v vs %v", o1, o2)
+	}
+	if o1[0].Node != "n1" {
+		t.Errorf("both targets up: winner = %s, want lexically smaller n1", o1[0].Node)
+	}
+
+	// A down target loses to an up one even when lexically smaller.
+	p3 := NewPlacement(testNames)
+	p3.SetDown("n1", true)
+	p3.Merge([]Override{a})
+	p3.Merge([]Override{b})
+	_, o3 := p3.Overrides()
+	if o3[0].Node != "n2" {
+		t.Errorf("down target kept the slot: winner = %s, want up node n2", o3[0].Node)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		top  Topology
+		ok   bool
+	}{
+		{"two nodes", Topology{Nodes: []NodeSpec{{Name: "a", Addr: "h:1"}, {Name: "b", Addr: "h:2"}}}, true},
+		{"one node", Topology{Nodes: []NodeSpec{{Name: "a", Addr: "h:1"}}}, false},
+		{"dup name", Topology{Nodes: []NodeSpec{{Name: "a", Addr: "h:1"}, {Name: "a", Addr: "h:2"}}}, false},
+		{"dup addr", Topology{Nodes: []NodeSpec{{Name: "a", Addr: "h:1"}, {Name: "b", Addr: "h:1"}}}, false},
+		{"missing addr", Topology{Nodes: []NodeSpec{{Name: "a", Addr: "h:1"}, {Name: "b"}}}, false},
+	} {
+		if err := tc.top.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"cepshed/internal/event"
+	"cepshed/internal/registry"
+	"cepshed/internal/runtime"
+)
+
+// Input is one decoded, unstamped event at the ingest edge, plus
+// whether its source line carried an explicit timestamp.
+type Input struct {
+	E       *event.Event
+	HasTime bool
+}
+
+// RouteResult accounts one routed batch. The embedded OfferResult
+// covers the pairs this node processed locally; the cluster fields
+// cover pairs that left the node or died at the router.
+type RouteResult struct {
+	registry.OfferResult
+	// ForwardedPairs were queued for a remote owner.
+	ForwardedPairs int
+	// DroppedPairs died at the router: forward queue full or owner
+	// unreachable. Part of the cluster loss accounting, never silent.
+	DroppedPairs int
+	// ShedPairs were refused by degraded-mode router admission.
+	ShedPairs int
+}
+
+type localGroup struct {
+	in   *registry.Instance
+	slot int
+	evs  []*event.Event
+}
+
+// OfferBatch routes one ingest batch the cluster way. For each
+// (event, query) pair: compute the shard slot (deterministic hash —
+// identical on every node), look up the slot's owner, then either
+// offer locally (stamping seq here, at the owner) or enqueue the
+// event's NDJSON encoding to the owner's forwarder. Events with no
+// explicit timestamp get their arrival time stamped at this edge, so
+// a forwarded event keeps its true arrival time rather than its
+// delivery time at the owner.
+func (n *Node) OfferBatch(batch []Input) RouteResult {
+	var res RouteResult
+	res.Events = len(batch)
+	if len(batch) == 0 {
+		return res
+	}
+	fill := -1.0
+	localFill := func() float64 {
+		if fill < 0 {
+			fill = n.localFill()
+		}
+		return fill
+	}
+	var groups []localGroup
+	for _, item := range batch {
+		e := item.E
+		if !item.HasTime {
+			n.cfg.StampTime(e)
+		}
+		var line []byte // lazy: encoded once, shared by every remote owner
+		stamped := false
+		routed := n.reg.RouteEach(e, func(in *registry.Instance) {
+			slot := in.ShardSlot(e)
+			owner, ok := n.place.Owner(in.Fingerprint(), slot)
+			if !ok {
+				res.DroppedPairs++
+				n.forwardDrop.Add(1)
+				return
+			}
+			if owner == n.cfg.Self {
+				if !n.gate.Admit(localFill()) {
+					res.ShedPairs++
+					return
+				}
+				if !stamped {
+					n.cfg.StampSeq(e)
+					stamped = true
+				}
+				gi := -1
+				for i := range groups {
+					if groups[i].in == in && groups[i].slot == slot {
+						gi = i
+						break
+					}
+				}
+				if gi < 0 {
+					groups = append(groups, localGroup{in: in, slot: slot})
+					gi = len(groups) - 1
+				}
+				groups[gi].evs = append(groups[gi].evs, e)
+				return
+			}
+			pl, ok := n.peers[owner]
+			if !ok || n.place.IsDown(owner) {
+				res.DroppedPairs++
+				n.forwardDrop.Add(1)
+				return
+			}
+			if line == nil {
+				line = runtime.EncodeEvent(e)
+			}
+			spec := in.Spec()
+			select {
+			case pl.q <- fwdItem{tenant: spec.Tenant, query: spec.Name, slot: slot, line: line}:
+				n.inFlight.Add(1)
+				res.ForwardedPairs++
+			default:
+				res.DroppedPairs++
+				n.forwardDrop.Add(1)
+			}
+		})
+		if routed == 0 {
+			res.Unrouted++
+			n.reg.NoteUnrouted(1)
+		}
+	}
+	for i := range groups {
+		or := groups[i].in.OfferSlot(groups[i].slot, groups[i].evs)
+		res.Deliveries += or.Deliveries
+		res.DoorRejected += or.DoorRejected
+		res.ArbiterShed += or.ArbiterShed
+		res.FloorSkipped += or.FloorSkipped
+	}
+	return res
+}
+
+// localFill is the max aggregate queue fill across local runtimes —
+// the signal degraded-mode router admission keys on.
+func (n *Node) localFill() float64 {
+	max := 0.0
+	for _, in := range n.reg.ActiveInstances() {
+		if f := in.Runtime().LoadStats().QueueFill; f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// forwarder drains one peer's queue, coalescing runs of items bound
+// for the same (query, slot) into one POST /cluster/forward.
+func (n *Node) forwarder(pl *peerLink) {
+	defer n.wg.Done()
+	var pending *fwdItem
+	for {
+		var it fwdItem
+		if pending != nil {
+			it, pending = *pending, nil
+		} else {
+			select {
+			case <-n.done:
+				// Drain what's queued so the gauge and drop counters stay
+				// conserved, then exit.
+				for {
+					select {
+					case <-pl.q:
+						n.inFlight.Add(-1)
+						n.forwardDrop.Add(1)
+					default:
+						return
+					}
+				}
+			case it = <-pl.q:
+			}
+		}
+		body := append([]byte(nil), it.line...)
+		body = append(body, '\n')
+		count := 1
+	coalesce:
+		for count < 256 {
+			select {
+			case next := <-pl.q:
+				if next.tenant != it.tenant || next.query != it.query || next.slot != it.slot {
+					pending = &next
+					break coalesce
+				}
+				body = append(body, next.line...)
+				body = append(body, '\n')
+				count++
+			default:
+				break coalesce
+			}
+		}
+		n.sendForward(pl, it, body, count)
+	}
+}
+
+func (n *Node) sendForward(pl *peerLink, it fwdItem, body []byte, count int) {
+	defer n.inFlight.Add(int64(-count))
+	if n.place.IsDown(pl.spec.Name) {
+		n.forwardDrop.Add(uint64(count))
+		return
+	}
+	path := fmt.Sprintf("/cluster/forward?tenant=%s&query=%s&slot=%d",
+		urlEscape(it.tenant), urlEscape(it.query), it.slot)
+	resp, err := n.post(pl.spec.Addr, path, body, "application/x-ndjson")
+	if err != nil {
+		n.forwardDrop.Add(uint64(count))
+		n.cfg.Logf("cluster: forward to %s: %v", pl.spec.Name, err)
+		return
+	}
+	drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		n.forwardDrop.Add(uint64(count))
+		n.cfg.Logf("cluster: forward to %s: %s", pl.spec.Name, resp.Status)
+		return
+	}
+	n.forwardedOut.Add(uint64(count))
+}
+
+// HandleForward receives forwarded events: POST /cluster/forward?
+// tenant=&query=&slot=. The body is NDJSON event lines; this node —
+// the slot's owner — stamps each event's sequence number on arrival.
+// A slot this node does not own is refused (409): accepting it would
+// split the slot's partial-match state across nodes, and blindly
+// re-forwarding could loop during a placement transition.
+func (n *Node) HandleForward(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	tenant, query := q.Get("tenant"), q.Get("query")
+	slot, err := strconv.Atoi(q.Get("slot"))
+	if err != nil {
+		http.Error(w, "bad slot", http.StatusBadRequest)
+		return
+	}
+	in, ok := n.reg.Get(tenant, query)
+	if !ok {
+		http.Error(w, "unknown query", http.StatusNotFound)
+		return
+	}
+	if owner, ok := n.place.Owner(in.Fingerprint(), slot); !ok || owner != n.cfg.Self {
+		http.Error(w, "not the owner", http.StatusConflict)
+		return
+	}
+	fill := -1.0
+	dec := runtime.NewLineDecoder(r.Body, 0)
+	var evs []*event.Event
+	shed := 0
+	for {
+		e, hasTime, err := dec.Next()
+		if err != nil {
+			var lerr *runtime.LineError
+			if errors.As(err, &lerr) {
+				continue // bad line: sender-side bug, skip rather than poison
+			}
+			if err != io.EOF {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			break
+		}
+		if !hasTime {
+			n.cfg.StampTime(e)
+		}
+		if n.gate.Degraded() {
+			if fill < 0 {
+				fill = n.localFill()
+			}
+			if !n.gate.Admit(fill) {
+				shed++
+				continue
+			}
+		}
+		n.cfg.StampSeq(e)
+		evs = append(evs, e)
+	}
+	n.forwardedIn.Add(uint64(len(evs)))
+	or := in.OfferSlot(slot, evs)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"accepted":%d,"rejected":%d,"shed":%d}`+"\n",
+		or.Deliveries, or.DoorRejected, shed+or.ArbiterShed+or.FloorSkipped)
+}
+
+// urlEscape covers the characters query IDs may contain; IDs are
+// validated at registration, so this is belt and braces.
+func urlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	const hex = "0123456789ABCDEF"
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' || c == '~' {
+			out = append(out, c)
+			continue
+		}
+		out = append(out, '%', hex[c>>4], hex[c&0xf])
+	}
+	return string(out)
+}

@@ -1,0 +1,113 @@
+// Package cluster is the fault-tolerant multi-node layer over the
+// single-process serving core: a static topology of 2–3 cepserved
+// nodes, each running the SAME query registry, with shard slots —
+// the unit of placement is one (query, shard slot) pair — distributed
+// across nodes by rendezvous hashing plus an explicit override map.
+//
+// The design splits into four pieces, one file each:
+//
+//   - topology.go: the static membership (name, HTTP address, state
+//     root per node), loaded from a JSON file identical on every node.
+//   - placement.go: pure ownership math. Owner(query, slot) =
+//     override if set, else rendezvous hash over nodes currently
+//     considered up. Deterministic, so every node computes the same
+//     answer from the same liveness view without coordination.
+//   - detector.go: per-peer heartbeat probing with the supervisor's
+//     capped/jittered backoff while a peer is down and quarantine for
+//     peers that flap.
+//   - router.go / mover.go: the data plane (route or forward each
+//     (event, query) pair to its slot's owner) and the control plane
+//     (planned handoff: drain → export → ship → durable import →
+//     retire; failover: survivor adopts a dead peer's slots from the
+//     shared state directory, bounded loss, zero duplicate emissions).
+//
+// See docs/CLUSTER.md for the protocol and its loss-bound math.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// NodeSpec is one static cluster member.
+type NodeSpec struct {
+	// Name is the node's stable identity — placement hashes it, so
+	// renaming a node reshuffles ownership.
+	Name string `json:"name"`
+	// Addr is the node's HTTP address ("host:port") for heartbeats,
+	// forwarding, and handoff.
+	Addr string `json:"addr"`
+	// StateDir is the node's durable state root. Failover requires every
+	// node to reach every other node's StateDir (shared filesystem): a
+	// survivor adopts a dead peer's shards by reading its checkpoint
+	// files from here. Empty disables state adoption for that node —
+	// failover then cold-starts its slots (ownership moves, state lost).
+	StateDir string `json:"state_dir,omitempty"`
+}
+
+// Topology is the static cluster membership. It is loaded from a file
+// that must be identical on every node; there is no membership
+// protocol — adding a node is a config change plus rolling restart.
+type Topology struct {
+	Nodes []NodeSpec `json:"nodes"`
+}
+
+// LoadTopology reads and validates a topology file.
+func LoadTopology(path string) (Topology, error) {
+	var t Topology
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return t, fmt.Errorf("cluster: topology: %w", err)
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return t, fmt.Errorf("cluster: topology %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return t, fmt.Errorf("cluster: topology %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Validate checks structural invariants: at least two nodes (one node
+// is not a cluster), unique names and addresses.
+func (t Topology) Validate() error {
+	if len(t.Nodes) < 2 {
+		return fmt.Errorf("need at least 2 nodes, have %d", len(t.Nodes))
+	}
+	names := map[string]bool{}
+	addrs := map[string]bool{}
+	for _, n := range t.Nodes {
+		if n.Name == "" || n.Addr == "" {
+			return fmt.Errorf("node needs name and addr: %+v", n)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("duplicate node name %q", n.Name)
+		}
+		if addrs[n.Addr] {
+			return fmt.Errorf("duplicate node addr %q", n.Addr)
+		}
+		names[n.Name] = true
+		addrs[n.Addr] = true
+	}
+	return nil
+}
+
+// Find returns the spec for a node name.
+func (t Topology) Find(name string) (NodeSpec, bool) {
+	for _, n := range t.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return NodeSpec{}, false
+}
+
+// Names returns every node name in topology order.
+func (t Topology) Names() []string {
+	out := make([]string, len(t.Nodes))
+	for i, n := range t.Nodes {
+		out[i] = n.Name
+	}
+	return out
+}

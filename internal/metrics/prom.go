@@ -10,11 +10,18 @@ import (
 // HTTP /metrics handlers; it holds no state beyond the output writer, so
 // a handler allocates one per request.
 type PromWriter struct {
-	w io.Writer
+	w      io.Writer
+	common []string
 }
 
 // NewPromWriter writes exposition text to w.
 func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Common sets label pairs (alternating key, value) prepended to every
+// subsequent sample's label set — e.g. node="n1" so one Prometheus
+// scrape config can aggregate a cluster without relabeling. Odd
+// trailing entries are ignored.
+func (p *PromWriter) Common(labels ...string) { p.common = labels }
 
 // Counter emits the HELP/TYPE header for a counter series.
 func (p *PromWriter) Counter(name, help string) { p.header(name, "counter", help) }
@@ -47,13 +54,17 @@ func (p *PromWriter) SampleUint(name string, value uint64, labels ...string) {
 // backslash, and newline escaping the exposition format requires.
 func (p *PromWriter) name(name string, labels []string) {
 	io.WriteString(p.w, name)
-	if len(labels) >= 2 {
+	if len(p.common) >= 2 || len(labels) >= 2 {
 		io.WriteString(p.w, "{")
-		for i := 0; i+1 < len(labels); i += 2 {
-			if i > 0 {
-				io.WriteString(p.w, ",")
+		n := 0
+		for _, set := range [][]string{p.common, labels} {
+			for i := 0; i+1 < len(set); i += 2 {
+				if n > 0 {
+					io.WriteString(p.w, ",")
+				}
+				fmt.Fprintf(p.w, "%s=%q", set[i], set[i+1])
+				n++
 			}
-			fmt.Fprintf(p.w, "%s=%q", labels[i], labels[i+1])
 		}
 		io.WriteString(p.w, "}")
 	}

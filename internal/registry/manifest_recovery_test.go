@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openManifestFixture builds a registry with two queries in dir and
+// closes it, leaving a current manifest plus the rotated previous
+// generation (two saves happen: one per Add).
+func openManifestFixture(t *testing.T, dir string) {
+	t.Helper()
+	g, err := Open(Config{StateDir: dir, Arbiter: ArbiterConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, g, QuerySpec{Tenant: "t1", Name: "abc", Query: q1Text})
+	mustAdd(t, g, QuerySpec{Tenant: "t2", Name: "xy", Query: qxyText})
+	g.Close()
+}
+
+// A truncated current manifest (crash mid-write would be caught by the
+// tmp+rename protocol, but disk corruption can still hand us partial
+// JSON) must fall back to the previous generation, not lose the
+// membership.
+func TestPartialManifestFallsBackToPrev(t *testing.T) {
+	dir := t.TempDir()
+	openManifestFixture(t, dir)
+	path := filepath.Join(dir, "registry.json")
+
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, cur[:len(cur)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := Open(Config{StateDir: dir, Arbiter: ArbiterConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.WaitRecovered()
+	// The .prev generation only has the first query — the second Add's
+	// save rotated gen 1 (one query) to .prev. Membership must come from
+	// there: at least one query, no failure.
+	snap := g.Snapshot()
+	if len(snap.Queries) != 1 {
+		t.Fatalf("restored %d queries from .prev, want 1", len(snap.Queries))
+	}
+	if _, ok := g.Get("t1", "abc"); !ok {
+		t.Fatal("query from the previous manifest generation not restored")
+	}
+}
+
+// When every manifest generation is garbage, Open must still succeed —
+// a cluster node that refuses to boot over one bad file takes down its
+// share of every query — and the bad manifest must be preserved as
+// .corrupt for the operator rather than silently overwritten.
+func TestCorruptManifestStartsEmptyAndPreserved(t *testing.T) {
+	dir := t.TempDir()
+	openManifestFixture(t, dir)
+	path := filepath.Join(dir, "registry.json")
+	for _, p := range []string{path, path + ".prev"} {
+		if err := os.WriteFile(p, []byte("{ not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var logged strings.Builder
+	g, err := Open(Config{
+		StateDir: dir,
+		Arbiter:  ArbiterConfig{Disabled: true},
+		Logf:     func(f string, a ...any) { logged.WriteString(f + "\n") },
+	})
+	if err != nil {
+		t.Fatalf("Open failed on a corrupt manifest: %v", err)
+	}
+	defer g.Close()
+	if n := len(g.Snapshot().Queries); n != 0 {
+		t.Fatalf("corrupt manifest restored %d queries, want 0", n)
+	}
+	if !strings.Contains(logged.String(), "manifest unreadable") {
+		t.Errorf("corrupt manifest not logged; log was:\n%s", logged.String())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt manifest not preserved as .corrupt: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt manifest still at the live path (err=%v)", err)
+	}
+
+	// The node must be able to rebuild membership and persist it again.
+	mustAdd(t, g, QuerySpec{Tenant: "t1", Name: "abc", Query: q1Text})
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("manifest not re-persisted after re-add: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package registry
+
+import (
+	"fmt"
+
+	"cepshed/internal/event"
+)
+
+// Placement hooks: the cluster router owns the decision of WHERE an
+// (event, query) pair runs, so it needs the registry to expose the
+// routing inputs (which queries subscribe to a type, which shard slot
+// an event hashes to) and a direct per-slot offer that still applies
+// the per-query accounting the normal fan-out path would (type stats,
+// recovery floor, arbiter gate). Everything here stays lock-free on
+// the hot path: route-table loads and atomics only.
+
+// RouteEach calls visit for every active (ready, unpaused) instance
+// subscribed to the event's type and returns the number visited. A
+// zero return means the event is unrouted; the caller decides whether
+// to count it (see NoteUnrouted) — the cluster ingest tier counts an
+// event unrouted only on the node that owns none of its pairs.
+func (g *Registry) RouteEach(e *event.Event, visit func(in *Instance)) int {
+	refs := g.route.Load().byType[e.Type]
+	for _, ref := range refs {
+		visit(ref.inst)
+	}
+	return len(refs)
+}
+
+// NoteUnrouted adds n to the registry's unrouted-event counter on
+// behalf of an external router that bypassed OfferBatch.
+func (g *Registry) NoteUnrouted(n int) { g.unrouted.Add(uint64(n)) }
+
+// ActiveInstances returns the current route table's active (ready,
+// unpaused) instances, sorted by id. The slice is shared with the
+// immutable table — callers must not mutate it.
+func (g *Registry) ActiveInstances() []*Instance { return g.route.Load().insts }
+
+// ShardSlot returns the shard slot the instance's runtime would route
+// the event to. The result is authoritative: offering the same event
+// through OfferSlot with this slot reproduces exactly what the
+// runtime's own hash (or round-robin fallback) would have done,
+// without advancing the fallback cursor twice.
+func (in *Instance) ShardSlot(e *event.Event) int { return in.rt.ShardIndexFor(e) }
+
+// NumSlots returns the instance's shard count — the size of the
+// placement space the cluster distributes across nodes.
+func (in *Instance) NumSlots() int { return in.rt.NumShards() }
+
+// OfferSlot offers a batch to one specific shard slot, applying the
+// same per-(event, query) accounting as Registry.OfferBatch: type
+// stats, the recovery sequence floor, and the arbiter's imposed gate.
+// Events must already be stamped (seq assigned by this node — the slot
+// owner stamps, forwarded events arrive unstamped). The events slice
+// is filtered in place; callers must own it.
+func (in *Instance) OfferSlot(slot int, events []*event.Event) OfferResult {
+	var res OfferResult
+	res.Events = len(events)
+	kept := events[:0]
+	for _, e := range events {
+		if ts := in.typeStats[e.Type]; ts != nil {
+			ts.offered.Add(1)
+		}
+		if in.hasFloor.Load() && e.Seq < in.floor.Load() {
+			in.floorSkips.Add(1)
+			res.FloorSkipped++
+			continue
+		}
+		if in.gate.ShouldDrop(e.Type) {
+			in.imposedDrops.Add(1)
+			res.ArbiterShed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if len(kept) > 0 {
+		n := in.rt.OfferBatchToShard(slot, kept)
+		res.Deliveries += n
+		res.DoorRejected += len(kept) - n
+	}
+	return res
+}
+
+// StateDirName returns the per-query state subdirectory name
+// ("q-<fingerprint>"). Fingerprints depend only on the spec, so every
+// node that registered the same query uses the same name — a failover
+// survivor locates a dead peer's shard files under the peer's state
+// root with this, and writes the ceded tombstone back into it.
+func (in *Instance) StateDirName() string { return fmt.Sprintf("q-%016x", in.fp) }

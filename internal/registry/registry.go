@@ -305,7 +305,15 @@ func Open(cfg Config) (*Registry, error) {
 		var man manifest
 		ok, err := checkpoint.LoadManifest(g.manifestPath(), &man)
 		if err != nil {
-			return nil, fmt.Errorf("registry: manifest: %w", err)
+			// Neither manifest generation decoded. Starting empty — with the
+			// damage rotated aside for the postmortem — beats refusing to
+			// start: queries can be re-registered over the admin API while a
+			// dead process serves nothing, and cluster failover makes a torn
+			// manifest far more likely than a single node ever did.
+			g.logf("registry: manifest unreadable, starting with no queries (rotated to .corrupt): %v", err)
+			if rerr := os.Rename(g.manifestPath(), g.manifestPath()+".corrupt"); rerr != nil && !os.IsNotExist(rerr) {
+				g.logf("registry: manifest rotate failed: %v", rerr)
+			}
 		}
 		if ok {
 			for _, t := range man.Tenants {

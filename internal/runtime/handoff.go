@@ -1,0 +1,373 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"cepshed/internal/checkpoint"
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/shed"
+)
+
+// Shard migration: the runtime-side half of the cluster layer's
+// handoff protocol (internal/cluster, docs/CLUSTER.md). A shard's state
+// became fully serializable in the durability work; these hooks freeze
+// one shard, hand its state out, and install a shipped state into the
+// matching (empty) shard of another runtime. All four operations travel
+// the shard's own input channel as control messages, so they are
+// ordered behind every queued event: ExportShard observes a drained
+// shard by construction, with no cross-goroutine locking of the engine.
+//
+// Planned handoff:  ExportShard → ship → ImportShard (target) →
+// RetireShard; a failed ship calls ResumeShard to unfreeze.
+// Failover: the survivor loads the dead node's shard files directly
+// and calls ImportShard with the snapshot plus the WAL tail.
+
+// ctlOp selects a shard control operation.
+type ctlOp int
+
+const (
+	ctlExport ctlOp = iota
+	ctlImport
+	ctlResume
+	ctlRetire
+)
+
+// shardCtl is a control message on the shard channel; reply must be
+// buffered (the worker never blocks on it).
+type shardCtl struct {
+	op    ctlOp
+	h     *checkpoint.Handoff // ctlImport only
+	reply chan ctlReply
+}
+
+type ctlReply struct {
+	state  *checkpoint.ShardState // ctlExport
+	maxSeq uint64                 // ctlImport: restored seq high-water mark
+	hasSeq bool
+	err    error
+}
+
+// handleCtl dispatches one control message on the worker goroutine. A
+// panic inside an operation (a poison event in an imported WAL tail)
+// still answers the caller — with the panic as an error — before
+// re-panicking into the supervisor, which quarantines and rebuilds the
+// shard exactly as for a live poison event.
+func (s *shard) handleCtl(c *shardCtl) {
+	defer func() {
+		if p := recover(); p != nil {
+			select {
+			case c.reply <- ctlReply{err: fmt.Errorf("shard %d: control op panic: %v", s.id, p)}:
+			default:
+			}
+			panic(p)
+		}
+	}()
+	switch c.op {
+	case ctlExport:
+		c.reply <- s.ctlExport()
+	case ctlImport:
+		c.reply <- s.ctlImport(c.h)
+	case ctlResume:
+		s.exported = false
+		s.exportedFlag.Store(false)
+		c.reply <- ctlReply{}
+	case ctlRetire:
+		c.reply <- s.ctlRetire()
+	default:
+		c.reply <- ctlReply{err: fmt.Errorf("shard %d: unknown control op %d", s.id, c.op)}
+	}
+}
+
+// ctlExport freezes the shard and returns its full serialized state.
+// The control message arrived behind every queued event, so the engine
+// is quiescent; the WAL flush below releases any held-back matches
+// (they were accepted and detected HERE — they are this node's to
+// deliver), and the returned state reflects exactly what was delivered.
+func (s *shard) ctlExport() ctlReply {
+	if s.exported {
+		return ctlReply{err: fmt.Errorf("shard %d: already exported", s.id)}
+	}
+	if s.ckpt != nil {
+		if err := s.ckpt.Flush(); err != nil {
+			s.walFailed("export flush", err)
+		} else {
+			s.releasePend()
+		}
+	}
+	s.exported = true
+	s.exportedFlag.Store(true)
+	return ctlReply{state: s.buildState()}
+}
+
+// ctlImport installs a shipped shard state into this (empty) shard,
+// replays the accompanying WAL tail with match suppression, snapshots
+// the result durably, and only then delivers matches the replay newly
+// completed. Ordering is what makes a mid-import crash safe: nothing is
+// emitted and no local file advances until the snapshot has committed,
+// so a crash before it leaves the shard exactly as empty as before and
+// the mover (or failover sweep) simply retries.
+func (s *shard) ctlImport(h *checkpoint.Handoff) ctlReply {
+	if s.exported {
+		return ctlReply{err: fmt.Errorf("shard %d: exported; resume before import", s.id)}
+	}
+	if st := s.en.Stats(); st.Events != 0 || s.en.LiveCount() != 0 || s.hasSeq {
+		return ctlReply{err: fmt.Errorf("shard %d: not empty (events=%d live=%d hasSeq=%v); import requires a cold shard",
+			s.id, st.Events, s.en.LiveCount(), s.hasSeq)}
+	}
+
+	var floor uint64
+	haveFloor := false
+	if h.State != nil {
+		if err := s.en.Restore(h.State.Engine); err != nil {
+			return ctlReply{err: fmt.Errorf("shard %d: import restore rejected: %w", s.id, err)}
+		}
+		haveFloor = h.State.HasSeq
+		floor = h.State.LastSeq
+		s.lastSeq, s.lastTime, s.hasSeq = h.State.LastSeq, h.State.LastTime, h.State.HasSeq
+		if len(h.State.Strategy) > 0 && h.State.StrategyName == s.strat.Name() {
+			if ds, ok := s.strat.(shed.DurableStrategy); ok {
+				if uerr := ds.UnmarshalState(h.State.Strategy); uerr != nil && s.cfg.Logf != nil {
+					s.cfg.Logf("runtime: shard %d: imported strategy state rejected, keeping fresh: %v", s.id, uerr)
+				}
+			}
+		}
+	}
+
+	// Index the tail like boot recovery does: Q records mark poison seqs
+	// to skip, M records the matches the source already delivered —
+	// suppressing them is what keeps emissions exactly-once across the
+	// node boundary.
+	skips := make(map[uint64]bool)
+	suppress := make(map[string]bool)
+	for _, rec := range h.Tail {
+		switch rec.Kind {
+		case checkpoint.RecSkip:
+			if !haveFloor || rec.Seq > floor {
+				skips[rec.Seq] = true
+			}
+		case checkpoint.RecMatch:
+			suppress[rec.Key] = true
+		}
+	}
+
+	var held []engine.Match
+	var replayed uint64
+	for _, rec := range h.Tail {
+		if rec.Kind != checkpoint.RecEvent || (haveFloor && rec.Seq <= floor) {
+			continue
+		}
+		if skips[rec.Seq] {
+			s.lastSeq, s.lastTime, s.hasSeq = rec.Seq, int64(rec.Event.Time), true
+			s.eventsIn.Add(1)
+			s.quarantined.Add(1)
+			continue
+		}
+		// This shard now owns the event's accounting (the source's
+		// counters died with it, or stay behind on a planned move), so the
+		// replay counts like live input — conservation holds per node.
+		s.curItem = item{e: rec.Event}
+		s.eventsIn.Add(1)
+		s.lastSeq, s.lastTime, s.hasSeq = rec.Event.Seq, int64(rec.Event.Time), true
+		if !s.strat.AdmitEvent(rec.Event, rec.Event.Time) {
+			s.eventsShed.Add(1)
+			continue
+		}
+		res := s.en.Process(rec.Event)
+		s.processed.Add(1)
+		s.strat.Observe(&res, rec.Event.Time)
+		for i := range res.Matches {
+			if suppress[res.Matches[i].Key()] {
+				continue
+			}
+			held = append(held, res.Matches[i])
+		}
+		replayed++
+	}
+	s.curItem = item{}
+	s.walReplayed.Add(replayed)
+
+	// One snapshot commits the import: after it, a restart of THIS node
+	// recovers the imported state from its own files, and the held
+	// matches below can never re-emit (they are inside the snapshot, not
+	// in any WAL).
+	if s.ckpt != nil {
+		s.takeSnapshot()
+	}
+	for i := range held {
+		s.emit(held[i])
+	}
+	s.syncEngineStats()
+	s.restoredSeq.Store(s.lastSeq)
+	s.restoredTime.Store(s.lastTime)
+	if s.hasSeq {
+		s.restoredHasSeq.Store(true)
+	}
+	return ctlReply{maxSeq: s.lastSeq, hasSeq: s.hasSeq}
+}
+
+// ctlRetire closes and tombstones the exported shard's files: the
+// importing node acknowledged a durable import, so replayable state
+// here would only ever duplicate emissions. The shard keeps running
+// (quarantining strays) — the goroutine is owned by Close.
+func (s *shard) ctlRetire() ctlReply {
+	if !s.exported {
+		return ctlReply{err: fmt.Errorf("shard %d: not exported", s.id)}
+	}
+	if s.ckpt != nil {
+		if err := s.ckpt.Retire(); err != nil {
+			if s.cfg.Logf != nil {
+				s.cfg.Logf("runtime: shard %d: retire failed: %v", s.id, err)
+			}
+			s.ckpt.Abort()
+		}
+		s.ckpt = nil
+	}
+	return ctlReply{}
+}
+
+// sendCtl delivers one control message to shard i and waits for the
+// worker's answer. The send mirrors the producer protocol (RLock
+// against Close); the receive happens outside the lock — if Close races
+// in, the worker still drains the queued control message before
+// exiting, so the reply always arrives.
+func (r *Runtime) sendCtl(i int, c *shardCtl) (ctlReply, error) {
+	if i < 0 || i >= len(r.shards) {
+		return ctlReply{}, fmt.Errorf("runtime: shard %d out of range [0,%d)", i, len(r.shards))
+	}
+	r.mu.RLock()
+	if r.closed.Load() {
+		r.mu.RUnlock()
+		return ctlReply{}, fmt.Errorf("runtime: closed")
+	}
+	r.shards[i].ch <- batch{ctl: c}
+	r.mu.RUnlock()
+	rep := <-c.reply
+	return rep, rep.err
+}
+
+// ExportShard freezes shard i — behind everything already queued to it
+// — and returns its complete serialized state. Until ResumeShard or
+// RetireShard, events reaching the shard are quarantined, not
+// processed.
+func (r *Runtime) ExportShard(i int) (*checkpoint.ShardState, error) {
+	rep, err := r.sendCtl(i, &shardCtl{op: ctlExport, reply: make(chan ctlReply, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return rep.state, nil
+}
+
+// ResumeShard unfreezes an exported shard (an aborted handoff): the
+// local state never left, so processing simply continues.
+func (r *Runtime) ResumeShard(i int) error {
+	_, err := r.sendCtl(i, &shardCtl{op: ctlResume, reply: make(chan ctlReply, 1)})
+	return err
+}
+
+// RetireShard tombstones an exported shard's durable files after the
+// new owner confirmed a durable import.
+func (r *Runtime) RetireShard(i int) error {
+	_, err := r.sendCtl(i, &shardCtl{op: ctlRetire, reply: make(chan ctlReply, 1)})
+	return err
+}
+
+// ImportShard installs a handoff into the shard slot it names, which
+// must be empty (a slot this node never owned, or one swept cold).
+// Returns the restored seq high-water mark; the caller must bump its
+// event numbering above it before routing new events to the slot, or
+// the per-instance floor would drop them as replays.
+func (r *Runtime) ImportShard(h *checkpoint.Handoff) (maxSeq uint64, hasSeq bool, err error) {
+	if h == nil {
+		return 0, false, fmt.Errorf("runtime: nil handoff")
+	}
+	rep, err := r.sendCtl(h.Shard, &shardCtl{op: ctlImport, h: h, reply: make(chan ctlReply, 1)})
+	if err != nil {
+		return 0, false, err
+	}
+	return rep.maxSeq, rep.hasSeq, nil
+}
+
+// ShardIndexFor exposes the partitioning decision — which shard slot an
+// event belongs to — without offering the event. The cluster router
+// uses it to decide which NODE owns the event: slot ownership is the
+// unit of placement.
+func (r *Runtime) ShardIndexFor(e *event.Event) int {
+	if len(r.shards) <= 1 {
+		return 0
+	}
+	return int(r.key(e) % uint64(len(r.shards)))
+}
+
+// OfferBatchToShard is OfferBatch with the routing decision already
+// made: every event goes to slot, regardless of its key. The cluster
+// router needs this because it computes the slot itself (ShardIndexFor)
+// to pick the owning node — re-hashing here could disagree for queries
+// on the round-robin fallback, where the key function is a counter, not
+// a pure function of the event. Semantics otherwise match OfferBatch:
+// blocking backpressure, door rejection at ladder levels 2–3, counted
+// rejections, returns the number accepted.
+func (r *Runtime) OfferBatchToShard(slot int, events []*event.Event) int {
+	if len(events) == 0 {
+		return 0
+	}
+	if slot < 0 || slot >= len(r.shards) {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed.Load() {
+		return 0
+	}
+	lvl, fill := LevelNormal, 0.0
+	if r.cfg.Bound > 0 {
+		lvl, fill = r.updateLevel()
+		if lvl >= LevelReject {
+			r.admissionRejected.Add(uint64(len(events)))
+			return 0
+		}
+	}
+	sh := r.shards[slot]
+	if sh.failed.Load() {
+		sh = r.fallbackFor(sh.id)
+	}
+	if sh == nil {
+		r.admissionRejected.Add(uint64(len(events)))
+		return 0
+	}
+	enq := time.Now()
+	var g []item
+	for _, e := range events {
+		if lvl == LevelAdmission && !r.admit.Admit(fill) {
+			r.admissionRejected.Add(1)
+			continue
+		}
+		if g == nil {
+			g = getItems()
+		}
+		g = append(g, item{e: e, enq: enq})
+	}
+	if g == nil {
+		return 0
+	}
+	n := len(g)
+	if n == 1 {
+		one := g[0]
+		putItems(g)
+		sh.depth.Add(1)
+		sh.ch <- batch{one: one}
+		return 1
+	}
+	sh.depth.Add(int64(n))
+	sh.ch <- batch{items: g}
+	return n
+}
+
+// ShardExported reports whether slot i is currently frozen/exported.
+func (r *Runtime) ShardExported(i int) bool {
+	if i < 0 || i >= len(r.shards) {
+		return false
+	}
+	return r.shards[i].exportedFlag.Load()
+}

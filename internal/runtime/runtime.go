@@ -31,7 +31,6 @@ package runtime
 
 import (
 	"fmt"
-	"hash/maphash"
 	"math"
 	"sort"
 	"sync"
@@ -773,6 +772,9 @@ type ShardSnapshot struct {
 	Restarts    uint64 `json:"restarts"`
 	Quarantined uint64 `json:"quarantined"`
 	Failed      bool   `json:"failed"`
+	// Exported marks a slot frozen by shard migration: its state was
+	// handed to another node and stray arrivals are quarantined.
+	Exported bool `json:"exported,omitempty"`
 
 	// BusyNs is cumulative wall time the worker spent servicing batches
 	// (queue waiting excluded); ΔBusyNs/Δwall is the shard's utilization.
@@ -826,6 +828,13 @@ type Snapshot struct {
 	Quarantined       uint64 `json:"quarantined"`
 	AdmissionRejected uint64 `json:"admission_rejected"`
 	FailedShards      int    `json:"failed_shards"`
+	// ExportedShards counts slots frozen by shard migration (state handed
+	// to another node); ShardQuarantined sums the per-shard quarantine
+	// counters — unlike Quarantined (the dead-letter total, which also
+	// counts pre-runtime rejections) it is the exact term of the per-node
+	// conservation identity events_in == shed + processed + quarantined.
+	ExportedShards   int    `json:"exported_shards,omitempty"`
+	ShardQuarantined uint64 `json:"shard_quarantined"`
 
 	// Durability aggregates (zero without Config.Durability).
 	// Recovering is true while any shard is still restoring/replaying;
@@ -868,9 +877,13 @@ func (r *Runtime) Snapshot() Snapshot {
 		s.CreatedPMs += ss.CreatedPMs
 		s.DroppedPMs += ss.DroppedPMs
 		s.Restarts += ss.Restarts
+		s.ShardQuarantined += ss.Quarantined
 		s.BusyNs += ss.BusyNs
 		if ss.Failed {
 			s.FailedShards++
+		}
+		if ss.Exported {
+			s.ExportedShards++
 		}
 		s.Recovering = s.Recovering || ss.Recovering
 		s.Snapshots += ss.Snapshots
@@ -936,38 +949,42 @@ func InferPartitionKey(q *query.Query) string {
 	return best
 }
 
-var keySeed = maphash.MakeSeed()
-
 // keyByAttr hashes the named attribute's value (numerics hash by their
 // float64 value so Int(5) and Float(5), which compare equal, co-locate;
 // strings hash their bytes). A non-zero salt prefixes the hash input so
 // distinct salts shard the same key differently. Empty attr, or an
 // event missing the attr, falls back to a per-call round-robin counter.
+//
+// The hash is FNV-1a, NOT a per-process-seeded hash: key→shard
+// placement must be stable across restarts (a restored partial match
+// in shard i has to keep receiving its key's events) and identical on
+// every cluster node (the ingest tier routes (query, key) to a shard
+// slot before it knows which node owns it). Flood resistance comes
+// from the per-query salt, which an external sender doesn't know.
 func keyByAttr(attr string, salt uint64) func(*event.Event) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
 	var rr atomic.Uint64
-	var saltBuf [8]byte
-	for i := range saltBuf {
-		saltBuf[i] = byte(salt >> (8 * i))
-	}
 	return func(e *event.Event) uint64 {
 		if attr != "" {
 			if v, ok := e.Get(attr); ok {
-				var h maphash.Hash
-				h.SetSeed(keySeed)
-				if salt != 0 {
-					h.Write(saltBuf[:])
+				h := uint64(fnvOffset)
+				for i := 0; i < 8; i++ {
+					h = (h ^ uint64(byte(salt>>(8*i)))) * fnvPrime
 				}
 				if v.IsNumeric() {
-					var buf [8]byte
 					bits := math.Float64bits(v.AsFloat())
-					for i := range buf {
-						buf[i] = byte(bits >> (8 * i))
+					for i := 0; i < 8; i++ {
+						h = (h ^ uint64(byte(bits>>(8*i)))) * fnvPrime
 					}
-					h.Write(buf[:])
 				} else {
-					h.WriteString(v.S)
+					for i := 0; i < len(v.S); i++ {
+						h = (h ^ uint64(v.S[i])) * fnvPrime
+					}
 				}
-				return h.Sum64()
+				return h
 			}
 		}
 		return rr.Add(1)

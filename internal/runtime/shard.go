@@ -23,12 +23,16 @@ type item struct {
 }
 
 // batch is what the shard channel carries: either a single item (items
-// nil — the Offer/TryOffer fast path, no slice allocation) or a slice
-// of items from OfferBatch. Ownership of items transfers to the
-// consumer, which returns the slice to itemSlicePool when done.
+// nil — the Offer/TryOffer fast path, no slice allocation), a slice of
+// items from OfferBatch, or a control message (ctl non-nil) for the
+// shard-migration path. Ownership of items transfers to the consumer,
+// which returns the slice to itemSlicePool when done. Control messages
+// ride the same channel so they are ordered behind every event already
+// queued — an export observes a fully drained shard by construction.
 type batch struct {
 	one   item
 	items []item
+	ctl   *shardCtl
 }
 
 // itemSlicePool recycles OfferBatch's per-shard item slices between
@@ -134,6 +138,15 @@ type shard struct {
 	recoveredOnce   sync.Once
 	saveDLQ         func() // checkpoint the runtime dead-letter queue
 
+	// exported marks a shard whose state was frozen and handed to
+	// another node (worker-owned, like the engine it guards): the engine
+	// is no longer authoritative, so stray events that still reach the
+	// shard are quarantined — counted into eventsIn AND quarantined so
+	// the conservation identity survives a migration — instead of
+	// processed. exportedFlag mirrors it for Snapshot readers.
+	exported     bool
+	exportedFlag atomic.Bool
+
 	recovering     atomic.Bool
 	snapshots      atomic.Uint64
 	snapBytes      atomic.Int64
@@ -229,6 +242,10 @@ func (s *shard) drain(w float64) {
 // the poison-tracking fields for the supervisor's recover() and
 // returning the slice to the pool once fully consumed.
 func (s *shard) consumeBatch(b batch, w float64) int {
+	if b.ctl != nil {
+		s.handleCtl(b.ctl)
+		return 1
+	}
 	if b.items == nil {
 		s.curItem = b.one
 		s.depth.Add(-1)
@@ -360,6 +377,15 @@ func (s *shard) process(it item, w float64) {
 	if s.killed != nil && s.killed.Load() {
 		// Kill(): drain-and-discard so blocked producers unblock, but no
 		// event reaches the engine or the WAL — the crash already happened.
+		return
+	}
+	if s.exported {
+		// The slot migrated away; there is no authoritative engine here
+		// for the event, so processing it would fork the slot's state.
+		// Quarantine keeps arrivals accounted for (events_in == shed +
+		// processed + quarantined) until the router catches up.
+		s.eventsIn.Add(1)
+		s.quarantined.Add(1)
 		return
 	}
 	e := it.e
@@ -753,8 +779,16 @@ func (s *shard) finish() {
 		}
 	}
 	if s.ckpt != nil {
-		s.takeSnapshot()
-		s.ckpt.Close()
+		if s.exported {
+			// The shipped state is authoritative now; a final snapshot here
+			// would advance the local files past it and a restart would
+			// replay history another node owns. The WAL already holds
+			// everything up to the freeze.
+			s.ckpt.Close()
+		} else {
+			s.takeSnapshot()
+			s.ckpt.Close()
+		}
 	}
 	s.en.Flush()
 	s.syncEngineStats()
@@ -804,6 +838,7 @@ func (s *shard) snapshot() ShardSnapshot {
 		Restarts:    s.restarts.Load(),
 		Quarantined: s.quarantined.Load(),
 		Failed:      s.failed.Load(),
+		Exported:    s.exportedFlag.Load(),
 		BusyNs:      s.busyNs.Load(),
 
 		Recovering:     s.recovering.Load(),

@@ -82,6 +82,14 @@ func (p RestartPolicy) backoff(n int, rng *rand.Rand) time.Duration {
 	return time.Duration(float64(d) * j)
 }
 
+// Backoff is the exported form of backoff (defaults applied): the delay
+// before retry number n (1-based) of a repeatedly failing operation.
+// The cluster failure detector reuses it for peer probes so node-level
+// retries follow the same capped, jittered curve as shard restarts.
+func (p RestartPolicy) Backoff(n int, rng *rand.Rand) time.Duration {
+	return p.withDefaults().backoff(n, rng)
+}
+
 // DeadLetter is one quarantined input: an event whose processing
 // panicked, an event that could not be failed over, or (Shard = -1) a
 // rejected raw input such as an undecodable NDJSON line.

@@ -1,0 +1,58 @@
+package shed
+
+import "sync/atomic"
+
+// RouterAdmission is the cluster ingest tier's admission door. A
+// healthy cluster never consults it — routing and the per-runtime
+// degradation ladder handle load. When the cluster is DEGRADED (a peer
+// declared dead or quarantined), the survivors absorb the dead node's
+// slots on top of their own, and waiting for each runtime's ladder to
+// saturate means the extra load is already sitting in shard queues,
+// inflating the latency bound θ for every tenant. RouterAdmission
+// starts probabilistic rejection earlier and at the router — before a
+// forwarded or local pair costs a queue slot — using the same
+// fill-driven controller as the runtime's LevelAdmission door, with
+// lower thresholds because degraded capacity is known, not suspected.
+type RouterAdmission struct {
+	ac       *AdmissionController
+	degraded atomic.Bool
+	dropped  atomic.Uint64
+}
+
+// Degraded-mode thresholds: begin shedding at 50% aggregate fill and
+// refuse everything at 90%, versus the runtime ladder's 0.75/0.95 —
+// the router sheds FIRST so survivor queues keep headroom for the
+// failed-over slots' replay burst.
+const (
+	routerHighWater = 0.5
+	routerFullWater = 0.9
+)
+
+// NewRouterAdmission builds the gate; seed fixes the deterministic
+// sampling sequence (tests pass a constant).
+func NewRouterAdmission(seed int64) *RouterAdmission {
+	return &RouterAdmission{ac: NewAdmissionController(routerHighWater, routerFullWater, seed)}
+}
+
+// SetDegraded flips degraded mode; when false, Admit is uncondition-
+// ally true.
+func (ra *RouterAdmission) SetDegraded(d bool) { ra.degraded.Store(d) }
+
+// Degraded reports the current mode.
+func (ra *RouterAdmission) Degraded() bool { return ra.degraded.Load() }
+
+// Admit decides one (event, query) pair given the local aggregate
+// queue fill in [0,1]. Refusals are counted (Dropped).
+func (ra *RouterAdmission) Admit(fill float64) bool {
+	if !ra.degraded.Load() {
+		return true
+	}
+	if ra.ac.Admit(fill) {
+		return true
+	}
+	ra.dropped.Add(1)
+	return false
+}
+
+// Dropped returns the total pairs refused by this gate.
+func (ra *RouterAdmission) Dropped() uint64 { return ra.dropped.Load() }
