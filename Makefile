@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke multiquery-smoke cluster-smoke
+.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke multiquery-smoke cluster-smoke profile
 
 check: vet build race fuzz-seeds chaos recover-smoke multiquery-smoke cluster-smoke bench-smoke bench-compare
 
@@ -37,7 +37,7 @@ race:
 # concurrent fault-injection tests, always under the race detector.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Chaos|Supervisor|CircuitBreaker|AllShardsFailed|DeadLetter|Rebuild|Degradation|Ladder|Admission|LineDecoder|Panic|Switchable|Chain|Corrupter|Stall|Healthz|Ingest|Recover|Recovery|Snapshot|Durab|WAL|Checkpoint|Torn|Monotone|FailStage|Failover|Placement|Detector|Takeover|Handoff|Cluster|Rendezvous' \
+		-run 'Chaos|Supervisor|CircuitBreaker|AllShardsFailed|DeadLetter|Rebuild|Degradation|Ladder|Admission|LineDecoder|Panic|Switchable|Chain|Corrupter|Stall|Healthz|Ingest|Recover|Recovery|Snapshot|Durab|WAL|Checkpoint|Torn|Monotone|FailStage|Failover|Placement|Detector|Takeover|Handoff|Cluster|Rendezvous|Steal|WorkSteal' \
 		./internal/runtime ./internal/fault ./internal/shed ./internal/checkpoint ./internal/cluster ./cmd/cepserved
 
 # End-to-end durability drill: run the real server, SIGKILL it
@@ -98,3 +98,16 @@ bench-baseline:
 bench-compare:
 	$(GO) run ./cmd/cepbench -engine-bench -bench-compare BENCH_engine.json
 	$(GO) run ./cmd/cepbench -runtime-bench -bench-compare BENCH_runtime.json
+
+# Grab a CPU profile from a running cepserved and open the pprof UI.
+# The /debug/pprof routes share -admin-token; pass the same token here.
+# Usage: make profile [HOST=localhost:8080] [SECONDS=10] [TOKEN=...]
+HOST ?= localhost:8080
+SECONDS ?= 10
+TOKEN ?=
+profile:
+	@out=$$(mktemp /tmp/cepserved-cpu-XXXXXX.pb.gz); tok='$(TOKEN)'; \
+	echo "profile: sampling $(HOST) for $(SECONDS)s -> $$out"; \
+	curl -fsS $${tok:+-H "Authorization: Bearer $$tok"} \
+		-o "$$out" "http://$(HOST)/debug/pprof/profile?seconds=$(SECONDS)" && \
+	$(GO) tool pprof -top "$$out"

@@ -35,14 +35,19 @@ type BenchHost struct {
 	GOARCH    string `json:"goarch"`
 	CPUs      int    `json:"cpus"`
 	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is part of the fingerprint because the worker pool's
+	// throughput (and the parallel-scaling gate) depends on schedulable
+	// parallelism, not just physical CPU count.
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 func currentHost() BenchHost {
 	return BenchHost{
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		GoVersion: runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 }
 

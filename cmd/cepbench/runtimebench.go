@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -28,6 +31,37 @@ import (
 // serving path includes goroutine handoff and the scheduler, so
 // wall-clock ns/event is noisier than the single-threaded engine loop.
 const runtimeRegressionTolerance = 1.25
+
+// parallelSpeedupFloor is the minimum nodur-4shard over nodur-1shard
+// throughput ratio the compare gate demands on hosts with more than one
+// CPU: if four shards serviced by four workers are not at least 1.5×
+// one shard, the worker pool is not actually delivering parallelism.
+const parallelSpeedupFloor = 1.5
+
+// stallReductionFloor gates the snapshot-stall pair: async (off-hot-
+// path) snapshots must cut the worst serving-thread pause to at most
+// 1/8 of the synchronous path's. The statistic is timed at the source
+// (Snapshot.SnapPauseMaxNs), so it is stable; measured reductions run
+// 14–27× on the reference container, and 8× leaves headroom without
+// letting the async path silently regress toward inline cost.
+const stallReductionFloor = 8.0
+
+// medianOf runs one untimed warmup pass and then n samples of f,
+// keeping the median by ns/event. The engine gate uses bestOf — there
+// the minimum estimates uncontended single-thread cost — but the
+// serving path crosses goroutines, so its noise is two-sided: a lucky
+// scheduling run undercuts the true cost as easily as a co-tenant
+// inflates it. The warmup faults in code paths, page cache, and pool
+// capacity that would otherwise tax only the first sample.
+func medianOf(n int, f func() BenchWorkload) BenchWorkload {
+	f() // warmup, discarded
+	ws := make([]BenchWorkload, n)
+	for i := range ws {
+		ws[i] = f()
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].NsPerEvent < ws[j].NsPerEvent })
+	return ws[len(ws)/2]
+}
 
 // RuntimeBenchEntry is one recorded measurement run.
 type RuntimeBenchEntry struct {
@@ -119,6 +153,56 @@ func measureRuntime(c runtimeBenchCase, s event.Stream) BenchWorkload {
 	return out
 }
 
+// measureSnapshotStall measures the worst pause periodic snapshots
+// inflict on the serving thread, via the runtime's own
+// Snapshot.SnapPauseMaxNs gauge: every stretch of snapshot work done
+// inline on the claiming worker is timed at the source (shard.
+// noteSnapPause). With SyncSave that is the whole encode+write; the
+// async protocol leaves only the by-reference capture and the finalize
+// (flush + WAL rotation) inline, with encoding and the file writes on a
+// background goroutine. Timing at the source rather than probing
+// event-to-event gaps keeps ambient noise — expiry-cascade processing
+// spikes, co-tenant descheduling — out of the statistic entirely; on a
+// single-CPU host the background encode additionally time-slices with
+// serving in encodeYieldEvery-bounded chunks, which is throughput
+// sharing, not a stall. Returned in NsPerEvent (it is a max pause, not
+// a rate), which is why snapshot-stall-* workloads are excluded from
+// the ns/event regression gate and gated on their sync/async ratio
+// instead.
+func measureSnapshotStall(sync bool, m *nfa.Machine, s event.Stream) BenchWorkload {
+	dir, err := os.MkdirTemp("", "cepbench-stall-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	// A GC mark assist landing inside a timed stretch would inflate it by
+	// more than the async path's whole budget. The workload allocates a
+	// bounded amount, so switching GC off for its duration is safe and
+	// leaves exactly the snapshot-induced pause in the measurement.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	cfg := runtime.Config{
+		Shards: 1,
+		Durability: &checkpoint.Config{
+			Dir:         dir,
+			EveryEvents: 1000,
+			SyncSave:    sync,
+		},
+	}
+	rt := runtime.New(m, cfg)
+	rt.WaitRecovered()
+	offerAll(rt, s)
+	rt.Close()
+	snap := rt.Snapshot()
+	if snap.Snapshots == 0 {
+		panic(fmt.Sprintf("snapshot-stall(sync=%v): no snapshot taken; the workload measures nothing", sync))
+	}
+	return BenchWorkload{
+		NsPerEvent: float64(snap.SnapPauseMaxNs),
+		Events:     len(s),
+		Matches:    snap.Matches,
+	}
+}
+
 // measureNDJSON isolates the line-decode path: allocs/event here is the
 // headline number for the zero-alloc scanner.
 func measureNDJSON(s event.Stream) BenchWorkload {
@@ -186,16 +270,42 @@ func runRuntimeBench(outPath, comparePath string, quick bool) int {
 		repeats = 1
 	}
 	cases := runtimeBenchCases()
-	names := make([]string, 0, len(cases)+1)
+	names := make([]string, 0, len(cases)+3)
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "cepbench: measuring %s...\n", c.name)
 		c := c
-		cur.Workloads[c.name] = bestOf(repeats, func() BenchWorkload { return measureRuntime(c, s) })
+		cur.Workloads[c.name] = medianOf(repeats, func() BenchWorkload { return measureRuntime(c, s) })
 		names = append(names, c.name)
 	}
 	fmt.Fprintf(os.Stderr, "cepbench: measuring ndjson-decode...\n")
-	cur.Workloads["ndjson-decode"] = bestOf(repeats, func() BenchWorkload { return measureNDJSON(s) })
+	cur.Workloads["ndjson-decode"] = medianOf(repeats, func() BenchWorkload { return measureNDJSON(s) })
 	names = append(names, "ndjson-decode")
+
+	// Snapshot-stall pair: a dense DS1 stream — 10µs inter-arrival packs
+	// ~800 events into Q1's 8ms window, so each snapshot serializes a
+	// large partial-match population — while the per-event processing
+	// cost stays in the low microseconds. That contrast matters: the gap
+	// probe attributes anything between two events to "pause", so a
+	// workload whose ordinary processing already takes milliseconds
+	// (Kleene bursts) would bury the snapshot signal under engine cost.
+	stallEvents := 12000
+	if quick {
+		stallEvents = 3000
+	}
+	stallMachine := nfa.MustCompile(query.Q1("8ms"))
+	stallStream := gen.DS1(gen.DS1Config{Events: stallEvents, Seed: 2, InterArrival: 10 * event.Microsecond})
+	for _, sc := range []struct {
+		name string
+		sync bool
+	}{
+		{name: "snapshot-stall-sync", sync: true},
+		{name: "snapshot-stall-async", sync: false},
+	} {
+		fmt.Fprintf(os.Stderr, "cepbench: measuring %s (ns/event column = snapshot pause)...\n", sc.name)
+		sc := sc
+		cur.Workloads[sc.name] = medianOf(repeats, func() BenchWorkload { return measureSnapshotStall(sc.sync, stallMachine, stallStream) })
+		names = append(names, sc.name)
+	}
 
 	fmt.Printf("%-18s %12s %12s %12s %14s\n", "workload", "ns/event", "allocs/event", "B/event", "events/sec")
 	for _, name := range names {
@@ -206,6 +316,18 @@ func runRuntimeBench(outPath, comparePath string, quick bool) int {
 		}
 		fmt.Printf("%-18s %12.0f %12.2f %12.1f %14.0f\n",
 			name, w.NsPerEvent, w.AllocsPerEvent, w.BytesPerEvent, evPerSec)
+	}
+
+	syncW, asyncW := cur.Workloads["snapshot-stall-sync"], cur.Workloads["snapshot-stall-async"]
+	if asyncW.NsPerEvent > 0 {
+		ratio := syncW.NsPerEvent / asyncW.NsPerEvent
+		fmt.Printf("snapshot stall: sync max pause %.0f ns, async %.0f ns — %.1fx reduction\n",
+			syncW.NsPerEvent, asyncW.NsPerEvent, ratio)
+		if !quick && ratio < stallReductionFloor {
+			fmt.Fprintf(os.Stderr, "cepbench: async snapshots cut the max pause only %.1fx (floor %.0fx); off-hot-path capture has regressed\n",
+				ratio, stallReductionFloor)
+			return 1
+		}
 	}
 
 	if quick {
@@ -265,6 +387,12 @@ func compareRuntimeBaseline(cur RuntimeBenchEntry, path string) int {
 	}
 	failed := false
 	for name, cw := range cur.Workloads {
+		if strings.HasPrefix(name, "snapshot-stall") {
+			// Their metric is a MAX pause, not a mean — far too heavy-
+			// tailed for a ±25% gate. The sync/async reduction-ratio gate
+			// in runRuntimeBench covers them.
+			continue
+		}
 		bw, ok := base.Workloads[name]
 		if !ok || bw.NsPerEvent <= 0 {
 			fmt.Printf("%-18s new workload (no baseline)\n", name)
@@ -283,8 +411,30 @@ func compareRuntimeBaseline(cur RuntimeBenchEntry, path string) int {
 		fmt.Printf("%-18s baseline %8.0f ns/event, now %8.0f ns/event (%+.1f%%)  %s\n",
 			name, bw.NsPerEvent, cw.NsPerEvent, (ratio-1)*100, verdict)
 	}
+	// Parallel-scaling gate: with real CPUs to spread across, four shards
+	// serviced by four workers must beat one shard by a wide margin, or
+	// the worker pool is parallel in name only. Gated on the CURRENT run
+	// (both sides measured on this host just now), so a host mismatch
+	// with the baseline does not disable it.
+	c1, ok1 := cur.Workloads["nodur-1shard"]
+	c4, ok4 := cur.Workloads["nodur-4shard"]
+	if ok1 && ok4 && c1.NsPerEvent > 0 && c4.NsPerEvent > 0 {
+		if cur.Host.GOMAXPROCS <= 1 {
+			fmt.Printf("parallel-scaling gate SKIPPED: GOMAXPROCS=%d — one schedulable CPU cannot show multicore speedup; run on a multi-core host to gate it\n",
+				cur.Host.GOMAXPROCS)
+		} else {
+			speedup := c1.NsPerEvent / c4.NsPerEvent
+			verdict := "ok"
+			if speedup < parallelSpeedupFloor {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("parallel-scaling: nodur-4shard %.2fx nodur-1shard throughput (floor %.1fx)  %s\n",
+				speedup, parallelSpeedupFloor, verdict)
+		}
+	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "cepbench: runtime ns/event regressed more than %.0f%% against %s\n",
+		fmt.Fprintf(os.Stderr, "cepbench: runtime ns/event regressed more than %.0f%% against %s (or the parallel-scaling floor was missed)\n",
 			(runtimeRegressionTolerance-1)*100, path)
 		return 1
 	}

@@ -76,8 +76,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	goruntime "runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -114,7 +116,8 @@ func main() {
 		tcpAddr   = flag.String("tcp", "", "optional raw TCP NDJSON listen address")
 		tcpIdle   = flag.Duration("tcp-idle", time.Minute, "TCP ingest read deadline; a connection idle longer is closed")
 		httpRead  = flag.Duration("http-read-timeout", 5*time.Minute, "HTTP read timeout (bounds one /ingest request body)")
-		shards    = flag.Int("shards", 4, "engine shards per query")
+		shards    = flag.Int("shards", 4, "engine shards (state partitions) per query; 0 = auto (GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "worker goroutines servicing each query's shards; 0 = one per shard")
 		queueLen  = flag.Int("queue", 1024, "per-shard bounded queue capacity")
 		dataset   = flag.String("dataset", "", "replay dataset: ds1, ds2, citibike, gcluster (empty: ingest only)")
 		events    = flag.Int("events", 100000, "replay stream length (trips/tasks for the case studies)")
@@ -144,6 +147,14 @@ func main() {
 		adminTO    = flag.Duration("admin-timeout", 10*time.Second, "per-request timeout on admin endpoints")
 	)
 	flag.Parse()
+
+	if *shards == 0 {
+		// Auto-sharding keys partitioning to schedulable parallelism: one
+		// shard per schedulable CPU gives the worker pool one home shard
+		// each, and work stealing absorbs key skew between them.
+		*shards = goruntime.GOMAXPROCS(0)
+		log.Printf("cepserved: -shards 0: auto-sharding to GOMAXPROCS=%d", *shards)
+	}
 
 	// Durability knobs without -state-dir used to silently do nothing —
 	// an operator who set -wal-fsync believed they had durability and
@@ -204,6 +215,7 @@ func main() {
 
 	cfg := registry.Config{
 		Shards:       *shards,
+		Workers:      *workers,
 		QueueLen:     *queueLen,
 		DefaultTheta: *bound,
 		StateDir:     *stateDir,
@@ -730,6 +742,19 @@ func (s *server) mux() *http.ServeMux {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	}))))
+
+	// Profiling (net/http/pprof) shares the admin token — profiles leak
+	// query text and memory contents, so they are as sensitive as the
+	// mutating admin API. Deliberately NOT wrapped in withTimeout: a CPU
+	// profile or execution trace holds the request open for its whole
+	// sampling window (?seconds=N), which the admin timeout would
+	// truncate mid-collection. `make profile` wraps the common case.
+	mux.Handle("GET /debug/pprof/", s.auth(pprof.Index))
+	mux.Handle("GET /debug/pprof/cmdline", s.auth(pprof.Cmdline))
+	mux.Handle("GET /debug/pprof/profile", s.auth(pprof.Profile))
+	mux.Handle("GET /debug/pprof/symbol", s.auth(pprof.Symbol))
+	mux.Handle("POST /debug/pprof/symbol", s.auth(pprof.Symbol))
+	mux.Handle("GET /debug/pprof/trace", s.auth(pprof.Trace))
 
 	// Cluster control and data plane (docs/CLUSTER.md). Mutating routes
 	// share the admin token; the handoff cap tracks the checkpoint

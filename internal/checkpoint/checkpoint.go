@@ -49,10 +49,19 @@ type Config struct {
 	// (docs/DURABILITY.md).
 	Fsync bool
 	// OnStage, when set, runs at named points of the snapshot save
-	// protocol ("encoded", "tmp-written", "renamed", "rotated") on the
-	// shard goroutine. It exists for fault injection: a panic here models
-	// a crash at that point of the protocol.
+	// protocol ("encoded", "tmp-written", "renamed", "rotated"). It
+	// exists for fault injection: a panic here models a crash at that
+	// point of the protocol. Setting OnStage forces synchronous saves
+	// (see SyncSave) so the whole protocol runs on the shard goroutine,
+	// where an injected panic is caught by the supervisor.
 	OnStage func(shard int, stage string)
+	// SyncSave forces the shard to run the full snapshot protocol
+	// (encode, write, rename, rotate) inline on its own goroutine,
+	// pausing event processing for the duration — the pre-async
+	// behavior. Off by default: snapshots are captured by reference and
+	// written on a background goroutine (docs/PERFORMANCE.md). Implied
+	// by OnStage != nil.
+	SyncSave bool
 }
 
 // WithDefaults returns the config with zero fields defaulted.
@@ -284,7 +293,29 @@ func (s *ShardStore) FlushIfDue() error {
 // WAL; a crash between 3 and 4 leaves the new snap plus a WAL whose
 // pre-snapshot records Load filters out by seq. Returns the snapshot
 // byte size.
+//
+// Save runs the whole protocol inline on the caller's goroutine; the
+// async path splits it into WriteSnapshot (steps 1-3, safe off-thread)
+// followed by RotateWAL (step 4, shard goroutine only).
 func (s *ShardStore) Save(st *ShardState) (int, error) {
+	n, err := s.WriteSnapshot(st)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.RotateWAL(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// WriteSnapshot encodes st and publishes it atomically (protocol steps
+// 1-3: tmp write, generation rename, publish rename). Unlike every
+// other ShardStore method, WriteSnapshot is safe to call from a
+// background goroutine while the shard keeps appending to the WAL: it
+// touches only the snapshot file family and allocates its own encoder.
+// The caller must not overlap two WriteSnapshot calls and must call
+// RotateWAL from the shard goroutine once the write has succeeded.
+func (s *ShardStore) WriteSnapshot(st *ShardState) (int, error) {
 	img := EncodeShardState(st, s.fp)
 	s.stage("encoded")
 
@@ -316,26 +347,42 @@ func (s *ShardStore) Save(st *ShardState) (int, error) {
 		return 0, err
 	}
 	s.stage("renamed")
+	return len(img), nil
+}
 
-	// Rotate the WAL: everything up to this snapshot is now redundant,
-	// but one previous generation is kept so a torn current snapshot can
-	// still recover from snap.prev + wal.prev + wal.
+// RotateWAL retires the current WAL generation behind a just-published
+// snapshot (protocol step 4): everything up to that snapshot is now
+// redundant, but one previous generation is kept so a torn current
+// snapshot can still recover from snap.prev + wal.prev + wal. Records
+// appended between an async snapshot's capture point and this rotation
+// land in wal.prev, above the snapshot's seq floor, so Load still
+// replays them. Shard goroutine only.
+func (s *ShardStore) RotateWAL() error {
 	if err := s.wal.close(); err != nil {
-		return 0, err
+		return err
 	}
 	if err := os.Rename(s.path(".wal"), s.path(".wal.prev")); err != nil && !os.IsNotExist(err) {
-		return 0, err
+		return err
 	}
 	w, err := openWAL(s.path(".wal"), s.fp, s.cfg.Fsync)
 	if err != nil {
-		return 0, err
+		return err
 	}
 	s.wal = w
 	if s.cfg.Fsync {
 		syncDir(s.cfg.Dir)
 	}
 	s.stage("rotated")
-	return len(img), nil
+	return nil
+}
+
+// SyncSaves reports whether this store requires the synchronous save
+// protocol. OnStage fault injection deliberately does NOT force sync:
+// chaos tests target the async protocol's background writer with it
+// (a stage panic there must be contained, not crash a worker), and
+// tests of the sync crash protocol set SyncSave explicitly.
+func (s *ShardStore) SyncSaves() bool {
+	return s.cfg.SyncSave
 }
 
 // Load reads the newest usable snapshot plus every readable WAL record

@@ -66,6 +66,28 @@ type Engine struct {
 	reactBuf     []typeFlag
 	witnessSpots map[string][]witnessSpot
 
+	// typeRes memoizes per-event-type dispatch resolution (bucket,
+	// witness spots, run-start check) for the batched hot path. indexGen
+	// is bumped whenever indexPM creates a new bucket, invalidating the
+	// cached nil-bucket entries; non-nil bucket pointers are stable for
+	// the engine's lifetime, so only the nil→bucket transition can go
+	// stale.
+	typeRes  map[string]*TypeRes
+	indexGen uint64
+
+	// snapRef is the at-most-one in-flight by-reference snapshot capture
+	// (snapref.go); its pms stay pinned against recycling until Release.
+	snapRef *SnapshotRef
+
+	// pendingRecycle holds the releases a finished capture parked
+	// (snapref.go): a long encode window on a dense stream parks
+	// thousands of matches, so Release hands them here and Process
+	// drains a bounded number per call instead of replaying them all in
+	// one serving-thread pause. Drained only while no capture is in
+	// flight; stale entries (recycled early by a cascade, possibly even
+	// reused since) are detected by the pooled/dead flags and skipped.
+	pendingRecycle []*PartialMatch
+
 	alloc pmAlloc
 	pool  bool // recycling enabled (sticky-disabled once OnCreate is seen)
 
@@ -147,9 +169,52 @@ type Result struct {
 	Matches []Match
 }
 
+// TypeRes is a memoized dispatch resolution for one event type: the
+// reactive bucket, the deferred-negation witness spots, and whether the
+// type can start a new run. Obtain one from ResolveType and pass it to
+// ProcessResolved; a shard processing a type-clustered batch resolves
+// once per run of equal types instead of once per event. A TypeRes is
+// owned by the engine that issued it and must not be used with another
+// engine (in particular not across a supervisor rebuild).
+type TypeRes struct {
+	t       string
+	gen     uint64 // indexGen when bucket was last looked up
+	bucket  *typeBucket
+	spots   []witnessSpot
+	isStart bool
+}
+
+// ResolveType returns the memoized dispatch resolution for an event
+// type, creating and caching it on first use.
+func (en *Engine) ResolveType(t string) *TypeRes {
+	if tr := en.typeRes[t]; tr != nil {
+		return tr
+	}
+	if en.typeRes == nil {
+		en.typeRes = make(map[string]*TypeRes, 8)
+	}
+	tr := &TypeRes{
+		t:       t,
+		gen:     en.indexGen,
+		bucket:  en.index[t],
+		spots:   en.witnessSpots[t],
+		isStart: t == en.m.States[0].Comp.Type,
+	}
+	en.typeRes[t] = tr
+	return tr
+}
+
 // Process evaluates the next stream event. Events must be fed in
 // non-decreasing time (and sequence) order.
 func (en *Engine) Process(e *event.Event) Result {
+	return en.ProcessResolved(e, en.ResolveType(e.Type))
+}
+
+// ProcessResolved is Process with the per-type dispatch work hoisted
+// out: tr must be ResolveType(e.Type) of this engine. The batched shard
+// hot path resolves each run of same-type events once and reuses tr
+// across the run.
+func (en *Engine) ProcessResolved(e *event.Event, tr *TypeRes) Result {
 	if en.OnCreate != nil {
 		en.pool = false
 	}
@@ -176,13 +241,22 @@ func (en *Engine) Process(e *event.Event) Result {
 	if en.useScan {
 		en.scanReact(e, &res)
 	} else {
-		en.indexReact(e, &res)
+		// Revalidate a cached miss: an earlier event in this batch may
+		// have registered the first match reacting to this type, creating
+		// the bucket after tr was resolved.
+		if tr.bucket == nil && tr.gen != en.indexGen {
+			tr.bucket = en.index[tr.t]
+			tr.gen = en.indexGen
+		}
+		if b := tr.bucket; b != nil {
+			en.reactBucket(b, e, &res)
+		}
 	}
 
 	// Deferred negation: store the event as a witness for every guard of
 	// its type. Witness entries join the partial-match set.
 	if en.DeferredNegation {
-		for _, spot := range en.witnessSpots[e.Type] {
+		for _, spot := range tr.spots {
 			wpm := en.alloc.get()
 			wpm.id = en.allocID()
 			wpm.m = en.m
@@ -200,7 +274,7 @@ func (en *Engine) Process(e *event.Event) Result {
 
 	// Start a new run if the event can bind state 0.
 	first := &en.m.States[0]
-	if e.Type == first.Comp.Type {
+	if tr.isStart {
 		n := len(en.m.States)
 		pm := en.alloc.get()
 		pm.id = en.allocID()
@@ -241,16 +315,13 @@ func (en *Engine) Process(e *event.Event) Result {
 	}
 
 	en.compactIfDirty()
+	en.drainRecycle()
 	return res
 }
 
-// indexReact dispatches e to every partial match whose bucket entry says
-// it can react, in registration order.
-func (en *Engine) indexReact(e *event.Event, res *Result) {
-	b := en.index[e.Type]
-	if b == nil {
-		return
-	}
+// reactBucket dispatches e to every partial match whose bucket entry
+// says it can react, in registration order.
+func (en *Engine) reactBucket(b *typeBucket, e *event.Event, res *Result) {
 	if b.dead > 32 && b.dead*2 > len(b.entries) {
 		en.compactBucket(b)
 	}

@@ -96,6 +96,9 @@ func (en *Engine) indexPM(pm *PartialMatch) {
 		if b == nil {
 			b = &typeBucket{}
 			en.index[tf.t] = b
+			// Invalidate cached TypeRes entries that resolved this type to
+			// "no bucket" (engine.ResolveType).
+			en.indexGen++
 		}
 		b.entries = append(b.entries, indexEntry{pm: pm, gen: pm.gen, flags: tf.f})
 	}

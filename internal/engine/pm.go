@@ -51,6 +51,13 @@ type PartialMatch struct {
 	pinned   bool
 	pooled   bool
 
+	// deferred marks a match parked on an in-flight by-reference
+	// snapshot's deferred-release list (snapref.go): while a capture is
+	// live no match is recycled — the background encoder may be reading
+	// it — so tryRelease parks eligible matches here exactly once and
+	// SnapshotRef.Release replays the parked releases.
+	deferred bool
+
 	// group is the expiry-ring start group this match belongs to (nil in
 	// the reference scan engine).
 	group *startGroup

@@ -81,6 +81,7 @@ func (a *pmAlloc) put(pm *PartialMatch) {
 	pm.startSeq = 0
 	pm.children = 0
 	pm.pinned = false
+	pm.deferred = false
 	pm.gen++
 	pm.pooled = true
 	a.free = append(a.free, pm)
@@ -146,9 +147,22 @@ func (en *Engine) freeTemp(pm *PartialMatch) {
 }
 
 // tryRelease recycles a dead match once nothing references it anymore,
-// cascading up the parent chain as refcounts drain.
+// cascading up the parent chain as refcounts drain. While a by-reference
+// snapshot capture is in flight, recycling is parked instead: the
+// background encoder may be reading any registered match (captured
+// matches directly, ancestors through parent chains), so handing memory
+// back to the allocator mid-encode would race it. SnapshotRef.Release
+// replays the parked releases once the encoder is done; cascades to
+// parents happen at replay time through this same function.
 func (en *Engine) tryRelease(pm *PartialMatch) {
 	if !en.pool {
+		return
+	}
+	if ref := en.snapRef; ref != nil {
+		if pm.dead && !pm.pooled && !pm.deferred && !pm.pinned && pm.children == 0 {
+			pm.deferred = true
+			ref.deferred = append(ref.deferred, pm)
+		}
 		return
 	}
 	for pm != nil && pm.dead && !pm.pooled && !pm.pinned && pm.children == 0 {

@@ -100,9 +100,11 @@ func (s QuerySpec) ID() string { return s.Tenant + "/" + s.Name }
 
 // Config configures a Registry.
 type Config struct {
-	// Shards / QueueLen are per-query runtime defaults (see
-	// runtime.Config).
+	// Shards / Workers / QueueLen are per-query runtime defaults (see
+	// runtime.Config). Workers <= 0 keeps the runtime default of one
+	// worker per shard.
 	Shards   int
+	Workers  int
 	QueueLen int
 	// DefaultTheta is the latency bound for tenants that don't set one.
 	// Zero disables the degradation ladder for such queries.
@@ -472,6 +474,7 @@ func (g *Registry) add(spec QuerySpec, persist bool) (*Instance, error) {
 	}
 	rc := runtime.Config{
 		Shards:           shards,
+		Workers:          g.cfg.Workers,
 		QueueLen:         g.cfg.QueueLen,
 		KeySalt:          in.fp,
 		NewStrategy:      newStrat,

@@ -89,6 +89,10 @@ func (s *shard) ctlExport() ctlReply {
 	if s.exported {
 		return ctlReply{err: fmt.Errorf("shard %d: already exported", s.id)}
 	}
+	// An in-flight async snapshot pins the engine's live matches and holds
+	// deliveries pending rotation; settle it so the exported state is the
+	// settled truth, not a frame mid-commit.
+	s.settleSnapshot(true)
 	if s.ckpt != nil {
 		if err := s.ckpt.Flush(); err != nil {
 			s.walFailed("export flush", err)
@@ -215,6 +219,7 @@ func (s *shard) ctlRetire() ctlReply {
 	if !s.exported {
 		return ctlReply{err: fmt.Errorf("shard %d: not exported", s.id)}
 	}
+	s.settleSnapshot(true)
 	if s.ckpt != nil {
 		if err := s.ckpt.Retire(); err != nil {
 			if s.cfg.Logf != nil {
@@ -241,8 +246,12 @@ func (r *Runtime) sendCtl(i int, c *shardCtl) (ctlReply, error) {
 		r.mu.RUnlock()
 		return ctlReply{}, fmt.Errorf("runtime: closed")
 	}
+	// Control messages count toward depth so an otherwise-idle shard still
+	// reads as needing service; the ctl branches decrement on consume.
+	r.shards[i].depth.Add(1)
 	r.shards[i].ch <- batch{ctl: c}
 	r.mu.RUnlock()
+	r.wakeOne()
 	rep := <-c.reply
 	return rep, rep.err
 }
@@ -357,10 +366,12 @@ func (r *Runtime) OfferBatchToShard(slot int, events []*event.Event) int {
 		putItems(g)
 		sh.depth.Add(1)
 		sh.ch <- batch{one: one}
+		r.wakeOne()
 		return 1
 	}
 	sh.depth.Add(int64(n))
 	sh.ch <- batch{items: g}
+	r.wakeOne()
 	return n
 }
 

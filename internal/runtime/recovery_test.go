@@ -383,7 +383,12 @@ func TestChaosKillDuringSnapshot(t *testing.T) {
 		Dir:         t.TempDir(),
 		EveryEvents: 250,
 		FlushEvery:  1,
-		OnStage:     fault.FailStageOnce("tmp-written", 2),
+		// This test is about the SYNC crash protocol: the stage panic must
+		// land on the shard thread mid-save and be supervised. The async
+		// protocol's containment of the same fault is covered by
+		// TestChaosStealDuringSnapshot.
+		SyncSave: true,
+		OnStage:  fault.FailStageOnce("tmp-written", 2),
 	}
 	r := New(m, Config{
 		Shards:     1,
@@ -602,7 +607,10 @@ func TestQuarantinedSeqZeroSkippedOnReplay(t *testing.T) {
 func TestBootReplayPanicKeepsConservation(t *testing.T) {
 	m := nfa.MustCompile(query.Q1("8ms"))
 	s := gen.DS1(gen.DS1Config{Events: 650, Seed: 27, InterArrival: 15 * event.Microsecond})
-	dur := &checkpoint.Config{Dir: t.TempDir(), EveryEvents: 200, FlushEvery: 1}
+	// SyncSave pins snapshots to the shard thread: the test needs a
+	// snapshot deterministically on disk BEFORE the kill so boot replay
+	// exercises the snapshot-base counter composition path.
+	dur := &checkpoint.Config{Dir: t.TempDir(), EveryEvents: 200, FlushEvery: 1, SyncSave: true}
 	const poisonSeq = 620
 	var armed atomic.Bool
 	cfg := Config{

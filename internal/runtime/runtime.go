@@ -80,8 +80,19 @@ const maxDeadLetterPayload = 160
 
 // Config configures a Runtime.
 type Config struct {
-	// Shards is the number of engine shards (default 1).
+	// Shards is the number of engine shards (default 1). A shard is the
+	// unit of STATE: a single-writer engine partition with its own queue,
+	// strategy, and WAL.
 	Shards int
+	// Workers is the number of worker goroutines servicing the shard
+	// queues (default: Shards). A worker is the unit of CPU: it services
+	// its home shards first, then steals whole backlogged shards from
+	// busy peers — never individual events, so per-key ordering and the
+	// single-writer invariant survive. Workers < Shards decouples state
+	// parallelism from CPU parallelism (e.g. many shards for fine-grained
+	// failure isolation on a small core count); Workers > Shards wastes
+	// goroutines and is clamped down.
+	Workers int
 	// QueueLen is the per-shard bounded channel capacity (default 1024).
 	// When a shard's queue is full, Offer blocks: backpressure propagates
 	// to the producer instead of growing an unbounded buffer.
@@ -107,9 +118,9 @@ type Config struct {
 	KeyFunc func(*event.Event) uint64
 	// NewStrategy builds the per-shard shedding strategy (nil strategy /
 	// nil factory: no shedding). Each shard needs its OWN instance:
-	// strategies are stateful and are only ever called from the shard's
-	// goroutine. The supervisor calls the factory again when it rebuilds
-	// a shard after a panic.
+	// strategies are stateful and are only ever called by the single
+	// worker currently servicing the shard. The supervisor calls the
+	// factory again when it rebuilds a shard after a panic.
 	NewStrategy func(shard int) shed.Strategy
 	// SmoothWeight is the EWMA weight w applied to new latency samples,
 	// smoothed = w·sample + (1−w)·smoothed (default 0.5, the paper's
@@ -120,9 +131,9 @@ type Config struct {
 	// CollectMatches keeps every match in memory so Matches() can return
 	// the merged set after Close. Disable for long-running servers.
 	CollectMatches bool
-	// OnMatch, when set, is invoked from the detecting shard's goroutine
-	// for every match. It must be safe for concurrent calls from
-	// different shards.
+	// OnMatch, when set, is invoked from the worker servicing the
+	// detecting shard, for every match. It must be safe for concurrent
+	// calls from different shards.
 	OnMatch func(shard int, m engine.Match)
 
 	// Bound is the wall-clock latency bound θ driving the degradation
@@ -148,8 +159,9 @@ type Config struct {
 	// propagates and crashes the process. Useful when debugging engine
 	// bugs that quarantining would mask.
 	DisableRecovery bool
-	// BeforeProcess, when set, runs on the shard goroutine after ρI
-	// admission and immediately before the engine processes the event.
+	// BeforeProcess, when set, runs on the worker servicing the shard,
+	// after ρI admission and immediately before the engine processes the
+	// event.
 	// It exists for fault injection (internal/fault): it may panic or
 	// sleep, and the supervisor treats either as it would a real fault.
 	BeforeProcess func(shard int, e *event.Event)
@@ -169,6 +181,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 1
+	}
+	if c.Workers <= 0 || c.Workers > c.Shards {
+		c.Workers = c.Shards
 	}
 	if c.QueueLen <= 0 {
 		c.QueueLen = 1024
@@ -200,6 +215,13 @@ type Runtime struct {
 	shards []*shard
 	key    func(*event.Event) uint64
 	global *metrics.Histogram // merged latency across shards
+
+	// Worker pool (workers.go): workers is the pool size, wake is the
+	// buffered token channel idle workers block on, steals counts
+	// quanta a worker ran on a non-home shard.
+	workers int
+	wake    chan struct{}
+	steals  atomic.Uint64
 
 	dlq               *deadLetters
 	dlqEdgeMu         sync.Mutex // serializes Quarantine's shared-owner DLQ saves
@@ -240,6 +262,8 @@ func New(m *nfa.Machine, cfg Config) *Runtime {
 		dlq:    newDeadLetters(cfg.DeadLetterCap),
 		admit:  shed.NewAdmissionController(cfg.HighWater, cfg.RejectWater, 0x5eed),
 	}
+	r.workers = cfg.Workers
+	r.wake = make(chan struct{}, cfg.Workers)
 	r.key = cfg.KeyFunc
 	if r.key == nil {
 		attr := cfg.KeyAttr
@@ -280,6 +304,7 @@ func New(m *nfa.Machine, cfg Config) *Runtime {
 			} else {
 				sh.ckpt = store
 				sh.needRecover = true
+				sh.needRecoverFlag.Store(true)
 				// bootPending distinguishes the first (boot) recovery — which
 				// composes counters from the snapshot — from post-panic
 				// rebuilds; it stays true across boot-replay panics so a
@@ -290,20 +315,12 @@ func New(m *nfa.Machine, cfg Config) *Runtime {
 			sh.recoverDone = r.recoverWG.Done
 			sh.saveDLQ = func() { r.saveDeadLetters(dur, owner) }
 		}
+		sh.wakeFn = r.wakeOne
 		r.shards = append(r.shards, sh)
+	}
+	for w := 0; w < cfg.Workers; w++ {
 		r.wg.Add(1)
-		go func() {
-			// signalRecovered backstops WaitRecovered against a worker that
-			// dies before reaching its loop entry (e.g. breaker trip during
-			// replay).
-			defer sh.signalRecovered()
-			defer r.wg.Done()
-			if cfg.DisableRecovery {
-				sh.run()
-			} else {
-				sh.runSupervised(r)
-			}
-		}()
+		go r.worker(w)
 	}
 	return r
 }
@@ -471,6 +488,7 @@ func (r *Runtime) Offer(e *event.Event) bool {
 	}
 	sh.depth.Add(1)
 	sh.ch <- batch{one: item{e: e, enq: time.Now()}}
+	r.wakeOne()
 	return true
 }
 
@@ -495,6 +513,7 @@ func (r *Runtime) TryOffer(e *event.Event) bool {
 	sh.depth.Add(1)
 	select {
 	case sh.ch <- batch{one: item{e: e, enq: time.Now()}}:
+		r.wakeOne()
 		return true
 	default:
 		sh.depth.Add(-1)
@@ -564,10 +583,12 @@ func (r *Runtime) OfferBatch(events []*event.Event) int {
 			putItems(g)
 			sh.depth.Add(1)
 			sh.ch <- batch{one: one}
+			r.wakeOne()
 			continue
 		}
 		sh.depth.Add(int64(len(g)))
 		sh.ch <- batch{items: g}
+		r.wakeOne()
 	}
 	return accepted
 }
@@ -721,6 +742,9 @@ func (r *Runtime) Close() {
 		close(sh.ch)
 	}
 	r.mu.Unlock()
+	// Wake every worker so none stays blocked on r.wake with no producer
+	// left to send tokens; they observe the closed channels and exit.
+	r.wakeAll()
 	r.wg.Wait()
 }
 
@@ -782,10 +806,16 @@ type ShardSnapshot struct {
 
 	// Durability state; all zero when the shard runs without a
 	// checkpoint store.
-	Recovering     bool   `json:"recovering"`
-	Snapshots      uint64 `json:"snapshots"`
-	SnapshotBytes  int64  `json:"snapshot_bytes"`
-	SnapshotUnixNs int64  `json:"snapshot_unix_ns"`
+	Recovering bool   `json:"recovering"`
+	Snapshots  uint64 `json:"snapshots"`
+	// SnapPauseMaxNs is the worst pause the snapshot protocol has
+	// inflicted on this shard's serving thread: the full encode+write for
+	// sync saves, just capture + finalize (flush, WAL rotation) for the
+	// off-hot-path async protocol. The snapshot-stall benchmark gates on
+	// the sync/async ratio of this gauge.
+	SnapPauseMaxNs int64 `json:"snap_pause_max_ns"`
+	SnapshotBytes  int64 `json:"snapshot_bytes"`
+	SnapshotUnixNs int64 `json:"snapshot_unix_ns"`
 	WALReplayed    uint64 `json:"wal_replayed"`
 	ColdStarts     uint64 `json:"cold_starts"`
 	// WALErrors counts WAL append/flush failures; the first one disables
@@ -806,6 +836,12 @@ type ShardSnapshot struct {
 // latency statistics, and the degradation level.
 type Snapshot struct {
 	Shards []ShardSnapshot `json:"shards"`
+
+	// Workers is the worker-pool size; Steals counts service quanta a
+	// worker ran on a non-home shard (nonzero means work stealing is
+	// actually redistributing load).
+	Workers int    `json:"workers"`
+	Steals  uint64 `json:"steals"`
 
 	EventsIn        uint64 `json:"events_in"`
 	EventsShed      uint64 `json:"events_shed"`
@@ -848,6 +884,8 @@ type Snapshot struct {
 	WALErrors            uint64 `json:"wal_errors"`
 	OldestSnapshotUnixNs int64  `json:"oldest_snapshot_unix_ns"`
 	SnapshotBytes        int64  `json:"snapshot_bytes"`
+	// SnapPauseMaxNs is the worst per-shard ShardSnapshot.SnapPauseMaxNs.
+	SnapPauseMaxNs int64 `json:"snap_pause_max_ns"`
 
 	// InputShedRatio is shed / offered events; PMShedRatio is dropped /
 	// created partial matches (the paper's ρI and ρS realized ratios).
@@ -865,6 +903,8 @@ type Snapshot struct {
 // any goroutine.
 func (r *Runtime) Snapshot() Snapshot {
 	var s Snapshot
+	s.Workers = r.workers
+	s.Steals = r.steals.Load()
 	for _, sh := range r.shards {
 		ss := sh.snapshot()
 		s.Shards = append(s.Shards, ss)
@@ -893,6 +933,9 @@ func (r *Runtime) Snapshot() Snapshot {
 		s.SnapshotBytes += ss.SnapshotBytes
 		if ss.SnapshotUnixNs > 0 && (s.OldestSnapshotUnixNs == 0 || ss.SnapshotUnixNs < s.OldestSnapshotUnixNs) {
 			s.OldestSnapshotUnixNs = ss.SnapshotUnixNs
+		}
+		if ss.SnapPauseMaxNs > s.SnapPauseMaxNs {
+			s.SnapPauseMaxNs = ss.SnapPauseMaxNs
 		}
 	}
 	s.DegradationLevel = r.DegradationLevel()

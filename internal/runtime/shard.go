@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,18 +54,57 @@ func putItems(items []item) {
 }
 
 // shard owns one engine instance and one strategy instance. The engine
-// and strategy are touched ONLY by the shard's worker goroutine; every
-// field read by Snapshot from other goroutines is atomic. On a panic the
-// supervisor (supervisor.go) rebuilds the engine and strategy in place —
-// both are worker-owned, so the rebuild needs no locking.
+// and strategy are touched ONLY by the worker currently holding svc
+// (workers.go); claims never overlap, so "worker-owned" below means
+// owned by whichever worker holds the claim. Every field read by
+// Snapshot from other goroutines is atomic. On a panic the supervisor
+// (supervisor.go) rebuilds the engine and strategy in place — both are
+// claim-owned, so the rebuild needs no locking.
 type shard struct {
 	id    int
 	ch    chan batch
-	depth atomic.Int64 // queued events (not batches) across ch + in-flight batches
+	depth atomic.Int64 // queued events + control messages across ch + in-flight batches
 	m     *nfa.Machine // kept for supervisor rebuilds
 	en    *engine.Engine
 	strat shed.Strategy
 	cfg   Config
+
+	// Worker-pool state (workers.go). svc is the claim lock: at most one
+	// worker services the shard at a time, which is what preserves the
+	// single-writer invariant now that workers outnumber or undernumber
+	// shards. booted flips after the first quantum (so trafficless shards
+	// still get one boot pass for recovery and WaitRecovered); doneFlag
+	// retires the shard from the pool after finish; needRecoverFlag
+	// mirrors needRecover for the unlocked needsService probe; notBefore
+	// is the restart-backoff deadline (unix ns) that replaced the old
+	// supervisor's time.Sleep — the shard goes dormant instead of a
+	// goroutine sleeping.
+	svc             sync.Mutex
+	booted          atomic.Bool
+	doneFlag        atomic.Bool
+	needRecoverFlag atomic.Bool
+	notBefore       atomic.Int64
+	chClosed        bool // claim-owned: input channel observed closed
+
+	// Supervisor restart bookkeeping, claim-owned (moved from
+	// runSupervised locals when the per-shard goroutine dissolved).
+	recent []time.Time
+	rng    *rand.Rand
+
+	// Type-run dispatch cache, claim-owned: events arrive in runs of
+	// equal types often enough (bursty sources, replayed partitions) that
+	// caching the last resolution skips even the memo map lookup. A
+	// TypeRes is owned by its issuing engine, so rebuild() must clear
+	// these when it swaps s.en.
+	lastType string
+	lastRes  *engine.TypeRes
+
+	// Async snapshot state (claim-owned except snapFinalize, which the
+	// background goroutine sets to request finalization). wakeFn pokes
+	// the worker pool so an idle shard finalizes promptly.
+	pendingSnap  *pendingSnap
+	snapFinalize atomic.Bool
+	wakeFn       func()
 
 	hist      *metrics.Histogram // per-shard latency
 	global    *metrics.Histogram // runtime-wide latency (shared)
@@ -150,6 +191,7 @@ type shard struct {
 	recovering     atomic.Bool
 	snapshots      atomic.Uint64
 	snapBytes      atomic.Int64
+	snapPauseMax   atomic.Int64 // worst serving-thread pause inside snapshot work, ns
 	snapUnixNs     atomic.Int64
 	walReplayed    atomic.Uint64
 	coldStarts     atomic.Uint64
@@ -175,6 +217,7 @@ func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *m
 		cfg:    cfg,
 		hist:   metrics.NewHistogram(),
 		global: global,
+		rng:    rand.New(rand.NewSource(int64(id)*7919 + 1)),
 	}
 	s.stratName.Store(strat.Name())
 	return s
@@ -187,55 +230,112 @@ func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *m
 // statsSyncBatch constant to the whole batch drain.
 const batchBudget = 64
 
-// run is the unsupervised worker loop (Config.DisableRecovery): it exits
-// when the input channel closes, after flushing the engine's remaining
-// state, and a panic propagates and kills the process.
-func (s *shard) run() {
+// quantumBudget bounds how many events one shard claim may consume
+// before the worker releases the shard and rescans: the fairness knob
+// that keeps one deep queue from starving other shards when workers
+// are outnumbered by shards.
+const quantumBudget = 4 * batchBudget
+
+// needsService reports whether a worker should claim this shard now
+// (ready) or soon (waiting: pending work held off by a restart
+// backoff). It reads only atomics — every worker pass probes every
+// shard with it, unlocked.
+func (s *shard) needsService(now int64, closed bool) (ready, waiting bool) {
+	if s.doneFlag.Load() {
+		return false, false
+	}
+	if s.depth.Load() <= 0 && s.booted.Load() && !s.snapFinalize.Load() &&
+		!s.needRecoverFlag.Load() && !closed {
+		return false, false
+	}
+	if nb := s.notBefore.Load(); nb > now {
+		return false, true
+	}
+	return true, false
+}
+
+// quantum services one claimed shard for a bounded slice of work; the
+// caller holds s.svc. Returns whether any work was done.
+func (s *shard) quantum(r *Runtime) bool {
+	if s.failed.Load() {
+		return s.forwardQuantum(r)
+	}
+	if s.cfg.DisableRecovery {
+		return s.quantumDirect(r)
+	}
+	return s.quantumSupervised(r)
+}
+
+// quantumDirect is the unsupervised quantum (Config.DisableRecovery): a
+// panic propagates and kills the process, matching the old run loop's
+// contract.
+func (s *shard) quantumDirect(r *Runtime) bool {
 	if s.needRecover {
 		// Unsupervised recovery: a replay panic propagates, matching the
 		// DisableRecovery contract for live processing.
 		s.needRecover = false
+		s.needRecoverFlag.Store(false)
 		s.curItem = item{}
 		s.recoverReplay(&s.curItem)
 	}
+	s.booted.Store(true)
 	s.signalRecovered()
-	s.drain(s.cfg.SmoothWeight)
-	s.finish()
+	s.settleSnapshot(false)
+	worked, closed := s.drainQuantum(s.cfg.SmoothWeight)
+	if closed {
+		s.finish()
+		s.markDone(r)
+	}
+	return worked
 }
 
-// drain is the batched consume loop shared by the supervised and
-// unsupervised workers: one blocking receive, then opportunistic
-// receives until batchBudget events are in hand or the queue is
-// momentarily empty, then one explicit endBatch. The batch boundary is
-// explicit — the old loop's racy per-event len(s.ch) == 0 probe is
-// gone. Returns when the channel closes.
-func (s *shard) drain(w float64) {
-	for {
-		b, ok := <-s.ch
-		if !ok {
-			return
-		}
-		// The blocking receive above is queue idle time; everything from
-		// here to the batch boundary is service, charged to busyNs.
-		t0 := time.Now()
-		n := s.consumeBatch(b, w)
+// drainQuantum is the batched consume loop: opportunistic receives
+// until batchBudget events are in hand or the queue is momentarily
+// empty, then one explicit endBatch; up to quantumBudget events per
+// call. Never blocks — an empty queue returns to the worker, which
+// sleeps on the wake channel instead of inside a shard claim. closed
+// reports that the input channel closed.
+func (s *shard) drainQuantum(w float64) (worked, closed bool) {
+	for consumed := 0; consumed < quantumBudget && !s.chClosed; {
+		n := 0
+		var t0 time.Time
 	fill:
 		for n < batchBudget {
 			select {
-			case b2, ok2 := <-s.ch:
-				if !ok2 {
-					s.endBatch()
-					s.busyNs.Add(time.Since(t0).Nanoseconds())
-					return
+			case b, ok := <-s.ch:
+				if !ok {
+					s.chClosed = true
+					break fill
 				}
-				n += s.consumeBatch(b2, w)
+				if n == 0 {
+					// Everything from the first receive to the batch boundary
+					// is service time, charged to busyNs.
+					t0 = time.Now()
+				}
+				n += s.consumeBatch(b, w)
 			default:
 				break fill
 			}
 		}
+		if n == 0 {
+			break
+		}
+		worked = true
 		s.endBatch()
 		s.busyNs.Add(time.Since(t0).Nanoseconds())
+		consumed += n
 	}
+	return worked, s.chClosed
+}
+
+// markDone retires the shard from the worker pool: its channel closed
+// and finish (or failed-shard forwarding) completed. signalRecovered
+// backstops WaitRecovered against shards that die before boot recovery
+// ran; wakeAll lets every worker re-check the pool exit condition.
+func (s *shard) markDone(r *Runtime) {
+	s.doneFlag.Store(true)
+	s.signalRecovered()
+	r.wakeAll()
 }
 
 // consumeBatch processes every item of one received batch, maintaining
@@ -243,6 +343,11 @@ func (s *shard) drain(w float64) {
 // returning the slice to the pool once fully consumed.
 func (s *shard) consumeBatch(b batch, w float64) int {
 	if b.ctl != nil {
+		// Control messages count into depth (the worker pool's "needs
+		// service" signal), so decrement like an event; curItem is cleared
+		// so a control-op panic doesn't mis-quarantine the previous event.
+		s.curItem = item{}
+		s.depth.Add(-1)
 		s.handleCtl(b.ctl)
 		return 1
 	}
@@ -278,6 +383,7 @@ func (s *shard) consumeBatch(b batch, w float64) int {
 // immediately.
 func (s *shard) endBatch() {
 	s.syncEngineStats()
+	s.settleSnapshot(false)
 	if s.ckpt == nil {
 		return
 	}
@@ -308,7 +414,19 @@ func (s *shard) endBatch() {
 		}
 	}
 	if snapDue {
-		s.takeSnapshot()
+		if s.ckpt.SyncSaves() {
+			// Timed at this call site, not inside takeSnapshot: the other
+			// callers (finish's final save, ctlImport's commit) run on
+			// quiescent shards, where the save's duration stalls nobody.
+			t0 := time.Now()
+			s.takeSnapshot()
+			s.noteSnapPause(t0)
+		} else if s.pendingSnap == nil {
+			// One capture in flight at a time; sinceSnap keeps accumulating
+			// until the slot frees, so a slow write just stretches the
+			// interval instead of dropping a snapshot.
+			s.takeSnapshotAsync()
+		}
 	}
 }
 
@@ -420,7 +538,16 @@ func (s *shard) process(it item, w float64) {
 		s.cfg.BeforeProcess(s.id, e)
 	}
 
-	res := s.en.Process(e)
+	// Batched predicate evaluation: resolve the type's reactive bucket
+	// and predicate chain once per run of equal types, not once per
+	// event. ProcessResolved revalidates the bucket against indexGen, so
+	// a run cached before the type's first bucket existed stays correct.
+	tr := s.lastRes
+	if tr == nil || e.Type != s.lastType {
+		tr = s.en.ResolveType(e.Type)
+		s.lastType, s.lastRes = e.Type, tr
+	}
+	res := s.en.ProcessResolved(e, tr)
 	s.processed.Add(1)
 	s.strat.Observe(&res, e.Time)
 
@@ -498,7 +625,29 @@ func (s *shard) noteSnapshotProgress() {
 	}
 }
 
-// takeSnapshot persists the shard's full state and rotates the WAL.
+// noteSnapPause records one stretch of snapshot work done inline on the
+// claiming worker — time the shard was NOT processing events because of
+// the snapshot protocol. The sync path pays the whole encode+write here;
+// the async path pays only capture and the finalize (flush + WAL
+// rotation). The max is exported as ShardSnapshot.SnapPauseMaxNs: it is
+// both an ops gauge (worst event-latency spike durability injects) and
+// the statistic the snapshot-stall benchmark compares across the two
+// protocols.
+func (s *shard) noteSnapPause(t0 time.Time) {
+	d := time.Since(t0).Nanoseconds()
+	for {
+		cur := s.snapPauseMax.Load()
+		if d <= cur || s.snapPauseMax.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// takeSnapshot persists the shard's full state and rotates the WAL,
+// synchronously on the claiming worker — the shard pauses for the whole
+// encode+write. Used by the sync protocol (checkpoint.Config.SyncSave /
+// OnStage), the final snapshot in finish, and ctlImport's commit point;
+// the periodic hot-path snapshot goes through takeSnapshotAsync.
 func (s *shard) takeSnapshot() {
 	s.sinceSnap = 0
 	st := s.buildState()
@@ -517,8 +666,134 @@ func (s *shard) takeSnapshot() {
 	}
 }
 
+// pendingSnap is one in-flight background snapshot: the engine capture,
+// the shell state being filled in, and the completion signal. err/bytes
+// are written by the background goroutine before close(done) and read
+// by the shard only after it.
+type pendingSnap struct {
+	ref   *engine.SnapshotRef
+	st    *checkpoint.ShardState
+	done  chan struct{}
+	bytes int
+	err   error
+}
+
+// takeSnapshotAsync starts the off-hot-path snapshot protocol: pin the
+// engine's live matches by reference (engine.CaptureSnapshot — a flag
+// write per live match, no copying), freeze the counters and the seq
+// floor, and hand encoding plus the file writes to a background
+// goroutine. The shard keeps processing events meanwhile; those land in
+// the current WAL above the captured floor, so whatever instant a crash
+// hits, Load replays exactly the suffix the published snapshot misses
+// (records between capture and rotation end up in wal.prev, which Load
+// also reads). The shard finalizes — WAL rotation, counters, capture
+// release — in settleSnapshot once the write signals completion.
+func (s *shard) takeSnapshotAsync() {
+	defer s.noteSnapPause(time.Now())
+	ref := s.en.CaptureSnapshot()
+	if ref == nil {
+		return // capture already in flight (pendingSnap should have gated this)
+	}
+	s.sinceSnap = 0
+	ps := &pendingSnap{ref: ref, st: s.buildStateShell(), done: make(chan struct{})}
+	s.pendingSnap = ps
+	ckpt, killed, wake := s.ckpt, s.killed, s.wakeFn
+	go func() {
+		defer close(ps.done)
+		defer func() {
+			if p := recover(); p != nil {
+				ps.err = fmt.Errorf("snapshot encode/write panic: %v", p)
+			}
+			s.snapFinalize.Store(true)
+			if wake != nil {
+				wake()
+			}
+		}()
+		ps.st.Engine = ref.Encode()
+		if killed != nil && killed.Load() {
+			// Kill() raced the write: leave the files alone — the abandoned
+			// WAL tail IS the simulated crash state.
+			ps.err = fmt.Errorf("runtime killed during snapshot")
+			return
+		}
+		ps.bytes, ps.err = ckpt.WriteSnapshot(ps.st)
+	}()
+}
+
+// settleSnapshot finalizes a completed background snapshot on the
+// claiming worker: release the engine capture, rotate the WAL behind
+// the published snapshot, publish the counters. block=true waits for an
+// in-flight write — the paths that need the snapshot protocol quiescent
+// (finish, export, retire, panic recovery, which reuses the store and
+// rebuilds the engine); block=false finalizes only when the background
+// goroutine has already signalled completion.
+func (s *shard) settleSnapshot(block bool) {
+	ps := s.pendingSnap
+	if ps == nil {
+		return
+	}
+	if block {
+		<-ps.done
+	} else {
+		select {
+		case <-ps.done:
+		default:
+			return
+		}
+	}
+	s.pendingSnap = nil
+	s.snapFinalize.Store(false)
+	// Timed from here — after the wait, not including it: the blocking
+	// wait only happens on quiescence paths (finish, export, retire),
+	// while the serving path always arrives non-blocking with the write
+	// already signalled. What remains below is the inline finalize cost.
+	defer s.noteSnapPause(time.Now())
+	// Release runs here — on the claiming worker, between Process calls —
+	// per the SnapshotRef contract; captures that died mid-flight recycle
+	// now. Harmless after a supervisor rebuild: the ref unpins matches of
+	// the discarded engine.
+	ps.ref.Release()
+	if ps.err != nil {
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("runtime: shard %d: snapshot failed: %v", s.id, ps.err)
+		}
+		return
+	}
+	if s.ckpt == nil || (s.killed != nil && s.killed.Load()) {
+		return
+	}
+	// Settle the open flush group BEFORE rotation: closing the WAL
+	// flushes it, which would make held matches' M records durable while
+	// their deliveries sit in pend — exactly the lost-match state replay
+	// suppression would create.
+	if err := s.ckpt.Flush(); err != nil {
+		s.walFailed("flush", err)
+		return
+	}
+	s.releasePend()
+	if err := s.ckpt.RotateWAL(); err != nil {
+		s.walFailed("wal rotate", err)
+		return
+	}
+	s.snapshots.Add(1)
+	s.snapBytes.Store(int64(ps.bytes))
+	s.snapUnixNs.Store(ps.st.TakenNs)
+	if s.saveDLQ != nil {
+		s.saveDLQ()
+	}
+}
+
 // buildState freezes everything a restart needs into a ShardState.
 func (s *shard) buildState() *checkpoint.ShardState {
+	st := s.buildStateShell()
+	st.Engine = s.en.Snapshot()
+	return st
+}
+
+// buildStateShell freezes everything EXCEPT the engine image: counters,
+// the WAL seq floor, and the strategy blob. The async path fills Engine
+// in on the background goroutine from the by-reference capture.
+func (s *shard) buildStateShell() *checkpoint.ShardState {
 	st := &checkpoint.ShardState{
 		Shard:    s.id,
 		LastSeq:  s.lastSeq,
@@ -537,7 +812,6 @@ func (s *shard) buildState() *checkpoint.ShardState {
 			BaseDropped: s.pmDroppedBase,
 		},
 		StrategyName: s.strat.Name(),
-		Engine:       s.en.Snapshot(),
 	}
 	if ds, ok := s.strat.(shed.DurableStrategy); ok {
 		if blob, err := ds.MarshalState(); err == nil {
@@ -761,6 +1035,7 @@ func (s *shard) replayEvent(e *event.Event, boot bool, suppress map[string]bool)
 // closes the store; a Kill abandons the buffered WAL tail unflushed —
 // that is the crash being simulated.
 func (s *shard) finish() {
+	s.settleSnapshot(true)
 	if s.ckpt != nil {
 		if s.killed != nil && s.killed.Load() {
 			s.pend = s.pend[:0]
@@ -843,6 +1118,7 @@ func (s *shard) snapshot() ShardSnapshot {
 
 		Recovering:     s.recovering.Load(),
 		Snapshots:      s.snapshots.Load(),
+		SnapPauseMaxNs: s.snapPauseMax.Load(),
 		SnapshotBytes:  s.snapBytes.Load(),
 		SnapshotUnixNs: s.snapUnixNs.Load(),
 		WALReplayed:    s.walReplayed.Load(),

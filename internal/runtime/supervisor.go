@@ -194,78 +194,89 @@ func (q *deadLetters) state() *checkpoint.DeadLetterState {
 	return st
 }
 
-// runSupervised is the supervised worker entry point. It loops the
-// processing loop through recover() until the input channel closes.
-func (s *shard) runSupervised(r *Runtime) {
-	pol := r.cfg.Restart
-	rng := rand.New(rand.NewSource(int64(s.id)*7919 + 1))
-	var recent []time.Time // restart instants inside the breaker window
-	for {
-		pv, poison, clean := s.runOnce()
-		if clean {
+// quantumSupervised is the supervised quantum: one bounded slice of the
+// processing loop through recover(). A clean pass that observes the
+// channel closed finishes the shard; a panic runs the full quarantine /
+// restart / breaker protocol and parks the shard behind a notBefore
+// backoff deadline instead of sleeping a goroutine.
+func (s *shard) quantumSupervised(r *Runtime) bool {
+	pv, poison, worked, closed := s.quantumOnce()
+	if pv == nil {
+		if closed {
 			s.finish()
-			return
+			s.markDone(r)
 		}
-		// Settle the open flush group FIRST: recovery below reuses the
-		// store, and ShardStore.Load flushes the live writer — which would
-		// make the held matches' M records durable while the deliveries
-		// sit in pend, exactly the state replay suppression would turn
-		// into silently lost matches. Flush-and-release now, before
-		// anything else can flush behind our back.
-		s.flushPendOnPanic()
-		// A panic during BOOT replay must not bump the quarantined counter
-		// here: the retry re-runs recovery from the snapshot counters and
-		// its skip-path counts the poisoned seq exactly once. Counting it
-		// now too would double it and break the conservation law.
-		s.quarantine(r, poison, fmt.Sprintf("panic: %v", pv), !s.bootPending)
-		if s.ckpt != nil && poison.e != nil {
-			// The Q record makes the quarantine durable: replay after the
-			// NEXT crash (or restart) skips this seq, so a deterministic
-			// poison event cannot re-crash recovery forever.
-			if err := s.ckpt.AppendSkip(poison.e.Seq); err != nil {
-				s.walFailed("skip append", err)
-			}
-		}
-		s.restarts.Add(1)
-		now := time.Now()
-		recent = append(recent, now)
-		for len(recent) > 0 && now.Sub(recent[0]) > pol.Window {
-			recent = recent[1:]
-		}
-		if len(recent) > pol.MaxRestarts || !s.rebuild() {
-			s.failed.Store(true)
-			r.logf("runtime: shard %d circuit breaker tripped after %d restarts in %s; rerouting key range",
-				s.id, len(recent), pol.Window)
-			s.forwardRemaining(r)
-			return
-		}
-		if s.ckpt != nil {
-			// The rebuilt engine is empty; the next runOnce restores the last
-			// snapshot and replays the WAL tail (minus the quarantined seq),
-			// so the panic costs at most the in-flight event — not every
-			// partial match the shard had open. bootPending (still true if
-			// THIS panic interrupted boot replay) tells recoverReplay whether
-			// to resume boot counter composition or treat the retry as a
-			// post-panic in-process rebuild.
-			s.needRecover = true
-		}
-		d := pol.backoff(len(recent), rng)
-		r.logf("runtime: shard %d recovered from panic on seq=%d (%v); restart %d in %s",
-			s.id, poison.seq(), pv, len(recent), d)
-		time.Sleep(d)
+		return worked
 	}
+	// Settle the open flush group FIRST: recovery below reuses the
+	// store, and ShardStore.Load flushes the live writer — which would
+	// make the held matches' M records durable while the deliveries
+	// sit in pend, exactly the state replay suppression would turn
+	// into silently lost matches. Flush-and-release now, before
+	// anything else can flush behind our back.
+	s.flushPendOnPanic()
+	// Then drain the async snapshot protocol: rebuild below discards the
+	// engine the in-flight capture pins, and the next recovery reads the
+	// very snapshot files the background write is producing.
+	s.settleSnapshot(true)
+	// A panic during BOOT replay must not bump the quarantined counter
+	// here: the retry re-runs recovery from the snapshot counters and
+	// its skip-path counts the poisoned seq exactly once. Counting it
+	// now too would double it and break the conservation law.
+	s.quarantine(r, poison, fmt.Sprintf("panic: %v", pv), !s.bootPending)
+	if s.ckpt != nil && poison.e != nil {
+		// The Q record makes the quarantine durable: replay after the
+		// NEXT crash (or restart) skips this seq, so a deterministic
+		// poison event cannot re-crash recovery forever.
+		if err := s.ckpt.AppendSkip(poison.e.Seq); err != nil {
+			s.walFailed("skip append", err)
+		}
+	}
+	s.restarts.Add(1)
+	pol := s.cfg.Restart
+	now := time.Now()
+	s.recent = append(s.recent, now)
+	for len(s.recent) > 0 && now.Sub(s.recent[0]) > pol.Window {
+		s.recent = s.recent[1:]
+	}
+	if len(s.recent) > pol.MaxRestarts || !s.rebuild() {
+		s.failed.Store(true)
+		s.signalRecovered()
+		r.logf("runtime: shard %d circuit breaker tripped after %d restarts in %s; rerouting key range",
+			s.id, len(s.recent), pol.Window)
+		s.forwardQuantum(r)
+		return true
+	}
+	if s.ckpt != nil {
+		// The rebuilt engine is empty; the next quantum restores the last
+		// snapshot and replays the WAL tail (minus the quarantined seq),
+		// so the panic costs at most the in-flight event — not every
+		// partial match the shard had open. bootPending (still true if
+		// THIS panic interrupted boot replay) tells recoverReplay whether
+		// to resume boot counter composition or treat the retry as a
+		// post-panic in-process rebuild.
+		s.needRecover = true
+		s.needRecoverFlag.Store(true)
+	}
+	d := pol.backoff(len(s.recent), s.rng)
+	r.logf("runtime: shard %d recovered from panic on seq=%d (%v); restart %d in %s",
+		s.id, poison.seq(), pv, len(s.recent), d)
+	s.notBefore.Store(now.Add(d).UnixNano())
+	return true
 }
 
-// runOnce drains the input channel until it closes (clean=true) or a
-// panic escapes processing (clean=false, with the panic value and the
-// item being processed). A panic mid-batch salvages the batch's
-// unprocessed tail into s.rem: those events were popped from the
-// channel but never reached the engine or the WAL, so the next
-// incarnation consumes them as live input right after recovery.
-func (s *shard) runOnce() (pv any, poison item, clean bool) {
+// quantumOnce runs one bounded processing slice under recover():
+// pending recovery, salvaged remainder, then up to quantumBudget queued
+// events. closed reports the input channel closed with the queue
+// drained. On a panic pv holds the panic value and poison the item
+// being processed; the batch's unprocessed tail is salvaged into s.rem
+// — those events were popped from the channel but never reached the
+// engine or the WAL, so the next incarnation consumes them as live
+// input right after recovery.
+func (s *shard) quantumOnce() (pv any, poison item, worked, closed bool) {
 	defer func() {
 		if p := recover(); p != nil {
-			pv, poison = p, s.curItem
+			pv, poison, worked = p, s.curItem, true
 			if tail := s.panicRemainder(); len(tail) > 0 {
 				s.rem = append(tail, s.rem...)
 			}
@@ -279,15 +290,22 @@ func (s *shard) runOnce() (pv any, poison item, clean bool) {
 	if s.needRecover {
 		// Recovery runs under the same recover(): a panic while replaying
 		// a WAL event quarantines that event (curItem tracks it) and the
-		// next runOnce retries recovery with the poison seq skipped.
+		// next quantum retries recovery with the poison seq skipped.
 		s.needRecover = false
+		s.needRecoverFlag.Store(false)
 		s.recoverReplay(&s.curItem)
+		worked = true
 	}
+	s.booted.Store(true)
 	s.signalRecovered()
+	s.settleSnapshot(false)
 	w := s.cfg.SmoothWeight
-	s.consumeRemainder(w)
-	s.drain(w)
-	return nil, item{}, true
+	if len(s.rem) > 0 {
+		s.consumeRemainder(w)
+		worked = true
+	}
+	dw, dc := s.drainQuantum(w)
+	return nil, item{}, worked || dw, dc
 }
 
 // panicRemainder copies the unprocessed tail of the batch a panic
@@ -395,47 +413,94 @@ func (s *shard) rebuild() (ok bool) {
 	}
 	strat.Attach(en)
 	s.en, s.strat = en, strat
+	s.lastType, s.lastRes = "", nil // TypeRes is owned by the old engine
 	s.stratName.Store(strat.Name())
 	s.livePMs.Store(0)
 	return true
 }
 
-// forwardRemaining turns a permanently failed shard's worker into a
-// forwarder: items still in (or racing into) its queue — including any
-// batch tail a panic salvaged — are re-routed to a healthy shard, so
-// producers blocked on a send never deadlock and Close still drains. It
-// exits when the channel closes.
-func (s *shard) forwardRemaining(r *Runtime) {
-	for _, it := range s.rem {
+// forwardQuantum services a permanently failed shard: instead of
+// processing, items in its queue — including any batch tail a panic
+// salvaged — are re-routed to a healthy shard, so producers blocked on
+// a send never deadlock and Close still drains. Sends are NON-blocking:
+// with fewer workers than shards, the same worker may own both this
+// queue and the failover target, and a blocking send would deadlock it
+// against itself. Items that don't fit stay in s.rem with their depth
+// accounting intact; the shard stays "needs service" and a later pass
+// retries after the target drains.
+func (s *shard) forwardQuantum(r *Runtime) bool {
+	worked := false
+	for len(s.rem) > 0 {
+		if !r.tryFailover(s, s.rem[0]) {
+			return worked
+		}
+		s.rem = s.rem[1:]
 		s.depth.Add(-1)
-		r.failover(s, it)
+		worked = true
 	}
-	s.rem = nil
-	for b := range s.ch {
-		if b.items == nil {
-			s.depth.Add(-1)
-			r.failover(s, b.one)
-			continue
+	for consumed := 0; consumed < quantumBudget; consumed++ {
+		select {
+		case b, ok := <-s.ch:
+			if !ok {
+				s.chClosed = true
+				s.markDone(r)
+				return worked
+			}
+			worked = true
+			if b.ctl != nil {
+				// The engine behind this shard is dead (and possibly
+				// inconsistent mid-panic), so control ops answer with an
+				// error instead of touching it.
+				s.depth.Add(-1)
+				select {
+				case b.ctl.reply <- ctlReply{err: fmt.Errorf("shard %d: failed; cannot service control op", s.id)}:
+				default:
+				}
+				continue
+			}
+			if b.items == nil {
+				if !r.tryFailover(s, b.one) {
+					s.rem = append(s.rem, b.one)
+					return true
+				}
+				s.depth.Add(-1)
+				continue
+			}
+			for i, it := range b.items {
+				if !r.tryFailover(s, it) {
+					s.rem = append(s.rem, b.items[i:]...)
+					putItems(b.items)
+					return true
+				}
+				s.depth.Add(-1)
+			}
+			putItems(b.items)
+		default:
+			return worked
 		}
-		for _, it := range b.items {
-			s.depth.Add(-1)
-			r.failover(s, it)
-		}
-		putItems(b.items)
 	}
+	return worked
 }
 
-// failover re-routes one item from a failed shard to the next healthy
-// one, or quarantines it when no healthy shard remains. It mirrors
-// Offer's locking so the send cannot race Close closing the channels:
-// see the Runtime.mu comment.
-func (r *Runtime) failover(from *shard, it item) {
+// tryFailover re-routes one item from a failed shard to the next
+// healthy one (non-blocking), or quarantines it when no healthy shard
+// remains. Returns false when the target's queue is full — the caller
+// keeps the item and retries on a later pass. Mirrors Offer's locking
+// so the send cannot race Close closing the channels: see the
+// Runtime.mu comment.
+func (r *Runtime) tryFailover(from *shard, it item) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if t := r.fallbackFor(from.id); t != nil && !r.closed.Load() {
 		t.depth.Add(1)
-		t.ch <- batch{one: it}
-		return
+		select {
+		case t.ch <- batch{one: it}:
+			r.wakeOne()
+			return true
+		default:
+			t.depth.Add(-1)
+			return false
+		}
 	}
 	// The item left the queue without reaching process(), so count its
 	// arrival here: the conservation law `events_in == shed + processed +
@@ -445,6 +510,7 @@ func (r *Runtime) failover(from *shard, it item) {
 		from.eventsIn.Add(1)
 	}
 	from.quarantine(r, it, "no healthy shard for failover", true)
+	return true
 }
 
 // fallbackFor returns the next healthy shard after id, or nil when every

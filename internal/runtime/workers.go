@@ -1,0 +1,142 @@
+package runtime
+
+import "time"
+
+// This file is the worker pool: M worker goroutines servicing N shard
+// queues. Shards and workers used to be the same thing (one goroutine
+// per shard), which wasted cores under key skew — a zipfian hot shard
+// saturated its one goroutine while the goroutines of cold shards sat
+// parked. Decoupling the two keeps the shard as the unit of state
+// (single-writer engine partitions, per-key ordering) and makes the
+// worker the unit of CPU.
+//
+// Invariants:
+//
+//   - A shard is serviced by at most one worker at a time: workers claim
+//     a shard by TryLock on its svc mutex. Everything the old per-shard
+//     goroutine owned (engine, strategy, WAL, pend, rem, recovery state)
+//     is now owned by "the worker holding svc", and since claims never
+//     overlap, the single-writer story is unchanged.
+//   - Work stealing moves WHOLE SHARDS, never individual events: an idle
+//     worker claims somebody else's backlogged shard and services it in
+//     place. Events of one key still pass through one queue in order.
+//   - A claim is bounded (quantumBudget events) so a worker cannot camp
+//     on one deep queue while other shards back up.
+//
+// Wakeups: producers send a token on r.wake (non-blocking, capacity =
+// workers) after enqueueing; an idle worker blocks on the channel.
+// Because the token is sent AFTER the channel send and the channel is
+// buffered, a worker that drains the token and finds nothing will still
+// see the item on its next pass — the token cannot be lost between a
+// depth check and the blocking receive. Shards that are waiting rather
+// than ready (restart backoff) are polled on a short timer instead.
+
+// idlePoll is the fallback poll interval while some shard has pending
+// work that cannot run yet (restart backoff, in-flight snapshot).
+const idlePoll = 2 * time.Millisecond
+
+// worker is one pool goroutine. wid's home shards are {i : i ≡ wid mod
+// workers}; each pass services homes first (cache affinity, and with
+// Workers == Shards the pool degenerates to the old one-goroutine-per-
+// shard layout), then steals any other claimable shard.
+func (r *Runtime) worker(wid int) {
+	defer r.wg.Done()
+	n := len(r.shards)
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	for {
+		worked, waiting := false, false
+		now := time.Now().UnixNano()
+		closed := r.closed.Load()
+		for i := wid; i < n; i += r.workers {
+			w, wait := r.tryService(r.shards[i], now, closed)
+			worked = worked || w
+			waiting = waiting || wait
+		}
+		if !worked {
+			// Steal pass: scan the remaining shards, starting just past the
+			// home set so concurrent idle workers fan out instead of piling
+			// onto shard 0. One successful steal sends the worker back to a
+			// full pass — home shards keep priority.
+			for off := 1; off < n && !worked; off++ {
+				i := (wid + off) % n
+				if r.workers > 0 && i%r.workers == wid {
+					continue // home shard, already tried
+				}
+				w, wait := r.tryService(r.shards[i], now, closed)
+				if w {
+					worked = true
+					r.steals.Add(1)
+				}
+				waiting = waiting || wait
+			}
+		}
+		if worked {
+			continue
+		}
+		if r.allDone() {
+			// Re-wake siblings so no worker stays blocked on r.wake after
+			// the last shard retires.
+			r.wakeAll()
+			return
+		}
+		if waiting {
+			timer.Reset(idlePoll)
+			select {
+			case <-r.wake:
+			case <-timer.C:
+			}
+		} else {
+			<-r.wake
+		}
+	}
+}
+
+// tryService claims and services one shard if it both needs service and
+// is unclaimed. waiting reports pending-but-backed-off work the caller
+// should poll for rather than block on.
+func (r *Runtime) tryService(s *shard, now int64, closed bool) (worked, waiting bool) {
+	ready, wait := s.needsService(now, closed)
+	if !ready {
+		return false, wait
+	}
+	if !s.svc.TryLock() {
+		// Another worker owns the shard; it will drain or go idle and the
+		// shard gets rescanned. Not a waiting state.
+		return false, false
+	}
+	worked = s.quantum(r)
+	s.svc.Unlock()
+	return worked, false
+}
+
+// wakeOne drops one wake token, never blocking: with the channel full,
+// every sleeping worker already has a token waiting.
+func (r *Runtime) wakeOne() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// wakeAll tops the token channel up to one token per worker.
+func (r *Runtime) wakeAll() {
+	for i := 0; i < r.workers; i++ {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// allDone reports whether every shard has retired (channel closed and
+// finish/forwarding complete) — the workers' exit condition.
+func (r *Runtime) allDone() bool {
+	for _, sh := range r.shards {
+		if !sh.doneFlag.Load() {
+			return false
+		}
+	}
+	return true
+}

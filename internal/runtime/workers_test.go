@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"cepshed/internal/checkpoint"
+	"cepshed/internal/engine"
+	"cepshed/internal/event"
+	"cepshed/internal/fault"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// zipfStream builds a Q1-shaped stream (types A/B/C/D with ID and V
+// attributes) whose IDs follow a Zipf distribution, so hash partitioning
+// lands most of the load on a few hot shards. That is the adversarial
+// input for the worker pool: home workers of cold shards go idle and
+// must steal the hot shards to keep up.
+func zipfStream(events int, seed int64) event.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, 63)
+	types := []string{"A", "B", "C", "D"}
+	var b event.Builder
+	t := event.Time(0)
+	for i := 0; i < events; i++ {
+		t += 15 * event.Microsecond
+		e := event.New(types[rng.Intn(len(types))], t, map[string]event.Value{
+			"ID": event.Int(int64(zipf.Uint64()) + 1),
+			"V":  event.Int(int64(1 + rng.Intn(10))),
+		})
+		b.Add(e)
+	}
+	return b.Finish()
+}
+
+// With fewer workers than shards (2 workers, 8 shards) and a zipfian key
+// distribution, shards are serviced by whichever worker claims them —
+// the claim lock migrates shards between workers constantly. Two
+// invariants must survive that: the conservation identity
+// events_in == shed + processed + quarantined, and per-key processing
+// order (each key lives on one shard, and a shard is only ever serviced
+// by one claim holder at a time). Run under -race this also checks the
+// claim handoff publishes engine state correctly between workers.
+func TestWorkStealingZipfianConservationAndOrdering(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := zipfStream(8000, 11)
+
+	var mu sync.Mutex
+	lastSeq := map[int64]uint64{}
+	violations := 0
+	r := New(m, Config{
+		Shards:  8,
+		Workers: 2,
+		BeforeProcess: func(_ int, e *event.Event) {
+			id := e.Int("ID")
+			mu.Lock()
+			if prev, ok := lastSeq[id]; ok && e.Seq <= prev {
+				violations++
+			}
+			lastSeq[id] = e.Seq
+			mu.Unlock()
+		},
+	})
+	snap := r.Snapshot()
+	if snap.Workers != 2 {
+		t.Fatalf("snapshot reports %d workers, want 2", snap.Workers)
+	}
+
+	const chunk = 128
+	for i := 0; i < len(s); i += chunk {
+		end := i + chunk
+		if end > len(s) {
+			end = len(s)
+		}
+		r.OfferBatch(s[i:end])
+	}
+	r.Close()
+	snap = r.Snapshot()
+
+	if violations != 0 {
+		t.Fatalf("%d per-key ordering violations under work stealing", violations)
+	}
+	if got := snap.EventsShed + snap.EventsProcessed + snap.ShardQuarantined; got != snap.EventsIn {
+		t.Fatalf("conservation violated: events_in=%d != shed+processed+quarantined=%d", snap.EventsIn, got)
+	}
+	if snap.EventsIn != uint64(len(s)) {
+		t.Fatalf("events_in=%d, offered %d", snap.EventsIn, len(s))
+	}
+	if snap.EventsProcessed != uint64(len(s)) {
+		t.Fatalf("processed=%d, want all %d (no strategy, no bound: nothing may shed)", snap.EventsProcessed, len(s))
+	}
+}
+
+// TestChaosStealDuringSnapshot drives the worker pool and the async
+// snapshot protocol into each other with fault injectors: a Delay on
+// shard 0 pins its claim holder so the other worker must steal the
+// remaining shards — including ones with a background snapshot in
+// flight (capture handoff, settle on a DIFFERENT worker than the one
+// that started the snapshot) — and FailStageOnce crashes one background
+// snapshot write mid-protocol. The failed write must be contained (no
+// shard restart — the write ran off-thread), later snapshots must
+// succeed, matches must stay exactly the sequential reference set, and
+// steals must actually have happened for the test to mean anything.
+func TestChaosStealDuringSnapshot(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("8ms"))
+	s := gen.DS1(gen.DS1Config{Events: 2500, Seed: 23, InterArrival: 15 * event.Microsecond})
+	want := sortedKeys(engine.Sequential(m, engine.DefaultCosts(), s, false))
+
+	r := New(m, Config{
+		Shards:         4,
+		Workers:        2,
+		CollectMatches: true,
+		Durability: &checkpoint.Config{
+			Dir:         t.TempDir(),
+			EveryEvents: 150,
+			FlushEvery:  1,
+			OnStage:     fault.FailStageOnce("tmp-written", 2),
+		},
+		BeforeProcess: fault.Delay(100*time.Microsecond, func(shard int, _ *event.Event) bool {
+			return shard == 0
+		}),
+	})
+	r.WaitRecovered()
+	for _, e := range s {
+		r.Offer(e)
+	}
+	r.Close()
+	snap := r.Snapshot()
+
+	if snap.Steals == 0 {
+		t.Fatal("no shard was stolen; the fault layout failed to force work stealing")
+	}
+	if snap.Restarts != 0 {
+		t.Fatalf("restarts=%d; a background snapshot-write crash must not restart the shard", snap.Restarts)
+	}
+	if snap.Snapshots < 2 {
+		t.Fatalf("snapshots=%d; snapshots after the injected write crash must succeed", snap.Snapshots)
+	}
+	if got := snap.EventsShed + snap.EventsProcessed + snap.ShardQuarantined; got != snap.EventsIn {
+		t.Fatalf("conservation violated: events_in=%d != shed+processed+quarantined=%d", snap.EventsIn, got)
+	}
+	got := r.MatchKeys()
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("match set diverged: got %d matches, reference %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("reference run found no matches; test is vacuous")
+	}
+}
