@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos fuzz-seeds fuzz recover-smoke multiquery-smoke cluster-smoke profile
+.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos chaos-net fuzz-seeds fuzz recover-smoke multiquery-smoke cluster-smoke profile
 
-check: vet build race fuzz-seeds chaos recover-smoke multiquery-smoke cluster-smoke bench-smoke bench-compare
+check: vet build race fuzz-seeds chaos chaos-net recover-smoke multiquery-smoke cluster-smoke bench-smoke bench-compare
 
 # Pinned so `go run` resolves one known-good version from the module
 # cache or proxy. Offline (no proxy, cold cache) the probe fails and vet
@@ -61,10 +61,21 @@ multiquery-smoke:
 cluster-smoke:
 	$(GO) test -count=1 -run ClusterSmoke -timeout 300s ./cmd/cepserved
 
+# Network-partition chaos matrix (docs/CLUSTER.md, docs/ROBUSTNESS.md):
+# deterministic fault injection on the inter-node links — dropped acks
+# forcing idempotent retries, symmetric and asymmetric partitions,
+# partition during handoff and during failover, topology reload with a
+# node joining mid-stream — each run ending in a cluster-wide
+# conservation audit. Always under the race detector.
+chaos-net:
+	$(GO) test -race -count=1 \
+		-run 'TestChaosNet|TestDetectorAsymmetricPartition|TestTopologyReload|TestNetChaos' \
+		./internal/cluster ./internal/fault
+
 # Replay the checked-in fuzz corpora (seeds plus any minimized crashers)
 # as a plain regression suite; part of `make check`.
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/runtime ./internal/query ./internal/csvio ./internal/checkpoint
+	$(GO) test -run 'Fuzz' ./internal/runtime ./internal/query ./internal/csvio ./internal/checkpoint ./internal/cluster
 
 # Explore new inputs. Crashers land in testdata/fuzz/ — check them in.
 FUZZTIME ?= 30s

@@ -25,11 +25,13 @@
 //
 // With -cluster topology.json -node <name>, additional /cluster routes
 // serve the multi-node layer (docs/CLUSTER.md): GET /cluster (node
-// status), /cluster/health (heartbeat), /cluster/placement,
-// /cluster/stats, and POST /cluster/forward, /cluster/handoff,
-// /cluster/move (planned shard migration). Mutating admin and cluster
-// routes accept an optional shared bearer token (-admin-token) and are
-// body- and time-bounded.
+// status), /cluster/health (heartbeat), /cluster/peerview (death-
+// confirmation votes), /cluster/placement, /cluster/stats (cluster-wide
+// rollup), /cluster/audit (conservation auditor), and POST
+// /cluster/forward, /cluster/handoff, /cluster/move (planned shard
+// migration), /cluster/reload (re-read the topology file; SIGHUP does
+// the same). Mutating admin and cluster routes accept an optional
+// shared bearer token (-admin-token) and are body- and time-bounded.
 //
 // Queries are added and removed at runtime — no restart: POST /queries
 // compiles and validates the query text (and its shedding strategy)
@@ -311,6 +313,26 @@ func main() {
 			log.Fatalf("cepserved: %v", err)
 		}
 		srv.cl = cl
+		cfgPath := *clusterCfg
+		srv.loadTop = func() (cluster.Topology, error) { return cluster.LoadTopology(cfgPath) }
+		// SIGHUP re-reads the topology file and applies membership
+		// changes in place (POST /cluster/reload is the same path).
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				top, err := srv.loadTop()
+				if err != nil {
+					log.Printf("cepserved: SIGHUP topology reload: %v", err)
+					continue
+				}
+				if err := cl.ReloadTopology(top); err != nil {
+					log.Printf("cepserved: SIGHUP topology reload: %v", err)
+					continue
+				}
+				log.Printf("cepserved: topology reloaded from %s (%d nodes)", cfgPath, len(top.Nodes))
+			}
+		}()
 		log.Printf("cepserved: cluster node %q in %d-node topology %s", *nodeName, len(topo.Nodes), *clusterCfg)
 	}
 
@@ -423,6 +445,7 @@ func main() {
 type server struct {
 	reg        *registry.Registry
 	cl         *cluster.Node // nil outside cluster mode
+	loadTop    func() (cluster.Topology, error)
 	adminToken string
 	adminTO    time.Duration
 	started    time.Time
@@ -768,6 +791,11 @@ func (s *server) mux() *http.ServeMux {
 		mux.Handle("POST /cluster/forward", s.auth(maxBody(64<<20, s.cl.HandleForward)))
 		mux.Handle("POST /cluster/handoff", withTimeout(2*time.Minute, s.auth(maxBody(1<<28+1<<20, s.cl.HandleHandoff))))
 		mux.Handle("POST /cluster/move", withTimeout(2*time.Minute, s.auth(s.cl.HandleMove)))
+		mux.HandleFunc("GET /cluster/peerview", s.cl.HandlePeerView)
+		mux.HandleFunc("GET /cluster/audit", s.cl.HandleAudit)
+		if s.loadTop != nil {
+			mux.Handle("POST /cluster/reload", withTimeout(s.adminTO, s.auth(s.cl.HandleReload(s.loadTop))))
+		}
 	}
 	return mux
 }
@@ -796,8 +824,18 @@ func writeClusterProm(w io.Writer, node string, st cluster.Status) {
 	p.SampleUint("cepshed_cluster_forwarded_out_total", st.ForwardedOut)
 	p.Counter("cepshed_cluster_forwarded_in_total", "Event pairs received from peer routers.")
 	p.SampleUint("cepshed_cluster_forwarded_in_total", st.ForwardedIn)
-	p.Counter("cepshed_cluster_forward_dropped_total", "Event pairs dropped at the router: queue full, owner down, send failed.")
+	p.Counter("cepshed_cluster_forward_dropped_total", "Event pairs dropped at the router: queue full, owner down, retries exhausted.")
 	p.SampleUint("cepshed_cluster_forward_dropped_total", st.ForwardDrop)
+	p.Counter("cepshed_cluster_router_dropped_total", "Event pairs dropped on one peer link (queue overflow or failed delivery).")
+	for _, pf := range st.PeerForwards {
+		p.SampleUint("cepshed_cluster_router_dropped_total", pf.Dropped, "peer", pf.Name)
+	}
+	p.Counter("cepshed_cluster_forward_retries_total", "Forward batch re-sends after ambiguous network failures.")
+	p.SampleUint("cepshed_cluster_forward_retries_total", st.Retries)
+	p.Counter("cepshed_cluster_forward_redirects_total", "Forward batches re-routed after an ownership NACK.")
+	p.SampleUint("cepshed_cluster_forward_redirects_total", st.Redirects)
+	p.Counter("cepshed_cluster_dup_batches_total", "Retried forward batches refused by the receiver's dedup window.")
+	p.SampleUint("cepshed_cluster_dup_batches_total", st.DupBatches)
 	p.Counter("cepshed_cluster_router_shed_total", "Event pairs refused by degraded-mode router admission.")
 	p.SampleUint("cepshed_cluster_router_shed_total", st.RouterShed)
 	p.Counter("cepshed_cluster_handoffs_out_total", "Planned handoffs shipped successfully.")

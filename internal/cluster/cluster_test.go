@@ -63,6 +63,7 @@ type tcNode struct {
 	in     *registry.Instance
 	node   *Node
 	srv    *httptest.Server
+	top    Topology // the full topology (every harness node), for reloads
 	muxp   *atomic.Pointer[http.ServeMux]
 	seq    atomic.Uint64
 	lastT  atomic.Int64
@@ -105,9 +106,32 @@ func (tn *tcNode) kill() {
 	})
 }
 
+// tcOpts customizes the harness beyond the common-path defaults.
+type tcOpts struct {
+	// transport, when set, supplies each node's HTTP transport keyed by
+	// node name — chaos tests hand every node its own fault.NetChaos so
+	// partitions can be asymmetric.
+	transport      func(name string) http.RoundTripper
+	forwardRetries int
+	retryPolicy    runtime.RestartPolicy
+	forwardBuf     int
+	// topoNames, when set for a node, is the member list that node
+	// boots with (default: every name) — the reload test starts the
+	// incumbents on a smaller topology than the joiner.
+	topoNames map[string][]string
+	// deferStart nodes are built but not Start()ed; the test starts
+	// them when the scenario calls for it.
+	deferStart map[string]bool
+}
+
 // newTestCluster builds len(names) in-process nodes sharing one state
 // root, each serving the same query over `shards` slots.
 func newTestCluster(t *testing.T, names []string, shards int, col *matchCollector, det DetectorConfig) map[string]*tcNode {
+	t.Helper()
+	return newTestClusterOpts(t, names, shards, col, det, tcOpts{})
+}
+
+func newTestClusterOpts(t *testing.T, names []string, shards int, col *matchCollector, det DetectorConfig, opts tcOpts) map[string]*tcNode {
 	t.Helper()
 	root := t.TempDir()
 	nodes := map[string]*tcNode{}
@@ -146,21 +170,44 @@ func newTestCluster(t *testing.T, names []string, shards int, col *matchCollecto
 			t.Fatal(err)
 		}
 		in.WaitReady()
-		node, err := New(Config{
-			Self:        name,
-			Topology:    top,
-			Registry:    reg,
-			StampTime:   tn.stampTime,
-			StampSeq:    tn.stampSeq,
-			BumpSeq:     tn.bumpSeq,
-			Detector:    det,
-			HTTPTimeout: 2 * time.Second,
-		})
+		nodeTop := top
+		if members, ok := opts.topoNames[name]; ok {
+			nodeTop = Topology{}
+			keep := map[string]bool{}
+			for _, m := range members {
+				keep[m] = true
+			}
+			for _, spec := range top.Nodes {
+				if keep[spec.Name] {
+					nodeTop.Nodes = append(nodeTop.Nodes, spec)
+				}
+			}
+		}
+		tn.top = top
+		cfg := Config{
+			Self:           name,
+			Topology:       nodeTop,
+			Registry:       reg,
+			StampTime:      tn.stampTime,
+			StampSeq:       tn.stampSeq,
+			BumpSeq:        tn.bumpSeq,
+			Detector:       det,
+			HTTPTimeout:    2 * time.Second,
+			ForwardRetries: opts.forwardRetries,
+			RetryPolicy:    opts.retryPolicy,
+			ForwardBuf:     opts.forwardBuf,
+		}
+		if opts.transport != nil {
+			cfg.Transport = opts.transport(name)
+		}
+		node, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("GET /cluster/health", node.HandleHealth)
+		mux.HandleFunc("GET /cluster/peerview", node.HandlePeerView)
+		mux.HandleFunc("GET /cluster/audit", node.HandleAudit)
 		mux.HandleFunc("/cluster/placement", node.HandlePlacement)
 		mux.HandleFunc("POST /cluster/forward", node.HandleForward)
 		mux.HandleFunc("POST /cluster/handoff", node.HandleHandoff)
@@ -169,6 +216,9 @@ func newTestCluster(t *testing.T, names []string, shards int, col *matchCollecto
 		tn.reg, tn.in, tn.node = reg, in, node
 	}
 	for _, name := range names {
+		if opts.deferStart[name] {
+			continue
+		}
 		nodes[name].node.Start()
 	}
 	t.Cleanup(func() {

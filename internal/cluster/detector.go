@@ -79,6 +79,7 @@ type PeerStatus struct {
 type peerState struct {
 	mu               sync.Mutex
 	spec             NodeSpec
+	stop             chan struct{}
 	up               bool
 	misses           int
 	deadProbes       int
@@ -91,10 +92,14 @@ type peerState struct {
 // up (a cold cluster must not failover nodes that simply haven't
 // finished booting); the first Misses failures flip them down.
 type Detector struct {
-	cfg   DetectorConfig
-	peers map[string]*peerState
-	done  chan struct{}
-	wg    sync.WaitGroup
+	cfg DetectorConfig
+
+	mu      sync.Mutex
+	peers   map[string]*peerState
+	started bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 // NewDetector builds a detector over the given peers (self excluded by
@@ -106,13 +111,16 @@ func NewDetector(cfg DetectorConfig, peers []NodeSpec) *Detector {
 		done:  make(chan struct{}),
 	}
 	for _, p := range peers {
-		d.peers[p.Name] = &peerState{spec: p, up: true}
+		d.peers[p.Name] = &peerState{spec: p, stop: make(chan struct{}), up: true}
 	}
 	return d
 }
 
 // Start launches the per-peer probe loops.
 func (d *Detector) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.started = true
 	for _, ps := range d.peers {
 		d.wg.Add(1)
 		go d.run(ps)
@@ -125,10 +133,61 @@ func (d *Detector) Close() {
 	d.wg.Wait()
 }
 
+// AddPeer starts probing a new peer (dynamic topology reload). The
+// peer starts presumed up, like every peer at boot. No-op when the
+// name is already tracked.
+func (d *Detector) AddPeer(spec NodeSpec) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.peers[spec.Name]; ok {
+		return
+	}
+	ps := &peerState{spec: spec, stop: make(chan struct{}), up: true}
+	d.peers[spec.Name] = ps
+	if d.started {
+		d.wg.Add(1)
+		go d.run(ps)
+	}
+}
+
+// RemovePeer stops probing a peer and forgets its state.
+func (d *Detector) RemovePeer(name string) {
+	d.mu.Lock()
+	ps, ok := d.peers[name]
+	if ok {
+		delete(d.peers, name)
+	}
+	d.mu.Unlock()
+	if ok {
+		close(ps.stop)
+	}
+}
+
+// PeerUp reports this detector's current view of one peer — the
+// answer a survivor asks for before failing a third node over (death
+// confirmation). A quarantined peer reports down, matching Status.
+func (d *Detector) PeerUp(name string) (up, known bool) {
+	d.mu.Lock()
+	ps, ok := d.peers[name]
+	d.mu.Unlock()
+	if !ok {
+		return false, false
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.up && !time.Now().Before(ps.quarantinedUntil), true
+}
+
 // Status snapshots every peer's state, sorted by name upstream.
 func (d *Detector) Status() []PeerStatus {
-	out := make([]PeerStatus, 0, len(d.peers))
+	d.mu.Lock()
+	peers := make([]*peerState, 0, len(d.peers))
 	for _, ps := range d.peers {
+		peers = append(peers, ps)
+	}
+	d.mu.Unlock()
+	out := make([]PeerStatus, 0, len(peers))
+	for _, ps := range peers {
 		ps.mu.Lock()
 		q := time.Now().Before(ps.quarantinedUntil)
 		out = append(out, PeerStatus{
@@ -158,6 +217,8 @@ func (d *Detector) run(ps *peerState) {
 	for {
 		select {
 		case <-d.done:
+			return
+		case <-ps.stop:
 			return
 		case <-timer.C:
 		}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"cepshed/internal/event"
+	"cepshed/internal/runtime"
+)
+
+// Forward-batch frame: the body of POST /cluster/forward is one JSON
+// header line followed by NDJSON event lines. The header carries the
+// idempotence and fencing state the URL-parameter protocol could not:
+//
+//	{"v":1,"sender":"n1","batch":7,"tenant":"t1","query":"q","slot":3,"epoch":2,"count":5}
+//	{"type":"A",...}
+//	... count event lines ...
+//
+// Batch is the sender's monotone per-process batch number — the
+// receiver's dedup key (sender, batch), so a retried batch is accepted
+// at most once. Epoch is the sender's view of the slot's ownership
+// epoch; a receiver whose epoch is newer, or who no longer owns the
+// slot, refuses the batch (409) with its own placement so the sender
+// can re-route instead of double-delivering into a split brain.
+
+// ForwardFrameVersion is the current frame version.
+const ForwardFrameVersion = 1
+
+// maxForwardHeader bounds the header line; maxForwardCount bounds the
+// declared event count (the forwarder coalesces far fewer).
+const (
+	maxForwardHeader = 4096
+	maxForwardCount  = 65536
+)
+
+// ForwardHeader is the frame's first line.
+type ForwardHeader struct {
+	V      int    `json:"v"`
+	Sender string `json:"sender"`
+	Batch  uint64 `json:"batch"`
+	Tenant string `json:"tenant"`
+	Query  string `json:"query"`
+	Slot   int    `json:"slot"`
+	Epoch  uint64 `json:"epoch"`
+	Count  int    `json:"count"`
+}
+
+// EncodeForwardHeader renders the header line, newline included.
+func EncodeForwardHeader(h ForwardHeader) []byte {
+	b, _ := json.Marshal(h)
+	return append(b, '\n')
+}
+
+// DecodeForwardHeader parses and validates one header line (with or
+// without its trailing newline).
+func DecodeForwardHeader(line []byte) (ForwardHeader, error) {
+	var h ForwardHeader
+	if len(line) > maxForwardHeader {
+		return h, fmt.Errorf("cluster: forward header too long (%d bytes)", len(line))
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&h); err != nil {
+		return h, fmt.Errorf("cluster: forward header: %w", err)
+	}
+	if h.V != ForwardFrameVersion {
+		return h, fmt.Errorf("cluster: forward frame version %d, want %d", h.V, ForwardFrameVersion)
+	}
+	if h.Sender == "" {
+		return h, errors.New("cluster: forward header: empty sender")
+	}
+	if h.Slot < 0 {
+		return h, fmt.Errorf("cluster: forward header: negative slot %d", h.Slot)
+	}
+	if h.Count < 0 || h.Count > maxForwardCount {
+		return h, fmt.Errorf("cluster: forward header: count %d out of range", h.Count)
+	}
+	return h, nil
+}
+
+// readForwardHeader consumes the header line from a stream, leaving
+// the reader positioned at the first event line.
+func readForwardHeader(r *bufio.Reader) (ForwardHeader, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil && (err != io.EOF || len(line) == 0) {
+		return ForwardHeader{}, fmt.Errorf("cluster: forward header: %w", err)
+	}
+	return DecodeForwardHeader(line)
+}
+
+// DecodeForwardFrame parses a complete frame from memory: the header,
+// then every event line. Malformed event lines are skipped and counted
+// (the sender encoded them, so a bad line is a sender bug, not a
+// reason to poison the batch); a malformed header fails the frame.
+// This is the fuzz target: it must never panic and never allocate
+// proportionally to a lying Count.
+func DecodeForwardFrame(data []byte) (ForwardHeader, []*event.Event, int, error) {
+	i := bytes.IndexByte(data, '\n')
+	var hline, rest []byte
+	if i < 0 {
+		hline, rest = data, nil
+	} else {
+		hline, rest = data[:i+1], data[i+1:]
+	}
+	h, err := DecodeForwardHeader(hline)
+	if err != nil {
+		return h, nil, 0, err
+	}
+	dec := runtime.NewLineDecoder(bytes.NewReader(rest), 0)
+	var evs []*event.Event
+	bad := 0
+	for {
+		e, _, err := dec.Next()
+		if err != nil {
+			var lerr *runtime.LineError
+			if errors.As(err, &lerr) {
+				bad++
+				continue
+			}
+			if err != io.EOF {
+				bad++
+			}
+			break
+		}
+		evs = append(evs, e)
+	}
+	return h, evs, bad, nil
+}

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cepshed/internal/event"
+	"cepshed/internal/runtime"
+)
+
+// FuzzForwardDecode hammers the forward-frame decoder — the one parser
+// on the cluster's hot network boundary that reads bytes a (possibly
+// confused) peer sent. It must never panic, never allocate off a lying
+// Count, and anything it does accept must re-encode to a header that
+// decodes back to itself.
+func FuzzForwardDecode(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\"v\":1,\"sender\":\"n1\",\"batch\":1,\"tenant\":\"t\",\"query\":\"q\",\"slot\":0,\"epoch\":0,\"count\":0}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, evs, bad, err := DecodeForwardFrame(data)
+		if err != nil {
+			return
+		}
+		if h.V != ForwardFrameVersion {
+			t.Fatalf("accepted frame version %d", h.V)
+		}
+		if h.Sender == "" || h.Slot < 0 || h.Count < 0 || h.Count > maxForwardCount {
+			t.Fatalf("accepted invalid header %+v", h)
+		}
+		// Decoded events + bad lines cannot exceed the physical line
+		// count of the body (a lying Count must not inflate them).
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			lines := bytes.Count(data[i+1:], []byte("\n")) + 1
+			if len(evs)+bad > lines {
+				t.Fatalf("decoded %d events + %d bad from %d body lines", len(evs), bad, lines)
+			}
+		} else if len(evs)+bad != 0 {
+			t.Fatalf("decoded %d events + %d bad from an empty body", len(evs), bad)
+		}
+		// Round-trip: the header we accepted re-encodes losslessly.
+		h2, err := DecodeForwardHeader(EncodeForwardHeader(h))
+		if err != nil {
+			t.Fatalf("re-encoded header rejected: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("header round-trip diverged: %+v vs %+v", h, h2)
+		}
+	})
+}
+
+// TestRegenForwardFuzzCorpus rewrites the checked-in seed corpus for
+// FuzzForwardDecode when CEPSHED_REGEN_CORPUS=1. Run it after any
+// frame-format change (and bump ForwardFrameVersion):
+//
+//	CEPSHED_REGEN_CORPUS=1 go test ./internal/cluster -run RegenForwardFuzzCorpus
+func TestRegenForwardFuzzCorpus(t *testing.T) {
+	if os.Getenv("CEPSHED_REGEN_CORPUS") != "1" {
+		t.Skip("set CEPSHED_REGEN_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzForwardDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	line := func(id int64, typ string) []byte {
+		e := event.New(typ, 10*event.Millisecond, map[string]event.Value{"ID": event.Int(id), "V": event.Int(1)})
+		return append(runtime.EncodeEvent(e), '\n')
+	}
+	hdr := EncodeForwardHeader(ForwardHeader{
+		V: ForwardFrameVersion, Sender: "n1", Batch: 7, Tenant: "t1", Query: "abc",
+		Slot: 3, Epoch: 2, Count: 3,
+	})
+	valid := append(append(append(append([]byte(nil), hdr...), line(1, "A")...), line(1, "B")...), line(1, "C")...)
+
+	badLine := append(append([]byte(nil), hdr...), []byte("{not json}\n")...)
+	badLine = append(badLine, line(2, "A")...)
+
+	lyingCount := EncodeForwardHeader(ForwardHeader{
+		V: ForwardFrameVersion, Sender: "n1", Batch: 8, Count: maxForwardCount,
+	})
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x20
+
+	seeds := map[string][]byte{
+		"frame-valid":      valid,
+		"frame-bad-line":   badLine,
+		"frame-bitflip":    flipped,
+		"frame-trunc":      valid[:len(valid)/2],
+		"header-only":      hdr,
+		"header-no-nl":     bytes.TrimSuffix(hdr, []byte("\n")),
+		"lying-count":      lyingCount,
+		"wrong-version":    []byte(`{"v":9,"sender":"n1","batch":1,"count":0}` + "\n"),
+		"unknown-field":    []byte(`{"v":1,"sender":"n1","batch":1,"count":0,"extra":true}` + "\n"),
+		"negative-slot":    []byte(`{"v":1,"sender":"n1","batch":1,"slot":-4,"count":0}` + "\n"),
+		"empty-sender":     []byte(`{"v":1,"sender":"","batch":1,"count":0}` + "\n"),
+		"oversized-header": append(append([]byte(`{"v":1,"sender":"`), bytes.Repeat([]byte("x"), maxForwardHeader)...), []byte(`","batch":1,"count":0}`+"\n")...),
+		"not-json":         []byte("hello\nworld\n"),
+		"zero-length":      {},
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -3,8 +3,10 @@ package cluster
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"path/filepath"
 	"strconv"
@@ -77,8 +79,15 @@ func (n *Node) MoveSlot(tenant, query string, slot int, target string) error {
 	h := &checkpoint.Handoff{Tenant: tenant, Query: query, Shard: slot, State: st}
 	frame := checkpoint.EncodeHandoff(h, in.Runtime().Fingerprint())
 
+	// hid makes the ship idempotent: a retry after an ambiguous
+	// network failure (the import may or may not have landed) replays
+	// the frame under the same ID, and a target that already imported
+	// it answers with the recorded ack instead of failing on the
+	// now-occupied slot. Without this, a dropped handoff ACK would
+	// leave BOTH nodes owning live state — the handoff split brain.
+	hid := fmt.Sprintf("%s-%d", n.cfg.Self, n.batchSeq.Add(1))
 	n.inFlight.Add(1)
-	resp, err := n.postHandoff(spec.Addr, tenant, query, frame)
+	resp, err := n.postHandoffRetried(spec, tenant, query, hid, frame)
 	n.inFlight.Add(-1)
 	if err != nil {
 		// Nothing moved: unfreeze and stay authoritative.
@@ -88,28 +97,77 @@ func (n *Node) MoveSlot(tenant, query string, slot int, target string) error {
 		n.handoffFailed.Add(1)
 		return fmt.Errorf("cluster: handoff to %s: %w", target, err)
 	}
-	_ = resp // max_seq is the target's concern; source only needs the ack
 
 	if err := in.Runtime().RetireShard(slot); err != nil {
 		n.cfg.Logf("cluster: retire after handoff: %v", err)
 	}
-	n.place.SetOverride(key, target)
+	// Adopt the epoch the target minted for this move so both ends
+	// agree on the fence; fall back to a local bump for old targets.
+	if resp.Epoch > 0 {
+		n.place.AdoptOverride(key, target, resp.Epoch)
+	} else {
+		n.place.SetOverride(key, target)
+	}
 	n.handoffsOut.Add(1)
 	n.pushPlacement()
 	return nil
 }
 
+// postHandoffRetried ships one handoff frame with bounded retries.
+// Retries are safe because the hid makes the import idempotent; they
+// stop early when the detector declares the target down.
+func (n *Node) postHandoffRetried(spec NodeSpec, tenant, query, hid string, frame []byte) (*handoffResp, error) {
+	rng := rand.New(rand.NewSource(int64(nameHash(spec.Name)) ^ n.cfg.AdmissionSeed))
+	var lastErr error
+	for attempt := 0; attempt <= n.cfg.ForwardRetries; attempt++ {
+		if attempt > 0 {
+			if n.place.IsDown(spec.Name) {
+				return nil, fmt.Errorf("target declared down: %w", lastErr)
+			}
+			t := time.NewTimer(n.cfg.RetryPolicy.Backoff(attempt, rng))
+			select {
+			case <-n.done:
+				t.Stop()
+				return nil, fmt.Errorf("node closing: %w", lastErr)
+			case <-t.C:
+			}
+		}
+		resp, err := n.postHandoff(spec.Addr, tenant, query, hid, frame)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// A definite refusal (the target answered) will not change on a
+		// retry; only ambiguous transport failures are worth repeating.
+		var herr *handoffHTTPError
+		if errors.As(err, &herr) {
+			return nil, err
+		}
+		n.cfg.Logf("cluster: handoff %s to %s attempt %d: %v", hid, spec.Name, attempt+1, err)
+	}
+	return nil, lastErr
+}
+
 type handoffResp struct {
 	MaxSeq uint64 `json:"max_seq"`
 	HasSeq bool   `json:"has_seq"`
+	// Epoch is the fencing epoch the target minted when it recorded
+	// itself as the slot's owner.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-func (n *Node) postHandoff(addr, tenant, query string, frame []byte) (*handoffResp, error) {
+// handoffHTTPError is a refusal the target actually sent — retrying
+// cannot help, unlike a transport error where the outcome is unknown.
+type handoffHTTPError struct{ msg string }
+
+func (e *handoffHTTPError) Error() string { return e.msg }
+
+func (n *Node) postHandoff(addr, tenant, query, hid string, frame []byte) (*handoffResp, error) {
 	// Handoffs ship a full shard snapshot; give them a generous
 	// multiple of the per-call timeout.
 	hc := *n.hc
 	hc.Timeout = 10 * n.cfg.HTTPTimeout
-	path := fmt.Sprintf("/cluster/handoff?tenant=%s&query=%s", urlEscape(tenant), urlEscape(query))
+	path := fmt.Sprintf("/cluster/handoff?tenant=%s&query=%s&hid=%s", urlEscape(tenant), urlEscape(query), urlEscape(hid))
 	req, err := http.NewRequest(http.MethodPost, "http://"+addr+path, nil)
 	if err != nil {
 		return nil, err
@@ -127,7 +185,7 @@ func (n *Node) postHandoff(addr, tenant, query string, frame []byte) (*handoffRe
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("%s: %s", resp.Status, body)
+		return nil, &handoffHTTPError{msg: fmt.Sprintf("%s: %s", resp.Status, body)}
 	}
 	var hr handoffResp
 	if err := json.Unmarshal(body, &hr); err != nil {
@@ -143,9 +201,18 @@ func (n *Node) postHandoff(addr, tenant, query string, frame []byte) (*handoffRe
 func (n *Node) HandleHandoff(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	tenant, query := q.Get("tenant"), q.Get("query")
+	hid := q.Get("hid")
 	in, ok := n.reg.Get(tenant, query)
 	if !ok {
 		http.Error(w, "unknown query", http.StatusNotFound)
+		return
+	}
+	// A retried ship whose first import landed (but whose ack was
+	// lost) replays the recorded ack instead of re-importing into the
+	// now-occupied slot.
+	if ack, ok := n.handoffAck(hid); ok {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ack)
 		return
 	}
 	frame, err := io.ReadAll(r.Body)
@@ -166,11 +233,44 @@ func (n *Node) HandleHandoff(w http.ResponseWriter, r *http.Request) {
 	if hasSeq && n.cfg.BumpSeq != nil {
 		n.cfg.BumpSeq(maxSeq + 1)
 	}
-	n.place.SetOverride(SlotKey{FP: in.Fingerprint(), Slot: h.Shard}, n.cfg.Self)
+	epoch := n.place.SetOverride(SlotKey{FP: in.Fingerprint(), Slot: h.Shard}, n.cfg.Self)
 	n.handoffsIn.Add(1)
+	ack := handoffResp{MaxSeq: maxSeq, HasSeq: hasSeq, Epoch: epoch}
+	n.recordHandoffAck(hid, ack)
 	go n.pushPlacement()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(handoffResp{MaxSeq: maxSeq, HasSeq: hasSeq})
+	json.NewEncoder(w).Encode(ack)
+}
+
+// handoffAcks remembers the last handoffAckWindow completed imports by
+// hid so a retried ship is answered, not re-imported.
+const handoffAckWindow = 128
+
+func (n *Node) handoffAck(hid string) (handoffResp, bool) {
+	if hid == "" {
+		return handoffResp{}, false
+	}
+	n.dedupMu.Lock()
+	defer n.dedupMu.Unlock()
+	ack, ok := n.handoffAcks[hid]
+	return ack, ok
+}
+
+func (n *Node) recordHandoffAck(hid string, ack handoffResp) {
+	if hid == "" {
+		return
+	}
+	n.dedupMu.Lock()
+	defer n.dedupMu.Unlock()
+	if n.handoffAcks == nil {
+		n.handoffAcks = map[string]handoffResp{}
+	}
+	n.handoffAcks[hid] = ack
+	n.handoffAckFIFO = append(n.handoffAckFIFO, hid)
+	for len(n.handoffAckFIFO) > handoffAckWindow {
+		delete(n.handoffAcks, n.handoffAckFIFO[0])
+		n.handoffAckFIFO = n.handoffAckFIFO[1:]
+	}
 }
 
 // HandleMove serves POST /cluster/move?tenant=&query=&slot=&target= —
@@ -198,10 +298,34 @@ func (n *Node) HandleMove(w http.ResponseWriter, r *http.Request) {
 // node, adopt the slot from the dead node's state directory. Every
 // survivor runs the same computation on the same inputs, so the dead
 // node's slots partition across survivors with no coordination.
+//
+// Before adopting anything, the death must be CONFIRMED by a witness:
+// in a cluster of three or more, at least one other reachable member
+// has to agree the peer is down, and no reachable member may still see
+// it up. An asymmetric partition (we lost our link to the peer, the
+// rest of the cluster didn't) therefore never triggers a takeover —
+// adopting a live node's shards while it is still serving them is the
+// dueling-failover split brain. While the peer stays down unconfirmed,
+// this loop re-checks; routing simply degrades in the meantime.
 func (n *Node) failover(dead string) {
+	for !n.confirmDeath(dead) {
+		t := time.NewTimer(50 * time.Millisecond)
+		select {
+		case <-n.done:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if !n.place.IsDown(dead) {
+			return // it came back; nothing to adopt
+		}
+	}
+	if !n.place.IsDown(dead) {
+		return
+	}
 	n.moveMu.Lock()
 	defer n.moveMu.Unlock()
-	deadSpec, ok := n.cfg.Topology.Find(dead)
+	deadSpec, ok := n.topology().Find(dead)
 	if !ok {
 		return
 	}
@@ -282,6 +406,68 @@ func (n *Node) takeover(in *registry.Instance, dead NodeSpec, slot int) error {
 	n.place.SetOverride(SlotKey{FP: in.Fingerprint(), Slot: slot}, n.cfg.Self)
 	n.takeovers.Add(1)
 	return nil
+}
+
+// confirmDeath collects death-confirmation votes for a peer this
+// node's detector declared dead. It returns true only when every
+// OTHER member it can reach agrees the peer is down AND at least one
+// such witness exists. A two-node cluster has no possible witness, so
+// the local verdict stands alone there (documented limitation: a
+// 2-node asymmetric partition can still duel; epoch fencing bounds
+// the damage and converges ownership at heal).
+func (n *Node) confirmDeath(dead string) bool {
+	var others []NodeSpec
+	for _, spec := range n.topology().Nodes {
+		if spec.Name != n.cfg.Self && spec.Name != dead {
+			others = append(others, spec)
+		}
+	}
+	if len(others) == 0 {
+		return true
+	}
+	witnesses := 0
+	for _, spec := range others {
+		up, err := n.peerView(spec.Addr, dead)
+		if err != nil {
+			continue // unreachable: abstains
+		}
+		if up {
+			n.cfg.Logf("cluster: failover of %s vetoed: %s still sees it up", dead, spec.Name)
+			return false
+		}
+		witnesses++
+	}
+	if witnesses == 0 {
+		// Nobody reachable: WE may be the partitioned side. Adopting a
+		// possibly-live node's shards on local evidence alone is the
+		// split brain this check exists to prevent.
+		n.cfg.Logf("cluster: failover of %s deferred: no reachable witness", dead)
+		return false
+	}
+	return true
+}
+
+// peerView asks one member for its detector's view of a third node.
+func (n *Node) peerView(addr, peer string) (up bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/cluster/peerview?peer="+urlEscape(peer), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("peerview: %s", resp.Status)
+	}
+	var v struct {
+		Up bool `json:"up"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&v); err != nil {
+		return false, err
+	}
+	return v.Up, nil
 }
 
 // WaitQuiesce blocks until the forward queues and in-transit handoffs

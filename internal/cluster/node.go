@@ -13,6 +13,7 @@ import (
 
 	"cepshed/internal/event"
 	"cepshed/internal/registry"
+	"cepshed/internal/runtime"
 	"cepshed/internal/shed"
 )
 
@@ -20,7 +21,8 @@ import (
 type Config struct {
 	// Self is this node's name; it must appear in Topology.
 	Self string
-	// Topology is the static membership, identical on every node.
+	// Topology is the initial membership, identical on every node.
+	// ReloadTopology applies membership changes at runtime.
 	Topology Topology
 	// Registry is the local serving core. Every node registers the same
 	// queries; placement decides which slots each node actually runs.
@@ -46,6 +48,24 @@ type Config struct {
 	ForwardBuf int
 	// HTTPTimeout bounds each peer call (default 2s; handoffs get 10×).
 	HTTPTimeout time.Duration
+	// Transport, when set, replaces the default HTTP transport for
+	// every peer call — heartbeats, forwards, gossip, handoffs. The
+	// chaos tests wrap it in fault.NetChaos to inject partitions.
+	Transport http.RoundTripper
+	// ForwardRetries bounds re-sends of one forward batch after a
+	// network error (default 4 retries after the first attempt).
+	// Retries go to the SAME peer with the SAME batch ID — the
+	// receiver's dedup window makes them idempotent; only an explicit
+	// ownership NACK re-routes a batch.
+	ForwardRetries int
+	// RetryPolicy shapes the capped, jittered backoff between forward
+	// retries (zero value: supervisor defaults, 10ms base / 2s cap).
+	RetryPolicy runtime.RestartPolicy
+	// DedupWindow is how many recent batch IDs the forward receiver
+	// remembers per sender (default 4096). A batch must fall out of
+	// this window — ForwardRetries × coalesced batches later — before
+	// a retry could double-deliver.
+	DedupWindow int
 	// AuthToken, when set, is sent as a bearer token on mutating peer
 	// calls (forward, handoff, placement) — pair it with the server's
 	// -admin-token so cluster traffic passes the same door.
@@ -67,39 +87,83 @@ type Node struct {
 	gate  *shed.RouterAdmission
 	hc    *http.Client
 
-	peers map[string]*peerLink
+	// peerMu guards peers and cfg.Topology against topology reloads.
+	peerMu sync.RWMutex
+	peers  map[string]*peerLink
 
-	// moveMu serializes the control plane (planned moves, failovers):
-	// concurrent migrations of the same slot would race export against
-	// import.
+	// moveMu serializes the control plane (planned moves, failovers,
+	// topology reloads): concurrent migrations of the same slot would
+	// race export against import.
 	moveMu sync.Mutex
 
 	closed atomic.Bool
 	done   chan struct{}
 	wg     sync.WaitGroup
 
+	// batchSeq numbers outgoing forward batches; (Self, batch) is the
+	// receiver-side dedup key, so it must never repeat within a
+	// process lifetime.
+	batchSeq atomic.Uint64
+
+	// dedup is the receiver-side window of recently accepted batch IDs
+	// per sender; handoffAcks is the same idea for shipped shards
+	// (mover.go), sharing the lock.
+	dedupMu        sync.Mutex
+	dedup          map[string]*dedupWindow
+	handoffAcks    map[string]handoffResp
+	handoffAckFIFO []string
+
 	// Counters. inFlight is the handoff_in_flight gauge: events queued
 	// for forwarding plus handoff frames shipped but not yet resolved.
-	forwardedOut  atomic.Uint64 // pairs sent to a peer
-	forwardedIn   atomic.Uint64 // pairs received from peers
-	forwardDrop   atomic.Uint64 // pairs dropped: queue full, peer down, send failed
+	forwardedOut  atomic.Uint64 // pairs acked by a peer
+	forwardedIn   atomic.Uint64 // pairs received from peers (non-shed)
+	forwardDrop   atomic.Uint64 // router_dropped_total: pairs dropped at the router
+	retriesTotal  atomic.Uint64 // forward batch re-sends after network errors
+	redirects     atomic.Uint64 // forward batches re-routed after an ownership NACK
+	dupBatches    atomic.Uint64 // retried batches this node refused as duplicates
 	handoffsOut   atomic.Uint64 // planned handoffs shipped successfully
 	handoffsIn    atomic.Uint64 // handoffs imported (planned or not)
 	handoffFailed atomic.Uint64
 	takeovers     atomic.Uint64 // slots adopted by failover
 	failovers     atomic.Uint64 // dead-peer events handled
 	inFlight      atomic.Int64
+
+	// Audit ledger counters (see audit.go): every (event, query) pair
+	// that enters the cluster at this node's edge, and every final
+	// disposition recorded at this node, wherever the pair came from.
+	edgePairs     atomic.Uint64 // pairs created at this node's ingest edge
+	edgeShed      atomic.Uint64 // router-admission refusals at the edge
+	recvShed      atomic.Uint64 // router-admission refusals of forwarded events
+	recvBadLines  atomic.Uint64 // undecodable forwarded lines (sender bug)
+	redirectLocal atomic.Uint64 // forwarded pairs that came back home after a NACK
+	delivered     atomic.Uint64 // pairs delivered into an engine queue here
+	doorRejected  atomic.Uint64 // pairs refused by the shard door here
+	arbiterShed   atomic.Uint64 // pairs shed by the arbiter gate here
+	floorSkipped  atomic.Uint64 // pairs below the recovery floor here
+	unroutedPairs atomic.Uint64 // events matching no registered query
 }
 
 type peerLink struct {
 	spec NodeSpec
 	q    chan fwdItem
+	stop chan struct{} // closed when the peer is removed by a reload
+
+	dropped atomic.Uint64 // pairs dropped on this link (router_dropped per peer)
+	retries atomic.Uint64 // batch re-sends on this link
 }
 
 type fwdItem struct {
 	tenant, query string
+	fp            uint64
 	slot          int
 	line          []byte // NDJSON-encoded event, newline not included
+}
+
+// dedupWindow remembers the last cap batch IDs from one sender.
+type dedupWindow struct {
+	seen map[uint64]struct{}
+	fifo []uint64
+	next int
 }
 
 // New builds a Node; Start launches its goroutines.
@@ -120,8 +184,18 @@ func New(cfg Config) (*Node, error) {
 	if cfg.HTTPTimeout <= 0 {
 		cfg.HTTPTimeout = 2 * time.Second
 	}
+	if cfg.ForwardRetries <= 0 {
+		cfg.ForwardRetries = 4
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 4096
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	hc := &http.Client{Timeout: cfg.HTTPTimeout}
+	if cfg.Transport != nil {
+		hc.Transport = cfg.Transport
 	}
 	n := &Node{
 		cfg:   cfg,
@@ -129,15 +203,16 @@ func New(cfg Config) (*Node, error) {
 		reg:   cfg.Registry,
 		place: NewPlacement(cfg.Topology.Names()),
 		gate:  shed.NewRouterAdmission(cfg.AdmissionSeed),
-		hc:    &http.Client{Timeout: cfg.HTTPTimeout},
+		hc:    hc,
 		peers: map[string]*peerLink{},
+		dedup: map[string]*dedupWindow{},
 		done:  make(chan struct{}),
 	}
 	for _, p := range cfg.Topology.Nodes {
 		if p.Name == cfg.Self {
 			continue
 		}
-		n.peers[p.Name] = &peerLink{spec: p, q: make(chan fwdItem, cfg.ForwardBuf)}
+		n.peers[p.Name] = newPeerLink(p, cfg.ForwardBuf)
 	}
 	det := cfg.Detector
 	det.Probe = n.probe
@@ -154,16 +229,22 @@ func New(cfg Config) (*Node, error) {
 	return n, nil
 }
 
+func newPeerLink(spec NodeSpec, buf int) *peerLink {
+	return &peerLink{spec: spec, q: make(chan fwdItem, buf), stop: make(chan struct{})}
+}
+
 // Start launches the detector, the per-peer forwarders, and an initial
 // placement pull so a rejoining node learns overrides recorded while
 // it was dead (its old slots may have moved; claiming them back would
 // split ownership).
 func (n *Node) Start() {
 	n.det.Start()
+	n.peerMu.RLock()
 	for _, pl := range n.peers {
 		n.wg.Add(1)
 		go n.forwarder(pl)
 	}
+	n.peerMu.RUnlock()
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -191,6 +272,32 @@ func (n *Node) Placement() *Placement { return n.place }
 
 // Self returns this node's name.
 func (n *Node) Self() string { return n.cfg.Self }
+
+// peer returns the live link for a peer name.
+func (n *Node) peer(name string) (*peerLink, bool) {
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	pl, ok := n.peers[name]
+	return pl, ok
+}
+
+// peerLinks snapshots the current links.
+func (n *Node) peerLinks() []*peerLink {
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	out := make([]*peerLink, 0, len(n.peers))
+	for _, pl := range n.peers {
+		out = append(out, pl)
+	}
+	return out
+}
+
+// topology returns the current (possibly reloaded) membership.
+func (n *Node) topology() Topology {
+	n.peerMu.RLock()
+	defer n.peerMu.RUnlock()
+	return n.cfg.Topology
+}
 
 func (n *Node) probe(spec NodeSpec) error {
 	req, err := http.NewRequest(http.MethodGet, "http://"+spec.Addr+"/cluster/health", nil)
@@ -261,12 +368,12 @@ func (n *Node) pushPlacement(names ...string) {
 	body := n.placementBody()
 	targets := names
 	if len(targets) == 0 {
-		for name := range n.peers {
-			targets = append(targets, name)
+		for _, pl := range n.peerLinks() {
+			targets = append(targets, pl.spec.Name)
 		}
 	}
 	for _, name := range targets {
-		pl, ok := n.peers[name]
+		pl, ok := n.peer(name)
 		if !ok || n.place.IsDown(name) {
 			continue
 		}
@@ -280,7 +387,7 @@ func (n *Node) pushPlacement(names ...string) {
 }
 
 func (n *Node) pullPlacement() {
-	for name, pl := range n.peers {
+	for _, pl := range n.peerLinks() {
 		req, err := http.NewRequest(http.MethodGet, "http://"+pl.spec.Addr+"/cluster/placement", nil)
 		if err != nil {
 			continue
@@ -293,7 +400,7 @@ func (n *Node) pullPlacement() {
 		err = json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&msg)
 		resp.Body.Close()
 		if err != nil {
-			n.cfg.Logf("cluster: placement pull from %s: %v", name, err)
+			n.cfg.Logf("cluster: placement pull from %s: %v", pl.spec.Name, err)
 			continue
 		}
 		n.place.Merge(msg.Overrides)
@@ -306,6 +413,22 @@ func (n *Node) pullPlacement() {
 func (n *Node) HandleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"node":%q,"version":%d}`+"\n", n.cfg.Self, n.place.Version())
+}
+
+// HandlePeerView answers GET /cluster/peerview?peer=X with this node's
+// detector view of X — the death-confirmation vote a survivor collects
+// before failing X over. Asking about self (or an unknown name) counts
+// as "up": an unconfirmed death must block failover, not permit it.
+func (n *Node) HandlePeerView(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("peer")
+	up := true
+	if name != n.cfg.Self {
+		if u, known := n.det.PeerUp(name); known {
+			up = u
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"peer":%q,"up":%v}`+"\n", name, up)
 }
 
 // HandlePlacement serves GET (our override map) and POST (merge a
@@ -328,25 +451,38 @@ func (n *Node) HandlePlacement(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// PeerForwardStatus is one link's forwarding counters, for /cluster
+// and the per-peer router_dropped_total metric.
+type PeerForwardStatus struct {
+	Name    string `json:"name"`
+	Queue   int    `json:"queue"`
+	Dropped uint64 `json:"dropped"`
+	Retries uint64 `json:"retries"`
+}
+
 // Status is the /cluster payload.
 type Status struct {
-	Self     string       `json:"self"`
-	Degraded bool         `json:"degraded"`
-	Peers    []PeerStatus `json:"peers"`
+	Self      string       `json:"self"`
+	Degraded  bool         `json:"degraded"`
+	Peers     []PeerStatus `json:"peers"`
 	Placement struct {
 		Version   uint64 `json:"version"`
 		Overrides int    `json:"overrides"`
 	} `json:"placement"`
-	ForwardedOut  uint64 `json:"forwarded_out"`
-	ForwardedIn   uint64 `json:"forwarded_in"`
-	ForwardDrop   uint64 `json:"forward_dropped"`
-	RouterShed    uint64 `json:"router_shed"`
-	HandoffsOut   uint64 `json:"handoffs_out"`
-	HandoffsIn    uint64 `json:"handoffs_in"`
-	HandoffFailed uint64 `json:"handoffs_failed"`
-	Takeovers     uint64 `json:"takeovers"`
-	Failovers     uint64 `json:"failovers"`
-	InFlight      int64  `json:"handoff_in_flight"`
+	ForwardedOut  uint64              `json:"forwarded_out"`
+	ForwardedIn   uint64              `json:"forwarded_in"`
+	ForwardDrop   uint64              `json:"forward_dropped"`
+	Retries       uint64              `json:"forward_retries"`
+	Redirects     uint64              `json:"forward_redirects"`
+	DupBatches    uint64              `json:"dup_batches"`
+	RouterShed    uint64              `json:"router_shed"`
+	HandoffsOut   uint64              `json:"handoffs_out"`
+	HandoffsIn    uint64              `json:"handoffs_in"`
+	HandoffFailed uint64              `json:"handoffs_failed"`
+	Takeovers     uint64              `json:"takeovers"`
+	Failovers     uint64              `json:"failovers"`
+	InFlight      int64               `json:"handoff_in_flight"`
+	PeerForwards  []PeerForwardStatus `json:"peer_forwards"`
 }
 
 // Status snapshots the node's cluster state.
@@ -362,6 +498,9 @@ func (n *Node) Status() Status {
 	s.ForwardedOut = n.forwardedOut.Load()
 	s.ForwardedIn = n.forwardedIn.Load()
 	s.ForwardDrop = n.forwardDrop.Load()
+	s.Retries = n.retriesTotal.Load()
+	s.Redirects = n.redirects.Load()
+	s.DupBatches = n.dupBatches.Load()
 	s.RouterShed = n.gate.Dropped()
 	s.HandoffsOut = n.handoffsOut.Load()
 	s.HandoffsIn = n.handoffsIn.Load()
@@ -369,6 +508,15 @@ func (n *Node) Status() Status {
 	s.Takeovers = n.takeovers.Load()
 	s.Failovers = n.failovers.Load()
 	s.InFlight = n.inFlight.Load()
+	for _, pl := range n.peerLinks() {
+		s.PeerForwards = append(s.PeerForwards, PeerForwardStatus{
+			Name:    pl.spec.Name,
+			Queue:   len(pl.q),
+			Dropped: pl.dropped.Load(),
+			Retries: pl.retries.Load(),
+		})
+	}
+	sort.Slice(s.PeerForwards, func(i, j int) bool { return s.PeerForwards[i].Name < s.PeerForwards[j].Name })
 	return s
 }
 
@@ -381,35 +529,61 @@ func (n *Node) HandleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // HandleClusterStats serves GET /cluster/stats: this node's /stats
-// plus every reachable peer's, keyed by node name — the rolled-up
-// cluster view a dashboard scrapes once.
+// plus every peer's, fetched concurrently and keyed by node name — the
+// rolled-up cluster view a dashboard scrapes once. Peers that cannot
+// be reached (down, partitioned, or slow) degrade the result to a
+// partial one: their names land in `unreachable` instead of failing
+// the whole rollup.
 func (n *Node) HandleClusterStats(localStats func() any) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		links := n.peerLinks()
+		type peerResult struct {
+			name string
+			body json.RawMessage
+		}
+		results := make(chan peerResult, len(links))
+		for _, pl := range links {
+			go func(pl *peerLink) {
+				req, err := http.NewRequest(http.MethodGet, "http://"+pl.spec.Addr+"/stats", nil)
+				if err != nil {
+					results <- peerResult{name: pl.spec.Name}
+					return
+				}
+				resp, err := n.hc.Do(req)
+				if err != nil {
+					results <- peerResult{name: pl.spec.Name}
+					return
+				}
+				b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK || !json.Valid(b) {
+					results <- peerResult{name: pl.spec.Name}
+					return
+				}
+				results <- peerResult{name: pl.spec.Name, body: b}
+			}(pl)
+		}
 		nodes := map[string]json.RawMessage{}
 		if b, err := json.Marshal(localStats()); err == nil {
 			nodes[n.cfg.Self] = b
 		}
-		for name, pl := range n.peers {
-			if n.place.IsDown(name) {
+		unreachable := []string{}
+		for range links {
+			res := <-results
+			if res.body == nil {
+				unreachable = append(unreachable, res.name)
 				continue
 			}
-			req, err := http.NewRequest(http.MethodGet, "http://"+pl.spec.Addr+"/stats", nil)
-			if err != nil {
-				continue
-			}
-			resp, err := n.hc.Do(req)
-			if err != nil {
-				continue
-			}
-			b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-			resp.Body.Close()
-			if err == nil && resp.StatusCode == http.StatusOK && json.Valid(b) {
-				nodes[name] = b
-			}
+			nodes[res.name] = res.body
 		}
+		sort.Strings(unreachable)
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(map[string]any{"cluster": n.Status(), "nodes": nodes})
+		enc.Encode(map[string]any{
+			"cluster":     n.Status(),
+			"nodes":       nodes,
+			"unreachable": unreachable,
+		})
 	}
 }

@@ -15,9 +15,20 @@ type SlotKey struct {
 
 // Override is one explicit placement decision, recorded when a slot
 // moved off its rendezvous-default node (planned handoff or failover).
+// Epoch is the slot's fencing counter: every ownership change bumps
+// it, every forward carries it, and in gossip conflicts the higher
+// epoch wins — so after a partition heals, every node converges on
+// the most recent ownership decision rather than on gossip order.
 type Override struct {
 	SlotKey
-	Node string `json:"node"`
+	Node  string `json:"node"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// ovEntry is the stored form of an override.
+type ovEntry struct {
+	node  string
+	epoch uint64
 }
 
 // Placement is a node's view of slot ownership: the static member
@@ -35,9 +46,10 @@ type Override struct {
 // in docs/CLUSTER.md.
 type Placement struct {
 	mu        sync.RWMutex
-	names     []string // sorted, static
+	names     []string // sorted; replaced wholesale by SetMembers
+	member    map[string]bool
 	down      map[string]bool
-	overrides map[SlotKey]string
+	overrides map[SlotKey]ovEntry
 	version   uint64
 }
 
@@ -46,10 +58,15 @@ type Placement struct {
 func NewPlacement(names []string) *Placement {
 	s := append([]string(nil), names...)
 	sort.Strings(s)
+	member := make(map[string]bool, len(s))
+	for _, n := range s {
+		member[n] = true
+	}
 	return &Placement{
 		names:     s,
+		member:    member,
 		down:      map[string]bool{},
-		overrides: map[SlotKey]string{},
+		overrides: map[SlotKey]ovEntry{},
 	}
 }
 
@@ -102,11 +119,27 @@ func (p *Placement) Owner(fp uint64, slot int) (string, bool) {
 }
 
 func (p *Placement) ownerLocked(fp uint64, slot int, down map[string]bool) (string, bool) {
-	if o, ok := p.overrides[SlotKey{FP: fp, Slot: slot}]; ok && !down[o] {
-		return o, true
+	if o, ok := p.overrides[SlotKey{FP: fp, Slot: slot}]; ok && p.member[o.node] && !down[o.node] {
+		return o.node, true
 	}
 	n := rendezvous(fp, slot, p.names, func(name string) bool { return !down[name] })
 	return n, n != ""
+}
+
+// OwnerEpoch returns the owner plus the slot's current fencing epoch
+// (zero when the slot has never moved off its rendezvous default).
+func (p *Placement) OwnerEpoch(fp uint64, slot int) (string, uint64, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	owner, ok := p.ownerLocked(fp, slot, p.down)
+	return owner, p.overrides[SlotKey{FP: fp, Slot: slot}].epoch, ok
+}
+
+// Epoch returns the slot's current fencing epoch.
+func (p *Placement) Epoch(fp uint64, slot int) uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.overrides[SlotKey{FP: fp, Slot: slot}].epoch
 }
 
 // OwnerIfUp computes the owner pretending `node` were up — the
@@ -156,15 +189,68 @@ func (p *Placement) AnyDown() bool {
 	return len(p.down) > 0
 }
 
-// SetOverride records an explicit owner for a slot.
-func (p *Placement) SetOverride(k SlotKey, node string) {
+// SetOverride records an explicit owner for a slot, bumping its
+// fencing epoch past everything this node has seen — the caller just
+// changed ownership (handoff, failover, membership pin), and the bump
+// is what makes the change win gossip merges and fence stale forwards.
+// It returns the new epoch.
+func (p *Placement) SetOverride(k SlotKey, node string) uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.overrides[k] == node {
-		return
+	cur := p.overrides[k]
+	if cur.node == node && cur.epoch > 0 {
+		return cur.epoch
 	}
-	p.overrides[k] = node
+	e := cur.epoch + 1
+	p.overrides[k] = ovEntry{node: node, epoch: e}
 	p.version++
+	return e
+}
+
+// AdoptOverride records an override learned from a peer (a forward
+// NACK carries the refusing node's placement). It only applies when
+// the learned epoch is newer than ours — stale news never regresses
+// ownership. Reports whether the entry changed.
+func (p *Placement) AdoptOverride(k SlotKey, node string, epoch uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur := p.overrides[k]
+	if epoch <= cur.epoch {
+		return false
+	}
+	p.overrides[k] = ovEntry{node: node, epoch: epoch}
+	p.version++
+	return true
+}
+
+// SetMembers replaces the member list (dynamic topology reload).
+// Liveness state for removed members is pruned; overrides pointing at
+// removed members stay recorded but stop influencing ownership (the
+// member check in ownerLocked) until the operator re-points them.
+func (p *Placement) SetMembers(names []string) {
+	s := append([]string(nil), names...)
+	sort.Strings(s)
+	member := make(map[string]bool, len(s))
+	for _, n := range s {
+		member[n] = true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.names = s
+	p.member = member
+	for n := range p.down {
+		if !member[n] {
+			delete(p.down, n)
+		}
+	}
+	p.version++
+}
+
+// Members returns the current sorted member list.
+func (p *Placement) Members() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]string(nil), p.names...)
 }
 
 // Overrides snapshots the override map with a version stamp.
@@ -172,8 +258,8 @@ func (p *Placement) Overrides() (uint64, []Override) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	out := make([]Override, 0, len(p.overrides))
-	for k, n := range p.overrides {
-		out = append(out, Override{SlotKey: k, Node: n})
+	for k, o := range p.overrides {
+		out = append(out, Override{SlotKey: k, Node: o.node, Epoch: o.epoch})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].FP != out[j].FP {
@@ -184,11 +270,13 @@ func (p *Placement) Overrides() (uint64, []Override) {
 	return p.version, out
 }
 
-// Merge folds a peer's overrides into this view. Conflicts (both sides
-// claim the slot for different nodes) resolve deterministically: the
-// entry whose target node is up wins; if both targets are up, the
-// lexically smaller node name wins, so every node converges to the
-// same map regardless of gossip order.
+// Merge folds a peer's overrides into this view. Conflicts (both
+// sides claim the slot for different nodes) resolve deterministically:
+// the higher epoch wins outright — it records the more recent
+// ownership change, which is what fencing is for. At equal epochs the
+// pre-epoch tie rules apply (the entry whose target node is up wins;
+// both up, lexically smaller name wins) so every node still converges
+// to the same map regardless of gossip order.
 func (p *Placement) Merge(ovs []Override) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -196,22 +284,33 @@ func (p *Placement) Merge(ovs []Override) int {
 	for _, o := range ovs {
 		cur, ok := p.overrides[o.SlotKey]
 		if !ok {
-			p.overrides[o.SlotKey] = o.Node
+			p.overrides[o.SlotKey] = ovEntry{node: o.Node, epoch: o.Epoch}
 			changed++
 			continue
 		}
-		if cur == o.Node {
+		if cur.node == o.Node {
+			if o.Epoch > cur.epoch {
+				p.overrides[o.SlotKey] = ovEntry{node: o.Node, epoch: o.Epoch}
+				changed++
+			}
 			continue
 		}
-		curUp, newUp := !p.down[cur], !p.down[o.Node]
 		win := cur
 		switch {
-		case curUp && !newUp:
-			win = cur
-		case newUp && !curUp:
-			win = o.Node
-		case o.Node < cur:
-			win = o.Node
+		case o.Epoch > cur.epoch:
+			win = ovEntry{node: o.Node, epoch: o.Epoch}
+		case o.Epoch < cur.epoch:
+			// keep cur
+		default:
+			curUp, newUp := !p.down[cur.node], !p.down[o.Node]
+			switch {
+			case curUp && !newUp:
+				// keep cur
+			case newUp && !curUp:
+				win = ovEntry{node: o.Node, epoch: o.Epoch}
+			case o.Node < cur.node:
+				win = ovEntry{node: o.Node, epoch: o.Epoch}
+			}
 		}
 		if win != cur {
 			p.overrides[o.SlotKey] = win

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Dynamic topology reload: apply a new membership list to a running
+// node without restarting it. Adding a node must not silently reshuffle
+// ownership — rendezvous hashing over a larger member set would move a
+// fraction of every query's slots to the newcomer instantly, stranding
+// their partial-match state on the old owners. So the reload PINS every
+// slot whose computed owner would change to its pre-reload owner via an
+// epoch-bumped override; the operator (or a rebalancer) then migrates
+// slots one at a time with MoveSlot, each move carrying its state.
+// Removing a node is the opposite: its links and detector state go
+// away, its overrides stop influencing ownership (the member check in
+// ownerLocked), and rendezvous re-assigns its slots to survivors —
+// state is lost unless the operator MoveSlot'ed them away first, which
+// is why removal of a LIVE node should be preceded by draining.
+
+// ReloadTopology replaces the node's membership at runtime. The new
+// topology must validate and must still contain this node. Safe to call
+// while ingest is running; it serializes against handoffs and
+// failovers.
+func (n *Node) ReloadTopology(newTop Topology) error {
+	if err := newTop.Validate(); err != nil {
+		return err
+	}
+	if _, ok := newTop.Find(n.cfg.Self); !ok {
+		return fmt.Errorf("cluster: reload would remove self %q from topology", n.cfg.Self)
+	}
+	n.moveMu.Lock()
+	defer n.moveMu.Unlock()
+
+	newNames := map[string]bool{}
+	for _, spec := range newTop.Nodes {
+		newNames[spec.Name] = true
+	}
+
+	// Pin ownership BEFORE the member list changes: for every slot of
+	// every registered query, record the current owner as an override if
+	// (a) it would change under the new member set and (b) the current
+	// owner survives the reload. Each pin bumps the slot's epoch, so
+	// gossip carries the pins to every peer (including the newcomer,
+	// whose fresh rendezvous view would otherwise claim slots it has no
+	// state for).
+	type pin struct {
+		k     SlotKey
+		owner string
+	}
+	var pins []pin
+	for _, in := range n.reg.ActiveInstances() {
+		fp := in.Fingerprint()
+		for slot := 0; slot < in.NumSlots(); slot++ {
+			owner, ok := n.place.Owner(fp, slot)
+			if !ok || !newNames[owner] {
+				continue
+			}
+			newOwner := rendezvous(fp, slot, newTop.Names(), func(name string) bool {
+				// Judge the future view with current liveness: a member we
+				// consider down now stays ineligible.
+				return !n.place.IsDown(name)
+			})
+			if newOwner != owner {
+				pins = append(pins, pin{k: SlotKey{FP: fp, Slot: slot}, owner: owner})
+			}
+		}
+	}
+
+	n.peerMu.Lock()
+	// Remove links for departed peers; their forwarders drain and count
+	// queued items as dropped.
+	for name, pl := range n.peers {
+		if !newNames[name] {
+			close(pl.stop)
+			delete(n.peers, name)
+			n.det.RemovePeer(name)
+			n.cfg.Logf("cluster: topology reload removed peer %s", name)
+		}
+	}
+	// Add links for new peers and start their forwarders.
+	for _, spec := range newTop.Nodes {
+		if spec.Name == n.cfg.Self {
+			continue
+		}
+		if _, ok := n.peers[spec.Name]; ok {
+			continue
+		}
+		pl := newPeerLink(spec, n.cfg.ForwardBuf)
+		n.peers[spec.Name] = pl
+		n.det.AddPeer(spec)
+		n.wg.Add(1)
+		go n.forwarder(pl)
+		n.cfg.Logf("cluster: topology reload added peer %s (%s)", spec.Name, spec.Addr)
+	}
+	n.cfg.Topology = newTop
+	n.peerMu.Unlock()
+
+	n.place.SetMembers(newTop.Names())
+	for _, p := range pins {
+		n.place.SetOverride(p.k, p.owner)
+	}
+	if len(pins) > 0 {
+		n.cfg.Logf("cluster: topology reload pinned %d slot(s) to their current owners", len(pins))
+	}
+	// Tell everyone — the pins fence the newcomer's fresh rendezvous
+	// view, and departed peers' slots re-route on the next gossip.
+	n.pushPlacement()
+	return nil
+}
+
+// HandleReload serves POST /cluster/reload: re-read the topology file
+// this node was started from and apply it. The server wires loadTop to
+// its -cluster flag; SIGHUP triggers the same path.
+func (n *Node) HandleReload(loadTop func() (Topology, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		top, err := loadTop()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := n.ReloadTopology(top); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"members":%d}`+"\n", len(top.Nodes))
+	}
+}

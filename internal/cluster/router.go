@@ -1,11 +1,15 @@
 package cluster
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
-	"strconv"
+	"time"
 
 	"cepshed/internal/event"
 	"cepshed/internal/registry"
@@ -39,6 +43,12 @@ type localGroup struct {
 	evs  []*event.Event
 }
 
+// maxRedirects bounds how many times one forward batch may re-route
+// after ownership NACKs before it is dropped (counted): placement
+// views converge by gossip, so a batch still bouncing after this many
+// hops is caught in a partition, and unbounded bouncing would loop.
+const maxRedirects = 3
+
 // OfferBatch routes one ingest batch the cluster way. For each
 // (event, query) pair: compute the shard slot (deterministic hash —
 // identical on every node), look up the slot's owner, then either
@@ -69,8 +79,10 @@ func (n *Node) OfferBatch(batch []Input) RouteResult {
 		var line []byte // lazy: encoded once, shared by every remote owner
 		stamped := false
 		routed := n.reg.RouteEach(e, func(in *registry.Instance) {
+			n.edgePairs.Add(1)
+			fp := in.Fingerprint()
 			slot := in.ShardSlot(e)
-			owner, ok := n.place.Owner(in.Fingerprint(), slot)
+			owner, ok := n.place.Owner(fp, slot)
 			if !ok {
 				res.DroppedPairs++
 				n.forwardDrop.Add(1)
@@ -79,6 +91,7 @@ func (n *Node) OfferBatch(batch []Input) RouteResult {
 			if owner == n.cfg.Self {
 				if !n.gate.Admit(localFill()) {
 					res.ShedPairs++
+					n.edgeShed.Add(1)
 					return
 				}
 				if !stamped {
@@ -99,10 +112,13 @@ func (n *Node) OfferBatch(batch []Input) RouteResult {
 				groups[gi].evs = append(groups[gi].evs, e)
 				return
 			}
-			pl, ok := n.peers[owner]
+			pl, ok := n.peer(owner)
 			if !ok || n.place.IsDown(owner) {
 				res.DroppedPairs++
 				n.forwardDrop.Add(1)
+				if ok {
+					pl.dropped.Add(1)
+				}
 				return
 			}
 			if line == nil {
@@ -110,16 +126,20 @@ func (n *Node) OfferBatch(batch []Input) RouteResult {
 			}
 			spec := in.Spec()
 			select {
-			case pl.q <- fwdItem{tenant: spec.Tenant, query: spec.Name, slot: slot, line: line}:
+			case pl.q <- fwdItem{tenant: spec.Tenant, query: spec.Name, fp: fp, slot: slot, line: line}:
 				n.inFlight.Add(1)
 				res.ForwardedPairs++
 			default:
+				// Queue overflow: the loud, metered shed the retry queue
+				// degrades to during a sustained partition.
 				res.DroppedPairs++
 				n.forwardDrop.Add(1)
+				pl.dropped.Add(1)
 			}
 		})
 		if routed == 0 {
 			res.Unrouted++
+			n.unroutedPairs.Add(1)
 			n.reg.NoteUnrouted(1)
 		}
 	}
@@ -129,8 +149,18 @@ func (n *Node) OfferBatch(batch []Input) RouteResult {
 		res.DoorRejected += or.DoorRejected
 		res.ArbiterShed += or.ArbiterShed
 		res.FloorSkipped += or.FloorSkipped
+		n.noteDispositions(or)
 	}
 	return res
+}
+
+// noteDispositions folds one OfferSlot result into the node's audit
+// ledger.
+func (n *Node) noteDispositions(or registry.OfferResult) {
+	n.delivered.Add(uint64(or.Deliveries))
+	n.doorRejected.Add(uint64(or.DoorRejected))
+	n.arbiterShed.Add(uint64(or.ArbiterShed))
+	n.floorSkipped.Add(uint64(or.FloorSkipped))
 }
 
 // localFill is the max aggregate queue fill across local runtimes —
@@ -146,10 +176,23 @@ func (n *Node) localFill() float64 {
 }
 
 // forwarder drains one peer's queue, coalescing runs of items bound
-// for the same (query, slot) into one POST /cluster/forward.
+// for the same (query, slot) into one numbered forward batch.
 func (n *Node) forwarder(pl *peerLink) {
 	defer n.wg.Done()
+	rng := rand.New(rand.NewSource(int64(nameHash(pl.spec.Name)) ^ n.cfg.AdmissionSeed))
 	var pending *fwdItem
+	drain := func() {
+		for {
+			select {
+			case <-pl.q:
+				n.inFlight.Add(-1)
+				n.forwardDrop.Add(1)
+				pl.dropped.Add(1)
+			default:
+				return
+			}
+		}
+	}
 	for {
 		var it fwdItem
 		if pending != nil {
@@ -159,15 +202,13 @@ func (n *Node) forwarder(pl *peerLink) {
 			case <-n.done:
 				// Drain what's queued so the gauge and drop counters stay
 				// conserved, then exit.
-				for {
-					select {
-					case <-pl.q:
-						n.inFlight.Add(-1)
-						n.forwardDrop.Add(1)
-					default:
-						return
-					}
-				}
+				drain()
+				return
+			case <-pl.stop:
+				// Peer removed by a topology reload: same drain, the
+				// drops are attributed to this link.
+				drain()
+				return
 			case it = <-pl.q:
 			}
 		}
@@ -189,70 +230,166 @@ func (n *Node) forwarder(pl *peerLink) {
 				break coalesce
 			}
 		}
-		n.sendForward(pl, it, body, count)
+		n.sendBatch(pl, it, body, count, rng)
 	}
 }
 
-func (n *Node) sendForward(pl *peerLink, it fwdItem, body []byte, count int) {
+// forwardNack is a receiver's 409 payload: its view of the slot's
+// owner and fencing epoch, so the refused sender can converge instead
+// of guessing.
+type forwardNack struct {
+	Owner string `json:"owner"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// sendBatch delivers one coalesced forward batch at most once. The
+// batch gets a per-sender monotone ID; network errors retry the SAME
+// peer with the SAME ID under capped, jittered backoff — the
+// receiver's dedup window makes an ambiguous outcome (delivered but
+// the ack was lost) safe to retry. Only an explicit ownership NACK
+// (409) re-routes the batch, at most maxRedirects times. A batch that
+// exhausts its retry or redirect budget, or whose target is declared
+// down, is dropped and counted — loud, metered shedding, never
+// silent loss.
+func (n *Node) sendBatch(pl *peerLink, it fwdItem, body []byte, count int, rng *rand.Rand) {
 	defer n.inFlight.Add(int64(-count))
-	if n.place.IsDown(pl.spec.Name) {
+	id := n.batchSeq.Add(1)
+	drop := func(why string, args ...any) {
 		n.forwardDrop.Add(uint64(count))
-		return
+		pl.dropped.Add(uint64(count))
+		n.cfg.Logf("cluster: forward batch %d (%d events) to %s dropped: %s", id, count, pl.spec.Name, fmt.Sprintf(why, args...))
 	}
-	path := fmt.Sprintf("/cluster/forward?tenant=%s&query=%s&slot=%d",
-		urlEscape(it.tenant), urlEscape(it.query), it.slot)
-	resp, err := n.post(pl.spec.Addr, path, body, "application/x-ndjson")
-	if err != nil {
-		n.forwardDrop.Add(uint64(count))
-		n.cfg.Logf("cluster: forward to %s: %v", pl.spec.Name, err)
-		return
+	attempts := 0
+	redirected := 0
+	for {
+		if n.place.IsDown(pl.spec.Name) {
+			drop("peer down")
+			return
+		}
+		hdr := ForwardHeader{
+			V:      ForwardFrameVersion,
+			Sender: n.cfg.Self,
+			Batch:  id,
+			Tenant: it.tenant,
+			Query:  it.query,
+			Slot:   it.slot,
+			Epoch:  n.place.Epoch(it.fp, it.slot),
+			Count:  count,
+		}
+		frame := append(EncodeForwardHeader(hdr), body...)
+		resp, err := n.post(pl.spec.Addr, "/cluster/forward", frame, "application/x-ndjson")
+		if err == nil && resp.StatusCode == http.StatusOK {
+			drainClose(resp)
+			n.forwardedOut.Add(uint64(count))
+			return
+		}
+		if err == nil && resp.StatusCode == http.StatusConflict {
+			var nack forwardNack
+			json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&nack)
+			drainClose(resp)
+			if nack.Owner != "" && nack.Epoch > 0 {
+				n.place.AdoptOverride(SlotKey{FP: it.fp, Slot: it.slot}, nack.Owner, nack.Epoch)
+			}
+			redirected++
+			if redirected > maxRedirects {
+				drop("ownership unsettled after %d redirects", maxRedirects)
+				return
+			}
+			n.redirects.Add(1)
+			owner, ok := n.place.Owner(it.fp, it.slot)
+			if !ok {
+				drop("no live owner after NACK")
+				return
+			}
+			if owner == n.cfg.Self {
+				// The slot came home (failover or handoff landed it here
+				// while the batch was in flight): accept it locally.
+				n.acceptRedirectHome(it, body)
+				return
+			}
+			if owner == pl.spec.Name {
+				// Our view already points at the refusing peer — it is the
+				// one that is stale (e.g. it rebooted and lost the
+				// override). Push our placement so it catches up, then
+				// retry the same peer with the same batch ID.
+				n.pushPlacement(pl.spec.Name)
+				continue
+			}
+			next, ok := n.peer(owner)
+			if !ok || n.place.IsDown(owner) {
+				drop("NACK re-route target %s unavailable", owner)
+				return
+			}
+			pl = next
+			continue
+		}
+		// Network error, or a non-OK status we can only treat as
+		// transient: retry the same peer with the same batch ID.
+		why := ""
+		if err != nil {
+			why = err.Error()
+		} else {
+			why = resp.Status
+			drainClose(resp)
+		}
+		attempts++
+		if attempts > n.cfg.ForwardRetries {
+			drop("retries exhausted: %s", why)
+			return
+		}
+		n.retriesTotal.Add(1)
+		pl.retries.Add(1)
+		backoff := n.cfg.RetryPolicy.Backoff(attempts, rng)
+		t := time.NewTimer(backoff)
+		select {
+		case <-n.done:
+			t.Stop()
+			drop("node closing")
+			return
+		case <-pl.stop:
+			t.Stop()
+			drop("peer removed")
+			return
+		case <-t.C:
+		}
 	}
-	drainClose(resp)
-	if resp.StatusCode != http.StatusOK {
-		n.forwardDrop.Add(uint64(count))
-		n.cfg.Logf("cluster: forward to %s: %s", pl.spec.Name, resp.Status)
-		return
-	}
-	n.forwardedOut.Add(uint64(count))
 }
 
-// HandleForward receives forwarded events: POST /cluster/forward?
-// tenant=&query=&slot=. The body is NDJSON event lines; this node —
-// the slot's owner — stamps each event's sequence number on arrival.
-// A slot this node does not own is refused (409): accepting it would
-// split the slot's partial-match state across nodes, and blindly
-// re-forwarding could loop during a placement transition.
-func (n *Node) HandleForward(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	tenant, query := q.Get("tenant"), q.Get("query")
-	slot, err := strconv.Atoi(q.Get("slot"))
-	if err != nil {
-		http.Error(w, "bad slot", http.StatusBadRequest)
-		return
-	}
-	in, ok := n.reg.Get(tenant, query)
+// acceptRedirectHome lands a forward batch whose slot moved back to
+// this node while the batch was queued: decode and offer locally, as
+// if it had never left.
+func (n *Node) acceptRedirectHome(it fwdItem, body []byte) {
+	in, ok := n.reg.Get(it.tenant, it.query)
 	if !ok {
-		http.Error(w, "unknown query", http.StatusNotFound)
+		n.forwardDrop.Add(1)
 		return
 	}
-	if owner, ok := n.place.Owner(in.Fingerprint(), slot); !ok || owner != n.cfg.Self {
-		http.Error(w, "not the owner", http.StatusConflict)
-		return
-	}
+	_, kept, shed, bad := n.offerForwarded(in, it.slot, bytes.NewReader(body))
+	n.redirectLocal.Add(uint64(kept))
+	n.edgeShed.Add(uint64(shed))
+	n.recvBadLines.Add(uint64(bad))
+}
+
+// offerForwarded decodes NDJSON event lines and offers them into one
+// local slot, applying receiver-side admission (only while degraded)
+// and owner-side seq stamping. Shared by HandleForward and the
+// redirect-home path. Returns the offer result, how many events were
+// kept (stamped and offered), how many the router gate shed, and how
+// many lines were undecodable.
+func (n *Node) offerForwarded(in *registry.Instance, slot int, r io.Reader) (or registry.OfferResult, kept, shed, bad int) {
 	fill := -1.0
-	dec := runtime.NewLineDecoder(r.Body, 0)
+	dec := runtime.NewLineDecoder(r, 0)
 	var evs []*event.Event
-	shed := 0
 	for {
 		e, hasTime, err := dec.Next()
 		if err != nil {
 			var lerr *runtime.LineError
 			if errors.As(err, &lerr) {
-				continue // bad line: sender-side bug, skip rather than poison
+				bad++ // bad line: sender-side bug, skip rather than poison
+				continue
 			}
 			if err != io.EOF {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
+				bad++
 			}
 			break
 		}
@@ -271,8 +408,86 @@ func (n *Node) HandleForward(w http.ResponseWriter, r *http.Request) {
 		n.cfg.StampSeq(e)
 		evs = append(evs, e)
 	}
-	n.forwardedIn.Add(uint64(len(evs)))
-	or := in.OfferSlot(slot, evs)
+	or = in.OfferSlot(slot, evs)
+	n.noteDispositions(or)
+	return or, len(evs), shed, bad
+}
+
+// seenBatch atomically checks-and-marks one (sender, batch) pair in
+// the dedup window. It reports true when the batch was already marked
+// — i.e. this is a retry of a batch we have (or are currently)
+// processing. Marking happens BEFORE processing so a concurrent retry
+// of an in-flight batch dedups rather than double-delivering.
+func (n *Node) seenBatch(sender string, batch uint64) bool {
+	n.dedupMu.Lock()
+	defer n.dedupMu.Unlock()
+	win := n.dedup[sender]
+	if win == nil {
+		win = &dedupWindow{
+			seen: make(map[uint64]struct{}, n.cfg.DedupWindow),
+			fifo: make([]uint64, n.cfg.DedupWindow),
+		}
+		n.dedup[sender] = win
+	}
+	if _, ok := win.seen[batch]; ok {
+		return true
+	}
+	// Evict the slot we're about to reuse.
+	if old := win.fifo[win.next]; old != 0 {
+		delete(win.seen, old)
+	}
+	win.fifo[win.next] = batch
+	win.next = (win.next + 1) % len(win.fifo)
+	win.seen[batch] = struct{}{}
+	return false
+}
+
+// HandleForward receives forwarded events: POST /cluster/forward. The
+// body is a forward frame (header line + NDJSON events; see frame.go).
+// Three fences run before any event is consumed:
+//
+//  1. Ownership: a slot this node does not own is refused (409) —
+//     accepting it would split the slot's partial-match state across
+//     nodes. The NACK carries this node's placement view so the
+//     sender converges instead of guessing.
+//  2. Epoch: a frame carrying a NEWER epoch than this node has seen
+//     means ownership changed somewhere this node hasn't heard about
+//     — accepting on a stale view risks double-accepting during an
+//     asymmetric partition, so it is the same 409.
+//  3. Dedup: a (sender, batch) pair already in the window is a retry
+//     whose original delivery succeeded but whose ack was lost; it
+//     acks 200 {"dup":true} WITHOUT processing, which is what makes
+//     retrying ambiguous failures safe.
+func (n *Node) HandleForward(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReader(r.Body)
+	hdr, err := readForwardHeader(br)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	in, ok := n.reg.Get(hdr.Tenant, hdr.Query)
+	if !ok {
+		http.Error(w, "unknown query", http.StatusNotFound)
+		return
+	}
+	fp := in.Fingerprint()
+	owner, epoch, ok := n.place.OwnerEpoch(fp, hdr.Slot)
+	if !ok || owner != n.cfg.Self || hdr.Epoch > epoch {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(forwardNack{Owner: owner, Epoch: epoch})
+		return
+	}
+	if hdr.Sender != "" && n.seenBatch(hdr.Sender, hdr.Batch) {
+		n.dupBatches.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"dup":true}`+"\n")
+		return
+	}
+	or, kept, shed, bad := n.offerForwarded(in, hdr.Slot, br)
+	n.forwardedIn.Add(uint64(kept))
+	n.recvShed.Add(uint64(shed))
+	n.recvBadLines.Add(uint64(bad))
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"accepted":%d,"rejected":%d,"shed":%d}`+"\n",
 		or.Deliveries, or.DoorRejected, shed+or.ArbiterShed+or.FloorSkipped)

@@ -1061,7 +1061,25 @@ func (s *shard) finish() {
 			// everything up to the freeze.
 			s.ckpt.Close()
 		} else {
-			s.takeSnapshot()
+			// finish runs outside the supervised quantum, so a panic in the
+			// final save (an OnStage injector, an encode bug) would kill the
+			// process at shutdown instead of costing one snapshot. Degrading
+			// to "no final snapshot" is safe: the WAL holds everything, so
+			// the next boot replays it under match suppression instead of
+			// restoring warm. An abandoned tmp file is what the write-rename
+			// protocol already tolerates.
+			func() {
+				if !s.cfg.DisableRecovery {
+					defer func() {
+						if p := recover(); p != nil {
+							if s.cfg.Logf != nil {
+								s.cfg.Logf("runtime: shard %d: final snapshot panicked: %v", s.id, p)
+							}
+						}
+					}()
+				}
+				s.takeSnapshot()
+			}()
 			s.ckpt.Close()
 		}
 	}
