@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos chaos-net fuzz-seeds fuzz recover-smoke multiquery-smoke cluster-smoke profile
+.PHONY: check vet build test race bench bench-runtime bench-smoke bench-baseline bench-compare chaos chaos-net fuzz-seeds fuzz recover-smoke multiquery-smoke cluster-smoke profile profile-shed
 
-check: vet build race fuzz-seeds chaos chaos-net recover-smoke multiquery-smoke cluster-smoke bench-smoke bench-compare
+check: vet build race fuzz-seeds chaos chaos-net recover-smoke multiquery-smoke cluster-smoke bench-smoke profile-shed bench-compare
 
 # Pinned so `go run` resolves one known-good version from the module
 # cache or proxy. Offline (no proxy, cold cache) the probe fails and vet
@@ -109,6 +109,32 @@ bench-baseline:
 bench-compare:
 	$(GO) run ./cmd/cepbench -engine-bench -bench-compare BENCH_engine.json
 	$(GO) run ./cmd/cepbench -runtime-bench -bench-compare BENCH_runtime.json
+
+# Profile an overloaded async-planner run and prove from the pprof
+# labels that shedding-set selection, the knapsack, and admission-table
+# compilation never execute on a serving worker's stack (they must only
+# appear under cep_role=shed_planner). Part of `make check`: if a future
+# change moves selection work back onto the hot path, this fails loudly.
+SHED_PROFILE ?= /tmp/cepshed-shed.pprof
+profile-shed:
+	$(GO) run ./cmd/cepbench -profile-shed $(SHED_PROFILE)
+	@$(GO) tool pprof -traces $(SHED_PROFILE) | awk ' \
+		function flush() { \
+			if (inworker && sel) { bad++; printf "profile-shed: FORBIDDEN selection work on worker stack:\n%s", block } \
+			if (sel && !inplanner) { stray++; printf "profile-shed: selection sample outside the shed_planner label:\n%s", block } \
+			inworker=0; inplanner=0; sel=0; block="" \
+		} \
+		/^-----------\+/ { flush(); next } \
+		{ block = block $$0 "\n" } \
+		/cep_role: +worker/ { inworker=1; workers++ } \
+		/cep_role: +shed_planner/ { inplanner=1; planner++ } \
+		/SelectSheddingSet|selectFromPlanCells|knapsack\.|CompileAdmitTable/ { sel=1 } \
+		END { \
+			flush(); \
+			if (workers == 0) { print "profile-shed: no cep_role=worker samples; pprof labeling is broken"; exit 1 } \
+			if (bad > 0 || stray > 0) { exit 1 } \
+			print "profile-shed: ok — no selection/knapsack work on " workers " worker sample block(s) (" planner " planner block(s) sampled)" \
+		}'
 
 # Grab a CPU profile from a running cepserved and open the pprof UI.
 # The /debug/pprof routes share -admin-token; pass the same token here.

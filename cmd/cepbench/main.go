@@ -42,10 +42,14 @@ func main() {
 		runtimeBench = flag.Bool("runtime-bench", false, "measure the full serving path (runtime+WAL+NDJSON)")
 		benchOut     = flag.String("bench-out", "", "with -engine-bench/-runtime-bench: write the result as a JSON baseline")
 		benchCompare = flag.String("bench-compare", "", "with -engine-bench/-runtime-bench: gate against a JSON baseline")
+		profileShed  = flag.String("profile-shed", "", "record a CPU profile of an overloaded async-planner run to this file")
 	)
 	flag.Parse()
 	emitCSV = *csv
 
+	if *profileShed != "" {
+		os.Exit(runProfileShed(*profileShed))
+	}
 	if *engineBench {
 		os.Exit(runEngineBench(*benchOut, *benchCompare))
 	}

@@ -13,11 +13,13 @@ import (
 	"time"
 
 	"cepshed/internal/checkpoint"
+	"cepshed/internal/core"
 	"cepshed/internal/event"
 	"cepshed/internal/gen"
 	"cepshed/internal/nfa"
 	"cepshed/internal/query"
 	"cepshed/internal/runtime"
+	"cepshed/internal/shed"
 )
 
 // This file is the runtime (serving-path) benchmark harness:
@@ -46,6 +48,15 @@ const parallelSpeedupFloor = 1.5
 // letting the async path silently regress toward inline cost.
 const stallReductionFloor = 8.0
 
+// shedStallReductionFloor gates the shed-trigger-stall pair: with the
+// async planner, the worst worker pause a shedding trigger causes
+// (population snapshot + goroutine launch + bucketed plan application)
+// must be at most 1/5 of the synchronous trigger's full selection +
+// knapsack + drop + table compilation. Same shape as the snapshot-stall
+// gate: the statistic is a source-timed max, gated on the sync/async
+// ratio measured in one run.
+const shedStallReductionFloor = 5.0
+
 // medianOf runs one untimed warmup pass and then n samples of f,
 // keeping the median by ns/event. The engine gate uses bestOf — there
 // the minimum estimates uncontended single-thread cost — but the
@@ -61,6 +72,25 @@ func medianOf(n int, f func() BenchWorkload) BenchWorkload {
 	}
 	sort.Slice(ws, func(i, j int) bool { return ws[i].NsPerEvent < ws[j].NsPerEvent })
 	return ws[len(ws)/2]
+}
+
+// minOf is medianOf's tail-robust sibling for the stall workloads. The
+// statistic there is a source-timed MAX pause, so a single co-tenant
+// preemption landing inside any timed segment inflates a whole sample
+// run — a one-sided, heavy-tailed error that the median of three still
+// passes through when two of three runs get hit. The minimum across
+// repeats estimates the uncontended worst pause, which is what the
+// sync/async reduction gates compare (the engine gate's bestOf
+// reasoning, applied to a max statistic).
+func minOf(n int, f func() BenchWorkload) BenchWorkload {
+	f() // warmup, discarded
+	best := f()
+	for i := 1; i < n; i++ {
+		if w := f(); w.NsPerEvent < best.NsPerEvent {
+			best = w
+		}
+	}
+	return best
 }
 
 // RuntimeBenchEntry is one recorded measurement run.
@@ -203,6 +233,49 @@ func measureSnapshotStall(sync bool, m *nfa.Machine, s event.Stream) BenchWorklo
 	}
 }
 
+// measureShedStall measures the worst pause a shedding trigger inflicts
+// on the serving worker, via the runtime's Snapshot.ShedStallMaxNs gauge
+// (timed at the source in the strategy, like the snapshot-stall pair).
+// One shard runs a pre-trained Hybrid under an unreachable latency bound
+// so state shedding triggers repeatedly on a dense stream; with
+// async=false the worker runs the whole partial-match walk + knapsack +
+// admission-table compilation inline, with async=true it only snapshots
+// class-bucket populations, launches the planner, and applies finished
+// plans. Returned in NsPerEvent (a max pause, not a rate) — excluded
+// from the ns/event regression gate and gated on the sync/async ratio.
+func measureShedStall(async bool, m *nfa.Machine, model *core.Model, s event.Stream) BenchWorkload {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	rt := runtime.New(m, runtime.Config{
+		Shards: 1,
+		NewStrategy: func(int) shed.Strategy {
+			// 1ns bound: always violated by real queueing latency, so the
+			// trigger cadence is set by DelayEvents alone. Adapt stays off —
+			// the model is shared across samples and must not drift.
+			return core.NewHybrid(model, core.Config{
+				Bound:       event.Time(1),
+				DelayEvents: 500,
+				AsyncPlan:   async,
+			})
+		},
+	})
+	rt.WaitRecovered()
+	offerAll(rt, s)
+	rt.Close()
+	snap := rt.Snapshot()
+	if snap.DroppedPMs == 0 || snap.ShedStallMaxNs == 0 {
+		panic(fmt.Sprintf("shed-trigger-stall(async=%v): dropped=%d stall=%dns; shedding never triggered, the workload measures nothing",
+			async, snap.DroppedPMs, snap.ShedStallMaxNs))
+	}
+	if async && snap.PlansApplied == 0 {
+		panic("shed-trigger-stall(async=true): no plan applied; the async path was not exercised")
+	}
+	return BenchWorkload{
+		NsPerEvent: float64(snap.ShedStallMaxNs),
+		Events:     len(s),
+		Matches:    snap.Matches,
+	}
+}
+
 // measureNDJSON isolates the line-decode path: allocs/event here is the
 // headline number for the zero-alloc scanner.
 func measureNDJSON(s event.Stream) BenchWorkload {
@@ -303,18 +376,48 @@ func runRuntimeBench(outPath, comparePath string, quick bool) int {
 	} {
 		fmt.Fprintf(os.Stderr, "cepbench: measuring %s (ns/event column = snapshot pause)...\n", sc.name)
 		sc := sc
-		cur.Workloads[sc.name] = medianOf(repeats, func() BenchWorkload { return measureSnapshotStall(sc.sync, stallMachine, stallStream) })
+		cur.Workloads[sc.name] = minOf(repeats, func() BenchWorkload { return measureSnapshotStall(sc.sync, stallMachine, stallStream) })
 		names = append(names, sc.name)
 	}
 
-	fmt.Printf("%-18s %12s %12s %12s %14s\n", "workload", "ns/event", "allocs/event", "B/event", "events/sec")
+	// Shed-trigger-stall pair: same dense stream shape as the snapshot
+	// pair — a large partial-match population makes the synchronous
+	// selection walk + knapsack expensive — with a model trained once and
+	// shared (Adapt off) so both sides shed against identical estimates.
+	shedEvents := 12000
+	if quick {
+		shedEvents = 3000
+	}
+	shedMachine := nfa.MustCompile(query.Q1("8ms"))
+	shedTraining := gen.DS1(gen.DS1Config{Events: 3000, Seed: 11, InterArrival: 40 * event.Microsecond})
+	shedModel, err := core.Train(shedMachine, shedTraining, core.TrainConfig{Slices: 4, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	shedStream := gen.DS1(gen.DS1Config{Events: shedEvents, Seed: 3, InterArrival: 10 * event.Microsecond})
+	for _, sc := range []struct {
+		name  string
+		async bool
+	}{
+		{name: "shed-trigger-stall-sync", async: false},
+		{name: "shed-trigger-stall-async", async: true},
+	} {
+		fmt.Fprintf(os.Stderr, "cepbench: measuring %s (ns/event column = worst trigger pause)...\n", sc.name)
+		sc := sc
+		cur.Workloads[sc.name] = minOf(repeats, func() BenchWorkload {
+			return measureShedStall(sc.async, shedMachine, shedModel, shedStream)
+		})
+		names = append(names, sc.name)
+	}
+
+	fmt.Printf("%-24s %12s %12s %12s %14s\n", "workload", "ns/event", "allocs/event", "B/event", "events/sec")
 	for _, name := range names {
 		w := cur.Workloads[name]
 		evPerSec := 0.0
 		if w.NsPerEvent > 0 {
 			evPerSec = 1e9 / w.NsPerEvent
 		}
-		fmt.Printf("%-18s %12.0f %12.2f %12.1f %14.0f\n",
+		fmt.Printf("%-24s %12.0f %12.2f %12.1f %14.0f\n",
 			name, w.NsPerEvent, w.AllocsPerEvent, w.BytesPerEvent, evPerSec)
 	}
 
@@ -326,6 +429,18 @@ func runRuntimeBench(outPath, comparePath string, quick bool) int {
 		if !quick && ratio < stallReductionFloor {
 			fmt.Fprintf(os.Stderr, "cepbench: async snapshots cut the max pause only %.1fx (floor %.0fx); off-hot-path capture has regressed\n",
 				ratio, stallReductionFloor)
+			return 1
+		}
+	}
+
+	syncS, asyncS := cur.Workloads["shed-trigger-stall-sync"], cur.Workloads["shed-trigger-stall-async"]
+	if asyncS.NsPerEvent > 0 {
+		ratio := syncS.NsPerEvent / asyncS.NsPerEvent
+		fmt.Printf("shed-trigger stall: sync max pause %.0f ns, async %.0f ns — %.1fx reduction\n",
+			syncS.NsPerEvent, asyncS.NsPerEvent, ratio)
+		if !quick && ratio < shedStallReductionFloor {
+			fmt.Fprintf(os.Stderr, "cepbench: async shed planning cut the worst trigger pause only %.1fx (floor %.0fx); selection work is back on the worker\n",
+				ratio, shedStallReductionFloor)
 			return 1
 		}
 	}
@@ -387,10 +502,10 @@ func compareRuntimeBaseline(cur RuntimeBenchEntry, path string) int {
 	}
 	failed := false
 	for name, cw := range cur.Workloads {
-		if strings.HasPrefix(name, "snapshot-stall") {
+		if strings.HasPrefix(name, "snapshot-stall") || strings.HasPrefix(name, "shed-trigger-stall") {
 			// Their metric is a MAX pause, not a mean — far too heavy-
-			// tailed for a ±25% gate. The sync/async reduction-ratio gate
-			// in runRuntimeBench covers them.
+			// tailed for a ±25% gate. The sync/async reduction-ratio gates
+			// in runRuntimeBench cover them.
 			continue
 		}
 		bw, ok := base.Workloads[name]

@@ -1099,6 +1099,29 @@ func writePrometheus(w io.Writer, snap registry.Snapshot, intern runtime.InternS
 			return 0
 		})
 
+	// Shed decision path (docs/PERFORMANCE.md): admission cost, planner
+	// throughput, and class-bucket index occupancy.
+	counter("admission_ns_total", "Sampled wall-clock nanoseconds spent in AdmitEvent (extrapolated from every 64th event).",
+		func(ss runtime.ShardSnapshot) uint64 { return uint64(ss.AdmissionNs) })
+	counter("shed_plans_built_total", "Shedding plans built by the async planner goroutine.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.PlansBuilt })
+	counter("shed_plans_applied_total", "Planner plans applied by the worker.",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.PlansApplied })
+	counter("shed_plans_stale_total", "Planner plans discarded by the drop-epoch fence (population retired before apply).",
+		func(ss runtime.ShardSnapshot) uint64 { return ss.PlansStale })
+	gauge("shed_plan_build_seconds", "Wall-clock duration of the planner's most recent off-worker plan build.",
+		func(ss runtime.ShardSnapshot) float64 { return float64(ss.PlanBuildNsLast) / 1e9 })
+	gauge("shed_plan_build_seconds_max", "Longest off-worker plan build observed.",
+		func(ss runtime.ShardSnapshot) float64 { return float64(ss.PlanBuildNsMax) / 1e9 })
+	gauge("shed_stall_seconds_max", "Worst worker pause a shedding trigger caused (snapshot chunk, plan apply, or drop chunk).",
+		func(ss runtime.ShardSnapshot) float64 { return float64(ss.ShedStallMaxNs) / 1e9 })
+	gauge("class_buckets", "Live (state, class) buckets in the engine's partial-match index.",
+		func(ss runtime.ShardSnapshot) float64 { return float64(ss.ClassBuckets) })
+	gauge("class_live_pms", "Live partial matches tracked by the class-bucket index.",
+		func(ss runtime.ShardSnapshot) float64 { return float64(ss.ClassLivePMs) })
+	gauge("class_dead_pms", "Dead entries awaiting bucket compaction (lazy-retirement debt).",
+		func(ss runtime.ShardSnapshot) float64 { return float64(ss.ClassDeadPMs) })
+
 	// Per-query series: ladder level, arbiter imposition, recovery floor
 	// skips, latency quantiles.
 	p.Gauge("cepshed_degradation_level", "Graceful-degradation ladder level (0 normal .. 3 load rejection); unlabeled: worst across queries.")
@@ -1270,7 +1293,7 @@ func strategyFactory(name string, m *nfa.Machine, train event.Stream, bound even
 		}
 		return func(i int) shed.Strategy {
 			model := core.MustTrain(m, train, core.TrainConfig{Slices: 4, Seed: 1})
-			return core.NewHybrid(model, core.Config{Bound: bound, Mode: mode, Adapt: true})
+			return core.NewHybrid(model, core.Config{Bound: bound, Mode: mode, Adapt: true, AsyncPlan: true})
 		}, nil
 	default:
 		return nil, fmt.Errorf("unknown strategy %q", name)

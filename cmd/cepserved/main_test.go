@@ -205,6 +205,17 @@ func TestWritePrometheusExposesRobustnessSeries(t *testing.T) {
 		"cepshed_ndjson_intern_inserts_total",
 		"cepshed_ndjson_intern_rejects_total",
 		"cepshed_ndjson_intern_high_water",
+		// Shed decision path series (docs/PERFORMANCE.md).
+		"cepshed_admission_ns_total",
+		"cepshed_shed_plans_built_total",
+		"cepshed_shed_plans_applied_total",
+		"cepshed_shed_plans_stale_total",
+		"cepshed_shed_plan_build_seconds",
+		"cepshed_shed_plan_build_seconds_max",
+		"cepshed_shed_stall_seconds_max",
+		"cepshed_class_buckets",
+		"cepshed_class_live_pms",
+		"cepshed_class_dead_pms",
 	} {
 		if !strings.Contains(out, series) {
 			t.Errorf("/metrics output missing %q", series)

@@ -8,8 +8,6 @@
 package core
 
 import (
-	"hash/fnv"
-
 	"cepshed/internal/engine"
 	"cepshed/internal/event"
 	"cepshed/internal/nfa"
@@ -163,11 +161,30 @@ func (fs *featureSpec) pmFeatures(pm *engine.PartialMatch) []float64 {
 // eventOwnFeatures extracts the values an event would contribute to the
 // own-attribute positions of a state-s feature vector.
 func (fs *featureSpec) eventOwnFeatures(s int, e *event.Event) []float64 {
-	out := make([]float64, 0, len(fs.attrs[s]))
+	return fs.eventOwnFeaturesInto(s, e, make([]float64, 0, len(fs.attrs[s])))
+}
+
+// eventOwnFeaturesInto is eventOwnFeatures writing into a caller-owned
+// buffer — the per-event shed-decision paths reuse one scratch buffer so
+// admission never heap-allocates.
+func (fs *featureSpec) eventOwnFeaturesInto(s int, e *event.Event, buf []float64) []float64 {
+	buf = buf[:0]
 	for _, a := range fs.attrs[s] {
-		out = append(out, numericAttr(e, a))
+		buf = append(buf, numericAttr(e, a))
 	}
-	return out
+	return buf
+}
+
+// maxOwnDims returns the widest own-attribute span across states — the
+// scratch-buffer capacity an admission decision can need.
+func (fs *featureSpec) maxOwnDims() int {
+	max := 1
+	for s := range fs.attrs {
+		if n := len(fs.attrs[s]); n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // numericAttr coerces an attribute to a float feature. String attributes
@@ -180,7 +197,23 @@ func numericAttr(e *event.Event, attr string) float64 {
 	if v.IsNumeric() {
 		return v.AsFloat()
 	}
-	h := fnv.New32a()
-	h.Write([]byte(v.S))
-	return float64(h.Sum32() % 1024)
+	return float64(fnv1a32(v.S) % 1024)
+}
+
+// fnv1a32 is 32-bit FNV-1a, bit-identical to hash/fnv's New32a but
+// allocation-free: fnv.New32a heap-allocates its hash state, which would
+// put one allocation per string attribute on the per-event admission
+// path. Trained trees split on these hashed values, so the constants
+// must never change.
+func fnv1a32(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"cepshed/internal/engine"
 	"cepshed/internal/event"
@@ -38,6 +40,17 @@ type Config struct {
 	Solver knapsack.Solver
 	// Adapt enables online adaptation of the cost model (§V-B).
 	Adapt bool
+	// AsyncPlan moves shedding-set selection and admission-table
+	// compilation to a planner goroutine: on a bound violation the worker
+	// snapshots per-cell populations (cheap, from the engine's class
+	// buckets) and keeps processing; the planner solves the knapsack and
+	// publishes a compiled plan the worker applies on a later Control
+	// call, unless the partial-match population it was built for has been
+	// retired (drop-epoch fence). Off (synchronous selection, effective
+	// on the triggering event) by default — the paper-reproduction
+	// experiments run under the virtual clock and need the trigger to
+	// take effect deterministically in-line.
+	AsyncPlan bool
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +74,29 @@ type Hybrid struct {
 	inputActive bool
 	sinceShed   int
 
+	// table is the compiled admission filter for `current` (admit.go),
+	// published by atomic pointer swap so the async planner can install a
+	// new one while AdmitEvent reads the old. ownBuf is the per-event
+	// feature scratch that keeps the decision allocation-free.
+	table  atomic.Pointer[AdmitTable]
+	ownBuf []float64
+
+	// Async-planner state (planner.go). planPending is the built-and-not-
+	// yet-applied plan; planInFlight serializes to at most one build;
+	// dropping is the plan whose state drop is being applied in bounded
+	// chunks (worker-owned — only Control touches it).
+	planPending  atomic.Pointer[shedPlan]
+	planInFlight atomic.Bool
+	dropping     *shedPlan
+	// Incremental population-snapshot accumulation (worker-owned; active
+	// while planInFlight is held): the walk cursor, the epoch the
+	// accumulation started at, and the reused cell/planCell storage.
+	snapping    bool
+	snapEpoch   uint64
+	snapCur     engine.CellCursor
+	snapScratch planScratch
+	pstats      planCounters
+
 	now    event.Time
 	nowSeq uint64
 
@@ -72,9 +108,20 @@ type Hybrid struct {
 // NewHybrid builds the strategy over a trained model.
 func NewHybrid(model *Model, cfg Config) *Hybrid {
 	cfg = cfg.withDefaults()
-	h := &Hybrid{model: model, cfg: cfg, sinceShed: cfg.DelayEvents}
+	h := &Hybrid{
+		model:     model,
+		cfg:       cfg,
+		sinceShed: cfg.DelayEvents,
+		ownBuf:    make([]float64, model.spec.maxOwnDims()),
+	}
 	if cfg.Adapt {
 		h.adapter = NewAdapter(model)
+	}
+	if cfg.AsyncPlan {
+		// Warm the snapshot scratch so the first trigger's launch pause
+		// does not include growing these from nil.
+		h.snapScratch.cc = make([]engine.CellCount, 0, 256)
+		h.snapScratch.cells = make([]planCell, 0, 256)
 	}
 	return h
 }
@@ -112,10 +159,30 @@ func (h *Hybrid) Attach(en *engine.Engine) {
 // compatible with the event's own attribute values lies in the shedding
 // set — i.e. the class predicates prove the event worthless. Events of
 // types the pattern does not use are never filtered here (the engine
-// discards them for the base ingest cost anyway).
+// discards them for the base ingest cost anyway). The decision runs on
+// the compiled admission table: a type lookup plus flat region compares,
+// no allocation (TestAdmitEventZeroAlloc pins that).
 func (h *Hybrid) AdmitEvent(e *event.Event, now event.Time) bool {
 	h.now = e.Time
 	h.nowSeq = e.Seq
+	if !h.inputActive {
+		return true
+	}
+	t := h.table.Load()
+	if t == nil || t.Admit(e, h.ownBuf) {
+		return true
+	}
+	h.ShedEventsCnt++
+	return false
+}
+
+// AdmitEventInterpreted is the reference ρI decision, re-deriving the
+// event's candidate classes from the model per event — the pre-compiled
+// hot path, kept as the oracle the differential suite (and the
+// overload-admission benchmark's "before" side) checks the table
+// against. It must agree with AdmitEvent bit-for-bit; it does not update
+// strategy state.
+func (h *Hybrid) AdmitEventInterpreted(e *event.Event) bool {
 	if !h.inputActive || h.current == nil {
 		return true
 	}
@@ -131,11 +198,7 @@ func (h *Hybrid) AdmitEvent(e *event.Event, now event.Time) bool {
 			}
 		}
 	}
-	if !matched {
-		return true
-	}
-	h.ShedEventsCnt++
-	return false
+	return !matched
 }
 
 // Observe feeds complete matches into online adaptation.
@@ -151,12 +214,17 @@ func (h *Hybrid) Observe(res *engine.Result, now event.Time) {
 // Control triggers shedding when the smoothed latency violates the bound:
 // it selects a shedding set sized by the relative violation (Eq. 6),
 // drops the partial matches it covers (ρS), and activates the derived
-// input filter until the bound is satisfied again.
+// input filter until the bound is satisfied again. With AsyncPlan the
+// selection runs on the planner goroutine and the worker only snapshots
+// populations and applies finished plans.
 func (h *Hybrid) Control(now event.Time, lat event.Time) vclock.Cost {
 	h.sinceShed++
 	var work vclock.Cost
 	if h.adapter != nil {
 		h.adapter.MaybeFold(h.now, h.nowSeq)
+	}
+	if h.cfg.AsyncPlan {
+		return h.controlAsync(lat, work)
 	}
 	if lat <= h.cfg.Bound {
 		h.inputActive = false
@@ -165,25 +233,39 @@ func (h *Hybrid) Control(now event.Time, lat event.Time) vclock.Cost {
 	if h.sinceShed < h.cfg.DelayEvents {
 		return work
 	}
-	violation := float64(lat-h.cfg.Bound) / float64(lat)
-	// Cap the per-trigger severity: the smoothed latency lags the queue
-	// state, so a very large apparent violation would select nearly every
-	// cell and blank the system; shedding in capped steps converges to
-	// the bound without the overshoot.
-	if violation > 0.6 {
-		violation = 0.6
-	}
-	ss := h.model.SelectSheddingSet(h.en.PartialMatches(), h.now, h.nowSeq, violation, h.cfg.Solver)
+	t0 := time.Now()
+	ss := h.model.SelectSheddingSet(h.en.PartialMatches(), h.now, h.nowSeq, h.violation(lat), h.cfg.Solver)
 	if ss == nil {
 		return work
 	}
+	work += h.applySet(ss, ss.ClassPairs(), nil)
+	h.noteStall(t0)
+	return work
+}
+
+// violation is the relative bound violation (Eq. 6), capped per trigger:
+// the smoothed latency lags the queue state, so a very large apparent
+// violation would select nearly every cell and blank the system;
+// shedding in capped steps converges to the bound without the overshoot.
+func (h *Hybrid) violation(lat event.Time) float64 {
+	v := float64(lat-h.cfg.Bound) / float64(lat)
+	if v > 0.6 {
+		v = 0.6
+	}
+	return v
+}
+
+// applySet makes a selected shedding set effective: ρS over exactly the
+// class buckets the set covers, then the compiled input filter. table
+// may be a pre-compiled table from the planner (nil compiles in-line).
+func (h *Hybrid) applySet(ss *SheddingSet, pairs [][2]int, table *AdmitTable) vclock.Cost {
 	h.current = ss
 	h.sinceShed = 0
 	h.ShedTriggers++
-	work += EstimationWork(ss.Items)
+	work := EstimationWork(ss.Items)
 
 	if h.cfg.Mode != ModeInputOnly {
-		_, dropWork := h.en.DropIf(func(pm *engine.PartialMatch) bool {
+		_, dropWork := h.en.DropClasses(pairs, func(pm *engine.PartialMatch) bool {
 			class := pm.Class
 			if class < 0 {
 				class = 0
@@ -193,6 +275,10 @@ func (h *Hybrid) Control(now event.Time, lat event.Time) vclock.Cost {
 		work += dropWork
 	}
 	if h.cfg.Mode != ModeStateOnly {
+		if table == nil {
+			table = h.model.CompileAdmitTable(ss)
+		}
+		h.table.Store(table)
 		h.inputActive = true
 	}
 	return work
@@ -203,6 +289,21 @@ func (h *Hybrid) InputActive() bool { return h.inputActive }
 
 // CurrentSet returns the most recent shedding set (may be nil).
 func (h *Hybrid) CurrentSet() *SheddingSet { return h.current }
+
+// ImposeSet activates a shedding set directly, bypassing the latency
+// trigger — benches and tests use it to exercise the admission path with
+// a known set. It compiles and publishes the admission table but does
+// not drop partial matches.
+func (h *Hybrid) ImposeSet(ss *SheddingSet) {
+	h.current = ss
+	if ss == nil {
+		h.table.Store(nil)
+		h.inputActive = false
+		return
+	}
+	h.table.Store(h.model.CompileAdmitTable(ss))
+	h.inputActive = true
+}
 
 var _ shed.Strategy = (*Hybrid)(nil)
 
@@ -223,8 +324,25 @@ type FixedRatioHybrid struct {
 	period  int
 	sinceGC int
 
+	// Reused scratch: per-event own features (ownBuf), the population
+	// cells of the last trigger (cellBuf), the per-cell drop budgets and
+	// the covered bucket pairs (budgets/pairBuf/pairSeen) — dense arrays
+	// replacing the per-PM shedSet map of the previous implementation.
+	ownBuf   []float64
+	cellBuf  []engine.CellCount
+	ranked   []rankedCell
+	budgets  []int32
+	pairBuf  [][2]int
+	pairSeen []bool
+
 	now    event.Time
 	nowSeq uint64
+}
+
+// rankedCell orders population cells by remaining contribution.
+type rankedCell struct {
+	idx  int // into the cell snapshot
+	util float64
 }
 
 // NewFixedRatioHybrid builds the fixed-ratio variant. input selects HyI
@@ -236,6 +354,7 @@ func NewFixedRatioHybrid(model *Model, ratio float64, input bool, seed int64) *F
 		util:    shed.NewUtilityThreshold(ratio, 512, seed),
 		tracker: shed.RatioTracker{Target: ratio},
 		period:  32,
+		ownBuf:  make([]float64, 0, model.spec.maxOwnDims()),
 	}
 }
 
@@ -286,10 +405,8 @@ func (f *FixedRatioHybrid) eventUtility(e *event.Event) float64 {
 		if m.Final(s) && !m.States[s].Comp.Kleene {
 			return 1e18
 		}
-		for _, class := range f.model.EventCandidateClasses(s, e) {
-			if u := f.model.ClassContribution(s, class); u > best {
-				best = u
-			}
+		if u := f.model.eventBestContribution(s, e, f.ownBuf); u > best {
+			best = u
 		}
 	}
 	return best
@@ -301,7 +418,9 @@ func (f *FixedRatioHybrid) Observe(*engine.Result, event.Time) {}
 // Control keeps the dropped/created partial-match ratio at the target by
 // periodically shedding the lowest-utility cost-model CELLS — shedding is
 // realized per class, as §V-A prescribes, with only the marginal cell
-// shed partially to land on the target ratio.
+// shed partially to land on the target ratio. Populations come from the
+// engine's class buckets and the drop walks only the covered buckets,
+// with per-cell count budgets in a dense array (no per-PM map probes).
 func (f *FixedRatioHybrid) Control(now event.Time, lat event.Time) vclock.Cost {
 	if f.input {
 		return 0
@@ -315,58 +434,97 @@ func (f *FixedRatioHybrid) Control(now event.Time, lat event.Time) vclock.Cost {
 	if deficit <= 0 {
 		return 0
 	}
-	pms := f.en.PartialMatches()
-	if len(pms) == 0 {
+	model := f.model
+	slices := model.Slices()
+	cells := f.en.ClassCellCounts(slices, func(st event.Time, sq uint64) int {
+		return model.sliceOfStart(st, sq, f.now, f.nowSeq)
+	}, f.cellBuf[:0])
+	f.cellBuf = cells
+	if len(cells) == 0 {
 		return 0
 	}
-	// Aggregate live matches into cells and rank cells by utility.
-	members := map[cellKey][]*engine.PartialMatch{}
-	for _, pm := range pms {
+	// Rank cells by the remaining contribution per member — the fixed-
+	// ratio budget is a COUNT of partial matches, so the cost side is
+	// irrelevant when the quota is items, not resources. Ties keep the
+	// snapshot's (state, class, slice) order.
+	ranked := f.ranked[:0]
+	maxClass := 0
+	for i, cc := range cells {
+		c, _ := model.Estimate(cc.State, cc.Class, cc.Slice)
+		ranked = append(ranked, rankedCell{idx: i, util: c})
+		if cc.Class > maxClass {
+			maxClass = cc.Class
+		}
+	}
+	f.ranked = ranked
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].util < ranked[j].util })
+
+	classDim := maxClass + 1
+	nStates := len(model.machine.States)
+	f.budgets = resizeInt32(f.budgets, nStates*classDim*slices)
+	f.pairSeen = resizeBool(f.pairSeen, nStates*classDim)
+	pairs := f.pairBuf[:0]
+	remaining := deficit
+	for _, rc := range ranked {
+		if remaining <= 0 {
+			break
+		}
+		cc := cells[rc.idx]
+		take := cc.Count
+		if take > remaining {
+			take = remaining // partial marginal cell
+		}
+		f.budgets[(cc.State*classDim+cc.Class)*slices+cc.Slice] = int32(take)
+		remaining -= take
+		if pi := cc.State*classDim + cc.Class; !f.pairSeen[pi] {
+			f.pairSeen[pi] = true
+			pairs = append(pairs, [2]int{cc.State, cc.Class})
+		}
+	}
+	f.pairBuf = pairs
+
+	n, work := f.en.DropClasses(pairs, func(pm *engine.PartialMatch) bool {
 		class := pm.Class
 		if class < 0 {
 			class = 0
 		}
-		cell := cellKey{pm.State(), class, f.model.SliceOf(pm, f.now, f.nowSeq)}
-		members[cell] = append(members[cell], pm)
-	}
-	cells := make([]scoredCell, 0, len(members))
-	for cell, ms := range members {
-		// The fixed-ratio budget is a COUNT of partial matches, so cells
-		// are ranked by the remaining contribution per member — the cost
-		// side is irrelevant when the quota is items, not resources.
-		c, _ := f.model.Estimate(cell.state, cell.class, cell.slice)
-		cells = append(cells, scoredCell{cell, c, ms})
-	}
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].util != cells[j].util {
-			return cells[i].util < cells[j].util
+		sl := model.sliceOfStart(pm.StartTime(), pm.StartSeq(), f.now, f.nowSeq)
+		i := (pm.State()*classDim+class)*slices + sl
+		if f.budgets[i] > 0 {
+			f.budgets[i]--
+			return true
 		}
-		return cells[i].cell.String() < cells[j].cell.String()
+		return false
 	})
-	shedSet := make(map[uint64]bool, deficit)
-	for _, sc := range cells {
-		if deficit <= 0 {
-			break
-		}
-		take := sc.members
-		if len(take) > deficit {
-			take = take[:deficit] // partial marginal cell
-		}
-		for _, pm := range take {
-			shedSet[pm.ID()] = true
-		}
-		deficit -= len(take)
-	}
-	n, work := f.en.DropIf(func(pm *engine.PartialMatch) bool { return shedSet[pm.ID()] })
 	f.tracker.Shed(n)
+	for i := range f.pairSeen {
+		f.pairSeen[i] = false
+	}
 	return work + EstimationWork(len(cells))
 }
 
-// scoredCell pairs a cost-model cell with its utility and live members.
-type scoredCell struct {
-	cell    cellKey
-	util    float64
-	members []*engine.PartialMatch
+// resizeInt32 returns a zeroed slice of length n, reusing capacity.
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resizeBool returns a zeroed slice of length n, reusing capacity.
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 var _ shed.Strategy = (*FixedRatioHybrid)(nil)

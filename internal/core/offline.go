@@ -415,11 +415,18 @@ func (model *Model) Machine() *nfa.Machine { return model.machine }
 // current time (or sequence number for count windows): the slice indexes
 // how much of the match's time-to-live has elapsed (§V-A).
 func (model *Model) sliceOfPM(pm *engine.PartialMatch, now event.Time, nowSeq uint64) int {
+	return model.sliceOfStart(pm.StartTime(), pm.StartSeq(), now, nowSeq)
+}
+
+// sliceOfStart is sliceOfPM on the raw window-start coordinates — the
+// form the class-bucketed index walk uses, so a population snapshot bins
+// matches into exactly the slices the drop predicate will see.
+func (model *Model) sliceOfStart(startTime event.Time, startSeq uint64, now event.Time, nowSeq uint64) int {
 	var sl int
 	if model.sliceLen > 0 {
-		sl = int((now - pm.StartTime()) / model.sliceLen)
+		sl = int((now - startTime) / model.sliceLen)
 	} else {
-		sl = int(nowSeq-pm.StartSeq()) / model.sliceEvents
+		sl = int(nowSeq-startSeq) / model.sliceEvents
 	}
 	if sl < 0 {
 		sl = 0
@@ -468,6 +475,36 @@ func (model *Model) EventCandidateClasses(state int, e *event.Event) []int {
 		}
 	}
 	return out
+}
+
+// eventBestContribution is the highest ClassContribution among the
+// event's candidate classes at a state — EventCandidateClasses folded
+// with its consumer so the per-event utility path never materializes the
+// class list. buf is a caller-owned scratch for the own-feature values.
+func (model *Model) eventBestContribution(state int, e *event.Event, buf []float64) float64 {
+	sm := model.states[state]
+	if sm.tree == nil {
+		return model.ClassContribution(state, 0)
+	}
+	own := model.spec.eventOwnFeaturesInto(state, e, buf)
+	lo, hi := model.spec.ownStart[state], model.spec.ownEnd[state]
+	best := 0.0
+	for c := 0; c < sm.k; c++ {
+		compatible := false
+		for _, r := range sm.regions[c] {
+			if regionCompatible(r, lo, hi, own) {
+				compatible = true
+				break
+			}
+		}
+		if !compatible {
+			continue
+		}
+		if u := model.ClassContribution(state, c); u > best {
+			best = u
+		}
+	}
+	return best
 }
 
 // regionCompatible checks the projection of a region onto feature

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"cepshed/internal/engine"
 	"cepshed/internal/event"
 	"cepshed/internal/knapsack"
@@ -39,43 +41,93 @@ func (ss *SheddingSet) ContainsClass(state, class int) bool {
 	return ss.Classes[[2]int{state, class}]
 }
 
-// SelectSheddingSet aggregates the live partial matches into cost-model
-// cells, computes per-cell relative contribution Δ+ and consumption Δ−
-// (Eqs. 5 and 7), and solves the covering knapsack of Eq. 8: minimize the
-// shed contribution subject to the shed consumption covering at least the
-// relative latency violation.
-func (model *Model) SelectSheddingSet(
-	pms []*engine.PartialMatch,
-	now event.Time, nowSeq uint64,
-	violation float64,
-	solver knapsack.Solver,
-) *SheddingSet {
-	if violation <= 0 || len(pms) == 0 {
+// ClassPairs returns the (state, class) pairs of the set in ascending
+// order — the bucket list a DropClasses pass walks. Every cell of the
+// set projects into this list, so walking only these buckets visits
+// every match Contains could select.
+func (ss *SheddingSet) ClassPairs() [][2]int {
+	if ss == nil || len(ss.Classes) == 0 {
+		return nil
+	}
+	pairs := make([][2]int, 0, len(ss.Classes))
+	for p := range ss.Classes {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
+}
+
+// planCell is one populated cost-model cell with the estimates captured
+// at snapshot time. A []planCell is self-contained: selection (and table
+// compilation) can run on the planner goroutine without touching the
+// engine or the model's online-adapted estimates, which the worker
+// mutates.
+type planCell struct {
+	state, class, slice int
+	count               int
+	contrib, consume    float64 // per-member estimates at snapshot time
+}
+
+// planScratch is reusable snapshot storage. The async trigger path owns
+// one: planInFlight serializes plan builds, and the planner goroutine is
+// finished with the cell slice before the flag is released, so reusing
+// the buffers across launches never races with a reader.
+type planScratch struct {
+	cc    []engine.CellCount
+	cells []planCell
+}
+
+// snapshotPlanCells reads the engine's class-bucket populations and the
+// model's current estimates into plan cells, in ascending
+// (state, class, slice) order. This is the cheap hot-path half of a shed
+// trigger; everything downstream of it can run asynchronously. A nil
+// scratch allocates fresh slices; a reused scratch makes the snapshot
+// allocation-free after warmup.
+func (model *Model) snapshotPlanCells(en *engine.Engine, now event.Time, nowSeq uint64, scratch *planScratch) []planCell {
+	if scratch == nil {
+		scratch = &planScratch{}
+	}
+	cc := en.ClassCellCounts(model.cfg.Slices, func(st event.Time, sq uint64) int {
+		return model.sliceOfStart(st, sq, now, nowSeq)
+	}, scratch.cc[:0])
+	scratch.cc = cc
+	if len(cc) == 0 {
+		return nil
+	}
+	cells := scratch.cells[:0]
+	for _, c := range cc {
+		contrib, consume := model.Estimate(c.State, c.Class, c.Slice)
+		cells = append(cells, planCell{
+			state: c.State, class: c.Class, slice: c.Slice,
+			count: c.Count, contrib: contrib, consume: consume,
+		})
+	}
+	scratch.cells = cells
+	return cells
+}
+
+// selectFromPlanCells solves the covering knapsack of Eq. 8 over
+// pre-aggregated cells: minimize the shed contribution subject to the
+// shed consumption covering at least the relative latency violation.
+// Pure function of its inputs — safe on any goroutine.
+func selectFromPlanCells(cells []planCell, violation float64, solver knapsack.Solver) *SheddingSet {
+	if violation <= 0 || len(cells) == 0 {
 		return nil
 	}
 	if violation > 1 {
 		violation = 1
 	}
-	// Aggregate live matches into cells.
-	counts := map[cellKey]int{}
-	for _, pm := range pms {
-		class := pm.Class
-		if class < 0 {
-			class = 0
-		}
-		cell := cellKey{pm.State(), class, model.SliceOf(pm, now, nowSeq)}
-		counts[cell]++
-	}
-	cells := make([]cellKey, 0, len(counts))
-	items := make([]knapsack.Item, 0, len(counts))
+	items := make([]knapsack.Item, 0, len(cells))
 	var totalC, totalW float64
-	for cell, n := range counts {
-		c, w := model.Estimate(cell.state, cell.class, cell.slice)
-		c *= float64(n)
-		w *= float64(n)
-		id := len(cells)
-		cells = append(cells, cell)
-		items = append(items, knapsack.Item{ID: id, Value: c, Weight: w})
+	for i, pc := range cells {
+		c := pc.contrib * float64(pc.count)
+		w := pc.consume * float64(pc.count)
+		items = append(items, knapsack.Item{ID: i, Value: c, Weight: w})
 		totalC += c
 		totalW += w
 	}
@@ -96,11 +148,61 @@ func (model *Model) SelectSheddingSet(
 		Items:   len(items),
 	}
 	for _, id := range shedIDs {
-		cell := cells[id]
-		ss.Cells[cell] = true
-		ss.Classes[[2]int{cell.state, cell.class}] = true
+		pc := cells[id]
+		ss.Cells[cellKey{pc.state, pc.class, pc.slice}] = true
+		ss.Classes[[2]int{pc.state, pc.class}] = true
 		ss.PredictedSavings += items[id].Weight
 		ss.PredictedLoss += items[id].Value
 	}
 	return ss
+}
+
+// SelectSheddingSet aggregates the live partial matches into cost-model
+// cells, computes per-cell relative contribution Δ+ and consumption Δ−
+// (Eqs. 5 and 7), and solves the covering knapsack of Eq. 8. Cells are
+// ordered by (state, class, slice) before the solve, so the selection is
+// a deterministic function of the population (the previous map-iteration
+// item order could flip which of two equal-score cells a solver tie
+// broke toward).
+func (model *Model) SelectSheddingSet(
+	pms []*engine.PartialMatch,
+	now event.Time, nowSeq uint64,
+	violation float64,
+	solver knapsack.Solver,
+) *SheddingSet {
+	if violation <= 0 || len(pms) == 0 {
+		return nil
+	}
+	counts := map[cellKey]int{}
+	for _, pm := range pms {
+		class := pm.Class
+		if class < 0 {
+			class = 0
+		}
+		cell := cellKey{pm.State(), class, model.SliceOf(pm, now, nowSeq)}
+		counts[cell]++
+	}
+	keys := make([]cellKey, 0, len(counts))
+	for cell := range counts {
+		keys = append(keys, cell)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.state != b.state {
+			return a.state < b.state
+		}
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		return a.slice < b.slice
+	})
+	cells := make([]planCell, 0, len(keys))
+	for _, cell := range keys {
+		contrib, consume := model.Estimate(cell.state, cell.class, cell.slice)
+		cells = append(cells, planCell{
+			state: cell.state, class: cell.class, slice: cell.slice,
+			count: counts[cell], contrib: contrib, consume: consume,
+		})
+	}
+	return selectFromPlanCells(cells, violation, solver)
 }

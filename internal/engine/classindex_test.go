@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"cepshed/internal/event"
+	"cepshed/internal/gen"
+	"cepshed/internal/nfa"
+	"cepshed/internal/query"
+)
+
+// Differential harness for the class-bucketed index: the same stream
+// runs through two identical engines; one sheds with full-scan DropIf,
+// the other with bucketed DropClasses over the covered (state, class)
+// pairs. Drop counts, virtual costs, live sets, and final stats must be
+// identical — including across a snapshot/restore round trip, which
+// rebuilds the index.
+
+// classify assigns deterministic pseudo-classes (including -1 for
+// "unclassified", which buckets under effective class 0).
+func classify(pm *PartialMatch) {
+	pm.Class = int(pm.ID()*7%5) - 1
+}
+
+// testSlice is a stable slice function of the window-start coordinates.
+func testSlice(startSeq uint64) int { return int(startSeq % 3) }
+
+// shedPred is the deterministic per-match predicate both engines use.
+func shedPred(pm *PartialMatch) bool {
+	return (pm.ID()*2654435761+uint64(testSlice(pm.StartSeq()))*131)%3 == 0
+}
+
+func effClass(pm *PartialMatch) int {
+	if pm.Class > 0 {
+		return pm.Class
+	}
+	return 0
+}
+
+// randomPairs picks a random subset of (state, class) pairs.
+func randomPairs(rng *rand.Rand, nStates, nClasses int) map[[2]int]bool {
+	set := map[[2]int]bool{}
+	for s := 0; s < nStates; s++ {
+		for c := 0; c < nClasses; c++ {
+			if rng.Intn(2) == 0 {
+				set[[2]int{s, c}] = true
+			}
+		}
+	}
+	return set
+}
+
+func pairsOf(set map[[2]int]bool) [][2]int {
+	out := make([][2]int, 0, len(set))
+	for s := 0; s < 16; s++ {
+		for c := 0; c < 16; c++ {
+			if set[[2]int{s, c}] {
+				out = append(out, [2]int{s, c})
+			}
+		}
+	}
+	return out
+}
+
+func runClassDifferential(t *testing.T, q *query.Query, deferred bool, s event.Stream, seed int64, withRestore bool) {
+	t.Helper()
+	m := nfa.MustCompile(q)
+	full := New(m, DefaultCosts())
+	bucketed := New(m, DefaultCosts())
+	full.DeferredNegation = deferred
+	bucketed.DeferredNegation = deferred
+	full.OnCreate = classify
+	bucketed.OnCreate = classify
+	rng := rand.New(rand.NewSource(seed))
+
+	restoreAt := -1
+	if withRestore {
+		restoreAt = len(s) / 2
+	}
+	for i, e := range s {
+		full.Process(e)
+		bucketed.Process(e)
+		if i == restoreAt {
+			// Round-trip the bucketed engine through a snapshot: the class
+			// index is rebuilt from scratch and must keep producing
+			// identical drops.
+			st := bucketed.Snapshot()
+			fresh := New(m, DefaultCosts())
+			fresh.DeferredNegation = deferred
+			fresh.OnCreate = classify
+			if err := fresh.Restore(st); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			bucketed = fresh
+		}
+		if i%7 == 6 {
+			pairSet := randomPairs(rng, len(m.States), 5)
+			nf, cf := full.DropIf(func(pm *PartialMatch) bool {
+				return pairSet[[2]int{pm.State(), effClass(pm)}] && shedPred(pm)
+			})
+			nb, cb := bucketed.DropClasses(pairsOf(pairSet), shedPred)
+			if nf != nb || cf != cb {
+				t.Fatalf("event %d: drop diverged: full (%d, %d), bucketed (%d, %d)", i, nf, cf, nb, cb)
+			}
+			if full.LiveCount() != bucketed.LiveCount() {
+				t.Fatalf("event %d: live diverged: full %d, bucketed %d", i, full.LiveCount(), bucketed.LiveCount())
+			}
+			// Bucket occupancy must agree with the store.
+			cs := bucketed.ClassIndexStats()
+			if cs.Live != bucketed.live {
+				t.Fatalf("event %d: class index live %d != engine live %d", i, cs.Live, bucketed.live)
+			}
+		}
+		if i%13 == 12 {
+			// Population snapshot: cells ascending, counts conserve live.
+			cells := bucketed.ClassCellCounts(3, func(_ event.Time, sq uint64) int { return testSlice(sq) }, nil)
+			total := 0
+			for j, c := range cells {
+				total += c.Count
+				if j > 0 {
+					p := cells[j-1]
+					if c.State < p.State ||
+						(c.State == p.State && (c.Class < p.Class ||
+							(c.Class == p.Class && c.Slice <= p.Slice))) {
+						t.Fatalf("event %d: cells not strictly ascending: %+v then %+v", i, p, c)
+					}
+				}
+			}
+			if total != bucketed.LiveCount() {
+				t.Fatalf("event %d: cell counts %d != live %d", i, total, bucketed.LiveCount())
+			}
+			// A chunked walk with a tiny budget must reproduce the one-shot
+			// cells exactly when nothing mutates between chunks.
+			var cur CellCursor
+			var chunked []CellCount
+			for {
+				out, done := bucketed.ClassCellCountsChunk(3, func(_ event.Time, sq uint64) int { return testSlice(sq) }, chunked, &cur, 7)
+				chunked = out
+				if done {
+					break
+				}
+			}
+			if len(chunked) != len(cells) {
+				t.Fatalf("event %d: chunked cell walk found %d cells, one-shot %d", i, len(chunked), len(cells))
+			}
+			for j := range cells {
+				if chunked[j] != cells[j] {
+					t.Fatalf("event %d: chunked cell %d = %+v, one-shot %+v", i, j, chunked[j], cells[j])
+				}
+			}
+		}
+	}
+
+	ff, fb := pmFingerprint(full), pmFingerprint(bucketed)
+	if len(ff) != len(fb) {
+		t.Fatalf("final PM count diverged: full %d, bucketed %d", len(ff), len(fb))
+	}
+	for i := range ff {
+		if ff[i] != fb[i] {
+			t.Fatalf("final PM %d diverged:\nfull:     %s\nbucketed: %s", i, ff[i], fb[i])
+		}
+	}
+	if fs, bs := full.Stats(), bucketed.Stats(); fs.DroppedPMs != bs.DroppedPMs || fs.ExpiredPMs != bs.ExpiredPMs {
+		t.Fatalf("stats diverged:\nfull:     %+v\nbucketed: %+v", fs, bs)
+	}
+}
+
+func TestDifferentialDropClassesVsDropIf(t *testing.T) {
+	type scenario struct {
+		name     string
+		q        *query.Query
+		deferred bool
+	}
+	scenarios := []scenario{
+		{name: "sequence", q: query.Q1("2ms")},
+		{name: "kleene", q: query.Q2("2ms", 1, 3)},
+		{name: "negation-deferred", q: query.Q4("2ms"), deferred: true},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				s := gen.DS1(gen.DS1Config{
+					Events:       1200,
+					Seed:         seed,
+					InterArrival: 30 * event.Microsecond,
+				})
+				runClassDifferential(t, sc.q, sc.deferred, s, seed, false)
+				runClassDifferential(t, sc.q, sc.deferred, s, seed+50, true)
+			}
+		})
+	}
+}
+
+// TestDropClassesBoundedConverges pins the incremental drop used by
+// async plan application: chunked passes must drop at most the budget
+// per call, converge to done, and end with exactly the PM population a
+// one-shot DropClasses leaves on a twin engine.
+func TestDropClassesBoundedConverges(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("2ms"))
+	oneShot := New(m, DefaultCosts())
+	chunked := New(m, DefaultCosts())
+	oneShot.OnCreate = classify
+	chunked.OnCreate = classify
+	s := gen.DS1(gen.DS1Config{Events: 1500, Seed: 3, InterArrival: 5 * event.Microsecond})
+	for _, e := range s {
+		oneShot.Process(e)
+		chunked.Process(e)
+	}
+	var pairs [][2]int
+	for st := 0; st < len(m.States); st++ {
+		for c := 0; c < 5; c++ {
+			pairs = append(pairs, [2]int{st, c})
+		}
+	}
+	nFull, _ := oneShot.DropIf(func(pm *PartialMatch) bool {
+		for _, pr := range pairs {
+			if pm.State() == pr[0] && effClass(pm) == pr[1] {
+				return shedPred(pm)
+			}
+		}
+		return false
+	})
+	if nFull == 0 {
+		t.Fatal("one-shot drop removed nothing; the scenario tests nothing")
+	}
+	const chunk = 16
+	total, passes := 0, 0
+	var cur DropCursor
+	for {
+		n, _, done := chunked.DropClassesBounded(pairs, shedPred, chunk, &cur)
+		if n > chunk {
+			t.Fatalf("pass dropped %d > examination budget %d", n, chunk)
+		}
+		total += n
+		passes++
+		if done {
+			break
+		}
+		if passes > 10000 {
+			t.Fatal("bounded drop did not converge")
+		}
+	}
+	if total != nFull {
+		t.Fatalf("chunked dropped %d, one-shot %d", total, nFull)
+	}
+	if passes < 2 {
+		t.Fatalf("only %d pass(es); the budget never bit (nFull=%d)", passes, nFull)
+	}
+	// Bounded passes defer store compaction to the next Process call;
+	// run it explicitly before comparing raw store contents.
+	chunked.compactIfDirty()
+	fo, fc := pmFingerprint(oneShot), pmFingerprint(chunked)
+	if len(fo) != len(fc) {
+		t.Fatalf("final PM count diverged: one-shot %d, chunked %d", len(fo), len(fc))
+	}
+	for i := range fo {
+		if fo[i] != fc[i] {
+			t.Fatalf("final PM %d diverged:\none-shot: %s\nchunked:  %s", i, fo[i], fc[i])
+		}
+	}
+}
+
+// TestDropEpochAdvances pins the epoch fence: drops, flushes, and
+// restores move the epoch; plain processing does not.
+func TestDropEpochAdvances(t *testing.T) {
+	m := nfa.MustCompile(query.Q1("2ms"))
+	en := New(m, DefaultCosts())
+	en.OnCreate = classify
+	s := gen.DS1(gen.DS1Config{Events: 300, Seed: 1, InterArrival: 30 * event.Microsecond})
+	for _, e := range s[:200] {
+		en.Process(e)
+	}
+	e0 := en.DropEpoch()
+	for _, e := range s[200:250] {
+		en.Process(e)
+	}
+	if en.DropEpoch() != e0 {
+		t.Fatalf("epoch moved on plain processing: %d -> %d", e0, en.DropEpoch())
+	}
+	if n, _ := en.DropClasses([][2]int{{0, 0}, {1, 0}, {1, 1}, {1, 2}}, func(*PartialMatch) bool { return true }); n == 0 {
+		t.Fatalf("expected drops")
+	}
+	if en.DropEpoch() == e0 {
+		t.Fatalf("epoch did not move on DropClasses")
+	}
+	e1 := en.DropEpoch()
+	en.Flush()
+	if en.DropEpoch() == e1 {
+		t.Fatalf("epoch did not move on Flush")
+	}
+}

@@ -62,6 +62,13 @@ type Engine struct {
 	ring      expiryRing
 	groupPool []*startGroup
 
+	// classes is the class-bucketed partial-match index (classindex.go):
+	// shedding's view of the store, maintained on every path (witnesses
+	// and the reference scan engine included). dropEpoch fences async
+	// shed plans against populations that no longer exist.
+	classes   classIndex
+	dropEpoch uint64
+
 	reacts       []stateReact
 	reactBuf     []typeFlag
 	witnessSpots map[string][]witnessSpot
@@ -119,6 +126,7 @@ func New(m *nfa.Machine, costs Costs) *Engine {
 	en := &Engine{m: m, costs: costs, pool: true}
 	en.alloc.init(len(m.States))
 	en.index = make(map[string]*typeBucket, 8)
+	en.classes.byState = make([][]*classBucket, len(m.States))
 	en.reacts = make([]stateReact, len(m.States))
 	n := len(m.States)
 	for s := range m.States {
@@ -537,6 +545,9 @@ func (en *Engine) register(pm *PartialMatch) {
 		en.pool = false
 		en.OnCreate(pm)
 	}
+	// After OnCreate: the class bucket is keyed by the class OnCreate just
+	// assigned.
+	en.classIndexPM(pm)
 }
 
 // compactIfDirty removes dead partial matches (and witnesses) in place,
@@ -580,6 +591,9 @@ func (en *Engine) compactIfDirty() {
 			}
 		}
 	}
+	if en.classes.dead > 1024 && en.classes.dead > 2*en.live {
+		en.compactClassIndex()
+	}
 }
 
 // DropIf removes every live partial match for which shed returns true
@@ -601,6 +615,7 @@ func (en *Engine) DropIf(shed func(*PartialMatch) bool) (int, vclock.Cost) {
 	}
 	if n > 0 {
 		en.stats.DroppedPMs += uint64(n)
+		en.dropEpoch++
 		en.compactIfDirty()
 	}
 	return n, vclock.Cost(scanned)*en.costs.PerScan + vclock.Cost(n)*en.costs.PerDrop
@@ -628,6 +643,8 @@ func (en *Engine) Flush() {
 		b.dead = 0
 	}
 	en.indexDead = 0
+	en.resetClassIndex()
+	en.dropEpoch++
 	for en.ring.front() != nil {
 		g := en.ring.front()
 		en.ring.pop()

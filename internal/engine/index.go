@@ -109,6 +109,9 @@ func (en *Engine) indexPM(pm *PartialMatch) {
 func (en *Engine) noteDead(pm *PartialMatch) {
 	en.live--
 	en.deadPMs++
+	// Before the witness/scan early returns: every match is in exactly one
+	// class bucket, witnesses and scan engines included.
+	en.noteDeadClass(pm)
 	if pm.witnessOf != nil {
 		en.deadWitnesses++
 		return

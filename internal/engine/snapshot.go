@@ -232,6 +232,7 @@ func (en *Engine) Restore(st *EngineState) error {
 		} else if !en.useScan {
 			en.indexPM(pm)
 		}
+		en.classIndexPM(pm)
 		ids[p.ID] = pm
 		if p.ID > maxID {
 			maxID = p.ID
@@ -242,6 +243,9 @@ func (en *Engine) Restore(st *EngineState) error {
 	if maxID > en.nextID {
 		en.nextID = maxID
 	}
+	// The restored population is a different one than any in-flight shed
+	// plan was built for.
+	en.dropEpoch++
 	return nil
 }
 

@@ -804,6 +804,26 @@ type ShardSnapshot struct {
 	// (queue waiting excluded); ΔBusyNs/Δwall is the shard's utilization.
 	BusyNs int64 `json:"busy_ns"`
 
+	// Shed decision path. AdmissionNs is (sampled, extrapolated) wall
+	// time spent in ρI admission decisions. The Plan* counters come from
+	// the strategy's PlanReporter when it has one (the async shed
+	// planner): plans built by the planner goroutine, applied by the
+	// worker, or discarded on the drop-epoch fence; build times; and the
+	// worst worker pause a shedding trigger caused. ClassBuckets/
+	// ClassLivePMs/ClassDeadPMs are the engine's class-bucket index
+	// occupancy (the structure bucketed drops and population snapshots
+	// read), published at batch boundaries.
+	AdmissionNs     int64  `json:"admission_ns"`
+	PlansBuilt      uint64 `json:"shed_plans_built"`
+	PlansApplied    uint64 `json:"shed_plans_applied"`
+	PlansStale      uint64 `json:"shed_plans_stale"`
+	PlanBuildNsLast int64  `json:"shed_plan_build_ns_last"`
+	PlanBuildNsMax  int64  `json:"shed_plan_build_ns_max"`
+	ShedStallMaxNs  int64  `json:"shed_stall_max_ns"`
+	ClassBuckets    int64  `json:"class_buckets"`
+	ClassLivePMs    int64  `json:"class_live_pms"`
+	ClassDeadPMs    int64  `json:"class_dead_pms"`
+
 	// Durability state; all zero when the shard runs without a
 	// checkpoint store.
 	Recovering bool   `json:"recovering"`
@@ -887,6 +907,20 @@ type Snapshot struct {
 	// SnapPauseMaxNs is the worst per-shard ShardSnapshot.SnapPauseMaxNs.
 	SnapPauseMaxNs int64 `json:"snap_pause_max_ns"`
 
+	// Shed decision path aggregates: sums of the per-shard counters,
+	// except the *Max gauges (worst shard) and PlanBuildNsLast (most
+	// recent nonzero build, any shard).
+	AdmissionNs     int64  `json:"admission_ns"`
+	PlansBuilt      uint64 `json:"shed_plans_built"`
+	PlansApplied    uint64 `json:"shed_plans_applied"`
+	PlansStale      uint64 `json:"shed_plans_stale"`
+	PlanBuildNsLast int64  `json:"shed_plan_build_ns_last"`
+	PlanBuildNsMax  int64  `json:"shed_plan_build_ns_max"`
+	ShedStallMaxNs  int64  `json:"shed_stall_max_ns"`
+	ClassBuckets    int64  `json:"class_buckets"`
+	ClassLivePMs    int64  `json:"class_live_pms"`
+	ClassDeadPMs    int64  `json:"class_dead_pms"`
+
 	// InputShedRatio is shed / offered events; PMShedRatio is dropped /
 	// created partial matches (the paper's ρI and ρS realized ratios).
 	InputShedRatio float64 `json:"input_shed_ratio"`
@@ -937,6 +971,22 @@ func (r *Runtime) Snapshot() Snapshot {
 		if ss.SnapPauseMaxNs > s.SnapPauseMaxNs {
 			s.SnapPauseMaxNs = ss.SnapPauseMaxNs
 		}
+		s.AdmissionNs += ss.AdmissionNs
+		s.PlansBuilt += ss.PlansBuilt
+		s.PlansApplied += ss.PlansApplied
+		s.PlansStale += ss.PlansStale
+		if ss.PlanBuildNsLast > 0 {
+			s.PlanBuildNsLast = ss.PlanBuildNsLast
+		}
+		if ss.PlanBuildNsMax > s.PlanBuildNsMax {
+			s.PlanBuildNsMax = ss.PlanBuildNsMax
+		}
+		if ss.ShedStallMaxNs > s.ShedStallMaxNs {
+			s.ShedStallMaxNs = ss.ShedStallMaxNs
+		}
+		s.ClassBuckets += ss.ClassBuckets
+		s.ClassLivePMs += ss.ClassLivePMs
+		s.ClassDeadPMs += ss.ClassDeadPMs
 	}
 	s.DegradationLevel = r.DegradationLevel()
 	s.Quarantined = r.dlq.count()

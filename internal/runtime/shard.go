@@ -111,6 +111,19 @@ type shard struct {
 	ewma      atomic.Uint64      // math.Float64bits of the smoothed latency
 	lastNs    atomic.Int64       // wall instant of the last latency sample
 	stratName atomic.Value       // string; s.strat itself is worker-owned
+	planRep   atomic.Value       // shed.PlanReporter, when the strategy is one
+
+	// Shed-decision-path observability. admitNs is extrapolated wall
+	// time spent in ρI admission: every admitSamplePeriod-th decision is
+	// timed and charged for the whole stride (timing each one would cost
+	// more than the decision itself). admitSeq is worker-owned.
+	// classBuckets/classLive/classDead mirror the engine's class-bucket
+	// index occupancy, published at batch boundaries like the PM stats.
+	admitNs      atomic.Int64
+	admitSeq     uint64
+	classBuckets atomic.Int64
+	classLive    atomic.Int64
+	classDead    atomic.Int64
 
 	// busyNs accumulates wall time the worker spent consuming batches
 	// (engine work + WAL + delivery; queue waiting excluded). Measured at
@@ -220,8 +233,15 @@ func newShard(id int, m *nfa.Machine, cfg Config, strat shed.Strategy, global *m
 		rng:    rand.New(rand.NewSource(int64(id)*7919 + 1)),
 	}
 	s.stratName.Store(strat.Name())
+	if pr, ok := strat.(shed.PlanReporter); ok {
+		s.planRep.Store(pr)
+	}
 	return s
 }
+
+// admitSamplePeriod is the ρI timing sample stride (power of two so the
+// stride test is a mask and the extrapolation a shift).
+const admitSamplePeriod = 64
 
 // batchBudget bounds how many drained events may share one batch
 // boundary: the engine-stats sync, the covering WAL flush, and the
@@ -485,6 +505,10 @@ func (s *shard) syncEngineStats() {
 	s.livePMs.Store(int64(s.en.LiveCount()))
 	s.createdPMs.Store(s.pmCreatedBase + st.CreatedPMs)
 	s.droppedPMs.Store(s.pmDroppedBase + st.DroppedPMs)
+	cs := s.en.ClassIndexStats()
+	s.classBuckets.Store(int64(cs.Buckets))
+	s.classLive.Store(int64(cs.Live))
+	s.classDead.Store(int64(cs.Dead))
 }
 
 // process handles one dequeued event: the WAL append, ρI admission, the
@@ -523,7 +547,20 @@ func (s *shard) process(it item, w float64) {
 	}
 	s.eventsIn.Add(1)
 
-	if !s.strat.AdmitEvent(e, e.Time) {
+	// Time every admitSamplePeriod-th ρI decision and charge it for the
+	// whole stride: the compiled admission path is a few array compares,
+	// so per-event clock reads would dominate what they measure.
+	var admitT0 time.Time
+	s.admitSeq++
+	sampleAdmit := s.admitSeq%admitSamplePeriod == 0
+	if sampleAdmit {
+		admitT0 = time.Now()
+	}
+	admitted := s.strat.AdmitEvent(e, e.Time)
+	if sampleAdmit {
+		s.admitNs.Add(time.Since(admitT0).Nanoseconds() * admitSamplePeriod)
+	}
+	if !admitted {
 		// ρI dropped the event before any engine work; the sample
 		// still enters the latency stream — a shed event was "served"
 		// nearly for free, which is exactly how shedding relieves the
@@ -1112,6 +1149,10 @@ func (s *shard) snapshot() ShardSnapshot {
 	if depth < 0 {
 		depth = 0
 	}
+	var plan shed.PlanStats
+	if pr, ok := s.planRep.Load().(shed.PlanReporter); ok {
+		plan = pr.PlanStats()
+	}
 	return ShardSnapshot{
 		Shard:      s.id,
 		Strategy:   s.stratName.Load().(string),
@@ -1133,6 +1174,17 @@ func (s *shard) snapshot() ShardSnapshot {
 		Failed:      s.failed.Load(),
 		Exported:    s.exportedFlag.Load(),
 		BusyNs:      s.busyNs.Load(),
+
+		AdmissionNs:     s.admitNs.Load(),
+		PlansBuilt:      plan.PlansBuilt,
+		PlansApplied:    plan.PlansApplied,
+		PlansStale:      plan.PlansStale,
+		PlanBuildNsLast: plan.BuildNsLast,
+		PlanBuildNsMax:  plan.BuildNsMax,
+		ShedStallMaxNs:  plan.StallNsMax,
+		ClassBuckets:    s.classBuckets.Load(),
+		ClassLivePMs:    s.classLive.Load(),
+		ClassDeadPMs:    s.classDead.Load(),
 
 		Recovering:     s.recovering.Load(),
 		Snapshots:      s.snapshots.Load(),

@@ -415,6 +415,9 @@ func (s *shard) rebuild() (ok bool) {
 	s.en, s.strat = en, strat
 	s.lastType, s.lastRes = "", nil // TypeRes is owned by the old engine
 	s.stratName.Store(strat.Name())
+	if pr, ok := strat.(shed.PlanReporter); ok {
+		s.planRep.Store(pr)
+	}
 	s.livePMs.Store(0)
 	return true
 }

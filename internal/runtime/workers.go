@@ -1,6 +1,10 @@
 package runtime
 
-import "time"
+import (
+	"context"
+	"runtime/pprof"
+	"time"
+)
 
 // This file is the worker pool: M worker goroutines servicing N shard
 // queues. Shards and workers used to be the same thing (one goroutine
@@ -39,8 +43,18 @@ const idlePoll = 2 * time.Millisecond
 // workers}; each pass services homes first (cache affinity, and with
 // Workers == Shards the pool degenerates to the old one-goroutine-per-
 // shard layout), then steals any other claimable shard.
+// Workers run under the pprof label cep_role=worker so CPU profiles can
+// prove what runs on the serving path: `make profile-shed` fails the
+// build if shedding-set selection symbols ever appear under this label
+// (they belong under cep_role=shed_planner).
 func (r *Runtime) worker(wid int) {
 	defer r.wg.Done()
+	pprof.Do(context.Background(), pprof.Labels("cep_role", "worker"), func(context.Context) {
+		r.workerLoop(wid)
+	})
+}
+
+func (r *Runtime) workerLoop(wid int) {
 	n := len(r.shards)
 	timer := time.NewTimer(time.Hour)
 	timer.Stop()

@@ -47,6 +47,36 @@ type DurableStrategy interface {
 	UnmarshalState([]byte) error
 }
 
+// PlanStats are the shed-decision-path counters a strategy can expose:
+// how shedding plans are being produced (planner goroutine or in-line)
+// and how much the decision path pauses the worker. Counters are
+// cumulative; *Ns fields are gauges in nanoseconds.
+type PlanStats struct {
+	// PlansBuilt / PlansApplied / PlansStale count planner products:
+	// built by the planner goroutine, applied by the worker, and
+	// discarded because the partial-match population they were built for
+	// had been retired (drop-epoch fence). All zero when planning is
+	// synchronous.
+	PlansBuilt   uint64
+	PlansApplied uint64
+	PlansStale   uint64
+	// BuildNsLast / BuildNsMax time the planner's selection + table
+	// compilation off the hot path.
+	BuildNsLast int64
+	BuildNsMax  int64
+	// StallNsMax is the worst worker-side pause a shedding trigger
+	// caused (the whole select+drop+compile for a synchronous trigger;
+	// only snapshot/launch/apply for an async one).
+	StallNsMax int64
+}
+
+// PlanReporter is implemented by strategies that report shed-planner
+// counters. PlanStats must be safe to call from any goroutine — the
+// runtime reads it from stats/metrics threads while the worker runs.
+type PlanReporter interface {
+	PlanStats() PlanStats
+}
+
 // None is the no-shedding strategy used for ground-truth runs.
 type None struct{}
 
